@@ -1,0 +1,90 @@
+// Ablation for the §4.3 design claim: "randomly fuzzing the entire
+// emulator is inefficient" versus guided symbolic-class testing. Measures
+// distinct behavioural divergences discovered per API call for both
+// strategies against the same pre-alignment emulator, plus the alignment
+// loop's convergence curve.
+#include <iostream>
+
+#include "align/engine.h"
+#include "align/fuzz.h"
+#include "cloud/reference_cloud.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/emulator.h"
+#include "docs/corpus.h"
+#include "docs/defects.h"
+#include "docs/render.h"
+
+using namespace lce;
+
+int main() {
+  // A defective-docs emulator so both strategies have real bugs to find.
+  docs::CloudCatalog defective = docs::build_aws_catalog();
+  Rng rng(31337);
+  auto plan = docs::inject_defects(defective, 0.12, rng);
+  auto corpus = docs::render_corpus(defective);
+
+  std::cout << "=== §4.3 ablation: symbolic alignment vs random fuzzing ===\n";
+  std::cout << "  target emulator: synthesized from docs with "
+            << plan.defects.size() << " injected defects (+ undocumented "
+            << "behaviours)\n\n";
+
+  // Random fuzz baseline.
+  cloud::ReferenceCloud fuzz_cloud(docs::build_aws_catalog());
+  auto fuzz_emu = core::LearnedEmulator::from_docs(corpus);
+  align::FuzzOptions fopts;
+  fopts.max_calls = 20000;
+  auto fuzz = align::run_fuzz(fuzz_emu.backend(), fuzz_cloud, fuzz_emu.backend().spec(),
+                              fopts);
+
+  // Symbolic detection pass.
+  cloud::ReferenceCloud sym_cloud(docs::build_aws_catalog());
+  auto sym_emu = core::LearnedEmulator::from_docs(corpus);
+  align::AlignmentOptions dopts;
+  dopts.repair = false;
+  align::AlignmentEngine detect(sym_emu.backend(), sym_cloud, dopts);
+  auto sym = detect.run();
+
+  TextTable table({"strategy", "API calls", "divergences found", "calls per divergence"});
+  double sym_calls = static_cast<double>(sym.rounds[0].api_calls);
+  double sym_found = static_cast<double>(sym.rounds[0].discrepancies);
+  table.add_row({"symbolic classes", std::to_string(sym.rounds[0].api_calls),
+                 std::to_string(sym.rounds[0].discrepancies),
+                 fixed(sym_found > 0 ? sym_calls / sym_found : 0, 1)});
+  double fz_calls = static_cast<double>(fuzz.calls_executed);
+  double fz_found = static_cast<double>(fuzz.discoveries.size());
+  table.add_row({"random fuzzing", std::to_string(fuzz.calls_executed),
+                 std::to_string(fuzz.discoveries.size()),
+                 fixed(fz_found > 0 ? fz_calls / fz_found : 0, 1)});
+  std::cout << table.render();
+
+  std::cout << "\nFuzzing discovery curve (call count at each NEW distinct "
+               "divergence):\n  ";
+  for (std::size_t i = 0; i < fuzz.discoveries.size() && i < 15; ++i) {
+    std::cout << fuzz.discoveries[i].second << " ";
+  }
+  std::cout << "...\n";
+
+  // Full repair loop convergence.
+  std::cout << "\n=== Alignment convergence (repairs on) ===\n";
+  cloud::ReferenceCloud repair_cloud(docs::build_aws_catalog());
+  auto repair_emu = core::LearnedEmulator::from_docs(corpus);
+  align::AlignmentOptions ropts;
+  ropts.max_rounds = 8;
+  auto report = repair_emu.align_against(repair_cloud, ropts);
+  TextTable rounds({"round", "traces", "API calls", "divergences", "repairs"});
+  for (std::size_t i = 0; i < report.rounds.size(); ++i) {
+    const auto& r = report.rounds[i];
+    rounds.add_row({std::to_string(i + 1), std::to_string(r.traces),
+                    std::to_string(r.api_calls), std::to_string(r.discrepancies),
+                    std::to_string(r.repairs)});
+  }
+  std::cout << rounds.render();
+  std::cout << "\nconverged=" << (report.converged ? "yes" : "no") << ", total repairs "
+            << report.repairs.size() << ", unrepaired " << report.unrepaired.size()
+            << "\n";
+  std::cout << "\nShape check (paper): guided symbolic testing finds "
+               "divergences orders of magnitude faster per call than blind "
+               "fuzzing, and the repair loop drives divergences toward zero.\n";
+  return 0;
+}

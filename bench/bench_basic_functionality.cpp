@@ -1,0 +1,88 @@
+// Reproduces the §5 "Basic functionality" experiment: the AWS DevOps
+// program (create VPC, attach subnet, enable MapPublicIpOnLaunch) runs on
+// the learned emulator with responses aligned to the cloud, and the whole
+// synthesis "only took a couple of minutes" — here, milliseconds, since
+// the LLM is a deterministic translator (see DESIGN.md substitutions);
+// the pipeline *stage* timings are what carries over.
+#include <chrono>
+#include <iostream>
+
+#include "cloud/reference_cloud.h"
+#include "common/strings.h"
+#include "core/emulator.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+#include "docs/wrangler.h"
+#include "synth/synthesizer.h"
+
+using namespace lce;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== §5 basic functionality: pipeline timing ===\n\n";
+  auto t0 = std::chrono::steady_clock::now();
+  auto catalog = docs::build_aws_catalog();
+  double t_catalog = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  auto corpus = docs::render_corpus(catalog);
+  double t_render = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  auto wrangled = docs::wrangle(corpus);
+  double t_wrangle = ms_since(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  auto emulator = core::LearnedEmulator::from_docs(corpus);
+  double t_synth = ms_since(t0);
+
+  std::cout << "  corpus: " << corpus.pages.size() << " doc pages, "
+            << corpus.total_chars() / 1024 << " KiB, " << catalog.api_count()
+            << " APIs\n";
+  std::cout << "  build catalog      " << fixed(t_catalog, 1) << " ms\n";
+  std::cout << "  render docs        " << fixed(t_render, 1) << " ms\n";
+  std::cout << "  wrangle docs       " << fixed(t_wrangle, 1) << " ms ("
+            << wrangled.issues.size() << " issues)\n";
+  std::cout << "  synthesize + check " << fixed(t_synth, 1) << " ms ("
+            << emulator.backend().spec().machines.size() << " SMs)\n";
+
+  std::cout << "\n=== The DevOps program (paper's exact scenario) ===\n";
+  Trace program;
+  program.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  program.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                               {"cidr_block", Value("10.0.1.0/24")},
+                               {"zone", Value("us-east")}});
+  program.add("ModifySubnetAttribute",
+              {{"id", Value("$1.id")}, {"map_public_ip_on_launch", Value(true)}});
+  program.add("DescribeSubnet", {{"id", Value("$1.id")}});
+
+  cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+  auto emu_resp = run_trace(emulator.backend(), program);
+  auto cloud_resp = run_trace(cloud, program);
+  bool all_aligned = true;
+  for (std::size_t i = 0; i < program.calls.size(); ++i) {
+    bool ok = cloud_resp[i].aligned_with(emu_resp[i]);
+    all_aligned = all_aligned && ok;
+    std::cout << "  " << program.calls[i].api << ": emulator "
+              << (emu_resp[i].ok ? "OK" : emu_resp[i].code) << ", cloud "
+              << (cloud_resp[i].ok ? "OK" : cloud_resp[i].code) << " -> "
+              << (ok ? "aligned" : "DIVERGED") << "\n";
+  }
+  std::cout << "\n  state maintained: vpc_id="
+            << emu_resp[0].data.get("id")->as_str()
+            << ", subnet_id=" << emu_resp[1].data.get("id")->as_str()
+            << ", map_public_ip_on_launch="
+            << emu_resp[3].data.get("map_public_ip_on_launch")->to_text() << "\n";
+  std::cout << "\nPaper: \"our emulator's responses aligned with the actual "
+               "cloud responses for this case\" -> "
+            << (all_aligned ? "REPRODUCED" : "NOT reproduced") << ".\n";
+  return 0;
+}

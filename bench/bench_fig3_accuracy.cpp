@@ -1,0 +1,86 @@
+// Reproduces FIGURE 3 — "Accuracy of learned emulators across scenarios":
+// response alignment against the cloud over 4 traces x 3 scenarios
+// (provisioning, state updates, edge cases) for
+//   * the direct-to-code (D2C) baseline              (paper: 3/12 aligned)
+//   * the learned emulator without alignment
+//   * the learned emulator with alignment            (paper: "significant
+//     improvements with alignment")
+//   * the manually engineered Moto-like baseline.
+#include <iostream>
+
+#include "baselines/d2c.h"
+#include "baselines/moto_like.h"
+#include "cloud/reference_cloud.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/emulator.h"
+#include "core/scenarios.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+
+using namespace lce;
+
+namespace {
+
+std::string bar(double ratio) {
+  int n = static_cast<int>(ratio * 20 + 0.5);
+  return std::string(static_cast<std::size_t>(n), '#') +
+         std::string(static_cast<std::size_t>(20 - n), '.');
+}
+
+}  // namespace
+
+int main() {
+  auto corpus = docs::render_corpus(docs::build_aws_catalog());
+  auto suite = core::fig3_aws_suite();
+  cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+
+  struct Row {
+    std::string name;
+    core::AccuracyResult acc;
+  };
+  std::vector<Row> rows;
+
+  {
+    auto d2c = baselines::make_d2c_backend(corpus);
+    rows.push_back({"direct-to-code (D2C)", core::score_accuracy(*d2c, cloud, suite)});
+  }
+  {
+    auto emu = core::LearnedEmulator::from_docs(corpus);
+    rows.push_back({"learned (no alignment)",
+                    core::score_accuracy(emu.backend(), cloud, suite)});
+    cloud::ReferenceCloud oracle(docs::build_aws_catalog());
+    emu.align_against(oracle);
+    rows.push_back({"learned (with alignment)",
+                    core::score_accuracy(emu.backend(), cloud, suite)});
+  }
+  {
+    baselines::MotoLike moto(docs::build_aws_catalog());
+    rows.push_back({"manual (Moto-like)", core::score_accuracy(moto, cloud, suite)});
+  }
+
+  std::cout << "=== Fig. 3: accuracy of learned emulators across scenarios ===\n\n";
+  TextTable table({"emulator", "provisioning", "state-updates", "edge-cases", "overall"});
+  for (auto& row : rows) {
+    auto cell = [&](const std::string& s) {
+      auto& sc = row.acc.per_scenario[s];
+      return strf(sc.aligned, "/", sc.total);
+    };
+    table.add_row({row.name, cell("provisioning"), cell("state-updates"),
+                   cell("edge-cases"),
+                   strf(row.acc.overall.aligned, "/", row.acc.overall.total)});
+  }
+  std::cout << table.render() << "\n";
+  for (const auto& row : rows) {
+    std::cout << "  " << bar(row.acc.overall.ratio()) << "  "
+              << fixed(row.acc.overall.ratio() * 100, 0) << "%  " << row.name << "\n";
+  }
+
+  std::cout << "\nWhy D2C fails (paper §5's two error categories, observed):\n";
+  for (const auto& f : rows[0].acc.failures) {
+    std::cout << "  - " << f.substr(0, 140) << "\n";
+  }
+  std::cout << "\nPaper: \"the D2C emulator aligned in only 3 out of 12 traces\"; "
+               "measured above.\n";
+  return 0;
+}

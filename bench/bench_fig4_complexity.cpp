@@ -1,0 +1,61 @@
+// Reproduces FIGURE 4 — "CDF of SM complexity across services": the
+// distribution of per-state-machine complexity (state variables +
+// transitions) for every synthesized service, plus the paper's headline
+// counts: 28 SMs for EC2, 8 for Network Firewall, 7 for DynamoDB.
+#include <iostream>
+
+#include "analysis/complexity.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/emulator.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+
+using namespace lce;
+
+int main() {
+  auto emulator =
+      core::LearnedEmulator::from_docs(docs::render_corpus(docs::build_aws_catalog()));
+  auto rows = analysis::measure_complexity(emulator.backend().spec());
+  auto groups = analysis::by_service(rows);
+
+  std::cout << "=== Fig. 4: CDF of SM complexity across services ===\n\n";
+  TextTable table({"service", "SMs", "min", "median", "mean", "max"});
+  for (const auto& [service, sms] : groups) {
+    std::vector<double> totals;
+    for (const auto& c : sms) totals.push_back(static_cast<double>(c.total()));
+    std::sort(totals.begin(), totals.end());
+    double mean = 0;
+    for (double v : totals) mean += v;
+    mean /= static_cast<double>(totals.size());
+    table.add_row({service, std::to_string(sms.size()), fixed(totals.front(), 0),
+                   fixed(totals[totals.size() / 2], 0), fixed(mean, 1),
+                   fixed(totals.back(), 0)});
+  }
+  std::cout << table.render() << "\n";
+
+  for (const auto& [service, sms] : groups) {
+    std::vector<double> totals;
+    for (const auto& c : sms) totals.push_back(static_cast<double>(c.total()));
+    auto cdf = analysis::empirical_cdf(std::move(totals));
+    std::cout << render_series(strf("CDF, service '", service,
+                                    "' (x = states + transitions per SM)"),
+                               cdf)
+              << "\n";
+  }
+
+  std::cout << "Paper: \"our generated specs included 28 SMs for EC2, 8 for "
+               "network firewall, and 7 for DynamoDB\"; measured: ec2="
+            << groups["ec2"].size() << ", network-firewall="
+            << groups["network-firewall"].size() << ", dynamodb="
+            << groups["dynamodb"].size() << ", eks=" << groups["eks"].size() << ".\n";
+  std::cout << "Paper: \"the SMs in the EC2 service are more complex than "
+               "others\" — compare the CDF tails above.\n";
+
+  auto gm = analysis::measure_graph(emulator.backend().spec());
+  std::cout << "\nGraph metrics (§4.4 complexity quantification): " << gm.nodes
+            << " SMs, " << gm.edges << " dependency edges, density "
+            << fixed(gm.density, 3) << ", deepest containment chain "
+            << gm.containment_depth << ".\n";
+  return 0;
+}

@@ -1,0 +1,141 @@
+// google-benchmark micro-benchmarks: the cost of interpreting executable
+// SM specifications versus the hand-coded reference engine (the design
+// ablation DESIGN.md calls out), plus the hot paths of the pipeline
+// itself: lexing/parsing the DSL, rendering and wrangling documentation,
+// and symbolic trace generation.
+#include <benchmark/benchmark.h>
+
+#include "align/trace_gen.h"
+#include "cloud/reference_cloud.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+#include "docs/wrangler.h"
+#include "interp/interpreter.h"
+#include "server/service.h"
+#include "spec/parser.h"
+#include "spec/printer.h"
+#include "synth/synthesizer.h"
+
+namespace {
+
+using namespace lce;
+
+const spec::SpecSet& aws_spec() {
+  static const spec::SpecSet kSpec = [] {
+    auto r = synth::synthesize(docs::render_corpus(docs::build_aws_catalog()), {});
+    return std::move(r.spec);
+  }();
+  return kSpec;
+}
+
+/// One provision+modify+describe cycle against any backend.
+void drive_cycle(CloudBackend& be) {
+  be.reset();
+  auto vpc = be.invoke({"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""});
+  auto subnet = be.invoke({"CreateSubnet",
+                           {{"vpc", vpc.data.get_or("id", Value())},
+                            {"cidr_block", Value("10.0.1.0/24")},
+                            {"zone", Value("us-east")}},
+                           ""});
+  be.invoke({"ModifySubnetAttribute",
+             {{"id", subnet.data.get_or("id", Value())},
+              {"map_public_ip_on_launch", Value(true)}},
+             ""});
+  benchmark::DoNotOptimize(
+      be.invoke({"DescribeSubnet", {}, subnet.data.get("id")->as_str()}));
+}
+
+void BM_LearnedEmulatorCycle(benchmark::State& state) {
+  interp::Interpreter emu(aws_spec().clone());
+  for (auto _ : state) drive_cycle(emu);
+  state.SetItemsProcessed(state.iterations() * 4);  // 4 API calls per cycle
+}
+BENCHMARK(BM_LearnedEmulatorCycle);
+
+void BM_ReferenceCloudCycle(benchmark::State& state) {
+  cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+  for (auto _ : state) drive_cycle(cloud);
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_ReferenceCloudCycle);
+
+void BM_InterpreterDescribeOnly(benchmark::State& state) {
+  interp::Interpreter emu(aws_spec().clone());
+  auto vpc = emu.invoke({"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""});
+  std::string id = vpc.data.get("id")->as_str();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emu.invoke({"DescribeVpc", {}, id}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpreterDescribeOnly);
+
+void BM_InterpreterRejectedCall(benchmark::State& state) {
+  // Failure path includes the transactional rollback.
+  interp::Interpreter emu(aws_spec().clone());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        emu.invoke({"CreateVpc", {{"cidr_block", Value("10.0.0.0/8")}}, ""}));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InterpreterRejectedCall);
+
+void BM_SpecParse(benchmark::State& state) {
+  static const std::string kText = spec::print_spec(aws_spec());
+  for (auto _ : state) {
+    spec::ParseError err;
+    benchmark::DoNotOptimize(spec::parse_spec(kText, &err));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations() * kText.size()));
+}
+BENCHMARK(BM_SpecParse);
+
+void BM_DocsRender(benchmark::State& state) {
+  static const docs::CloudCatalog kCatalog = docs::build_aws_catalog();
+  for (auto _ : state) benchmark::DoNotOptimize(docs::render_corpus(kCatalog));
+}
+BENCHMARK(BM_DocsRender);
+
+void BM_DocsWrangle(benchmark::State& state) {
+  static const docs::DocCorpus kCorpus = docs::render_corpus(docs::build_aws_catalog());
+  for (auto _ : state) benchmark::DoNotOptimize(docs::wrangle(kCorpus));
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations() * kCorpus.total_chars()));
+}
+BENCHMARK(BM_DocsWrangle);
+
+void BM_FullSynthesis(benchmark::State& state) {
+  static const docs::DocCorpus kCorpus = docs::render_corpus(docs::build_aws_catalog());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(synth::synthesize(kCorpus, synth::SynthesisOptions{}));
+  }
+}
+BENCHMARK(BM_FullSynthesis);
+
+void BM_HttpEndpointInvoke(benchmark::State& state) {
+  // Full network path: JSON encode -> loopback TCP -> HTTP parse ->
+  // dispatch -> interpret -> JSON reply. The emulator-as-a-service cost.
+  interp::Interpreter emu(aws_spec().clone());
+  server::EmulatorEndpoint endpoint(emu);
+  std::uint16_t port = endpoint.start();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(server::invoke_over_http(
+        port, "CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}));
+  }
+  state.SetItemsProcessed(state.iterations());
+  endpoint.stop();
+}
+BENCHMARK(BM_HttpEndpointInvoke);
+
+void BM_SymbolicTraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    align::TraceGenerator gen(aws_spec());
+    benchmark::DoNotOptimize(gen.generate_for("Subnet", "CreateSubnet"));
+  }
+}
+BENCHMARK(BM_SymbolicTraceGeneration);
+
+}  // namespace
+
+BENCHMARK_MAIN();

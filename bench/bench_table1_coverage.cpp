@@ -1,0 +1,68 @@
+// Reproduces TABLE 1 — "The coverage of existing emulator (Moto) is low"
+// — plus the paper's §5 comparison: the learned emulator captures every
+// API through automated generation ("our preliminary prototype captures
+// all 45 API calls" for Network Firewall, "all EC2 and DynamoDB API
+// calls").
+#include <iostream>
+
+#include "baselines/moto_like.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/emulator.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+
+using namespace lce;
+
+int main() {
+  auto catalog = docs::build_aws_catalog();
+  baselines::MotoLike moto(catalog);
+  auto learned = core::LearnedEmulator::from_docs(docs::render_corpus(catalog));
+
+  std::cout << "=== Table 1: API coverage, manual (Moto-like) vs learned ===\n\n";
+  TextTable table({"Services", "APIs", "Moto emulated", "Moto coverage",
+                   "Learned emulated", "Learned coverage"});
+  std::size_t total_apis = 0;
+  std::size_t total_moto = 0;
+  std::size_t total_learned = 0;
+  const std::map<std::string, std::string> kDisplay = {
+      {"ec2", "Compute (ec2)"},
+      {"dynamodb", "DB (dynamodb)"},
+      {"network-firewall", "Network Firewall"},
+      {"eks", "Kubernetes (eks)"},
+  };
+  for (const auto& service : catalog.services) {
+    std::vector<std::string> apis;
+    for (const auto& r : service.resources) {
+      for (const auto& a : r.apis) apis.push_back(a.name);
+    }
+    std::size_t moto_n = 0;
+    for (const auto& a : apis) {
+      if (moto.supports(a)) ++moto_n;
+    }
+    std::size_t learned_n = learned.covered(apis);
+    total_apis += apis.size();
+    total_moto += moto_n;
+    total_learned += learned_n;
+    table.add_row({kDisplay.at(service.name), std::to_string(apis.size()),
+                   std::to_string(moto_n),
+                   strf(fixed(100.0 * moto_n / apis.size(), 0), "%"),
+                   std::to_string(learned_n),
+                   strf(fixed(100.0 * learned_n / apis.size(), 0), "%")});
+  }
+  table.add_row({"Overall (subset)", std::to_string(total_apis),
+                 std::to_string(total_moto),
+                 strf("~", fixed(100.0 * total_moto / total_apis, 0), "%"),
+                 std::to_string(total_learned),
+                 strf(fixed(100.0 * total_learned / total_apis, 0), "%")});
+  std::cout << table.render();
+
+  std::cout << "\nPaper's Table 1 (Moto): ec2 31%, dynamodb 68%, network "
+               "firewall 11%, eks 26%, overall ~32%.\n";
+  std::cout << "Paper's §5 anecdote reproduced: CreateFirewall "
+            << (moto.supports("CreateFirewall") ? "supported" : "missing")
+            << ", DeleteFirewall "
+            << (moto.supports("DeleteFirewall") ? "supported" : "missing")
+            << " in the manual emulator.\n";
+  return 0;
+}

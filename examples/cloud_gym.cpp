@@ -1,0 +1,149 @@
+// "Cloud gym" (paper §4.4): the learned emulator as a zero-cost, zero-risk
+// playground for training cloud-management agents. A simple epsilon-greedy
+// agent explores the API surface; reward = resources successfully
+// provisioned. The emulator's exact error codes are the agent's learning
+// signal — no cloud bill, no blast radius.
+#include <iostream>
+#include <map>
+
+#include "common/rng.h"
+#include "common/strings.h"
+#include "core/emulator.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+
+using namespace lce;
+
+namespace {
+
+/// Tiny agent: picks APIs, fills arguments from what it has seen work, and
+/// keeps per-API success statistics (a bandit over the control plane).
+class GymAgent {
+ public:
+  GymAgent(interp::Interpreter& env, std::uint64_t seed) : env_(env), rng_(seed) {
+    for (const auto& m : env.spec().machines) {
+      for (const auto& t : m.transitions) {
+        if (!ends_with(t.name, "BackRef")) actions_.push_back({&m, &t});
+      }
+    }
+  }
+
+  struct Stats {
+    int episodes = 0;
+    int reward = 0;
+    int errors = 0;
+    std::map<std::string, int> error_codes;
+  };
+
+  Stats explore(int steps) {
+    Stats stats;
+    for (int i = 0; i < steps; ++i) {
+      const auto& [m, t] = actions_[pick_action()];
+      ApiRequest req;
+      req.api = t->name;
+      for (const auto& p : t->params) req.args[p.name] = synthesize_arg(*m, p);
+      if (t->kind != spec::TransitionKind::kCreate) {
+        auto it = inventory_.find(m->name);
+        req.args["id"] = (it != inventory_.end() && !it->second.empty())
+                             ? Value::ref(it->second[rng_.uniform(it->second.size())])
+                             : Value::ref("unknown");
+      }
+      ApiResponse resp = env_.invoke(req);
+      ++stats.episodes;
+      auto& q = quality_[t->name];
+      if (resp.ok) {
+        ++stats.reward;
+        q += 1.0;
+        if (t->kind == spec::TransitionKind::kCreate) {
+          inventory_[m->name].push_back(resp.data.get("id")->as_str());
+        }
+      } else {
+        ++stats.errors;
+        ++stats.error_codes[resp.code];
+        q -= 0.2;
+      }
+    }
+    return stats;
+  }
+
+ private:
+  std::size_t pick_action() {
+    if (rng_.chance(0.25)) return rng_.uniform(actions_.size());  // explore
+    std::size_t best = 0;
+    double best_q = -1e9;
+    for (std::size_t i = 0; i < actions_.size(); ++i) {
+      double q = quality_.count(actions_[i].second->name) != 0
+                     ? quality_[actions_[i].second->name]
+                     : 0.5;  // optimism
+      q += rng_.unit() * 0.1;  // tie-break jitter
+      if (q > best_q) {
+        best_q = q;
+        best = i;
+      }
+    }
+    return best;
+  }
+
+  Value synthesize_arg(const spec::StateMachine& m, const spec::Param& p) {
+    (void)m;
+    switch (p.type.kind) {
+      case spec::TypeKind::kRef: {
+        auto it = inventory_.find(p.type.ref_type);
+        if (it != inventory_.end() && !it->second.empty()) {
+          return Value::ref(it->second[rng_.uniform(it->second.size())]);
+        }
+        return Value::ref("unknown");
+      }
+      case spec::TypeKind::kBool:
+        return Value(rng_.chance(0.5));
+      case spec::TypeKind::kInt:
+        return Value(rng_.range(1, 100));
+      default: {
+        static const std::vector<std::string> kVocab = {
+            "10.0.0.0/16", "10.0.1.0/24", "10.1.0.0/16", "us-east",
+            "us-west",     "PROVISIONED", "default",     "t3.micro"};
+        return Value(kVocab[rng_.uniform(kVocab.size())]);
+      }
+    }
+  }
+
+  interp::Interpreter& env_;
+  Rng rng_;
+  std::vector<std::pair<const spec::StateMachine*, const spec::Transition*>> actions_;
+  std::map<std::string, std::vector<std::string>> inventory_;
+  std::map<std::string, double> quality_;
+};
+
+}  // namespace
+
+int main() {
+  auto emulator =
+      core::LearnedEmulator::from_docs(docs::render_corpus(docs::build_aws_catalog()));
+  std::cout << "Cloud gym over " << emulator.backend().spec().machines.size()
+            << " learned state machines\n\n";
+
+  GymAgent agent(emulator.backend(), /*seed=*/7);
+  int cumulative = 0;
+  for (int epoch = 1; epoch <= 5; ++epoch) {
+    auto stats = agent.explore(400);
+    cumulative += stats.reward;
+    std::cout << "epoch " << epoch << ": " << stats.reward << "/" << stats.episodes
+              << " successful actions, " << stats.errors << " rejected";
+    // The top error codes are the agent's curriculum.
+    std::string top;
+    int top_n = 0;
+    for (const auto& [code, n] : stats.error_codes) {
+      if (n > top_n) {
+        top = code;
+        top_n = n;
+      }
+    }
+    if (!top.empty()) std::cout << " (most common: " << top << " x" << top_n << ")";
+    std::cout << "\n";
+  }
+  std::cout << "\ncumulative reward " << cumulative
+            << " — all at zero cloud cost and zero blast radius (§4.4).\n";
+  std::cout << "final emulator state holds " << emulator.backend().store().size()
+            << " mock resources\n";
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Documentation engineering (paper §4.4): mine the learned specification
+// for API design flaws and documentation quality problems — complexity
+// outliers, anti-patterns, and pages the symbolic parser found ambiguous.
+#include <algorithm>
+#include <iostream>
+
+#include "analysis/antipatterns.h"
+#include "analysis/complexity.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/emulator.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+
+using namespace lce;
+
+int main() {
+  auto corpus = docs::render_corpus(docs::build_aws_catalog());
+  auto emulator = core::LearnedEmulator::from_docs(corpus);
+  const auto& spec = emulator.backend().spec();
+
+  std::cout << "=== Complexity outliers (candidates for modularization) ===\n";
+  auto rows = analysis::measure_complexity(spec);
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.total() > b.total();
+  });
+  TextTable table({"machine", "service", "states", "transitions", "checks", "x-calls"});
+  for (std::size_t i = 0; i < rows.size() && i < 8; ++i) {
+    const auto& r = rows[i];
+    table.add_row({r.machine, r.service, std::to_string(r.states),
+                   std::to_string(r.transitions), std::to_string(r.asserts),
+                   std::to_string(r.cross_machine_calls)});
+  }
+  std::cout << table.render() << "\n";
+
+  auto gm = analysis::measure_graph(spec);
+  std::cout << "dependency graph: " << gm.nodes << " SMs, " << gm.edges
+            << " edges (density " << lce::fixed(gm.density, 3) << "), deepest containment "
+            << gm.containment_depth << "\n\n";
+
+  std::cout << "=== Anti-patterns (paper: flags for API/doc refinement) ===\n";
+  auto findings =
+      analysis::find_anti_patterns(spec, emulator.synthesis().wrangled.issues);
+  std::map<std::string, int> per_kind;
+  for (const auto& f : findings) ++per_kind[analysis::to_string(f.kind)];
+  for (const auto& [kind, n] : per_kind) {
+    std::cout << "  " << kind << ": " << n << " finding(s)\n";
+  }
+  std::cout << "\nexamples:\n";
+  std::set<std::string> shown;
+  for (const auto& f : findings) {
+    std::string kind = analysis::to_string(f.kind);
+    if (!shown.insert(kind).second) continue;
+    std::cout << "  " << f.to_text() << "\n";
+  }
+
+  std::cout << "\n=== Documentation quality ===\n";
+  std::cout << "  corpus: " << corpus.pages.size() << " pages, "
+            << corpus.total_chars() / 1024 << " KiB of text\n";
+  std::cout << "  unparseable lines: " << emulator.synthesis().wrangled.issues.size()
+            << " (each one is a doc-ambiguity flag per §4.4)\n";
+  return 0;
+}

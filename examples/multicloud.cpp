@@ -1,0 +1,91 @@
+// Multi-cloud emulation (paper §4.4): one logical deployment — an isolated
+// network, a subnet, and a VM — expressed against BOTH providers, each
+// emulator learned from its own documentation. Finishes with the automated
+// cross-provider check comparison ("whether Azure's CreateVM() requires the
+// same dependency checks as AWS's RunInstance()").
+#include <iostream>
+
+#include "analysis/multicloud.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/emulator.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+
+using namespace lce;
+
+int main() {
+  auto aws_emu =
+      core::LearnedEmulator::from_docs(docs::render_corpus(docs::build_aws_catalog()));
+  auto azure_emu =
+      core::LearnedEmulator::from_docs(docs::render_corpus(docs::build_azure_catalog()));
+
+  std::cout << "=== One deployment, two clouds ===\n";
+  Trace aws_plan;
+  aws_plan.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  aws_plan.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                                {"cidr_block", Value("10.0.1.0/24")},
+                                {"zone", Value("us-east")}});
+  aws_plan.add("RunInstance",
+               {{"subnet", Value("$1.id")}, {"instance_type", Value("t3.micro")}});
+
+  Trace azure_plan;
+  azure_plan.add("PutVirtualNetwork", {{"address_space", Value("10.0.0.0/16")}});
+  azure_plan.add("PutVnetSubnet",
+                 {{"vnet", Value("$0.id")}, {"address_prefix", Value("10.0.1.0/24")}});
+  azure_plan.add("PutVirtualMachine",
+                 {{"subnet", Value("$1.id")}, {"vm_size", Value("Standard_B1s")}});
+
+  auto aws_resp = run_trace(aws_emu.backend(), aws_plan);
+  auto azure_resp = run_trace(azure_emu.backend(), azure_plan);
+  for (std::size_t i = 0; i < aws_plan.calls.size(); ++i) {
+    std::cout << "  aws   " << aws_plan.calls[i].api << " -> "
+              << (aws_resp[i].ok ? "OK" : aws_resp[i].code) << "\n";
+    std::cout << "  azure " << azure_plan.calls[i].api << " -> "
+              << (azure_resp[i].ok ? "OK" : azure_resp[i].code) << "\n";
+  }
+
+  std::cout << "\n=== Where the providers genuinely differ ===\n";
+  // A /29 subnet: Azure accepts it, AWS refuses.
+  Trace probe;
+  probe.add("CreateSubnet", {{"vpc", Value("$9.id")}});  // placeholder; rebuilt below
+  auto aws_29 = [&] {
+    Trace t;
+    t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                           {"cidr_block", Value("10.0.0.0/29")},
+                           {"zone", Value("us-east")}});
+    return run_trace(aws_emu.backend(), t)[1];
+  }();
+  auto azure_29 = [&] {
+    Trace t;
+    t.add("PutVirtualNetwork", {{"address_space", Value("10.0.0.0/16")}});
+    t.add("PutVnetSubnet",
+          {{"vnet", Value("$0.id")}, {"address_prefix", Value("10.0.0.0/29")}});
+    return run_trace(azure_emu.backend(), t)[1];
+  }();
+  std::cout << "  /29 subnet on aws:   " << (aws_29.ok ? "accepted" : aws_29.code) << "\n";
+  std::cout << "  /29 subnet on azure: " << (azure_29.ok ? "accepted" : azure_29.code)
+            << "\n";
+
+  std::cout << "\n=== Automated service-equivalence comparison (§4.4) ===\n";
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const auto& eq : docs::aws_azure_equivalences()) {
+    pairs.emplace_back(eq.aws_resource, eq.azure_resource);
+  }
+  auto report = analysis::compare_providers(docs::build_aws_catalog(),
+                                            docs::build_azure_catalog(), pairs);
+  TextTable table({"AWS resource", "Azure resource", "portability", "notable differences"});
+  for (const auto& cmp : report.comparisons) {
+    std::string notes;
+    for (const auto& d : cmp.deltas) {
+      for (const auto& b : d.bound_diffs) notes += b + " ";
+      for (const auto& a : d.a_only) notes += "aws-only:" + a + " ";
+    }
+    if (notes.size() > 60) notes = notes.substr(0, 57) + "...";
+    table.add_row({cmp.a_resource, cmp.b_resource, lce::fixed(cmp.portability(), 2), notes});
+  }
+  std::cout << table.render();
+  std::cout << "mean check portability: " << lce::fixed(report.mean_portability(), 2) << "\n";
+  return 0;
+}

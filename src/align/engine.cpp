@@ -1,0 +1,170 @@
+#include "align/engine.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace lce::align {
+
+std::size_t AlignmentReport::total_discrepancies() const {
+  std::size_t n = 0;
+  for (const auto& r : rounds) n += r.discrepancies;
+  return n;
+}
+
+std::size_t AlignmentReport::total_api_calls() const {
+  std::size_t n = 0;
+  for (const auto& r : rounds) n += r.api_calls;
+  return n;
+}
+
+AlignmentEngine::AlignmentEngine(interp::Interpreter& emulator, CloudBackend& cloud,
+                                 AlignmentOptions opts)
+    : emu_(emulator), cloud_(cloud), opts_(opts) {}
+
+AlignmentReport AlignmentEngine::run() {
+  AlignmentReport report;
+
+  for (int round = 0; round < opts_.max_rounds; ++round) {
+    RoundStats stats;
+    // Regenerate from the CURRENT (possibly already repaired) spec.
+    TraceGenerator gen(emu_.spec());
+    std::vector<GenTrace> traces = gen.generate_all();
+    stats.traces = traces.size();
+    for (const auto& g : traces) stats.api_calls += g.trace.calls.size();
+
+    // Differential pass.
+    std::vector<Discrepancy> found;
+    // Evidence for enum-precondition inference, keyed by
+    // (machine, transition, attr): per-member cloud outcome.
+    std::map<std::string, StateEvidence> evidence;
+    std::map<std::string, std::pair<std::string, std::string>> evidence_site;
+    std::map<std::string, std::string> evidence_attr;
+
+    for (const auto& g : traces) {
+      auto d = diff_trace(cloud_, emu_, g);
+      // Record sweep outcomes (aligned or not) for predicate inference.
+      if (g.cls.kind == ClassKind::kStateSweep && g.probe_call < g.trace.calls.size()) {
+        auto cloud_resp = run_trace(cloud_, g.trace);
+        std::string key = strf(g.cls.machine, "::", g.cls.transition, "::", g.cls.sweep_attr);
+        evidence[key].outcome_by_member[g.cls.sweep_value] =
+            cloud_resp[g.probe_call].ok ? "" : cloud_resp[g.probe_call].code;
+        evidence_site[key] = {g.cls.machine, g.cls.transition};
+        evidence_attr[key] = g.cls.sweep_attr;
+      }
+      // The happy path is the evidence row for every swept attribute's
+      // INITIAL member (sweeps skip it).
+      if (g.cls.kind == ClassKind::kHappyPath && g.probe_call < g.trace.calls.size()) {
+        const spec::StateMachine* m = emu_.spec().find_machine(g.cls.machine);
+        if (m != nullptr) {
+          std::string outcome;
+          bool have_outcome = false;
+          for (const auto& sv : m->states) {
+            std::string member;
+            if (sv.type.kind == spec::TypeKind::kEnum && sv.initial.is_str()) {
+              member = sv.initial.as_str();
+            } else if (sv.type.kind == spec::TypeKind::kBool && sv.initial.is_bool()) {
+              member = sv.initial.as_bool() ? "true" : "false";
+            } else {
+              continue;
+            }
+            if (!have_outcome) {
+              auto cloud_resp = run_trace(cloud_, g.trace);
+              outcome = cloud_resp[g.probe_call].ok ? "" : cloud_resp[g.probe_call].code;
+              have_outcome = true;
+            }
+            std::string key =
+                strf(g.cls.machine, "::", g.cls.transition, "::", sv.name);
+            evidence[key].outcome_by_member[member] = outcome;
+            evidence_site[key] = {g.cls.machine, g.cls.transition};
+            evidence_attr[key] = sv.name;
+          }
+        }
+      }
+      if (d) found.push_back(std::move(*d));
+    }
+    stats.discrepancies = found.size();
+    report.log.push_back(strf("round ", round + 1, ": ", traces.size(), " traces, ",
+                              stats.api_calls, " calls, ", found.size(), " discrepancies"));
+
+    if (found.empty()) {
+      report.converged = true;
+      report.rounds.push_back(stats);
+      break;
+    }
+    if (!opts_.repair) {
+      report.rounds.push_back(stats);
+      report.unrepaired = std::move(found);
+      break;
+    }
+
+    // Augment evidence with each happy-path/sweep divergence's machine
+    // initial-state outcome: a CloudErrEmuOk happy path on a machine with
+    // an enum state var contributes the initial member's failure.
+    Repairer repairer(emu_, cloud_);
+    std::size_t repaired = 0;
+
+    // First: inferred state checks (aggregated evidence), which subsume
+    // many individual sweep discrepancies at once.
+    std::map<std::string, bool> state_checked;
+    for (const auto& d : found) {
+      if (d.kind != DivergenceKind::kCloudErrEmuOk) continue;
+      if (d.cls.kind != ClassKind::kStateSweep && d.cls.kind != ClassKind::kHappyPath) {
+        continue;
+      }
+      // Locate evidence rows for this (machine, transition).
+      for (const auto& [key, ev] : evidence) {
+        if (evidence_site[key] != std::make_pair(d.cls.machine, d.cls.transition)) continue;
+        if (state_checked[key]) continue;
+        StateEvidence enriched = ev;
+        // Happy path exercises the initial member (string or bool typed).
+        if (d.cls.kind == ClassKind::kHappyPath) {
+          const spec::StateMachine* m = emu_.spec().find_machine(d.cls.machine);
+          const spec::StateVar* sv =
+              m != nullptr ? m->find_state(evidence_attr[key]) : nullptr;
+          if (sv != nullptr && sv->initial.is_str()) {
+            enriched.outcome_by_member[sv->initial.as_str()] = d.cloud.code;
+          } else if (sv != nullptr && sv->initial.is_bool()) {
+            enriched.outcome_by_member[sv->initial.as_bool() ? "true" : "false"] =
+                d.cloud.code;
+          }
+        }
+        auto action = repairer.repair_state_check(d.cls.machine, d.cls.transition,
+                                                  evidence_attr[key], enriched);
+        state_checked[key] = true;
+        if (action) {
+          report.log.push_back("  repair: " + action->to_text());
+          report.repairs.push_back(std::move(*action));
+          ++repaired;
+        }
+      }
+    }
+
+    // Then: per-discrepancy repairs, re-verified against the evolving spec.
+    for (auto& d : found) {
+      GenTrace probe;
+      probe.trace = d.trace;
+      probe.cls = d.cls;
+      auto still = diff_trace(cloud_, emu_, probe);
+      if (!still) continue;  // an earlier repair already fixed it
+      Discrepancy current = std::move(*still);
+      current.cls = d.cls;
+      if (opts_.shrink) current = shrink(cloud_, emu_, std::move(current));
+      auto action = repairer.repair(current);
+      if (action) {
+        report.log.push_back("  repair: " + action->to_text());
+        report.repairs.push_back(std::move(*action));
+        ++repaired;
+      } else {
+        report.unrepaired.push_back(std::move(current));
+      }
+    }
+    stats.repairs = repaired;
+    report.rounds.push_back(stats);
+    if (repaired == 0) break;  // stuck: avoid spinning
+    report.unrepaired.clear(); // retry next round against the new spec
+  }
+  return report;
+}
+
+}  // namespace lce::align

@@ -1,0 +1,61 @@
+// The automated-alignment loop (paper §4.3 and Fig. 2's feedback edge):
+//
+//   repeat:
+//     symbolically generate high-coverage traces from the CURRENT spec
+//     run them on emulator + cloud, collect divergences
+//     shrink each divergence to a minimal reproducer
+//     diagnose (failure-site breadcrumbs + class metadata) and repair
+//   until no divergence or the round budget is exhausted.
+//
+// "This phase closes the loop, allowing the emulator to continuously and
+// autonomously improve its fidelity over time."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "align/differ.h"
+#include "align/repair.h"
+#include "align/trace_gen.h"
+#include "interp/interpreter.h"
+
+namespace lce::align {
+
+struct AlignmentOptions {
+  int max_rounds = 6;
+  bool shrink = true;
+  bool repair = true;  // false = detection-only (measurement mode)
+};
+
+struct RoundStats {
+  std::size_t traces = 0;
+  std::size_t api_calls = 0;       // per backend
+  std::size_t discrepancies = 0;
+  std::size_t repairs = 0;
+};
+
+struct AlignmentReport {
+  std::vector<RoundStats> rounds;
+  std::vector<RepairAction> repairs;
+  std::vector<Discrepancy> unrepaired;  // after the final round
+  bool converged = false;
+  std::vector<std::string> log;
+
+  std::size_t total_discrepancies() const;
+  std::size_t total_api_calls() const;
+};
+
+class AlignmentEngine {
+ public:
+  AlignmentEngine(interp::Interpreter& emulator, CloudBackend& cloud,
+                  AlignmentOptions opts = {});
+
+  AlignmentReport run();
+
+ private:
+  interp::Interpreter& emu_;
+  CloudBackend& cloud_;
+  AlignmentOptions opts_;
+};
+
+}  // namespace lce::align

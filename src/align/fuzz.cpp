@@ -1,0 +1,117 @@
+#include "align/fuzz.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace lce::align {
+
+namespace {
+
+const std::vector<std::string>& string_pool() {
+  static const std::vector<std::string> kPool = {
+      "10.0.0.0/16", "10.0.1.0/24", "10.0.0.0/29", "192.168.0.0/24", "not-a-cidr",
+      "us-east",     "us-west",     "eu-central",  "banana",         "default",
+      "dedicated",   "PROVISIONED", "value-x",
+  };
+  return kPool;
+}
+
+}  // namespace
+
+FuzzReport run_fuzz(CloudBackend& emulator, CloudBackend& cloud,
+                    const spec::SpecSet& spec, const FuzzOptions& opts) {
+  FuzzReport report;
+  Rng rng(opts.seed);
+  emulator.reset();
+  cloud.reset();
+
+  // Pools of ids known on BOTH backends, indexed in lockstep.
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>> pool;
+  std::set<std::string> seen;
+
+  // Flat list of (machine, transition) candidates, internal ones excluded.
+  struct Api {
+    const spec::StateMachine* m;
+    const spec::Transition* t;
+  };
+  std::vector<Api> apis;
+  for (const auto& m : spec.machines) {
+    for (const auto& t : m.transitions) {
+      if (ends_with(t.name, "BackRef")) continue;
+      apis.push_back(Api{&m, &t});
+    }
+  }
+  if (apis.empty()) return report;
+
+  for (std::size_t n = 0; n < opts.max_calls; ++n) {
+    const Api& api = apis[rng.uniform(apis.size())];
+    ApiRequest emu_req;
+    ApiRequest cloud_req;
+    emu_req.api = cloud_req.api = api.t->name;
+
+    auto random_ref = [&](const std::string& type, Value& emu_v, Value& cloud_v) {
+      auto it = pool.find(type);
+      if (it != pool.end() && !it->second.empty() && !rng.chance(0.1)) {
+        const auto& pair = it->second[rng.uniform(it->second.size())];
+        emu_v = Value::ref(pair.first);
+        cloud_v = Value::ref(pair.second);
+      } else {
+        emu_v = cloud_v = Value::ref("ghost-424242");
+      }
+    };
+
+    for (const auto& p : api.t->params) {
+      if (rng.chance(0.05)) continue;  // occasionally omit a param
+      Value ev;
+      Value cv;
+      switch (p.type.kind) {
+        case spec::TypeKind::kRef:
+          random_ref(p.type.ref_type, ev, cv);
+          break;
+        case spec::TypeKind::kBool:
+          ev = cv = Value(rng.chance(0.5));
+          break;
+        case spec::TypeKind::kInt:
+          ev = cv = Value(rng.range(-1, 70000));
+          break;
+        default:
+          ev = cv = Value(string_pool()[rng.uniform(string_pool().size())]);
+      }
+      emu_req.args[p.name] = ev;
+      cloud_req.args[p.name] = cv;
+    }
+    if (api.t->kind != spec::TransitionKind::kCreate) {
+      Value ev;
+      Value cv;
+      random_ref(api.m->name, ev, cv);
+      emu_req.args["id"] = ev;
+      cloud_req.args["id"] = cv;
+    }
+
+    ApiResponse er = emulator.invoke(emu_req);
+    ApiResponse cr = cloud.invoke(cloud_req);
+    ++report.calls_executed;
+
+    if (er.ok && cr.ok && api.t->kind == spec::TransitionKind::kCreate) {
+      const Value* ei = er.data.get("id");
+      const Value* ci = cr.data.get("id");
+      if (ei != nullptr && ci != nullptr) {
+        pool[api.m->name].emplace_back(ei->as_str(), ci->as_str());
+      }
+    }
+    // Keep stores in sync-ish: when only one side created, drop the orphan
+    // by ignoring it (pools only track both-sided resources).
+
+    if (!cr.aligned_with(er)) {
+      std::string key = strf(api.t->name, "/", cr.ok ? "ok" : cr.code, "-vs-",
+                             er.ok ? "ok" : er.code);
+      if (seen.insert(key).second) {
+        report.discoveries.emplace_back(key, report.calls_executed);
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace lce::align

@@ -1,0 +1,35 @@
+// Random API fuzzing baseline (paper §4.3: "randomly fuzzing the entire
+// emulator is inefficient"). Drives both backends in lockstep with random
+// calls and counts how many API invocations it takes to surface each
+// distinct behavioural discrepancy — the ablation bench compares this
+// curve against the symbolic generator's.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/api.h"
+#include "common/rng.h"
+#include "spec/ast.h"
+
+namespace lce::align {
+
+struct FuzzOptions {
+  std::uint64_t seed = 1;
+  std::size_t max_calls = 20000;
+};
+
+struct FuzzReport {
+  std::size_t calls_executed = 0;
+  /// Distinct divergences (api + ok-pattern + codes) with the call count
+  /// at which each was first seen.
+  std::vector<std::pair<std::string, std::size_t>> discoveries;
+};
+
+/// Fuzz `emulator` against `cloud` using the API surface of `spec`.
+FuzzReport run_fuzz(CloudBackend& emulator, CloudBackend& cloud,
+                    const spec::SpecSet& spec, const FuzzOptions& opts);
+
+}  // namespace lce::align

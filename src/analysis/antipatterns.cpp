@@ -1,0 +1,103 @@
+#include "analysis/antipatterns.h"
+
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace lce::analysis {
+
+std::string to_string(AntiPatternKind k) {
+  switch (k) {
+    case AntiPatternKind::kLongModifyChain: return "long-modify-chain";
+    case AntiPatternKind::kDeepContainment: return "deep-containment";
+    case AntiPatternKind::kWideCreate: return "wide-create";
+    case AntiPatternKind::kAmbiguousDoc: return "ambiguous-doc";
+    case AntiPatternKind::kAsymmetricLifecycle: return "asymmetric-lifecycle";
+    case AntiPatternKind::kOverloadedErrorCode: return "overloaded-error-code";
+  }
+  return "?";
+}
+
+std::string AntiPattern::to_text() const {
+  return strf("[", to_string(kind), "] ", subject, ": ", detail);
+}
+
+std::vector<AntiPattern> find_anti_patterns(const spec::SpecSet& spec,
+                                            const std::vector<docs::WrangleIssue>& doc_issues,
+                                            const AntiPatternOptions& opts) {
+  std::vector<AntiPattern> out;
+  std::map<std::string, std::size_t> code_uses;
+
+  for (const auto& m : spec.machines) {
+    bool has_destroy = false;
+    bool has_describe = false;
+    for (const auto& t : m.transitions) {
+      if (t.kind == spec::TransitionKind::kDestroy) has_destroy = true;
+      if (t.kind == spec::TransitionKind::kDescribe) has_describe = true;
+
+      std::size_t writes = 0;
+      std::size_t calls = 0;
+      std::function<void(const spec::Body&)> scan = [&](const spec::Body& body) {
+        for (const auto& s : body) {
+          if (s->kind == spec::StmtKind::kWrite) ++writes;
+          if (s->kind == spec::StmtKind::kCall) ++calls;
+          if (s->kind == spec::StmtKind::kAssert) ++code_uses[s->error_code];
+          scan(s->then_body);
+          scan(s->else_body);
+        }
+      };
+      scan(t.body);
+      if (t.kind == spec::TransitionKind::kModify &&
+          writes + calls > opts.modify_chain_threshold) {
+        out.push_back(AntiPattern{
+            AntiPatternKind::kLongModifyChain, strf(m.name, "::", t.name),
+            strf(writes, " writes + ", calls, " cross-machine calls in one modify()")});
+      }
+      if (t.kind == spec::TransitionKind::kCreate &&
+          t.params.size() > opts.create_param_threshold) {
+        out.push_back(AntiPattern{AntiPatternKind::kWideCreate, strf(m.name, "::", t.name),
+                                  strf(t.params.size(), " creation parameters")});
+      }
+    }
+    if ((!has_destroy || !has_describe) && !ends_with(m.name, "BackRef")) {
+      out.push_back(AntiPattern{
+          AntiPatternKind::kAsymmetricLifecycle, m.name,
+          strf("missing ", !has_destroy ? "destroy()" : "describe()", " API")});
+    }
+
+    // Containment depth.
+    std::size_t depth = 0;
+    const spec::StateMachine* cur = &m;
+    std::set<std::string> seen;
+    while (cur != nullptr && !cur->parent_type.empty() && seen.insert(cur->name).second) {
+      ++depth;
+      cur = spec.find_machine(cur->parent_type);
+    }
+    if (depth > opts.containment_depth_threshold) {
+      out.push_back(AntiPattern{AntiPatternKind::kDeepContainment, m.name,
+                                strf("containment chain of depth ", depth)});
+    }
+  }
+
+  for (const auto& [code, uses] : code_uses) {
+    if (uses > opts.error_code_reuse_threshold) {
+      out.push_back(AntiPattern{
+          AntiPatternKind::kOverloadedErrorCode, code,
+          strf("one error code mapped from ", uses,
+               " distinct checks (hard for client tooling to branch on)")});
+    }
+  }
+
+  std::map<std::string, std::size_t> issues_per_page;
+  for (const auto& i : doc_issues) ++issues_per_page[i.page_resource];
+  for (const auto& [page, n] : issues_per_page) {
+    out.push_back(AntiPattern{
+        AntiPatternKind::kAmbiguousDoc, page,
+        strf(n, " documentation lines the symbolic parser could not interpret")});
+  }
+  return out;
+}
+
+}  // namespace lce::analysis

@@ -1,0 +1,47 @@
+// Documentation engineering (paper §4.4): "detect potential design flaws
+// and anti-patterns. For instance, a modify() call that requires a long and
+// complex chain of actions updating multiple dependencies across resources
+// may indicate a poorly designed API; or, documentation that consistently
+// leads the AI to generate incorrect logic may be flagged as ambiguous."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "docs/wrangler.h"
+#include "spec/ast.h"
+
+namespace lce::analysis {
+
+enum class AntiPatternKind {
+  kLongModifyChain,     // modify touching many attrs / cross-machine calls
+  kDeepContainment,     // containment chains deeper than 3
+  kWideCreate,          // create() with an oversized parameter list
+  kAmbiguousDoc,        // pages the symbolic wrangler could not fully parse
+  kAsymmetricLifecycle, // resource lacking a destroy or describe
+  kOverloadedErrorCode, // one error code reused across many distinct checks
+};
+
+std::string to_string(AntiPatternKind k);
+
+struct AntiPattern {
+  AntiPatternKind kind;
+  std::string subject;  // machine / page
+  std::string detail;
+
+  std::string to_text() const;
+};
+
+struct AntiPatternOptions {
+  std::size_t modify_chain_threshold = 3;   // writes+calls per modify
+  std::size_t containment_depth_threshold = 3;
+  std::size_t create_param_threshold = 5;
+  std::size_t error_code_reuse_threshold = 12;
+};
+
+/// Scan a learned spec (plus optional wrangler issues) for anti-patterns.
+std::vector<AntiPattern> find_anti_patterns(
+    const spec::SpecSet& spec, const std::vector<docs::WrangleIssue>& doc_issues = {},
+    const AntiPatternOptions& opts = {});
+
+}  // namespace lce::analysis

@@ -1,0 +1,75 @@
+#include "analysis/complexity.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace lce::analysis {
+
+namespace {
+
+void count_body(const spec::Body& body, std::size_t& asserts, std::size_t& calls) {
+  for (const auto& s : body) {
+    if (s->kind == spec::StmtKind::kAssert) ++asserts;
+    if (s->kind == spec::StmtKind::kCall) ++calls;
+    count_body(s->then_body, asserts, calls);
+    count_body(s->else_body, asserts, calls);
+  }
+}
+
+}  // namespace
+
+std::vector<SmComplexity> measure_complexity(const spec::SpecSet& spec) {
+  std::vector<SmComplexity> out;
+  for (const auto& m : spec.machines) {
+    SmComplexity c;
+    c.machine = m.name;
+    c.service = m.service;
+    c.states = m.states.size();
+    c.transitions = m.transitions.size();
+    for (const auto& t : m.transitions) count_body(t.body, c.asserts, c.cross_machine_calls);
+    out.push_back(std::move(c));
+  }
+  return out;
+}
+
+std::map<std::string, std::vector<SmComplexity>> by_service(
+    const std::vector<SmComplexity>& rows) {
+  std::map<std::string, std::vector<SmComplexity>> out;
+  for (const auto& r : rows) out[r.service].push_back(r);
+  return out;
+}
+
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> values) {
+  std::vector<std::pair<double, double>> out;
+  if (values.empty()) return out;
+  std::sort(values.begin(), values.end());
+  double n = static_cast<double>(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    // Collapse ties: emit a point only at the last occurrence of a value.
+    if (i + 1 < values.size() && values[i + 1] == values[i]) continue;
+    out.emplace_back(values[i], static_cast<double>(i + 1) / n);
+  }
+  return out;
+}
+
+GraphMetrics measure_graph(const spec::SpecSet& spec) {
+  GraphMetrics gm;
+  auto graph = spec::DependencyGraph::build(spec);
+  gm.nodes = graph.node_count();
+  gm.edges = graph.edge_count();
+  gm.density = graph.edge_density();
+  // Deepest containment chain.
+  std::function<std::size_t(const std::string&, std::size_t)> depth_of =
+      [&](const std::string& name, std::size_t guard) -> std::size_t {
+    if (guard > spec.machines.size()) return 0;  // cycle safety
+    const spec::StateMachine* m = spec.find_machine(name);
+    if (m == nullptr || m->parent_type.empty()) return 1;
+    return 1 + depth_of(m->parent_type, guard + 1);
+  };
+  for (const auto& m : spec.machines) {
+    gm.containment_depth = std::max(gm.containment_depth, depth_of(m.name, 0));
+  }
+  return gm;
+}
+
+}  // namespace lce::analysis

@@ -1,0 +1,46 @@
+// Quantifying cloud complexity (paper §4.4 / Fig. 4): "the number of state
+// variables and transitions for a given state machine" plus graph-level
+// metrics over the extracted specification.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "spec/ast.h"
+#include "spec/graph.h"
+
+namespace lce::analysis {
+
+struct SmComplexity {
+  std::string machine;
+  std::string service;
+  std::size_t states = 0;
+  std::size_t transitions = 0;
+  std::size_t asserts = 0;
+  std::size_t cross_machine_calls = 0;
+
+  std::size_t total() const { return states + transitions; }
+};
+
+/// Per-machine complexity for the whole spec.
+std::vector<SmComplexity> measure_complexity(const spec::SpecSet& spec);
+
+/// Group complexity totals by service name.
+std::map<std::string, std::vector<SmComplexity>> by_service(
+    const std::vector<SmComplexity>& rows);
+
+/// Empirical CDF of the given values: points (x, P[X <= x]), x ascending.
+std::vector<std::pair<double, double>> empirical_cdf(std::vector<double> values);
+
+/// Graph-level metrics (§4.4: "number of nodes, edge density").
+struct GraphMetrics {
+  std::size_t nodes = 0;
+  std::size_t edges = 0;
+  double density = 0.0;
+  std::size_t containment_depth = 0;  // deepest parent chain
+};
+
+GraphMetrics measure_graph(const spec::SpecSet& spec);
+
+}  // namespace lce::analysis

@@ -1,0 +1,103 @@
+#include "analysis/multicloud.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace lce::analysis {
+
+namespace {
+
+using docs::ApiCategory;
+using docs::ApiModel;
+using docs::ConstraintKind;
+using docs::ResourceModel;
+
+const ApiModel* api_of_category(const ResourceModel& r, ApiCategory c) {
+  for (const auto& a : r.apis) {
+    if (a.category == c) return &a;
+  }
+  return nullptr;
+}
+
+CheckDelta compare_apis(const ApiModel& a, const ApiModel& b) {
+  CheckDelta d;
+  d.api_pair = strf(a.name, " vs ", b.name);
+  std::map<ConstraintKind, std::pair<int, int>> a_bounds;
+  std::map<ConstraintKind, std::pair<int, int>> b_bounds;
+  std::set<ConstraintKind> a_kinds;
+  std::set<ConstraintKind> b_kinds;
+  for (const auto& c : a.constraints) {
+    a_kinds.insert(c.kind);
+    a_bounds[c.kind] = {c.int_lo, c.int_hi};
+  }
+  for (const auto& c : b.constraints) {
+    b_kinds.insert(c.kind);
+    b_bounds[c.kind] = {c.int_lo, c.int_hi};
+  }
+  for (ConstraintKind k : a_kinds) {
+    if (b_kinds.count(k) != 0) {
+      d.shared.push_back(to_string(k));
+      if (a_bounds[k] != b_bounds[k] &&
+          (k == ConstraintKind::kCidrPrefixRange || k == ConstraintKind::kIntRange)) {
+        d.bound_diffs.push_back(strf(to_string(k), ": [", a_bounds[k].first, ",",
+                                     a_bounds[k].second, "] vs [", b_bounds[k].first, ",",
+                                     b_bounds[k].second, "]"));
+      }
+    } else {
+      d.a_only.push_back(to_string(k));
+    }
+  }
+  for (ConstraintKind k : b_kinds) {
+    if (a_kinds.count(k) == 0) d.b_only.push_back(to_string(k));
+  }
+  return d;
+}
+
+}  // namespace
+
+double ResourceComparison::portability() const {
+  std::size_t shared = 0;
+  std::size_t total = 0;
+  for (const auto& d : deltas) {
+    shared += d.shared.size();
+    total += d.shared.size() + d.a_only.size() + d.b_only.size();
+  }
+  if (total == 0) return 1.0;
+  return static_cast<double>(shared) / static_cast<double>(total);
+}
+
+double MultiCloudReport::mean_portability() const {
+  if (comparisons.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& c : comparisons) sum += c.portability();
+  return sum / static_cast<double>(comparisons.size());
+}
+
+MultiCloudReport compare_providers(
+    const docs::CloudCatalog& a, const docs::CloudCatalog& b,
+    const std::vector<std::pair<std::string, std::string>>& pairs) {
+  MultiCloudReport report;
+  report.provider_a = a.provider;
+  report.provider_b = b.provider;
+  for (const auto& [an, bn] : pairs) {
+    const ResourceModel* ra = a.find_resource(an);
+    const ResourceModel* rb = b.find_resource(bn);
+    if (ra == nullptr || rb == nullptr) continue;
+    ResourceComparison cmp;
+    cmp.a_resource = an;
+    cmp.b_resource = bn;
+    for (ApiCategory cat : {ApiCategory::kCreate, ApiCategory::kDestroy,
+                            ApiCategory::kModify}) {
+      const ApiModel* aa = api_of_category(*ra, cat);
+      const ApiModel* bb = api_of_category(*rb, cat);
+      if (aa != nullptr && bb != nullptr) cmp.deltas.push_back(compare_apis(*aa, *bb));
+    }
+    report.comparisons.push_back(std::move(cmp));
+  }
+  return report;
+}
+
+}  // namespace lce::analysis

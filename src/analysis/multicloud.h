@@ -1,0 +1,46 @@
+// Multi-cloud comparison (paper §4.4): "formal, automated comparisons of
+// equivalent services — e.g., whether Azure's CreateVM() requires the same
+// dependency checks as AWS's RunInstance()". Works at the documented-model
+// level: for each equivalent resource pair, compare the constraint kinds
+// (and numeric bounds) of the matching lifecycle APIs.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "docs/model.h"
+
+namespace lce::analysis {
+
+struct CheckDelta {
+  std::string api_pair;                 // "CreateSubnet vs PutVnetSubnet"
+  std::vector<std::string> shared;      // constraint kinds both enforce
+  std::vector<std::string> a_only;      // provider A enforces, B does not
+  std::vector<std::string> b_only;
+  std::vector<std::string> bound_diffs; // same kind, different numeric bounds
+};
+
+struct ResourceComparison {
+  std::string a_resource;
+  std::string b_resource;
+  std::vector<CheckDelta> deltas;
+
+  /// Portability score in [0,1]: shared checks / all checks across pairs.
+  double portability() const;
+};
+
+struct MultiCloudReport {
+  std::string provider_a;
+  std::string provider_b;
+  std::vector<ResourceComparison> comparisons;
+
+  double mean_portability() const;
+};
+
+/// Compare equivalent resources across two catalogs. `pairs` maps A-side
+/// resource names to B-side ones.
+MultiCloudReport compare_providers(
+    const docs::CloudCatalog& a, const docs::CloudCatalog& b,
+    const std::vector<std::pair<std::string, std::string>>& pairs);
+
+}  // namespace lce::analysis

@@ -1,0 +1,16 @@
+#include "baselines/d2c.h"
+
+#include "synth/synthesizer.h"
+
+namespace lce::baselines {
+
+std::unique_ptr<interp::Interpreter> make_d2c_backend(const docs::DocCorpus& corpus,
+                                                      std::uint64_t seed) {
+  auto result = synth::synthesize_d2c(corpus, seed);
+  interp::InterpreterOptions opts;
+  opts.hierarchy_guards = false;  // no framework safety net in direct code
+  opts.name = "d2c-emulator";
+  return std::make_unique<interp::Interpreter>(std::move(result.spec), opts);
+}
+
+}  // namespace lce::baselines

@@ -1,0 +1,20 @@
+// The direct-to-code (D2C) baseline backend (paper §5): an emulator
+// generated straight from the docs without the SM grammar's protections.
+// The spec comes from synth::synthesize_d2c(); the interpreter runs it with
+// the built-in hierarchy guards DISABLED (unconstrained generated code has
+// no such framework net).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "docs/render.h"
+#include "interp/interpreter.h"
+
+namespace lce::baselines {
+
+/// Build the D2C emulator backend from rendered documentation.
+std::unique_ptr<interp::Interpreter> make_d2c_backend(const docs::DocCorpus& corpus,
+                                                      std::uint64_t seed = 1);
+
+}  // namespace lce::baselines

@@ -1,0 +1,55 @@
+// The manually-engineered emulator baseline ("Moto-like"). Reproduces the
+// two limitations the paper measures in §2:
+//
+//  * Coverage (Table 1): only a prioritized subset of each service's APIs
+//    is implemented — EC2 177/571, DynamoDB 39/57, Network Firewall 5/45,
+//    EKS 15/58 — everything else returns NotImplemented. Priority order
+//    is create < describe < destroy < modify < action, then catalog
+//    order, which reproduces the paper's anecdote that Network Firewall
+//    has CreateFirewall() but not DeleteFirewall().
+//
+//  * Correctness: known Moto bugs are present — DeleteVpc() succeeds even
+//    when an InternetGateway is attached ("DependencyViolation" expected),
+//    and StartInstances() on a running instance silently succeeds.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+
+#include "cloud/reference_cloud.h"
+#include "common/api.h"
+#include "docs/model.h"
+
+namespace lce::baselines {
+
+struct MotoLikeOptions {
+  /// Per-service API budget (service name -> implemented API count).
+  std::map<std::string, std::size_t> coverage = {
+      {"ec2", 177}, {"dynamodb", 39}, {"network-firewall", 5}, {"eks", 15}};
+  /// Known behavioural bugs (on by default; the real Moto has them).
+  bool delete_vpc_dependency_bug = true;
+  bool start_instance_silent_bug = true;
+  std::string name = "moto-like";
+};
+
+class MotoLike final : public CloudBackend {
+ public:
+  explicit MotoLike(docs::CloudCatalog catalog, MotoLikeOptions opts = {});
+
+  std::string name() const override { return opts_.name; }
+  ApiResponse invoke(const ApiRequest& req) override;
+  void reset() override;
+  bool supports(const std::string& api) const override;
+  Value snapshot() const override { return inner_.snapshot(); }
+
+  const std::set<std::string>& implemented_apis() const { return implemented_; }
+
+ private:
+  MotoLikeOptions opts_;
+  cloud::ReferenceCloud inner_;
+  std::set<std::string> implemented_;
+};
+
+}  // namespace lce::baselines

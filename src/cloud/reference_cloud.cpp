@@ -1,0 +1,322 @@
+#include "cloud/reference_cloud.h"
+
+#include <optional>
+
+#include "common/cidr.h"
+#include "common/errors.h"
+#include "common/strings.h"
+#include "docs/literals.h"
+
+namespace lce::cloud {
+
+namespace {
+
+using docs::ApiCategory;
+using docs::ApiModel;
+using docs::ConstraintKind;
+using docs::ConstraintModel;
+using docs::EffectKind;
+using docs::FieldType;
+using docs::ResourceModel;
+using interp::Resource;
+using interp::ResourceStore;
+
+ApiResponse fail(std::string_view code,
+                 const std::vector<std::pair<std::string, std::string>>& fields) {
+  return ApiResponse::failure(std::string(code),
+                              ErrorRegistry::instance().render_message(code, fields));
+}
+
+class Call {
+ public:
+  Call(const docs::CloudCatalog& catalog, const ReferenceCloudOptions& opts,
+       ResourceStore& store)
+      : catalog_(catalog), opts_(opts), store_(store) {}
+
+  ApiResponse run(const ApiRequest& req) {
+    const ResourceModel* resource = catalog_.find_api_owner(req.api);
+    const ApiModel* api = resource != nullptr ? resource->find_api(req.api) : nullptr;
+    if (resource == nullptr || api == nullptr) {
+      return fail(errc::kInvalidAction, {{"api", req.api}});
+    }
+
+    // 1. Parameter presence and type validation, in declared order.
+    for (const auto& p : api->params) {
+      auto it = req.args.find(p.name);
+      if (it == req.args.end()) {
+        if (p.required) return fail(errc::kMissingParameter, {{"param", p.name}});
+        continue;
+      }
+      if (!it->second.is_null() &&
+          !docs::value_admits(p.type, p.enum_members, it->second)) {
+        return fail(errc::kInvalidParameterValue,
+                    {{"param", p.name}, {"value", it->second.to_text()}});
+      }
+    }
+
+    // 2. Target resolution.
+    Resource* self = nullptr;
+    if (api->category != ApiCategory::kCreate) {
+      std::string id = !req.target.empty()              ? req.target
+                       : req.args.count("id") != 0      ? req.args.at("id").as_str()
+                                                        : "";
+      self = store_.find(id);
+      if (self == nullptr || self->type != resource->name) {
+        return fail(errc::kResourceNotFound,
+                    {{"resource", resource->name}, {"id", id.empty() ? "(none)" : id}});
+      }
+    }
+
+    // 3. Implicit ref-existence validation (the real cloud rejects calls
+    //    naming resources that do not exist or have the wrong type).
+    for (const auto& p : api->params) {
+      if (p.type != FieldType::kRef) continue;
+      auto it = req.args.find(p.name);
+      if (it == req.args.end() || it->second.is_null()) continue;
+      const Resource* target = store_.find(it->second.as_str());
+      if (target == nullptr ||
+          (!p.ref_type.empty() && target->type != p.ref_type)) {
+        return fail(errc::kResourceNotFound,
+                    {{"resource", p.ref_type.empty() ? "resource" : p.ref_type},
+                     {"id", it->second.as_str()}});
+      }
+    }
+
+    // 4. Behavioural constraints, in catalog order (documented or not —
+    //    this is the real cloud).
+    for (const auto& c : api->constraints) {
+      if (auto resp = check_constraint(*resource, *api, c, self, req)) return *resp;
+    }
+
+    // 5. Universal containment-reclamation guard on destroy.
+    if (api->category == ApiCategory::kDestroy && opts_.universal_reclaim_guard &&
+        store_.child_count(self->id) != 0) {
+      return fail(errc::kDependencyViolation,
+                  {{"resource", resource->name}, {"id", self->id}});
+    }
+
+    // 6. Effects.
+    if (api->category == ApiCategory::kCreate) {
+      Resource& r = store_.create(resource->name, resource->id_prefix);
+      for (const auto& a : resource->attrs) {
+        r.attrs[a.name] = docs::parse_literal(a.initial, a.type);
+      }
+      self = &r;
+    }
+    for (const auto& e : api->effects) {
+      apply_effect(e, *self, req);
+    }
+
+    // 7. Response payload (same conventions as the spec interpreter:
+    //    create/describe return full state; everything else returns {id}).
+    Value::Map data;
+    data["id"] = Value::ref(self->id);
+    if (api->category == ApiCategory::kCreate ||
+        api->category == ApiCategory::kDescribe) {
+      for (const auto& a : resource->attrs) {
+        auto it = self->attrs.find(a.name);
+        data[a.name] = it != self->attrs.end() ? it->second : Value();
+      }
+    }
+    if (api->category == ApiCategory::kDestroy) {
+      store_.destroy(self->id);
+    }
+    return ApiResponse::success(Value(std::move(data)));
+  }
+
+ private:
+  Value arg_or_null(const ApiRequest& req, const std::string& name) const {
+    auto it = req.args.find(name);
+    return it == req.args.end() ? Value() : it->second;
+  }
+
+  /// The parent a create call will attach under (from its kLinkParent
+  /// effect), or the existing parent for non-create calls.
+  const Resource* intended_parent(const ApiModel& api, const Resource* self,
+                                  const ApiRequest& req) const {
+    if (self != nullptr && !self->parent_id.empty()) return store_.find(self->parent_id);
+    for (const auto& e : api.effects) {
+      if (e.kind == EffectKind::kLinkParent) {
+        Value v = arg_or_null(req, e.param);
+        if (v.is_ref()) return store_.find(v.as_str());
+      }
+    }
+    return nullptr;
+  }
+
+  std::optional<ApiResponse> check_constraint(const ResourceModel& resource,
+                                              const ApiModel& api,
+                                              const ConstraintModel& c,
+                                              const Resource* self,
+                                              const ApiRequest& req) {
+    auto violated = [&](std::string_view value_text) -> std::optional<ApiResponse> {
+      return fail(c.error_code, {{"resource", resource.name},
+                                 {"id", self != nullptr ? self->id : "(new)"},
+                                 {"api", api.name},
+                                 {"param", c.param},
+                                 {"value", std::string(value_text)},
+                                 {"attr", c.attr},
+                                 {"state", self_attr_text(self, c.attr)}});
+    };
+
+    switch (c.kind) {
+      case ConstraintKind::kEnumDomain: {
+        Value v = arg_or_null(req, c.param);
+        if (v.is_null()) return std::nullopt;  // optional param not given
+        for (const auto& m : c.str_vals) {
+          if (v.is_str() && v.as_str() == m) return std::nullopt;
+        }
+        return violated(v.to_text());
+      }
+      case ConstraintKind::kCidrValid: {
+        Value v = arg_or_null(req, c.param);
+        if (Cidr::parse(v.as_str())) return std::nullopt;
+        return violated(v.as_str());
+      }
+      case ConstraintKind::kCidrPrefixRange: {
+        auto cidr = Cidr::parse(arg_or_null(req, c.param).as_str());
+        if (cidr && cidr->prefix_len() >= c.int_lo && cidr->prefix_len() <= c.int_hi) {
+          return std::nullopt;
+        }
+        return violated(arg_or_null(req, c.param).as_str());
+      }
+      case ConstraintKind::kCidrWithinParent: {
+        auto inner = Cidr::parse(arg_or_null(req, c.param).as_str());
+        const Resource* parent = intended_parent(api, self, req);
+        if (parent == nullptr) return std::nullopt;
+        auto it = parent->attrs.find(c.attr);
+        auto outer = it != parent->attrs.end() ? Cidr::parse(it->second.as_str())
+                                               : std::nullopt;
+        if (inner && outer && outer->contains(*inner)) return std::nullopt;
+        return violated(arg_or_null(req, c.param).as_str());
+      }
+      case ConstraintKind::kNoSiblingOverlap: {
+        auto mine = Cidr::parse(arg_or_null(req, c.param).as_str());
+        if (!mine) return std::nullopt;  // malformed handled elsewhere
+        const Resource* parent = intended_parent(api, self, req);
+        std::string parent_id = parent != nullptr ? parent->id : "";
+        for (const auto& sid : store_.children_of(parent_id, resource.name)) {
+          if (self != nullptr && sid == self->id) continue;
+          const Resource* sib = store_.find(sid);
+          auto it = sib->attrs.find(c.attr);
+          if (it == sib->attrs.end()) continue;
+          auto theirs = Cidr::parse(it->second.as_str());
+          if (theirs && mine->overlaps(*theirs)) {
+            return violated(arg_or_null(req, c.param).as_str());
+          }
+        }
+        return std::nullopt;
+      }
+      case ConstraintKind::kAttrEquals:
+      case ConstraintKind::kAttrNotEquals: {
+        if (self == nullptr) return std::nullopt;
+        auto it = self->attrs.find(c.attr);
+        Value actual = it != self->attrs.end() ? it->second : Value();
+        const docs::AttrModel* am = resource.find_attr(c.attr);
+        Value expected = docs::parse_literal(c.str_vals.empty() ? "" : c.str_vals[0],
+                                             am != nullptr ? am->type : FieldType::kStr);
+        bool equal = actual == expected;
+        if ((c.kind == ConstraintKind::kAttrEquals) == equal) return std::nullopt;
+        return violated(actual.to_text());
+      }
+      case ConstraintKind::kRefAttrMatchesSelf: {
+        if (self == nullptr) return std::nullopt;
+        Value v = arg_or_null(req, c.param);
+        if (!v.is_ref()) return std::nullopt;
+        const Resource* target = store_.find(v.as_str());
+        if (target == nullptr) return std::nullopt;  // existence checked earlier
+        auto ti = target->attrs.find(c.attr);
+        auto si = self->attrs.find(c.attr);
+        Value tv = ti != target->attrs.end() ? ti->second : Value();
+        Value sv = si != self->attrs.end() ? si->second : Value();
+        if (tv == sv) return std::nullopt;
+        return violated(tv.to_text());
+      }
+      case ConstraintKind::kAttrNull: {
+        if (self == nullptr) return std::nullopt;
+        auto it = self->attrs.find(c.attr);
+        if (it == self->attrs.end() || it->second.is_null()) return std::nullopt;
+        return violated(it->second.to_text());
+      }
+      case ConstraintKind::kAttrTrueRequires: {
+        Value v = arg_or_null(req, c.param);
+        if (!v.is_bool() || !v.as_bool()) return std::nullopt;
+        if (self == nullptr) return std::nullopt;
+        auto it = self->attrs.find(c.attr);
+        if (it != self->attrs.end() && it->second.truthy()) return std::nullopt;
+        return violated("true");
+      }
+      case ConstraintKind::kChildrenReclaimed: {
+        if (self == nullptr || store_.child_count(self->id) == 0) return std::nullopt;
+        return violated(std::to_string(store_.child_count(self->id)));
+      }
+      case ConstraintKind::kIntRange: {
+        Value v = arg_or_null(req, c.param);
+        if (v.is_null()) return std::nullopt;
+        if (v.is_int() && v.as_int() >= c.int_lo && v.as_int() <= c.int_hi) {
+          return std::nullopt;
+        }
+        return violated(v.to_text());
+      }
+    }
+    return std::nullopt;
+  }
+
+  static std::string self_attr_text(const Resource* self, const std::string& attr) {
+    if (self == nullptr) return "";
+    auto it = self->attrs.find(attr);
+    return it == self->attrs.end() ? "" : it->second.to_text();
+  }
+
+  void apply_effect(const docs::EffectModel& e, Resource& self, const ApiRequest& req) {
+    switch (e.kind) {
+      case EffectKind::kWriteParam:
+        self.attrs[e.attr] = arg_or_null(req, e.param);
+        return;
+      case EffectKind::kWriteConst:
+        self.attrs[e.attr] = docs::parse_literal(
+            e.literal, e.literal_type == FieldType::kEnum ? FieldType::kStr
+                                                          : e.literal_type);
+        return;
+      case EffectKind::kLinkParent: {
+        Value v = arg_or_null(req, e.param);
+        if (v.is_ref()) store_.attach(self.id, v.as_str());
+        return;
+      }
+      case EffectKind::kSetRef: {
+        Value v = arg_or_null(req, e.param);
+        self.attrs[e.attr] = v;
+        if (!e.target_attr.empty() && v.is_ref()) {
+          if (Resource* target = store_.find(v.as_str())) {
+            target->attrs[e.target_attr] = Value::ref(self.id);
+          }
+        }
+        return;
+      }
+      case EffectKind::kClearAttr:
+        self.attrs[e.attr] = Value();
+        return;
+    }
+  }
+
+  const docs::CloudCatalog& catalog_;
+  const ReferenceCloudOptions& opts_;
+  ResourceStore& store_;
+};
+
+}  // namespace
+
+ReferenceCloud::ReferenceCloud(docs::CloudCatalog catalog, ReferenceCloudOptions opts)
+    : catalog_(std::move(catalog)), opts_(std::move(opts)) {}
+
+ApiResponse ReferenceCloud::invoke(const ApiRequest& req) {
+  return Call(catalog_, opts_, store_).run(req);
+}
+
+void ReferenceCloud::reset() { store_.clear(); }
+
+bool ReferenceCloud::supports(const std::string& api) const {
+  return catalog_.find_api_owner(api) != nullptr;
+}
+
+}  // namespace lce::cloud

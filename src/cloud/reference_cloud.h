@@ -1,0 +1,43 @@
+// The reference cloud: a high-fidelity simulator standing in for the real
+// AWS/Azure control plane (see DESIGN.md substitutions). It executes the
+// *true* catalog — including behaviours the documentation omits — and is
+// the black-box oracle the alignment phase tests against. It never shares
+// code with the learned emulator's interpreter beyond the resource store,
+// so differential testing compares genuinely independent implementations.
+#pragma once
+
+#include <string>
+
+#include "common/api.h"
+#include "docs/model.h"
+#include "interp/store.h"
+
+namespace lce::cloud {
+
+struct ReferenceCloudOptions {
+  std::string name = "reference-cloud";
+  /// The real cloud universally refuses to delete resources that still
+  /// contain children, whether or not the docs say so per-API.
+  bool universal_reclaim_guard = true;
+};
+
+class ReferenceCloud final : public CloudBackend {
+ public:
+  explicit ReferenceCloud(docs::CloudCatalog catalog, ReferenceCloudOptions opts = {});
+
+  std::string name() const override { return opts_.name; }
+  ApiResponse invoke(const ApiRequest& req) override;
+  void reset() override;
+  bool supports(const std::string& api) const override;
+  Value snapshot() const override { return store_.snapshot(); }
+
+  const docs::CloudCatalog& catalog() const { return catalog_; }
+  interp::ResourceStore& store() { return store_; }
+
+ private:
+  docs::CloudCatalog catalog_;
+  ReferenceCloudOptions opts_;
+  interp::ResourceStore store_;
+};
+
+}  // namespace lce::cloud

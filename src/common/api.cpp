@@ -1,0 +1,142 @@
+#include "common/api.h"
+
+#include "common/strings.h"
+
+namespace lce {
+
+std::string ApiRequest::to_text() const {
+  std::string out = api + "(";
+  bool first = true;
+  for (const auto& [k, v] : args) {
+    if (!first) out += ", ";
+    first = false;
+    out += k + "=" + v.to_text();
+  }
+  out += ")";
+  if (!target.empty()) out += " @" + target;
+  return out;
+}
+
+ApiResponse ApiResponse::success(Value data) {
+  ApiResponse r;
+  r.ok = true;
+  r.data = std::move(data);
+  return r;
+}
+
+ApiResponse ApiResponse::failure(std::string code, std::string message) {
+  ApiResponse r;
+  r.ok = false;
+  r.code = std::move(code);
+  r.message = std::move(message);
+  return r;
+}
+
+namespace {
+// Compare payloads treating any two ref values as equal: backends mint
+// different id text for the same logical resource.
+bool data_equivalent(const Value& a, const Value& b) {
+  if (a.is_ref() && b.is_ref()) return true;
+  if (a.kind() != b.kind()) return false;
+  if (a.is_map()) {
+    const auto& ma = a.as_map();
+    const auto& mb = b.as_map();
+    if (ma.size() != mb.size()) return false;
+    auto ib = mb.begin();
+    for (auto ia = ma.begin(); ia != ma.end(); ++ia, ++ib) {
+      if (ia->first != ib->first) return false;
+      if (!data_equivalent(ia->second, ib->second)) return false;
+    }
+    return true;
+  }
+  if (a.is_list()) {
+    const auto& la = a.as_list();
+    const auto& lb = b.as_list();
+    if (la.size() != lb.size()) return false;
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      if (!data_equivalent(la[i], lb[i])) return false;
+    }
+    return true;
+  }
+  return a == b;
+}
+}  // namespace
+
+bool ApiResponse::aligned_with(const ApiResponse& o) const {
+  if (ok != o.ok) return false;
+  if (!ok) return code == o.code;
+  return data_equivalent(data, o.data);
+}
+
+std::string ApiResponse::to_text() const {
+  if (ok) return strf("OK ", data.to_text());
+  return strf("ERR ", code, ": ", message);
+}
+
+bool CloudBackend::supports(const std::string& api) const {
+  (void)api;
+  return true;
+}
+
+std::size_t Trace::add(std::string api, Value::Map args, std::string target) {
+  calls.push_back(ApiRequest{std::move(api), std::move(args), std::move(target)});
+  return calls.size() - 1;
+}
+
+namespace {
+// Resolve one "$k.field" placeholder; returns nullopt when `s` is not a
+// placeholder at all (so ordinary strings pass through untouched).
+std::optional<Value> resolve_one(const std::string& s,
+                                 const std::vector<ApiResponse>& prior) {
+  if (s.size() < 4 || s[0] != '$') return std::nullopt;
+  std::size_t dot = s.find('.');
+  if (dot == std::string::npos) return std::nullopt;
+  std::int64_t k = 0;
+  if (!parse_int(std::string_view(s).substr(1, dot - 1), k)) return std::nullopt;
+  if (k < 0 || static_cast<std::size_t>(k) >= prior.size()) return Value();
+  const ApiResponse& resp = prior[static_cast<std::size_t>(k)];
+  if (!resp.ok) return Value();
+  return resp.data.get_or(s.substr(dot + 1), Value());
+}
+
+Value resolve_value(const Value& v, const std::vector<ApiResponse>& prior) {
+  if (v.is_str() || v.is_ref()) {
+    if (auto r = resolve_one(v.as_str(), prior)) return *r;
+    return v;
+  }
+  if (v.is_list()) {
+    Value::List out;
+    out.reserve(v.as_list().size());
+    for (const auto& e : v.as_list()) out.push_back(resolve_value(e, prior));
+    return Value(std::move(out));
+  }
+  if (v.is_map()) {
+    Value::Map out;
+    for (const auto& [k, e] : v.as_map()) out.emplace(k, resolve_value(e, prior));
+    return Value(std::move(out));
+  }
+  return v;
+}
+}  // namespace
+
+ApiRequest resolve_placeholders(const ApiRequest& req,
+                                const std::vector<ApiResponse>& prior) {
+  ApiRequest out = req;
+  for (auto& [k, v] : out.args) v = resolve_value(v, prior);
+  if (auto r = resolve_one(out.target, prior)) {
+    out.target = (r->is_ref() || r->is_str()) ? r->as_str() : "";
+  }
+  return out;
+}
+
+std::vector<ApiResponse> run_trace(CloudBackend& backend, const Trace& trace) {
+  backend.reset();
+  std::vector<ApiResponse> out;
+  out.reserve(trace.calls.size());
+  for (const auto& call : trace.calls) {
+    out.push_back(backend.invoke(resolve_placeholders(call, out)));
+  }
+  return out;
+}
+
+}  // namespace lce

@@ -1,0 +1,91 @@
+// The cloud-facing API surface. Every backend in this repository — the
+// reference cloud (ground truth), the learned-spec interpreter, and both
+// baselines — implements `CloudBackend`, so alignment and accuracy scoring
+// are strictly black-box, mirroring the paper's methodology (§4.3).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace lce {
+
+/// One API invocation, e.g. CreateVpc(CidrBlock="10.0.0.0/16").
+struct ApiRequest {
+  std::string api;          // e.g. "CreateVpc"
+  Value::Map args;          // named arguments
+  std::string target;       // resource id for instance-scoped APIs ("" = none)
+
+  std::string to_text() const;
+};
+
+/// A backend's reply. Successful replies carry attributes (including the
+/// created resource id under "id"); failures carry a machine error `code`
+/// plus a free-form `message`. Per the paper (§4.3), alignment requires
+/// exact code matches while messages may differ in wording.
+struct ApiResponse {
+  bool ok = false;
+  std::string code;     // error code when !ok, e.g. "DependencyViolation"
+  std::string message;  // human-readable; never used for alignment decisions
+  Value data;           // response payload (map) when ok
+
+  static ApiResponse success(Value data = Value(Value::Map{}));
+  static ApiResponse failure(std::string code, std::string message);
+
+  /// True when `*this` and `o` agree for alignment purposes: same ok bit;
+  /// on failure, same code; on success, same data modulo resource ids
+  /// (refs compare positionally, not by literal id text).
+  bool aligned_with(const ApiResponse& o) const;
+
+  std::string to_text() const;
+};
+
+/// Uniform black-box interface over any cloud implementation.
+class CloudBackend {
+ public:
+  virtual ~CloudBackend() = default;
+
+  /// Name for reports, e.g. "reference-cloud", "learned-emulator".
+  virtual std::string name() const = 0;
+
+  /// Execute one API call against current state.
+  virtual ApiResponse invoke(const ApiRequest& req) = 0;
+
+  /// Drop all state (fresh account).
+  virtual void reset() = 0;
+
+  /// True when this backend implements `api` at all (used for coverage
+  /// accounting, Table 1). Default: optimistically true.
+  virtual bool supports(const std::string& api) const;
+
+  /// Snapshot of all live resources for state comparison:
+  /// map: resource-id -> {type, attrs...}. Backends that cannot enumerate
+  /// return an empty map (treated as "no state claim").
+  virtual Value snapshot() const { return Value(Value::Map{}); }
+};
+
+/// A trace is an ordered list of API calls; the unit of alignment testing.
+///
+/// Traces are backend-portable: an argument (or target) written as the
+/// string "$<k>.<field>" is substituted at run time with `field` from the
+/// k-th call's response on *this* backend (ids differ across backends).
+/// "$<k>.id" is the common case — the id of the resource call k created.
+struct Trace {
+  std::string label;
+  std::vector<ApiRequest> calls;
+
+  /// Append a call and return its index (for later "$k.id" references).
+  std::size_t add(std::string api, Value::Map args = {}, std::string target = "");
+};
+
+/// Run `trace` against `backend` from a reset state; returns one response
+/// per call. Placeholders referencing failed calls resolve to null.
+std::vector<ApiResponse> run_trace(CloudBackend& backend, const Trace& trace);
+
+/// Substitute "$k.field" placeholders in `req` given prior responses.
+ApiRequest resolve_placeholders(const ApiRequest& req,
+                                const std::vector<ApiResponse>& prior);
+
+}  // namespace lce

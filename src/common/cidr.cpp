@@ -1,0 +1,69 @@
+#include "common/cidr.h"
+
+#include "common/strings.h"
+
+namespace lce {
+
+namespace {
+std::uint32_t mask_for(int prefix_len) {
+  if (prefix_len <= 0) return 0;
+  if (prefix_len >= 32) return 0xFFFFFFFFu;
+  return ~((1u << (32 - prefix_len)) - 1u);
+}
+}  // namespace
+
+std::optional<Ipv4Addr> Ipv4Addr::parse(std::string_view text) {
+  auto parts = split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  std::uint32_t bits = 0;
+  for (const auto& p : parts) {
+    std::int64_t octet = 0;
+    if (p.empty() || p.size() > 3 || !parse_int(p, octet)) return std::nullopt;
+    if (octet < 0 || octet > 255) return std::nullopt;
+    bits = (bits << 8) | static_cast<std::uint32_t>(octet);
+  }
+  return Ipv4Addr(bits);
+}
+
+std::string Ipv4Addr::to_string() const {
+  return strf((bits_ >> 24) & 0xFF, ".", (bits_ >> 16) & 0xFF, ".", (bits_ >> 8) & 0xFF, ".",
+              bits_ & 0xFF);
+}
+
+Cidr::Cidr(Ipv4Addr base, int prefix_len)
+    : base_(Ipv4Addr(base.bits() & mask_for(prefix_len))), prefix_len_(prefix_len) {}
+
+std::optional<Cidr> Cidr::parse(std::string_view text) {
+  std::size_t slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  auto addr = Ipv4Addr::parse(text.substr(0, slash));
+  if (!addr) return std::nullopt;
+  std::int64_t len = 0;
+  if (!parse_int(text.substr(slash + 1), len)) return std::nullopt;
+  if (len < 0 || len > 32) return std::nullopt;
+  return Cidr(*addr, static_cast<int>(len));
+}
+
+bool Cidr::contains(Ipv4Addr a) const {
+  return (a.bits() & mask_for(prefix_len_)) == base_.bits();
+}
+
+bool Cidr::contains(const Cidr& inner) const {
+  return inner.prefix_len_ >= prefix_len_ && contains(inner.base_);
+}
+
+bool Cidr::overlaps(const Cidr& other) const {
+  return contains(other.base_) || other.contains(base_);
+}
+
+std::optional<Cidr> Cidr::subnet_at(int sub_prefix_len, std::uint64_t i) const {
+  if (sub_prefix_len < prefix_len_ || sub_prefix_len > 32) return std::nullopt;
+  std::uint64_t slots = 1ull << (sub_prefix_len - prefix_len_);
+  if (i >= slots) return std::nullopt;
+  std::uint64_t size = 1ull << (32 - sub_prefix_len);
+  return Cidr(Ipv4Addr(base_.bits() + static_cast<std::uint32_t>(i * size)), sub_prefix_len);
+}
+
+std::string Cidr::to_string() const { return strf(base_.to_string(), "/", prefix_len_); }
+
+}  // namespace lce

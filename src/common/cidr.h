@@ -1,0 +1,73 @@
+// IPv4 address and CIDR-block arithmetic. The reference cloud and the SM
+// predicate language both validate subnet/VPC addressing with these
+// primitives (AWS semantics: VPC blocks /16../28, subnets must nest inside
+// their VPC and must not overlap siblings).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace lce {
+
+/// A single IPv4 address held in host byte order.
+class Ipv4Addr {
+ public:
+  Ipv4Addr() = default;
+  explicit Ipv4Addr(std::uint32_t bits) : bits_(bits) {}
+
+  static std::optional<Ipv4Addr> parse(std::string_view text);
+
+  std::uint32_t bits() const { return bits_; }
+  std::string to_string() const;
+
+  bool operator==(const Ipv4Addr&) const = default;
+
+ private:
+  std::uint32_t bits_ = 0;
+};
+
+/// A CIDR block, e.g. "10.0.0.0/16". Stored normalized: host bits cleared.
+class Cidr {
+ public:
+  Cidr() = default;
+  Cidr(Ipv4Addr base, int prefix_len);
+
+  /// Parses "a.b.c.d/len". Rejects malformed text and prefix > 32.
+  /// Host bits set below the prefix are *accepted* and normalized away
+  /// (matching the lenient behaviour of cloud APIs).
+  static std::optional<Cidr> parse(std::string_view text);
+
+  Ipv4Addr base() const { return base_; }
+  int prefix_len() const { return prefix_len_; }
+  std::uint64_t num_addresses() const { return 1ull << (32 - prefix_len_); }
+  Ipv4Addr first() const { return base_; }
+  Ipv4Addr last() const {
+    return Ipv4Addr(base_.bits() + static_cast<std::uint32_t>(num_addresses() - 1));
+  }
+
+  bool contains(Ipv4Addr a) const;
+  /// True when `inner` lies entirely within *this.
+  bool contains(const Cidr& inner) const;
+  bool overlaps(const Cidr& other) const;
+
+  /// The i-th address inside the block (unchecked beyond size).
+  Ipv4Addr address_at(std::uint64_t i) const {
+    return Ipv4Addr(base_.bits() + static_cast<std::uint32_t>(i));
+  }
+
+  /// Carve the i-th sub-block of size `sub_prefix_len` out of this block.
+  /// Returns nullopt when it does not fit.
+  std::optional<Cidr> subnet_at(int sub_prefix_len, std::uint64_t i) const;
+
+  std::string to_string() const;
+
+  bool operator==(const Cidr&) const = default;
+
+ private:
+  Ipv4Addr base_;
+  int prefix_len_ = 0;
+};
+
+}  // namespace lce

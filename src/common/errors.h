@@ -1,0 +1,66 @@
+// Canonical cloud error-code registry. Error *codes* are part of the
+// machine contract (client tooling branches on them), so the registry keeps
+// one authoritative list shared by the reference cloud, the synthesized
+// specs, and the alignment scorer.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lce {
+
+/// Well-known error codes used across the corpus. Matching the AWS naming
+/// style the paper quotes ("DependencyViolation", "IncorrectInstanceState").
+namespace errc {
+inline constexpr std::string_view kDependencyViolation = "DependencyViolation";
+inline constexpr std::string_view kIncorrectInstanceState = "IncorrectInstanceState";
+inline constexpr std::string_view kInvalidParameterValue = "InvalidParameterValue";
+inline constexpr std::string_view kInvalidSubnetRange = "InvalidSubnet.Range";
+inline constexpr std::string_view kInvalidSubnetConflict = "InvalidSubnet.Conflict";
+inline constexpr std::string_view kInvalidVpcRange = "InvalidVpc.Range";
+inline constexpr std::string_view kResourceNotFound = "ResourceNotFoundException";
+inline constexpr std::string_view kResourceInUse = "ResourceInUseException";
+inline constexpr std::string_view kResourceAlreadyExists = "ResourceAlreadyExistsException";
+inline constexpr std::string_view kLimitExceeded = "LimitExceededException";
+inline constexpr std::string_view kInvalidState = "InvalidStateException";
+inline constexpr std::string_view kZoneMismatch = "InvalidZone.Mismatch";
+inline constexpr std::string_view kUnsupportedOperation = "UnsupportedOperation";
+inline constexpr std::string_view kInvalidAction = "InvalidAction";
+inline constexpr std::string_view kMissingParameter = "MissingParameter";
+inline constexpr std::string_view kValidationError = "ValidationError";
+inline constexpr std::string_view kInternalError = "InternalError";
+}  // namespace errc
+
+/// One registered error code with its default message template. Templates
+/// may contain {placeholders} filled by `render_message`.
+struct ErrorSpec {
+  std::string code;
+  std::string message_template;
+};
+
+/// Process-wide registry (append-only; seeded with the codes above).
+class ErrorRegistry {
+ public:
+  static ErrorRegistry& instance();
+
+  /// Register `code` if new; returns false when it already existed.
+  bool add(std::string code, std::string message_template);
+
+  bool known(std::string_view code) const;
+  std::optional<ErrorSpec> find(std::string_view code) const;
+  std::vector<std::string> all_codes() const;
+
+  /// Fill {name} placeholders in the code's template from pairs; unknown
+  /// codes yield a generic message.
+  std::string render_message(
+      std::string_view code,
+      const std::vector<std::pair<std::string, std::string>>& fields) const;
+
+ private:
+  ErrorRegistry();
+  std::vector<ErrorSpec> specs_;
+};
+
+}  // namespace lce

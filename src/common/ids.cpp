@@ -1,0 +1,24 @@
+#include "common/ids.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace lce {
+
+std::string IdGenerator::next(std::string_view prefix) {
+  auto it = counters_.find(prefix);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(prefix), 0).first;
+  }
+  ++it->second;
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%08llu", static_cast<unsigned long long>(it->second));
+  return strf(prefix, "-", buf);
+}
+
+std::string IdGenerator::prefix_for(std::string_view resource_type) {
+  return to_lower(resource_type);
+}
+
+}  // namespace lce

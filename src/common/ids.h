@@ -1,0 +1,27 @@
+// Resource-id minting in cloud style: "vpc-00000001", "subnet-00000002".
+// Counter-based so each backend produces a deterministic id sequence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+namespace lce {
+
+class IdGenerator {
+ public:
+  /// Mint the next id for a type prefix, e.g. next("vpc") -> "vpc-00000001".
+  std::string next(std::string_view prefix);
+
+  void reset() { counters_.clear(); }
+
+  /// Derive the conventional prefix for a resource-type name:
+  /// "Vpc" -> "vpc", "NetworkInterface" -> "eni"-less generic "networkinterface".
+  static std::string prefix_for(std::string_view resource_type);
+
+ private:
+  std::map<std::string, std::uint64_t, std::less<>> counters_;
+};
+
+}  // namespace lce

@@ -1,0 +1,51 @@
+// Deterministic seeded randomness. Everything stochastic in this repository
+// (doc-defect injection, the synthesizer's LLM noise model, the fuzzing
+// baseline, the cloud-gym agent) draws from SplitMix64 so every bench and
+// test is reproducible bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace lce {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next_u64() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n == 0 returns 0.
+  std::uint64_t uniform(std::uint64_t n) { return n == 0 ? 0 : next_u64() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    if (hi <= lo) return lo;
+    return lo + static_cast<std::int64_t>(uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double unit() { return static_cast<double>(next_u64() >> 11) * (1.0 / 9007199254740992.0); }
+
+  /// Bernoulli(p).
+  bool chance(double p) { return unit() < p; }
+
+  /// Uniformly pick an element (container must be non-empty).
+  template <typename C>
+  const typename C::value_type& pick(const C& c) {
+    return c[uniform(c.size())];
+  }
+
+  /// Fork an independent stream (for per-component determinism).
+  Rng fork() { return Rng(next_u64()); }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace lce

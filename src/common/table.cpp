@@ -1,0 +1,50 @@
+#include "common/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace lce {
+
+TextTable::TextTable(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(header_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      std::string cell = c < row.size() ? row[c] : "";
+      line += " " + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    return line + "\n";
+  };
+  std::string out = emit_row(header_);
+  std::string sep = "|";
+  for (std::size_t c = 0; c < header_.size(); ++c) sep += std::string(widths[c] + 2, '-') + "|";
+  out += sep + "\n";
+  for (const auto& row : rows_) out += emit_row(row);
+  return out;
+}
+
+std::string render_series(const std::string& title,
+                          const std::vector<std::pair<double, double>>& points) {
+  std::string out = title + "\n";
+  for (const auto& [x, y] : points) {
+    int bar = static_cast<int>(y * 40.0 + 0.5);
+    bar = std::clamp(bar, 0, 40);
+    out += strf("  x=", fixed(x, 1), "  y=", fixed(y, 3), "  ",
+                std::string(static_cast<std::size_t>(bar), '#'), "\n");
+  }
+  return out;
+}
+
+}  // namespace lce

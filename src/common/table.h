@@ -1,0 +1,28 @@
+// Plain-text table rendering for bench output (Table 1-style reports).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lce {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with column-width alignment and a header separator.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a CDF series as "x y" pairs plus a coarse ASCII plot, for the
+/// figure-reproducing benches (Fig. 3 / Fig. 4).
+std::string render_series(const std::string& title,
+                          const std::vector<std::pair<double, double>>& points);
+
+}  // namespace lce

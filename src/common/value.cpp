@@ -1,0 +1,194 @@
+#include "common/value.h"
+
+#include "common/strings.h"
+
+namespace lce {
+
+namespace {
+const Value::List kEmptyList;
+const Value::Map kEmptyMap;
+const std::string kEmptyStr;
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += '"';
+}
+}  // namespace
+
+std::string_view to_string(ValueKind k) {
+  switch (k) {
+    case ValueKind::kNull: return "null";
+    case ValueKind::kBool: return "bool";
+    case ValueKind::kInt: return "int";
+    case ValueKind::kStr: return "str";
+    case ValueKind::kRef: return "ref";
+    case ValueKind::kList: return "list";
+    case ValueKind::kMap: return "map";
+  }
+  return "?";
+}
+
+Value Value::ref(std::string id) {
+  Value v(std::move(id));
+  v.kind_ = ValueKind::kRef;
+  return v;
+}
+
+const std::string& Value::as_str() const {
+  return (is_str() || is_ref()) ? str_ : kEmptyStr;
+}
+
+const Value::List& Value::as_list() const { return is_list() ? list_ : kEmptyList; }
+const Value::Map& Value::as_map() const { return is_map() ? map_ : kEmptyMap; }
+
+Value::List& Value::mutable_list() {
+  if (!is_list()) {
+    kind_ = ValueKind::kList;
+    list_.clear();
+  }
+  return list_;
+}
+
+Value::Map& Value::mutable_map() {
+  if (!is_map()) {
+    kind_ = ValueKind::kMap;
+    map_.clear();
+  }
+  return map_;
+}
+
+const Value* Value::get(std::string_view key) const {
+  if (!is_map()) return nullptr;
+  auto it = map_.find(std::string(key));
+  if (it == map_.end()) return nullptr;
+  return &it->second;
+}
+
+Value Value::get_or(std::string_view key, Value def) const {
+  const Value* v = get(key);
+  return v != nullptr ? *v : std::move(def);
+}
+
+void Value::set(std::string key, Value v) { mutable_map()[std::move(key)] = std::move(v); }
+
+bool Value::truthy() const {
+  switch (kind_) {
+    case ValueKind::kNull: return false;
+    case ValueKind::kBool: return bool_;
+    case ValueKind::kInt: return int_ != 0;
+    case ValueKind::kStr:
+    case ValueKind::kRef: return !str_.empty();
+    case ValueKind::kList: return !list_.empty();
+    case ValueKind::kMap: return !map_.empty();
+  }
+  return false;
+}
+
+bool Value::operator==(const Value& o) const {
+  if (kind_ != o.kind_) return false;
+  switch (kind_) {
+    case ValueKind::kNull: return true;
+    case ValueKind::kBool: return bool_ == o.bool_;
+    case ValueKind::kInt: return int_ == o.int_;
+    case ValueKind::kStr:
+    case ValueKind::kRef: return str_ == o.str_;
+    case ValueKind::kList: return list_ == o.list_;
+    case ValueKind::kMap: return map_ == o.map_;
+  }
+  return false;
+}
+
+bool Value::operator<(const Value& o) const {
+  if (kind_ != o.kind_) return kind_ < o.kind_;
+  switch (kind_) {
+    case ValueKind::kNull: return false;
+    case ValueKind::kBool: return bool_ < o.bool_;
+    case ValueKind::kInt: return int_ < o.int_;
+    case ValueKind::kStr:
+    case ValueKind::kRef: return str_ < o.str_;
+    case ValueKind::kList: return list_ < o.list_;
+    case ValueKind::kMap: return map_ < o.map_;
+  }
+  return false;
+}
+
+std::string Value::to_text() const {
+  std::string out;
+  switch (kind_) {
+    case ValueKind::kNull: return "null";
+    case ValueKind::kBool: return bool_ ? "true" : "false";
+    case ValueKind::kInt: return std::to_string(int_);
+    case ValueKind::kStr: append_escaped(out, str_); return out;
+    case ValueKind::kRef: return "@" + str_;
+    case ValueKind::kList: {
+      out = "[";
+      for (std::size_t i = 0; i < list_.size(); ++i) {
+        if (i != 0) out += ",";
+        out += list_[i].to_text();
+      }
+      out += "]";
+      return out;
+    }
+    case ValueKind::kMap: {
+      out = "{";
+      bool first = true;
+      for (const auto& [k, v] : map_) {
+        if (!first) out += ",";
+        first = false;
+        append_escaped(out, k);
+        out += ":";
+        out += v.to_text();
+      }
+      out += "}";
+      return out;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> Value::diff(const Value& a, const Value& b, const std::string& path) {
+  std::vector<std::string> out;
+  if (a.kind() == ValueKind::kMap && b.kind() == ValueKind::kMap) {
+    for (const auto& [k, va] : a.as_map()) {
+      auto vb = b.get(k);
+      if (!vb) {
+        out.push_back(strf(path, ".", k, ": present vs missing"));
+      } else {
+        auto sub = diff(va, *vb, strf(path, ".", k));
+        out.insert(out.end(), sub.begin(), sub.end());
+      }
+    }
+    for (const auto& [k, vb] : b.as_map()) {
+      (void)vb;
+      if (!a.has(k)) out.push_back(strf(path, ".", k, ": missing vs present"));
+    }
+    return out;
+  }
+  if (a.kind() == ValueKind::kList && b.kind() == ValueKind::kList) {
+    const auto& la = a.as_list();
+    const auto& lb = b.as_list();
+    if (la.size() != lb.size()) {
+      out.push_back(strf(path, ": list size ", la.size(), " vs ", lb.size()));
+      return out;
+    }
+    for (std::size_t i = 0; i < la.size(); ++i) {
+      auto sub = diff(la[i], lb[i], strf(path, "[", i, "]"));
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+    return out;
+  }
+  if (!(a == b)) {
+    out.push_back(strf(path.empty() ? "." : path, ": ", a.to_text(), " vs ", b.to_text()));
+  }
+  return out;
+}
+
+}  // namespace lce

@@ -1,0 +1,104 @@
+// `Value` is the dynamic value type flowing through the whole system: cloud
+// resource attributes, API arguments, API response payloads, and the SM
+// interpreter's state variables. It is a JSON-like tagged union with ordered
+// maps (for deterministic printing and comparison).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lce {
+
+enum class ValueKind {
+  kNull,
+  kBool,
+  kInt,
+  kStr,   // also used for enum members and CIDR blocks
+  kRef,   // a resource identifier, e.g. "vpc-000001"
+  kList,
+  kMap,
+};
+
+std::string_view to_string(ValueKind k);
+
+class Value {
+ public:
+  using List = std::vector<Value>;
+  using Map = std::map<std::string, Value>;
+
+  Value() : kind_(ValueKind::kNull) {}
+  // NOLINTBEGIN(google-explicit-constructor): implicit conversions are the
+  // point of a dynamic value type.
+  Value(bool b) : kind_(ValueKind::kBool), bool_(b) {}
+  Value(std::int64_t i) : kind_(ValueKind::kInt), int_(i) {}
+  Value(int i) : kind_(ValueKind::kInt), int_(i) {}
+  Value(std::string s) : kind_(ValueKind::kStr), str_(std::move(s)) {}
+  Value(const char* s) : kind_(ValueKind::kStr), str_(s) {}
+  Value(List l) : kind_(ValueKind::kList), list_(std::move(l)) {}
+  Value(Map m) : kind_(ValueKind::kMap), map_(std::move(m)) {}
+  // NOLINTEND(google-explicit-constructor)
+
+  /// Make a resource-reference value (distinct kind from plain strings so
+  /// alignment can treat ids specially when diffing responses).
+  static Value ref(std::string id);
+  static Value null() { return Value(); }
+
+  ValueKind kind() const { return kind_; }
+  bool is_null() const { return kind_ == ValueKind::kNull; }
+  bool is_bool() const { return kind_ == ValueKind::kBool; }
+  bool is_int() const { return kind_ == ValueKind::kInt; }
+  bool is_str() const { return kind_ == ValueKind::kStr; }
+  bool is_ref() const { return kind_ == ValueKind::kRef; }
+  bool is_list() const { return kind_ == ValueKind::kList; }
+  bool is_map() const { return kind_ == ValueKind::kMap; }
+
+  /// Accessors assert the kind in debug builds; on mismatch they return a
+  /// zero value rather than UB (emulation code paths prefer robustness).
+  bool as_bool() const { return is_bool() ? bool_ : false; }
+  std::int64_t as_int() const { return is_int() ? int_ : 0; }
+  const std::string& as_str() const;  // str or ref
+  const List& as_list() const;
+  const Map& as_map() const;
+  List& mutable_list();
+  Map& mutable_map();
+
+  /// Map convenience: pointer into the map, nullptr when not a map or key
+  /// missing. (Pointer, not optional<Value>: callers chain `->as_list()`
+  /// etc., which must not reference a temporary.)
+  const Value* get(std::string_view key) const;
+  /// Map convenience with default.
+  Value get_or(std::string_view key, Value def) const;
+  bool has(std::string_view key) const { return get(key) != nullptr; }
+  void set(std::string key, Value v);
+
+  /// "Truthiness" used by predicates: null/false/0/"" are false.
+  bool truthy() const;
+
+  bool operator==(const Value& o) const;
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  /// Total order for use as container key and stable sorting.
+  bool operator<(const Value& o) const;
+
+  /// Compact JSON-ish rendering (refs rendered as @id).
+  std::string to_text() const;
+
+  /// Structural diff: returns human-readable paths that differ, e.g.
+  /// ".cidr_block: \"10.0.0.0/16\" vs \"10.0.0.0/24\"". Empty if equal.
+  static std::vector<std::string> diff(const Value& a, const Value& b,
+                                       const std::string& path = "");
+
+ private:
+  ValueKind kind_;
+  bool bool_ = false;
+  std::int64_t int_ = 0;
+  std::string str_;
+  List list_;
+  Map map_;
+};
+
+}  // namespace lce

@@ -1,0 +1,282 @@
+#include "core/scenarios.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace lce::core {
+
+std::vector<std::string> ScenarioSuite::scenario_names() const {
+  std::vector<std::string> out;
+  std::set<std::string> seen;
+  for (const auto& e : entries) {
+    if (seen.insert(e.scenario).second) out.push_back(e.scenario);
+  }
+  return out;
+}
+
+namespace {
+
+void add(ScenarioSuite& suite, std::string scenario, Trace trace) {
+  suite.entries.push_back(ScenarioSuite::Entry{std::move(scenario), std::move(trace)});
+}
+
+}  // namespace
+
+ScenarioSuite fig3_aws_suite() {
+  ScenarioSuite suite;
+
+  // ---------------------------------------------------- provisioning (4) --
+  {
+    // The paper's §5 basic-functionality DevOps program.
+    Trace t;
+    t.label = "provision/vpc-subnet-map-public-ip";
+    t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                           {"cidr_block", Value("10.0.1.0/24")},
+                           {"zone", Value("us-east")}});
+    t.add("ModifySubnetAttribute",
+          {{"id", Value("$1.id")}, {"map_public_ip_on_launch", Value(true)}});
+    t.add("DescribeSubnet", {{"id", Value("$1.id")}});
+    add(suite, "provisioning", std::move(t));
+  }
+  {
+    Trace t;
+    t.label = "provision/instance-launch";
+    t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                           {"cidr_block", Value("10.0.1.0/24")},
+                           {"zone", Value("us-east")}});
+    t.add("RunInstance",
+          {{"subnet", Value("$1.id")}, {"instance_type", Value("t3.micro")}});
+    t.add("DescribeInstance", {{"id", Value("$2.id")}});
+    add(suite, "provisioning", std::move(t));
+  }
+  {
+    Trace t;
+    t.label = "provision/network-firewall";
+    t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    t.add("CreateFirewallPolicy", {});
+    t.add("CreateFirewall", {{"vpc", Value("$0.id")}, {"policy", Value("$1.id")}});
+    t.add("DescribeFirewall", {{"id", Value("$2.id")}});
+    add(suite, "provisioning", std::move(t));
+  }
+  {
+    Trace t;
+    t.label = "provision/dynamodb-table";
+    t.add("CreateTable",
+          {{"table_name", Value("orders")}, {"billing_mode", Value("PROVISIONED")}});
+    t.add("PutItem", {{"table", Value("$0.id")},
+                      {"item_key", Value("o-1")},
+                      {"payload", Value("{\"qty\":3}")}});
+    t.add("GetItem", {{"id", Value("$1.id")}});
+    t.add("DescribeTable", {{"id", Value("$0.id")}});
+    add(suite, "provisioning", std::move(t));
+  }
+
+  // --------------------------------------------------- state updates (4) --
+  {
+    // The InstanceTenancy / CreditSpecification updates the paper calls
+    // out as untestable on the D2C emulator.
+    Trace t;
+    t.label = "state/instance-tenancy-and-credit";
+    t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                           {"cidr_block", Value("10.0.1.0/24")},
+                           {"zone", Value("us-east")}});
+    t.add("RunInstance",
+          {{"subnet", Value("$1.id")}, {"instance_type", Value("t3.micro")}});
+    t.add("ModifyInstanceTenancy", {{"id", Value("$2.id")}, {"value", Value("dedicated")}});
+    t.add("ModifyInstanceCreditSpecification",
+          {{"id", Value("$2.id")}, {"value", Value("unlimited")}});
+    t.add("DescribeInstance", {{"id", Value("$2.id")}});
+    add(suite, "state-updates", std::move(t));
+  }
+  {
+    Trace t;
+    t.label = "state/vpc-dns-attributes";
+    t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    t.add("ModifyVpcDnsSupport", {{"id", Value("$0.id")}, {"value", Value(false)}});
+    // DNS hostnames on a VPC with DNS support disabled must fail.
+    t.add("ModifyVpcDnsHostnames", {{"id", Value("$0.id")}, {"value", Value(true)}});
+    t.add("DescribeVpc", {{"id", Value("$0.id")}});
+    add(suite, "state-updates", std::move(t));
+  }
+  {
+    Trace t;
+    t.label = "state/instance-stop-resize-start";
+    t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                           {"cidr_block", Value("10.0.1.0/24")},
+                           {"zone", Value("us-east")}});
+    t.add("RunInstance",
+          {{"subnet", Value("$1.id")}, {"instance_type", Value("t3.micro")}});
+    t.add("StopInstance", {{"id", Value("$2.id")}});
+    t.add("ModifyInstanceType", {{"id", Value("$2.id")}, {"value", Value("m5.large")}});
+    t.add("StartInstance", {{"id", Value("$2.id")}});
+    t.add("DescribeInstance", {{"id", Value("$2.id")}});
+    add(suite, "state-updates", std::move(t));
+  }
+  {
+    Trace t;
+    t.label = "state/dynamodb-billing-and-capacity";
+    t.add("CreateTable",
+          {{"table_name", Value("metrics")}, {"billing_mode", Value("PROVISIONED")}});
+    t.add("UpdateTableReadCapacity", {{"id", Value("$0.id")}, {"value", Value(200)}});
+    t.add("UpdateTableBillingMode",
+          {{"id", Value("$0.id")}, {"value", Value("PAY_PER_REQUEST")}});
+    // Capacity updates are invalid in on-demand mode.
+    t.add("UpdateTableReadCapacity", {{"id", Value("$0.id")}, {"value", Value(50)}});
+    t.add("DescribeTable", {{"id", Value("$0.id")}});
+    add(suite, "state-updates", std::move(t));
+  }
+
+  // ------------------------------------------------------ edge cases (4) --
+  {
+    // The Moto bug from §2: DeleteVpc with an attached gateway.
+    Trace t;
+    t.label = "edge/delete-vpc-with-gateway";
+    t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    t.add("CreateInternetGateway", {{"vpc", Value("$0.id")}});
+    t.add("DeleteVpc", {{"id", Value("$0.id")}});
+    add(suite, "edge-cases", std::move(t));
+  }
+  {
+    // The /29 subnet the paper's D2C baseline wrongly accepted.
+    Trace t;
+    t.label = "edge/subnet-invalid-prefix";
+    t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                           {"cidr_block", Value("10.0.0.0/29")},
+                           {"zone", Value("us-east")}});
+    add(suite, "edge-cases", std::move(t));
+  }
+  {
+    // StartInstances on a running instance: the underspecified behaviour
+    // ("IncorrectInstanceState") the D2C emulator silently ignored.
+    Trace t;
+    t.label = "edge/start-running-instance";
+    t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                           {"cidr_block", Value("10.0.1.0/24")},
+                           {"zone", Value("us-east")}});
+    t.add("RunInstance",
+          {{"subnet", Value("$1.id")}, {"instance_type", Value("t3.micro")}});
+    t.add("StartInstance", {{"id", Value("$2.id")}});
+    add(suite, "edge-cases", std::move(t));
+  }
+  {
+    // Cross-resource zone coupling on address association.
+    Trace t;
+    t.label = "edge/zone-mismatch-association";
+    t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                           {"cidr_block", Value("10.0.1.0/24")},
+                           {"zone", Value("us-east")}});
+    t.add("CreateNetworkInterface",
+          {{"subnet", Value("$1.id")}, {"zone", Value("us-west")}});
+    t.add("AllocateAddress", {{"zone", Value("us-east")}});
+    t.add("AssociateAddress", {{"id", Value("$3.id")}, {"nic", Value("$2.id")}});
+    add(suite, "edge-cases", std::move(t));
+  }
+  return suite;
+}
+
+ScenarioSuite fig3_azure_suite() {
+  ScenarioSuite suite;
+  {
+    Trace t;
+    t.label = "provision/vnet-subnet";
+    t.add("PutVirtualNetwork", {{"address_space", Value("10.0.0.0/16")}});
+    t.add("PutVnetSubnet",
+          {{"vnet", Value("$0.id")}, {"address_prefix", Value("10.0.1.0/24")}});
+    t.add("GetVnetSubnet", {{"id", Value("$1.id")}});
+    add(suite, "provisioning", std::move(t));
+  }
+  {
+    Trace t;
+    t.label = "provision/vm-launch";
+    t.add("PutVirtualNetwork", {{"address_space", Value("10.0.0.0/16")}});
+    t.add("PutVnetSubnet",
+          {{"vnet", Value("$0.id")}, {"address_prefix", Value("10.0.1.0/24")}});
+    t.add("PutVirtualMachine",
+          {{"subnet", Value("$1.id")}, {"vm_size", Value("Standard_B1s")}});
+    t.add("GetVirtualMachine", {{"id", Value("$2.id")}});
+    add(suite, "provisioning", std::move(t));
+  }
+  {
+    Trace t;
+    t.label = "state/vm-deallocate-resize";
+    t.add("PutVirtualNetwork", {{"address_space", Value("10.0.0.0/16")}});
+    t.add("PutVnetSubnet",
+          {{"vnet", Value("$0.id")}, {"address_prefix", Value("10.0.1.0/24")}});
+    t.add("PutVirtualMachine",
+          {{"subnet", Value("$1.id")}, {"vm_size", Value("Standard_B1s")}});
+    t.add("ResizeVirtualMachine", {{"id", Value("$2.id")}, {"value", Value("Standard_D2")}});
+    t.add("DeallocateVirtualMachine", {{"id", Value("$2.id")}});
+    t.add("ResizeVirtualMachine", {{"id", Value("$2.id")}, {"value", Value("Standard_D2")}});
+    t.add("GetVirtualMachine", {{"id", Value("$2.id")}});
+    add(suite, "state-updates", std::move(t));
+  }
+  {
+    Trace t;
+    t.label = "state/nsg-rule-priority";
+    t.add("PutVirtualNetwork", {{"address_space", Value("10.0.0.0/16")}});
+    t.add("PutNetworkSecurityGroup", {{"vnet", Value("$0.id")}});
+    t.add("PutSecurityRule", {{"id", Value("$1.id")}, {"priority", Value(200)}});
+    t.add("PutSecurityRule", {{"id", Value("$1.id")}, {"priority", Value(9)}});
+    t.add("GetNetworkSecurityGroup", {{"id", Value("$1.id")}});
+    add(suite, "state-updates", std::move(t));
+  }
+  {
+    Trace t;
+    t.label = "edge/delete-vnet-with-subnet";
+    t.add("PutVirtualNetwork", {{"address_space", Value("10.0.0.0/16")}});
+    t.add("PutVnetSubnet",
+          {{"vnet", Value("$0.id")}, {"address_prefix", Value("10.0.1.0/24")}});
+    t.add("DeleteVirtualNetwork", {{"id", Value("$0.id")}});
+    add(suite, "edge-cases", std::move(t));
+  }
+  {
+    Trace t;
+    t.label = "edge/start-running-vm";
+    t.add("PutVirtualNetwork", {{"address_space", Value("10.0.0.0/16")}});
+    t.add("PutVnetSubnet",
+          {{"vnet", Value("$0.id")}, {"address_prefix", Value("10.0.1.0/24")}});
+    t.add("PutVirtualMachine",
+          {{"subnet", Value("$1.id")}, {"vm_size", Value("Standard_B1s")}});
+    t.add("StartVirtualMachine", {{"id", Value("$2.id")}});
+    add(suite, "edge-cases", std::move(t));
+  }
+  return suite;
+}
+
+AccuracyResult score_accuracy(CloudBackend& emulator, CloudBackend& cloud,
+                              const ScenarioSuite& suite) {
+  AccuracyResult result;
+  for (const auto& entry : suite.entries) {
+    auto cloud_resp = run_trace(cloud, entry.trace);
+    auto emu_resp = run_trace(emulator, entry.trace);
+    bool aligned = true;
+    for (std::size_t i = 0; i < cloud_resp.size(); ++i) {
+      if (!cloud_resp[i].aligned_with(emu_resp[i])) {
+        aligned = false;
+        result.failures.push_back(
+            strf(entry.trace.label, " call #", i, " (", entry.trace.calls[i].api,
+                 "): cloud ", cloud_resp[i].to_text(), " | emulator ",
+                 emu_resp[i].to_text()));
+        break;
+      }
+    }
+    auto& score = result.per_scenario[entry.scenario];
+    ++score.total;
+    ++result.overall.total;
+    if (aligned) {
+      ++score.aligned;
+      ++result.overall.aligned;
+    }
+  }
+  return result;
+}
+
+}  // namespace lce::core

@@ -1,0 +1,48 @@
+// The Fig. 3 evaluation suite: "we compare the response alignment against
+// the cloud for 4 traces across 3 scenarios: provisioning, state updates,
+// and edge cases that target subtle underspecified checks" — 12 traces
+// total, each scored aligned only when EVERY response matches the cloud's
+// (success payloads equivalent; failures with identical error codes).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/api.h"
+
+namespace lce::core {
+
+struct ScenarioSuite {
+  struct Entry {
+    std::string scenario;  // "provisioning" / "state-updates" / "edge-cases"
+    Trace trace;
+  };
+  std::vector<Entry> entries;
+
+  std::vector<std::string> scenario_names() const;
+};
+
+/// The AWS 3x4 suite used by the Fig. 3 bench.
+ScenarioSuite fig3_aws_suite();
+
+/// The Azure replication suite (§5 "Multi-cloud").
+ScenarioSuite fig3_azure_suite();
+
+struct ScenarioScore {
+  int aligned = 0;
+  int total = 0;
+  double ratio() const { return total == 0 ? 0.0 : static_cast<double>(aligned) / total; }
+};
+
+struct AccuracyResult {
+  std::map<std::string, ScenarioScore> per_scenario;
+  ScenarioScore overall;
+  std::vector<std::string> failures;  // per-trace first-divergence notes
+};
+
+/// Run every suite trace on both backends and score per-trace alignment.
+AccuracyResult score_accuracy(CloudBackend& emulator, CloudBackend& cloud,
+                              const ScenarioSuite& suite);
+
+}  // namespace lce::core

@@ -1,0 +1,131 @@
+#include "core/trace_script.h"
+
+#include "common/strings.h"
+
+namespace lce::core {
+
+std::string ScriptError::to_text() const {
+  return strf("script error at line ", line, ": ", message);
+}
+
+namespace {
+
+/// Parse one value token: "str", int, true/false, null, $N.
+std::optional<Value> parse_value(const std::string& tok) {
+  if (tok == "true") return Value(true);
+  if (tok == "false") return Value(false);
+  if (tok == "null") return Value();
+  if (tok.size() >= 2 && tok.front() == '"' && tok.back() == '"') {
+    return Value(tok.substr(1, tok.size() - 2));
+  }
+  if (tok.size() >= 2 && tok[0] == '$') {
+    std::int64_t n = 0;
+    if (!parse_int(std::string_view(tok).substr(1), n) || n < 0) return std::nullopt;
+    return Value(strf("$", n, ".id"));
+  }
+  std::int64_t n = 0;
+  if (parse_int(tok, n)) return Value(n);
+  return std::nullopt;
+}
+
+/// Split a line into whitespace-separated tokens, keeping quoted strings
+/// (with their quotes) intact.
+std::optional<std::vector<std::string>> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+    if (i >= line.size()) break;
+    std::string tok;
+    bool in_quotes = false;
+    while (i < line.size() &&
+           (in_quotes || !std::isspace(static_cast<unsigned char>(line[i])))) {
+      if (line[i] == '"') in_quotes = !in_quotes;
+      tok += line[i++];
+    }
+    if (in_quotes) return std::nullopt;  // unterminated quote
+    out.push_back(std::move(tok));
+  }
+  return out;
+}
+
+std::string render_value(const Value& v) {
+  switch (v.kind()) {
+    case ValueKind::kNull: return "null";
+    case ValueKind::kBool: return v.as_bool() ? "true" : "false";
+    case ValueKind::kInt: return std::to_string(v.as_int());
+    case ValueKind::kStr:
+    case ValueKind::kRef: {
+      const std::string& s = v.as_str();
+      // "$N.id" placeholders round-trip to $N.
+      if (s.size() > 4 && s[0] == '$' && ends_with(s, ".id")) {
+        std::int64_t n = 0;
+        if (parse_int(std::string_view(s).substr(1, s.size() - 4), n)) {
+          return strf("$", n);
+        }
+      }
+      return strf("\"", s, "\"");
+    }
+    default: return strf("\"", v.to_text(), "\"");
+  }
+}
+
+}  // namespace
+
+std::optional<Trace> parse_trace_script(const std::string& text, ScriptError* error) {
+  auto fail = [&](int line, std::string msg) -> std::optional<Trace> {
+    if (error != nullptr) *error = ScriptError{line, std::move(msg)};
+    return std::nullopt;
+  };
+  Trace trace;
+  auto lines = split(text, '\n');
+  for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+    std::string line = trim(lines[ln]);
+    int line_no = static_cast<int>(ln + 1);
+    if (line.empty() || line[0] == '#') continue;
+    auto toks = tokenize(line);
+    if (!toks) return fail(line_no, "unterminated quoted string");
+    if (toks->empty()) continue;
+    ApiRequest req;
+    req.api = (*toks)[0];
+    for (std::size_t i = 1; i < toks->size(); ++i) {
+      const std::string& tok = (*toks)[i];
+      std::size_t eq = tok.find('=');
+      if (eq == std::string::npos || eq == 0) {
+        return fail(line_no, strf("expected key=value, got '", tok, "'"));
+      }
+      auto v = parse_value(tok.substr(eq + 1));
+      if (!v) return fail(line_no, strf("unparseable value in '", tok, "'"));
+      req.args[tok.substr(0, eq)] = std::move(*v);
+    }
+    // Each call's positional index is what $N refers to, counting only
+    // actual calls (comments/blank lines don't shift indices).
+    trace.calls.push_back(std::move(req));
+  }
+  return trace;
+}
+
+std::string print_trace_script(const Trace& trace) {
+  std::string out;
+  if (!trace.label.empty()) out += "# " + trace.label + "\n";
+  for (const auto& call : trace.calls) {
+    out += call.api;
+    for (const auto& [k, v] : call.args) {
+      out += strf(" ", k, "=", render_value(v));
+    }
+    if (!call.target.empty()) out += strf(" id=", call.target);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string run_trace_script(CloudBackend& backend, const Trace& trace) {
+  auto responses = run_trace(backend, trace);
+  std::string out;
+  for (std::size_t i = 0; i < trace.calls.size(); ++i) {
+    out += strf("[", i, "] ", trace.calls[i].api, " -> ", responses[i].to_text(), "\n");
+  }
+  return out;
+}
+
+}  // namespace lce::core

@@ -1,0 +1,39 @@
+// A tiny text format for DevOps programs ("trace scripts"), so traces can
+// live in files, be replayed against any backend, and be diffed across
+// emulators — the way a testing harness would drive the emulator.
+//
+//   # provision a network
+//   CreateVpc cidr_block="10.0.0.0/16"
+//   CreateSubnet vpc=$0 cidr_block="10.0.1.0/24" zone="us-east"
+//   ModifySubnetAttribute id=$1 map_public_ip_on_launch=true
+//   DescribeSubnet id=$1
+//
+// Values: "quoted strings", integers, true/false, null, and $N — a
+// reference to the id returned by the N-th call (0-based).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/api.h"
+
+namespace lce::core {
+
+struct ScriptError {
+  int line = 0;
+  std::string message;
+
+  std::string to_text() const;
+};
+
+/// Parse a trace script; nullopt + error on malformed input.
+std::optional<Trace> parse_trace_script(const std::string& text, ScriptError* error);
+
+/// Render a trace back to script text (parse round-trips).
+std::string print_trace_script(const Trace& trace);
+
+/// Run a script against a backend and render a human-readable transcript
+/// (one line per call: api, args, response).
+std::string run_trace_script(CloudBackend& backend, const Trace& trace);
+
+}  // namespace lce::core

@@ -1,0 +1,294 @@
+#include "docs/builder.h"
+
+#include <cassert>
+#include <stdexcept>
+
+#include "common/errors.h"
+#include "common/strings.h"
+
+namespace lce::docs {
+
+ApiBuilder::ApiBuilder(std::string name, ApiCategory category) {
+  api_.name = std::move(name);
+  api_.category = category;
+}
+
+ApiBuilder& ApiBuilder::param(std::string name, FieldType type, bool required) {
+  api_.params.push_back(ParamModel{std::move(name), type, {}, "", required});
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::enum_param(std::string name, std::vector<std::string> members,
+                                   bool required) {
+  api_.params.push_back(
+      ParamModel{std::move(name), FieldType::kEnum, std::move(members), "", required});
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::ref_param(std::string name, std::string target, bool required) {
+  api_.params.push_back(
+      ParamModel{std::move(name), FieldType::kRef, {}, std::move(target), required});
+  return *this;
+}
+
+namespace {
+ConstraintModel make_c(ConstraintKind kind, std::string param, std::string attr,
+                       std::vector<std::string> vals, int lo, int hi, std::string code,
+                       bool documented) {
+  ConstraintModel c;
+  c.kind = kind;
+  c.param = std::move(param);
+  c.attr = std::move(attr);
+  c.str_vals = std::move(vals);
+  c.int_lo = lo;
+  c.int_hi = hi;
+  c.error_code = std::move(code);
+  c.documented = documented;
+  return c;
+}
+}  // namespace
+
+ApiBuilder& ApiBuilder::c_enum_domain(std::string param, std::vector<std::string> vals,
+                                      std::string code, bool documented) {
+  api_.constraints.push_back(make_c(ConstraintKind::kEnumDomain, std::move(param), "",
+                                    std::move(vals), 0, 0, std::move(code), documented));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::c_cidr_valid(std::string param, std::string code) {
+  api_.constraints.push_back(make_c(ConstraintKind::kCidrValid, std::move(param), "", {}, 0,
+                                    0, std::move(code), true));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::c_prefix_range(std::string param, int lo, int hi, std::string code,
+                                       bool documented) {
+  api_.constraints.push_back(make_c(ConstraintKind::kCidrPrefixRange, std::move(param), "",
+                                    {}, lo, hi, std::move(code), documented));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::c_within_parent(std::string param, std::string attr,
+                                        std::string code) {
+  api_.constraints.push_back(make_c(ConstraintKind::kCidrWithinParent, std::move(param),
+                                    std::move(attr), {}, 0, 0, std::move(code), true));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::c_no_overlap(std::string param, std::string attr, std::string code) {
+  api_.constraints.push_back(make_c(ConstraintKind::kNoSiblingOverlap, std::move(param),
+                                    std::move(attr), {}, 0, 0, std::move(code), true));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::c_attr_equals(std::string attr, std::string val, std::string code,
+                                      bool documented) {
+  api_.constraints.push_back(make_c(ConstraintKind::kAttrEquals, "", std::move(attr),
+                                    {std::move(val)}, 0, 0, std::move(code), documented));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::c_attr_not_equals(std::string attr, std::string val,
+                                          std::string code, bool documented) {
+  api_.constraints.push_back(make_c(ConstraintKind::kAttrNotEquals, "", std::move(attr),
+                                    {std::move(val)}, 0, 0, std::move(code), documented));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::c_ref_attr_match(std::string param, std::string attr,
+                                         std::string code) {
+  api_.constraints.push_back(make_c(ConstraintKind::kRefAttrMatchesSelf, std::move(param),
+                                    std::move(attr), {}, 0, 0, std::move(code), true));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::c_attr_null(std::string attr, std::string code) {
+  api_.constraints.push_back(make_c(ConstraintKind::kAttrNull, "", std::move(attr), {}, 0,
+                                    0, std::move(code), true));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::c_true_requires(std::string param, std::string attr,
+                                        std::string code, bool documented) {
+  api_.constraints.push_back(make_c(ConstraintKind::kAttrTrueRequires, std::move(param),
+                                    std::move(attr), {}, 0, 0, std::move(code), documented));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::c_children_reclaimed(std::string code) {
+  api_.constraints.push_back(
+      make_c(ConstraintKind::kChildrenReclaimed, "", "", {}, 0, 0, std::move(code), true));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::c_int_range(std::string param, int lo, int hi, std::string code) {
+  api_.constraints.push_back(make_c(ConstraintKind::kIntRange, std::move(param), "", {}, lo,
+                                    hi, std::move(code), true));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::e_write_param(std::string attr, std::string param) {
+  EffectModel e;
+  e.kind = EffectKind::kWriteParam;
+  e.attr = std::move(attr);
+  e.param = std::move(param);
+  api_.effects.push_back(std::move(e));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::e_write_const(std::string attr, std::string literal, FieldType type) {
+  EffectModel e;
+  e.kind = EffectKind::kWriteConst;
+  e.attr = std::move(attr);
+  e.literal = std::move(literal);
+  e.literal_type = type;
+  api_.effects.push_back(std::move(e));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::e_link_parent(std::string param) {
+  EffectModel e;
+  e.kind = EffectKind::kLinkParent;
+  e.param = std::move(param);
+  api_.effects.push_back(std::move(e));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::e_set_ref(std::string attr, std::string param,
+                                  std::string target_attr) {
+  EffectModel e;
+  e.kind = EffectKind::kSetRef;
+  e.attr = std::move(attr);
+  e.param = std::move(param);
+  e.target_attr = std::move(target_attr);
+  api_.effects.push_back(std::move(e));
+  return *this;
+}
+
+ApiBuilder& ApiBuilder::e_clear(std::string attr) {
+  EffectModel e;
+  e.kind = EffectKind::kClearAttr;
+  e.attr = std::move(attr);
+  api_.effects.push_back(std::move(e));
+  return *this;
+}
+
+ResourceBuilder::ResourceBuilder(std::string name, std::string service,
+                                 std::string id_prefix, std::string summary) {
+  r_.name = std::move(name);
+  r_.service = std::move(service);
+  r_.id_prefix = std::move(id_prefix);
+  r_.summary = std::move(summary);
+}
+
+ResourceBuilder& ResourceBuilder::contained_in(std::string parent) {
+  r_.parent_type = std::move(parent);
+  return *this;
+}
+
+ResourceBuilder& ResourceBuilder::attr(std::string name, FieldType type,
+                                       std::string initial) {
+  r_.attrs.push_back(AttrModel{std::move(name), type, {}, "", std::move(initial)});
+  return *this;
+}
+
+ResourceBuilder& ResourceBuilder::enum_attr(std::string name,
+                                            std::vector<std::string> members,
+                                            std::string initial) {
+  r_.attrs.push_back(
+      AttrModel{std::move(name), FieldType::kEnum, std::move(members), "", std::move(initial)});
+  return *this;
+}
+
+ResourceBuilder& ResourceBuilder::ref_attr(std::string name, std::string target) {
+  r_.attrs.push_back(AttrModel{std::move(name), FieldType::kRef, {}, std::move(target), ""});
+  return *this;
+}
+
+ResourceBuilder& ResourceBuilder::api(ApiBuilder b) {
+  r_.apis.push_back(std::move(b).build());
+  return *this;
+}
+
+ResourceBuilder& ResourceBuilder::standard_lifecycle(bool guard_delete) {
+  if (r_.find_attr("state") == nullptr) {
+    enum_attr("state", {"pending", "available"}, "available");
+  }
+  ApiBuilder create("Create" + r_.name, ApiCategory::kCreate);
+  if (!r_.parent_type.empty()) {
+    create.ref_param("parent", r_.parent_type);
+    create.e_link_parent("parent");
+  }
+  create.e_write_const("state", "available", FieldType::kEnum);
+  api(std::move(create));
+
+  ApiBuilder del("Delete" + r_.name, ApiCategory::kDestroy);
+  if (guard_delete) del.c_children_reclaimed(std::string(errc::kDependencyViolation));
+  api(std::move(del));
+
+  api(ApiBuilder("Describe" + r_.name, ApiCategory::kDescribe));
+  return *this;
+}
+
+ResourceBuilder& ResourceBuilder::modifiable_attr(std::string attr_name, FieldType type) {
+  attr(attr_name, type);
+  ApiBuilder mod(strf("Modify", r_.name, snake_to_camel(attr_name)), ApiCategory::kModify);
+  mod.param("value", type);
+  mod.e_write_param(attr_name, "value");
+  api(std::move(mod));
+  return *this;
+}
+
+ResourceBuilder& ResourceBuilder::modifiable_enum_attr(std::string attr_name,
+                                                       std::vector<std::string> members,
+                                                       std::string initial) {
+  enum_attr(attr_name, members, std::move(initial));
+  ApiBuilder mod(strf("Modify", r_.name, snake_to_camel(attr_name)), ApiCategory::kModify);
+  mod.enum_param("value", members);
+  mod.c_enum_domain("value", members, std::string(errc::kInvalidParameterValue));
+  mod.e_write_param(attr_name, "value");
+  api(std::move(mod));
+  return *this;
+}
+
+void pad_service_to(ServiceModel& service, std::size_t target,
+                    const std::vector<std::string>& pool) {
+  if (service.api_count() > target) {
+    throw std::logic_error(strf("service ", service.name, " already has ",
+                                service.api_count(), " APIs, above target ", target));
+  }
+  std::size_t pool_idx = 0;
+  std::size_t res_idx = 0;
+  while (service.api_count() < target) {
+    ResourceModel& r = service.resources[res_idx % service.resources.size()];
+    // Find the next pool attr this resource does not yet have.
+    std::size_t tries = 0;
+    while (tries < pool.size() &&
+           r.find_attr(pool[(pool_idx + tries) % pool.size()]) != nullptr) {
+      ++tries;
+    }
+    if (tries == pool.size()) {
+      ++res_idx;
+      if (res_idx > service.resources.size() * (pool.size() + 1)) {
+        throw std::logic_error(strf("attribute pool exhausted for service ", service.name));
+      }
+      continue;
+    }
+    const std::string& name = pool[(pool_idx + tries) % pool.size()];
+    r.attrs.push_back(AttrModel{name, FieldType::kStr, {}, "", ""});
+    ApiModel mod;
+    mod.name = strf("Modify", r.name, snake_to_camel(name));
+    mod.category = ApiCategory::kModify;
+    mod.params.push_back(ParamModel{"value", FieldType::kStr, {}, "", true});
+    EffectModel e;
+    e.kind = EffectKind::kWriteParam;
+    e.attr = name;
+    e.param = "value";
+    mod.effects.push_back(std::move(e));
+    r.apis.push_back(std::move(mod));
+    ++pool_idx;
+    ++res_idx;
+  }
+}
+
+}  // namespace lce::docs

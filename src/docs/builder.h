@@ -1,0 +1,100 @@
+// Fluent builders for assembling CloudCatalog models. Used by the corpus
+// definitions (corpus_aws.cpp / corpus_azure.cpp); kept separate so tests
+// can assemble small synthetic catalogs too.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "docs/model.h"
+
+namespace lce::docs {
+
+class ApiBuilder {
+ public:
+  ApiBuilder(std::string name, ApiCategory category);
+
+  ApiBuilder& param(std::string name, FieldType type, bool required = true);
+  ApiBuilder& enum_param(std::string name, std::vector<std::string> members,
+                         bool required = true);
+  ApiBuilder& ref_param(std::string name, std::string target, bool required = true);
+
+  // Constraint shorthands; `documented=false` makes the docs silent about
+  // the behaviour while the reference cloud still enforces it (§6).
+  ApiBuilder& c_enum_domain(std::string param, std::vector<std::string> vals,
+                            std::string code, bool documented = true);
+  ApiBuilder& c_cidr_valid(std::string param, std::string code);
+  ApiBuilder& c_prefix_range(std::string param, int lo, int hi, std::string code,
+                             bool documented = true);
+  ApiBuilder& c_within_parent(std::string param, std::string attr, std::string code);
+  ApiBuilder& c_no_overlap(std::string param, std::string attr, std::string code);
+  ApiBuilder& c_attr_equals(std::string attr, std::string val, std::string code,
+                            bool documented = true);
+  ApiBuilder& c_attr_not_equals(std::string attr, std::string val, std::string code,
+                                bool documented = true);
+  ApiBuilder& c_ref_attr_match(std::string param, std::string attr, std::string code);
+  ApiBuilder& c_attr_null(std::string attr, std::string code);
+  ApiBuilder& c_true_requires(std::string param, std::string attr, std::string code,
+                              bool documented = true);
+  ApiBuilder& c_children_reclaimed(std::string code);
+  ApiBuilder& c_int_range(std::string param, int lo, int hi, std::string code);
+
+  // Effect shorthands.
+  ApiBuilder& e_write_param(std::string attr, std::string param);
+  ApiBuilder& e_write_const(std::string attr, std::string literal,
+                            FieldType type = FieldType::kStr);
+  ApiBuilder& e_link_parent(std::string param);
+  ApiBuilder& e_set_ref(std::string attr, std::string param, std::string target_attr = "");
+  ApiBuilder& e_clear(std::string attr);
+
+  ApiModel build() && { return std::move(api_); }
+  const ApiModel& peek() const { return api_; }
+
+ private:
+  ApiModel api_;
+};
+
+class ResourceBuilder {
+ public:
+  ResourceBuilder(std::string name, std::string service, std::string id_prefix,
+                  std::string summary);
+
+  ResourceBuilder& contained_in(std::string parent);
+  ResourceBuilder& attr(std::string name, FieldType type, std::string initial = "");
+  ResourceBuilder& enum_attr(std::string name, std::vector<std::string> members,
+                             std::string initial = "");
+  ResourceBuilder& ref_attr(std::string name, std::string target);
+  ResourceBuilder& api(ApiBuilder b);
+
+  /// Standard lifecycle trio:
+  ///  Create<Name>(parent ref if contained) — writes state "available";
+  ///  Delete<Name>() — children-reclaimed guard when `guard_delete`;
+  ///  Describe<Name>().
+  /// Assumes the resource has a `state` enum attr (added if missing).
+  ResourceBuilder& standard_lifecycle(bool guard_delete = true);
+
+  /// Add a string attribute plus its Modify<Name><AttrCamel>(value) API —
+  /// the paper's symbolic modifyX() transition (§3).
+  ResourceBuilder& modifiable_attr(std::string attr_name, FieldType type = FieldType::kStr);
+
+  /// Add an enum attribute plus its modify API with an enum-domain check.
+  ResourceBuilder& modifiable_enum_attr(std::string attr_name,
+                                        std::vector<std::string> members,
+                                        std::string initial = "");
+
+  ResourceModel build() && { return std::move(r_); }
+  const ResourceModel& peek() const { return r_; }
+
+ private:
+  ResourceModel r_;
+};
+
+/// Append generated Modify-APIs (string option attributes drawn from
+/// `pool`, round-robin across resources) until the service's API count
+/// reaches `target`. Models the real cloud's long tail of per-attribute
+/// modify APIs at the documented scale (Table 1 API counts). Pool
+/// exhaustion is a hard error (grow the pool instead).
+void pad_service_to(ServiceModel& service, std::size_t target,
+                    const std::vector<std::string>& pool);
+
+}  // namespace lce::docs

@@ -1,0 +1,44 @@
+// The synthetic provider corpora. AWS mirrors the paper's evaluated
+// services at the documented API scale (Table 1: EC2 571 APIs over 28
+// resources, DynamoDB 57 over 7, Network Firewall 45 over 8, EKS 58 over
+// 4); Azure provides the multi-cloud replication target (§5 "Multi-cloud").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "docs/model.h"
+
+namespace lce::docs {
+
+/// The region/zone vocabulary shared by both providers' corpora.
+const std::vector<std::string>& regions();
+
+/// Table 1 scale targets (exact API counts per service).
+inline constexpr std::size_t kEc2ApiTarget = 571;
+inline constexpr std::size_t kDynamoDbApiTarget = 57;
+inline constexpr std::size_t kNetworkFirewallApiTarget = 45;
+inline constexpr std::size_t kEksApiTarget = 58;
+
+/// Fig. 4 scale: SMs per service.
+inline constexpr std::size_t kEc2ResourceTarget = 28;
+inline constexpr std::size_t kDynamoDbResourceTarget = 7;
+inline constexpr std::size_t kNetworkFirewallResourceTarget = 8;
+inline constexpr std::size_t kEksResourceTarget = 4;
+
+/// Full AWS catalog: services ec2, dynamodb, network-firewall, eks.
+CloudCatalog build_aws_catalog();
+
+/// Azure catalog: services network + compute, with the same behavioural
+/// vocabulary but Azure-style resource and API names.
+CloudCatalog build_azure_catalog();
+
+/// Cross-provider service equivalence (§4.4 multi-cloud): pairs of
+/// (aws resource, azure resource) implementing the same concept.
+struct ServiceEquivalence {
+  std::string aws_resource;
+  std::string azure_resource;
+};
+const std::vector<ServiceEquivalence>& aws_azure_equivalences();
+
+}  // namespace lce::docs

@@ -1,0 +1,871 @@
+// The synthetic AWS catalog. Core resources (Vpc, Subnet, Instance,
+// ElasticIp, NetworkInterface, SecurityGroup, ...) are modelled richly —
+// they carry the behaviours the paper's evaluation exercises (CIDR rules,
+// dependency violations, instance-state machines, DNS attribute coupling).
+// The long tail is generated at the documented scale (Table 1 API counts)
+// as per-attribute modify APIs, matching §3's symbolic modifyX() model.
+#include "docs/corpus.h"
+
+#include "common/errors.h"
+#include "common/strings.h"
+#include "docs/builder.h"
+
+namespace lce::docs {
+
+const std::vector<std::string>& regions() {
+  static const std::vector<std::string> kRegions = {"us-east", "us-west", "eu-central"};
+  return kRegions;
+}
+
+namespace {
+
+std::string err(std::string_view code) { return std::string(code); }
+
+/// Option-attribute pool for the generated long tail (realistic mutable
+/// per-resource settings; each becomes a Modify API).
+const std::vector<std::string>& option_pool() {
+  static const std::vector<std::string> kPool = {
+      "tag_spec",           "owner_label",        "billing_tag",
+      "audit_mode",         "delete_protection",  "throughput_mode",
+      "performance_tier",   "maintenance_window", "backup_retention",
+      "monitoring_level",   "log_destination",    "encryption_key",
+      "network_tier",       "replication_mode",   "failover_priority",
+      "access_scope",       "compliance_mode",    "cost_center",
+      "lifecycle_policy",   "notification_target", "request_limit",
+      "burst_mode",         "archive_tier",       "snapshot_window",
+      "placement_hint",     "quota_profile",
+  };
+  return kPool;
+}
+
+/// Enable/Disable action pair over a boolean `enabled` attribute with
+/// documented state preconditions.
+void add_toggle_actions(ResourceBuilder& b, const std::string& name) {
+  b.attr("enabled", FieldType::kBool, "false");
+  ApiBuilder enable("Enable" + name, ApiCategory::kAction);
+  enable.c_attr_equals("enabled", "false", err(errc::kInvalidState));
+  enable.e_write_const("enabled", "true", FieldType::kBool);
+  b.api(std::move(enable));
+  ApiBuilder disable("Disable" + name, ApiCategory::kAction);
+  disable.c_attr_equals("enabled", "true", err(errc::kInvalidState));
+  disable.e_write_const("enabled", "false", FieldType::kBool);
+  b.api(std::move(disable));
+}
+
+// --------------------------------------------------------- EC2 core SMs --
+
+ResourceModel make_vpc() {
+  ResourceBuilder b("Vpc", "ec2", "vpc",
+                    "A virtual private cloud: an isolated virtual network hosting "
+                    "subnets, gateways and instances.");
+  b.attr("cidr_block", FieldType::kStr);
+  b.enum_attr("state", {"pending", "available"}, "available");
+  b.enum_attr("instance_tenancy", {"default", "dedicated"}, "default");
+  b.attr("dns_support", FieldType::kBool, "true");
+  b.attr("dns_hostnames", FieldType::kBool, "false");
+  b.attr("description", FieldType::kStr);
+
+  ApiBuilder create("CreateVpc", ApiCategory::kCreate);
+  create.param("cidr_block", FieldType::kStr);
+  create.c_cidr_valid("cidr_block", err(errc::kInvalidParameterValue));
+  create.c_prefix_range("cidr_block", 16, 28, err(errc::kInvalidVpcRange));
+  create.e_write_param("cidr_block", "cidr_block");
+  create.e_write_const("state", "available", FieldType::kEnum);
+  b.api(std::move(create));
+
+  ApiBuilder del("DeleteVpc", ApiCategory::kDestroy);
+  del.c_children_reclaimed(err(errc::kDependencyViolation));
+  b.api(std::move(del));
+
+  b.api(ApiBuilder("DescribeVpc", ApiCategory::kDescribe));
+
+  ApiBuilder tenancy("ModifyVpcInstanceTenancy", ApiCategory::kModify);
+  tenancy.enum_param("value", {"default", "dedicated"});
+  tenancy.c_enum_domain("value", {"default", "dedicated"},
+                        err(errc::kInvalidParameterValue));
+  tenancy.e_write_param("instance_tenancy", "value");
+  b.api(std::move(tenancy));
+
+  ApiBuilder dns_support("ModifyVpcDnsSupport", ApiCategory::kModify);
+  dns_support.param("value", FieldType::kBool);
+  dns_support.e_write_param("dns_support", "value");
+  b.api(std::move(dns_support));
+
+  // The behaviour the paper's D2C baseline got wrong: hostnames require
+  // DNS support to already be enabled.
+  ApiBuilder dns_hosts("ModifyVpcDnsHostnames", ApiCategory::kModify);
+  dns_hosts.param("value", FieldType::kBool);
+  dns_hosts.c_true_requires("value", "dns_support", err(errc::kInvalidParameterValue));
+  dns_hosts.e_write_param("dns_hostnames", "value");
+  b.api(std::move(dns_hosts));
+
+  ApiBuilder desc("ModifyVpcDescription", ApiCategory::kModify);
+  desc.param("value", FieldType::kStr);
+  desc.e_write_param("description", "value");
+  b.api(std::move(desc));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_subnet() {
+  ResourceBuilder b("Subnet", "ec2", "subnet",
+                    "A range of IP addresses inside a VPC where resources can be "
+                    "launched.");
+  b.contained_in("Vpc");
+  b.attr("cidr_block", FieldType::kStr);
+  b.enum_attr("state", {"pending", "available"}, "available");
+  b.enum_attr("availability_zone", regions());
+  b.attr("map_public_ip_on_launch", FieldType::kBool, "false");
+  b.attr("description", FieldType::kStr);
+
+  ApiBuilder create("CreateSubnet", ApiCategory::kCreate);
+  create.ref_param("vpc", "Vpc");
+  create.param("cidr_block", FieldType::kStr);
+  create.enum_param("zone", regions());
+  create.c_cidr_valid("cidr_block", err(errc::kInvalidParameterValue));
+  // The /29 behaviour the paper's D2C baseline missed: AWS subnets must be
+  // /16../28; the direct generation only checked "simple CIDR conflicts".
+  create.c_prefix_range("cidr_block", 16, 28, err(errc::kInvalidSubnetRange));
+  create.c_within_parent("cidr_block", "cidr_block", err(errc::kInvalidSubnetRange));
+  create.c_no_overlap("cidr_block", "cidr_block", err(errc::kInvalidSubnetConflict));
+  create.c_enum_domain("zone", regions(), err(errc::kInvalidParameterValue));
+  create.e_link_parent("vpc");
+  create.e_write_param("cidr_block", "cidr_block");
+  create.e_write_param("availability_zone", "zone");
+  create.e_write_const("state", "available", FieldType::kEnum);
+  b.api(std::move(create));
+
+  ApiBuilder del("DeleteSubnet", ApiCategory::kDestroy);
+  del.c_children_reclaimed(err(errc::kDependencyViolation));
+  b.api(std::move(del));
+
+  b.api(ApiBuilder("DescribeSubnet", ApiCategory::kDescribe));
+
+  // Named after the real AWS API the paper's basic-functionality program
+  // calls (ModifySubnetAttribute / MapPublicIpOnLaunch).
+  ApiBuilder attr_api("ModifySubnetAttribute", ApiCategory::kModify);
+  attr_api.param("map_public_ip_on_launch", FieldType::kBool);
+  attr_api.e_write_param("map_public_ip_on_launch", "map_public_ip_on_launch");
+  b.api(std::move(attr_api));
+
+  ApiBuilder desc("ModifySubnetDescription", ApiCategory::kModify);
+  desc.param("value", FieldType::kStr);
+  desc.e_write_param("description", "value");
+  b.api(std::move(desc));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_instance() {
+  ResourceBuilder b("Instance", "ec2", "i",
+                    "A virtual machine launched inside a subnet.");
+  b.contained_in("Subnet");
+  b.enum_attr("state", {"pending", "running", "stopping", "stopped", "terminated"},
+              "running");
+  b.attr("instance_type", FieldType::kStr, "t3.micro");
+  b.enum_attr("instance_tenancy", {"default", "dedicated", "host"}, "default");
+  b.enum_attr("credit_specification", {"standard", "unlimited"}, "standard");
+  b.attr("monitoring", FieldType::kBool, "false");
+  b.attr("ebs_optimized", FieldType::kBool, "false");
+  b.attr("user_data", FieldType::kStr);
+  b.attr("source_dest_check", FieldType::kBool, "true");
+  b.attr("disable_api_termination", FieldType::kBool, "false");
+
+  ApiBuilder run("RunInstance", ApiCategory::kCreate);
+  run.ref_param("subnet", "Subnet");
+  run.param("instance_type", FieldType::kStr);
+  run.e_link_parent("subnet");
+  run.e_write_param("instance_type", "instance_type");
+  run.e_write_const("state", "running", FieldType::kEnum);
+  b.api(std::move(run));
+
+  ApiBuilder term("TerminateInstance", ApiCategory::kDestroy);
+  // Termination protection must be off (documented).
+  term.c_attr_equals("disable_api_termination", "false",
+                     err(errc::kUnsupportedOperation));
+  b.api(std::move(term));
+
+  b.api(ApiBuilder("DescribeInstance", ApiCategory::kDescribe));
+
+  // The paper's transition-error example: StartInstances on an already
+  // running instance must fail with IncorrectInstanceState. The AWS docs
+  // underspecify this (§6) — marked undocumented, so only alignment
+  // discovers it.
+  ApiBuilder start("StartInstance", ApiCategory::kAction);
+  start.c_attr_equals("state", "stopped", err(errc::kIncorrectInstanceState),
+                      /*documented=*/false);
+  start.e_write_const("state", "running", FieldType::kEnum);
+  b.api(std::move(start));
+
+  ApiBuilder stop("StopInstance", ApiCategory::kAction);
+  stop.c_attr_equals("state", "running", err(errc::kIncorrectInstanceState));
+  stop.e_write_const("state", "stopped", FieldType::kEnum);
+  b.api(std::move(stop));
+
+  ApiBuilder reboot("RebootInstance", ApiCategory::kAction);
+  reboot.c_attr_equals("state", "running", err(errc::kIncorrectInstanceState));
+  b.api(std::move(reboot));
+
+  ApiBuilder mon("MonitorInstance", ApiCategory::kAction);
+  mon.e_write_const("monitoring", "true", FieldType::kBool);
+  b.api(std::move(mon));
+  ApiBuilder unmon("UnmonitorInstance", ApiCategory::kAction);
+  unmon.e_write_const("monitoring", "false", FieldType::kBool);
+  b.api(std::move(unmon));
+
+  ApiBuilder mtype("ModifyInstanceType", ApiCategory::kModify);
+  mtype.param("value", FieldType::kStr);
+  // Type changes require the instance to be stopped (documented).
+  mtype.c_attr_equals("state", "stopped", err(errc::kIncorrectInstanceState));
+  mtype.e_write_param("instance_type", "value");
+  b.api(std::move(mtype));
+
+  ApiBuilder mten("ModifyInstanceTenancy", ApiCategory::kModify);
+  mten.enum_param("value", {"default", "dedicated", "host"});
+  mten.c_enum_domain("value", {"default", "dedicated", "host"},
+                     err(errc::kInvalidParameterValue));
+  mten.e_write_param("instance_tenancy", "value");
+  b.api(std::move(mten));
+
+  ApiBuilder mcred("ModifyInstanceCreditSpecification", ApiCategory::kModify);
+  mcred.enum_param("value", {"standard", "unlimited"});
+  mcred.c_enum_domain("value", {"standard", "unlimited"},
+                      err(errc::kInvalidParameterValue));
+  mcred.e_write_param("credit_specification", "value");
+  b.api(std::move(mcred));
+
+  ApiBuilder mud("ModifyInstanceUserData", ApiCategory::kModify);
+  mud.param("value", FieldType::kStr);
+  mud.c_attr_equals("state", "stopped", err(errc::kIncorrectInstanceState));
+  mud.e_write_param("user_data", "value");
+  b.api(std::move(mud));
+
+  ApiBuilder msdc("ModifyInstanceSourceDestCheck", ApiCategory::kModify);
+  msdc.param("value", FieldType::kBool);
+  msdc.e_write_param("source_dest_check", "value");
+  b.api(std::move(msdc));
+
+  ApiBuilder mdat("ModifyInstanceDisableApiTermination", ApiCategory::kModify);
+  mdat.param("value", FieldType::kBool);
+  mdat.e_write_param("disable_api_termination", "value");
+  b.api(std::move(mdat));
+
+  ApiBuilder mebs("ModifyInstanceEbsOptimized", ApiCategory::kModify);
+  mebs.param("value", FieldType::kBool);
+  mebs.c_attr_equals("state", "stopped", err(errc::kIncorrectInstanceState));
+  mebs.e_write_param("ebs_optimized", "value");
+  b.api(std::move(mebs));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_internet_gateway() {
+  ResourceBuilder b("InternetGateway", "ec2", "igw",
+                    "A gateway attached to a VPC enabling communication with the "
+                    "Internet.");
+  b.contained_in("Vpc");
+  b.enum_attr("state", {"attaching", "attached"}, "attached");
+  b.attr("description", FieldType::kStr);
+
+  ApiBuilder create("CreateInternetGateway", ApiCategory::kCreate);
+  create.ref_param("vpc", "Vpc");
+  create.e_link_parent("vpc");
+  create.e_write_const("state", "attached", FieldType::kEnum);
+  b.api(std::move(create));
+
+  b.api(ApiBuilder("DeleteInternetGateway", ApiCategory::kDestroy));
+  b.api(ApiBuilder("DescribeInternetGateway", ApiCategory::kDescribe));
+
+  ApiBuilder desc("ModifyInternetGatewayDescription", ApiCategory::kModify);
+  desc.param("value", FieldType::kStr);
+  desc.e_write_param("description", "value");
+  b.api(std::move(desc));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_elastic_ip() {
+  // The paper's §3 toy example, at AWS fidelity.
+  ResourceBuilder b("ElasticIp", "ec2", "eipalloc",
+                    "A public IP address that allows Internet resources to "
+                    "communicate inbound to resources in the cloud.");
+  b.enum_attr("status", {"ASSIGNED", "IDLE"}, "IDLE");
+  b.enum_attr("zone", regions());
+  b.ref_attr("nic", "NetworkInterface");
+
+  ApiBuilder alloc("AllocateAddress", ApiCategory::kCreate);
+  alloc.enum_param("zone", regions());
+  alloc.c_enum_domain("zone", regions(), err(errc::kInvalidParameterValue));
+  alloc.e_write_param("zone", "zone");
+  alloc.e_write_const("status", "ASSIGNED", FieldType::kEnum);
+  b.api(std::move(alloc));
+
+  ApiBuilder release("ReleaseAddress", ApiCategory::kDestroy);
+  release.c_attr_null("nic", err(errc::kDependencyViolation));
+  b.api(std::move(release));
+
+  b.api(ApiBuilder("DescribeAddress", ApiCategory::kDescribe));
+
+  ApiBuilder assoc("AssociateAddress", ApiCategory::kModify);
+  assoc.ref_param("nic", "NetworkInterface");
+  assoc.c_attr_null("nic", err(errc::kResourceInUse));
+  assoc.c_ref_attr_match("nic", "zone", err(errc::kZoneMismatch));
+  assoc.e_set_ref("nic", "nic", /*target_attr=*/"public_ip");
+  b.api(std::move(assoc));
+
+  ApiBuilder disassoc("DisassociateAddress", ApiCategory::kModify);
+  disassoc.e_clear("nic");
+  b.api(std::move(disassoc));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_network_interface() {
+  ResourceBuilder b("NetworkInterface", "ec2", "eni",
+                    "A virtual network card attachable to instances and "
+                    "addressable by a public IP.");
+  b.contained_in("Subnet");
+  b.enum_attr("state", {"pending", "available", "in-use"}, "available");
+  b.enum_attr("zone", regions());
+  b.ref_attr("public_ip", "ElasticIp");
+  b.attr("description", FieldType::kStr);
+  b.attr("source_dest_check", FieldType::kBool, "true");
+
+  ApiBuilder create("CreateNetworkInterface", ApiCategory::kCreate);
+  create.ref_param("subnet", "Subnet");
+  create.enum_param("zone", regions());
+  create.c_enum_domain("zone", regions(), err(errc::kInvalidParameterValue));
+  create.e_link_parent("subnet");
+  create.e_write_param("zone", "zone");
+  create.e_write_const("state", "available", FieldType::kEnum);
+  b.api(std::move(create));
+
+  ApiBuilder del("DeleteNetworkInterface", ApiCategory::kDestroy);
+  del.c_attr_null("public_ip", err(errc::kDependencyViolation));
+  b.api(std::move(del));
+
+  b.api(ApiBuilder("DescribeNetworkInterface", ApiCategory::kDescribe));
+
+  ApiBuilder desc("ModifyNetworkInterfaceDescription", ApiCategory::kModify);
+  desc.param("value", FieldType::kStr);
+  desc.e_write_param("description", "value");
+  b.api(std::move(desc));
+
+  ApiBuilder sdc("ModifyNetworkInterfaceSourceDestCheck", ApiCategory::kModify);
+  sdc.param("value", FieldType::kBool);
+  sdc.e_write_param("source_dest_check", "value");
+  b.api(std::move(sdc));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_security_group() {
+  ResourceBuilder b("SecurityGroup", "ec2", "sg",
+                    "A stateful virtual firewall controlling traffic to resources "
+                    "in a VPC.");
+  b.contained_in("Vpc");
+  b.attr("group_name", FieldType::kStr);
+  b.attr("description", FieldType::kStr);
+  b.attr("last_ingress_port", FieldType::kInt);
+  b.attr("last_egress_port", FieldType::kInt);
+
+  ApiBuilder create("CreateSecurityGroup", ApiCategory::kCreate);
+  create.ref_param("vpc", "Vpc");
+  create.param("group_name", FieldType::kStr);
+  create.e_link_parent("vpc");
+  create.e_write_param("group_name", "group_name");
+  b.api(std::move(create));
+
+  b.api(ApiBuilder("DeleteSecurityGroup", ApiCategory::kDestroy));
+  b.api(ApiBuilder("DescribeSecurityGroup", ApiCategory::kDescribe));
+
+  ApiBuilder ing("AuthorizeSecurityGroupIngress", ApiCategory::kAction);
+  ing.param("port", FieldType::kInt);
+  ing.c_int_range("port", 1, 65535, err(errc::kInvalidParameterValue));
+  ing.e_write_param("last_ingress_port", "port");
+  b.api(std::move(ing));
+
+  ApiBuilder egr("AuthorizeSecurityGroupEgress", ApiCategory::kAction);
+  egr.param("port", FieldType::kInt);
+  egr.c_int_range("port", 1, 65535, err(errc::kInvalidParameterValue));
+  egr.e_write_param("last_egress_port", "port");
+  b.api(std::move(egr));
+
+  ApiBuilder ring("RevokeSecurityGroupIngress", ApiCategory::kAction);
+  ring.e_clear("last_ingress_port");
+  b.api(std::move(ring));
+
+  ApiBuilder regr("RevokeSecurityGroupEgress", ApiCategory::kAction);
+  regr.e_clear("last_egress_port");
+  b.api(std::move(regr));
+
+  ApiBuilder desc("ModifySecurityGroupDescription", ApiCategory::kModify);
+  desc.param("value", FieldType::kStr);
+  desc.e_write_param("description", "value");
+  b.api(std::move(desc));
+
+  return std::move(b).build();
+}
+
+// --------------------------------------------------------- EC2 long tail --
+
+/// A long-tail EC2 resource: standard lifecycle + a couple of modifiable
+/// string attributes + an Enable/Disable action pair.
+ResourceModel tail_resource(const std::string& name, const std::string& prefix,
+                            const std::string& parent, const std::string& summary,
+                            const std::vector<std::string>& extra_attrs,
+                            bool toggles = true) {
+  ResourceBuilder b(name, "ec2", prefix, summary);
+  if (!parent.empty()) b.contained_in(parent);
+  b.standard_lifecycle();
+  for (const auto& a : extra_attrs) b.modifiable_attr(a);
+  if (toggles) add_toggle_actions(b, name);
+  return std::move(b).build();
+}
+
+ServiceModel build_ec2() {
+  ServiceModel s;
+  s.name = "ec2";
+  s.provider = "aws";
+  s.title = "Elastic Compute Cloud";
+  s.resources.push_back(make_vpc());
+  s.resources.push_back(make_subnet());
+  s.resources.push_back(make_instance());
+  s.resources.push_back(make_internet_gateway());
+  s.resources.push_back(make_elastic_ip());
+  s.resources.push_back(make_network_interface());
+  s.resources.push_back(make_security_group());
+
+  s.resources.push_back(tail_resource(
+      "NatGateway", "nat", "Subnet",
+      "A managed network address translation gateway for outbound traffic.",
+      {"connectivity_type", "allocation_mode"}));
+  s.resources.push_back(tail_resource(
+      "RouteTable", "rtb", "Vpc",
+      "A set of routing rules determining where network traffic is directed.",
+      {"main_route", "propagation_mode"}));
+  s.resources.push_back(tail_resource(
+      "VpcEndpoint", "vpce", "Vpc",
+      "A private connection between a VPC and a supported service.",
+      {"service_name", "policy_document"}));
+  s.resources.push_back(tail_resource(
+      "VpcPeeringConnection", "pcx", "Vpc",
+      "A networking connection between two VPCs.", {"peer_vpc_label", "peer_region"}));
+  s.resources.push_back(tail_resource(
+      "KeyPair", "key", "",
+      "A public/private key pair for instance login.", {"key_type", "fingerprint_alg"},
+      /*toggles=*/false));
+  s.resources.push_back(tail_resource(
+      "Volume", "vol", "",
+      "A block storage volume attachable to instances.",
+      {"volume_type", "size_label", "iops_profile"}));
+  s.resources.push_back(tail_resource(
+      "Snapshot", "snap", "",
+      "A point-in-time copy of a volume.", {"source_volume_label", "storage_tier"}));
+  s.resources.push_back(tail_resource(
+      "Image", "ami", "",
+      "A machine image template for launching instances.",
+      {"image_name", "architecture", "root_device"}));
+  s.resources.push_back(tail_resource(
+      "LaunchTemplate", "lt", "",
+      "A saved configuration for launching instances.",
+      {"template_name", "default_version"}));
+  s.resources.push_back(tail_resource(
+      "PlacementGroup", "pg", "",
+      "A logical grouping of instances controlling placement strategy.",
+      {"strategy", "partition_label"}, /*toggles=*/false));
+  s.resources.push_back(tail_resource(
+      "DhcpOptions", "dopt", "Vpc",
+      "A set of DHCP configuration options for a VPC.",
+      {"domain_name", "ntp_servers"}, /*toggles=*/false));
+  s.resources.push_back(tail_resource(
+      "NetworkAcl", "acl", "Vpc",
+      "A stateless firewall layer for subnets.", {"default_rule", "rule_budget"}));
+  s.resources.push_back(tail_resource(
+      "FlowLog", "fl", "Vpc",
+      "Captures IP traffic metadata for a network interface, subnet, or VPC.",
+      {"traffic_type", "log_format"}));
+  s.resources.push_back(tail_resource(
+      "TransitGateway", "tgw", "",
+      "A network transit hub interconnecting VPCs and on-premises networks.",
+      {"amazon_side_asn", "route_table_mode"}));
+  s.resources.push_back(tail_resource(
+      "TransitGatewayAttachment", "tgw-attach", "TransitGateway",
+      "An attachment binding a VPC to a transit gateway.",
+      {"attachment_mode"}));
+  s.resources.push_back(tail_resource(
+      "CustomerGateway", "cgw", "",
+      "Information about an on-premises customer gateway device.",
+      {"bgp_asn_label", "device_name"}, /*toggles=*/false));
+  s.resources.push_back(tail_resource(
+      "VpnGateway", "vgw", "Vpc",
+      "The VPC side of a site-to-site VPN connection.", {"amazon_asn"}));
+  s.resources.push_back(tail_resource(
+      "VpnConnection", "vpn", "VpnGateway",
+      "A site-to-site VPN connection between a VPC and a customer gateway.",
+      {"tunnel_options", "static_routes"}));
+  s.resources.push_back(tail_resource(
+      "EgressOnlyInternetGateway", "eigw", "Vpc",
+      "A gateway permitting outbound-only IPv6 traffic.", {}, /*toggles=*/false));
+  s.resources.push_back(tail_resource(
+      "CarrierGateway", "cagw", "Vpc",
+      "A gateway connecting a Wavelength-zone subnet to a carrier network.", {}));
+  s.resources.push_back(tail_resource(
+      "CapacityReservation", "cr", "",
+      "Reserved compute capacity in a specific availability zone.",
+      {"instance_platform", "end_date_label"}));
+
+  pad_service_to(s, kEc2ApiTarget, option_pool());
+  return s;
+}
+
+// --------------------------------------------------------------- others --
+
+ResourceModel make_dynamodb_table() {
+  ResourceBuilder b("Table", "dynamodb", "table",
+                    "A schemaless key-value table with configurable throughput.");
+  b.attr("table_name", FieldType::kStr);
+  b.enum_attr("state", {"CREATING", "ACTIVE", "DELETING"}, "ACTIVE");
+  b.enum_attr("billing_mode", {"PROVISIONED", "PAY_PER_REQUEST"}, "PROVISIONED");
+  b.attr("read_capacity", FieldType::kInt, "5");
+  b.attr("write_capacity", FieldType::kInt, "5");
+  b.enum_attr("table_class", {"STANDARD", "STANDARD_IA"}, "STANDARD");
+  b.attr("deletion_protection", FieldType::kBool, "false");
+
+  ApiBuilder create("CreateTable", ApiCategory::kCreate);
+  create.param("table_name", FieldType::kStr);
+  create.enum_param("billing_mode", {"PROVISIONED", "PAY_PER_REQUEST"});
+  create.c_enum_domain("billing_mode", {"PROVISIONED", "PAY_PER_REQUEST"},
+                       err(errc::kValidationError));
+  create.e_write_param("table_name", "table_name");
+  create.e_write_param("billing_mode", "billing_mode");
+  create.e_write_const("state", "ACTIVE", FieldType::kEnum);
+  b.api(std::move(create));
+
+  ApiBuilder del("DeleteTable", ApiCategory::kDestroy);
+  del.c_children_reclaimed(err(errc::kResourceInUse));
+  del.c_attr_equals("deletion_protection", "false", err(errc::kValidationError));
+  b.api(std::move(del));
+
+  b.api(ApiBuilder("DescribeTable", ApiCategory::kDescribe));
+
+  ApiBuilder bm("UpdateTableBillingMode", ApiCategory::kModify);
+  bm.enum_param("value", {"PROVISIONED", "PAY_PER_REQUEST"});
+  bm.c_enum_domain("value", {"PROVISIONED", "PAY_PER_REQUEST"},
+                   err(errc::kValidationError));
+  bm.e_write_param("billing_mode", "value");
+  b.api(std::move(bm));
+
+  ApiBuilder rc("UpdateTableReadCapacity", ApiCategory::kModify);
+  rc.param("value", FieldType::kInt);
+  rc.c_int_range("value", 1, 40000, err(errc::kLimitExceeded));
+  // Capacity updates only make sense in PROVISIONED mode (documented).
+  rc.c_attr_equals("billing_mode", "PROVISIONED", err(errc::kValidationError));
+  rc.e_write_param("read_capacity", "value");
+  b.api(std::move(rc));
+
+  ApiBuilder wc("UpdateTableWriteCapacity", ApiCategory::kModify);
+  wc.param("value", FieldType::kInt);
+  wc.c_int_range("value", 1, 40000, err(errc::kLimitExceeded));
+  wc.c_attr_equals("billing_mode", "PROVISIONED", err(errc::kValidationError));
+  wc.e_write_param("write_capacity", "value");
+  b.api(std::move(wc));
+
+  ApiBuilder tc("UpdateTableClass", ApiCategory::kModify);
+  tc.enum_param("value", {"STANDARD", "STANDARD_IA"});
+  tc.c_enum_domain("value", {"STANDARD", "STANDARD_IA"}, err(errc::kValidationError));
+  tc.e_write_param("table_class", "value");
+  b.api(std::move(tc));
+
+  ApiBuilder dp("UpdateTableDeletionProtection", ApiCategory::kModify);
+  dp.param("value", FieldType::kBool);
+  dp.e_write_param("deletion_protection", "value");
+  b.api(std::move(dp));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_dynamodb_item() {
+  ResourceBuilder b("Item", "dynamodb", "item",
+                    "A single key-addressed record stored in a table.");
+  b.contained_in("Table");
+  b.attr("item_key", FieldType::kStr);
+  b.attr("payload", FieldType::kStr);
+
+  ApiBuilder put("PutItem", ApiCategory::kCreate);
+  put.ref_param("table", "Table");
+  put.param("item_key", FieldType::kStr);
+  put.param("payload", FieldType::kStr, /*required=*/false);
+  put.e_link_parent("table");
+  put.e_write_param("item_key", "item_key");
+  put.e_write_param("payload", "payload");
+  b.api(std::move(put));
+
+  b.api(ApiBuilder("DeleteItem", ApiCategory::kDestroy));
+  b.api(ApiBuilder("GetItem", ApiCategory::kDescribe));
+
+  ApiBuilder upd("UpdateItemPayload", ApiCategory::kModify);
+  upd.param("value", FieldType::kStr);
+  upd.e_write_param("payload", "value");
+  b.api(std::move(upd));
+
+  return std::move(b).build();
+}
+
+ServiceModel build_dynamodb() {
+  ServiceModel s;
+  s.name = "dynamodb";
+  s.provider = "aws";
+  s.title = "DynamoDB";
+  s.resources.push_back(make_dynamodb_table());
+  s.resources.push_back(make_dynamodb_item());
+
+  {
+    ResourceBuilder b("SecondaryIndex", "dynamodb", "gsi",
+                      "A global secondary index over a table.");
+    b.contained_in("Table");
+    b.standard_lifecycle();
+    b.modifiable_attr("projection_type");
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("GlobalTable", "dynamodb", "gt",
+                      "A multi-region replicated table.");
+    b.standard_lifecycle();
+    b.modifiable_attr("replica_regions");
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("Backup", "dynamodb", "backup",
+                      "A full backup of a table at a point in time.");
+    b.contained_in("Table");
+    b.standard_lifecycle(/*guard_delete=*/false);
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("TableStream", "dynamodb", "stream",
+                      "An ordered change-data-capture stream for a table.");
+    b.contained_in("Table");
+    b.standard_lifecycle(/*guard_delete=*/false);
+    b.modifiable_enum_attr("view_type", {"KEYS_ONLY", "NEW_IMAGE", "OLD_IMAGE"},
+                           "KEYS_ONLY");
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("ExportJob", "dynamodb", "export",
+                      "An asynchronous export of table data to object storage.");
+    b.contained_in("Table");
+    b.standard_lifecycle(/*guard_delete=*/false);
+    s.resources.push_back(std::move(b).build());
+  }
+
+  pad_service_to(s, kDynamoDbApiTarget, option_pool());
+  return s;
+}
+
+ResourceModel make_firewall() {
+  ResourceBuilder b("Firewall", "network-firewall", "fw",
+                    "A stateful managed network firewall protecting a VPC.");
+  b.contained_in("Vpc");
+  b.enum_attr("state", {"PROVISIONING", "READY", "DELETING"}, "READY");
+  b.ref_attr("policy", "FirewallPolicy");
+  b.attr("delete_protection", FieldType::kBool, "false");
+  b.attr("description", FieldType::kStr);
+
+  ApiBuilder create("CreateFirewall", ApiCategory::kCreate);
+  create.ref_param("vpc", "Vpc");
+  create.ref_param("policy", "FirewallPolicy");
+  create.e_link_parent("vpc");
+  create.e_set_ref("policy", "policy");
+  create.e_write_const("state", "READY", FieldType::kEnum);
+  b.api(std::move(create));
+
+  ApiBuilder del("DeleteFirewall", ApiCategory::kDestroy);
+  del.c_attr_equals("delete_protection", "false", err(errc::kResourceInUse));
+  b.api(std::move(del));
+
+  b.api(ApiBuilder("DescribeFirewall", ApiCategory::kDescribe));
+
+  ApiBuilder assoc("AssociateFirewallPolicy", ApiCategory::kModify);
+  assoc.ref_param("policy", "FirewallPolicy");
+  assoc.e_set_ref("policy", "policy");
+  b.api(std::move(assoc));
+
+  ApiBuilder dp("UpdateFirewallDeleteProtection", ApiCategory::kModify);
+  dp.param("value", FieldType::kBool);
+  dp.e_write_param("delete_protection", "value");
+  b.api(std::move(dp));
+
+  ApiBuilder desc("UpdateFirewallDescription", ApiCategory::kModify);
+  desc.param("value", FieldType::kStr);
+  desc.e_write_param("description", "value");
+  b.api(std::move(desc));
+
+  return std::move(b).build();
+}
+
+ServiceModel build_network_firewall() {
+  ServiceModel s;
+  s.name = "network-firewall";
+  s.provider = "aws";
+  s.title = "Network Firewall";
+  s.resources.push_back(make_firewall());
+
+  {
+    ResourceBuilder b("FirewallPolicy", "network-firewall", "fwp",
+                      "A reusable policy describing a firewall's rule groups and "
+                      "default actions.");
+    b.standard_lifecycle();
+    b.modifiable_attr("description");
+    b.modifiable_enum_attr("stateless_default_action", {"PASS", "DROP", "FORWARD"},
+                           "DROP");
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("RuleGroup", "network-firewall", "rg",
+                      "A reusable set of traffic filtering rules.");
+    ApiBuilder create("CreateRuleGroup", ApiCategory::kCreate);
+    create.param("capacity", FieldType::kInt);
+    create.enum_param("rule_type", {"STATELESS", "STATEFUL"});
+    create.c_int_range("capacity", 1, 30000, err(errc::kLimitExceeded));
+    create.c_enum_domain("rule_type", {"STATELESS", "STATEFUL"},
+                         err(errc::kInvalidParameterValue));
+    create.e_write_param("capacity", "capacity");
+    create.e_write_param("rule_type", "rule_type");
+    b.attr("capacity", FieldType::kInt);
+    b.enum_attr("rule_type", {"STATELESS", "STATEFUL"});
+    b.api(std::move(create));
+    b.api(ApiBuilder("DeleteRuleGroup", ApiCategory::kDestroy));
+    b.api(ApiBuilder("DescribeRuleGroup", ApiCategory::kDescribe));
+    b.modifiable_attr("rules_source");
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("LoggingConfiguration", "network-firewall", "fwlog",
+                      "Destination configuration for firewall flow and alert logs.");
+    b.contained_in("Firewall");
+    b.standard_lifecycle(/*guard_delete=*/false);
+    b.modifiable_enum_attr("log_type", {"FLOW", "ALERT", "TLS"}, "FLOW");
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("TlsInspectionConfiguration", "network-firewall", "tlsconf",
+                      "TLS traffic decryption and re-encryption settings.");
+    b.standard_lifecycle(/*guard_delete=*/false);
+    b.modifiable_attr("certificate_arn");
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("FirewallEndpoint", "network-firewall", "fwe",
+                      "A per-zone traffic inspection endpoint of a firewall.");
+    b.contained_in("Firewall");
+    b.standard_lifecycle(/*guard_delete=*/false);
+    b.modifiable_enum_attr("zone", regions());
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("FirewallResourcePolicy", "network-firewall", "fwrp",
+                      "A resource-sharing policy over firewall rule groups.");
+    b.standard_lifecycle(/*guard_delete=*/false);
+    b.modifiable_attr("policy_document");
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("AnalysisReport", "network-firewall", "fwar",
+                      "An asynchronous traffic-analysis report for a firewall.");
+    b.contained_in("Firewall");
+    b.standard_lifecycle(/*guard_delete=*/false);
+    s.resources.push_back(std::move(b).build());
+  }
+
+  pad_service_to(s, kNetworkFirewallApiTarget, option_pool());
+  return s;
+}
+
+ServiceModel build_eks() {
+  ServiceModel s;
+  s.name = "eks";
+  s.provider = "aws";
+  s.title = "Elastic Kubernetes Service";
+
+  {
+    ResourceBuilder b("Cluster", "eks", "eks",
+                      "A managed Kubernetes control plane.");
+    b.enum_attr("state", {"CREATING", "ACTIVE", "DELETING"}, "ACTIVE");
+    b.enum_attr("version", {"1.27", "1.28", "1.29"}, "1.29");
+    b.ref_attr("vpc", "Vpc");
+    ApiBuilder create("CreateCluster", ApiCategory::kCreate);
+    create.ref_param("vpc", "Vpc");
+    create.enum_param("version", {"1.27", "1.28", "1.29"});
+    create.c_enum_domain("version", {"1.27", "1.28", "1.29"},
+                         err(errc::kInvalidParameterValue));
+    create.e_set_ref("vpc", "vpc");
+    create.e_write_param("version", "version");
+    create.e_write_const("state", "ACTIVE", FieldType::kEnum);
+    b.api(std::move(create));
+    ApiBuilder del("DeleteCluster", ApiCategory::kDestroy);
+    del.c_children_reclaimed(err(errc::kResourceInUse));
+    b.api(std::move(del));
+    b.api(ApiBuilder("DescribeCluster", ApiCategory::kDescribe));
+    ApiBuilder upv("UpdateClusterVersion", ApiCategory::kModify);
+    upv.enum_param("value", {"1.27", "1.28", "1.29"});
+    upv.c_enum_domain("value", {"1.27", "1.28", "1.29"},
+                      err(errc::kInvalidParameterValue));
+    upv.c_attr_equals("state", "ACTIVE", err(errc::kInvalidState));
+    upv.e_write_param("version", "value");
+    b.api(std::move(upv));
+    b.modifiable_attr("logging_config");
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("Nodegroup", "eks", "ng",
+                      "A managed group of worker nodes for a cluster.");
+    b.contained_in("Cluster");
+    b.standard_lifecycle(/*guard_delete=*/false);
+    ApiBuilder scale("UpdateNodegroupScaling", ApiCategory::kModify);
+    scale.param("desired_size", FieldType::kInt);
+    scale.c_int_range("desired_size", 0, 450, err(errc::kLimitExceeded));
+    scale.e_write_param("desired_size", "desired_size");
+    b.attr("desired_size", FieldType::kInt, "2");
+    b.api(std::move(scale));
+    b.modifiable_attr("instance_types");
+    b.modifiable_attr("ami_release");
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("FargateProfile", "eks", "fp",
+                      "A serverless compute profile selecting pods to run on "
+                      "Fargate.");
+    b.contained_in("Cluster");
+    b.standard_lifecycle(/*guard_delete=*/false);
+    b.modifiable_attr("pod_selectors");
+    s.resources.push_back(std::move(b).build());
+  }
+  {
+    ResourceBuilder b("Addon", "eks", "addon",
+                      "A managed operational add-on installed into a cluster.");
+    b.contained_in("Cluster");
+    b.standard_lifecycle(/*guard_delete=*/false);
+    b.modifiable_attr("addon_version");
+    b.modifiable_enum_attr("resolve_conflicts", {"OVERWRITE", "NONE", "PRESERVE"},
+                           "NONE");
+    s.resources.push_back(std::move(b).build());
+  }
+
+  pad_service_to(s, kEksApiTarget, option_pool());
+  return s;
+}
+
+}  // namespace
+
+CloudCatalog build_aws_catalog() {
+  CloudCatalog c;
+  c.provider = "aws";
+  c.services.push_back(build_ec2());
+  c.services.push_back(build_dynamodb());
+  c.services.push_back(build_network_firewall());
+  c.services.push_back(build_eks());
+  return c;
+}
+
+}  // namespace lce::docs

@@ -1,0 +1,278 @@
+// The synthetic Azure catalog (§5 "Multi-cloud"): the same behavioural
+// vocabulary as AWS — addressing rules, dependency guards, state-machine
+// preconditions — expressed through Azure-style resource and API naming
+// (Put*/Deallocate*, VirtualNetwork/NetworkSecurityGroup, ...). The
+// multi-cloud analysis compares equivalent services' check sets (§4.4).
+#include "docs/corpus.h"
+
+#include "common/errors.h"
+#include "docs/builder.h"
+
+namespace lce::docs {
+
+namespace {
+
+std::string err(std::string_view code) { return std::string(code); }
+
+ResourceModel make_virtual_network() {
+  ResourceBuilder b("VirtualNetwork", "network", "vnet",
+                    "An isolated virtual network in which subnets and NICs live.");
+  b.attr("address_space", FieldType::kStr);
+  b.enum_attr("provisioning_state", {"Updating", "Succeeded"}, "Succeeded");
+  b.attr("ddos_protection", FieldType::kBool, "false");
+  b.attr("description", FieldType::kStr);
+
+  ApiBuilder create("PutVirtualNetwork", ApiCategory::kCreate);
+  create.param("address_space", FieldType::kStr);
+  create.c_cidr_valid("address_space", err(errc::kInvalidParameterValue));
+  create.c_prefix_range("address_space", 8, 29, err(errc::kValidationError));
+  create.e_write_param("address_space", "address_space");
+  create.e_write_const("provisioning_state", "Succeeded", FieldType::kEnum);
+  b.api(std::move(create));
+
+  ApiBuilder del("DeleteVirtualNetwork", ApiCategory::kDestroy);
+  del.c_children_reclaimed(err(errc::kResourceInUse));
+  b.api(std::move(del));
+
+  b.api(ApiBuilder("GetVirtualNetwork", ApiCategory::kDescribe));
+
+  ApiBuilder ddos("UpdateVirtualNetworkDdosProtection", ApiCategory::kModify);
+  ddos.param("value", FieldType::kBool);
+  ddos.e_write_param("ddos_protection", "value");
+  b.api(std::move(ddos));
+
+  ApiBuilder desc("UpdateVirtualNetworkDescription", ApiCategory::kModify);
+  desc.param("value", FieldType::kStr);
+  desc.e_write_param("description", "value");
+  b.api(std::move(desc));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_azure_subnet() {
+  ResourceBuilder b("VnetSubnet", "network", "vnsub",
+                    "An address range carved out of a virtual network.");
+  b.contained_in("VirtualNetwork");
+  b.attr("address_prefix", FieldType::kStr);
+  b.enum_attr("provisioning_state", {"Updating", "Succeeded"}, "Succeeded");
+  b.attr("private_endpoint_policies", FieldType::kBool, "false");
+
+  ApiBuilder create("PutVnetSubnet", ApiCategory::kCreate);
+  create.ref_param("vnet", "VirtualNetwork");
+  create.param("address_prefix", FieldType::kStr);
+  create.c_cidr_valid("address_prefix", err(errc::kInvalidParameterValue));
+  // Azure allows /29 where AWS stops at /28 — a genuine cross-cloud
+  // behavioural difference surfaced by the multi-cloud comparison.
+  create.c_prefix_range("address_prefix", 8, 29, err(errc::kValidationError));
+  create.c_within_parent("address_prefix", "address_space", err(errc::kValidationError));
+  create.c_no_overlap("address_prefix", "address_prefix", err(errc::kResourceInUse));
+  create.e_link_parent("vnet");
+  create.e_write_param("address_prefix", "address_prefix");
+  create.e_write_const("provisioning_state", "Succeeded", FieldType::kEnum);
+  b.api(std::move(create));
+
+  ApiBuilder del("DeleteVnetSubnet", ApiCategory::kDestroy);
+  del.c_children_reclaimed(err(errc::kResourceInUse));
+  b.api(std::move(del));
+
+  b.api(ApiBuilder("GetVnetSubnet", ApiCategory::kDescribe));
+
+  ApiBuilder pep("UpdateVnetSubnetPrivateEndpointPolicies", ApiCategory::kModify);
+  pep.param("value", FieldType::kBool);
+  pep.e_write_param("private_endpoint_policies", "value");
+  b.api(std::move(pep));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_public_ip_address() {
+  ResourceBuilder b("PublicIPAddress", "network", "pip",
+                    "A public IP address assignable to a network interface.");
+  b.enum_attr("allocation", {"Static", "Dynamic"}, "Dynamic");
+  b.enum_attr("zone", regions());
+  b.ref_attr("ip_configuration", "AzureNic");
+
+  ApiBuilder create("PutPublicIPAddress", ApiCategory::kCreate);
+  create.enum_param("zone", regions());
+  create.enum_param("allocation", {"Static", "Dynamic"});
+  create.c_enum_domain("zone", regions(), err(errc::kInvalidParameterValue));
+  create.c_enum_domain("allocation", {"Static", "Dynamic"},
+                       err(errc::kInvalidParameterValue));
+  create.e_write_param("zone", "zone");
+  create.e_write_param("allocation", "allocation");
+  b.api(std::move(create));
+
+  ApiBuilder del("DeletePublicIPAddress", ApiCategory::kDestroy);
+  del.c_attr_null("ip_configuration", err(errc::kResourceInUse));
+  b.api(std::move(del));
+
+  b.api(ApiBuilder("GetPublicIPAddress", ApiCategory::kDescribe));
+
+  ApiBuilder assoc("AssociatePublicIPAddress", ApiCategory::kModify);
+  assoc.ref_param("nic", "AzureNic");
+  assoc.c_attr_null("ip_configuration", err(errc::kResourceInUse));
+  assoc.c_ref_attr_match("nic", "zone", err(errc::kZoneMismatch));
+  assoc.e_set_ref("ip_configuration", "nic", "public_ip");
+  b.api(std::move(assoc));
+
+  ApiBuilder dis("DissociatePublicIPAddress", ApiCategory::kModify);
+  dis.e_clear("ip_configuration");
+  b.api(std::move(dis));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_azure_nic() {
+  ResourceBuilder b("AzureNic", "network", "aznic",
+                    "A network interface card attachable to a virtual machine.");
+  b.contained_in("VnetSubnet");
+  b.enum_attr("zone", regions());
+  b.ref_attr("public_ip", "PublicIPAddress");
+  b.attr("accelerated_networking", FieldType::kBool, "false");
+
+  ApiBuilder create("PutAzureNic", ApiCategory::kCreate);
+  create.ref_param("subnet", "VnetSubnet");
+  create.enum_param("zone", regions());
+  create.c_enum_domain("zone", regions(), err(errc::kInvalidParameterValue));
+  create.e_link_parent("subnet");
+  create.e_write_param("zone", "zone");
+  b.api(std::move(create));
+
+  ApiBuilder del("DeleteAzureNic", ApiCategory::kDestroy);
+  del.c_attr_null("public_ip", err(errc::kResourceInUse));
+  b.api(std::move(del));
+
+  b.api(ApiBuilder("GetAzureNic", ApiCategory::kDescribe));
+
+  ApiBuilder acc("UpdateAzureNicAcceleratedNetworking", ApiCategory::kModify);
+  acc.param("value", FieldType::kBool);
+  acc.e_write_param("accelerated_networking", "value");
+  b.api(std::move(acc));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_network_security_group() {
+  ResourceBuilder b("NetworkSecurityGroup", "network", "nsg",
+                    "A packet filter applied to subnets and NICs.");
+  b.contained_in("VirtualNetwork");
+  b.attr("rule_priority_floor", FieldType::kInt, "100");
+  b.attr("description", FieldType::kStr);
+
+  ApiBuilder create("PutNetworkSecurityGroup", ApiCategory::kCreate);
+  create.ref_param("vnet", "VirtualNetwork");
+  create.e_link_parent("vnet");
+  b.api(std::move(create));
+
+  b.api(ApiBuilder("DeleteNetworkSecurityGroup", ApiCategory::kDestroy));
+  b.api(ApiBuilder("GetNetworkSecurityGroup", ApiCategory::kDescribe));
+
+  ApiBuilder rule("PutSecurityRule", ApiCategory::kAction);
+  rule.param("priority", FieldType::kInt);
+  rule.c_int_range("priority", 100, 4096, err(errc::kValidationError));
+  rule.e_write_param("rule_priority_floor", "priority");
+  b.api(std::move(rule));
+
+  ApiBuilder desc("UpdateNetworkSecurityGroupDescription", ApiCategory::kModify);
+  desc.param("value", FieldType::kStr);
+  desc.e_write_param("description", "value");
+  b.api(std::move(desc));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_virtual_machine() {
+  ResourceBuilder b("VirtualMachine", "compute", "vm",
+                    "A virtual machine attached to a NIC inside a subnet.");
+  b.contained_in("VnetSubnet");
+  b.enum_attr("power_state", {"starting", "running", "deallocating", "deallocated"},
+              "running");
+  b.attr("vm_size", FieldType::kStr, "Standard_B1s");
+  b.enum_attr("priority", {"Regular", "Spot"}, "Regular");
+
+  ApiBuilder create("PutVirtualMachine", ApiCategory::kCreate);
+  create.ref_param("subnet", "VnetSubnet");
+  create.param("vm_size", FieldType::kStr);
+  create.e_link_parent("subnet");
+  create.e_write_param("vm_size", "vm_size");
+  create.e_write_const("power_state", "running", FieldType::kEnum);
+  b.api(std::move(create));
+
+  b.api(ApiBuilder("DeleteVirtualMachine", ApiCategory::kDestroy));
+  b.api(ApiBuilder("GetVirtualMachine", ApiCategory::kDescribe));
+
+  // Same underspecification as AWS StartInstance: the docs do not spell
+  // out the failure on a running VM (§6).
+  ApiBuilder start("StartVirtualMachine", ApiCategory::kAction);
+  start.c_attr_equals("power_state", "deallocated", err(errc::kIncorrectInstanceState),
+                      /*documented=*/false);
+  start.e_write_const("power_state", "running", FieldType::kEnum);
+  b.api(std::move(start));
+
+  ApiBuilder dealloc("DeallocateVirtualMachine", ApiCategory::kAction);
+  dealloc.c_attr_equals("power_state", "running", err(errc::kIncorrectInstanceState));
+  dealloc.e_write_const("power_state", "deallocated", FieldType::kEnum);
+  b.api(std::move(dealloc));
+
+  ApiBuilder resize("ResizeVirtualMachine", ApiCategory::kModify);
+  resize.param("value", FieldType::kStr);
+  resize.c_attr_equals("power_state", "deallocated", err(errc::kIncorrectInstanceState));
+  resize.e_write_param("vm_size", "value");
+  b.api(std::move(resize));
+
+  return std::move(b).build();
+}
+
+ResourceModel make_managed_disk() {
+  ResourceBuilder b("ManagedDisk", "compute", "disk",
+                    "A managed block storage disk.");
+  b.standard_lifecycle(/*guard_delete=*/false);
+  ApiBuilder resize("ResizeManagedDisk", ApiCategory::kModify);
+  resize.param("size_gb", FieldType::kInt);
+  resize.c_int_range("size_gb", 4, 32767, err(errc::kValidationError));
+  resize.e_write_param("size_gb", "size_gb");
+  ResourceModel r = std::move(b).build();
+  r.attrs.push_back(AttrModel{"size_gb", FieldType::kInt, {}, "", "32"});
+  r.apis.push_back(std::move(resize).build());
+  return r;
+}
+
+}  // namespace
+
+CloudCatalog build_azure_catalog() {
+  CloudCatalog c;
+  c.provider = "azure";
+  ServiceModel network;
+  network.name = "network";
+  network.provider = "azure";
+  network.title = "Azure Virtual Network";
+  network.resources.push_back(make_virtual_network());
+  network.resources.push_back(make_azure_subnet());
+  network.resources.push_back(make_public_ip_address());
+  network.resources.push_back(make_azure_nic());
+  network.resources.push_back(make_network_security_group());
+  c.services.push_back(std::move(network));
+
+  ServiceModel compute;
+  compute.name = "compute";
+  compute.provider = "azure";
+  compute.title = "Azure Compute";
+  compute.resources.push_back(make_virtual_machine());
+  compute.resources.push_back(make_managed_disk());
+  c.services.push_back(std::move(compute));
+  return c;
+}
+
+const std::vector<ServiceEquivalence>& aws_azure_equivalences() {
+  static const std::vector<ServiceEquivalence> kPairs = {
+      {"Vpc", "VirtualNetwork"},
+      {"Subnet", "VnetSubnet"},
+      {"Instance", "VirtualMachine"},
+      {"ElasticIp", "PublicIPAddress"},
+      {"NetworkInterface", "AzureNic"},
+      {"SecurityGroup", "NetworkSecurityGroup"},
+  };
+  return kPairs;
+}
+
+}  // namespace lce::docs

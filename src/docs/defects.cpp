@@ -1,0 +1,143 @@
+#include "docs/defects.h"
+
+#include "common/errors.h"
+#include "common/strings.h"
+
+namespace lce::docs {
+
+std::string to_string(DefectKind k) {
+  switch (k) {
+    case DefectKind::kOmittedConstraint: return "omitted-constraint";
+    case DefectKind::kWrongErrorCode: return "wrong-error-code";
+    case DefectKind::kLooserRange: return "looser-range";
+    case DefectKind::kDroppedAttr: return "dropped-attr";
+    case DefectKind::kStaleEnumMember: return "stale-enum-member";
+  }
+  return "?";
+}
+
+std::string InjectedDefect::to_text() const {
+  return strf("[", to_string(kind), "] ", resource, api.empty() ? "" : strf("::", api),
+              ": ", detail);
+}
+
+namespace {
+
+/// Error codes a confused doc writer might substitute.
+const std::vector<std::string>& decoy_codes() {
+  static const std::vector<std::string> kDecoys = {
+      std::string(errc::kValidationError),
+      std::string(errc::kInvalidParameterValue),
+      std::string(errc::kInvalidState),
+      std::string(errc::kUnsupportedOperation),
+  };
+  return kDecoys;
+}
+
+}  // namespace
+
+DefectPlan inject_defects(CloudCatalog& catalog, double rate, Rng& rng) {
+  DefectPlan plan;
+  for (auto& service : catalog.services) {
+    for (auto& resource : service.resources) {
+      for (auto& api : resource.apis) {
+        if (api.constraints.empty() || !rng.chance(rate)) continue;
+        // One defect per API maximum; pick a documented constraint.
+        std::vector<std::size_t> candidates;
+        for (std::size_t i = 0; i < api.constraints.size(); ++i) {
+          if (api.constraints[i].documented) candidates.push_back(i);
+        }
+        if (candidates.empty()) continue;
+        ConstraintModel& c =
+            api.constraints[candidates[rng.uniform(candidates.size())]];
+
+        // Choose a defect applicable to this constraint.
+        if (c.kind == ConstraintKind::kEnumDomain && rng.chance(0.34)) {
+          // Stale documentation lists a value the cloud no longer accepts —
+          // both in the API's domain sentence and in the attribute table.
+          std::string stale = "legacy-" + c.str_vals.front();
+          c.str_vals.push_back(stale);
+          for (const auto& e : api.effects) {
+            if (e.kind != EffectKind::kWriteParam || e.param != c.param) continue;
+            for (auto& attr : resource.attrs) {
+              if (attr.name == e.attr && attr.type == FieldType::kEnum) {
+                attr.enum_members.push_back(stale);
+              }
+            }
+          }
+          plan.defects.push_back(InjectedDefect{
+              DefectKind::kStaleEnumMember, resource.name, api.name,
+              strf("docs list stale member '", stale, "' the cloud rejects")});
+          continue;
+        }
+        switch (rng.uniform(3)) {
+          case 0: {
+            c.documented = false;  // omitted from the rendered docs
+            plan.defects.push_back(InjectedDefect{
+                DefectKind::kOmittedConstraint, resource.name, api.name,
+                strf("docs omit ", to_string(c.kind), " check (code ", c.error_code, ")")});
+            break;
+          }
+          case 1: {
+            std::string old = c.error_code;
+            std::string decoy = decoy_codes()[rng.uniform(decoy_codes().size())];
+            if (decoy == old) decoy = decoy_codes()[(rng.uniform(3) + 1) % 4];
+            if (decoy == old) break;
+            c.error_code = decoy;
+            plan.defects.push_back(InjectedDefect{
+                DefectKind::kWrongErrorCode, resource.name, api.name,
+                strf("docs say '", decoy, "' where the cloud returns '", old, "'")});
+            break;
+          }
+          case 2: {
+            if (c.kind == ConstraintKind::kCidrPrefixRange ||
+                c.kind == ConstraintKind::kIntRange) {
+              int old_hi = c.int_hi;
+              c.int_hi += 1 + static_cast<int>(rng.uniform(3));
+              plan.defects.push_back(InjectedDefect{
+                  DefectKind::kLooserRange, resource.name, api.name,
+                  strf("docs widen upper bound ", old_hi, " -> ", c.int_hi)});
+            } else {
+              c.documented = false;
+              plan.defects.push_back(InjectedDefect{
+                  DefectKind::kOmittedConstraint, resource.name, api.name,
+                  strf("docs omit ", to_string(c.kind), " check (code ", c.error_code,
+                       ")")});
+            }
+            break;
+          }
+        }
+      }
+      // Occasionally drop a non-essential attribute from the table.
+      if (resource.attrs.size() > 2 && rng.chance(rate / 2)) {
+        // Never drop attributes effects/constraints depend on.
+        auto used = [&](const std::string& attr) {
+          for (const auto& api : resource.apis) {
+            for (const auto& c : api.constraints) {
+              if (c.attr == attr) return true;
+            }
+            for (const auto& e : api.effects) {
+              if (e.attr == attr || e.target_attr == attr) return true;
+            }
+          }
+          return false;
+        };
+        std::vector<std::size_t> droppable;
+        for (std::size_t i = 0; i < resource.attrs.size(); ++i) {
+          if (!used(resource.attrs[i].name)) droppable.push_back(i);
+        }
+        if (!droppable.empty()) {
+          std::size_t idx = droppable[rng.uniform(droppable.size())];
+          plan.defects.push_back(InjectedDefect{
+              DefectKind::kDroppedAttr, resource.name, "",
+              strf("docs omit attribute '", resource.attrs[idx].name, "'")});
+          resource.attrs.erase(resource.attrs.begin() +
+                               static_cast<std::ptrdiff_t>(idx));
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace lce::docs

@@ -1,0 +1,47 @@
+// Documentation-defect injection (paper §4.3: "documentation may contain
+// slight errors or does not stay perfectly in sync with the actual cloud
+// behavior"). Defects are applied to a *copy* of the catalog before
+// rendering, so the learned pipeline sees defective text while the
+// reference cloud keeps executing the true catalog. The alignment phase
+// must discover and repair precisely these divergences.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "docs/model.h"
+
+namespace lce::docs {
+
+enum class DefectKind {
+  kOmittedConstraint,  // a documented constraint silently disappears
+  kWrongErrorCode,     // text names a different (registered) error code
+  kLooserRange,        // a numeric bound widened (e.g. /28 -> /29)
+  kDroppedAttr,        // an attribute missing from the attribute table
+  kStaleEnumMember,    // enum list gains a member the cloud rejects
+};
+
+std::string to_string(DefectKind k);
+
+struct InjectedDefect {
+  DefectKind kind;
+  std::string resource;
+  std::string api;    // "" for attribute-level defects
+  std::string detail;
+
+  std::string to_text() const;
+};
+
+struct DefectPlan {
+  std::vector<InjectedDefect> defects;
+};
+
+/// Mutate `catalog` in place, injecting approximately `rate` defects per
+/// eligible site (seeded). Core lifecycle integrity is preserved: create/
+/// destroy/describe APIs always survive, and at most one defect lands per
+/// API. Returns the plan of what was injected (used by EXPERIMENTS.md
+/// reporting and by tests asserting the alignment loop repairs them).
+DefectPlan inject_defects(CloudCatalog& catalog, double rate, Rng& rng);
+
+}  // namespace lce::docs

@@ -1,0 +1,50 @@
+#include "docs/literals.h"
+
+#include "common/strings.h"
+
+namespace lce::docs {
+
+Value parse_literal(const std::string& text, FieldType type) {
+  if (text.empty()) return Value();
+  switch (type) {
+    case FieldType::kBool:
+      return Value(text == "true");
+    case FieldType::kInt: {
+      std::int64_t v = 0;
+      if (parse_int(text, v)) return Value(v);
+      return Value();
+    }
+    case FieldType::kStr:
+    case FieldType::kEnum:
+      return Value(text);
+    case FieldType::kRef:
+      return Value::ref(text);
+    case FieldType::kList:
+      return Value(Value::List{});
+  }
+  return Value();
+}
+
+bool value_admits(FieldType type, const std::vector<std::string>& enum_members,
+                  const Value& v) {
+  switch (type) {
+    case FieldType::kBool: return v.is_bool();
+    case FieldType::kInt: return v.is_int();
+    case FieldType::kStr: return v.is_str();
+    case FieldType::kEnum: {
+      if (!v.is_str()) return false;
+      for (const auto& m : enum_members) {
+        if (m == v.as_str()) return true;
+      }
+      // A string outside the documented member set is still a *string*;
+      // domain membership is enforced by kEnumDomain constraints, so the
+      // type check stays permissive here.
+      return true;
+    }
+    case FieldType::kRef: return v.is_ref();
+    case FieldType::kList: return v.is_list();
+  }
+  return false;
+}
+
+}  // namespace lce::docs

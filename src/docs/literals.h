@@ -1,0 +1,21 @@
+// Conversions between catalog-level field models and runtime Values,
+// shared by the reference cloud engine and the spec synthesizer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+#include "docs/model.h"
+
+namespace lce::docs {
+
+/// Parse a literal in its string form ("true", "5", "available") into a
+/// Value of the given field type. Empty text -> null.
+Value parse_literal(const std::string& text, FieldType type);
+
+/// Runtime type admission for a field model (mirrors spec::Type::admits).
+bool value_admits(FieldType type, const std::vector<std::string>& enum_members,
+                  const Value& v);
+
+}  // namespace lce::docs

@@ -1,0 +1,145 @@
+#include "docs/model.h"
+
+namespace lce::docs {
+
+std::string to_string(FieldType t) {
+  switch (t) {
+    case FieldType::kBool: return "boolean";
+    case FieldType::kInt: return "integer";
+    case FieldType::kStr: return "string";
+    case FieldType::kEnum: return "enum";
+    case FieldType::kRef: return "reference";
+    case FieldType::kList: return "list";
+  }
+  return "?";
+}
+
+std::string to_string(ConstraintKind k) {
+  switch (k) {
+    case ConstraintKind::kEnumDomain: return "enum-domain";
+    case ConstraintKind::kCidrValid: return "cidr-valid";
+    case ConstraintKind::kCidrPrefixRange: return "cidr-prefix-range";
+    case ConstraintKind::kCidrWithinParent: return "cidr-within-parent";
+    case ConstraintKind::kNoSiblingOverlap: return "no-sibling-overlap";
+    case ConstraintKind::kAttrEquals: return "attr-equals";
+    case ConstraintKind::kAttrNotEquals: return "attr-not-equals";
+    case ConstraintKind::kRefAttrMatchesSelf: return "ref-attr-matches-self";
+    case ConstraintKind::kAttrNull: return "attr-null";
+    case ConstraintKind::kAttrTrueRequires: return "attr-true-requires";
+    case ConstraintKind::kChildrenReclaimed: return "children-reclaimed";
+    case ConstraintKind::kIntRange: return "int-range";
+  }
+  return "?";
+}
+
+std::string to_string(EffectKind k) {
+  switch (k) {
+    case EffectKind::kWriteParam: return "write-param";
+    case EffectKind::kWriteConst: return "write-const";
+    case EffectKind::kLinkParent: return "link-parent";
+    case EffectKind::kSetRef: return "set-ref";
+    case EffectKind::kClearAttr: return "clear-attr";
+  }
+  return "?";
+}
+
+std::string to_string(ApiCategory c) {
+  switch (c) {
+    case ApiCategory::kCreate: return "create";
+    case ApiCategory::kDestroy: return "destroy";
+    case ApiCategory::kDescribe: return "describe";
+    case ApiCategory::kModify: return "modify";
+    case ApiCategory::kAction: return "action";
+  }
+  return "?";
+}
+
+const AttrModel* ResourceModel::find_attr(std::string_view n) const {
+  for (const auto& a : attrs) {
+    if (a.name == n) return &a;
+  }
+  return nullptr;
+}
+
+const ApiModel* ResourceModel::find_api(std::string_view n) const {
+  for (const auto& a : apis) {
+    if (a.name == n) return &a;
+  }
+  return nullptr;
+}
+
+ApiModel* ResourceModel::find_api(std::string_view n) {
+  for (auto& a : apis) {
+    if (a.name == n) return &a;
+  }
+  return nullptr;
+}
+
+std::size_t ServiceModel::api_count() const {
+  std::size_t n = 0;
+  for (const auto& r : resources) n += r.apis.size();
+  return n;
+}
+
+const ResourceModel* ServiceModel::find_resource(std::string_view n) const {
+  for (const auto& r : resources) {
+    if (r.name == n) return &r;
+  }
+  return nullptr;
+}
+
+std::size_t CloudCatalog::api_count() const {
+  std::size_t n = 0;
+  for (const auto& s : services) n += s.api_count();
+  return n;
+}
+
+std::size_t CloudCatalog::resource_count() const {
+  std::size_t n = 0;
+  for (const auto& s : services) n += s.resources.size();
+  return n;
+}
+
+const ServiceModel* CloudCatalog::find_service(std::string_view n) const {
+  for (const auto& s : services) {
+    if (s.name == n) return &s;
+  }
+  return nullptr;
+}
+
+const ResourceModel* CloudCatalog::find_resource(std::string_view n) const {
+  for (const auto& s : services) {
+    if (const ResourceModel* r = s.find_resource(n)) return r;
+  }
+  return nullptr;
+}
+
+ResourceModel* CloudCatalog::find_resource(std::string_view n) {
+  for (auto& s : services) {
+    for (auto& r : s.resources) {
+      if (r.name == n) return &r;
+    }
+  }
+  return nullptr;
+}
+
+const ResourceModel* CloudCatalog::find_api_owner(std::string_view api) const {
+  for (const auto& s : services) {
+    for (const auto& r : s.resources) {
+      if (r.find_api(api) != nullptr) return &r;
+    }
+  }
+  return nullptr;
+}
+
+std::vector<std::string> CloudCatalog::all_api_names() const {
+  std::vector<std::string> out;
+  for (const auto& s : services) {
+    for (const auto& r : s.resources) {
+      for (const auto& a : r.apis) out.push_back(a.name);
+    }
+  }
+  return out;
+}
+
+}  // namespace lce::docs

@@ -1,0 +1,145 @@
+// The cloud *catalog*: the machine-readable source of truth about a cloud
+// provider — services, resources, attributes, APIs, behavioural constraints
+// and effects. In this reproduction the catalog plays the role of "the
+// actual cloud's implementation knowledge":
+//
+//   catalog ──render()──> documentation text  ──wrangle()──> parsed catalog
+//      │                        (possibly defective / underspecified)
+//      └──> reference cloud semantics (ground truth, incl. UNDOCUMENTED
+//           behaviours that only alignment can discover)
+//
+// The learned pipeline only ever sees the rendered *text*; constraints
+// whose `documented` flag is false are omitted from rendering, reproducing
+// the paper's §6 "Underspecified Documentation" gap.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lce::docs {
+
+enum class FieldType { kBool, kInt, kStr, kEnum, kRef, kList };
+
+std::string to_string(FieldType t);
+
+struct ParamModel {
+  std::string name;
+  FieldType type = FieldType::kStr;
+  std::vector<std::string> enum_members;  // kEnum
+  std::string ref_type;                   // kRef
+  bool required = true;
+};
+
+/// Behavioural constraint vocabulary. Each kind renders to (and parses
+/// from) a fixed English template; each kind also has executable semantics
+/// in the reference cloud and a translation into SM-grammar asserts.
+enum class ConstraintKind {
+  kEnumDomain,         // param value must be in str_vals
+  kCidrValid,          // param parses as IPv4 CIDR
+  kCidrPrefixRange,    // param prefix length in [int_lo, int_hi]
+  kCidrWithinParent,   // param CIDR nested in parent's `attr`
+  kNoSiblingOverlap,   // param CIDR disjoint from same-type siblings' `attr`
+  kAttrEquals,         // precondition: self attr `attr` == str_vals[0]
+  kAttrNotEquals,      // precondition: self attr `attr` != str_vals[0]
+  kRefAttrMatchesSelf, // param ref's attr `attr` == self attr `attr`
+  kAttrNull,           // precondition: self attr `attr` is null/unset
+  kAttrTrueRequires,   // setting param true requires self attr `attr` true
+  kChildrenReclaimed,  // destroy precondition: no containment children
+  kIntRange,           // int param in [int_lo, int_hi]
+};
+
+std::string to_string(ConstraintKind k);
+
+struct ConstraintModel {
+  ConstraintKind kind = ConstraintKind::kEnumDomain;
+  std::string param;  // involved parameter ("" = self-only precondition)
+  std::string attr;   // involved attribute
+  std::vector<std::string> str_vals;
+  int int_lo = 0;
+  int int_hi = 0;
+  std::string error_code;
+  /// When false, the provider's documentation omits this behaviour — the
+  /// reference cloud still enforces it, so only alignment can learn it.
+  bool documented = true;
+};
+
+enum class EffectKind {
+  kWriteParam,  // attr := param
+  kWriteConst,  // attr := literal
+  kLinkParent,  // attach self under the resource named by param
+  kSetRef,      // attr := param (a ref); optionally write back-ref on target
+  kClearAttr,   // attr := null
+};
+
+std::string to_string(EffectKind k);
+
+struct EffectModel {
+  EffectKind kind = EffectKind::kWriteParam;
+  std::string attr;
+  std::string param;
+  std::string literal;                      // kWriteConst (string form)
+  FieldType literal_type = FieldType::kStr; // kWriteConst
+  std::string target_attr;                  // kSetRef back-reference attr
+};
+
+enum class ApiCategory { kCreate, kDestroy, kDescribe, kModify, kAction };
+
+std::string to_string(ApiCategory c);
+
+struct ApiModel {
+  std::string name;  // public API name, e.g. "CreateVpc"
+  ApiCategory category = ApiCategory::kModify;
+  std::vector<ParamModel> params;  // excluding the implicit target "id"
+  std::vector<ConstraintModel> constraints;
+  std::vector<EffectModel> effects;
+};
+
+struct AttrModel {
+  std::string name;
+  FieldType type = FieldType::kStr;
+  std::vector<std::string> enum_members;
+  std::string ref_type;
+  std::string initial;  // literal string form; "" = null/unset
+};
+
+struct ResourceModel {
+  std::string name;
+  std::string service;
+  std::string id_prefix;
+  std::string parent_type;  // containment ("" = top-level)
+  std::string summary;
+  std::vector<AttrModel> attrs;
+  std::vector<ApiModel> apis;
+
+  const AttrModel* find_attr(std::string_view n) const;
+  const ApiModel* find_api(std::string_view n) const;
+  ApiModel* find_api(std::string_view n);
+};
+
+struct ServiceModel {
+  std::string name;      // "ec2"
+  std::string provider;  // "aws" / "azure"
+  std::string title;     // "Amazon Elastic Compute Cloud"
+  std::vector<ResourceModel> resources;
+
+  std::size_t api_count() const;
+  const ResourceModel* find_resource(std::string_view n) const;
+};
+
+struct CloudCatalog {
+  std::string provider;
+  std::vector<ServiceModel> services;
+
+  std::size_t api_count() const;
+  std::size_t resource_count() const;
+  const ServiceModel* find_service(std::string_view n) const;
+  const ResourceModel* find_resource(std::string_view n) const;
+  ResourceModel* find_resource(std::string_view n);
+  /// Locate the resource owning a public API ("" service = any).
+  const ResourceModel* find_api_owner(std::string_view api) const;
+  std::vector<std::string> all_api_names() const;
+};
+
+}  // namespace lce::docs

@@ -1,0 +1,161 @@
+#include "docs/render.h"
+
+#include "common/strings.h"
+
+namespace lce::docs {
+
+const DocPage* DocCorpus::find_page(std::string_view resource) const {
+  for (const auto& p : pages) {
+    if (p.resource == resource) return &p;
+  }
+  return nullptr;
+}
+
+std::size_t DocCorpus::total_chars() const {
+  std::size_t n = 0;
+  for (const auto& p : pages) n += p.text.size();
+  return n;
+}
+
+std::string render_field_type(FieldType t, const std::vector<std::string>& enum_members,
+                              const std::string& ref_type) {
+  switch (t) {
+    case FieldType::kEnum: return strf("enum [", join(enum_members, ", "), "]");
+    case FieldType::kRef:
+      return ref_type.empty() ? "reference" : strf("reference to ", ref_type);
+    default: return to_string(t);
+  }
+}
+
+std::string render_constraint_sentence(const ConstraintModel& c) {
+  std::string body;
+  switch (c.kind) {
+    case ConstraintKind::kEnumDomain:
+      body = strf("the value of parameter '", c.param, "' must be one of [",
+                  join(c.str_vals, ", "), "]");
+      break;
+    case ConstraintKind::kCidrValid:
+      body = strf("the value of parameter '", c.param, "' must be a valid IPv4 CIDR block");
+      break;
+    case ConstraintKind::kCidrPrefixRange:
+      body = strf("the prefix length of parameter '", c.param, "' must be between ",
+                  c.int_lo, " and ", c.int_hi);
+      break;
+    case ConstraintKind::kCidrWithinParent:
+      body = strf("the CIDR in parameter '", c.param, "' must lie within the parent attribute '",
+                  c.attr, "'");
+      break;
+    case ConstraintKind::kNoSiblingOverlap:
+      body = strf("the CIDR in parameter '", c.param, "' must not overlap the '", c.attr,
+                  "' of any sibling resource of the same type");
+      break;
+    case ConstraintKind::kAttrEquals:
+      body = strf("attribute '", c.attr, "' of this resource must equal \"",
+                  c.str_vals.empty() ? "" : c.str_vals[0], "\"");
+      break;
+    case ConstraintKind::kAttrNotEquals:
+      body = strf("attribute '", c.attr, "' of this resource must not equal \"",
+                  c.str_vals.empty() ? "" : c.str_vals[0], "\"");
+      break;
+    case ConstraintKind::kRefAttrMatchesSelf:
+      body = strf("the resource referenced by parameter '", c.param,
+                  "' must have the same '", c.attr, "' as this resource");
+      break;
+    case ConstraintKind::kAttrNull:
+      body = strf("attribute '", c.attr, "' of this resource must be unset");
+      break;
+    case ConstraintKind::kAttrTrueRequires:
+      body = strf("parameter '", c.param, "' may only be set to true when attribute '",
+                  c.attr, "' is true");
+      break;
+    case ConstraintKind::kChildrenReclaimed:
+      body = "all resources contained in this resource must have been deleted";
+      break;
+    case ConstraintKind::kIntRange:
+      body = strf("the value of parameter '", c.param, "' must be between ", c.int_lo,
+                  " and ", c.int_hi);
+      break;
+  }
+  return strf("Constraint: ", body, "; otherwise the call fails with error '",
+              c.error_code, "'.");
+}
+
+std::string render_effect_sentence(const EffectModel& e) {
+  switch (e.kind) {
+    case EffectKind::kWriteParam:
+      return strf("Effect: attribute '", e.attr, "' is set to the value of parameter '",
+                  e.param, "'.");
+    case EffectKind::kWriteConst:
+      return strf("Effect: attribute '", e.attr, "' is set to the constant \"", e.literal,
+                  "\" (", to_string(e.literal_type), ").");
+    case EffectKind::kLinkParent:
+      return strf("Effect: the new resource is attached under the resource given by "
+                  "parameter '", e.param, "'.");
+    case EffectKind::kSetRef: {
+      std::string s = strf("Effect: attribute '", e.attr,
+                           "' is set to reference the resource given by parameter '",
+                           e.param, "'.");
+      if (!e.target_attr.empty()) {
+        s += strf(" Additionally, attribute '", e.target_attr,
+                  "' of the referenced resource is set to reference this resource.");
+      }
+      return s;
+    }
+    case EffectKind::kClearAttr:
+      return strf("Effect: attribute '", e.attr, "' is cleared.");
+  }
+  return "";
+}
+
+std::string render_resource_page(const ResourceModel& r, const ServiceModel& s) {
+  std::string out;
+  out += strf("== Resource: ", r.name, " ==\n");
+  out += strf("Service: ", s.name, " (", s.title, ", provider ", s.provider, ")\n");
+  out += strf("Id prefix: ", r.id_prefix, "\n");
+  out += strf("Contained in: ", r.parent_type.empty() ? "(none)" : r.parent_type, "\n");
+  out += strf("Summary: ", r.summary, "\n");
+  out += "\nAttributes:\n";
+  for (const auto& a : r.attrs) {
+    out += strf("  - ", a.name, ": ",
+                render_field_type(a.type, a.enum_members, a.ref_type));
+    if (!a.initial.empty()) out += strf(" (initial: ", a.initial, ")");
+    out += "\n";
+  }
+  out += "\nAPIs:\n";
+  for (const auto& api : r.apis) {
+    out += strf("\n* API ", api.name, " (category: ", to_string(api.category), ")\n");
+    for (const auto& p : api.params) {
+      out += strf("  Parameter: ", p.name, ": ",
+                  render_field_type(p.type, p.enum_members, p.ref_type),
+                  p.required ? " (required)" : " (optional)", "\n");
+    }
+    for (const auto& c : api.constraints) {
+      if (!c.documented) continue;  // the docs are silent here (§6)
+      out += "  " + render_constraint_sentence(c) + "\n";
+    }
+    for (const auto& e : api.effects) {
+      out += "  " + render_effect_sentence(e) + "\n";
+    }
+  }
+  return out;
+}
+
+DocCorpus render_corpus(const CloudCatalog& catalog) {
+  DocCorpus corpus;
+  corpus.provider = catalog.provider;
+  int page = 1;
+  for (const auto& s : catalog.services) {
+    for (const auto& r : s.resources) {
+      DocPage p;
+      p.provider = catalog.provider;
+      p.service = s.name;
+      p.resource = r.name;
+      p.page_number = page++;
+      p.text = render_resource_page(r, s);
+      corpus.pages.push_back(std::move(p));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace lce::docs

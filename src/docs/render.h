@@ -1,0 +1,47 @@
+// Documentation renderer: catalog -> English-like provider documentation.
+// The output follows a *set template* indexed by resource (paper §4.1:
+// "The documentation follows a set template indexed by resource type and
+// has ordered information ... for each API"), which is what makes the
+// symbolic wrangler feasible. One page per resource, page numbering per
+// service, mimicking AWS's consolidated PDF style.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "docs/model.h"
+
+namespace lce::docs {
+
+struct DocPage {
+  std::string provider;
+  std::string service;
+  std::string resource;
+  int page_number = 0;
+  std::string text;
+};
+
+struct DocCorpus {
+  std::string provider;
+  std::vector<DocPage> pages;
+
+  const DocPage* find_page(std::string_view resource) const;
+  /// Total rendered characters (a proxy for "thousands of PDF pages").
+  std::size_t total_chars() const;
+};
+
+/// Render the full documentation corpus for `catalog`. Constraints marked
+/// `documented = false` are omitted — the resulting text *underspecifies*
+/// the cloud exactly where the real docs would.
+DocCorpus render_corpus(const CloudCatalog& catalog);
+
+/// Render a single resource page (used by tests and targeted re-reads).
+std::string render_resource_page(const ResourceModel& r, const ServiceModel& s);
+
+/// Template fragments shared with the wrangler (single source of truth).
+std::string render_constraint_sentence(const ConstraintModel& c);
+std::string render_effect_sentence(const EffectModel& e);
+std::string render_field_type(FieldType t, const std::vector<std::string>& enum_members,
+                              const std::string& ref_type);
+
+}  // namespace lce::docs

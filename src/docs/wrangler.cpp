@@ -1,0 +1,444 @@
+#include "docs/wrangler.h"
+
+#include "common/strings.h"
+
+namespace lce::docs {
+
+namespace {
+
+/// Return the text between the i-th pair of single quotes (0-based), or
+/// nullopt.
+std::optional<std::string> quoted(const std::string& s, int index = 0) {
+  std::size_t pos = 0;
+  for (int i = 0; i <= index; ++i) {
+    std::size_t open = s.find('\'', pos);
+    if (open == std::string::npos) return std::nullopt;
+    std::size_t close = s.find('\'', open + 1);
+    if (close == std::string::npos) return std::nullopt;
+    if (i == index) return s.substr(open + 1, close - open - 1);
+    pos = close + 1;
+  }
+  return std::nullopt;
+}
+
+/// Text between the first pair of double quotes.
+std::optional<std::string> dquoted(const std::string& s) {
+  std::size_t open = s.find('"');
+  if (open == std::string::npos) return std::nullopt;
+  std::size_t close = s.find('"', open + 1);
+  if (close == std::string::npos) return std::nullopt;
+  return s.substr(open + 1, close - open - 1);
+}
+
+/// "between <lo> and <hi>" -> (lo, hi).
+bool parse_between(const std::string& s, int& lo, int& hi) {
+  std::size_t b = s.find("between ");
+  if (b == std::string::npos) return false;
+  auto words = split_ws(s.substr(b + 8));
+  if (words.size() < 3 || words[1] != "and") return false;
+  std::int64_t l = 0;
+  std::int64_t h = 0;
+  // Trailing punctuation on the hi word is possible ("28;").
+  std::string hw = words[2];
+  while (!hw.empty() && !std::isdigit(static_cast<unsigned char>(hw.back()))) hw.pop_back();
+  if (!parse_int(words[0], l) || !parse_int(hw, h)) return false;
+  lo = static_cast<int>(l);
+  hi = static_cast<int>(h);
+  return true;
+}
+
+/// Parse "[a, b, c]" bracket list following `from` position.
+std::vector<std::string> bracket_list(const std::string& s) {
+  std::size_t open = s.find('[');
+  std::size_t close = s.find(']', open == std::string::npos ? 0 : open);
+  if (open == std::string::npos || close == std::string::npos) return {};
+  std::vector<std::string> out;
+  for (auto& part : split(s.substr(open + 1, close - open - 1), ',')) {
+    std::string t = trim(part);
+    if (!t.empty()) out.push_back(std::move(t));
+  }
+  return out;
+}
+
+/// Parse a rendered field type: "string", "boolean", "integer", "list",
+/// "enum [a, b]", "reference", "reference to X".
+bool parse_field_type(const std::string& text, FieldType& type,
+                      std::vector<std::string>& enum_members, std::string& ref_type) {
+  std::string t = trim(text);
+  enum_members.clear();
+  ref_type.clear();
+  if (t == "string") { type = FieldType::kStr; return true; }
+  if (t == "boolean") { type = FieldType::kBool; return true; }
+  if (t == "integer") { type = FieldType::kInt; return true; }
+  if (t == "list") { type = FieldType::kList; return true; }
+  if (starts_with(t, "enum")) {
+    type = FieldType::kEnum;
+    enum_members = bracket_list(t);
+    return !enum_members.empty();
+  }
+  if (starts_with(t, "reference")) {
+    type = FieldType::kRef;
+    if (starts_with(t, "reference to ")) ref_type = trim(t.substr(13));
+    return true;
+  }
+  return false;
+}
+
+std::string error_code_of(const std::string& line) {
+  // "...; otherwise the call fails with error '<code>'."
+  std::size_t pos = line.find("fails with error '");
+  if (pos == std::string::npos) return "";
+  std::size_t open = line.find('\'', pos);
+  std::size_t close = line.find('\'', open + 1);
+  if (open == std::string::npos || close == std::string::npos) return "";
+  return line.substr(open + 1, close - open - 1);
+}
+
+}  // namespace
+
+std::optional<ConstraintModel> parse_constraint_sentence(const std::string& raw) {
+  std::string line = trim(raw);
+  if (!starts_with(line, "Constraint: ")) return std::nullopt;
+  ConstraintModel c;
+  c.error_code = error_code_of(line);
+  if (c.error_code.empty()) return std::nullopt;
+  std::string body = line.substr(12, line.find("; otherwise") - 12);
+
+  if (contains(body, "must be one of")) {
+    c.kind = ConstraintKind::kEnumDomain;
+    auto p = quoted(body);
+    if (!p) return std::nullopt;
+    c.param = *p;
+    c.str_vals = bracket_list(body);
+    return c;
+  }
+  if (contains(body, "must be a valid IPv4 CIDR block")) {
+    c.kind = ConstraintKind::kCidrValid;
+    auto p = quoted(body);
+    if (!p) return std::nullopt;
+    c.param = *p;
+    return c;
+  }
+  if (starts_with(body, "the prefix length of parameter")) {
+    c.kind = ConstraintKind::kCidrPrefixRange;
+    auto p = quoted(body);
+    if (!p || !parse_between(body, c.int_lo, c.int_hi)) return std::nullopt;
+    c.param = *p;
+    return c;
+  }
+  if (contains(body, "must lie within the parent attribute")) {
+    c.kind = ConstraintKind::kCidrWithinParent;
+    auto p = quoted(body, 0);
+    auto a = quoted(body, 1);
+    if (!p || !a) return std::nullopt;
+    c.param = *p;
+    c.attr = *a;
+    return c;
+  }
+  if (contains(body, "must not overlap the")) {
+    c.kind = ConstraintKind::kNoSiblingOverlap;
+    auto p = quoted(body, 0);
+    auto a = quoted(body, 1);
+    if (!p || !a) return std::nullopt;
+    c.param = *p;
+    c.attr = *a;
+    return c;
+  }
+  if (contains(body, "must not equal")) {
+    c.kind = ConstraintKind::kAttrNotEquals;
+    auto a = quoted(body);
+    auto v = dquoted(body);
+    if (!a || !v) return std::nullopt;
+    c.attr = *a;
+    c.str_vals = {*v};
+    return c;
+  }
+  if (contains(body, "must equal")) {
+    c.kind = ConstraintKind::kAttrEquals;
+    auto a = quoted(body);
+    auto v = dquoted(body);
+    if (!a || !v) return std::nullopt;
+    c.attr = *a;
+    c.str_vals = {*v};
+    return c;
+  }
+  if (contains(body, "must have the same")) {
+    c.kind = ConstraintKind::kRefAttrMatchesSelf;
+    auto p = quoted(body, 0);
+    auto a = quoted(body, 1);
+    if (!p || !a) return std::nullopt;
+    c.param = *p;
+    c.attr = *a;
+    return c;
+  }
+  if (contains(body, "must be unset")) {
+    c.kind = ConstraintKind::kAttrNull;
+    auto a = quoted(body);
+    if (!a) return std::nullopt;
+    c.attr = *a;
+    return c;
+  }
+  if (contains(body, "may only be set to true when attribute")) {
+    c.kind = ConstraintKind::kAttrTrueRequires;
+    auto p = quoted(body, 0);
+    auto a = quoted(body, 1);
+    if (!p || !a) return std::nullopt;
+    c.param = *p;
+    c.attr = *a;
+    return c;
+  }
+  if (contains(body, "contained in this resource must have been deleted")) {
+    c.kind = ConstraintKind::kChildrenReclaimed;
+    return c;
+  }
+  if (contains(body, "must be between")) {
+    c.kind = ConstraintKind::kIntRange;
+    auto p = quoted(body);
+    if (!p || !parse_between(body, c.int_lo, c.int_hi)) return std::nullopt;
+    c.param = *p;
+    return c;
+  }
+  return std::nullopt;
+}
+
+std::optional<EffectModel> parse_effect_sentence(const std::string& raw) {
+  std::string line = trim(raw);
+  if (!starts_with(line, "Effect: ")) return std::nullopt;
+  EffectModel e;
+  std::string body = line.substr(8);
+
+  if (starts_with(body, "the new resource is attached under")) {
+    e.kind = EffectKind::kLinkParent;
+    auto p = quoted(body);
+    if (!p) return std::nullopt;
+    e.param = *p;
+    return e;
+  }
+  if (contains(body, "is set to the value of parameter")) {
+    e.kind = EffectKind::kWriteParam;
+    auto a = quoted(body, 0);
+    auto p = quoted(body, 1);
+    if (!a || !p) return std::nullopt;
+    e.attr = *a;
+    e.param = *p;
+    return e;
+  }
+  if (contains(body, "is set to the constant")) {
+    e.kind = EffectKind::kWriteConst;
+    auto a = quoted(body, 0);
+    auto lit = dquoted(body);
+    if (!a || !lit) return std::nullopt;
+    e.attr = *a;
+    e.literal = *lit;
+    // "(string)." / "(boolean)." / "(integer)." suffix
+    if (contains(body, "(boolean)")) e.literal_type = FieldType::kBool;
+    else if (contains(body, "(integer)")) e.literal_type = FieldType::kInt;
+    else e.literal_type = FieldType::kStr;
+    return e;
+  }
+  if (contains(body, "is set to reference the resource given by parameter")) {
+    e.kind = EffectKind::kSetRef;
+    auto a = quoted(body, 0);
+    auto p = quoted(body, 1);
+    if (!a || !p) return std::nullopt;
+    e.attr = *a;
+    e.param = *p;
+    if (contains(body, "of the referenced resource is set to reference this resource")) {
+      auto t = quoted(body, 2);
+      if (!t) return std::nullopt;
+      e.target_attr = *t;
+    }
+    return e;
+  }
+  if (contains(body, "is cleared")) {
+    e.kind = EffectKind::kClearAttr;
+    auto a = quoted(body);
+    if (!a) return std::nullopt;
+    e.attr = *a;
+    return e;
+  }
+  return std::nullopt;
+}
+
+std::optional<ResourceModel> wrangle_page(const DocPage& page,
+                                          std::vector<WrangleIssue>* issues) {
+  auto note = [&](int line_no, std::string msg) {
+    if (issues != nullptr) {
+      issues->push_back(WrangleIssue{page.resource, line_no, std::move(msg)});
+    }
+  };
+
+  ResourceModel r;
+  ApiModel* cur_api = nullptr;
+  enum class Section { kHeader, kAttrs, kApis } section = Section::kHeader;
+
+  auto lines = split(page.text, '\n');
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string raw = lines[i];
+    std::string line = trim(raw);
+    int ln = static_cast<int>(i + 1);
+    if (line.empty()) continue;
+
+    if (starts_with(line, "== Resource: ")) {
+      std::string name = trim(line.substr(13));
+      if (ends_with(name, "==")) name = trim(name.substr(0, name.size() - 2));
+      r.name = name;
+      continue;
+    }
+    if (starts_with(line, "Service: ")) {
+      // "Service: ec2 (Title, provider aws)"
+      std::string rest = line.substr(9);
+      std::size_t paren = rest.find(" (");
+      r.service = paren == std::string::npos ? trim(rest) : trim(rest.substr(0, paren));
+      continue;
+    }
+    if (starts_with(line, "Id prefix: ")) {
+      r.id_prefix = trim(line.substr(11));
+      continue;
+    }
+    if (starts_with(line, "Contained in: ")) {
+      std::string p = trim(line.substr(14));
+      if (p != "(none)") r.parent_type = p;
+      continue;
+    }
+    if (starts_with(line, "Summary: ")) {
+      r.summary = line.substr(9);
+      continue;
+    }
+    if (line == "Attributes:") { section = Section::kAttrs; continue; }
+    if (line == "APIs:") { section = Section::kApis; continue; }
+
+    if (section == Section::kAttrs && starts_with(line, "- ")) {
+      // "- name: <type> (initial: v)"
+      std::string body = line.substr(2);
+      std::size_t colon = body.find(':');
+      if (colon == std::string::npos) {
+        note(ln, "attribute line without ':'");
+        continue;
+      }
+      AttrModel a;
+      a.name = trim(body.substr(0, colon));
+      std::string ty = trim(body.substr(colon + 1));
+      std::size_t init = ty.find(" (initial: ");
+      if (init != std::string::npos) {
+        std::string iv = ty.substr(init + 11);
+        if (!iv.empty() && iv.back() == ')') iv.pop_back();
+        a.initial = iv;
+        ty = trim(ty.substr(0, init));
+      }
+      if (!parse_field_type(ty, a.type, a.enum_members, a.ref_type)) {
+        note(ln, strf("unparseable attribute type '", ty, "'"));
+        continue;
+      }
+      r.attrs.push_back(std::move(a));
+      continue;
+    }
+
+    if (section == Section::kApis) {
+      if (starts_with(line, "* API ")) {
+        // "* API CreateVpc (category: create)"
+        ApiModel api;
+        std::string rest = line.substr(6);
+        std::size_t paren = rest.find(" (category: ");
+        if (paren == std::string::npos) {
+          note(ln, "API line without category");
+          continue;
+        }
+        api.name = trim(rest.substr(0, paren));
+        std::string cat = rest.substr(paren + 12);
+        if (!cat.empty() && cat.back() == ')') cat.pop_back();
+        if (cat == "create") api.category = ApiCategory::kCreate;
+        else if (cat == "destroy") api.category = ApiCategory::kDestroy;
+        else if (cat == "describe") api.category = ApiCategory::kDescribe;
+        else if (cat == "modify") api.category = ApiCategory::kModify;
+        else if (cat == "action") api.category = ApiCategory::kAction;
+        else {
+          note(ln, strf("unknown API category '", cat, "'"));
+          continue;
+        }
+        r.apis.push_back(std::move(api));
+        cur_api = &r.apis.back();
+        continue;
+      }
+      if (cur_api == nullptr) {
+        note(ln, "API detail line before any API header");
+        continue;
+      }
+      if (starts_with(line, "Parameter: ")) {
+        // "Parameter: name: <type> (required)"
+        std::string body = line.substr(11);
+        std::size_t colon = body.find(':');
+        if (colon == std::string::npos) {
+          note(ln, "parameter line without ':'");
+          continue;
+        }
+        ParamModel p;
+        p.name = trim(body.substr(0, colon));
+        std::string ty = trim(body.substr(colon + 1));
+        if (ends_with(ty, "(required)")) {
+          p.required = true;
+          ty = trim(ty.substr(0, ty.size() - 10));
+        } else if (ends_with(ty, "(optional)")) {
+          p.required = false;
+          ty = trim(ty.substr(0, ty.size() - 10));
+        }
+        if (!parse_field_type(ty, p.type, p.enum_members, p.ref_type)) {
+          note(ln, strf("unparseable parameter type '", ty, "'"));
+          continue;
+        }
+        cur_api->params.push_back(std::move(p));
+        continue;
+      }
+      if (starts_with(line, "Constraint: ")) {
+        auto c = parse_constraint_sentence(line);
+        if (!c) {
+          note(ln, strf("unparseable constraint sentence: ", line));
+          continue;
+        }
+        cur_api->constraints.push_back(std::move(*c));
+        continue;
+      }
+      if (starts_with(line, "Effect: ")) {
+        auto e = parse_effect_sentence(line);
+        if (!e) {
+          note(ln, strf("unparseable effect sentence: ", line));
+          continue;
+        }
+        cur_api->effects.push_back(std::move(*e));
+        continue;
+      }
+      note(ln, strf("unrecognized API detail line: ", line));
+      continue;
+    }
+  }
+  if (r.name.empty()) return std::nullopt;
+  return r;
+}
+
+WrangleResult wrangle(const DocCorpus& corpus) {
+  WrangleResult out;
+  out.catalog.provider = corpus.provider;
+  for (const auto& page : corpus.pages) {
+    auto r = wrangle_page(page, &out.issues);
+    if (!r) {
+      out.issues.push_back(WrangleIssue{page.resource, 0, "page has no resource header"});
+      continue;
+    }
+    // Group into services in page order.
+    ServiceModel* svc = nullptr;
+    for (auto& s : out.catalog.services) {
+      if (s.name == r->service) svc = &s;
+    }
+    if (svc == nullptr) {
+      ServiceModel s;
+      s.name = r->service;
+      s.provider = corpus.provider;
+      out.catalog.services.push_back(std::move(s));
+      svc = &out.catalog.services.back();
+    }
+    svc->resources.push_back(std::move(*r));
+  }
+  return out;
+}
+
+}  // namespace lce::docs

@@ -1,0 +1,45 @@
+// Documentation wrangler (paper §4.1): a *symbolic parser* that exploits
+// the set template of provider documentation to turn rendered text pages
+// back into structured per-resource information, "reducing the amount of
+// context that the LLMs have to process". The learned pipeline consumes
+// ONLY wrangler output — never the original catalog — so everything
+// downstream sees exactly what the documentation said (including injected
+// defects and omissions).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "docs/model.h"
+#include "docs/render.h"
+
+namespace lce::docs {
+
+struct WrangleIssue {
+  std::string page_resource;
+  int line = 0;
+  std::string message;
+};
+
+struct WrangleResult {
+  CloudCatalog catalog;              // reconstructed (as-documented) catalog
+  std::vector<WrangleIssue> issues;  // unparseable lines (skipped, logged)
+
+  bool clean() const { return issues.empty(); }
+};
+
+/// Parse a full corpus back into a catalog.
+WrangleResult wrangle(const DocCorpus& corpus);
+
+/// Parse one page; service metadata (name/title/provider) comes from the
+/// page header itself.
+std::optional<ResourceModel> wrangle_page(const DocPage& page,
+                                          std::vector<WrangleIssue>* issues);
+
+/// Parse a constraint/effect sentence in isolation (exposed for tests and
+/// for the alignment repair path, which re-reads targeted doc sentences).
+std::optional<ConstraintModel> parse_constraint_sentence(const std::string& line);
+std::optional<EffectModel> parse_effect_sentence(const std::string& line);
+
+}  // namespace lce::docs

@@ -1,0 +1,39 @@
+#include "interp/decoder.h"
+
+#include "common/errors.h"
+#include "common/strings.h"
+
+namespace lce::interp {
+
+MessageDecoder make_rich_decoder() {
+  return [](const std::string& machine, const std::string& transition,
+            const std::string& code, const std::string& base) {
+    std::string hint;
+    if (code == errc::kDependencyViolation) {
+      hint = strf("Root cause: the ", machine,
+                  " still contains dependent resources. Suggested repair: delete or "
+                  "detach its children before calling ", transition, "().");
+    } else if (code == errc::kIncorrectInstanceState) {
+      hint = strf("Root cause: ", transition, "() is only valid from specific ", machine,
+                  " states. Suggested repair: Describe the resource first and branch on "
+                  "its current state.");
+    } else if (code == errc::kResourceNotFound) {
+      hint = strf("Root cause: the referenced ", machine,
+                  " does not exist (wrong id, or it was deleted earlier in this "
+                  "program). Suggested repair: verify creation succeeded before "
+                  "invoking ", transition, "().");
+    } else if (starts_with(code, "InvalidSubnet") || starts_with(code, "InvalidVpc")) {
+      hint = strf("Root cause: the CIDR argument violates the ", machine,
+                  " addressing rules. Suggested repair: choose a block between /16 and "
+                  "/28 nested inside the parent range, avoiding sibling overlap.");
+    } else if (code == errc::kMissingParameter || code == errc::kInvalidParameterValue) {
+      hint = strf("Root cause: malformed request to ", transition,
+                  "(). Suggested repair: compare the arguments against the ", machine,
+                  " API signature.");
+    }
+    if (hint.empty()) return base;
+    return strf(base, " [", hint, "]");
+  };
+}
+
+}  // namespace lce::interp

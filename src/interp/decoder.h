@@ -1,0 +1,19 @@
+// Error-message "decoder" (paper §4.3): error codes must align with the
+// cloud exactly, but messages are for developers — the emulator can emit a
+// *richer* explanation by decoding the failure context. The real system
+// would hand the context to an LLM; here a deterministic template engine
+// plays that role (see DESIGN.md substitutions).
+#pragma once
+
+#include <string>
+
+#include "interp/interpreter.h"
+
+namespace lce::interp {
+
+/// Returns a MessageDecoder that appends a root-cause hint and a suggested
+/// repair to the base message, derived from the (machine, transition, code)
+/// failure context.
+MessageDecoder make_rich_decoder();
+
+}  // namespace lce::interp

@@ -1,0 +1,447 @@
+#include "interp/interpreter.h"
+
+#include <optional>
+
+#include "common/cidr.h"
+#include "common/errors.h"
+#include "common/strings.h"
+
+namespace lce::interp {
+
+namespace {
+
+using spec::BinaryOp;
+using spec::Expr;
+using spec::ExprKind;
+using spec::StateMachine;
+using spec::Stmt;
+using spec::StmtKind;
+using spec::Transition;
+using spec::TransitionKind;
+using spec::UnaryOp;
+
+/// Thrown (as a value) to abort a transition; carries the response plus
+/// the diagnosis breadcrumb.
+struct Abort {
+  ApiResponse response;
+  FailureSite site;
+};
+
+class Execution {
+ public:
+  Execution(const spec::SpecSet& spec, const InterpreterOptions& opts, ResourceStore& store)
+      : spec_(spec), opts_(opts), store_(store) {}
+
+  ApiResponse run(const ApiRequest& req, FailureSite& site_out) {
+    site_out = FailureSite{};
+    auto [machine, transition] = spec_.find_api(req.api);
+    if (machine == nullptr || transition == nullptr) {
+      site_out.origin = FailureSite::Origin::kDispatch;
+      site_out.error_code = std::string(errc::kInvalidAction);
+      return fail("", "", std::string(errc::kInvalidAction), {{"api", req.api}});
+    }
+    // Transactional semantics: a failed transition must leave no partial
+    // writes behind, so execute against a copy and commit on success.
+    ResourceStore backup = store_;
+    try {
+      ApiResponse resp = run_transition(*machine, *transition, req);
+      return resp;
+    } catch (const Abort& a) {
+      store_ = std::move(backup);
+      site_out = a.site;
+      return a.response;
+    }
+  }
+
+ private:
+  struct Frame {
+    const StateMachine* machine;
+    const Transition* transition;
+    Resource* self;
+    Value::Map params;
+    Value::Map reads;  // read() outputs
+  };
+
+  [[noreturn]] void abort_with(std::string code,
+                               const std::vector<std::pair<std::string, std::string>>& fields,
+                               const std::string& machine, const std::string& transition,
+                               std::string note = "",
+                               FailureSite::Origin origin = FailureSite::Origin::kDispatch,
+                               std::string assert_text = "") {
+    std::string msg = note.empty()
+                          ? ErrorRegistry::instance().render_message(code, fields)
+                          : note;
+    if (opts_.decoder) msg = opts_.decoder(machine, transition, code, msg);
+    FailureSite site;
+    site.machine = machine;
+    site.transition = transition;
+    site.error_code = code;
+    site.assert_text = std::move(assert_text);
+    site.origin = origin;
+    throw Abort{ApiResponse::failure(std::move(code), std::move(msg)), std::move(site)};
+  }
+
+  ApiResponse fail(const std::string& machine, const std::string& transition, std::string code,
+                   const std::vector<std::pair<std::string, std::string>>& fields) {
+    std::string msg = ErrorRegistry::instance().render_message(code, fields);
+    if (opts_.decoder) msg = opts_.decoder(machine, transition, code, msg);
+    return ApiResponse::failure(std::move(code), std::move(msg));
+  }
+
+  ApiResponse run_transition(const StateMachine& machine, const Transition& transition,
+                             const ApiRequest& req) {
+    if (++depth_ > opts_.max_call_depth) {
+      abort_with(std::string(errc::kInternalError), {}, machine.name, transition.name,
+                 "call depth limit exceeded", FailureSite::Origin::kFramework);
+    }
+    Frame frame;
+    frame.machine = &machine;
+    frame.transition = &transition;
+
+    // Bind parameters.
+    for (const auto& p : transition.params) {
+      auto it = req.args.find(p.name);
+      if (it == req.args.end()) {
+        if (opts_.validate_params) {
+          abort_with(std::string(errc::kMissingParameter), {{"param", p.name}}, machine.name,
+                     transition.name);
+        }
+        frame.params[p.name] = Value();
+        continue;
+      }
+      if (opts_.validate_params && !it->second.is_null() && !p.type.admits(it->second)) {
+        abort_with(std::string(errc::kInvalidParameterValue),
+                   {{"param", p.name}, {"value", it->second.to_text()}}, machine.name,
+                   transition.name);
+      }
+      frame.params[p.name] = it->second;
+    }
+
+    // Resolve or create the target instance.
+    if (transition.kind == TransitionKind::kCreate) {
+      Resource& r = store_.create(machine.name, machine.id_prefix);
+      for (const auto& sv : machine.states) r.attrs[sv.name] = sv.initial;
+      frame.self = &r;
+    } else {
+      std::string id = !req.target.empty() ? req.target : req.args.count("id") != 0
+          ? req.args.at("id").as_str() : "";
+      Resource* r = store_.find(id);
+      if (r == nullptr || r->type != machine.name) {
+        abort_with(std::string(errc::kResourceNotFound),
+                   {{"resource", machine.name}, {"id", id.empty() ? "(none)" : id}},
+                   machine.name, transition.name);
+      }
+      frame.self = r;
+    }
+    std::string self_id = frame.self->id;
+
+    exec_body(transition.body, frame);
+
+    // Built-in hierarchy guards (paper §1).
+    if (opts_.hierarchy_guards) {
+      if (transition.kind == TransitionKind::kDestroy &&
+          store_.child_count(self_id) != 0) {
+        abort_with(std::string(errc::kDependencyViolation),
+                   {{"resource", machine.name}, {"id", self_id}}, machine.name,
+                   transition.name, "", FailureSite::Origin::kFramework);
+      }
+      if (transition.kind == TransitionKind::kCreate && !machine.parent_type.empty()) {
+        Resource* self = store_.find(self_id);
+        if (self != nullptr && self->parent_id.empty()) {
+          abort_with(std::string(errc::kValidationError),
+                     {{"param", "parent"}}, machine.name, transition.name,
+                     strf("created ", machine.name,
+                          " was never attached to its containment parent (",
+                          machine.parent_type, ")"),
+                     FailureSite::Origin::kFramework);
+        }
+      }
+    }
+
+    // Build the response payload.
+    Value::Map data;
+    data["id"] = Value::ref(self_id);
+    Resource* self = store_.find(self_id);
+    if (transition.kind == TransitionKind::kCreate ||
+        transition.kind == TransitionKind::kDescribe) {
+      if (self != nullptr) {
+        for (const auto& sv : machine.states) {
+          auto it = self->attrs.find(sv.name);
+          data[sv.name] = it != self->attrs.end() ? it->second : Value();
+        }
+      }
+    }
+    for (auto& [k, v] : frame.reads) data[k] = v;
+    if (transition.kind == TransitionKind::kDestroy) {
+      store_.destroy(self_id);
+    }
+    --depth_;
+    return ApiResponse::success(Value(std::move(data)));
+  }
+
+  void exec_body(const spec::Body& body, Frame& frame) {
+    for (const auto& s : body) exec_stmt(*s, frame);
+  }
+
+  void exec_stmt(const Stmt& s, Frame& frame) {
+    const std::string& mname = frame.machine->name;
+    const std::string& tname = frame.transition->name;
+    switch (s.kind) {
+      case StmtKind::kWrite: {
+        const spec::StateVar* sv = frame.machine->find_state(s.var);
+        Value v = eval(*s.expr, frame);
+        if (sv == nullptr) {
+          abort_with(std::string(errc::kInternalError), {}, mname, tname,
+                     strf("write to undeclared state '", s.var, "'"));
+        }
+        if (!v.is_null() && !sv->type.admits(v)) {
+          abort_with(std::string(errc::kInvalidParameterValue),
+                     {{"param", s.var}, {"value", v.to_text()}}, mname, tname, "",
+                     FailureSite::Origin::kWriteCheck, s.var);
+        }
+        frame.self->attrs[s.var] = std::move(v);
+        return;
+      }
+      case StmtKind::kRead: {
+        auto it = frame.self->attrs.find(s.var);
+        frame.reads[s.var] = it != frame.self->attrs.end() ? it->second : Value();
+        return;
+      }
+      case StmtKind::kAssert: {
+        if (!eval(*s.expr, frame).truthy()) {
+          // The {value}/{param} message fields name the first variable the
+          // predicate mentions and its current value — the argument the
+          // caller most likely got wrong.
+          const Expr* var = first_var(*s.expr);
+          std::string param = var != nullptr ? var->name : s.var;
+          std::string value =
+              var != nullptr ? eval(*var, frame).to_text() : s.expr->to_text();
+          abort_with(s.error_code,
+                     {{"resource", mname},
+                      {"id", frame.self->id},
+                      {"api", tname},
+                      {"param", param},
+                      {"value", value}},
+                     mname, tname, s.error_note, FailureSite::Origin::kAssert,
+                     s.expr->to_text());
+        }
+        return;
+      }
+      case StmtKind::kCall: {
+        Value target = eval(*s.expr, frame);
+        if (!target.is_ref()) {
+          abort_with(std::string(errc::kResourceNotFound),
+                     {{"resource", "resource"}, {"id", target.to_text()}}, mname, tname);
+        }
+        Resource* callee_res = store_.find(target.as_str());
+        if (callee_res == nullptr) {
+          abort_with(std::string(errc::kResourceNotFound),
+                     {{"resource", "resource"}, {"id", target.as_str()}}, mname, tname);
+        }
+        const StateMachine* callee_m = spec_.find_machine(callee_res->type);
+        const Transition* callee_t =
+            callee_m != nullptr ? callee_m->find_transition(s.callee) : nullptr;
+        if (callee_m == nullptr || callee_t == nullptr) {
+          abort_with(std::string(errc::kInternalError), {}, mname, tname,
+                     strf("call to unknown transition '", s.callee, "' on type '",
+                          callee_res->type, "'"));
+        }
+        // Positional argument binding.
+        ApiRequest sub;
+        sub.api = s.callee;
+        sub.target = callee_res->id;
+        for (std::size_t i = 0; i < s.args.size() && i < callee_t->params.size(); ++i) {
+          sub.args[callee_t->params[i].name] = eval(*s.args[i], frame);
+        }
+        ApiResponse resp = run_transition(*callee_m, *callee_t, sub);
+        if (!resp.ok) throw Abort{resp};  // propagate (already decoded)
+        return;
+      }
+      case StmtKind::kAttachParent: {
+        Value parent = eval(*s.expr, frame);
+        const Resource* p = parent.is_ref() ? store_.find(parent.as_str()) : nullptr;
+        if (p == nullptr || (!frame.machine->parent_type.empty() &&
+                             p->type != frame.machine->parent_type)) {
+          abort_with(std::string(errc::kResourceNotFound),
+                     {{"resource", frame.machine->parent_type},
+                      {"id", parent.is_ref() ? parent.as_str() : parent.to_text()}},
+                     mname, tname);
+        }
+        store_.attach(frame.self->id, p->id);
+        return;
+      }
+      case StmtKind::kIf: {
+        if (eval(*s.expr, frame).truthy()) {
+          exec_body(s.then_body, frame);
+        } else {
+          exec_body(s.else_body, frame);
+        }
+        return;
+      }
+    }
+  }
+
+  /// First variable or self-field reference in a predicate (the argument
+  /// most error messages should name), or nullptr.
+  static const Expr* first_var(const Expr& e) {
+    if (e.kind == ExprKind::kVar) return &e;
+    if (e.kind == ExprKind::kField && e.kids[0]->kind == ExprKind::kSelf) return &e;
+    for (const auto& k : e.kids) {
+      if (const Expr* found = first_var(*k)) return found;
+    }
+    return nullptr;
+  }
+
+  // ------------------------------------------------------------- eval --
+  Value eval(const Expr& e, Frame& frame) {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+        return e.literal;
+      case ExprKind::kSelf:
+        return Value::ref(frame.self->id);
+      case ExprKind::kVar: {
+        auto pit = frame.params.find(e.name);
+        if (pit != frame.params.end()) return pit->second;
+        auto ait = frame.self->attrs.find(e.name);
+        if (ait != frame.self->attrs.end()) return ait->second;
+        // Unknown name evaluates to null (lenient, like the mock cloud).
+        return Value();
+      }
+      case ExprKind::kField: {
+        Value base = eval(*e.kids[0], frame);
+        if (!base.is_ref()) return Value();
+        if (e.name == "id") return base;
+        const Resource* r = store_.find(base.as_str());
+        if (r == nullptr) return Value();
+        if (e.name == "parent") {
+          return r->parent_id.empty() ? Value() : Value::ref(r->parent_id);
+        }
+        auto it = r->attrs.find(e.name);
+        return it != r->attrs.end() ? it->second : Value();
+      }
+      case ExprKind::kUnary: {
+        Value v = eval(*e.kids[0], frame);
+        if (e.unary_op == UnaryOp::kNot) return Value(!v.truthy());
+        return Value(-v.as_int());
+      }
+      case ExprKind::kBinary:
+        return eval_binary(e, frame);
+      case ExprKind::kBuiltin:
+        return eval_builtin(e, frame);
+    }
+    return Value();
+  }
+
+  Value eval_binary(const Expr& e, Frame& frame) {
+    if (e.binary_op == BinaryOp::kAnd) {
+      return Value(eval(*e.kids[0], frame).truthy() && eval(*e.kids[1], frame).truthy());
+    }
+    if (e.binary_op == BinaryOp::kOr) {
+      return Value(eval(*e.kids[0], frame).truthy() || eval(*e.kids[1], frame).truthy());
+    }
+    Value l = eval(*e.kids[0], frame);
+    Value r = eval(*e.kids[1], frame);
+    switch (e.binary_op) {
+      case BinaryOp::kEq: return Value(l == r);
+      case BinaryOp::kNe: return Value(!(l == r));
+      case BinaryOp::kLt: return Value(l < r);
+      case BinaryOp::kLe: return Value(l < r || l == r);
+      case BinaryOp::kGt: return Value(r < l);
+      case BinaryOp::kGe: return Value(r < l || l == r);
+      case BinaryOp::kAdd: return Value(l.as_int() + r.as_int());
+      case BinaryOp::kSub: return Value(l.as_int() - r.as_int());
+      default: return Value(false);
+    }
+  }
+
+  Value eval_builtin(const Expr& e, Frame& frame) {
+    auto arg = [&](std::size_t i) {
+      return i < e.kids.size() ? eval(*e.kids[i], frame) : Value();
+    };
+    if (e.name == "is_null") return Value(arg(0).is_null());
+    if (e.name == "len") {
+      Value v = arg(0);
+      if (v.is_list()) return Value(static_cast<std::int64_t>(v.as_list().size()));
+      if (v.is_str()) return Value(static_cast<std::int64_t>(v.as_str().size()));
+      return Value(0);
+    }
+    if (e.name == "in_list") {
+      Value needle = arg(0);
+      for (std::size_t i = 1; i < e.kids.size(); ++i) {
+        if (arg(i) == needle) return Value(true);
+      }
+      return Value(false);
+    }
+    if (e.name == "cidr_valid") return Value(Cidr::parse(arg(0).as_str()).has_value());
+    if (e.name == "cidr_prefix_len") {
+      auto c = Cidr::parse(arg(0).as_str());
+      return Value(c ? static_cast<std::int64_t>(c->prefix_len()) : -1);
+    }
+    if (e.name == "cidr_within") {
+      auto inner = Cidr::parse(arg(0).as_str());
+      auto outer = Cidr::parse(arg(1).as_str());
+      return Value(inner && outer && outer->contains(*inner));
+    }
+    if (e.name == "cidr_overlaps") {
+      auto a = Cidr::parse(arg(0).as_str());
+      auto b = Cidr::parse(arg(1).as_str());
+      return Value(a && b && a->overlaps(*b));
+    }
+    if (e.name == "child_count") {
+      return Value(static_cast<std::int64_t>(
+          store_.child_count(frame.self->id, arg(0).as_str())));
+    }
+    if (e.name == "sibling_cidr_conflict") {
+      auto mine = Cidr::parse(arg(0).as_str());
+      if (!mine) return Value(false);
+      // Optional second arg: which sibling attribute holds the block
+      // (defaults to the AWS-style "cidr_block").
+      std::string attr = e.kids.size() > 1 ? arg(1).as_str() : "cidr_block";
+      for (const auto& sid : store_.siblings_of(frame.self->id)) {
+        const Resource* sib = store_.find(sid);
+        if (sib == nullptr) continue;
+        auto it = sib->attrs.find(attr);
+        if (it == sib->attrs.end()) continue;
+        auto theirs = Cidr::parse(it->second.as_str());
+        if (theirs && mine->overlaps(*theirs)) return Value(true);
+      }
+      return Value(false);
+    }
+    if (e.name == "exists") {
+      Value v = arg(0);
+      if (!v.is_ref()) return Value(false);
+      const Resource* r = store_.find(v.as_str());
+      if (r == nullptr) return Value(false);
+      if (e.kids.size() > 1) {
+        Value ty = arg(1);
+        return Value(r->type == ty.as_str());
+      }
+      return Value(true);
+    }
+    return Value();
+  }
+
+  const spec::SpecSet& spec_;
+  const InterpreterOptions& opts_;
+  ResourceStore& store_;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+Interpreter::Interpreter(spec::SpecSet spec, InterpreterOptions opts)
+    : spec_(std::move(spec)), opts_(std::move(opts)) {}
+
+ApiResponse Interpreter::invoke(const ApiRequest& req) {
+  return Execution(spec_, opts_, store_).run(req, last_failure_);
+}
+
+void Interpreter::reset() { store_.clear(); }
+
+bool Interpreter::supports(const std::string& api) const {
+  return spec_.find_api(api).first != nullptr;
+}
+
+void Interpreter::replace_spec(spec::SpecSet spec) { spec_ = std::move(spec); }
+
+}  // namespace lce::interp

@@ -1,0 +1,85 @@
+// The one-time-engineered emulator framework of paper §4.2: an interpreter
+// that executes SM specifications ("executable specifications") behind the
+// uniform CloudBackend API. All emulation behaviour comes from the SpecSet;
+// the interpreter adds only the grammar semantics plus the built-in
+// hierarchy guards of §1 (create cannot mutate its parent; destroy requires
+// all containment children reclaimed).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "common/api.h"
+#include "interp/store.h"
+#include "spec/ast.h"
+
+namespace lce::interp {
+
+/// Hook for enriching error messages (paper §4.3: messages are for
+/// developer consumption and the emulator may "decode" failures into
+/// richer text than the cloud). Receives (machine, transition, error code,
+/// base message) and returns the final message.
+using MessageDecoder = std::function<std::string(
+    const std::string&, const std::string&, const std::string&, const std::string&)>;
+
+struct InterpreterOptions {
+  /// Enforce the built-in hierarchy guards even when the spec omits the
+  /// corresponding asserts (defence in depth per §1).
+  bool hierarchy_guards = true;
+  /// Maximum call() nesting before aborting with InternalError.
+  int max_call_depth = 16;
+  /// Validate argument presence/types against transition signatures.
+  bool validate_params = true;
+  /// Optional message enrichment.
+  MessageDecoder decoder;
+  /// Backend display name.
+  std::string name = "learned-emulator";
+};
+
+/// Where inside the spec a failing invocation aborted — the diagnosis
+/// breadcrumb the alignment loop uses to localize errors "to a specific SM
+/// implementation, a specific interaction" (paper §4.3).
+struct FailureSite {
+  std::string machine;
+  std::string transition;
+  std::string error_code;
+  std::string assert_text;  // predicate text when an assert fired; "" else
+  enum class Origin {
+    kNone,         // last invoke succeeded
+    kDispatch,     // unknown API / missing target / param validation
+    kAssert,       // a spec assert fired
+    kWriteCheck,   // a write violated the state variable's type
+    kFramework,    // built-in hierarchy guard or internal error
+  } origin = Origin::kNone;
+};
+
+class Interpreter final : public CloudBackend {
+ public:
+  explicit Interpreter(spec::SpecSet spec, InterpreterOptions opts = {});
+
+  std::string name() const override { return opts_.name; }
+  ApiResponse invoke(const ApiRequest& req) override;
+  void reset() override;
+  bool supports(const std::string& api) const override;
+  Value snapshot() const override { return store_.snapshot(); }
+
+  const spec::SpecSet& spec() const { return spec_; }
+  /// Swap in an updated spec (the alignment loop's repair step), keeping
+  /// current resources when possible.
+  void replace_spec(spec::SpecSet spec);
+
+  ResourceStore& store() { return store_; }
+  const ResourceStore& store() const { return store_; }
+
+  /// Breadcrumb for the most recent invoke(); origin kNone when it
+  /// succeeded.
+  const FailureSite& last_failure() const { return last_failure_; }
+
+ private:
+  spec::SpecSet spec_;
+  InterpreterOptions opts_;
+  ResourceStore store_;
+  FailureSite last_failure_;
+};
+
+}  // namespace lce::interp

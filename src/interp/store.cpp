@@ -1,0 +1,99 @@
+#include "interp/store.h"
+
+#include <algorithm>
+
+namespace lce::interp {
+
+Resource& ResourceStore::create(std::string_view type, std::string_view id_prefix) {
+  std::string id = ids_.next(id_prefix.empty() ? "res" : id_prefix);
+  Resource r;
+  r.id = id;
+  r.type = std::string(type);
+  auto [it, _] = resources_.emplace(id, std::move(r));
+  order_.push_back(id);
+  return it->second;
+}
+
+Resource* ResourceStore::find(std::string_view id) {
+  auto it = resources_.find(std::string(id));
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+const Resource* ResourceStore::find(std::string_view id) const {
+  auto it = resources_.find(std::string(id));
+  return it == resources_.end() ? nullptr : &it->second;
+}
+
+bool ResourceStore::attach(std::string_view child_id, std::string_view parent_id) {
+  Resource* child = find(child_id);
+  if (child == nullptr || !exists(parent_id)) return false;
+  child->parent_id = std::string(parent_id);
+  return true;
+}
+
+bool ResourceStore::destroy(std::string_view id) {
+  // Copy first: callers may pass a view into the Resource being erased
+  // (e.g. `self->id`), which dies with the map node.
+  std::string key(id);
+  auto it = resources_.find(key);
+  if (it == resources_.end()) return false;
+  resources_.erase(it);
+  order_.erase(std::remove(order_.begin(), order_.end(), key), order_.end());
+  return true;
+}
+
+std::vector<std::string> ResourceStore::children_of(std::string_view parent_id,
+                                                    std::string_view type) const {
+  std::vector<std::string> out;
+  for (const auto& id : order_) {
+    const Resource& r = resources_.at(id);
+    if (r.parent_id == parent_id && (type.empty() || r.type == type)) out.push_back(id);
+  }
+  return out;
+}
+
+std::size_t ResourceStore::child_count(std::string_view parent_id,
+                                       std::string_view type) const {
+  return children_of(parent_id, type).size();
+}
+
+std::vector<std::string> ResourceStore::siblings_of(std::string_view id) const {
+  const Resource* self = find(id);
+  if (self == nullptr) return {};
+  std::vector<std::string> out;
+  for (const auto& other_id : order_) {
+    if (other_id == id) continue;
+    const Resource& r = resources_.at(other_id);
+    if (r.type == self->type && r.parent_id == self->parent_id) out.push_back(other_id);
+  }
+  return out;
+}
+
+std::vector<std::string> ResourceStore::all_of_type(std::string_view type) const {
+  std::vector<std::string> out;
+  for (const auto& id : order_) {
+    if (resources_.at(id).type == type) out.push_back(id);
+  }
+  return out;
+}
+
+void ResourceStore::clear() {
+  resources_.clear();
+  order_.clear();
+  ids_.reset();
+}
+
+Value ResourceStore::snapshot() const {
+  Value::Map out;
+  for (const auto& id : order_) {
+    const Resource& r = resources_.at(id);
+    Value::Map entry;
+    entry["type"] = Value(r.type);
+    if (!r.parent_id.empty()) entry["parent"] = Value::ref(r.parent_id);
+    for (const auto& [k, v] : r.attrs) entry[k] = v;
+    out[id] = Value(std::move(entry));
+  }
+  return Value(std::move(out));
+}
+
+}  // namespace lce::interp

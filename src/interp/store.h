@@ -1,0 +1,68 @@
+// The mock-cloud resource store shared by every backend in the repo: live
+// resource instances with attributes plus the containment hierarchy
+// (parent/child links) that the paper's SM hierarchy scopes its checks to.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/ids.h"
+#include "common/value.h"
+
+namespace lce::interp {
+
+struct Resource {
+  std::string id;
+  std::string type;       // resource type name, e.g. "Vpc"
+  std::string parent_id;  // containment parent ("" = top-level)
+  Value::Map attrs;
+};
+
+class ResourceStore {
+ public:
+  /// Create a resource of `type`, minting an id with `id_prefix`.
+  Resource& create(std::string_view type, std::string_view id_prefix);
+
+  Resource* find(std::string_view id);
+  const Resource* find(std::string_view id) const;
+  bool exists(std::string_view id) const { return find(id) != nullptr; }
+
+  /// Link `child_id` under `parent_id`. Returns false when either is gone.
+  bool attach(std::string_view child_id, std::string_view parent_id);
+
+  /// Remove a resource (must have no children; caller checks). Returns
+  /// false when missing.
+  bool destroy(std::string_view id);
+
+  /// Ids of live children of `parent_id`, optionally filtered by type.
+  std::vector<std::string> children_of(std::string_view parent_id,
+                                       std::string_view type = "") const;
+
+  /// Live children count.
+  std::size_t child_count(std::string_view parent_id, std::string_view type = "") const;
+
+  /// Live resources of `type` sharing a containment parent with `id`
+  /// (excluding `id` itself). Top-level resources are each other's siblings.
+  std::vector<std::string> siblings_of(std::string_view id) const;
+
+  /// All live resources of `type` in creation order.
+  std::vector<std::string> all_of_type(std::string_view type) const;
+
+  std::size_t size() const { return resources_.size(); }
+
+  void clear();
+
+  /// Full state snapshot: id -> {type, parent, attrs...}.
+  Value snapshot() const;
+
+ private:
+  std::map<std::string, Resource> resources_;
+  std::vector<std::string> order_;  // creation order of live ids
+  IdGenerator ids_;
+};
+
+}  // namespace lce::interp

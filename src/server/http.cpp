@@ -1,0 +1,235 @@
+#include "server/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/strings.h"
+
+namespace lce::server {
+
+namespace {
+
+/// Read until the predicate says the buffer is complete or the peer closes.
+bool read_until(int fd, std::string& buf,
+                const std::function<bool(const std::string&)>& complete) {
+  char chunk[4096];
+  while (!complete(buf)) {
+    ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) return complete(buf);
+    buf.append(chunk, static_cast<std::size_t>(n));
+    if (buf.size() > (16u << 20)) return false;  // 16 MiB request cap
+  }
+  return true;
+}
+
+bool write_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// True when `raw` holds a complete request (headers + body).
+bool request_complete(const std::string& raw) {
+  std::size_t hdr_end = raw.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) return false;
+  std::size_t content_length = 0;
+  std::string lower = to_lower(raw.substr(0, hdr_end));
+  std::size_t cl = lower.find("content-length:");
+  if (cl != std::string::npos) {
+    std::int64_t n = 0;
+    std::size_t eol = lower.find("\r\n", cl);
+    std::string v = trim(lower.substr(cl + 15, eol - cl - 15));
+    if (parse_int(v, n) && n >= 0) content_length = static_cast<std::size_t>(n);
+  }
+  return raw.size() >= hdr_end + 4 + content_length;
+}
+
+}  // namespace
+
+std::optional<HttpRequest> parse_http_request(const std::string& raw) {
+  std::size_t hdr_end = raw.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) return std::nullopt;
+  auto lines = split(raw.substr(0, hdr_end), '\n');
+  if (lines.empty()) return std::nullopt;
+  auto request_line = split_ws(trim(lines[0]));
+  if (request_line.size() < 3) return std::nullopt;
+  HttpRequest req;
+  req.method = request_line[0];
+  req.path = request_line[1];
+  if (!starts_with(request_line[2], "HTTP/1.")) return std::nullopt;
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string line = trim(lines[i]);
+    if (line.empty()) continue;
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) return std::nullopt;
+    req.headers[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+  }
+  std::size_t content_length = 0;
+  auto it = req.headers.find("content-length");
+  if (it != req.headers.end()) {
+    std::int64_t n = 0;
+    if (!parse_int(it->second, n) || n < 0) return std::nullopt;
+    content_length = static_cast<std::size_t>(n);
+  }
+  if (raw.size() < hdr_end + 4 + content_length) return std::nullopt;
+  req.body = raw.substr(hdr_end + 4, content_length);
+  return req;
+}
+
+std::string status_text(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 500: return "Internal Server Error";
+    default: return "Unknown";
+  }
+}
+
+std::string serialize_http_response(const HttpResponse& resp) {
+  std::string out = strf("HTTP/1.1 ", resp.status, " ", status_text(resp.status), "\r\n");
+  for (const auto& [k, v] : resp.headers) out += strf(k, ": ", v, "\r\n");
+  out += strf("content-length: ", resp.body.size(), "\r\n");
+  out += "connection: close\r\n\r\n";
+  out += resp.body;
+  return out;
+}
+
+HttpServer::HttpServer(HttpHandler handler) : handler_(std::move(handler)) {}
+
+HttpServer::~HttpServer() { stop(); }
+
+std::uint16_t HttpServer::start(std::uint16_t port) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return 0;
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return 0;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  running_.store(true);
+  thread_ = std::thread([this] { serve_loop(); });
+  return port_;
+}
+
+void HttpServer::serve_loop() {
+  // Thread per connection: concurrent DevOps tools hammer real emulators,
+  // so the endpoint must not serialize at the accept loop. Backends that
+  // are not thread-safe go behind SerializedBackend (service.h).
+  std::vector<std::thread> workers;
+  while (running_.load()) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (rc <= 0) continue;
+    int client = ::accept(listen_fd_, nullptr, nullptr);
+    if (client < 0) continue;
+    workers.emplace_back([this, client] {
+      std::string raw;
+      HttpResponse resp;
+      if (read_until(client, raw, request_complete)) {
+        auto req = parse_http_request(raw);
+        if (req) {
+          resp = handler_(*req);
+        } else {
+          resp = HttpResponse{400, {}, "malformed request"};
+        }
+      } else {
+        resp = HttpResponse{400, {}, "truncated request"};
+      }
+      write_all(client, serialize_http_response(resp));
+      ::shutdown(client, SHUT_RDWR);
+      ::close(client);
+    });
+    // Opportunistically reap finished workers to bound the vector.
+    if (workers.size() > 64) {
+      for (auto& w : workers) w.join();
+      workers.clear();
+    }
+  }
+  for (auto& w : workers) w.join();
+}
+
+void HttpServer::stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+std::optional<HttpResponse> http_request(std::uint16_t port, const std::string& method,
+                                         const std::string& path,
+                                         const std::string& body) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return std::nullopt;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  std::string req = strf(method, " ", path, " HTTP/1.1\r\nhost: 127.0.0.1\r\n",
+                         "content-type: application/json\r\n", "content-length: ",
+                         body.size(), "\r\nconnection: close\r\n\r\n", body);
+  if (!write_all(fd, req)) {
+    ::close(fd);
+    return std::nullopt;
+  }
+  // Read to EOF (the server closes after one response).
+  std::string raw;
+  char chunk[4096];
+  ssize_t n;
+  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  std::size_t hdr_end = raw.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) return std::nullopt;
+  auto lines = split(raw.substr(0, hdr_end), '\n');
+  auto status_line = split_ws(trim(lines[0]));
+  if (status_line.size() < 2 || !starts_with(status_line[0], "HTTP/1.")) {
+    return std::nullopt;
+  }
+  HttpResponse resp;
+  std::int64_t status = 0;
+  if (!parse_int(status_line[1], status)) return std::nullopt;
+  resp.status = static_cast<int>(status);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string line = trim(lines[i]);
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    resp.headers[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+  }
+  resp.body = raw.substr(hdr_end + 4);
+  return resp;
+}
+
+}  // namespace lce::server

@@ -1,0 +1,75 @@
+// A deliberately small HTTP/1.1 implementation over loopback TCP — enough
+// to serve the emulator the way LocalStack serves DevOps tools, with no
+// external dependencies. Single acceptor thread, one request per
+// connection (Connection: close), Content-Length framing only.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <thread>
+
+namespace lce::server {
+
+struct HttpRequest {
+  std::string method;  // "GET" / "POST"
+  std::string path;    // "/invoke"
+  std::map<std::string, std::string> headers;  // lower-cased keys
+  std::string body;
+};
+
+struct HttpResponse {
+  int status = 200;
+  std::map<std::string, std::string> headers;
+  std::string body;
+};
+
+/// Parse a full HTTP/1.1 request out of `raw` (headers + body). Returns
+/// nullopt on malformed input or when the body is shorter than
+/// Content-Length (callers accumulate and retry).
+std::optional<HttpRequest> parse_http_request(const std::string& raw);
+
+/// Serialize a response with Content-Length and Connection: close.
+std::string serialize_http_response(const HttpResponse& resp);
+
+/// Reason phrase for the handful of statuses the service uses.
+std::string status_text(int status);
+
+using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Loopback HTTP server. start() binds 127.0.0.1 (port 0 = ephemeral),
+/// spawns the accept loop, and returns the bound port. stop() joins it.
+class HttpServer {
+ public:
+  explicit HttpServer(HttpHandler handler);
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Returns the bound port, or 0 on failure.
+  std::uint16_t start(std::uint16_t port = 0);
+  void stop();
+  bool running() const { return running_.load(); }
+  std::uint16_t port() const { return port_; }
+
+ private:
+  void serve_loop();
+
+  HttpHandler handler_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+/// Blocking HTTP client for tests/examples: one request, one response.
+/// Returns nullopt on connection or protocol failure.
+std::optional<HttpResponse> http_request(std::uint16_t port, const std::string& method,
+                                         const std::string& path,
+                                         const std::string& body = "");
+
+}  // namespace lce::server

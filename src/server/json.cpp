@@ -1,0 +1,272 @@
+#include "server/json.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace lce::server {
+
+std::string JsonError::to_text() const {
+  return strf("json error at offset ", offset, ": ", message);
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(const std::string& text, JsonError* error) : text_(text), error_(error) {}
+
+  std::optional<Value> run() {
+    auto v = value();
+    if (!v) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing content after document");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(std::string msg) {
+    if (error_ != nullptr && error_->message.empty()) {
+      *error_ = JsonError{pos_, std::move(msg)};
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.compare(pos_, word.size(), word) == 0) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> string_body() {
+    // Caller consumed the opening quote.
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              fail("truncated \\u escape");
+              return std::nullopt;
+            }
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else {
+                fail("bad \\u escape");
+                return std::nullopt;
+              }
+            }
+            // Basic-plane UTF-8 encoding (surrogates unsupported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail(strf("unknown escape '\\", e, "'"));
+            return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    fail("unterminated string");
+    return std::nullopt;
+  }
+
+  std::optional<Value> value() {
+    skip_ws();
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return std::nullopt;
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      Value::Map map;
+      skip_ws();
+      if (consume('}')) return Value(std::move(map));
+      while (true) {
+        skip_ws();
+        if (!consume('"')) {
+          fail("expected object key");
+          return std::nullopt;
+        }
+        auto key = string_body();
+        if (!key) return std::nullopt;
+        if (!consume(':')) {
+          fail("expected ':'");
+          return std::nullopt;
+        }
+        auto v = value();
+        if (!v) return std::nullopt;
+        map[std::move(*key)] = std::move(*v);
+        if (consume(',')) continue;
+        if (consume('}')) return Value(std::move(map));
+        fail("expected ',' or '}'");
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      Value::List list;
+      skip_ws();
+      if (consume(']')) return Value(std::move(list));
+      while (true) {
+        auto v = value();
+        if (!v) return std::nullopt;
+        list.push_back(std::move(*v));
+        if (consume(',')) continue;
+        if (consume(']')) return Value(std::move(list));
+        fail("expected ',' or ']'");
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      ++pos_;
+      auto s = string_body();
+      if (!s) return std::nullopt;
+      return Value(std::move(*s));
+    }
+    if (literal("true")) return Value(true);
+    if (literal("false")) return Value(false);
+    if (literal("null")) return Value();
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t start = pos_;
+      if (c == '-') ++pos_;
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+      if (pos_ < text_.size() && (text_[pos_] == '.' || text_[pos_] == 'e' ||
+                                  text_[pos_] == 'E')) {
+        fail("non-integer numbers unsupported");
+        return std::nullopt;
+      }
+      std::int64_t n = 0;
+      if (!parse_int(std::string_view(text_).substr(start, pos_ - start), n)) {
+        fail("bad number");
+        return std::nullopt;
+      }
+      return Value(n);
+    }
+    fail(strf("unexpected character '", c, "'"));
+    return std::nullopt;
+  }
+
+  const std::string& text_;
+  JsonError* error_;
+  std::size_t pos_ = 0;
+};
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void serialize(const Value& v, std::string& out) {
+  switch (v.kind()) {
+    case ValueKind::kNull: out += "null"; return;
+    case ValueKind::kBool: out += v.as_bool() ? "true" : "false"; return;
+    case ValueKind::kInt: out += std::to_string(v.as_int()); return;
+    case ValueKind::kStr:
+    case ValueKind::kRef: append_json_string(out, v.as_str()); return;
+    case ValueKind::kList: {
+      out += '[';
+      bool first = true;
+      for (const auto& e : v.as_list()) {
+        if (!first) out += ',';
+        first = false;
+        serialize(e, out);
+      }
+      out += ']';
+      return;
+    }
+    case ValueKind::kMap: {
+      out += '{';
+      bool first = true;
+      for (const auto& [k, e] : v.as_map()) {
+        if (!first) out += ',';
+        first = false;
+        append_json_string(out, k);
+        out += ':';
+        serialize(e, out);
+      }
+      out += '}';
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<Value> parse_json(const std::string& text, JsonError* error) {
+  return Parser(text, error).run();
+}
+
+std::string to_json(const Value& v) {
+  std::string out;
+  serialize(v, out);
+  return out;
+}
+
+}  // namespace lce::server

@@ -1,0 +1,29 @@
+// JSON codec for the wire format of the HTTP endpoint: parse JSON text
+// into `Value` and serialize back. Resource references serialize as plain
+// strings (the way real cloud APIs put ids on the wire); the service layer
+// re-tags strings shaped like resource ids (see service.h).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/value.h"
+
+namespace lce::server {
+
+struct JsonError {
+  std::size_t offset = 0;
+  std::string message;
+
+  std::string to_text() const;
+};
+
+/// Parse one JSON document (object/array/scalar). Supports the full JSON
+/// grammar except non-integer numbers, which are rejected (the cloud API
+/// surface is integer-only).
+std::optional<Value> parse_json(const std::string& text, JsonError* error = nullptr);
+
+/// Serialize a Value as compact JSON. Refs become plain strings.
+std::string to_json(const Value& v);
+
+}  // namespace lce::server

@@ -1,0 +1,145 @@
+#include "server/service.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+#include "server/json.h"
+
+namespace lce::server {
+
+bool looks_like_resource_id(const std::string& s) {
+  std::size_t dash = s.rfind('-');
+  if (dash == std::string::npos || dash == 0 || dash + 9 != s.size()) return false;
+  for (std::size_t i = 0; i < dash; ++i) {
+    char c = s[i];
+    if (!std::islower(static_cast<unsigned char>(c)) && c != '-' && c != '_') return false;
+  }
+  for (std::size_t i = dash + 1; i < s.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Re-tag id-shaped strings as references, recursively.
+Value retag_refs(const Value& v) {
+  if (v.is_str() && looks_like_resource_id(v.as_str())) return Value::ref(v.as_str());
+  if (v.is_list()) {
+    Value::List out;
+    for (const auto& e : v.as_list()) out.push_back(retag_refs(e));
+    return Value(std::move(out));
+  }
+  if (v.is_map()) {
+    Value::Map out;
+    for (const auto& [k, e] : v.as_map()) out.emplace(k, retag_refs(e));
+    return Value(std::move(out));
+  }
+  return v;
+}
+
+HttpResponse json_response(int status, Value body) {
+  HttpResponse resp;
+  resp.status = status;
+  resp.headers["content-type"] = "application/json";
+  resp.body = to_json(body);
+  return resp;
+}
+
+HttpResponse error_response(int status, std::string code, std::string message) {
+  Value::Map err;
+  err["Code"] = Value(std::move(code));
+  err["Message"] = Value(std::move(message));
+  return json_response(status, Value(Value::Map{{"Error", Value(std::move(err))}}));
+}
+
+}  // namespace
+
+HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req) {
+  if (req.method == "GET" && req.path == "/health") {
+    return json_response(200, Value(Value::Map{{"status", Value("ok")},
+                                               {"backend", Value(backend.name())}}));
+  }
+  if (req.method == "GET" && req.path == "/snapshot") {
+    return json_response(200, backend.snapshot());
+  }
+  if (req.method == "POST" && req.path == "/reset") {
+    backend.reset();
+    return json_response(200, Value(Value::Map{{"status", Value("reset")}}));
+  }
+  if (req.method == "POST" && req.path == "/invoke") {
+    JsonError jerr;
+    auto doc = parse_json(req.body, &jerr);
+    if (!doc || !doc->is_map()) {
+      return error_response(400, "MalformedRequest",
+                            doc ? "request body must be a JSON object" : jerr.to_text());
+    }
+    const Value* action = doc->get("Action");
+    if (action == nullptr || !action->is_str() || action->as_str().empty()) {
+      return error_response(400, "MalformedRequest", "missing \"Action\"");
+    }
+    ApiRequest api_req;
+    api_req.api = action->as_str();
+    if (const Value* params = doc->get("Params")) {
+      if (!params->is_map()) {
+        return error_response(400, "MalformedRequest", "\"Params\" must be an object");
+      }
+      for (const auto& [k, v] : params->as_map()) api_req.args[k] = retag_refs(v);
+    }
+    ApiResponse result = backend.invoke(api_req);
+    if (result.ok) {
+      return json_response(200, Value(Value::Map{{"Data", result.data}}));
+    }
+    return error_response(400, result.code, result.message);
+  }
+  if (req.path == "/invoke" || req.path == "/reset" || req.path == "/health" ||
+      req.path == "/snapshot") {
+    return error_response(405, "MethodNotAllowed",
+                          strf(req.method, " not supported on ", req.path));
+  }
+  return error_response(404, "NoSuchEndpoint", strf("unknown path ", req.path));
+}
+
+EmulatorEndpoint::EmulatorEndpoint(CloudBackend& backend)
+    : backend_(backend),
+      server_([this](const HttpRequest& req) {
+        return handle_emulator_request(backend_, req);
+      }) {}
+
+std::uint16_t EmulatorEndpoint::start(std::uint16_t port) { return server_.start(port); }
+
+void EmulatorEndpoint::stop() { server_.stop(); }
+
+ApiResponse invoke_over_http(std::uint16_t port, const std::string& action,
+                             const Value::Map& params) {
+  Value::Map doc;
+  doc["Action"] = Value(action);
+  doc["Params"] = Value(params);
+  auto resp = http_request(port, "POST", "/invoke", to_json(Value(doc)));
+  if (!resp) return ApiResponse::failure("TransportError", "no response from endpoint");
+  JsonError jerr;
+  auto body = parse_json(resp->body, &jerr);
+  if (!body || !body->is_map()) {
+    return ApiResponse::failure("TransportError", jerr.to_text());
+  }
+  if (const Value* data = body->get("Data")) {
+    // Re-tag ids so client-side alignment comparisons keep working.
+    Value tagged = [&] {
+      Value::Map out;
+      for (const auto& [k, v] : data->as_map()) {
+        out.emplace(k, v.is_str() && looks_like_resource_id(v.as_str())
+                           ? Value::ref(v.as_str())
+                           : v);
+      }
+      return Value(std::move(out));
+    }();
+    return ApiResponse::success(std::move(tagged));
+  }
+  if (const Value* err = body->get("Error")) {
+    return ApiResponse::failure(err->get_or("Code", Value("UnknownError")).as_str(),
+                                err->get_or("Message", Value("")).as_str());
+  }
+  return ApiResponse::failure("TransportError", "response had neither Data nor Error");
+}
+
+}  // namespace lce::server

@@ -1,0 +1,80 @@
+// The emulator as a network service (the way DevOps tooling consumes
+// LocalStack): any CloudBackend behind a small JSON-over-HTTP protocol.
+//
+//   POST /invoke    {"Action": "CreateVpc", "Params": {"cidr_block": "..."}}
+//     -> 200 {"Data": {...}}                     on success
+//     -> 400 {"Error": {"Code": ..., "Message": ...}}  on API failure
+//   GET  /health    -> {"status":"ok","backend":"learned-emulator"}
+//   GET  /snapshot  -> full mock-cloud state
+//   POST /reset     -> fresh account
+//
+// Wire convention: resource ids travel as plain JSON strings; incoming
+// strings shaped like ids ("<prefix>-<8 digits>") are re-tagged as
+// references before dispatch, mirroring how real cloud SDKs pass ids.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/api.h"
+#include "server/http.h"
+
+namespace lce::server {
+
+/// Translate one HTTP request into a backend call (exposed separately so
+/// tests can exercise routing without sockets).
+HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req);
+
+/// True when `s` has our resource-id shape ("vpc-00000001").
+bool looks_like_resource_id(const std::string& s);
+
+/// Thread-safety adapter: serializes every CloudBackend operation behind a
+/// mutex, so single-threaded backends (the interpreter, the reference
+/// cloud) can sit behind the concurrent HTTP server.
+class SerializedBackend final : public CloudBackend {
+ public:
+  explicit SerializedBackend(CloudBackend& inner) : inner_(inner) {}
+
+  std::string name() const override { return inner_.name(); }
+  ApiResponse invoke(const ApiRequest& req) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_.invoke(req);
+  }
+  void reset() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    inner_.reset();
+  }
+  bool supports(const std::string& api) const override { return inner_.supports(api); }
+  Value snapshot() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return inner_.snapshot();
+  }
+
+ private:
+  CloudBackend& inner_;
+  mutable std::mutex mu_;
+};
+
+/// A running emulator endpoint; owns the server thread (and a serializing
+/// wrapper around the backend), not the backend itself.
+class EmulatorEndpoint {
+ public:
+  explicit EmulatorEndpoint(CloudBackend& backend);
+
+  /// Bind and serve; returns the port (0 = failure).
+  std::uint16_t start(std::uint16_t port = 0);
+  void stop();
+  std::uint16_t port() const { return server_.port(); }
+
+ private:
+  SerializedBackend backend_;
+  HttpServer server_;
+};
+
+/// Client-side helper: invoke an action over HTTP and decode the reply
+/// into an ApiResponse (for driving a remote emulator from tests).
+ApiResponse invoke_over_http(std::uint16_t port, const std::string& action,
+                             const Value::Map& params);
+
+}  // namespace lce::server

@@ -1,0 +1,279 @@
+#include "spec/ast.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace lce::spec {
+
+std::string to_string(TypeKind k) {
+  switch (k) {
+    case TypeKind::kBool: return "bool";
+    case TypeKind::kInt: return "int";
+    case TypeKind::kStr: return "str";
+    case TypeKind::kEnum: return "enum";
+    case TypeKind::kRef: return "ref";
+    case TypeKind::kList: return "list";
+  }
+  return "?";
+}
+
+bool Type::admits(const Value& v) const {
+  switch (kind) {
+    case TypeKind::kBool: return v.is_bool();
+    case TypeKind::kInt: return v.is_int();
+    case TypeKind::kStr: return v.is_str() || v.is_null();
+    case TypeKind::kEnum: {
+      if (!v.is_str()) return false;
+      for (const auto& m : enum_members) {
+        if (m == v.as_str()) return true;
+      }
+      return false;
+    }
+    case TypeKind::kRef: return v.is_ref() || v.is_null();
+    case TypeKind::kList: return v.is_list() || v.is_null();
+  }
+  return false;
+}
+
+namespace {
+bool is_ident_like(const std::string& s) {
+  if (s.empty() || std::isdigit(static_cast<unsigned char>(s[0]))) return false;
+  for (char c : s) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+}  // namespace
+
+std::string Type::to_text() const {
+  switch (kind) {
+    case TypeKind::kEnum: {
+      std::vector<std::string> rendered;
+      rendered.reserve(enum_members.size());
+      for (const auto& m : enum_members) {
+        rendered.push_back(is_ident_like(m) ? m : strf("\"", m, "\""));
+      }
+      return strf("enum(", join(rendered, ", "), ")");
+    }
+    case TypeKind::kRef: return ref_type.empty() ? "ref" : strf("ref ", ref_type);
+    default: return to_string(kind);
+  }
+}
+
+std::string to_string(UnaryOp op) { return op == UnaryOp::kNot ? "!" : "-"; }
+
+std::string to_string(BinaryOp op) {
+  switch (op) {
+    case BinaryOp::kEq: return "==";
+    case BinaryOp::kNe: return "!=";
+    case BinaryOp::kLt: return "<";
+    case BinaryOp::kLe: return "<=";
+    case BinaryOp::kGt: return ">";
+    case BinaryOp::kGe: return ">=";
+    case BinaryOp::kAnd: return "&&";
+    case BinaryOp::kOr: return "||";
+    case BinaryOp::kAdd: return "+";
+    case BinaryOp::kSub: return "-";
+  }
+  return "?";
+}
+
+ExprPtr Expr::clone() const {
+  auto e = std::make_unique<Expr>();
+  e->kind = kind;
+  e->literal = literal;
+  e->name = name;
+  e->unary_op = unary_op;
+  e->binary_op = binary_op;
+  e->kids.reserve(kids.size());
+  for (const auto& k : kids) e->kids.push_back(k->clone());
+  return e;
+}
+
+std::string Expr::to_text() const {
+  switch (kind) {
+    case ExprKind::kLiteral: return literal.to_text();
+    case ExprKind::kVar: return name;
+    case ExprKind::kSelf: return "self";
+    case ExprKind::kField: return strf(kids[0]->to_text(), ".", name);
+    case ExprKind::kUnary: return strf(to_string(unary_op), kids[0]->to_text());
+    case ExprKind::kBinary:
+      return strf("(", kids[0]->to_text(), " ", to_string(binary_op), " ",
+                  kids[1]->to_text(), ")");
+    case ExprKind::kBuiltin: {
+      std::vector<std::string> parts;
+      parts.reserve(kids.size());
+      for (const auto& k : kids) parts.push_back(k->to_text());
+      return strf(name, "(", join(parts, ", "), ")");
+    }
+  }
+  return "?";
+}
+
+ExprPtr make_literal(Value v) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr make_var(std::string name) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kVar;
+  e->name = std::move(name);
+  return e;
+}
+
+ExprPtr make_self() {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kSelf;
+  return e;
+}
+
+ExprPtr make_field(ExprPtr base, std::string field) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kField;
+  e->name = std::move(field);
+  e->kids.push_back(std::move(base));
+  return e;
+}
+
+ExprPtr make_unary(UnaryOp op, ExprPtr inner) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kUnary;
+  e->unary_op = op;
+  e->kids.push_back(std::move(inner));
+  return e;
+}
+
+ExprPtr make_binary(BinaryOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBinary;
+  e->binary_op = op;
+  e->kids.push_back(std::move(l));
+  e->kids.push_back(std::move(r));
+  return e;
+}
+
+ExprPtr make_builtin(std::string fn, std::vector<ExprPtr> args) {
+  auto e = std::make_unique<Expr>();
+  e->kind = ExprKind::kBuiltin;
+  e->name = std::move(fn);
+  e->kids = std::move(args);
+  return e;
+}
+
+StmtPtr Stmt::clone() const {
+  auto s = std::make_unique<Stmt>();
+  s->kind = kind;
+  s->var = var;
+  s->expr = expr ? expr->clone() : nullptr;
+  s->error_code = error_code;
+  s->error_note = error_note;
+  s->callee = callee;
+  s->args.reserve(args.size());
+  for (const auto& a : args) s->args.push_back(a->clone());
+  s->then_body = clone_body(then_body);
+  s->else_body = clone_body(else_body);
+  return s;
+}
+
+Body clone_body(const Body& b) {
+  Body out;
+  out.reserve(b.size());
+  for (const auto& s : b) out.push_back(s->clone());
+  return out;
+}
+
+std::string to_string(TransitionKind k) {
+  switch (k) {
+    case TransitionKind::kCreate: return "create";
+    case TransitionKind::kDestroy: return "destroy";
+    case TransitionKind::kDescribe: return "describe";
+    case TransitionKind::kModify: return "modify";
+    case TransitionKind::kAction: return "action";
+  }
+  return "?";
+}
+
+Transition Transition::clone() const {
+  Transition t;
+  t.name = name;
+  t.kind = kind;
+  t.params = params;
+  t.body = clone_body(body);
+  return t;
+}
+
+const StateVar* StateMachine::find_state(std::string_view n) const {
+  for (const auto& s : states) {
+    if (s.name == n) return &s;
+  }
+  return nullptr;
+}
+
+const Transition* StateMachine::find_transition(std::string_view n) const {
+  for (const auto& t : transitions) {
+    if (t.name == n) return &t;
+  }
+  return nullptr;
+}
+
+Transition* StateMachine::find_transition(std::string_view n) {
+  for (auto& t : transitions) {
+    if (t.name == n) return &t;
+  }
+  return nullptr;
+}
+
+StateMachine StateMachine::clone() const {
+  StateMachine m;
+  m.name = name;
+  m.service = service;
+  m.id_prefix = id_prefix;
+  m.parent_type = parent_type;
+  m.states = states;
+  m.transitions.reserve(transitions.size());
+  for (const auto& t : transitions) m.transitions.push_back(t.clone());
+  return m;
+}
+
+const StateMachine* SpecSet::find_machine(std::string_view name) const {
+  for (const auto& m : machines) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+StateMachine* SpecSet::find_machine(std::string_view name) {
+  for (auto& m : machines) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::pair<const StateMachine*, const Transition*> SpecSet::find_api(
+    std::string_view api) const {
+  for (const auto& m : machines) {
+    if (const Transition* t = m.find_transition(api)) return {&m, t};
+  }
+  return {nullptr, nullptr};
+}
+
+std::vector<std::string> SpecSet::all_api_names() const {
+  std::vector<std::string> out;
+  for (const auto& m : machines) {
+    for (const auto& t : m.transitions) out.push_back(t.name);
+  }
+  return out;
+}
+
+SpecSet SpecSet::clone() const {
+  SpecSet s;
+  s.machines.reserve(machines.size());
+  for (const auto& m : machines) s.machines.push_back(m.clone());
+  return s;
+}
+
+}  // namespace lce::spec

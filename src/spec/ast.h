@@ -1,0 +1,198 @@
+// Abstract syntax for the state-machine specification language of paper
+// Fig. 1. A spec is a set of SMs; each SM has typed state variables and
+// transitions whose bodies are sequences of the grammar's primitives
+// (read / write / assert / call) plus if/else, with our practical
+// extensions: assert→error-code mapping (§4.2 "mapping failed assertions
+// to error codes"), containment declarations (the SM *hierarchy* of §1),
+// and a small builtin-function vocabulary for CIDR and hierarchy checks.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/value.h"
+
+namespace lce::spec {
+
+// ---------------------------------------------------------------- types --
+
+enum class TypeKind { kBool, kInt, kStr, kEnum, kRef, kList };
+
+std::string to_string(TypeKind k);
+
+/// A state-variable / parameter type. Enums carry their member set; refs
+/// carry the target resource-type name ("" = any resource).
+struct Type {
+  TypeKind kind = TypeKind::kStr;
+  std::vector<std::string> enum_members;  // kEnum only
+  std::string ref_type;                   // kRef only; may be empty
+
+  static Type boolean() { return {TypeKind::kBool, {}, {}}; }
+  static Type integer() { return {TypeKind::kInt, {}, {}}; }
+  static Type str() { return {TypeKind::kStr, {}, {}}; }
+  static Type enumeration(std::vector<std::string> members) {
+    return {TypeKind::kEnum, std::move(members), {}};
+  }
+  static Type ref(std::string target = "") { return {TypeKind::kRef, {}, std::move(target)}; }
+  static Type list() { return {TypeKind::kList, {}, {}}; }
+
+  bool operator==(const Type&) const = default;
+
+  /// True when `v` inhabits this type (null is allowed for ref/list/str).
+  bool admits(const Value& v) const;
+
+  std::string to_text() const;
+};
+
+struct StateVar {
+  std::string name;
+  Type type;
+  Value initial;  // default value; Value() (null) when unspecified
+};
+
+struct Param {
+  std::string name;
+  Type type;
+};
+
+// ---------------------------------------------------------- expressions --
+
+enum class ExprKind {
+  kLiteral,   // literal Value
+  kVar,       // state var or parameter by name
+  kSelf,      // the resource executing the transition
+  kField,     // kids[0] . field  (attribute of a referenced resource)
+  kUnary,     // op kids[0]
+  kBinary,    // kids[0] op kids[1]
+  kBuiltin,   // name(kids...)
+};
+
+enum class UnaryOp { kNot, kNeg };
+enum class BinaryOp {
+  kEq, kNe, kLt, kLe, kGt, kGe, kAnd, kOr, kAdd, kSub,
+};
+
+std::string to_string(UnaryOp op);
+std::string to_string(BinaryOp op);
+
+/// Builtin predicate/function vocabulary available to specs. The
+/// interpreter binds these to the resource store.
+///   is_null(x)                null test
+///   len(x)                    list/string length
+///   in_list(x, a, b, ...)     membership among literals
+///   cidr_valid(s)             parses as IPv4 CIDR
+///   cidr_prefix_len(s)        prefix length (or -1)
+///   cidr_within(inner, outer) containment
+///   cidr_overlaps(a, b)       overlap
+///   child_count(TypeName)     # children of self with given resource type
+///   sibling_cidr_conflict(s)  any same-type sibling whose `cidr_block`
+///                             overlaps s
+///   exists(ref)               the referenced resource is live
+struct Expr {
+  ExprKind kind = ExprKind::kLiteral;
+  Value literal;               // kLiteral
+  std::string name;            // kVar: var name; kField: field; kBuiltin: fn
+  UnaryOp unary_op = UnaryOp::kNot;
+  BinaryOp binary_op = BinaryOp::kEq;
+  std::vector<std::unique_ptr<Expr>> kids;
+
+  std::unique_ptr<Expr> clone() const;
+  std::string to_text() const;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+ExprPtr make_literal(Value v);
+ExprPtr make_var(std::string name);
+ExprPtr make_self();
+ExprPtr make_field(ExprPtr base, std::string field);
+ExprPtr make_unary(UnaryOp op, ExprPtr e);
+ExprPtr make_binary(BinaryOp op, ExprPtr l, ExprPtr r);
+ExprPtr make_builtin(std::string fn, std::vector<ExprPtr> args);
+
+// ----------------------------------------------------------- statements --
+
+enum class StmtKind {
+  kWrite,         // write(var, expr)
+  kRead,          // read(var): include var in the response payload
+  kAssert,        // assert(pred) else ErrorCode ["message template"]
+  kCall,          // call(target_expr, TransitionName, args...)
+  kIf,            // if pred { ... } else { ... }
+  kAttachParent,  // attach_parent(expr): link self under a parent resource
+};
+
+struct Stmt {
+  StmtKind kind = StmtKind::kWrite;
+  std::string var;           // kWrite/kRead target state variable
+  ExprPtr expr;              // kWrite value; kAssert predicate; kIf condition;
+                             // kCall target; kAttachParent parent ref
+  std::string error_code;    // kAssert
+  std::string error_note;    // kAssert optional message template
+  std::string callee;        // kCall transition name
+  std::vector<ExprPtr> args; // kCall arguments
+  std::vector<std::unique_ptr<Stmt>> then_body;  // kIf
+  std::vector<std::unique_ptr<Stmt>> else_body;  // kIf
+
+  std::unique_ptr<Stmt> clone() const;
+};
+
+using StmtPtr = std::unique_ptr<Stmt>;
+using Body = std::vector<StmtPtr>;
+
+Body clone_body(const Body& b);
+
+// ---------------------------------------------------------- transitions --
+
+/// The four API categories of §3 plus `action` for verbs that neither
+/// create/destroy nor set a single attribute (StartInstances, ...).
+enum class TransitionKind { kCreate, kDestroy, kDescribe, kModify, kAction };
+
+std::string to_string(TransitionKind k);
+
+struct Transition {
+  std::string name;  // the public API name, e.g. "CreateVpc"
+  TransitionKind kind = TransitionKind::kModify;
+  std::vector<Param> params;
+  Body body;
+
+  Transition clone() const;
+};
+
+// -------------------------------------------------------------- machine --
+
+/// One resource type's state machine.
+struct StateMachine {
+  std::string name;         // resource type, e.g. "Vpc"
+  std::string service;      // owning service, e.g. "ec2"
+  std::string id_prefix;    // id prefix, e.g. "vpc"
+  std::string parent_type;  // containment parent ("" = top-level)
+  std::vector<StateVar> states;
+  std::vector<Transition> transitions;
+
+  const StateVar* find_state(std::string_view n) const;
+  const Transition* find_transition(std::string_view n) const;
+  Transition* find_transition(std::string_view n);
+
+  StateMachine clone() const;
+};
+
+/// A full specification: the hierarchy of state machines for one provider
+/// (or one service). Also memoizes the api-name -> SM index.
+struct SpecSet {
+  std::vector<StateMachine> machines;
+
+  const StateMachine* find_machine(std::string_view name) const;
+  StateMachine* find_machine(std::string_view name);
+
+  /// Locate the SM and transition owning a public API name; nullptrs when
+  /// unknown.
+  std::pair<const StateMachine*, const Transition*> find_api(std::string_view api) const;
+
+  std::vector<std::string> all_api_names() const;
+
+  SpecSet clone() const;
+};
+
+}  // namespace lce::spec

@@ -1,0 +1,346 @@
+#include "spec/checks.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+
+#include "common/errors.h"
+#include "common/strings.h"
+
+namespace lce::spec {
+
+std::string to_string(CheckKind k) {
+  switch (k) {
+    case CheckKind::kDanglingType: return "dangling-type";
+    case CheckKind::kDescribeWrites: return "describe-writes";
+    case CheckKind::kUnknownStateVar: return "unknown-state-var";
+    case CheckKind::kEnumViolation: return "enum-violation";
+    case CheckKind::kUnknownCallee: return "unknown-callee";
+    case CheckKind::kUnreachableCall: return "unreachable-call";
+    case CheckKind::kCreateMutatesParent: return "create-mutates-parent";
+    case CheckKind::kMissingParentAttach: return "missing-parent-attach";
+    case CheckKind::kOrphanParentAttach: return "orphan-parent-attach";
+    case CheckKind::kUnknownErrorCode: return "unknown-error-code";
+    case CheckKind::kMissingDestroyGuard: return "missing-destroy-guard";
+    case CheckKind::kDuplicateApi: return "duplicate-api";
+    case CheckKind::kMissingCreate: return "missing-create";
+    case CheckKind::kSilentTransition: return "silent-transition";
+    case CheckKind::kBadBuiltinArity: return "bad-builtin-arity";
+  }
+  return "?";
+}
+
+std::string CheckIssue::to_text() const {
+  return strf(severity == Severity::kError ? "error" : "warning", " [", to_string(kind), "] ",
+              machine, transition.empty() ? "" : strf("::", transition), ": ", detail);
+}
+
+bool CheckReport::ok() const { return error_count() == 0; }
+
+std::size_t CheckReport::error_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      issues.begin(), issues.end(),
+      [](const CheckIssue& i) { return i.severity == Severity::kError; }));
+}
+
+std::size_t CheckReport::warning_count() const { return issues.size() - error_count(); }
+
+std::vector<std::string> CheckReport::machines_with_errors() const {
+  std::set<std::string> names;
+  for (const auto& i : issues) {
+    if (i.severity == Severity::kError && !i.machine.empty()) names.insert(i.machine);
+  }
+  return {names.begin(), names.end()};
+}
+
+namespace {
+
+const std::map<std::string, std::pair<int, int>>& builtin_arity() {
+  // fn -> {min_args, max_args}; -1 = unbounded.
+  static const std::map<std::string, std::pair<int, int>> kArity = {
+      {"is_null", {1, 1}},         {"len", {1, 1}},
+      {"in_list", {2, -1}},        {"cidr_valid", {1, 1}},
+      {"cidr_prefix_len", {1, 1}}, {"cidr_within", {2, 2}},
+      {"cidr_overlaps", {2, 2}},   {"child_count", {1, 1}},
+      {"sibling_cidr_conflict", {1, 2}}, {"exists", {1, 2}},
+  };
+  return kArity;
+}
+
+class MachineChecker {
+ public:
+  MachineChecker(const SpecSet& spec, const StateMachine& m, const DependencyGraph& graph,
+                 std::vector<CheckIssue>& out)
+      : spec_(spec), m_(m), graph_(graph), out_(out) {}
+
+  void run() {
+    check_hierarchy_types();
+    bool has_create = false;
+    for (const auto& t : m_.transitions) {
+      if (t.kind == TransitionKind::kCreate) has_create = true;
+      check_transition(t);
+    }
+    if (!has_create) {
+      add(CheckKind::kMissingCreate, Severity::kWarning, "",
+          "state machine has no create() transition");
+    }
+    check_destroy_guard();
+  }
+
+ private:
+  void add(CheckKind kind, Severity sev, const std::string& transition, std::string detail) {
+    out_.push_back(CheckIssue{kind, sev, m_.name, transition, std::move(detail)});
+  }
+
+  void check_hierarchy_types() {
+    auto require_type = [&](const std::string& ty, const std::string& where) {
+      if (!ty.empty() && spec_.find_machine(ty) == nullptr) {
+        add(CheckKind::kDanglingType, Severity::kError, "",
+            strf(where, " references undefined resource type '", ty, "'"));
+      }
+    };
+    require_type(m_.parent_type, "contained_in");
+    for (const auto& sv : m_.states) {
+      if (sv.type.kind == TypeKind::kRef) require_type(sv.type.ref_type, strf("state '", sv.name, "'"));
+      if (sv.type.kind == TypeKind::kEnum && !sv.initial.is_null() &&
+          !sv.type.admits(sv.initial)) {
+        add(CheckKind::kEnumViolation, Severity::kError, "",
+            strf("initial value ", sv.initial.to_text(), " not in enum for '", sv.name, "'"));
+      }
+    }
+  }
+
+  // Resolve the static ref-target type of an expression, when known.
+  std::string ref_target(const Expr& e, const Transition& t) const {
+    if (e.kind == ExprKind::kSelf) return m_.name;
+    if (e.kind == ExprKind::kVar) {
+      if (const StateVar* sv = m_.find_state(e.name)) {
+        return sv->type.kind == TypeKind::kRef ? sv->type.ref_type : "";
+      }
+      for (const auto& p : t.params) {
+        if (p.name == e.name) return p.type.kind == TypeKind::kRef ? p.type.ref_type : "";
+      }
+    }
+    return "";
+  }
+
+  void check_expr(const Expr& e, const Transition& t) {
+    if (e.kind == ExprKind::kBuiltin) {
+      auto it = builtin_arity().find(e.name);
+      if (it != builtin_arity().end()) {
+        int n = static_cast<int>(e.kids.size());
+        auto [lo, hi] = it->second;
+        if (n < lo || (hi >= 0 && n > hi)) {
+          add(CheckKind::kBadBuiltinArity, Severity::kError, t.name,
+              strf(e.name, "() called with ", n, " args"));
+        }
+      }
+    }
+    for (const auto& k : e.kids) check_expr(*k, t);
+  }
+
+  bool writes_anything(const Body& body) const {
+    for (const auto& s : body) {
+      switch (s->kind) {
+        case StmtKind::kWrite:
+        case StmtKind::kCall:
+        case StmtKind::kAttachParent:
+          return true;
+        case StmtKind::kIf:
+          if (writes_anything(s->then_body) || writes_anything(s->else_body)) return true;
+          break;
+        default:
+          break;
+      }
+    }
+    return false;
+  }
+
+  void check_body(const Body& body, const Transition& t) {
+    for (const auto& s : body) {
+      if (s->expr) check_expr(*s->expr, t);
+      for (const auto& a : s->args) check_expr(*a, t);
+      switch (s->kind) {
+        case StmtKind::kWrite: {
+          const StateVar* sv = m_.find_state(s->var);
+          if (sv == nullptr) {
+            add(CheckKind::kUnknownStateVar, Severity::kError, t.name,
+                strf("write to undeclared state '", s->var, "'"));
+          } else if (sv->type.kind == TypeKind::kEnum && s->expr &&
+                     s->expr->kind == ExprKind::kLiteral &&
+                     !sv->type.admits(s->expr->literal)) {
+            add(CheckKind::kEnumViolation, Severity::kError, t.name,
+                strf("writes ", s->expr->literal.to_text(), " to enum state '", s->var, "'"));
+          }
+          break;
+        }
+        case StmtKind::kRead: {
+          if (m_.find_state(s->var) == nullptr) {
+            add(CheckKind::kUnknownStateVar, Severity::kError, t.name,
+                strf("read of undeclared state '", s->var, "'"));
+          }
+          break;
+        }
+        case StmtKind::kAssert: {
+          if (s->error_code.empty() || !ErrorRegistry::instance().known(s->error_code)) {
+            add(CheckKind::kUnknownErrorCode, Severity::kError, t.name,
+                strf("assert maps to unregistered error code '", s->error_code, "'"));
+          }
+          break;
+        }
+        case StmtKind::kCall: {
+          std::string target_type = s->expr ? ref_target(*s->expr, t) : "";
+          if (!target_type.empty()) {
+            const StateMachine* target = spec_.find_machine(target_type);
+            if (target == nullptr) {
+              add(CheckKind::kDanglingType, Severity::kError, t.name,
+                  strf("call targets undefined type '", target_type, "'"));
+            } else {
+              const Transition* callee = target->find_transition(s->callee);
+              if (callee == nullptr) {
+                add(CheckKind::kUnknownCallee, Severity::kError, t.name,
+                    strf("call to unknown transition '", target_type, ".", s->callee, "'"));
+              } else {
+                if (t.kind == TransitionKind::kCreate && target_type == m_.parent_type &&
+                    callee->kind != TransitionKind::kDescribe &&
+                    callee->kind != TransitionKind::kModify) {
+                  // Paper §1: "resource creation APIs should not be allowed
+                  // to delete their parent resources".
+                  add(CheckKind::kCreateMutatesParent, Severity::kError, t.name,
+                      strf("create() invokes ", to_string(callee->kind), " on parent '",
+                           target_type, "'"));
+                }
+                if (!graph_.reachable(m_.name, target_type)) {
+                  add(CheckKind::kUnreachableCall, Severity::kError, t.name,
+                      strf("call into '", target_type,
+                           "' which is unreachable in the dependency hierarchy"));
+                }
+              }
+            }
+          }
+          break;
+        }
+        case StmtKind::kAttachParent: {
+          if (m_.parent_type.empty()) {
+            add(CheckKind::kOrphanParentAttach, Severity::kError, t.name,
+                "attach_parent() in a top-level (uncontained) SM");
+          }
+          break;
+        }
+        case StmtKind::kIf:
+          check_body(s->then_body, t);
+          check_body(s->else_body, t);
+          break;
+      }
+    }
+  }
+
+  bool has_parent_attach(const Body& body) const {
+    for (const auto& s : body) {
+      if (s->kind == StmtKind::kAttachParent) return true;
+      if (s->kind == StmtKind::kIf &&
+          (has_parent_attach(s->then_body) || has_parent_attach(s->else_body))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void check_transition(const Transition& t) {
+    check_body(t.body, t);
+    if (t.kind == TransitionKind::kDescribe && writes_anything(t.body)) {
+      // Paper §4.2: "a describe() API will be flagged if it inadvertently
+      // modifies some state".
+      add(CheckKind::kDescribeWrites, Severity::kError, t.name,
+          "describe() transition mutates state");
+    }
+    if (t.kind == TransitionKind::kCreate && !m_.parent_type.empty() &&
+        !has_parent_attach(t.body)) {
+      add(CheckKind::kMissingParentAttach, Severity::kError, t.name,
+          strf("create() never attaches to containment parent '", m_.parent_type, "'"));
+    }
+    if ((t.kind == TransitionKind::kModify || t.kind == TransitionKind::kAction) &&
+        t.body.empty()) {
+      add(CheckKind::kSilentTransition, Severity::kWarning, t.name,
+          "modify/action transition has an empty body (silent success)");
+    }
+  }
+
+  void check_destroy_guard() {
+    // If some other SM names this one as containment parent, this SM's
+    // destroy() should guard on child_count (paper §1: "resource deletion
+    // must ensure that all children have been reclaimed"). The interpreter
+    // enforces this dynamically regardless; statically it is a warning.
+    bool has_children = std::any_of(
+        spec_.machines.begin(), spec_.machines.end(),
+        [&](const StateMachine& other) { return other.parent_type == m_.name; });
+    if (!has_children) return;
+    for (const auto& t : m_.transitions) {
+      if (t.kind != TransitionKind::kDestroy) continue;
+      bool guarded = false;
+      std::function<void(const Body&)> scan = [&](const Body& body) {
+        for (const auto& s : body) {
+          if (s->kind == StmtKind::kAssert && s->expr) {
+            std::function<bool(const Expr&)> uses_child_count = [&](const Expr& e) {
+              if (e.kind == ExprKind::kBuiltin && e.name == "child_count") return true;
+              return std::any_of(e.kids.begin(), e.kids.end(),
+                                 [&](const ExprPtr& k) { return uses_child_count(*k); });
+            };
+            if (uses_child_count(*s->expr)) guarded = true;
+          }
+          if (s->kind == StmtKind::kIf) {
+            scan(s->then_body);
+            scan(s->else_body);
+          }
+        }
+      };
+      scan(t.body);
+      if (!guarded) {
+        add(CheckKind::kMissingDestroyGuard, Severity::kWarning, t.name,
+            "destroy() lacks a child_count() reclamation guard");
+      }
+    }
+  }
+
+  const SpecSet& spec_;
+  const StateMachine& m_;
+  const DependencyGraph& graph_;
+  std::vector<CheckIssue>& out_;
+};
+
+}  // namespace
+
+std::vector<CheckIssue> check_machine(const SpecSet& spec, const StateMachine& m,
+                                      const DependencyGraph& graph) {
+  std::vector<CheckIssue> out;
+  MachineChecker(spec, m, graph, out).run();
+  return out;
+}
+
+CheckReport run_checks(const SpecSet& spec) {
+  CheckReport report;
+  DependencyGraph graph = DependencyGraph::build(spec);
+
+  // Spec-level: duplicate public API names across machines.
+  std::map<std::string, std::string> owner;
+  for (const auto& m : spec.machines) {
+    for (const auto& t : m.transitions) {
+      auto [it, inserted] = owner.emplace(t.name, m.name);
+      if (!inserted) {
+        report.issues.push_back(CheckIssue{
+            CheckKind::kDuplicateApi, Severity::kError, m.name, t.name,
+            strf("API name already owned by '", it->second, "'")});
+      }
+    }
+  }
+
+  for (const auto& m : spec.machines) {
+    auto issues = check_machine(spec, m, graph);
+    report.issues.insert(report.issues.end(), std::make_move_iterator(issues.begin()),
+                         std::make_move_iterator(issues.end()));
+  }
+  return report;
+}
+
+}  // namespace lce::spec

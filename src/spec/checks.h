@@ -1,0 +1,69 @@
+// Static consistency checks over a SpecSet (paper §4.2): *completeness* on
+// resource-type coverage (via the dependency graph's transitive closure)
+// and *soundness* against semantically invalid SMs through template-based
+// checks. The synthesizer runs these after generation and re-generates any
+// SM that trips one (the paper's "targeted correction" loop); alignment
+// later catches what these cannot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "spec/ast.h"
+#include "spec/graph.h"
+
+namespace lce::spec {
+
+enum class CheckKind {
+  // Completeness.
+  kDanglingType,          // ref/containment/call targets a type not in spec
+  // Soundness templates.
+  kDescribeWrites,        // a describe() transition mutates state
+  kUnknownStateVar,       // write/read of an undeclared state variable
+  kEnumViolation,         // writes a literal outside the enum's members
+  kUnknownCallee,         // call() to a transition that no target SM has
+  kUnreachableCall,       // call() to an SM outside the caller's dep graph
+  kCreateMutatesParent,   // create() calls a destroy/modify on its parent
+  kMissingParentAttach,   // contained SM whose create() never attaches parent
+  kOrphanParentAttach,    // top-level SM attaches a parent
+  kUnknownErrorCode,      // assert maps to an unregistered error code
+  kMissingDestroyGuard,   // SM with children lacks child_count guard in destroy
+  kDuplicateApi,          // two transitions share one public API name
+  kMissingCreate,         // SM with no create transition
+  kSilentTransition,      // action/modify with empty body (silent success)
+  kBadBuiltinArity,       // builtin called with wrong argument count
+};
+
+std::string to_string(CheckKind k);
+
+enum class Severity { kError, kWarning };
+
+struct CheckIssue {
+  CheckKind kind;
+  Severity severity = Severity::kError;
+  std::string machine;     // offending SM ("" for spec-level issues)
+  std::string transition;  // offending transition ("" for SM-level issues)
+  std::string detail;
+
+  std::string to_text() const;
+};
+
+struct CheckReport {
+  std::vector<CheckIssue> issues;
+
+  bool ok() const;  // no errors (warnings allowed)
+  std::size_t error_count() const;
+  std::size_t warning_count() const;
+  /// Machines with at least one error — the re-generation worklist.
+  std::vector<std::string> machines_with_errors() const;
+};
+
+/// Run every check against `spec`.
+CheckReport run_checks(const SpecSet& spec);
+
+/// Run checks for a single machine in the context of `spec` (used by the
+/// synthesizer's targeted-correction loop).
+std::vector<CheckIssue> check_machine(const SpecSet& spec, const StateMachine& m,
+                                      const DependencyGraph& graph);
+
+}  // namespace lce::spec

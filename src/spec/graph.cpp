@@ -1,0 +1,143 @@
+#include "spec/graph.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace lce::spec {
+
+namespace {
+
+// Collect the resource types a transition's body references via calls to
+// ref-typed expressions. We resolve a call's target type from the ref type
+// of the variable at its root, when statically known.
+void collect_expr_ref_types(const Expr& e, const StateMachine& m, const Transition& t,
+                            std::set<std::string>& out) {
+  if (e.kind == ExprKind::kVar) {
+    if (const StateVar* sv = m.find_state(e.name)) {
+      if (sv->type.kind == TypeKind::kRef && !sv->type.ref_type.empty()) {
+        out.insert(sv->type.ref_type);
+      }
+    }
+    for (const auto& p : t.params) {
+      if (p.name == e.name && p.type.kind == TypeKind::kRef && !p.type.ref_type.empty()) {
+        out.insert(p.type.ref_type);
+      }
+    }
+  }
+  for (const auto& k : e.kids) collect_expr_ref_types(*k, m, t, out);
+}
+
+void collect_body_call_types(const Body& body, const StateMachine& m, const Transition& t,
+                             std::set<std::string>& out) {
+  for (const auto& s : body) {
+    if (s->kind == StmtKind::kCall && s->expr) {
+      collect_expr_ref_types(*s->expr, m, t, out);
+    }
+    collect_body_call_types(s->then_body, m, t, out);
+    collect_body_call_types(s->else_body, m, t, out);
+  }
+}
+
+}  // namespace
+
+DependencyGraph DependencyGraph::build(const SpecSet& spec) {
+  DependencyGraph g;
+  for (const auto& m : spec.machines) g.nodes_.insert(m.name);
+
+  auto note_target = [&](const std::string& from, const std::string& to, DepKind kind) {
+    if (to.empty() || to == from) return;
+    g.edges_.insert(DepEdge{from, to, kind});
+    if (g.nodes_.find(to) == g.nodes_.end()) g.dangling_.insert(to);
+  };
+
+  for (const auto& m : spec.machines) {
+    if (!m.parent_type.empty()) note_target(m.name, m.parent_type, DepKind::kContainment);
+    for (const auto& sv : m.states) {
+      if (sv.type.kind == TypeKind::kRef) note_target(m.name, sv.type.ref_type, DepKind::kReference);
+    }
+    for (const auto& t : m.transitions) {
+      for (const auto& p : t.params) {
+        if (p.type.kind == TypeKind::kRef) {
+          note_target(m.name, p.type.ref_type, DepKind::kReference);
+        }
+      }
+      std::set<std::string> call_types;
+      collect_body_call_types(t.body, m, t, call_types);
+      for (const auto& ct : call_types) note_target(m.name, ct, DepKind::kCall);
+    }
+  }
+  return g;
+}
+
+std::set<std::string> DependencyGraph::deps_of(const std::string& name) const {
+  std::set<std::string> out;
+  for (const auto& e : edges_) {
+    if (e.from == name) out.insert(e.to);
+  }
+  return out;
+}
+
+std::set<std::string> DependencyGraph::closure_of(const std::string& name) const {
+  std::set<std::string> seen;
+  std::vector<std::string> stack{name};
+  while (!stack.empty()) {
+    std::string cur = stack.back();
+    stack.pop_back();
+    for (const auto& d : deps_of(cur)) {
+      if (seen.insert(d).second) stack.push_back(d);
+    }
+  }
+  seen.erase(name);
+  return seen;
+}
+
+bool DependencyGraph::reachable(const std::string& from, const std::string& to) const {
+  if (from == to) return true;
+  auto cl = closure_of(from);
+  return cl.find(to) != cl.end();
+}
+
+std::vector<std::string> DependencyGraph::creation_order() const {
+  // Kahn's algorithm over "A depends on B => B before A"; ties and cycles
+  // broken by lexicographic name for determinism.
+  std::map<std::string, std::set<std::string>> deps;
+  for (const auto& n : nodes_) deps[n];
+  for (const auto& e : edges_) {
+    if (nodes_.count(e.to) > 0) deps[e.from].insert(e.to);
+  }
+  std::vector<std::string> order;
+  std::set<std::string> emitted;
+  while (order.size() < nodes_.size()) {
+    std::string next;
+    for (const auto& [n, ds] : deps) {
+      if (emitted.count(n) > 0) continue;
+      bool ready = std::all_of(ds.begin(), ds.end(),
+                               [&](const std::string& d) { return emitted.count(d) > 0; });
+      if (ready) {
+        next = n;
+        break;
+      }
+    }
+    if (next.empty()) {
+      // Cycle: emit the lexicographically-smallest remaining node.
+      for (const auto& [n, ds] : deps) {
+        (void)ds;
+        if (emitted.count(n) == 0) {
+          next = n;
+          break;
+        }
+      }
+    }
+    order.push_back(next);
+    emitted.insert(next);
+  }
+  return order;
+}
+
+double DependencyGraph::edge_density() const {
+  std::size_t n = nodes_.size();
+  if (n < 2) return 0.0;
+  return static_cast<double>(edges_.size()) / static_cast<double>(n * (n - 1));
+}
+
+}  // namespace lce::spec

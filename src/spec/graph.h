@@ -1,0 +1,69 @@
+// Resource-level dependency graph extracted symbolically from a SpecSet
+// (paper §4.2: "we first symbolically extract a resource-level dependency
+// graph from API input/output dependencies"). Used for:
+//  - completeness checking (transitive closure: every referenced type is
+//    in the spec),
+//  - creation ordering (parents and referenced resources first),
+//  - complexity metrics (§4.4 "Quantifying cloud complexity").
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "spec/ast.h"
+
+namespace lce::spec {
+
+enum class DepKind {
+  kContainment,  // A contained_in B
+  kReference,    // A has a ref-typed state/param targeting B
+  kCall,         // A transition calls into B
+};
+
+struct DepEdge {
+  std::string from;
+  std::string to;
+  DepKind kind;
+
+  bool operator<(const DepEdge& o) const {
+    return std::tie(from, to, kind) < std::tie(o.from, o.to, o.kind);
+  }
+};
+
+class DependencyGraph {
+ public:
+  /// Build from a spec, recording one node per machine plus any *dangling*
+  /// target names referenced but not defined.
+  static DependencyGraph build(const SpecSet& spec);
+
+  const std::set<std::string>& nodes() const { return nodes_; }
+  const std::set<std::string>& dangling() const { return dangling_; }
+  const std::set<DepEdge>& edges() const { return edges_; }
+
+  /// Types directly depended on by `name` (outgoing edges).
+  std::set<std::string> deps_of(const std::string& name) const;
+
+  /// Transitive closure of dependencies starting at `name` (not incl. name).
+  std::set<std::string> closure_of(const std::string& name) const;
+
+  /// True when `from` can reach `to` via edges.
+  bool reachable(const std::string& from, const std::string& to) const;
+
+  /// Creation order: containment parents before children, referenced types
+  /// before referers (best-effort topological order; cycles broken by name).
+  std::vector<std::string> creation_order() const;
+
+  /// §4.4 metrics.
+  std::size_t node_count() const { return nodes_.size(); }
+  std::size_t edge_count() const { return edges_.size(); }
+  double edge_density() const;
+
+ private:
+  std::set<std::string> nodes_;
+  std::set<std::string> dangling_;
+  std::set<DepEdge> edges_;
+};
+
+}  // namespace lce::spec

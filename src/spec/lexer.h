@@ -1,0 +1,41 @@
+// Tokenizer for the SM specification language (paper Fig. 1 grammar, in
+// the concrete syntax documented in parser.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lce::spec {
+
+enum class TokKind {
+  kIdent,
+  kInt,
+  kString,
+  kSymbol,  // one of: { } ( ) , ; : . = == != <= >= < > && || ! + -
+  kEof,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEof;
+  std::string text;
+  std::int64_t int_value = 0;
+  int line = 0;
+  int col = 0;
+
+  bool is_symbol(std::string_view s) const { return kind == TokKind::kSymbol && text == s; }
+  bool is_ident(std::string_view s) const { return kind == TokKind::kIdent && text == s; }
+};
+
+struct LexError {
+  std::string message;
+  int line = 0;
+  int col = 0;
+};
+
+/// Tokenize `src`. On failure, fills `error` and returns an empty vector.
+/// Comments run from "//" to end of line.
+std::vector<Token> lex(std::string_view src, LexError* error);
+
+}  // namespace lce::spec

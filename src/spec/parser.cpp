@@ -1,0 +1,530 @@
+#include "spec/parser.h"
+
+#include <set>
+
+#include "common/strings.h"
+#include "spec/lexer.h"
+
+namespace lce::spec {
+
+std::string ParseError::to_text() const {
+  return strf("parse error at ", line, ":", col, ": ", message);
+}
+
+namespace {
+
+const std::set<std::string, std::less<>> kBuiltins = {
+    "is_null", "len", "in_list", "cidr_valid", "cidr_prefix_len",
+    "cidr_within", "cidr_overlaps", "child_count",
+    "sibling_cidr_conflict",  // sibling_cidr_conflict(cidr[, "attr_name"])
+    "exists",  // exists(ref) or exists(ref, "Type") for a typed check
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> toks, ParseError* error)
+      : toks_(std::move(toks)), error_(error) {}
+
+  std::optional<SpecSet> spec() {
+    SpecSet out;
+    while (!at_eof()) {
+      auto m = machine();
+      if (!m) return std::nullopt;
+      out.machines.push_back(std::move(*m));
+    }
+    return out;
+  }
+
+  std::optional<StateMachine> machine() {
+    if (!expect_ident("sm")) return std::nullopt;
+    StateMachine m;
+    if (!take_ident(m.name)) return std::nullopt;
+    if (!expect_symbol("{")) return std::nullopt;
+    while (!peek().is_symbol("}")) {
+      if (failed_ || at_eof()) {
+        fail("unterminated sm block");
+        return std::nullopt;
+      }
+      if (peek().is_ident("service")) {
+        next();
+        if (!take_string(m.service) || !expect_symbol(";")) return std::nullopt;
+      } else if (peek().is_ident("id_prefix")) {
+        next();
+        if (!take_string(m.id_prefix) || !expect_symbol(";")) return std::nullopt;
+      } else if (peek().is_ident("contained_in")) {
+        next();
+        if (!take_ident(m.parent_type) || !expect_symbol(";")) return std::nullopt;
+      } else if (peek().is_ident("states")) {
+        next();
+        if (!states_block(m)) return std::nullopt;
+      } else if (peek().is_ident("transitions")) {
+        next();
+        if (!transitions_block(m)) return std::nullopt;
+      } else {
+        fail(strf("unexpected token '", peek().text, "' in sm body"));
+        return std::nullopt;
+      }
+    }
+    next();  // consume '}'
+    if (m.id_prefix.empty()) m.id_prefix = to_lower(m.name);
+    return m;
+  }
+
+ private:
+  // ---------------------------------------------------------- plumbing --
+  const Token& peek(std::size_t off = 0) const {
+    std::size_t i = pos_ + off;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& next() {
+    const Token& t = peek();
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
+  bool at_eof() const { return peek().kind == TokKind::kEof; }
+
+  void fail(std::string msg) {
+    if (!failed_ && error_ != nullptr) {
+      *error_ = ParseError{std::move(msg), peek().line, peek().col};
+    }
+    failed_ = true;
+  }
+
+  bool expect_symbol(std::string_view s) {
+    if (peek().is_symbol(s)) {
+      next();
+      return true;
+    }
+    fail(strf("expected '", s, "', got '", peek().text, "'"));
+    return false;
+  }
+
+  bool expect_ident(std::string_view s) {
+    if (peek().is_ident(s)) {
+      next();
+      return true;
+    }
+    fail(strf("expected '", s, "', got '", peek().text, "'"));
+    return false;
+  }
+
+  bool take_ident(std::string& out) {
+    if (peek().kind == TokKind::kIdent) {
+      out = next().text;
+      return true;
+    }
+    fail(strf("expected identifier, got '", peek().text, "'"));
+    return false;
+  }
+
+  bool take_string(std::string& out) {
+    if (peek().kind == TokKind::kString) {
+      out = next().text;
+      return true;
+    }
+    fail(strf("expected string literal, got '", peek().text, "'"));
+    return false;
+  }
+
+  // ------------------------------------------------------------- types --
+  std::optional<Type> type() {
+    if (peek().is_ident("bool")) { next(); return Type::boolean(); }
+    if (peek().is_ident("int")) { next(); return Type::integer(); }
+    if (peek().is_ident("str")) { next(); return Type::str(); }
+    if (peek().is_ident("list")) { next(); return Type::list(); }
+    if (peek().is_ident("enum")) {
+      next();
+      if (!expect_symbol("(")) return std::nullopt;
+      std::vector<std::string> members;
+      while (true) {
+        // Members are idents or string literals (values like "us-east" or
+        // "1.29" are not lexable as identifiers).
+        std::string m;
+        if (peek().kind == TokKind::kString) {
+          m = next().text;
+        } else if (!take_ident(m)) {
+          return std::nullopt;
+        }
+        members.push_back(std::move(m));
+        if (peek().is_symbol(",")) { next(); continue; }
+        break;
+      }
+      if (!expect_symbol(")")) return std::nullopt;
+      return Type::enumeration(std::move(members));
+    }
+    if (peek().is_ident("ref")) {
+      next();
+      std::string target;
+      // Optional target type; "ref" followed by a non-type identifier that
+      // is a resource type name.
+      if (peek().kind == TokKind::kIdent && !peek().is_ident("ref")) {
+        target = next().text;
+      }
+      return Type::ref(std::move(target));
+    }
+    fail(strf("expected type, got '", peek().text, "'"));
+    return std::nullopt;
+  }
+
+  std::optional<Value> literal_value() {
+    if (peek().kind == TokKind::kInt) return Value(next().int_value);
+    if (peek().kind == TokKind::kString) return Value(next().text);
+    if (peek().is_ident("true")) { next(); return Value(true); }
+    if (peek().is_ident("false")) { next(); return Value(false); }
+    if (peek().is_ident("null")) { next(); return Value(); }
+    if (peek().is_symbol("-") && peek(1).kind == TokKind::kInt) {
+      next();
+      return Value(-next().int_value);
+    }
+    // Bare identifier literal == enum member string.
+    if (peek().kind == TokKind::kIdent) return Value(next().text);
+    fail(strf("expected literal, got '", peek().text, "'"));
+    return std::nullopt;
+  }
+
+  bool states_block(StateMachine& m) {
+    if (!expect_symbol("{")) return false;
+    while (!peek().is_symbol("}")) {
+      if (failed_ || at_eof()) { fail("unterminated states block"); return false; }
+      StateVar sv;
+      if (!take_ident(sv.name)) return false;
+      if (!expect_symbol(":")) return false;
+      auto ty = type();
+      if (!ty) return false;
+      sv.type = std::move(*ty);
+      if (peek().is_symbol("=")) {
+        next();
+        auto v = literal_value();
+        if (!v) return false;
+        sv.initial = std::move(*v);
+      }
+      if (!expect_symbol(";")) return false;
+      m.states.push_back(std::move(sv));
+    }
+    next();
+    return true;
+  }
+
+  // ------------------------------------------------------- transitions --
+  bool transitions_block(StateMachine& m) {
+    if (!expect_symbol("{")) return false;
+    while (!peek().is_symbol("}")) {
+      if (failed_ || at_eof()) { fail("unterminated transitions block"); return false; }
+      auto t = transition(m);
+      if (!t) return false;
+      m.transitions.push_back(std::move(*t));
+    }
+    next();
+    return true;
+  }
+
+  std::optional<TransitionKind> transition_kind() {
+    if (peek().is_ident("create")) { next(); return TransitionKind::kCreate; }
+    if (peek().is_ident("destroy")) { next(); return TransitionKind::kDestroy; }
+    if (peek().is_ident("describe")) { next(); return TransitionKind::kDescribe; }
+    if (peek().is_ident("modify")) { next(); return TransitionKind::kModify; }
+    if (peek().is_ident("action")) { next(); return TransitionKind::kAction; }
+    fail(strf("expected transition kind, got '", peek().text, "'"));
+    return std::nullopt;
+  }
+
+  std::optional<Transition> transition(const StateMachine& m) {
+    auto kind = transition_kind();
+    if (!kind) return std::nullopt;
+    Transition t;
+    t.kind = *kind;
+    if (!take_ident(t.name)) return std::nullopt;
+    if (!expect_symbol("(")) return std::nullopt;
+    if (!peek().is_symbol(")")) {
+      while (true) {
+        Param p;
+        if (!take_ident(p.name)) return std::nullopt;
+        if (!expect_symbol(":")) return std::nullopt;
+        auto ty = type();
+        if (!ty) return std::nullopt;
+        p.type = std::move(*ty);
+        t.params.push_back(std::move(p));
+        if (peek().is_symbol(",")) { next(); continue; }
+        break;
+      }
+    }
+    if (!expect_symbol(")")) return std::nullopt;
+
+    // Build the name scope for bare-identifier resolution.
+    scope_.clear();
+    for (const auto& sv : m.states) scope_.insert(sv.name);
+    for (const auto& p : t.params) scope_.insert(p.name);
+
+    if (!block(t.body)) return std::nullopt;
+    return t;
+  }
+
+  bool block(Body& out) {
+    if (!expect_symbol("{")) return false;
+    while (!peek().is_symbol("}")) {
+      if (failed_ || at_eof()) { fail("unterminated block"); return false; }
+      auto s = statement();
+      if (!s) return false;
+      out.push_back(std::move(*s));
+    }
+    next();
+    return true;
+  }
+
+  // Parses dotted error codes: InvalidSubnet.Range
+  bool dotted_code(std::string& out) {
+    if (!take_ident(out)) return false;
+    while (peek().is_symbol(".")) {
+      next();
+      std::string part;
+      if (!take_ident(part)) return false;
+      out += "." + part;
+    }
+    return true;
+  }
+
+  std::optional<StmtPtr> statement() {
+    auto s = std::make_unique<Stmt>();
+    if (peek().is_ident("write")) {
+      next();
+      s->kind = StmtKind::kWrite;
+      if (!expect_symbol("(")) return std::nullopt;
+      if (!take_ident(s->var)) return std::nullopt;
+      if (!expect_symbol(",")) return std::nullopt;
+      s->expr = expression();
+      if (!s->expr) return std::nullopt;
+      if (!expect_symbol(")") || !expect_symbol(";")) return std::nullopt;
+      return s;
+    }
+    if (peek().is_ident("read")) {
+      next();
+      s->kind = StmtKind::kRead;
+      if (!expect_symbol("(")) return std::nullopt;
+      if (!take_ident(s->var)) return std::nullopt;
+      if (!expect_symbol(")") || !expect_symbol(";")) return std::nullopt;
+      return s;
+    }
+    if (peek().is_ident("assert")) {
+      next();
+      s->kind = StmtKind::kAssert;
+      if (!expect_symbol("(")) return std::nullopt;
+      s->expr = expression();
+      if (!s->expr) return std::nullopt;
+      if (!expect_symbol(")")) return std::nullopt;
+      if (peek().is_ident("else")) {
+        next();
+        if (!dotted_code(s->error_code)) return std::nullopt;
+        if (peek().kind == TokKind::kString) s->error_note = next().text;
+      } else {
+        s->error_code = "ValidationError";
+      }
+      if (!expect_symbol(";")) return std::nullopt;
+      return s;
+    }
+    if (peek().is_ident("call")) {
+      next();
+      s->kind = StmtKind::kCall;
+      if (!expect_symbol("(")) return std::nullopt;
+      s->expr = expression();  // target
+      if (!s->expr) return std::nullopt;
+      if (!expect_symbol(",")) return std::nullopt;
+      if (!take_ident(s->callee)) return std::nullopt;
+      while (peek().is_symbol(",")) {
+        next();
+        auto arg = expression();
+        if (!arg) return std::nullopt;
+        s->args.push_back(std::move(arg));
+      }
+      if (!expect_symbol(")") || !expect_symbol(";")) return std::nullopt;
+      return s;
+    }
+    if (peek().is_ident("attach_parent")) {
+      next();
+      s->kind = StmtKind::kAttachParent;
+      if (!expect_symbol("(")) return std::nullopt;
+      s->expr = expression();
+      if (!s->expr) return std::nullopt;
+      if (!expect_symbol(")") || !expect_symbol(";")) return std::nullopt;
+      return s;
+    }
+    if (peek().is_ident("if")) {
+      next();
+      s->kind = StmtKind::kIf;
+      if (!expect_symbol("(")) return std::nullopt;
+      s->expr = expression();
+      if (!s->expr) return std::nullopt;
+      if (!expect_symbol(")")) return std::nullopt;
+      if (!block(s->then_body)) return std::nullopt;
+      if (peek().is_ident("else")) {
+        next();
+        if (!block(s->else_body)) return std::nullopt;
+      }
+      return s;
+    }
+    fail(strf("expected statement, got '", peek().text, "'"));
+    return std::nullopt;
+  }
+
+  // ------------------------------------------------------- expressions --
+  ExprPtr expression() { return or_expr(); }
+
+  ExprPtr or_expr() {
+    auto l = and_expr();
+    if (!l) return nullptr;
+    while (peek().is_symbol("||")) {
+      next();
+      auto r = and_expr();
+      if (!r) return nullptr;
+      l = make_binary(BinaryOp::kOr, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  ExprPtr and_expr() {
+    auto l = cmp_expr();
+    if (!l) return nullptr;
+    while (peek().is_symbol("&&")) {
+      next();
+      auto r = cmp_expr();
+      if (!r) return nullptr;
+      l = make_binary(BinaryOp::kAnd, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  ExprPtr cmp_expr() {
+    auto l = add_expr();
+    if (!l) return nullptr;
+    static const std::pair<std::string_view, BinaryOp> kOps[] = {
+        {"==", BinaryOp::kEq}, {"!=", BinaryOp::kNe}, {"<=", BinaryOp::kLe},
+        {">=", BinaryOp::kGe}, {"<", BinaryOp::kLt},  {">", BinaryOp::kGt},
+    };
+    for (const auto& [sym, op] : kOps) {
+      if (peek().is_symbol(sym)) {
+        next();
+        auto r = add_expr();
+        if (!r) return nullptr;
+        return make_binary(op, std::move(l), std::move(r));
+      }
+    }
+    return l;
+  }
+
+  ExprPtr add_expr() {
+    auto l = unary_expr();
+    if (!l) return nullptr;
+    while (peek().is_symbol("+") || peek().is_symbol("-")) {
+      BinaryOp op = peek().is_symbol("+") ? BinaryOp::kAdd : BinaryOp::kSub;
+      next();
+      auto r = unary_expr();
+      if (!r) return nullptr;
+      l = make_binary(op, std::move(l), std::move(r));
+    }
+    return l;
+  }
+
+  ExprPtr unary_expr() {
+    if (peek().is_symbol("!")) {
+      next();
+      auto e = unary_expr();
+      if (!e) return nullptr;
+      return make_unary(UnaryOp::kNot, std::move(e));
+    }
+    if (peek().is_symbol("-")) {
+      next();
+      auto e = unary_expr();
+      if (!e) return nullptr;
+      return make_unary(UnaryOp::kNeg, std::move(e));
+    }
+    return postfix_expr();
+  }
+
+  ExprPtr postfix_expr() {
+    auto e = primary_expr();
+    if (!e) return nullptr;
+    while (peek().is_symbol(".")) {
+      next();
+      std::string field;
+      if (!take_ident(field)) return nullptr;
+      e = make_field(std::move(e), std::move(field));
+    }
+    return e;
+  }
+
+  ExprPtr primary_expr() {
+    const Token& t = peek();
+    if (t.kind == TokKind::kInt) return make_literal(Value(next().int_value));
+    if (t.kind == TokKind::kString) return make_literal(Value(next().text));
+    if (t.is_ident("true")) { next(); return make_literal(Value(true)); }
+    if (t.is_ident("false")) { next(); return make_literal(Value(false)); }
+    if (t.is_ident("null")) { next(); return make_literal(Value()); }
+    if (t.is_ident("self")) { next(); return make_self(); }
+    if (t.is_symbol("(")) {
+      next();
+      auto e = expression();
+      if (!e) return nullptr;
+      if (!expect_symbol(")")) return nullptr;
+      return e;
+    }
+    if (t.kind == TokKind::kIdent) {
+      std::string name = next().text;
+      if (peek().is_symbol("(")) {
+        // Builtin function call.
+        next();
+        std::vector<ExprPtr> args;
+        if (!peek().is_symbol(")")) {
+          while (true) {
+            auto a = expression();
+            if (!a) return nullptr;
+            args.push_back(std::move(a));
+            if (peek().is_symbol(",")) { next(); continue; }
+            break;
+          }
+        }
+        if (!expect_symbol(")")) return nullptr;
+        if (kBuiltins.find(name) == kBuiltins.end()) {
+          fail(strf("unknown builtin function '", name, "'"));
+          return nullptr;
+        }
+        return make_builtin(std::move(name), std::move(args));
+      }
+      if (scope_.count(name) > 0) return make_var(std::move(name));
+      // Bare identifier not in scope: enum-member literal.
+      return make_literal(Value(std::move(name)));
+    }
+    fail(strf("expected expression, got '", t.text, "'"));
+    return nullptr;
+  }
+
+  std::vector<Token> toks_;
+  ParseError* error_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+  std::set<std::string> scope_;
+};
+
+std::optional<std::vector<Token>> lex_or_fail(std::string_view src, ParseError* error) {
+  LexError lex_err;
+  auto toks = lex(src, &lex_err);
+  if (toks.empty()) {
+    if (error != nullptr) *error = ParseError{lex_err.message, lex_err.line, lex_err.col};
+    return std::nullopt;
+  }
+  return toks;
+}
+
+}  // namespace
+
+std::optional<SpecSet> parse_spec(std::string_view src, ParseError* error) {
+  auto toks = lex_or_fail(src, error);
+  if (!toks) return std::nullopt;
+  return Parser(std::move(*toks), error).spec();
+}
+
+std::optional<StateMachine> parse_machine(std::string_view src, ParseError* error) {
+  auto toks = lex_or_fail(src, error);
+  if (!toks) return std::nullopt;
+  return Parser(std::move(*toks), error).machine();
+}
+
+}  // namespace lce::spec

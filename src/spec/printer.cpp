@@ -1,0 +1,138 @@
+#include "spec/printer.h"
+
+#include "common/strings.h"
+
+namespace lce::spec {
+
+namespace {
+
+std::string ind(int n) { return std::string(static_cast<std::size_t>(n) * 2, ' '); }
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out + "\"";
+}
+
+std::string print_literal(const Value& v) {
+  // Uses the spec literal syntax (strings quoted, refs unsupported as
+  // literals so they degrade to strings).
+  switch (v.kind()) {
+    case ValueKind::kNull: return "null";
+    case ValueKind::kBool: return v.as_bool() ? "true" : "false";
+    case ValueKind::kInt: return std::to_string(v.as_int());
+    case ValueKind::kStr:
+    case ValueKind::kRef: return quote(v.as_str());
+    default: return quote(v.to_text());
+  }
+}
+
+std::string print_expr(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral: return print_literal(e.literal);
+    case ExprKind::kVar: return e.name;
+    case ExprKind::kSelf: return "self";
+    case ExprKind::kField: return strf(print_expr(*e.kids[0]), ".", e.name);
+    case ExprKind::kUnary: return strf(to_string(e.unary_op), print_expr(*e.kids[0]));
+    case ExprKind::kBinary:
+      return strf("(", print_expr(*e.kids[0]), " ", to_string(e.binary_op), " ",
+                  print_expr(*e.kids[1]), ")");
+    case ExprKind::kBuiltin: {
+      std::vector<std::string> parts;
+      parts.reserve(e.kids.size());
+      for (const auto& k : e.kids) parts.push_back(print_expr(*k));
+      return strf(e.name, "(", join(parts, ", "), ")");
+    }
+  }
+  return "null";
+}
+
+void print_body(const Body& body, int indent, std::string& out);
+
+void print_stmt(const Stmt& s, int indent, std::string& out) {
+  switch (s.kind) {
+    case StmtKind::kWrite:
+      out += strf(ind(indent), "write(", s.var, ", ", print_expr(*s.expr), ");\n");
+      return;
+    case StmtKind::kRead:
+      out += strf(ind(indent), "read(", s.var, ");\n");
+      return;
+    case StmtKind::kAssert: {
+      out += strf(ind(indent), "assert(", print_expr(*s.expr), ") else ", s.error_code);
+      if (!s.error_note.empty()) out += " " + quote(s.error_note);
+      out += ";\n";
+      return;
+    }
+    case StmtKind::kCall: {
+      out += strf(ind(indent), "call(", print_expr(*s.expr), ", ", s.callee);
+      for (const auto& a : s.args) out += ", " + print_expr(*a);
+      out += ");\n";
+      return;
+    }
+    case StmtKind::kAttachParent:
+      out += strf(ind(indent), "attach_parent(", print_expr(*s.expr), ");\n");
+      return;
+    case StmtKind::kIf: {
+      out += strf(ind(indent), "if (", print_expr(*s.expr), ") {\n");
+      print_body(s.then_body, indent + 1, out);
+      out += ind(indent) + "}";
+      if (!s.else_body.empty()) {
+        out += " else {\n";
+        print_body(s.else_body, indent + 1, out);
+        out += ind(indent) + "}";
+      }
+      out += "\n";
+      return;
+    }
+  }
+}
+
+void print_body(const Body& body, int indent, std::string& out) {
+  for (const auto& s : body) print_stmt(*s, indent, out);
+}
+
+}  // namespace
+
+std::string print_transition(const Transition& t, int indent) {
+  std::string out = strf(ind(indent), to_string(t.kind), " ", t.name, "(");
+  for (std::size_t i = 0; i < t.params.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += t.params[i].name + ": " + t.params[i].type.to_text();
+  }
+  out += ") {\n";
+  print_body(t.body, indent + 1, out);
+  out += ind(indent) + "}\n";
+  return out;
+}
+
+std::string print_machine(const StateMachine& m) {
+  std::string out = strf("sm ", m.name, " {\n");
+  if (!m.service.empty()) out += strf(ind(1), "service ", quote(m.service), ";\n");
+  out += strf(ind(1), "id_prefix ", quote(m.id_prefix), ";\n");
+  if (!m.parent_type.empty()) out += strf(ind(1), "contained_in ", m.parent_type, ";\n");
+  out += ind(1) + "states {\n";
+  for (const auto& sv : m.states) {
+    out += strf(ind(2), sv.name, ": ", sv.type.to_text());
+    if (!sv.initial.is_null()) out += strf(" = ", print_literal(sv.initial));
+    out += ";\n";
+  }
+  out += ind(1) + "}\n";
+  out += ind(1) + "transitions {\n";
+  for (const auto& t : m.transitions) out += print_transition(t, 2);
+  out += ind(1) + "}\n}\n";
+  return out;
+}
+
+std::string print_spec(const SpecSet& s) {
+  std::string out;
+  for (const auto& m : s.machines) {
+    out += print_machine(m);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace lce::spec

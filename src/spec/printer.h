@@ -1,0 +1,16 @@
+// Pretty-printer: AST -> canonical spec text. `parse_spec(print(s))`
+// round-trips (tested), which is how the synthesizer's "constrained
+// generation" is validated.
+#pragma once
+
+#include <string>
+
+#include "spec/ast.h"
+
+namespace lce::spec {
+
+std::string print_machine(const StateMachine& m);
+std::string print_spec(const SpecSet& s);
+std::string print_transition(const Transition& t, int indent = 0);
+
+}  // namespace lce::spec

@@ -1,0 +1,147 @@
+#include "synth/noise.h"
+
+#include "common/errors.h"
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace lce::synth {
+
+std::string to_string(NoiseKind k) {
+  switch (k) {
+    case NoiseKind::kDropStateVar: return "drop-state-var";
+    case NoiseKind::kDropAssert: return "drop-assert";
+    case NoiseKind::kWrongErrorCode: return "wrong-error-code";
+    case NoiseKind::kSilentTransition: return "silent-transition";
+    case NoiseKind::kDescribeWrites: return "describe-writes";
+    case NoiseKind::kEnumLiteralDrift: return "enum-literal-drift";
+    case NoiseKind::kDropParentAttach: return "drop-parent-attach";
+  }
+  return "?";
+}
+
+std::string NoiseEvent::to_text() const {
+  return strf("[", to_string(kind), "] ", machine,
+              transition.empty() ? "" : strf("::", transition), ": ", detail);
+}
+
+namespace {
+
+using spec::Stmt;
+using spec::StmtKind;
+using spec::Transition;
+using spec::TransitionKind;
+
+void note(std::vector<NoiseEvent>& events, NoiseKind kind, const std::string& machine,
+          const std::string& transition, std::string detail) {
+  events.push_back(NoiseEvent{kind, machine, transition, std::move(detail)});
+}
+
+}  // namespace
+
+void apply_noise(spec::StateMachine& m, double rate, Rng& rng,
+                 std::vector<NoiseEvent>& events) {
+  if (rate <= 0.0) return;
+
+  // Machine-level: drop a state variable (paper: "fails to capture the
+  // important state variables, such as the InstanceTenancy or
+  // CreditSpecification attributes").
+  if (m.states.size() > 1 && rng.chance(rate)) {
+    std::size_t idx = rng.uniform(m.states.size());
+    std::string lost = m.states[idx].name;
+    note(events, NoiseKind::kDropStateVar, m.name, "",
+         strf("hallucination lost state '", lost, "'"));
+    m.states.erase(m.states.begin() + static_cast<std::ptrdiff_t>(idx));
+    // Code that never modelled the attribute has no writes to it either;
+    // the loss shows up as missing payload keys, not as crashes.
+    for (auto& t : m.transitions) {
+      t.body.erase(std::remove_if(t.body.begin(), t.body.end(),
+                                  [&](const std::unique_ptr<Stmt>& s) {
+                                    return s->kind == StmtKind::kWrite && s->var == lost;
+                                  }),
+                   t.body.end());
+    }
+  }
+
+  for (auto& t : m.transitions) {
+    // Transition-level mutations; at most one per transition to keep the
+    // error distribution comparable across rates.
+    if (!rng.chance(rate)) continue;
+    switch (rng.uniform(5)) {
+      case 0: {  // drop an assert
+        for (std::size_t i = 0; i < t.body.size(); ++i) {
+          if (t.body[i]->kind == StmtKind::kAssert) {
+            note(events, NoiseKind::kDropAssert, m.name, t.name,
+                 strf("lost check mapped to '", t.body[i]->error_code, "'"));
+            t.body.erase(t.body.begin() + static_cast<std::ptrdiff_t>(i));
+            break;
+          }
+        }
+        break;
+      }
+      case 1: {  // wrong (but registered) error code
+        for (auto& s : t.body) {
+          if (s->kind == StmtKind::kAssert) {
+            std::string old = s->error_code;
+            s->error_code = std::string(errc::kValidationError);
+            if (s->error_code == old) s->error_code = std::string(errc::kInvalidParameterValue);
+            note(events, NoiseKind::kWrongErrorCode, m.name, t.name,
+                 strf("'", old, "' -> '", s->error_code, "'"));
+            break;
+          }
+        }
+        break;
+      }
+      case 2: {  // silent transition
+        if ((t.kind == TransitionKind::kModify || t.kind == TransitionKind::kAction) &&
+            !t.body.empty()) {
+          note(events, NoiseKind::kSilentTransition, m.name, t.name,
+               strf("emptied ", t.body.size(), "-statement body"));
+          t.body.clear();
+        }
+        break;
+      }
+      case 3: {  // describe that writes
+        if (t.kind == TransitionKind::kDescribe && !m.states.empty()) {
+          auto s = std::make_unique<Stmt>();
+          s->kind = StmtKind::kWrite;
+          s->var = m.states[rng.uniform(m.states.size())].name;
+          s->expr = spec::make_literal(Value("corrupted"));
+          note(events, NoiseKind::kDescribeWrites, m.name, t.name,
+               strf("describe now writes '", s->var, "'"));
+          t.body.push_back(std::move(s));
+        }
+        break;
+      }
+      case 4: {  // enum literal drift or dropped attach_parent
+        bool mutated = false;
+        for (auto& s : t.body) {
+          if (s->kind != StmtKind::kWrite || !s->expr ||
+              s->expr->kind != spec::ExprKind::kLiteral) {
+            continue;
+          }
+          const spec::StateVar* sv = m.find_state(s->var);
+          if (sv == nullptr || sv->type.kind != spec::TypeKind::kEnum) continue;
+          note(events, NoiseKind::kEnumLiteralDrift, m.name, t.name,
+               strf("write(", s->var, ") drifted to 'hallucinated'"));
+          s->expr = spec::make_literal(Value("hallucinated"));
+          mutated = true;
+          break;
+        }
+        if (!mutated && t.kind == TransitionKind::kCreate) {
+          for (std::size_t i = 0; i < t.body.size(); ++i) {
+            if (t.body[i]->kind == StmtKind::kAttachParent) {
+              note(events, NoiseKind::kDropParentAttach, m.name, t.name,
+                   "create() lost its attach_parent");
+              t.body.erase(t.body.begin() + static_cast<std::ptrdiff_t>(i));
+              break;
+            }
+          }
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace lce::synth

@@ -1,0 +1,44 @@
+// The LLM noise model: a seeded mutator that injects the error classes the
+// paper observed in LLM-generated emulation code (§5): missing state
+// variables, missing/shallow checks, wrong error codes, silent transitions,
+// describe()s that mutate state, out-of-domain enum writes. This stands in
+// for the stochastic misbehaviour of a real LLM (see DESIGN.md); the
+// grammar + consistency checks + alignment phases must catch what they can,
+// exactly as the paper argues.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "spec/ast.h"
+
+namespace lce::synth {
+
+enum class NoiseKind {
+  kDropStateVar,      // state error: attribute lost (InstanceTenancy, ...)
+  kDropAssert,        // missing semantic check (DeleteVpc dependency, ...)
+  kWrongErrorCode,    // registered-but-wrong code on an assert
+  kSilentTransition,  // action/modify body emptied (StartInstances bug)
+  kDescribeWrites,    // describe() gains a state mutation
+  kEnumLiteralDrift,  // const write drifts outside the enum domain
+  kDropParentAttach,  // create() loses its attach_parent
+};
+
+std::string to_string(NoiseKind k);
+
+struct NoiseEvent {
+  NoiseKind kind;
+  std::string machine;
+  std::string transition;  // "" for machine-level noise
+  std::string detail;
+
+  std::string to_text() const;
+};
+
+/// Mutate `m` in place with per-site probability `rate`; appends a record
+/// of every mutation to `events`.
+void apply_noise(spec::StateMachine& m, double rate, Rng& rng,
+                 std::vector<NoiseEvent>& events);
+
+}  // namespace lce::synth

@@ -1,0 +1,233 @@
+#include "synth/synthesizer.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/errors.h"
+#include "common/strings.h"
+
+namespace lce::synth {
+
+namespace {
+
+/// Find the wrangled resource model by machine name.
+const docs::ResourceModel* find_doc_resource(const docs::CloudCatalog& catalog,
+                                             const std::string& name) {
+  return catalog.find_resource(name);
+}
+
+}  // namespace
+
+SynthesisResult synthesize(const docs::DocCorpus& corpus, const SynthesisOptions& opts) {
+  SynthesisResult result;
+  Rng rng(opts.seed);
+
+  // 1. Documentation wrangling (§4.1): symbolic template parsing.
+  result.wrangled = docs::wrangle(corpus);
+  result.log.push_back(strf("wrangled ", corpus.pages.size(), " pages into ",
+                            result.wrangled.catalog.resource_count(), " resources (",
+                            result.wrangled.issues.size(), " unparseable lines)"));
+
+  // 2. Incremental extraction (§4.2): per-resource SM generation with
+  //    stubs for not-yet-generated dependencies, plus LLM noise.
+  std::vector<Stub> stubs;
+  for (const auto& service : result.wrangled.catalog.services) {
+    for (const auto& r : service.resources) {
+      spec::StateMachine m = translate_resource(r, stubs);
+      apply_noise(m, opts.noise_rate, rng, result.noise);
+      result.spec.machines.push_back(std::move(m));
+    }
+  }
+  result.log.push_back(strf("generated ", result.spec.machines.size(), " machines, ",
+                            stubs.size(), " cross-machine stubs, ",
+                            result.noise.size(), " injected LLM errors"));
+
+  // 3. Specification linking (§4.2): patch stubs into target machines.
+  result.unlinked_stubs = link_stubs(result.spec, stubs);
+  if (!result.unlinked_stubs.empty()) {
+    result.log.push_back(strf(result.unlinked_stubs.size(), " stubs could not be linked"));
+  }
+
+  // 4. Consistency checks with targeted correction: re-generate flagged
+  //    machines from their documentation (noise-free — the "re-prompt with
+  //    the checker's complaint" step always converges here because the
+  //    translator is deterministic).
+  if (opts.consistency_checks) {
+    for (int round = 0; round < opts.max_regeneration_rounds; ++round) {
+      spec::CheckReport report = spec::run_checks(result.spec);
+      auto offenders = report.machines_with_errors();
+      if (offenders.empty()) break;
+      ++result.regeneration_rounds;
+      result.log.push_back(strf("round ", round + 1, ": ", report.error_count(),
+                                " check errors across ", offenders.size(),
+                                " machines; regenerating"));
+      for (const auto& name : offenders) {
+        const docs::ResourceModel* r = find_doc_resource(result.wrangled.catalog, name);
+        if (r == nullptr) continue;  // stub-only machine; nothing to regenerate
+        std::vector<Stub> regen_stubs;
+        spec::StateMachine fresh = translate_resource(*r, regen_stubs);
+        // Re-apply linking obligations that target this machine.
+        for (const auto& stub : stubs) {
+          if (stub.target_machine != name) continue;
+          if (fresh.find_transition(stub.callee) != nullptr) continue;
+          spec::Transition t;
+          t.name = stub.callee;
+          t.kind = spec::TransitionKind::kModify;
+          t.params.push_back(spec::Param{"peer", spec::Type::ref(stub.source_machine)});
+          auto w = std::make_unique<spec::Stmt>();
+          w->kind = spec::StmtKind::kWrite;
+          w->var = stub.target_attr;
+          w->expr = spec::make_var("peer");
+          t.body.push_back(std::move(w));
+          fresh.transitions.push_back(std::move(t));
+        }
+        if (spec::StateMachine* old = result.spec.find_machine(name)) {
+          *old = std::move(fresh);
+        }
+      }
+    }
+  }
+  result.final_checks = spec::run_checks(result.spec);
+
+  // 5. Which injected noise survived the static net? (Semantically wrong
+  //    but grammatically valid mutations — alignment's job, §4.3.) A
+  //    machine is compared structurally against its clean re-translation;
+  //    if it still differs yet passes the checks, its mutations survive.
+  if (opts.consistency_checks) {
+    std::set<std::string> still_bad(result.final_checks.machines_with_errors().begin(),
+                                    result.final_checks.machines_with_errors().end());
+    for (const auto& ev : result.noise) {
+      const docs::ResourceModel* r = find_doc_resource(result.wrangled.catalog, ev.machine);
+      if (r == nullptr) continue;
+      std::vector<Stub> tmp;
+      spec::StateMachine clean = translate_resource(*r, tmp);
+      const spec::StateMachine* current = result.spec.find_machine(ev.machine);
+      if (current == nullptr) continue;
+      // If the current machine is statically clean but not identical to
+      // the noise-free translation, its surviving mutations live on.
+      bool differs = false;
+      if (clean.states.size() != current->states.size() ||
+          clean.transitions.size() != current->transitions.size()) {
+        differs = true;
+      } else {
+        for (std::size_t i = 0; i < clean.transitions.size() && !differs; ++i) {
+          if (clean.transitions[i].body.size() != current->transitions[i].body.size()) {
+            differs = true;
+          }
+        }
+      }
+      if (differs && still_bad.count(ev.machine) == 0) {
+        result.surviving_noise.push_back(ev);
+      }
+    }
+  } else {
+    result.surviving_noise = result.noise;
+  }
+
+  result.log.push_back(strf("final: ", result.final_checks.error_count(), " errors, ",
+                            result.final_checks.warning_count(), " warnings, ",
+                            result.surviving_noise.size(), " noise events survived checks"));
+  return result;
+}
+
+SynthesisResult synthesize_d2c(const docs::DocCorpus& corpus, std::uint64_t seed) {
+  SynthesisOptions opts;
+  opts.noise_rate = 0.15;  // unconstrained generation is noisier
+  opts.seed = seed;
+  opts.consistency_checks = false;  // no grammar/checker protections
+  SynthesisResult result = synthesize(corpus, opts);
+
+  auto log_bug = [&](std::string what) {
+    result.log.push_back("d2c characteristic bug: " + what);
+  };
+
+  // Direct code models attributes as plain strings — no typed enum domains
+  // anywhere, so drifted values are silently *stored* instead of rejected
+  // (the "state errors" of §5(i)).
+  for (auto& m : result.spec.machines) {
+    for (auto& sv : m.states) {
+      if (sv.type.kind == spec::TypeKind::kEnum) sv.type = spec::Type::str();
+    }
+  }
+
+  // (i) State errors.
+  if (spec::StateMachine* instance = result.spec.find_machine("Instance")) {
+    auto drop_state = [&](const std::string& name) {
+      auto it = std::find_if(instance->states.begin(), instance->states.end(),
+                             [&](const spec::StateVar& sv) { return sv.name == name; });
+      if (it != instance->states.end()) {
+        instance->states.erase(it);
+        log_bug("Instance lost state '" + name + "'");
+      }
+      // Also drop transitions whose writes now dangle (D2C code simply
+      // never modelled the attribute).
+      instance->transitions.erase(
+          std::remove_if(instance->transitions.begin(), instance->transitions.end(),
+                         [&](const spec::Transition& t) {
+                           for (const auto& s : t.body) {
+                             if (s->kind == spec::StmtKind::kWrite && s->var == name) {
+                               return true;
+                             }
+                           }
+                           return false;
+                         }),
+          instance->transitions.end());
+    };
+    drop_state("instance_tenancy");
+    drop_state("credit_specification");
+  }
+  if (spec::StateMachine* vpc = result.spec.find_machine("Vpc")) {
+    if (spec::Transition* del = vpc->find_transition("DeleteVpc")) {
+      del->body.clear();  // no dependency checking at all
+      log_bug("DeleteVpc lost its dependency check");
+    }
+    if (spec::Transition* dns = vpc->find_transition("ModifyVpcDnsHostnames")) {
+      spec::Body kept;
+      for (auto& s : dns->body) {
+        if (s->kind != spec::StmtKind::kAssert) kept.push_back(std::move(s));
+      }
+      dns->body = std::move(kept);
+      log_bug("ModifyVpcDnsHostnames lost the dns_support coupling check");
+    }
+  }
+  // (ii) Transition errors.
+  if (spec::StateMachine* instance = result.spec.find_machine("Instance")) {
+    if (spec::Transition* start = instance->find_transition("StartInstance")) {
+      start->body.clear();  // silent success on a running instance
+      log_bug("StartInstance fails silently (returns success)");
+    }
+  }
+  if (spec::StateMachine* subnet = result.spec.find_machine("Subnet")) {
+    if (spec::Transition* create = subnet->find_transition("CreateSubnet")) {
+      spec::Body kept;
+      for (auto& s : create->body) {
+        bool is_prefix_check =
+            s->kind == spec::StmtKind::kAssert && s->expr &&
+            contains(s->expr->to_text(), "cidr_prefix_len");
+        if (!is_prefix_check) kept.push_back(std::move(s));
+      }
+      create->body = std::move(kept);
+      log_bug("CreateSubnet accepts invalid prefix sizes (e.g. /29)");
+    }
+  }
+  // Specific error codes degrade to a generic one on roughly half of the
+  // remaining asserts ("failure to return the specific error codes
+  // required by client-side tooling").
+  Rng degrade_rng(seed + 1);
+  int degraded = 0;
+  for (auto& m : result.spec.machines) {
+    for (auto& t : m.transitions) {
+      for (auto& s : t.body) {
+        if (s->kind == spec::StmtKind::kAssert &&
+            s->error_code != errc::kValidationError && degrade_rng.chance(0.5)) {
+          s->error_code = std::string(errc::kValidationError);
+          ++degraded;
+        }
+      }
+    }
+  }
+  log_bug(strf(degraded, " asserts degraded to generic ValidationError"));
+  return result;
+}
+
+}  // namespace lce::synth

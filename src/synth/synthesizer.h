@@ -1,0 +1,63 @@
+// The learned-emulator synthesis pipeline (paper Fig. 2, §4.1-§4.2):
+//
+//   documentation text --wrangle--> per-resource info --translate--> SMs
+//        (with seeded LLM noise)  --consistency checks--> targeted
+//        re-generation of flagged machines --> executable SpecSet
+//
+// The pipeline consumes ONLY rendered documentation text, never the truth
+// catalog, so everything the emulator knows came through the docs (with
+// their defects and omissions). The real system's LLM is replaced by the
+// deterministic translator + the noise model (DESIGN.md substitutions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "docs/render.h"
+#include "docs/wrangler.h"
+#include "spec/checks.h"
+#include "synth/noise.h"
+#include "synth/translate.h"
+
+namespace lce::synth {
+
+struct SynthesisOptions {
+  /// Per-site probability of an LLM-style generation error.
+  double noise_rate = 0.0;
+  std::uint64_t seed = 1;
+  /// Run §4.2 consistency checks with targeted re-generation.
+  bool consistency_checks = true;
+  /// Re-generation rounds before giving up on a machine.
+  int max_regeneration_rounds = 3;
+};
+
+struct SynthesisResult {
+  spec::SpecSet spec;
+  docs::WrangleResult wrangled;         // what the symbolic parser recovered
+  std::vector<NoiseEvent> noise;        // every injected LLM error
+  std::vector<NoiseEvent> surviving_noise;  // noise NOT fixed by checks
+  std::vector<Stub> unlinked_stubs;     // spec-linking failures
+  spec::CheckReport final_checks;
+  int regeneration_rounds = 0;
+  std::vector<std::string> log;
+
+  bool ok() const { return final_checks.ok() && unlinked_stubs.empty(); }
+};
+
+/// Run the full pipeline over rendered documentation.
+SynthesisResult synthesize(const docs::DocCorpus& corpus, const SynthesisOptions& opts);
+
+/// Direct-to-code baseline (paper §5 "Versus direct-to-code"): the same
+/// documentation, but *without* the SM grammar's protections — no
+/// consistency checks, no targeted correction — plus the characteristic
+/// D2C error classes reported in the paper, injected deterministically:
+///   (i) state errors: drops instance_tenancy / credit_specification,
+///       drops DeleteVpc's dependency check, drops the DNS coupling check;
+///  (ii) transition errors: StartInstance succeeds silently, the subnet
+///       prefix-size check disappears (CIDR *conflict* checking remains),
+///       specific error codes degrade to ValidationError.
+/// Returns the buggy spec to be run with hierarchy guards disabled.
+SynthesisResult synthesize_d2c(const docs::DocCorpus& corpus, std::uint64_t seed = 1);
+
+}  // namespace lce::synth

@@ -1,0 +1,52 @@
+// Deterministic translation of wrangled documentation into the SM grammar
+// of paper Fig. 1. This is the "knowledge articulation" step the paper
+// constrains the LLM to perform: every documented constraint becomes an
+// assert with its error code, every documented effect a write / call /
+// attach_parent, so the output is by construction inside the grammar.
+//
+// Cross-resource bidirectional associations (docs EffectKind::kSetRef with
+// a target_attr) become a call() to a back-reference transition on the
+// TARGET machine. When the target machine has not been generated yet the
+// call is recorded as a *stub* (paper §4.2 incremental extraction); the
+// specification-linking pass later materializes the back-reference
+// transitions on the targets.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "docs/model.h"
+#include "spec/ast.h"
+
+namespace lce::synth {
+
+/// A pending cross-machine obligation produced while translating one SM.
+struct Stub {
+  std::string source_machine;     // who needs the callee
+  std::string source_transition;  // transition containing the call
+  std::string target_machine;     // machine that must grow a transition
+  std::string callee;             // transition name to materialize
+  std::string target_attr;        // back-reference attribute to write
+};
+
+/// Name of the generated back-reference transition for an API's set-ref
+/// effect, e.g. "AssociateAddressBackRef".
+std::string backref_transition_name(const std::string& api_name);
+
+/// Translate a single documented resource into a state machine. Appends
+/// any cross-machine stubs to `stubs`.
+spec::StateMachine translate_resource(const docs::ResourceModel& r,
+                                      std::vector<Stub>& stubs);
+
+/// Specification linking (paper §4.2): materialize every stub as a modify
+/// transition on its target machine. Stubs whose target machine is absent
+/// are returned (they surface as completeness errors downstream).
+std::vector<Stub> link_stubs(spec::SpecSet& spec, const std::vector<Stub>& stubs);
+
+/// Translate a whole wrangled catalog: per-resource translation in
+/// dependency order followed by linking. `unlinked` (optional) receives
+/// stubs that could not be linked.
+spec::SpecSet translate_catalog(const docs::CloudCatalog& catalog,
+                                std::vector<Stub>* unlinked = nullptr);
+
+}  // namespace lce::synth

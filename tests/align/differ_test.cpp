@@ -1,0 +1,160 @@
+// Unit tests for the differential runner and the trace shrinker against
+// scripted backends (no pipeline involved), pinning down the placeholder
+// dependency analysis and the minimality guarantees.
+#include "align/differ.h"
+
+#include <gtest/gtest.h>
+
+namespace lce::align {
+namespace {
+
+/// A scripted backend: Create mints ids; "Probe" fails with `code` once
+/// `arm_after` Create calls have happened (simulating a state-dependent
+/// divergence), else succeeds.
+class Scripted final : public CloudBackend {
+ public:
+  Scripted(std::string name, int arm_after, std::string code)
+      : name_(std::move(name)), arm_after_(arm_after), code_(std::move(code)) {}
+
+  std::string name() const override { return name_; }
+  void reset() override { creates_ = 0; }
+  ApiResponse invoke(const ApiRequest& req) override {
+    if (req.api == "Create") {
+      ++creates_;
+      Value::Map data{{"id", Value::ref("r-" + std::to_string(creates_))}};
+      return ApiResponse::success(Value(std::move(data)));
+    }
+    if (req.api == "Probe") {
+      if (creates_ >= arm_after_ && !code_.empty()) {
+        return ApiResponse::failure(code_, "armed");
+      }
+      return ApiResponse::success();
+    }
+    return ApiResponse::failure("InvalidAction", "no such api");
+  }
+
+ private:
+  std::string name_;
+  int arm_after_;
+  std::string code_;
+  int creates_ = 0;
+};
+
+GenTrace make_gen(Trace t) {
+  GenTrace g;
+  g.trace = std::move(t);
+  return g;
+}
+
+TEST(Differ, AlignedTraceYieldsNoDiscrepancy) {
+  Scripted a("a", 99, "X");
+  Scripted b("b", 99, "X");
+  Trace t;
+  t.add("Create");
+  t.add("Probe");
+  EXPECT_FALSE(diff_trace(a, b, make_gen(t)).has_value());
+}
+
+TEST(Differ, ReportsFirstDivergingCallAndKind) {
+  Scripted cloud("cloud", 1, "Boom");  // fails Probe after >= 1 create
+  Scripted emu("emu", 99, "Boom");     // never fails
+  Trace t;
+  t.add("Create");
+  t.add("Probe");
+  t.add("Probe");
+  auto d = diff_trace(cloud, emu, make_gen(t));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->call_index, 1u);
+  EXPECT_EQ(d->kind, DivergenceKind::kCloudErrEmuOk);
+  EXPECT_EQ(d->cloud.code, "Boom");
+}
+
+TEST(Differ, ErrorCodeMismatchKind) {
+  Scripted cloud("cloud", 0, "CodeA");
+  Scripted emu("emu", 0, "CodeB");
+  Trace t;
+  t.add("Probe");
+  auto d = diff_trace(cloud, emu, make_gen(t));
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->kind, DivergenceKind::kErrorCodeMismatch);
+}
+
+TEST(Shrink, DropsIrrelevantPrefixCalls) {
+  // Divergence fires once >= 2 creates happened; the trace has 5 creates.
+  // Shrinking must keep exactly 2 creates + the probe.
+  Scripted cloud("cloud", 2, "Boom");
+  Scripted emu("emu", 99, "");
+  Trace t;
+  for (int i = 0; i < 5; ++i) t.add("Create");
+  t.add("Probe");
+  auto d = diff_trace(cloud, emu, make_gen(t));
+  ASSERT_TRUE(d);
+  auto s = shrink(cloud, emu, *d);
+  EXPECT_EQ(s.trace.calls.size(), 3u);  // 2 creates + probe
+  EXPECT_EQ(s.trace.calls.back().api, "Probe");
+  // The shrunk trace still reproduces.
+  auto again = diff_trace(cloud, emu, make_gen(s.trace));
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->kind, d->kind);
+}
+
+TEST(Shrink, DropsTailBeyondDivergence) {
+  Scripted cloud("cloud", 0, "Boom");
+  Scripted emu("emu", 99, "");
+  Trace t;
+  t.add("Probe");
+  t.add("Create");
+  t.add("Create");
+  auto d = diff_trace(cloud, emu, make_gen(t));
+  ASSERT_TRUE(d);
+  EXPECT_EQ(d->call_index, 0u);
+  auto s = shrink(cloud, emu, *d);
+  EXPECT_EQ(s.trace.calls.size(), 1u);
+}
+
+TEST(Shrink, RespectsPlaceholderDependencies) {
+  // The probe references $2.id: calls 0 and 1 are droppable, call 2 is not
+  // — and after dropping, the placeholder must be remapped to the new
+  // index so the trace still resolves.
+  class RefSensitive final : public CloudBackend {
+   public:
+    explicit RefSensitive(bool fail_on_ref) : fail_(fail_on_ref) {}
+    std::string name() const override { return "ref-sensitive"; }
+    void reset() override { n_ = 0; }
+    ApiResponse invoke(const ApiRequest& req) override {
+      if (req.api == "Create") {
+        Value::Map data{{"id", Value::ref("r-" + std::to_string(++n_))}};
+        return ApiResponse::success(Value(std::move(data)));
+      }
+      // Probe fails (on the failing backend) only when the ref resolved.
+      auto it = req.args.find("target");
+      bool has_ref = it != req.args.end() && it->second.is_ref();
+      if (fail_ && has_ref) return ApiResponse::failure("RefBoom", "resolved ref");
+      return ApiResponse::success();
+    }
+
+   private:
+    bool fail_;
+    int n_ = 0;
+  };
+  RefSensitive cloud(true);
+  RefSensitive emu(false);
+  Trace t;
+  t.add("Create");
+  t.add("Create");
+  t.add("Create");
+  t.add("Probe", {{"target", Value("$2.id")}});
+  auto d = diff_trace(cloud, emu, make_gen(t));
+  ASSERT_TRUE(d);
+  auto s = shrink(cloud, emu, *d);
+  // Two creates dropped; the remaining create + probe, placeholder remapped.
+  ASSERT_EQ(s.trace.calls.size(), 2u);
+  EXPECT_EQ(s.trace.calls[0].api, "Create");
+  EXPECT_EQ(s.trace.calls[1].args.at("target").as_str(), "$0.id");
+  auto again = diff_trace(cloud, emu, make_gen(s.trace));
+  ASSERT_TRUE(again);
+  EXPECT_EQ(again->cloud.code, "RefBoom");
+}
+
+}  // namespace
+}  // namespace lce::align

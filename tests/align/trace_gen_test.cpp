@@ -1,0 +1,179 @@
+#include "align/trace_gen.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cloud/reference_cloud.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+#include "interp/interpreter.h"
+#include "synth/synthesizer.h"
+
+namespace lce::align {
+namespace {
+
+const spec::SpecSet& aws_spec() {
+  static const spec::SpecSet kSpec = [] {
+    auto r = synth::synthesize(docs::render_corpus(docs::build_aws_catalog()), {});
+    return std::move(r.spec);
+  }();
+  return kSpec;
+}
+
+TEST(TraceGen, HappyPathForCreateSubnetBuildsDependencyChain) {
+  TraceGenerator gen(aws_spec());
+  auto traces = gen.generate_for("Subnet", "CreateSubnet");
+  ASSERT_FALSE(traces.empty());
+  const GenTrace* happy = nullptr;
+  for (const auto& g : traces) {
+    if (g.cls.kind == ClassKind::kHappyPath) happy = &g;
+  }
+  ASSERT_NE(happy, nullptr);
+  // Setup must create the Vpc before the subnet probe.
+  ASSERT_GE(happy->trace.calls.size(), 2u);
+  EXPECT_EQ(happy->trace.calls[0].api, "CreateVpc");
+  EXPECT_EQ(happy->trace.calls[happy->probe_call].api, "CreateSubnet");
+}
+
+TEST(TraceGen, ViolationClassPerAssert) {
+  TraceGenerator gen(aws_spec());
+  auto traces = gen.generate_for("Subnet", "CreateSubnet");
+  std::size_t violations = 0;
+  for (const auto& g : traces) {
+    if (g.cls.kind == ClassKind::kAssertViolation) ++violations;
+  }
+  // CreateSubnet has >= 5 asserts (exists, cidr valid, prefix, within,
+  // overlap, zone); most must concretize.
+  EXPECT_GE(violations, 4u);
+}
+
+TEST(TraceGen, HappyPathsSucceedOnTheEmulator) {
+  // Every happy-path trace must run cleanly on the emulator that generated
+  // it. (On the cloud, happy paths may legitimately diverge — that is the
+  // undocumented behaviour alignment exists to find.)
+  interp::Interpreter emu(aws_spec().clone());
+  TraceGenerator gen(aws_spec());
+  std::size_t checked = 0;
+  for (const auto& m : aws_spec().machines) {
+    // Keep the sweep bounded: core machines only.
+    if (m.name != "Vpc" && m.name != "Subnet" && m.name != "Instance" &&
+        m.name != "ElasticIp" && m.name != "NetworkInterface" && m.name != "Table") {
+      continue;
+    }
+    for (const auto& t : m.transitions) {
+      for (const auto& g : gen.generate_for(m.name, t.name)) {
+        if (g.cls.kind != ClassKind::kHappyPath) continue;
+        auto resp = run_trace(emu, g.trace);
+        EXPECT_TRUE(resp[g.probe_call].ok)
+            << g.trace.label << ": " << resp[g.probe_call].to_text();
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 20u);
+}
+
+TEST(TraceGen, ViolationTracesFailWithExpectedCodeOnEmulator) {
+  interp::Interpreter emu(aws_spec().clone());
+  TraceGenerator gen(aws_spec());
+  std::size_t checked = 0;
+  for (const auto& g : gen.generate_for("Subnet", "CreateSubnet")) {
+    if (g.cls.kind != ClassKind::kAssertViolation) continue;
+    auto resp = run_trace(emu, g.trace);
+    ASSERT_FALSE(resp[g.probe_call].ok) << g.trace.label;
+    EXPECT_EQ(resp[g.probe_call].code, g.cls.expected_code) << g.trace.label;
+    ++checked;
+  }
+  EXPECT_GE(checked, 4u);
+}
+
+TEST(TraceGen, StateSweepCoversInstanceStates) {
+  TraceGenerator gen(aws_spec());
+  auto traces = gen.generate_for("Instance", "StartInstance");
+  bool from_stopped = false;
+  for (const auto& g : traces) {
+    if (g.cls.kind == ClassKind::kStateSweep && g.cls.sweep_attr == "state" &&
+        g.cls.sweep_value == "stopped") {
+      from_stopped = true;
+    }
+  }
+  EXPECT_TRUE(from_stopped);
+}
+
+TEST(TraceGen, RefAttrSweepForReleaseAddress) {
+  TraceGenerator gen(aws_spec());
+  auto traces = gen.generate_for("ElasticIp", "ReleaseAddress");
+  bool nic_attached = false;
+  for (const auto& g : traces) {
+    if (g.cls.kind == ClassKind::kRefAttrSweep && g.cls.sweep_attr == "nic") {
+      nic_attached = true;
+      // The driver must be a real public API (AssociateAddress), not an
+      // internal BackRef transition.
+      for (const auto& c : g.trace.calls) {
+        EXPECT_EQ(c.api.find("BackRef"), std::string::npos) << c.api;
+      }
+    }
+  }
+  EXPECT_TRUE(nic_attached);
+}
+
+TEST(TraceGen, BoolCouplingForDnsHostnames) {
+  TraceGenerator gen(aws_spec());
+  auto traces = gen.generate_for("Vpc", "ModifyVpcDnsHostnames");
+  bool coupling = false;
+  for (const auto& g : traces) {
+    if (g.cls.kind == ClassKind::kBoolCoupling && g.cls.sweep_attr == "dns_support") {
+      coupling = true;
+    }
+  }
+  EXPECT_TRUE(coupling);
+}
+
+TEST(TraceGen, BoundaryProbeAtDocumentedPrefixBound) {
+  TraceGenerator gen(aws_spec());
+  auto traces = gen.generate_for("Subnet", "CreateSubnet");
+  bool boundary = false;
+  for (const auto& g : traces) {
+    if (g.cls.kind == ClassKind::kBoundaryProbe && g.cls.bound_param == "cidr_block") {
+      EXPECT_EQ(g.cls.bound_value, 28);
+      boundary = true;
+    }
+  }
+  EXPECT_TRUE(boundary);
+}
+
+TEST(TraceGen, MemberProbesCoverEnumDomains) {
+  TraceGenerator gen(aws_spec());
+  auto traces = gen.generate_for("Instance", "ModifyInstanceTenancy");
+  std::set<std::string> probed;
+  for (const auto& g : traces) {
+    if (g.cls.kind == ClassKind::kMemberProbe) probed.insert(g.cls.member_value);
+  }
+  // Domain {default, dedicated, host}: the happy path covers the first
+  // member, probes cover the rest.
+  EXPECT_EQ(probed, (std::set<std::string>{"dedicated", "host"}));
+}
+
+TEST(TraceGen, InternalBackRefTransitionsSkipped) {
+  TraceGenerator gen(aws_spec());
+  EXPECT_TRUE(gen.generate_for("NetworkInterface", "AssociateAddressBackRef").empty());
+}
+
+TEST(TraceGen, GenerateAllCoversTheSpec) {
+  TraceGenerator gen(aws_spec());
+  auto traces = gen.generate_all();
+  EXPECT_GT(traces.size(), 1000u);
+  const auto& stats = gen.stats();
+  // Unreachable enum members (pending/CREATING/...) are honestly skipped
+  // sweeps; everything else must concretize.
+  EXPECT_GT(stats.classes_concretized, 1000u);
+  std::size_t non_sweep_skips = 0;
+  for (const auto& reason : stats.skipped) {
+    if (reason.find("unreachable") == std::string::npos) ++non_sweep_skips;
+  }
+  EXPECT_LT(non_sweep_skips, 60u) << stats.skipped.front();
+}
+
+}  // namespace
+}  // namespace lce::align

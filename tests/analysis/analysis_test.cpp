@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "analysis/antipatterns.h"
+#include "analysis/complexity.h"
+#include "analysis/multicloud.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+#include "synth/synthesizer.h"
+
+namespace lce::analysis {
+namespace {
+
+const spec::SpecSet& aws_spec() {
+  static const spec::SpecSet kSpec = [] {
+    auto r = synth::synthesize(docs::render_corpus(docs::build_aws_catalog()), {});
+    return std::move(r.spec);
+  }();
+  return kSpec;
+}
+
+TEST(Complexity, OneRowPerMachine) {
+  auto rows = measure_complexity(aws_spec());
+  EXPECT_EQ(rows.size(), aws_spec().machines.size());
+}
+
+TEST(Complexity, Fig4SmCountsPerService) {
+  // "our generated specs included 28 SMs for EC2, 8 for network firewall,
+  // and 7 for DynamoDB services."
+  auto groups = by_service(measure_complexity(aws_spec()));
+  EXPECT_EQ(groups["ec2"].size(), 28u);
+  EXPECT_EQ(groups["network-firewall"].size(), 8u);
+  EXPECT_EQ(groups["dynamodb"].size(), 7u);
+  EXPECT_EQ(groups["eks"].size(), 4u);
+}
+
+TEST(Complexity, Ec2MachinesAreMostComplex) {
+  // Fig. 4's qualitative claim: "the SMs in the EC2 service are more
+  // complex than others" — compare mean states+transitions.
+  auto groups = by_service(measure_complexity(aws_spec()));
+  auto mean = [](const std::vector<SmComplexity>& rows) {
+    double sum = 0;
+    for (const auto& r : rows) sum += static_cast<double>(r.total());
+    return sum / static_cast<double>(rows.size());
+  };
+  double ec2 = mean(groups["ec2"]);
+  EXPECT_GT(ec2, mean(groups["network-firewall"]));
+  EXPECT_GT(ec2, mean(groups["eks"]));
+}
+
+TEST(Complexity, InstanceIsAmongTheRichestMachines) {
+  auto rows = measure_complexity(aws_spec());
+  const SmComplexity* instance = nullptr;
+  for (const auto& r : rows) {
+    if (r.machine == "Instance") instance = &r;
+  }
+  ASSERT_NE(instance, nullptr);
+  EXPECT_GE(instance->transitions, 15u);
+  EXPECT_GE(instance->asserts, 5u);
+}
+
+TEST(Complexity, EmpiricalCdfIsMonotoneAndEndsAtOne) {
+  auto cdf = empirical_cdf({3, 1, 2, 2, 5});
+  ASSERT_EQ(cdf.size(), 4u);  // ties collapsed
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GT(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GT(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+TEST(Complexity, GraphMetricsSane) {
+  auto gm = measure_graph(aws_spec());
+  EXPECT_EQ(gm.nodes, aws_spec().machines.size());
+  EXPECT_GT(gm.edges, 20u);
+  EXPECT_GT(gm.density, 0.0);
+  EXPECT_LT(gm.density, 1.0);
+  // Vpc -> Subnet -> Instance gives depth >= 3.
+  EXPECT_GE(gm.containment_depth, 3u);
+}
+
+TEST(AntiPatterns, DetectsAsymmetricLifecycleInToySpec) {
+  spec::SpecSet s;
+  spec::StateMachine m;
+  m.name = "Lopsided";
+  spec::Transition t;
+  t.name = "CreateLopsided";
+  t.kind = spec::TransitionKind::kCreate;
+  m.transitions.push_back(std::move(t));
+  s.machines.push_back(std::move(m));
+  auto findings = find_anti_patterns(s);
+  bool found = false;
+  for (const auto& f : findings) {
+    if (f.kind == AntiPatternKind::kAsymmetricLifecycle && f.subject == "Lopsided") {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AntiPatterns, FlagsOverloadedErrorCodesInAwsSpec) {
+  // InvalidParameterValue backs dozens of distinct checks in the corpus.
+  auto findings = find_anti_patterns(aws_spec());
+  bool overloaded = false;
+  for (const auto& f : findings) {
+    if (f.kind == AntiPatternKind::kOverloadedErrorCode &&
+        f.subject == "InvalidParameterValue") {
+      overloaded = true;
+    }
+  }
+  EXPECT_TRUE(overloaded);
+}
+
+TEST(AntiPatterns, AmbiguousDocFindingsFromWranglerIssues) {
+  std::vector<docs::WrangleIssue> issues = {
+      {"FuzzyPage", 3, "unparseable constraint"},
+      {"FuzzyPage", 9, "unparseable effect"},
+  };
+  auto findings = find_anti_patterns(spec::SpecSet{}, issues);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].kind, AntiPatternKind::kAmbiguousDoc);
+  EXPECT_NE(findings[0].detail.find("2 documentation lines"), std::string::npos);
+}
+
+TEST(AntiPatterns, ToTextNamesKind) {
+  AntiPattern p{AntiPatternKind::kDeepContainment, "X", "depth 4"};
+  EXPECT_NE(p.to_text().find("deep-containment"), std::string::npos);
+}
+
+TEST(MultiCloud, ComparesEquivalentResources) {
+  auto aws = docs::build_aws_catalog();
+  auto azure = docs::build_azure_catalog();
+  std::vector<std::pair<std::string, std::string>> pairs;
+  for (const auto& eq : docs::aws_azure_equivalences()) {
+    pairs.emplace_back(eq.aws_resource, eq.azure_resource);
+  }
+  auto report = compare_providers(aws, azure, pairs);
+  EXPECT_EQ(report.comparisons.size(), pairs.size());
+  EXPECT_GT(report.mean_portability(), 0.3);
+  EXPECT_LT(report.mean_portability(), 1.0);  // clouds genuinely differ
+}
+
+TEST(MultiCloud, SubnetBoundDifferenceSurfaces) {
+  // AWS /16../28 vs Azure /8../29 must appear as a bound diff.
+  auto aws = docs::build_aws_catalog();
+  auto azure = docs::build_azure_catalog();
+  auto report = compare_providers(aws, azure, {{"Subnet", "VnetSubnet"}});
+  ASSERT_EQ(report.comparisons.size(), 1u);
+  bool bound_diff = false;
+  for (const auto& d : report.comparisons[0].deltas) {
+    for (const auto& b : d.bound_diffs) {
+      if (b.find("cidr-prefix-range") != std::string::npos) bound_diff = true;
+    }
+  }
+  EXPECT_TRUE(bound_diff);
+}
+
+TEST(MultiCloud, UnknownResourceNamesSkipped) {
+  auto aws = docs::build_aws_catalog();
+  auto azure = docs::build_azure_catalog();
+  auto report = compare_providers(aws, azure, {{"Nope", "AlsoNope"}});
+  EXPECT_TRUE(report.comparisons.empty());
+  EXPECT_EQ(report.mean_portability(), 0.0);
+}
+
+}  // namespace
+}  // namespace lce::analysis

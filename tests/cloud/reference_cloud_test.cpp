@@ -1,0 +1,302 @@
+#include "cloud/reference_cloud.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "docs/corpus.h"
+
+namespace lce::cloud {
+namespace {
+
+class ReferenceCloudTest : public ::testing::Test {
+ protected:
+  ReferenceCloudTest() : cloud_(docs::build_aws_catalog()) {}
+
+  ApiResponse call(std::string api, Value::Map args = {}, std::string target = "") {
+    return cloud_.invoke(ApiRequest{std::move(api), std::move(args), std::move(target)});
+  }
+
+  std::string make_vpc(const std::string& cidr = "10.0.0.0/16") {
+    auto r = call("CreateVpc", {{"cidr_block", Value(cidr)}});
+    EXPECT_TRUE(r.ok) << r.to_text();
+    return r.data.get("id")->as_str();
+  }
+
+  std::string make_subnet(const std::string& vpc, const std::string& cidr,
+                          const std::string& zone = "us-east") {
+    auto r = call("CreateSubnet", {{"vpc", Value::ref(vpc)},
+                                   {"cidr_block", Value(cidr)},
+                                   {"zone", Value(zone)}});
+    EXPECT_TRUE(r.ok) << r.to_text();
+    return r.data.get("id")->as_str();
+  }
+
+  ReferenceCloud cloud_;
+};
+
+TEST_F(ReferenceCloudTest, CreateVpcReturnsFullState) {
+  auto r = call("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.data.get("cidr_block")->as_str(), "10.0.0.0/16");
+  EXPECT_EQ(r.data.get("state")->as_str(), "available");
+  EXPECT_EQ(r.data.get("instance_tenancy")->as_str(), "default");
+  EXPECT_TRUE(r.data.get("dns_support")->as_bool());
+  EXPECT_FALSE(r.data.get("dns_hostnames")->as_bool());
+}
+
+TEST_F(ReferenceCloudTest, CreateVpcRejectsBadCidr) {
+  EXPECT_EQ(call("CreateVpc", {{"cidr_block", Value("banana")}}).code,
+            errc::kInvalidParameterValue);
+  EXPECT_EQ(call("CreateVpc", {{"cidr_block", Value("10.0.0.0/8")}}).code,
+            errc::kInvalidVpcRange);
+  EXPECT_EQ(call("CreateVpc", {{"cidr_block", Value("10.0.0.0/30")}}).code,
+            errc::kInvalidVpcRange);
+}
+
+TEST_F(ReferenceCloudTest, MissingParameterCheckedFirst) {
+  auto r = call("CreateVpc");
+  EXPECT_EQ(r.code, errc::kMissingParameter);
+}
+
+TEST_F(ReferenceCloudTest, WrongParamTypeRejected) {
+  EXPECT_EQ(call("CreateVpc", {{"cidr_block", Value(42)}}).code,
+            errc::kInvalidParameterValue);
+}
+
+TEST_F(ReferenceCloudTest, UnknownApiRejected) {
+  EXPECT_EQ(call("SummonKraken").code, errc::kInvalidAction);
+}
+
+TEST_F(ReferenceCloudTest, SubnetMustNestInsideVpc) {
+  auto vpc = make_vpc("10.0.0.0/16");
+  auto bad = call("CreateSubnet", {{"vpc", Value::ref(vpc)},
+                                   {"cidr_block", Value("192.168.0.0/24")},
+                                   {"zone", Value("us-east")}});
+  EXPECT_EQ(bad.code, errc::kInvalidSubnetRange);
+}
+
+TEST_F(ReferenceCloudTest, SubnetPrefixBoundsEnforced) {
+  auto vpc = make_vpc("10.0.0.0/16");
+  // /29 is invalid (paper: D2C wrongly allows it; the real cloud refuses).
+  auto r = call("CreateSubnet", {{"vpc", Value::ref(vpc)},
+                                 {"cidr_block", Value("10.0.0.0/29")},
+                                 {"zone", Value("us-east")}});
+  EXPECT_EQ(r.code, errc::kInvalidSubnetRange);
+}
+
+TEST_F(ReferenceCloudTest, SiblingSubnetsMustNotOverlap) {
+  auto vpc = make_vpc("10.0.0.0/16");
+  make_subnet(vpc, "10.0.1.0/24");
+  auto clash = call("CreateSubnet", {{"vpc", Value::ref(vpc)},
+                                     {"cidr_block", Value("10.0.1.128/25")},
+                                     {"zone", Value("us-east")}});
+  EXPECT_EQ(clash.code, errc::kInvalidSubnetConflict);
+  // Overlap in a DIFFERENT vpc is fine.
+  auto vpc2 = make_vpc("10.0.0.0/16");
+  auto ok = call("CreateSubnet", {{"vpc", Value::ref(vpc2)},
+                                  {"cidr_block", Value("10.0.1.0/24")},
+                                  {"zone", Value("us-east")}});
+  EXPECT_TRUE(ok.ok) << ok.to_text();
+}
+
+TEST_F(ReferenceCloudTest, SubnetInMissingVpcFails) {
+  auto r = call("CreateSubnet", {{"vpc", Value::ref("vpc-99999999")},
+                                 {"cidr_block", Value("10.0.1.0/24")},
+                                 {"zone", Value("us-east")}});
+  EXPECT_EQ(r.code, errc::kResourceNotFound);
+}
+
+TEST_F(ReferenceCloudTest, RefParamWithWrongTypeFails) {
+  auto vpc = make_vpc();
+  auto subnet = make_subnet(vpc, "10.0.1.0/24");
+  // Passing a subnet where a vpc is expected.
+  auto r = call("CreateSubnet", {{"vpc", Value::ref(subnet)},
+                                 {"cidr_block", Value("10.0.2.0/24")},
+                                 {"zone", Value("us-east")}});
+  EXPECT_EQ(r.code, errc::kResourceNotFound);
+}
+
+TEST_F(ReferenceCloudTest, DeleteVpcWithInternetGatewayIsDependencyViolation) {
+  // The exact Moto bug scenario from §2.
+  auto vpc = make_vpc();
+  auto igw = call("CreateInternetGateway", {{"vpc", Value::ref(vpc)}});
+  ASSERT_TRUE(igw.ok);
+  auto del = call("DeleteVpc", {}, vpc);
+  EXPECT_FALSE(del.ok);
+  EXPECT_EQ(del.code, errc::kDependencyViolation);
+  // Delete the gateway, then the VPC deletes fine.
+  ASSERT_TRUE(call("DeleteInternetGateway", {}, igw.data.get("id")->as_str()).ok);
+  EXPECT_TRUE(call("DeleteVpc", {}, vpc).ok);
+}
+
+TEST_F(ReferenceCloudTest, StartInstanceOnRunningFailsDespiteDocsSilence) {
+  // §5 transition-error example: the docs do not document this behaviour,
+  // but the real cloud enforces it.
+  auto vpc = make_vpc();
+  auto subnet = make_subnet(vpc, "10.0.1.0/24");
+  auto inst = call("RunInstance", {{"subnet", Value::ref(subnet)},
+                                   {"instance_type", Value("t3.micro")}});
+  ASSERT_TRUE(inst.ok) << inst.to_text();
+  auto id = inst.data.get("id")->as_str();
+  auto start = call("StartInstance", {}, id);
+  EXPECT_FALSE(start.ok);
+  EXPECT_EQ(start.code, errc::kIncorrectInstanceState);
+  // Stop then start works.
+  EXPECT_TRUE(call("StopInstance", {}, id).ok);
+  EXPECT_TRUE(call("StartInstance", {}, id).ok);
+}
+
+TEST_F(ReferenceCloudTest, DnsHostnamesRequireDnsSupport) {
+  auto vpc = make_vpc();
+  ASSERT_TRUE(call("ModifyVpcDnsSupport", {{"id", Value::ref(vpc)}, {"value", Value(false)}}).ok);
+  auto r = call("ModifyVpcDnsHostnames", {{"id", Value::ref(vpc)}, {"value", Value(true)}});
+  EXPECT_EQ(r.code, errc::kInvalidParameterValue);
+  // Turning hostnames *off* is always allowed.
+  EXPECT_TRUE(call("ModifyVpcDnsHostnames", {{"id", Value::ref(vpc)}, {"value", Value(false)}}).ok);
+}
+
+TEST_F(ReferenceCloudTest, ElasticIpZoneMismatchRejected) {
+  auto vpc = make_vpc();
+  auto subnet = make_subnet(vpc, "10.0.1.0/24");
+  auto nic = call("CreateNetworkInterface",
+                  {{"subnet", Value::ref(subnet)}, {"zone", Value("us-west")}});
+  ASSERT_TRUE(nic.ok);
+  auto eip = call("AllocateAddress", {{"zone", Value("us-east")}});
+  ASSERT_TRUE(eip.ok);
+  auto assoc = call("AssociateAddress", {{"id", eip.data.get_or("id", Value())},
+                                         {"nic", nic.data.get_or("id", Value())}});
+  EXPECT_EQ(assoc.code, errc::kZoneMismatch);
+}
+
+TEST_F(ReferenceCloudTest, ElasticIpAssociationWritesBackRef) {
+  auto vpc = make_vpc();
+  auto subnet = make_subnet(vpc, "10.0.1.0/24");
+  auto nic = call("CreateNetworkInterface",
+                  {{"subnet", Value::ref(subnet)}, {"zone", Value("us-east")}});
+  auto eip = call("AllocateAddress", {{"zone", Value("us-east")}});
+  auto eip_id = eip.data.get("id")->as_str();
+  auto nic_id = nic.data.get("id")->as_str();
+  ASSERT_TRUE(call("AssociateAddress",
+                   {{"id", Value::ref(eip_id)}, {"nic", Value::ref(nic_id)}})
+                  .ok);
+  auto nic_desc = call("DescribeNetworkInterface", {}, nic_id);
+  EXPECT_EQ(nic_desc.data.get("public_ip")->as_str(), eip_id);
+  // Releasing while attached violates the dependency.
+  EXPECT_EQ(call("ReleaseAddress", {}, eip_id).code, errc::kDependencyViolation);
+  // Deleting the NIC while it holds an address also fails.
+  EXPECT_EQ(call("DeleteNetworkInterface", {}, nic_id).code, errc::kDependencyViolation);
+  ASSERT_TRUE(call("DisassociateAddress", {}, eip_id).ok);
+  EXPECT_TRUE(call("ReleaseAddress", {}, eip_id).ok);
+}
+
+TEST_F(ReferenceCloudTest, SecurityGroupPortRange) {
+  auto vpc = make_vpc();
+  auto sg = call("CreateSecurityGroup",
+                 {{"vpc", Value::ref(vpc)}, {"group_name", Value("web")}});
+  ASSERT_TRUE(sg.ok);
+  auto id = sg.data.get("id")->as_str();
+  EXPECT_TRUE(call("AuthorizeSecurityGroupIngress",
+                   {{"id", Value::ref(id)}, {"port", Value(443)}})
+                  .ok);
+  EXPECT_EQ(call("AuthorizeSecurityGroupIngress",
+                 {{"id", Value::ref(id)}, {"port", Value(70000)}})
+                .code,
+            errc::kInvalidParameterValue);
+}
+
+TEST_F(ReferenceCloudTest, DynamoTableCapacityRules) {
+  auto t = call("CreateTable",
+                {{"table_name", Value("orders")}, {"billing_mode", Value("PROVISIONED")}});
+  ASSERT_TRUE(t.ok) << t.to_text();
+  auto id = t.data.get("id")->as_str();
+  EXPECT_TRUE(call("UpdateTableReadCapacity", {{"id", Value::ref(id)}, {"value", Value(100)}}).ok);
+  EXPECT_EQ(call("UpdateTableReadCapacity", {{"id", Value::ref(id)}, {"value", Value(0)}}).code,
+            errc::kLimitExceeded);
+  // Switch to on-demand: capacity updates now rejected.
+  ASSERT_TRUE(call("UpdateTableBillingMode",
+                   {{"id", Value::ref(id)}, {"value", Value("PAY_PER_REQUEST")}})
+                  .ok);
+  EXPECT_EQ(call("UpdateTableReadCapacity", {{"id", Value::ref(id)}, {"value", Value(10)}}).code,
+            errc::kValidationError);
+}
+
+TEST_F(ReferenceCloudTest, EnumDomainViolationsUseDocumentedCode) {
+  auto t = call("CreateTable",
+                {{"table_name", Value("x")}, {"billing_mode", Value("WEEKLY")}});
+  EXPECT_EQ(t.code, errc::kValidationError);
+}
+
+TEST_F(ReferenceCloudTest, TargetNotFoundAndTypeMismatch) {
+  EXPECT_EQ(call("DescribeVpc", {}, "vpc-404").code, errc::kResourceNotFound);
+  auto vpc = make_vpc();
+  // Using a vpc id against a subnet API.
+  EXPECT_EQ(call("DescribeSubnet", {}, vpc).code, errc::kResourceNotFound);
+}
+
+TEST_F(ReferenceCloudTest, DestroyRemovesAndDescribeFailsAfter) {
+  auto vpc = make_vpc();
+  ASSERT_TRUE(call("DeleteVpc", {}, vpc).ok);
+  EXPECT_EQ(call("DescribeVpc", {}, vpc).code, errc::kResourceNotFound);
+}
+
+TEST_F(ReferenceCloudTest, ResetClearsState) {
+  make_vpc();
+  cloud_.reset();
+  EXPECT_TRUE(cloud_.snapshot().as_map().empty());
+  // Id counters restart.
+  EXPECT_EQ(make_vpc(), "vpc-00000001");
+}
+
+TEST_F(ReferenceCloudTest, SupportsCoversWholeCatalog) {
+  for (const auto& api : cloud_.catalog().all_api_names()) {
+    EXPECT_TRUE(cloud_.supports(api)) << api;
+  }
+  EXPECT_FALSE(cloud_.supports("NotAnApi"));
+}
+
+TEST_F(ReferenceCloudTest, TerminationProtectionBlocksTerminate) {
+  auto vpc = make_vpc();
+  auto subnet = make_subnet(vpc, "10.0.1.0/24");
+  auto inst = call("RunInstance", {{"subnet", Value::ref(subnet)},
+                                   {"instance_type", Value("t3.micro")}});
+  auto id = inst.data.get("id")->as_str();
+  ASSERT_TRUE(call("ModifyInstanceDisableApiTermination",
+                   {{"id", Value::ref(id)}, {"value", Value(true)}})
+                  .ok);
+  EXPECT_EQ(call("TerminateInstance", {}, id).code, errc::kUnsupportedOperation);
+  ASSERT_TRUE(call("ModifyInstanceDisableApiTermination",
+                   {{"id", Value::ref(id)}, {"value", Value(false)}})
+                  .ok);
+  EXPECT_TRUE(call("TerminateInstance", {}, id).ok);
+}
+
+TEST_F(ReferenceCloudTest, ModifyInstanceTypeRequiresStopped) {
+  auto vpc = make_vpc();
+  auto subnet = make_subnet(vpc, "10.0.1.0/24");
+  auto inst = call("RunInstance", {{"subnet", Value::ref(subnet)},
+                                   {"instance_type", Value("t3.micro")}});
+  auto id = inst.data.get("id")->as_str();
+  EXPECT_EQ(call("ModifyInstanceType", {{"id", Value::ref(id)}, {"value", Value("m5.large")}})
+                .code,
+            errc::kIncorrectInstanceState);
+  ASSERT_TRUE(call("StopInstance", {}, id).ok);
+  EXPECT_TRUE(
+      call("ModifyInstanceType", {{"id", Value::ref(id)}, {"value", Value("m5.large")}}).ok);
+}
+
+TEST_F(ReferenceCloudTest, AzureCatalogRunsToo) {
+  ReferenceCloud azure(docs::build_azure_catalog(),
+                       ReferenceCloudOptions{.name = "azure-cloud"});
+  auto vnet = azure.invoke(
+      ApiRequest{"PutVirtualNetwork", {{"address_space", Value("10.0.0.0/16")}}, ""});
+  ASSERT_TRUE(vnet.ok) << vnet.to_text();
+  // Azure allows /29 subnets (unlike AWS).
+  auto sub = azure.invoke(ApiRequest{
+      "PutVnetSubnet",
+      {{"vnet", vnet.data.get_or("id", Value())}, {"address_prefix", Value("10.0.0.0/29")}},
+      ""});
+  EXPECT_TRUE(sub.ok) << sub.to_text();
+}
+
+}  // namespace
+}  // namespace lce::cloud

@@ -1,0 +1,150 @@
+#include "common/api.h"
+
+#include <gtest/gtest.h>
+
+namespace lce {
+namespace {
+
+// Minimal backend for run_trace tests: CreateThing returns an id, Echo
+// reflects its "v" argument, Fail always errors.
+class FakeBackend final : public CloudBackend {
+ public:
+  std::string name() const override { return "fake"; }
+  void reset() override { n_ = 0; }
+  ApiResponse invoke(const ApiRequest& req) override {
+    if (req.api == "CreateThing") {
+      Value::Map data;
+      data["id"] = Value::ref("thing-" + std::to_string(++n_));
+      data["size"] = req.args.count("size") != 0 ? req.args.at("size") : Value();
+      return ApiResponse::success(Value(std::move(data)));
+    }
+    if (req.api == "Echo") {
+      Value::Map data;
+      data["v"] = req.args.count("v") != 0 ? req.args.at("v") : Value();
+      data["target"] = Value(req.target);
+      return ApiResponse::success(Value(std::move(data)));
+    }
+    return ApiResponse::failure("InvalidAction", "no such api");
+  }
+
+ private:
+  int n_ = 0;
+};
+
+TEST(ApiRequest, ToTextRendersArgsSorted) {
+  ApiRequest r{"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""};
+  EXPECT_EQ(r.to_text(), "CreateVpc(cidr_block=\"10.0.0.0/16\")");
+}
+
+TEST(ApiResponse, FactoryHelpers) {
+  auto ok = ApiResponse::success();
+  EXPECT_TRUE(ok.ok);
+  auto err = ApiResponse::failure("X", "boom");
+  EXPECT_FALSE(err.ok);
+  EXPECT_EQ(err.code, "X");
+  EXPECT_EQ(err.to_text(), "ERR X: boom");
+}
+
+TEST(ApiResponse, AlignmentRequiresSameOkBit) {
+  EXPECT_FALSE(ApiResponse::success().aligned_with(ApiResponse::failure("X", "")));
+}
+
+TEST(ApiResponse, FailureAlignmentComparesCodesNotMessages) {
+  auto a = ApiResponse::failure("DependencyViolation", "msg one");
+  auto b = ApiResponse::failure("DependencyViolation", "totally different wording");
+  auto c = ApiResponse::failure("ValidationError", "msg one");
+  EXPECT_TRUE(a.aligned_with(b));
+  EXPECT_FALSE(a.aligned_with(c));
+}
+
+TEST(ApiResponse, SuccessAlignmentIgnoresRefIdText) {
+  Value::Map da{{"id", Value::ref("vpc-1")}, {"cidr", Value("10.0.0.0/16")}};
+  Value::Map db{{"id", Value::ref("vpc-999")}, {"cidr", Value("10.0.0.0/16")}};
+  EXPECT_TRUE(ApiResponse::success(Value(da)).aligned_with(ApiResponse::success(Value(db))));
+}
+
+TEST(ApiResponse, SuccessAlignmentDetectsAttributeDivergence) {
+  Value::Map da{{"cidr", Value("10.0.0.0/16")}};
+  Value::Map db{{"cidr", Value("10.0.0.0/24")}};
+  EXPECT_FALSE(ApiResponse::success(Value(da)).aligned_with(ApiResponse::success(Value(db))));
+}
+
+TEST(ApiResponse, SuccessAlignmentDetectsMissingKeys) {
+  Value::Map da{{"cidr", Value("10.0.0.0/16")}, {"tenancy", Value("default")}};
+  Value::Map db{{"cidr", Value("10.0.0.0/16")}};
+  EXPECT_FALSE(ApiResponse::success(Value(da)).aligned_with(ApiResponse::success(Value(db))));
+}
+
+TEST(Trace, AddReturnsIndex) {
+  Trace t;
+  EXPECT_EQ(t.add("A"), 0u);
+  EXPECT_EQ(t.add("B"), 1u);
+}
+
+TEST(RunTrace, ResolvesPlaceholdersFromPriorResponses) {
+  FakeBackend be;
+  Trace t;
+  t.add("CreateThing", {{"size", Value(3)}});
+  t.add("Echo", {{"v", Value("$0.id")}});
+  auto resp = run_trace(be, t);
+  ASSERT_EQ(resp.size(), 2u);
+  ASSERT_TRUE(resp[1].ok);
+  EXPECT_EQ(resp[1].data.get("v")->as_str(), "thing-1");
+  EXPECT_TRUE(resp[1].data.get("v")->is_ref());
+}
+
+TEST(RunTrace, ResolvesPlaceholderInTarget) {
+  FakeBackend be;
+  Trace t;
+  t.add("CreateThing");
+  t.add("Echo", {}, "$0.id");
+  auto resp = run_trace(be, t);
+  ASSERT_TRUE(resp[1].ok);
+  EXPECT_EQ(resp[1].data.get("target")->as_str(), "thing-1");
+}
+
+TEST(RunTrace, PlaceholderToFailedCallResolvesNull) {
+  FakeBackend be;
+  Trace t;
+  t.add("Nope");
+  t.add("Echo", {{"v", Value("$0.id")}});
+  auto resp = run_trace(be, t);
+  EXPECT_FALSE(resp[0].ok);
+  ASSERT_TRUE(resp[1].ok);
+  EXPECT_TRUE(resp[1].data.get("v")->is_null());
+}
+
+TEST(RunTrace, NonPlaceholderStringsPassThrough) {
+  FakeBackend be;
+  Trace t;
+  t.add("Echo", {{"v", Value("$not-a-placeholder")}});
+  auto resp = run_trace(be, t);
+  ASSERT_TRUE(resp[0].ok);
+  EXPECT_EQ(resp[0].data.get("v")->as_str(), "$not-a-placeholder");
+}
+
+TEST(RunTrace, ResetsBackendStateFirst) {
+  FakeBackend be;
+  Trace t;
+  t.add("CreateThing");
+  auto first = run_trace(be, t);
+  auto second = run_trace(be, t);
+  // Counter restarts after reset, so ids match across runs.
+  EXPECT_EQ(first[0].data.get("id")->as_str(), second[0].data.get("id")->as_str());
+}
+
+TEST(RunTrace, ResolvesPlaceholdersInsideNestedValues) {
+  FakeBackend be;
+  Trace t;
+  t.add("CreateThing");
+  t.add("Echo", {{"v", Value(Value::List{Value("$0.id"), Value("plain")})}});
+  auto resp = run_trace(be, t);
+  ASSERT_TRUE(resp[1].ok);
+  const auto& l = resp[1].data.get("v")->as_list();
+  ASSERT_EQ(l.size(), 2u);
+  EXPECT_EQ(l[0].as_str(), "thing-1");
+  EXPECT_EQ(l[1].as_str(), "plain");
+}
+
+}  // namespace
+}  // namespace lce

@@ -1,0 +1,128 @@
+#include "common/cidr.h"
+
+#include <gtest/gtest.h>
+
+namespace lce {
+namespace {
+
+TEST(Ipv4, ParseAndFormatRoundTrip) {
+  auto a = Ipv4Addr::parse("10.0.1.255");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "10.0.1.255");
+}
+
+TEST(Ipv4, RejectsMalformed) {
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.1.256").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("10.0.1.-1").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("a.b.c.d").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("").has_value());
+  EXPECT_FALSE(Ipv4Addr::parse("1.2.3.4.5").has_value());
+}
+
+TEST(Cidr, ParseNormalizesHostBits) {
+  auto c = Cidr::parse("10.0.0.77/24");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->to_string(), "10.0.0.0/24");
+  EXPECT_EQ(c->prefix_len(), 24);
+}
+
+TEST(Cidr, RejectsMalformed) {
+  EXPECT_FALSE(Cidr::parse("10.0.0.0").has_value());
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/33").has_value());
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/-1").has_value());
+  EXPECT_FALSE(Cidr::parse("10.0.0/16").has_value());
+  EXPECT_FALSE(Cidr::parse("10.0.0.0/x").has_value());
+}
+
+TEST(Cidr, NumAddressesAndBounds) {
+  auto c = Cidr::parse("10.0.0.0/24");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->num_addresses(), 256u);
+  EXPECT_EQ(c->first().to_string(), "10.0.0.0");
+  EXPECT_EQ(c->last().to_string(), "10.0.0.255");
+}
+
+TEST(Cidr, SlashZeroCoversEverything) {
+  auto c = Cidr::parse("0.0.0.0/0");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->num_addresses(), 1ull << 32);
+  EXPECT_TRUE(c->contains(*Ipv4Addr::parse("255.255.255.255")));
+}
+
+TEST(Cidr, ContainsAddress) {
+  auto c = Cidr::parse("192.168.1.0/24");
+  ASSERT_TRUE(c);
+  EXPECT_TRUE(c->contains(*Ipv4Addr::parse("192.168.1.42")));
+  EXPECT_FALSE(c->contains(*Ipv4Addr::parse("192.168.2.1")));
+}
+
+TEST(Cidr, ContainsCidrNesting) {
+  auto vpc = Cidr::parse("10.0.0.0/16");
+  auto subnet = Cidr::parse("10.0.1.0/24");
+  auto outside = Cidr::parse("10.1.0.0/24");
+  ASSERT_TRUE(vpc && subnet && outside);
+  EXPECT_TRUE(vpc->contains(*subnet));
+  EXPECT_FALSE(vpc->contains(*outside));
+  // A wider block is never contained in a narrower one.
+  EXPECT_FALSE(subnet->contains(*vpc));
+}
+
+TEST(Cidr, OverlapsIsSymmetric) {
+  auto a = Cidr::parse("10.0.0.0/16");
+  auto b = Cidr::parse("10.0.128.0/17");
+  auto c = Cidr::parse("10.1.0.0/16");
+  ASSERT_TRUE(a && b && c);
+  EXPECT_TRUE(a->overlaps(*b));
+  EXPECT_TRUE(b->overlaps(*a));
+  EXPECT_FALSE(a->overlaps(*c));
+  EXPECT_FALSE(c->overlaps(*b));
+}
+
+TEST(Cidr, SubnetAtCarvesBlocks) {
+  auto vpc = Cidr::parse("10.0.0.0/16");
+  ASSERT_TRUE(vpc);
+  auto s0 = vpc->subnet_at(24, 0);
+  auto s5 = vpc->subnet_at(24, 5);
+  ASSERT_TRUE(s0 && s5);
+  EXPECT_EQ(s0->to_string(), "10.0.0.0/24");
+  EXPECT_EQ(s5->to_string(), "10.0.5.0/24");
+  EXPECT_TRUE(vpc->contains(*s5));
+  EXPECT_FALSE(s0->overlaps(*s5));
+}
+
+TEST(Cidr, SubnetAtRejectsOutOfRange) {
+  auto vpc = Cidr::parse("10.0.0.0/16");
+  ASSERT_TRUE(vpc);
+  EXPECT_FALSE(vpc->subnet_at(8, 0).has_value());    // wider than parent
+  EXPECT_FALSE(vpc->subnet_at(24, 256).has_value()); // only 256 /24 slots
+  EXPECT_TRUE(vpc->subnet_at(24, 255).has_value());
+}
+
+TEST(Cidr, AddressAtIndexes) {
+  auto c = Cidr::parse("10.0.0.0/30");
+  ASSERT_TRUE(c);
+  EXPECT_EQ(c->address_at(3).to_string(), "10.0.0.3");
+}
+
+// Property sweep: every carved subnet nests and disjoint siblings do not
+// overlap, across prefix lengths.
+class CidrCarveProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CidrCarveProperty, CarvedSubnetsNestAndAreDisjoint) {
+  int sub = GetParam();
+  auto vpc = Cidr::parse("172.16.0.0/16");
+  ASSERT_TRUE(vpc);
+  auto a = vpc->subnet_at(sub, 0);
+  auto b = vpc->subnet_at(sub, 1);
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(vpc->contains(*a));
+  EXPECT_TRUE(vpc->contains(*b));
+  EXPECT_FALSE(a->overlaps(*b));
+}
+
+INSTANTIATE_TEST_SUITE_P(Prefixes, CidrCarveProperty,
+                         ::testing::Values(17, 18, 20, 24, 28, 30, 32));
+
+}  // namespace
+}  // namespace lce

@@ -1,0 +1,114 @@
+#include "common/value.h"
+
+#include <gtest/gtest.h>
+
+namespace lce {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.truthy());
+  EXPECT_EQ(v.to_text(), "null");
+}
+
+TEST(Value, ScalarKindsAndAccessors) {
+  EXPECT_TRUE(Value(true).is_bool());
+  EXPECT_TRUE(Value(true).as_bool());
+  EXPECT_TRUE(Value(7).is_int());
+  EXPECT_EQ(Value(7).as_int(), 7);
+  EXPECT_TRUE(Value("x").is_str());
+  EXPECT_EQ(Value("x").as_str(), "x");
+}
+
+TEST(Value, RefKindDistinctFromStr) {
+  Value r = Value::ref("vpc-00000001");
+  EXPECT_TRUE(r.is_ref());
+  EXPECT_FALSE(r.is_str());
+  EXPECT_EQ(r.as_str(), "vpc-00000001");
+  EXPECT_NE(r, Value("vpc-00000001"));
+  EXPECT_EQ(r.to_text(), "@vpc-00000001");
+}
+
+TEST(Value, MismatchedAccessorsReturnZeroValues) {
+  Value v(42);
+  EXPECT_FALSE(v.as_bool());
+  EXPECT_EQ(v.as_str(), "");
+  EXPECT_TRUE(v.as_list().empty());
+  EXPECT_TRUE(v.as_map().empty());
+}
+
+TEST(Value, MapGetSetHas) {
+  Value m{Value::Map{}};
+  m.set("a", Value(1));
+  m.set("b", Value("x"));
+  EXPECT_TRUE(m.has("a"));
+  EXPECT_FALSE(m.has("z"));
+  EXPECT_EQ(m.get("a")->as_int(), 1);
+  EXPECT_EQ(m.get_or("z", Value(9)).as_int(), 9);
+  EXPECT_EQ(Value(3).get("a"), nullptr);
+}
+
+TEST(Value, TruthyRules) {
+  EXPECT_FALSE(Value(false).truthy());
+  EXPECT_FALSE(Value(0).truthy());
+  EXPECT_FALSE(Value("").truthy());
+  EXPECT_FALSE(Value(Value::List{}).truthy());
+  EXPECT_TRUE(Value(1).truthy());
+  EXPECT_TRUE(Value("a").truthy());
+  EXPECT_TRUE(Value::ref("id-1").truthy());
+}
+
+TEST(Value, EqualityIsDeepAndKindSensitive) {
+  Value a{Value::Map{{"k", Value(Value::List{Value(1), Value("s")})}}};
+  Value b{Value::Map{{"k", Value(Value::List{Value(1), Value("s")})}}};
+  EXPECT_EQ(a, b);
+  b.set("k", Value(2));
+  EXPECT_NE(a, b);
+  EXPECT_NE(Value(1), Value("1"));
+  EXPECT_NE(Value(0), Value(false));
+}
+
+TEST(Value, OrderingIsTotal) {
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+  // Cross-kind ordering follows kind order, no crashes.
+  EXPECT_TRUE(Value(true) < Value(0) || Value(0) < Value(true));
+}
+
+TEST(Value, ToTextEscapesStrings) {
+  EXPECT_EQ(Value("a\"b").to_text(), "\"a\\\"b\"");
+  Value m{Value::Map{{"x", Value(1)}}};
+  EXPECT_EQ(m.to_text(), "{\"x\":1}");
+}
+
+TEST(Value, DiffReportsPaths) {
+  Value a{Value::Map{{"cidr", Value("10.0.0.0/16")}, {"n", Value(1)}}};
+  Value b{Value::Map{{"cidr", Value("10.0.0.0/24")}, {"n", Value(1)}}};
+  auto d = Value::diff(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_NE(d[0].find(".cidr"), std::string::npos);
+}
+
+TEST(Value, DiffReportsMissingKeysBothDirections) {
+  Value a{Value::Map{{"x", Value(1)}}};
+  Value b{Value::Map{{"y", Value(2)}}};
+  auto d = Value::diff(a, b);
+  EXPECT_EQ(d.size(), 2u);
+}
+
+TEST(Value, DiffListSizeMismatch) {
+  Value a{Value::List{Value(1)}};
+  Value b{Value::List{Value(1), Value(2)}};
+  auto d = Value::diff(a, b);
+  ASSERT_EQ(d.size(), 1u);
+  EXPECT_NE(d[0].find("list size"), std::string::npos);
+}
+
+TEST(Value, DiffEqualValuesIsEmpty) {
+  Value a{Value::Map{{"k", Value(1)}}};
+  EXPECT_TRUE(Value::diff(a, a).empty());
+}
+
+}  // namespace
+}  // namespace lce

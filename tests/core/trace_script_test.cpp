@@ -1,0 +1,95 @@
+#include "core/trace_script.h"
+
+#include <gtest/gtest.h>
+
+#include "cloud/reference_cloud.h"
+#include "docs/corpus.h"
+
+namespace lce::core {
+namespace {
+
+constexpr const char* kScript = R"(
+# provision a network
+CreateVpc cidr_block="10.0.0.0/16"
+CreateSubnet vpc=$0 cidr_block="10.0.1.0/24" zone="us-east"
+ModifySubnetAttribute id=$1 map_public_ip_on_launch=true
+DescribeSubnet id=$1
+)";
+
+TEST(TraceScript, ParsesCallsArgsAndRefs) {
+  ScriptError err;
+  auto t = parse_trace_script(kScript, &err);
+  ASSERT_TRUE(t.has_value()) << err.to_text();
+  ASSERT_EQ(t->calls.size(), 4u);
+  EXPECT_EQ(t->calls[0].api, "CreateVpc");
+  EXPECT_EQ(t->calls[0].args.at("cidr_block").as_str(), "10.0.0.0/16");
+  EXPECT_EQ(t->calls[1].args.at("vpc").as_str(), "$0.id");
+  EXPECT_EQ(t->calls[2].args.at("map_public_ip_on_launch"), Value(true));
+}
+
+TEST(TraceScript, ValueKinds) {
+  ScriptError err;
+  auto t = parse_trace_script("Foo a=1 b=-3 c=true d=false e=null f=\"x y\"\n", &err);
+  ASSERT_TRUE(t) << err.to_text();
+  const auto& args = t->calls[0].args;
+  EXPECT_EQ(args.at("a"), Value(1));
+  EXPECT_EQ(args.at("b"), Value(-3));
+  EXPECT_EQ(args.at("c"), Value(true));
+  EXPECT_EQ(args.at("d"), Value(false));
+  EXPECT_TRUE(args.at("e").is_null());
+  EXPECT_EQ(args.at("f").as_str(), "x y");  // quoted strings keep spaces
+}
+
+TEST(TraceScript, ErrorsCarryLineNumbers) {
+  ScriptError err;
+  EXPECT_FALSE(parse_trace_script("CreateVpc\nOops ==bad\n", &err).has_value());
+  EXPECT_EQ(err.line, 2);
+  EXPECT_FALSE(parse_trace_script("Foo a=\"unterminated\n", &err).has_value());
+  EXPECT_EQ(err.line, 1);
+  EXPECT_FALSE(parse_trace_script("Foo a=$x\n", &err).has_value());
+  EXPECT_FALSE(parse_trace_script("Foo noequals\n", &err).has_value());
+}
+
+TEST(TraceScript, CommentsAndBlanksIgnored) {
+  ScriptError err;
+  auto t = parse_trace_script("# only comments\n\n   \n# more\n", &err);
+  ASSERT_TRUE(t);
+  EXPECT_TRUE(t->calls.empty());
+}
+
+TEST(TraceScript, PrintParsesBack) {
+  ScriptError err;
+  auto t = parse_trace_script(kScript, &err);
+  ASSERT_TRUE(t);
+  std::string text = print_trace_script(*t);
+  auto again = parse_trace_script(text, &err);
+  ASSERT_TRUE(again) << err.to_text() << "\n" << text;
+  ASSERT_EQ(again->calls.size(), t->calls.size());
+  for (std::size_t i = 0; i < t->calls.size(); ++i) {
+    EXPECT_EQ(again->calls[i].api, t->calls[i].api);
+    EXPECT_EQ(again->calls[i].args, t->calls[i].args) << i;
+  }
+}
+
+TEST(TraceScript, RunsAgainstBackend) {
+  ScriptError err;
+  auto t = parse_trace_script(kScript, &err);
+  ASSERT_TRUE(t);
+  cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+  std::string transcript = run_trace_script(cloud, *t);
+  EXPECT_NE(transcript.find("[0] CreateVpc -> OK"), std::string::npos);
+  EXPECT_NE(transcript.find("[3] DescribeSubnet -> OK"), std::string::npos);
+  EXPECT_NE(transcript.find("\"map_public_ip_on_launch\":true"), std::string::npos);
+}
+
+TEST(TraceScript, RefToLaterCallResolvesNullAtRun) {
+  ScriptError err;
+  auto t = parse_trace_script("DescribeVpc id=$5\n", &err);
+  ASSERT_TRUE(t);
+  cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+  std::string transcript = run_trace_script(cloud, *t);
+  EXPECT_NE(transcript.find("ResourceNotFoundException"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lce::core

@@ -1,0 +1,267 @@
+#include "docs/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "docs/builder.h"
+
+namespace lce::docs {
+namespace {
+
+const CloudCatalog& aws() {
+  static const CloudCatalog kCatalog = build_aws_catalog();
+  return kCatalog;
+}
+
+// ------------------------------------------------ Table 1 scale targets --
+
+TEST(AwsCorpus, Ec2MatchesTable1Scale) {
+  const ServiceModel* ec2 = aws().find_service("ec2");
+  ASSERT_NE(ec2, nullptr);
+  EXPECT_EQ(ec2->api_count(), kEc2ApiTarget);
+  EXPECT_EQ(ec2->resources.size(), kEc2ResourceTarget);
+}
+
+TEST(AwsCorpus, DynamoDbMatchesTable1Scale) {
+  const ServiceModel* ddb = aws().find_service("dynamodb");
+  ASSERT_NE(ddb, nullptr);
+  EXPECT_EQ(ddb->api_count(), kDynamoDbApiTarget);
+  EXPECT_EQ(ddb->resources.size(), kDynamoDbResourceTarget);
+}
+
+TEST(AwsCorpus, NetworkFirewallMatchesTable1Scale) {
+  const ServiceModel* nfw = aws().find_service("network-firewall");
+  ASSERT_NE(nfw, nullptr);
+  EXPECT_EQ(nfw->api_count(), kNetworkFirewallApiTarget);
+  EXPECT_EQ(nfw->resources.size(), kNetworkFirewallResourceTarget);
+}
+
+TEST(AwsCorpus, EksMatchesTable1Scale) {
+  const ServiceModel* eks = aws().find_service("eks");
+  ASSERT_NE(eks, nullptr);
+  EXPECT_EQ(eks->api_count(), kEksApiTarget);
+  EXPECT_EQ(eks->resources.size(), kEksResourceTarget);
+}
+
+TEST(AwsCorpus, OverallSubsetMatchesTable1) {
+  // Table 1 "Overall (subset)": 731 APIs.
+  EXPECT_EQ(aws().api_count(),
+            kEc2ApiTarget + kDynamoDbApiTarget + kNetworkFirewallApiTarget +
+                kEksApiTarget);
+  EXPECT_EQ(aws().api_count(), 731u);
+}
+
+// ----------------------------------------------------------- integrity --
+
+TEST(AwsCorpus, ApiNamesGloballyUnique) {
+  auto names = aws().all_api_names();
+  std::set<std::string> uniq(names.begin(), names.end());
+  EXPECT_EQ(uniq.size(), names.size());
+}
+
+TEST(AwsCorpus, EveryResourceHasLifecycle) {
+  for (const auto& s : aws().services) {
+    for (const auto& r : s.resources) {
+      int creates = 0;
+      int destroys = 0;
+      int describes = 0;
+      for (const auto& a : r.apis) {
+        if (a.category == ApiCategory::kCreate) ++creates;
+        if (a.category == ApiCategory::kDestroy) ++destroys;
+        if (a.category == ApiCategory::kDescribe) ++describes;
+      }
+      EXPECT_EQ(creates, 1) << r.name;
+      EXPECT_EQ(destroys, 1) << r.name;
+      EXPECT_GE(describes, 1) << r.name;
+    }
+  }
+}
+
+TEST(AwsCorpus, ParentTypesExist) {
+  for (const auto& s : aws().services) {
+    for (const auto& r : s.resources) {
+      if (!r.parent_type.empty()) {
+        EXPECT_NE(aws().find_resource(r.parent_type), nullptr)
+            << r.name << " -> " << r.parent_type;
+      }
+    }
+  }
+}
+
+TEST(AwsCorpus, RefTargetsExist) {
+  for (const auto& s : aws().services) {
+    for (const auto& r : s.resources) {
+      for (const auto& a : r.attrs) {
+        if (a.type == FieldType::kRef && !a.ref_type.empty()) {
+          EXPECT_NE(aws().find_resource(a.ref_type), nullptr)
+              << r.name << "." << a.name;
+        }
+      }
+      for (const auto& api : r.apis) {
+        for (const auto& p : api.params) {
+          if (p.type == FieldType::kRef && !p.ref_type.empty()) {
+            EXPECT_NE(aws().find_resource(p.ref_type), nullptr)
+                << api.name << "(" << p.name << ")";
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AwsCorpus, EffectsReferenceDeclaredAttrsAndParams) {
+  for (const auto& s : aws().services) {
+    for (const auto& r : s.resources) {
+      for (const auto& api : r.apis) {
+        for (const auto& e : api.effects) {
+          if (!e.attr.empty()) {
+            EXPECT_NE(r.find_attr(e.attr), nullptr)
+                << api.name << " writes undeclared attr " << e.attr;
+          }
+          if (e.kind == EffectKind::kWriteParam || e.kind == EffectKind::kLinkParent ||
+              e.kind == EffectKind::kSetRef) {
+            bool found = false;
+            for (const auto& p : api.params) found = found || p.name == e.param;
+            EXPECT_TRUE(found) << api.name << " effect uses unknown param " << e.param;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(AwsCorpus, ContainedResourcesLinkParentAtCreate) {
+  for (const auto& s : aws().services) {
+    for (const auto& r : s.resources) {
+      if (r.parent_type.empty()) continue;
+      for (const auto& api : r.apis) {
+        if (api.category != ApiCategory::kCreate) continue;
+        bool links = false;
+        for (const auto& e : api.effects) links = links || e.kind == EffectKind::kLinkParent;
+        EXPECT_TRUE(links) << api.name << " does not link parent for " << r.name;
+      }
+    }
+  }
+}
+
+TEST(AwsCorpus, UndocumentedBehavioursExist) {
+  // §6: the corpus must include underspecified behaviours for alignment
+  // to discover (e.g. StartInstance on a running instance).
+  std::size_t undocumented = 0;
+  for (const auto& s : aws().services) {
+    for (const auto& r : s.resources) {
+      for (const auto& api : r.apis) {
+        for (const auto& c : api.constraints) {
+          if (!c.documented) ++undocumented;
+        }
+      }
+    }
+  }
+  EXPECT_GE(undocumented, 1u);
+  const ResourceModel* instance = aws().find_resource("Instance");
+  ASSERT_NE(instance, nullptr);
+  const ApiModel* start = instance->find_api("StartInstance");
+  ASSERT_NE(start, nullptr);
+  ASSERT_FALSE(start->constraints.empty());
+  EXPECT_FALSE(start->constraints[0].documented);
+  EXPECT_EQ(start->constraints[0].error_code, "IncorrectInstanceState");
+}
+
+TEST(AwsCorpus, SubnetCarriesPaperConstraints) {
+  const ApiModel* cs = aws().find_resource("Subnet")->find_api("CreateSubnet");
+  ASSERT_NE(cs, nullptr);
+  bool prefix_range = false;
+  bool within = false;
+  bool overlap = false;
+  for (const auto& c : cs->constraints) {
+    if (c.kind == ConstraintKind::kCidrPrefixRange && c.int_hi == 28) prefix_range = true;
+    if (c.kind == ConstraintKind::kCidrWithinParent) within = true;
+    if (c.kind == ConstraintKind::kNoSiblingOverlap) overlap = true;
+  }
+  EXPECT_TRUE(prefix_range);
+  EXPECT_TRUE(within);
+  EXPECT_TRUE(overlap);
+}
+
+// ---------------------------------------------------------------- Azure --
+
+TEST(AzureCorpus, BuildsWithBothServices) {
+  auto azure = build_azure_catalog();
+  EXPECT_EQ(azure.provider, "azure");
+  ASSERT_EQ(azure.services.size(), 2u);
+  EXPECT_NE(azure.find_resource("VirtualNetwork"), nullptr);
+  EXPECT_NE(azure.find_resource("VirtualMachine"), nullptr);
+  EXPECT_GE(azure.api_count(), 30u);
+}
+
+TEST(AzureCorpus, EquivalencesResolveBothSides) {
+  auto azure = build_azure_catalog();
+  for (const auto& eq : aws_azure_equivalences()) {
+    EXPECT_NE(aws().find_resource(eq.aws_resource), nullptr) << eq.aws_resource;
+    EXPECT_NE(azure.find_resource(eq.azure_resource), nullptr) << eq.azure_resource;
+  }
+}
+
+TEST(AzureCorpus, SubnetPrefixBoundsDifferFromAws) {
+  // Cross-cloud behavioural difference the multi-cloud comparison reports.
+  auto azure = build_azure_catalog();
+  const ApiModel* az = azure.find_resource("VnetSubnet")->find_api("PutVnetSubnet");
+  const ApiModel* aw = aws().find_resource("Subnet")->find_api("CreateSubnet");
+  int az_hi = 0;
+  int aw_hi = 0;
+  for (const auto& c : az->constraints) {
+    if (c.kind == ConstraintKind::kCidrPrefixRange) az_hi = c.int_hi;
+  }
+  for (const auto& c : aw->constraints) {
+    if (c.kind == ConstraintKind::kCidrPrefixRange) aw_hi = c.int_hi;
+  }
+  EXPECT_EQ(aw_hi, 28);
+  EXPECT_EQ(az_hi, 29);
+}
+
+// -------------------------------------------------------------- builder --
+
+TEST(Builder, PadServiceReachesExactTarget) {
+  ServiceModel s;
+  s.name = "toy";
+  ResourceBuilder b("Widget", "toy", "wdg", "A widget.");
+  b.standard_lifecycle();
+  s.resources.push_back(std::move(b).build());
+  pad_service_to(s, 10, {"a1", "a2", "a3", "a4", "a5", "a6", "a7"});
+  EXPECT_EQ(s.api_count(), 10u);
+}
+
+TEST(Builder, PadServiceThrowsWhenAboveTarget) {
+  ServiceModel s;
+  s.name = "toy";
+  ResourceBuilder b("Widget", "toy", "wdg", "A widget.");
+  b.standard_lifecycle();
+  s.resources.push_back(std::move(b).build());
+  EXPECT_THROW(pad_service_to(s, 2, {"a"}), std::logic_error);
+}
+
+TEST(Builder, PadServiceThrowsOnPoolExhaustion) {
+  ServiceModel s;
+  s.name = "toy";
+  ResourceBuilder b("Widget", "toy", "wdg", "A widget.");
+  b.standard_lifecycle();
+  s.resources.push_back(std::move(b).build());
+  EXPECT_THROW(pad_service_to(s, 50, {"a1", "a2"}), std::logic_error);
+}
+
+TEST(Builder, ModifiableEnumAttrAddsDomainCheck) {
+  ResourceBuilder b("Widget", "toy", "wdg", "A widget.");
+  b.standard_lifecycle();
+  b.modifiable_enum_attr("mode", {"ON", "OFF"}, "OFF");
+  auto r = std::move(b).build();
+  const ApiModel* mod = r.find_api("ModifyWidgetMode");
+  ASSERT_NE(mod, nullptr);
+  ASSERT_EQ(mod->constraints.size(), 1u);
+  EXPECT_EQ(mod->constraints[0].kind, ConstraintKind::kEnumDomain);
+  ASSERT_EQ(mod->params.size(), 1u);
+  EXPECT_EQ(mod->params[0].type, FieldType::kEnum);
+}
+
+}  // namespace
+}  // namespace lce::docs

@@ -1,0 +1,100 @@
+#include "docs/defects.h"
+
+#include <gtest/gtest.h>
+
+#include "docs/corpus.h"
+#include "docs/render.h"
+#include "docs/wrangler.h"
+
+namespace lce::docs {
+namespace {
+
+TEST(Defects, ZeroRateInjectsNothing) {
+  CloudCatalog c = build_aws_catalog();
+  Rng rng(1);
+  auto plan = inject_defects(c, 0.0, rng);
+  EXPECT_TRUE(plan.defects.empty());
+  EXPECT_EQ(c.api_count(), build_aws_catalog().api_count());
+}
+
+TEST(Defects, InjectionIsDeterministicPerSeed) {
+  CloudCatalog a = build_aws_catalog();
+  CloudCatalog b = build_aws_catalog();
+  Rng ra(42), rb(42);
+  auto pa = inject_defects(a, 0.1, ra);
+  auto pb = inject_defects(b, 0.1, rb);
+  ASSERT_EQ(pa.defects.size(), pb.defects.size());
+  for (std::size_t i = 0; i < pa.defects.size(); ++i) {
+    EXPECT_EQ(pa.defects[i].to_text(), pb.defects[i].to_text());
+  }
+}
+
+TEST(Defects, RateControlsVolume) {
+  CloudCatalog low = build_aws_catalog();
+  CloudCatalog high = build_aws_catalog();
+  Rng r1(7), r2(7);
+  auto pl = inject_defects(low, 0.02, r1);
+  auto ph = inject_defects(high, 0.4, r2);
+  EXPECT_LT(pl.defects.size(), ph.defects.size());
+  EXPECT_GT(ph.defects.size(), 20u);
+}
+
+TEST(Defects, ApiSurfaceNeverShrinks) {
+  CloudCatalog c = build_aws_catalog();
+  auto before = c.all_api_names();
+  Rng rng(3);
+  inject_defects(c, 0.5, rng);
+  EXPECT_EQ(c.all_api_names(), before);
+}
+
+TEST(Defects, DefectiveDocsStillWrangleCleanly) {
+  // Defects change content, not template structure — the symbolic parser
+  // must still succeed on every page.
+  CloudCatalog c = build_aws_catalog();
+  Rng rng(11);
+  inject_defects(c, 0.3, rng);
+  auto corpus = render_corpus(c);
+  auto got = wrangle(corpus);
+  EXPECT_TRUE(got.clean());
+  EXPECT_EQ(got.catalog.resource_count(), c.resource_count());
+}
+
+TEST(Defects, OmittedConstraintDisappearsFromText) {
+  CloudCatalog c = build_aws_catalog();
+  Rng rng(5);
+  auto plan = inject_defects(c, 0.3, rng);
+  const InjectedDefect* omit = nullptr;
+  for (const auto& d : plan.defects) {
+    if (d.kind == DefectKind::kOmittedConstraint) {
+      omit = &d;
+      break;
+    }
+  }
+  ASSERT_NE(omit, nullptr);
+  // Wrangled defective docs have fewer constraints for that API than truth.
+  auto got = wrangle(render_corpus(c));
+  CloudCatalog truth = build_aws_catalog();
+  const ResourceModel* truth_r = truth.find_resource(omit->resource);
+  const ResourceModel* got_r = got.catalog.find_resource(omit->resource);
+  ASSERT_NE(truth_r, nullptr);
+  ASSERT_NE(got_r, nullptr);
+  const ApiModel* truth_api = truth_r->find_api(omit->api);
+  const ApiModel* got_api = got_r->find_api(omit->api);
+  ASSERT_NE(truth_api, nullptr);
+  ASSERT_NE(got_api, nullptr);
+  std::size_t truth_documented = 0;
+  for (const auto& cc : truth_api->constraints) {
+    if (cc.documented) ++truth_documented;
+  }
+  EXPECT_LT(got_api->constraints.size(), truth_documented + 1);
+}
+
+TEST(Defects, ToTextNamesKindAndSite) {
+  InjectedDefect d{DefectKind::kWrongErrorCode, "Vpc", "CreateVpc", "swap"};
+  std::string t = d.to_text();
+  EXPECT_NE(t.find("wrong-error-code"), std::string::npos);
+  EXPECT_NE(t.find("Vpc::CreateVpc"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lce::docs

@@ -1,0 +1,227 @@
+#include "docs/wrangler.h"
+
+#include <gtest/gtest.h>
+
+#include "docs/corpus.h"
+#include "docs/render.h"
+
+namespace lce::docs {
+namespace {
+
+// The central property: render -> wrangle reconstructs the catalog's
+// *documented* content exactly (undocumented constraints excepted).
+
+CloudCatalog documented_only(const CloudCatalog& in) {
+  CloudCatalog out = in;
+  for (auto& s : out.services) {
+    for (auto& r : s.resources) {
+      for (auto& a : r.apis) {
+        std::vector<ConstraintModel> kept;
+        for (auto& c : a.constraints) {
+          if (c.documented) kept.push_back(c);
+        }
+        a.constraints = std::move(kept);
+      }
+    }
+  }
+  return out;
+}
+
+void expect_same_resource(const ResourceModel& a, const ResourceModel& b) {
+  EXPECT_EQ(a.name, b.name);
+  EXPECT_EQ(a.service, b.service);
+  EXPECT_EQ(a.id_prefix, b.id_prefix);
+  EXPECT_EQ(a.parent_type, b.parent_type);
+  ASSERT_EQ(a.attrs.size(), b.attrs.size()) << a.name;
+  for (std::size_t i = 0; i < a.attrs.size(); ++i) {
+    EXPECT_EQ(a.attrs[i].name, b.attrs[i].name) << a.name;
+    EXPECT_EQ(a.attrs[i].type, b.attrs[i].type) << a.name << "." << a.attrs[i].name;
+    EXPECT_EQ(a.attrs[i].enum_members, b.attrs[i].enum_members);
+    EXPECT_EQ(a.attrs[i].ref_type, b.attrs[i].ref_type);
+    EXPECT_EQ(a.attrs[i].initial, b.attrs[i].initial);
+  }
+  ASSERT_EQ(a.apis.size(), b.apis.size()) << a.name;
+  for (std::size_t i = 0; i < a.apis.size(); ++i) {
+    const ApiModel& x = a.apis[i];
+    const ApiModel& y = b.apis[i];
+    EXPECT_EQ(x.name, y.name);
+    EXPECT_EQ(x.category, y.category) << x.name;
+    ASSERT_EQ(x.params.size(), y.params.size()) << x.name;
+    for (std::size_t j = 0; j < x.params.size(); ++j) {
+      EXPECT_EQ(x.params[j].name, y.params[j].name) << x.name;
+      EXPECT_EQ(x.params[j].type, y.params[j].type) << x.name;
+      EXPECT_EQ(x.params[j].required, y.params[j].required) << x.name;
+    }
+    ASSERT_EQ(x.constraints.size(), y.constraints.size()) << x.name;
+    for (std::size_t j = 0; j < x.constraints.size(); ++j) {
+      EXPECT_EQ(x.constraints[j].kind, y.constraints[j].kind) << x.name;
+      EXPECT_EQ(x.constraints[j].param, y.constraints[j].param) << x.name;
+      EXPECT_EQ(x.constraints[j].attr, y.constraints[j].attr) << x.name;
+      EXPECT_EQ(x.constraints[j].str_vals, y.constraints[j].str_vals) << x.name;
+      EXPECT_EQ(x.constraints[j].int_lo, y.constraints[j].int_lo) << x.name;
+      EXPECT_EQ(x.constraints[j].int_hi, y.constraints[j].int_hi) << x.name;
+      EXPECT_EQ(x.constraints[j].error_code, y.constraints[j].error_code) << x.name;
+    }
+    ASSERT_EQ(x.effects.size(), y.effects.size()) << x.name;
+    for (std::size_t j = 0; j < x.effects.size(); ++j) {
+      EXPECT_EQ(x.effects[j].kind, y.effects[j].kind) << x.name;
+      EXPECT_EQ(x.effects[j].attr, y.effects[j].attr) << x.name;
+      EXPECT_EQ(x.effects[j].param, y.effects[j].param) << x.name;
+      EXPECT_EQ(x.effects[j].literal, y.effects[j].literal) << x.name;
+      EXPECT_EQ(x.effects[j].target_attr, y.effects[j].target_attr) << x.name;
+    }
+  }
+}
+
+TEST(Wrangler, RoundTripsFullAwsCorpus) {
+  CloudCatalog truth = documented_only(build_aws_catalog());
+  DocCorpus corpus = render_corpus(truth);
+  WrangleResult got = wrangle(corpus);
+  for (const auto& issue : got.issues) {
+    ADD_FAILURE() << issue.page_resource << ":" << issue.line << " " << issue.message;
+  }
+  ASSERT_EQ(got.catalog.services.size(), truth.services.size());
+  for (std::size_t si = 0; si < truth.services.size(); ++si) {
+    const auto& ts = truth.services[si];
+    const auto& gs = got.catalog.services[si];
+    EXPECT_EQ(ts.name, gs.name);
+    ASSERT_EQ(ts.resources.size(), gs.resources.size()) << ts.name;
+    for (std::size_t ri = 0; ri < ts.resources.size(); ++ri) {
+      expect_same_resource(ts.resources[ri], gs.resources[ri]);
+    }
+  }
+}
+
+TEST(Wrangler, RoundTripsAzureCorpus) {
+  CloudCatalog truth = documented_only(build_azure_catalog());
+  DocCorpus corpus = render_corpus(truth);
+  WrangleResult got = wrangle(corpus);
+  EXPECT_TRUE(got.clean());
+  EXPECT_EQ(got.catalog.api_count(), truth.api_count());
+  EXPECT_EQ(got.catalog.resource_count(), truth.resource_count());
+}
+
+TEST(Wrangler, UndocumentedConstraintsAbsentFromText) {
+  CloudCatalog truth = build_aws_catalog();
+  DocCorpus corpus = render_corpus(truth);
+  const DocPage* instance = corpus.find_page("Instance");
+  ASSERT_NE(instance, nullptr);
+  // StartInstance's IncorrectInstanceState precondition is undocumented:
+  // the page must NOT mention it under StartInstance.
+  std::size_t pos = instance->text.find("* API StartInstance");
+  ASSERT_NE(pos, std::string::npos);
+  std::size_t next = instance->text.find("* API", pos + 1);
+  std::string section = instance->text.substr(pos, next - pos);
+  EXPECT_EQ(section.find("Constraint:"), std::string::npos) << section;
+  // ...but StopInstance's is documented.
+  pos = instance->text.find("* API StopInstance");
+  next = instance->text.find("* API", pos + 1);
+  section = instance->text.substr(pos, next - pos);
+  EXPECT_NE(section.find("IncorrectInstanceState"), std::string::npos);
+}
+
+TEST(Wrangler, ConstraintSentencesRoundTripIndividually) {
+  // Sweep every documented constraint in the AWS catalog through
+  // render/parse in isolation.
+  CloudCatalog truth = build_aws_catalog();
+  std::size_t checked = 0;
+  for (const auto& s : truth.services) {
+    for (const auto& r : s.resources) {
+      for (const auto& api : r.apis) {
+        for (const auto& c : api.constraints) {
+          if (!c.documented) continue;
+          std::string line = render_constraint_sentence(c);
+          auto back = parse_constraint_sentence(line);
+          ASSERT_TRUE(back.has_value()) << line;
+          EXPECT_EQ(back->kind, c.kind) << line;
+          EXPECT_EQ(back->param, c.param) << line;
+          EXPECT_EQ(back->attr, c.attr) << line;
+          EXPECT_EQ(back->error_code, c.error_code) << line;
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 50u);
+}
+
+TEST(Wrangler, EffectSentencesRoundTripIndividually) {
+  CloudCatalog truth = build_aws_catalog();
+  std::size_t checked = 0;
+  for (const auto& s : truth.services) {
+    for (const auto& r : s.resources) {
+      for (const auto& api : r.apis) {
+        for (const auto& e : api.effects) {
+          std::string line = render_effect_sentence(e);
+          auto back = parse_effect_sentence(line);
+          ASSERT_TRUE(back.has_value()) << line;
+          EXPECT_EQ(back->kind, e.kind) << line;
+          EXPECT_EQ(back->attr, e.attr) << line;
+          EXPECT_EQ(back->param, e.param) << line;
+          EXPECT_EQ(back->target_attr, e.target_attr) << line;
+          ++checked;
+        }
+      }
+    }
+  }
+  EXPECT_GT(checked, 500u);
+}
+
+TEST(Wrangler, UnparseableLinesLoggedNotFatal) {
+  DocPage page;
+  page.resource = "Weird";
+  page.text =
+      "== Resource: Weird ==\n"
+      "Service: toy (Toy, provider aws)\n"
+      "Id prefix: weird\n"
+      "Contained in: (none)\n"
+      "Summary: strange page.\n"
+      "\nAttributes:\n"
+      "  - good_attr: string\n"
+      "  - bad attr without colon\n"
+      "\nAPIs:\n"
+      "\n* API CreateWeird (category: create)\n"
+      "  Constraint: total gibberish the parser cannot match; otherwise the "
+      "call fails with error 'X'.\n";
+  std::vector<WrangleIssue> issues;
+  auto r = wrangle_page(page, &issues);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->attrs.size(), 1u);
+  EXPECT_EQ(r->apis.size(), 1u);
+  EXPECT_EQ(r->apis[0].constraints.size(), 0u);
+  EXPECT_GE(issues.size(), 2u);
+}
+
+TEST(Wrangler, PageWithoutHeaderRejected) {
+  DocPage page;
+  page.resource = "X";
+  page.text = "Summary: nothing else.\n";
+  std::vector<WrangleIssue> issues;
+  EXPECT_FALSE(wrangle_page(page, &issues).has_value());
+}
+
+TEST(Render, CorpusHasOnePagePerResource) {
+  CloudCatalog truth = build_aws_catalog();
+  DocCorpus corpus = render_corpus(truth);
+  EXPECT_EQ(corpus.pages.size(), truth.resource_count());
+  EXPECT_GT(corpus.total_chars(), 100000u);  // "extensive documentation"
+  // Pages numbered sequentially.
+  for (std::size_t i = 0; i < corpus.pages.size(); ++i) {
+    EXPECT_EQ(corpus.pages[i].page_number, static_cast<int>(i + 1));
+  }
+}
+
+TEST(Render, PageMentionsPaperStyleSections) {
+  CloudCatalog truth = build_aws_catalog();
+  DocCorpus corpus = render_corpus(truth);
+  const DocPage* vpc = corpus.find_page("Vpc");
+  ASSERT_NE(vpc, nullptr);
+  EXPECT_NE(vpc->text.find("== Resource: Vpc =="), std::string::npos);
+  EXPECT_NE(vpc->text.find("Attributes:"), std::string::npos);
+  EXPECT_NE(vpc->text.find("APIs:"), std::string::npos);
+  EXPECT_NE(vpc->text.find("* API CreateVpc (category: create)"), std::string::npos);
+  EXPECT_NE(vpc->text.find("InvalidVpc.Range"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lce::docs

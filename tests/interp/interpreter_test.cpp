@@ -1,0 +1,511 @@
+#include "interp/interpreter.h"
+
+#include <gtest/gtest.h>
+
+#include "common/errors.h"
+#include "interp/decoder.h"
+#include "spec/parser.h"
+#include "spec/spec_fixtures.h"
+
+namespace lce::interp {
+namespace {
+
+using lce::spec::fixtures::kPublicIpSpec;
+
+spec::SpecSet load(const char* src) {
+  spec::ParseError err;
+  auto s = spec::parse_spec(src, &err);
+  EXPECT_TRUE(s.has_value()) << err.to_text();
+  return s ? std::move(*s) : spec::SpecSet{};
+}
+
+Interpreter make_public_ip_interp() { return Interpreter(load(kPublicIpSpec)); }
+
+ApiResponse call(Interpreter& it, std::string api, Value::Map args = {},
+                 std::string target = "") {
+  return it.invoke(ApiRequest{std::move(api), std::move(args), std::move(target)});
+}
+
+TEST(Interpreter, CreateReturnsIdAndFullState) {
+  auto it = make_public_ip_interp();
+  auto resp = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
+  ASSERT_TRUE(resp.ok) << resp.to_text();
+  EXPECT_TRUE(resp.data.get("id")->is_ref());
+  EXPECT_EQ(resp.data.get("status")->as_str(), "ASSIGNED");
+  EXPECT_EQ(resp.data.get("zone")->as_str(), "us-east");
+  EXPECT_TRUE(resp.data.get("nic")->is_null());
+}
+
+TEST(Interpreter, UnknownApiFailsWithInvalidAction) {
+  auto it = make_public_ip_interp();
+  auto resp = call(it, "LaunchRocket");
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, errc::kInvalidAction);
+}
+
+TEST(Interpreter, AssertFailureReturnsMappedCode) {
+  auto it = make_public_ip_interp();
+  auto resp = call(it, "CreatePublicIp", {{"region", Value("mars-central")}});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, errc::kInvalidParameterValue);
+}
+
+TEST(Interpreter, MissingParameterRejected) {
+  auto it = make_public_ip_interp();
+  auto resp = call(it, "CreatePublicIp");
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, errc::kMissingParameter);
+}
+
+TEST(Interpreter, WrongParamTypeRejected) {
+  auto it = make_public_ip_interp();
+  auto resp = call(it, "CreatePublicIp", {{"region", Value(42)}});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, errc::kInvalidParameterValue);
+}
+
+TEST(Interpreter, TargetResolutionViaArgsId) {
+  auto it = make_public_ip_interp();
+  auto created = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
+  ASSERT_TRUE(created.ok);
+  auto id = created.data.get("id")->as_str();
+  auto desc = call(it, "DescribePublicIp", {{"id", Value::ref(id)}});
+  ASSERT_TRUE(desc.ok);
+  EXPECT_EQ(desc.data.get("zone")->as_str(), "us-east");
+  // Also works via explicit request target.
+  auto desc2 = call(it, "DescribePublicIp", {}, id);
+  EXPECT_TRUE(desc2.ok);
+}
+
+TEST(Interpreter, MissingTargetFails) {
+  auto it = make_public_ip_interp();
+  auto resp = call(it, "DescribePublicIp", {{"id", Value::ref("eip-99999999")}});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, errc::kResourceNotFound);
+}
+
+TEST(Interpreter, WrongTypeTargetFails) {
+  auto it = make_public_ip_interp();
+  auto nic = call(it, "CreateNic", {{"zone", Value("us-east")}});
+  ASSERT_TRUE(nic.ok);
+  auto resp = call(it, "DescribePublicIp", {}, nic.data.get("id")->as_str());
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, errc::kResourceNotFound);
+}
+
+TEST(Interpreter, CrossSmCallBidirectionalAssociation) {
+  // The §3 scenario: AssociateNic writes PublicIp.nic AND calls
+  // NetworkInterface.AttachPublicIp(self).
+  auto it = make_public_ip_interp();
+  auto ip = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
+  auto nic = call(it, "CreateNic", {{"zone", Value("us-east")}});
+  ASSERT_TRUE(ip.ok && nic.ok);
+  auto ip_id = ip.data.get("id")->as_str();
+  auto nic_id = nic.data.get("id")->as_str();
+  auto assoc = call(it, "AssociateNic",
+                    {{"id", Value::ref(ip_id)}, {"nic_ref", Value::ref(nic_id)}});
+  ASSERT_TRUE(assoc.ok) << assoc.to_text();
+  auto ip_desc = call(it, "DescribePublicIp", {}, ip_id);
+  EXPECT_EQ(ip_desc.data.get("nic")->as_str(), nic_id);
+  auto nic_desc = call(it, "DescribeNic", {}, nic_id);
+  EXPECT_EQ(nic_desc.data.get("public_ip")->as_str(), ip_id);
+}
+
+TEST(Interpreter, ZoneMismatchAssertFires) {
+  auto it = make_public_ip_interp();
+  auto ip = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
+  auto nic = call(it, "CreateNic", {{"zone", Value("us-west")}});
+  auto assoc = call(it, "AssociateNic",
+                    {{"id", ip.data.get_or("id", Value())},
+                     {"nic_ref", nic.data.get_or("id", Value())}});
+  EXPECT_FALSE(assoc.ok);
+  EXPECT_EQ(assoc.code, "InvalidZone.Mismatch");
+}
+
+TEST(Interpreter, DestroyWhileAttachedFailsWithDependencyViolation) {
+  auto it = make_public_ip_interp();
+  auto ip = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
+  auto nic = call(it, "CreateNic", {{"zone", Value("us-east")}});
+  auto ip_id = ip.data.get("id")->as_str();
+  call(it, "AssociateNic",
+       {{"id", Value::ref(ip_id)}, {"nic_ref", nic.data.get_or("id", Value())}});
+  auto del = call(it, "DestroyPublicIp", {}, ip_id);
+  EXPECT_FALSE(del.ok);
+  EXPECT_EQ(del.code, errc::kDependencyViolation);
+  // Resource still exists after the failed destroy.
+  EXPECT_TRUE(call(it, "DescribePublicIp", {}, ip_id).ok);
+}
+
+TEST(Interpreter, DestroyRemovesResource) {
+  auto it = make_public_ip_interp();
+  auto ip = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
+  auto ip_id = ip.data.get("id")->as_str();
+  auto del = call(it, "DestroyPublicIp", {}, ip_id);
+  ASSERT_TRUE(del.ok) << del.to_text();
+  auto desc = call(it, "DescribePublicIp", {}, ip_id);
+  EXPECT_FALSE(desc.ok);
+  EXPECT_EQ(desc.code, errc::kResourceNotFound);
+}
+
+TEST(Interpreter, FailedTransitionRollsBackAllWrites) {
+  // AssociateNic with zone mismatch happens AFTER no writes, so craft a
+  // spec where a write precedes a failing assert.
+  auto it = Interpreter(load(R"(
+    sm X {
+      states { a: int = 0; }
+      transitions {
+        create CreateX() { }
+        modify Bump(v: int) {
+          write(a, v);
+          assert(v < 10) else LimitExceededException;
+        }
+      }
+    })"));
+  auto x = call(it, "CreateX");
+  auto id = x.data.get("id")->as_str();
+  auto bad = call(it, "Bump", {{"id", Value::ref(id)}, {"v", Value(50)}});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.code, errc::kLimitExceeded);
+  // a must still be 0: the write(a, 50) was rolled back.
+  EXPECT_EQ(it.store().find(id)->attrs.at("a").as_int(), 0);
+}
+
+TEST(Interpreter, CallFailurePropagatesAndRollsBack) {
+  auto it = make_public_ip_interp();
+  auto ip = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
+  auto nic = call(it, "CreateNic", {{"zone", Value("us-east")}});
+  auto nic_id = nic.data.get("id")->as_str();
+  // Attach, then associate a second ip to same nic — AttachPublicIp has no
+  // guard, so instead delete the NIC mid-reference and watch call fail.
+  auto ip_id = ip.data.get("id")->as_str();
+  call(it, "AssociateNic", {{"id", Value::ref(ip_id)}, {"nic_ref", Value::ref(nic_id)}});
+  // DeleteNic guarded: public_ip attached -> DependencyViolation.
+  auto del = call(it, "DeleteNic", {}, nic_id);
+  EXPECT_FALSE(del.ok);
+  EXPECT_EQ(del.code, errc::kDependencyViolation);
+}
+
+TEST(Interpreter, HierarchyGuardBlocksDestroyWithChildren) {
+  // Spec whose destroy FORGETS the child check — built-in guard still fires
+  // (paper §1 defence in depth).
+  auto spec_src = R"(
+    sm Vpc {
+      states { }
+      transitions { create CreateVpc() { } destroy DeleteVpc() { } }
+    }
+    sm Subnet {
+      contained_in Vpc;
+      states { }
+      transitions {
+        create CreateSubnet(vpc: ref Vpc) { attach_parent(vpc); }
+        destroy DeleteSubnet() { }
+      }
+    })";
+  auto it = Interpreter(load(spec_src));
+  auto vpc = call(it, "CreateVpc");
+  auto vpc_id = vpc.data.get("id")->as_str();
+  auto sub = call(it, "CreateSubnet", {{"vpc", Value::ref(vpc_id)}});
+  ASSERT_TRUE(sub.ok) << sub.to_text();
+  auto del = call(it, "DeleteVpc", {}, vpc_id);
+  EXPECT_FALSE(del.ok);
+  EXPECT_EQ(del.code, errc::kDependencyViolation);
+  // Delete child first, then parent deletion succeeds.
+  ASSERT_TRUE(call(it, "DeleteSubnet", {}, sub.data.get("id")->as_str()).ok);
+  EXPECT_TRUE(call(it, "DeleteVpc", {}, vpc_id).ok);
+}
+
+TEST(Interpreter, HierarchyGuardCanBeDisabled) {
+  auto spec_src = R"(
+    sm Vpc { states { } transitions { create CreateVpc() { } destroy DeleteVpc() { } } }
+    sm Subnet {
+      contained_in Vpc;
+      states { }
+      transitions { create CreateSubnet(vpc: ref Vpc) { attach_parent(vpc); } }
+    })";
+  InterpreterOptions opts;
+  opts.hierarchy_guards = false;
+  auto it = Interpreter(load(spec_src), opts);
+  auto vpc = call(it, "CreateVpc");
+  auto vpc_id = vpc.data.get("id")->as_str();
+  call(it, "CreateSubnet", {{"vpc", Value::ref(vpc_id)}});
+  // Without guards the buggy Moto behaviour reproduces: delete succeeds.
+  EXPECT_TRUE(call(it, "DeleteVpc", {}, vpc_id).ok);
+}
+
+TEST(Interpreter, AttachParentToMissingResourceFails) {
+  auto spec_src = R"(
+    sm Vpc { states { } transitions { create CreateVpc() { } } }
+    sm Subnet {
+      contained_in Vpc;
+      states { }
+      transitions { create CreateSubnet(vpc: ref Vpc) { attach_parent(vpc); } }
+    })";
+  auto it = Interpreter(load(spec_src));
+  auto resp = call(it, "CreateSubnet", {{"vpc", Value::ref("vpc-42")}});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, errc::kResourceNotFound);
+  // Rollback: the half-created subnet is gone.
+  EXPECT_EQ(it.store().size(), 0u);
+}
+
+TEST(Interpreter, IfElseBranches) {
+  auto it = Interpreter(load(R"(
+    sm X {
+      states { mode: str; }
+      transitions {
+        create CreateX(n: int) {
+          if (n > 5) { write(mode, "big"); } else { write(mode, "small"); }
+        }
+      }
+    })"));
+  auto big = call(it, "CreateX", {{"n", Value(9)}});
+  EXPECT_EQ(big.data.get("mode")->as_str(), "big");
+  auto small = call(it, "CreateX", {{"n", Value(1)}});
+  EXPECT_EQ(small.data.get("mode")->as_str(), "small");
+}
+
+TEST(Interpreter, ReadStatementAddsToModifyResponse) {
+  auto it = Interpreter(load(R"(
+    sm X {
+      states { a: int = 7; }
+      transitions {
+        create CreateX() { }
+        modify Peek() { read(a); }
+      }
+    })"));
+  auto x = call(it, "CreateX");
+  auto peek = call(it, "Peek", {}, x.data.get("id")->as_str());
+  ASSERT_TRUE(peek.ok);
+  EXPECT_EQ(peek.data.get("a")->as_int(), 7);
+}
+
+TEST(Interpreter, EnumWriteOutsideDomainRejectedAtRuntime) {
+  auto it = Interpreter(load(R"(
+    sm X {
+      states { st: enum(ON, OFF) = "OFF"; }
+      transitions {
+        create CreateX() { }
+        modify SetState(v: str) { write(st, v); }
+      }
+    })"));
+  auto x = call(it, "CreateX");
+  auto id = x.data.get("id")->as_str();
+  EXPECT_TRUE(call(it, "SetState", {{"id", Value::ref(id)}, {"v", Value("ON")}}).ok);
+  auto bad = call(it, "SetState", {{"id", Value::ref(id)}, {"v", Value("BROKEN")}});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.code, errc::kInvalidParameterValue);
+}
+
+TEST(Interpreter, CidrBuiltinsInSpecs) {
+  auto it = Interpreter(load(R"(
+    sm Vpc {
+      states { cidr_block: str; }
+      transitions {
+        create CreateVpc(cidr: str) {
+          assert(cidr_valid(cidr)) else InvalidParameterValue;
+          assert(cidr_prefix_len(cidr) >= 16 && cidr_prefix_len(cidr) <= 28)
+            else InvalidVpc.Range;
+          write(cidr_block, cidr);
+        }
+      }
+    })"));
+  EXPECT_TRUE(call(it, "CreateVpc", {{"cidr", Value("10.0.0.0/16")}}).ok);
+  auto bad_range = call(it, "CreateVpc", {{"cidr", Value("10.0.0.0/8")}});
+  EXPECT_EQ(bad_range.code, "InvalidVpc.Range");
+  auto malformed = call(it, "CreateVpc", {{"cidr", Value("banana")}});
+  EXPECT_EQ(malformed.code, errc::kInvalidParameterValue);
+}
+
+TEST(Interpreter, SiblingCidrConflictBuiltin) {
+  auto it = Interpreter(load(R"(
+    sm Vpc { states { } transitions { create CreateVpc() { } } }
+    sm Subnet {
+      contained_in Vpc;
+      states { cidr_block: str; }
+      transitions {
+        create CreateSubnet(vpc: ref Vpc, cidr: str) {
+          attach_parent(vpc);
+          write(cidr_block, cidr);
+          assert(!sibling_cidr_conflict(cidr)) else InvalidSubnet.Conflict;
+        }
+      }
+    })"));
+  auto vpc = call(it, "CreateVpc");
+  auto vpc_id = vpc.data.get_or("id", Value());
+  EXPECT_TRUE(call(it, "CreateSubnet", {{"vpc", vpc_id}, {"cidr", Value("10.0.1.0/24")}}).ok);
+  EXPECT_TRUE(call(it, "CreateSubnet", {{"vpc", vpc_id}, {"cidr", Value("10.0.2.0/24")}}).ok);
+  auto clash = call(it, "CreateSubnet", {{"vpc", vpc_id}, {"cidr", Value("10.0.1.128/25")}});
+  EXPECT_FALSE(clash.ok);
+  EXPECT_EQ(clash.code, errc::kInvalidSubnetConflict);
+}
+
+TEST(Interpreter, ChildCountBuiltin) {
+  auto it = Interpreter(load(R"(
+    sm Vpc {
+      states { }
+      transitions {
+        create CreateVpc() { }
+        destroy DeleteVpc() {
+          assert(child_count(Subnet) == 0) else DependencyViolation;
+        }
+      }
+    }
+    sm Subnet {
+      contained_in Vpc;
+      states { }
+      transitions {
+        create CreateSubnet(vpc: ref Vpc) { attach_parent(vpc); }
+        destroy DeleteSubnet() { }
+      }
+    })"));
+  auto vpc = call(it, "CreateVpc");
+  auto vpc_id = vpc.data.get("id")->as_str();
+  auto sub = call(it, "CreateSubnet", {{"vpc", Value::ref(vpc_id)}});
+  auto del = call(it, "DeleteVpc", {}, vpc_id);
+  EXPECT_EQ(del.code, errc::kDependencyViolation);
+  call(it, "DeleteSubnet", {}, sub.data.get("id")->as_str());
+  EXPECT_TRUE(call(it, "DeleteVpc", {}, vpc_id).ok);
+}
+
+TEST(Interpreter, ResetClearsEverything) {
+  auto it = make_public_ip_interp();
+  call(it, "CreatePublicIp", {{"region", Value("us-east")}});
+  it.reset();
+  EXPECT_EQ(it.store().size(), 0u);
+  auto snap = it.snapshot();
+  EXPECT_TRUE(snap.as_map().empty());
+}
+
+TEST(Interpreter, SupportsReflectsSpec) {
+  auto it = make_public_ip_interp();
+  EXPECT_TRUE(it.supports("CreatePublicIp"));
+  EXPECT_FALSE(it.supports("CreateVolcano"));
+}
+
+TEST(Interpreter, RichDecoderEnrichesMessages) {
+  spec::ParseError err;
+  auto s = spec::parse_spec(kPublicIpSpec, &err);
+  ASSERT_TRUE(s);
+  InterpreterOptions opts;
+  opts.decoder = make_rich_decoder();
+  Interpreter it(std::move(*s), opts);
+  auto ip = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
+  auto nic = call(it, "CreateNic", {{"zone", Value("us-east")}});
+  call(it, "AssociateNic", {{"id", ip.data.get_or("id", Value())},
+                            {"nic_ref", nic.data.get_or("id", Value())}});
+  auto del = call(it, "DestroyPublicIp", {}, ip.data.get("id")->as_str());
+  EXPECT_FALSE(del.ok);
+  EXPECT_NE(del.message.find("Root cause"), std::string::npos);
+  EXPECT_NE(del.message.find("Suggested repair"), std::string::npos);
+}
+
+TEST(Interpreter, InfiniteCallRecursionBounded) {
+  // Two SMs that call each other forever: depth limit turns it into a
+  // clean InternalError instead of a stack overflow.
+  auto it = Interpreter(load(R"(
+    sm A {
+      states { b: ref B; }
+      transitions {
+        create CreateA() { }
+        modify PingB() { call(b, PingA); }
+        modify SetB(x: ref B) { write(b, x); }
+      }
+    }
+    sm B {
+      states { a: ref A; }
+      transitions {
+        create CreateB() { }
+        modify PingA() { call(a, PingB); }
+        modify SetA(x: ref A) { write(a, x); }
+      }
+    })"));
+  auto a = call(it, "CreateA");
+  auto b = call(it, "CreateB");
+  auto a_id = a.data.get_or("id", Value());
+  auto b_id = b.data.get_or("id", Value());
+  call(it, "SetB", {{"id", a_id}, {"x", b_id}});
+  call(it, "SetA", {{"id", b_id}, {"x", a_id}});
+  auto resp = call(it, "PingB", {{"id", a_id}});
+  EXPECT_FALSE(resp.ok);
+  EXPECT_EQ(resp.code, errc::kInternalError);
+}
+
+TEST(Interpreter, LenAndCidrOverlapsBuiltins) {
+  auto it = Interpreter(load(R"(
+    sm X {
+      states { name: str; peers: list; }
+      transitions {
+        create CreateX(name: str) {
+          assert(len(name) >= 3) else ValidationError;
+          write(name, name);
+        }
+        modify CheckOverlap(a: str, b: str) {
+          assert(!cidr_overlaps(a, b)) else InvalidSubnet.Conflict;
+        }
+      }
+    })"));
+  EXPECT_FALSE(call(it, "CreateX", {{"name", Value("ab")}}).ok);
+  auto x = call(it, "CreateX", {{"name", Value("abc")}});
+  ASSERT_TRUE(x.ok);
+  auto id = x.data.get("id")->as_str();
+  EXPECT_TRUE(call(it, "CheckOverlap",
+                   {{"id", Value::ref(id)},
+                    {"a", Value("10.0.0.0/24")},
+                    {"b", Value("10.1.0.0/24")}})
+                  .ok);
+  EXPECT_EQ(call(it, "CheckOverlap",
+                 {{"id", Value::ref(id)},
+                  {"a", Value("10.0.0.0/16")},
+                  {"b", Value("10.0.1.0/24")}})
+                .code,
+            errc::kInvalidSubnetConflict);
+}
+
+TEST(Interpreter, ListStateVarsAcceptListValues) {
+  auto it = Interpreter(load(R"(
+    sm X {
+      states { tags: list; }
+      transitions {
+        create CreateX() { }
+        modify SetTags(tags: list) { write(tags, tags); }
+      }
+    })"));
+  auto x = call(it, "CreateX");
+  auto id = x.data.get("id")->as_str();
+  Value tags(Value::List{Value("a"), Value("b")});
+  ASSERT_TRUE(call(it, "SetTags", {{"id", Value::ref(id)}, {"tags", tags}}).ok);
+  auto desc = it.store().find(id)->attrs.at("tags");
+  EXPECT_EQ(desc.as_list().size(), 2u);
+  // Wrong type rejected by param validation.
+  EXPECT_EQ(call(it, "SetTags", {{"id", Value::ref(id)}, {"tags", Value(3)}}).code,
+            errc::kInvalidParameterValue);
+}
+
+TEST(Interpreter, AssertMessageNamesOffendingValue) {
+  auto it = Interpreter(load(R"(
+    sm Vpc {
+      states { cidr_block: str; }
+      transitions {
+        create CreateVpc(cidr: str) {
+          assert(cidr_valid(cidr)) else InvalidParameterValue;
+          write(cidr_block, cidr);
+        }
+      }
+    })"));
+  auto bad = call(it, "CreateVpc", {{"cidr", Value("banana")}});
+  ASSERT_FALSE(bad.ok);
+  EXPECT_NE(bad.message.find("banana"), std::string::npos) << bad.message;
+}
+
+TEST(Interpreter, ReplaceSpecSwapsBehaviour) {
+  auto it = Interpreter(load(R"(
+    sm X { states { } transitions { create CreateX() { } } })"));
+  EXPECT_TRUE(it.supports("CreateX"));
+  it.replace_spec(load(R"(
+    sm Y { states { } transitions { create CreateY() { } } })"));
+  EXPECT_FALSE(it.supports("CreateX"));
+  EXPECT_TRUE(it.supports("CreateY"));
+}
+
+}  // namespace
+}  // namespace lce::interp

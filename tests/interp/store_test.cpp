@@ -1,0 +1,122 @@
+#include "interp/store.h"
+
+#include <gtest/gtest.h>
+
+namespace lce::interp {
+namespace {
+
+TEST(Store, CreateMintsSequentialIds) {
+  ResourceStore s;
+  EXPECT_EQ(s.create("Vpc", "vpc").id, "vpc-00000001");
+  EXPECT_EQ(s.create("Vpc", "vpc").id, "vpc-00000002");
+  EXPECT_EQ(s.create("Subnet", "subnet").id, "subnet-00000001");
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(Store, FindReturnsNullForMissing) {
+  ResourceStore s;
+  EXPECT_EQ(s.find("vpc-00000001"), nullptr);
+  EXPECT_FALSE(s.exists("nope"));
+}
+
+TEST(Store, AttachLinksParent) {
+  ResourceStore s;
+  auto& vpc = s.create("Vpc", "vpc");
+  auto& sub = s.create("Subnet", "subnet");
+  EXPECT_TRUE(s.attach(sub.id, vpc.id));
+  EXPECT_EQ(s.find(sub.id)->parent_id, vpc.id);
+  EXPECT_FALSE(s.attach("missing", vpc.id));
+  EXPECT_FALSE(s.attach(sub.id, "missing"));
+}
+
+TEST(Store, ChildrenOfFiltersByType) {
+  ResourceStore s;
+  auto& vpc = s.create("Vpc", "vpc");
+  auto& sub = s.create("Subnet", "subnet");
+  auto& igw = s.create("InternetGateway", "igw");
+  s.attach(sub.id, vpc.id);
+  s.attach(igw.id, vpc.id);
+  EXPECT_EQ(s.child_count(vpc.id), 2u);
+  EXPECT_EQ(s.child_count(vpc.id, "Subnet"), 1u);
+  auto kids = s.children_of(vpc.id, "InternetGateway");
+  ASSERT_EQ(kids.size(), 1u);
+  EXPECT_EQ(kids[0], igw.id);
+}
+
+TEST(Store, DestroyRemovesAndUnordersResource) {
+  ResourceStore s;
+  auto id = s.create("Vpc", "vpc").id;
+  EXPECT_TRUE(s.destroy(id));
+  EXPECT_FALSE(s.exists(id));
+  EXPECT_FALSE(s.destroy(id));
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(Store, SiblingsShareTypeAndParent) {
+  ResourceStore s;
+  auto& vpc1 = s.create("Vpc", "vpc");
+  auto& vpc2 = s.create("Vpc", "vpc");
+  auto& a = s.create("Subnet", "subnet");
+  auto& b = s.create("Subnet", "subnet");
+  auto& c = s.create("Subnet", "subnet");
+  s.attach(a.id, vpc1.id);
+  s.attach(b.id, vpc1.id);
+  s.attach(c.id, vpc2.id);
+  auto sibs = s.siblings_of(a.id);
+  ASSERT_EQ(sibs.size(), 1u);
+  EXPECT_EQ(sibs[0], b.id);
+  // Top-level resources of same type are siblings of each other.
+  EXPECT_EQ(s.siblings_of(vpc1.id).size(), 1u);
+  EXPECT_TRUE(s.siblings_of("missing").empty());
+}
+
+TEST(Store, AllOfTypeInCreationOrder) {
+  ResourceStore s;
+  auto a = s.create("Vpc", "vpc").id;
+  s.create("Subnet", "subnet");
+  auto b = s.create("Vpc", "vpc").id;
+  auto all = s.all_of_type("Vpc");
+  ASSERT_EQ(all.size(), 2u);
+  EXPECT_EQ(all[0], a);
+  EXPECT_EQ(all[1], b);
+}
+
+TEST(Store, ClearResetsIdsToo) {
+  ResourceStore s;
+  s.create("Vpc", "vpc");
+  s.clear();
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.create("Vpc", "vpc").id, "vpc-00000001");
+}
+
+TEST(Store, SnapshotContainsTypeParentAttrs) {
+  ResourceStore s;
+  auto& vpc = s.create("Vpc", "vpc");
+  vpc.attrs["cidr_block"] = Value("10.0.0.0/16");
+  auto& sub = s.create("Subnet", "subnet");
+  s.attach(sub.id, vpc.id);
+  Value snap = s.snapshot();
+  auto v = snap.get(vpc.id);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->get("type")->as_str(), "Vpc");
+  EXPECT_EQ(v->get("cidr_block")->as_str(), "10.0.0.0/16");
+  auto sb = snap.get(sub.id);
+  ASSERT_NE(sb, nullptr);
+  EXPECT_EQ(sb->get("parent")->as_str(), vpc.id);
+}
+
+TEST(Store, CopySemanticsForRollback) {
+  ResourceStore s;
+  auto id = s.create("Vpc", "vpc").id;
+  ResourceStore backup = s;
+  s.find(id)->attrs["x"] = Value(1);
+  s.create("Vpc", "vpc");
+  s = backup;
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.find(id)->attrs.count("x"), 0u);
+  // Id counter restored too: next id repeats what the discarded copy used.
+  EXPECT_EQ(s.create("Vpc", "vpc").id, "vpc-00000002");
+}
+
+}  // namespace
+}  // namespace lce::interp

@@ -1,0 +1,107 @@
+#include "server/http.h"
+
+#include <gtest/gtest.h>
+
+namespace lce::server {
+namespace {
+
+TEST(HttpParse, BasicPostWithBody) {
+  std::string raw =
+      "POST /invoke HTTP/1.1\r\n"
+      "Host: 127.0.0.1\r\n"
+      "Content-Type: application/json\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "{\"a\":\"b\"}!!";
+  auto req = parse_http_request(raw);
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->path, "/invoke");
+  EXPECT_EQ(req->headers.at("content-type"), "application/json");
+  EXPECT_EQ(req->body, "{\"a\":\"b\"}!!");
+}
+
+TEST(HttpParse, GetWithoutBody) {
+  auto req = parse_http_request("GET /health HTTP/1.1\r\nhost: x\r\n\r\n");
+  ASSERT_TRUE(req);
+  EXPECT_EQ(req->method, "GET");
+  EXPECT_TRUE(req->body.empty());
+}
+
+TEST(HttpParse, HeaderKeysLowercased) {
+  auto req = parse_http_request("GET / HTTP/1.1\r\nX-CuStOm: V\r\n\r\n");
+  ASSERT_TRUE(req);
+  EXPECT_EQ(req->headers.at("x-custom"), "V");
+}
+
+TEST(HttpParse, RejectsMalformed) {
+  EXPECT_FALSE(parse_http_request("").has_value());
+  EXPECT_FALSE(parse_http_request("GET /\r\n\r\n").has_value());          // no version
+  EXPECT_FALSE(parse_http_request("GET / SPDY/9\r\n\r\n").has_value());   // bad proto
+  EXPECT_FALSE(parse_http_request("GET / HTTP/1.1\r\nbadheader\r\n\r\n").has_value());
+  // Body shorter than Content-Length -> incomplete.
+  EXPECT_FALSE(parse_http_request(
+                   "POST / HTTP/1.1\r\ncontent-length: 10\r\n\r\nabc")
+                   .has_value());
+}
+
+TEST(HttpSerialize, ResponseCarriesLengthAndStatus) {
+  HttpResponse resp{200, {{"content-type", "application/json"}}, "{\"x\":1}"};
+  std::string raw = serialize_http_response(resp);
+  EXPECT_NE(raw.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("content-length: 7\r\n"), std::string::npos);
+  EXPECT_NE(raw.find("\r\n\r\n{\"x\":1}"), std::string::npos);
+  EXPECT_EQ(status_text(404), "Not Found");
+}
+
+TEST(HttpServer, ServesOverLoopback) {
+  HttpServer server([](const HttpRequest& req) {
+    HttpResponse resp;
+    resp.body = "echo:" + req.body + " path:" + req.path;
+    return resp;
+  });
+  std::uint16_t port = server.start();
+  ASSERT_NE(port, 0);
+  auto resp = http_request(port, "POST", "/x", "hello");
+  ASSERT_TRUE(resp.has_value());
+  EXPECT_EQ(resp->status, 200);
+  EXPECT_EQ(resp->body, "echo:hello path:/x");
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+TEST(HttpServer, SequentialRequests) {
+  int count = 0;
+  HttpServer server([&](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = std::to_string(++count);
+    return resp;
+  });
+  std::uint16_t port = server.start();
+  ASSERT_NE(port, 0);
+  for (int i = 1; i <= 5; ++i) {
+    auto resp = http_request(port, "GET", "/", "");
+    ASSERT_TRUE(resp);
+    EXPECT_EQ(resp->body, std::to_string(i));
+  }
+  server.stop();
+}
+
+TEST(HttpServer, StopIsIdempotentAndRestartable) {
+  HttpServer server([](const HttpRequest&) { return HttpResponse{}; });
+  ASSERT_NE(server.start(), 0);
+  server.stop();
+  server.stop();  // no-op
+  EXPECT_NE(server.start(), 0);
+  auto resp = http_request(server.port(), "GET", "/", "");
+  EXPECT_TRUE(resp.has_value());
+  server.stop();
+}
+
+TEST(HttpClient, ConnectFailureReturnsNullopt) {
+  // Port 1 on loopback is almost certainly closed.
+  EXPECT_FALSE(http_request(1, "GET", "/", "").has_value());
+}
+
+}  // namespace
+}  // namespace lce::server

@@ -1,0 +1,79 @@
+#include "server/json.h"
+
+#include <gtest/gtest.h>
+
+namespace lce::server {
+namespace {
+
+TEST(Json, ScalarRoundTrips) {
+  for (const char* doc : {"null", "true", "false", "0", "42", "-7", "\"hi\"", "\"\""}) {
+    JsonError err;
+    auto v = parse_json(doc, &err);
+    ASSERT_TRUE(v.has_value()) << doc << ": " << err.to_text();
+    EXPECT_EQ(to_json(*v), doc) << doc;
+  }
+}
+
+TEST(Json, ObjectAndArrayRoundTrip) {
+  std::string doc = R"({"a":[1,2,{"b":true}],"c":null,"d":"x"})";
+  JsonError err;
+  auto v = parse_json(doc, &err);
+  ASSERT_TRUE(v) << err.to_text();
+  EXPECT_EQ(to_json(*v), doc);
+  EXPECT_EQ(v->get("a")->as_list()[2].get("b")->as_bool(), true);
+}
+
+TEST(Json, WhitespaceTolerated) {
+  auto v = parse_json(" { \"a\" :\n[ 1 , 2 ] } ");
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->get("a")->as_list().size(), 2u);
+}
+
+TEST(Json, EscapesDecodedAndReencoded) {
+  JsonError err;
+  auto v = parse_json(R"("line\n\"quote\"\t\\u0041:A")", &err);
+  ASSERT_TRUE(v) << err.to_text();
+  EXPECT_EQ(v->as_str(), "line\n\"quote\"\t\\u0041:A");
+  auto back = parse_json(to_json(*v));
+  ASSERT_TRUE(back);
+  EXPECT_EQ(back->as_str(), v->as_str());
+}
+
+TEST(Json, UnicodeEscapeEncodesUtf8) {
+  auto v = parse_json(R"("é€")");
+  ASSERT_TRUE(v);
+  EXPECT_EQ(v->as_str(), "\xC3\xA9\xE2\x82\xAC");  // é €
+}
+
+TEST(Json, RejectsMalformedDocuments) {
+  for (const char* doc :
+       {"", "{", "[1,", "{\"a\"}", "{\"a\":}", "tru", "\"unterminated",
+        "{\"a\":1}extra", "1.5", "1e3", "{a:1}", "[1 2]", "\"bad\\q\""}) {
+    JsonError err;
+    EXPECT_FALSE(parse_json(doc, &err).has_value()) << doc;
+    EXPECT_FALSE(err.message.empty()) << doc;
+  }
+}
+
+TEST(Json, RefsSerializeAsPlainStrings) {
+  Value::Map m{{"id", Value::ref("vpc-00000001")}};
+  EXPECT_EQ(to_json(Value(m)), R"({"id":"vpc-00000001"})");
+}
+
+TEST(Json, ControlCharactersEscaped) {
+  Value v(std::string("a\x01" "b"));
+  EXPECT_EQ(to_json(v), "\"a\\u0001b\"");
+}
+
+TEST(Json, DeeplyNestedStructures) {
+  std::string doc;
+  for (int i = 0; i < 50; ++i) doc += "[";
+  doc += "1";
+  for (int i = 0; i < 50; ++i) doc += "]";
+  auto v = parse_json(doc);
+  ASSERT_TRUE(v);
+  EXPECT_EQ(to_json(*v), doc);
+}
+
+}  // namespace
+}  // namespace lce::server

@@ -1,0 +1,203 @@
+#include "server/service.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "cloud/reference_cloud.h"
+#include "core/emulator.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+#include "server/json.h"
+
+namespace lce::server {
+namespace {
+
+TEST(ResourceIdShape, Heuristic) {
+  EXPECT_TRUE(looks_like_resource_id("vpc-00000001"));
+  EXPECT_TRUE(looks_like_resource_id("tgw-attach-00000042"));
+  EXPECT_FALSE(looks_like_resource_id("10.0.0.0/16"));
+  EXPECT_FALSE(looks_like_resource_id("us-east"));       // 4 trailing chars
+  EXPECT_FALSE(looks_like_resource_id("vpc-1234"));      // too few digits
+  EXPECT_FALSE(looks_like_resource_id("VPC-00000001"));  // uppercase prefix
+  EXPECT_FALSE(looks_like_resource_id("-00000001"));
+  EXPECT_FALSE(looks_like_resource_id(""));
+}
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() : cloud_(docs::build_aws_catalog()) {}
+
+  HttpResponse post(const std::string& path, const std::string& body) {
+    HttpRequest req;
+    req.method = "POST";
+    req.path = path;
+    req.body = body;
+    return handle_emulator_request(cloud_, req);
+  }
+
+  HttpResponse get(const std::string& path) {
+    HttpRequest req;
+    req.method = "GET";
+    req.path = path;
+    return handle_emulator_request(cloud_, req);
+  }
+
+  cloud::ReferenceCloud cloud_;
+};
+
+TEST_F(ServiceTest, HealthEndpoint) {
+  auto resp = get("/health");
+  EXPECT_EQ(resp.status, 200);
+  auto body = parse_json(resp.body);
+  ASSERT_TRUE(body);
+  EXPECT_EQ(body->get("status")->as_str(), "ok");
+  EXPECT_EQ(body->get("backend")->as_str(), "reference-cloud");
+}
+
+TEST_F(ServiceTest, InvokeSuccessReturnsData) {
+  auto resp = post("/invoke",
+                   R"({"Action":"CreateVpc","Params":{"cidr_block":"10.0.0.0/16"}})");
+  EXPECT_EQ(resp.status, 200);
+  auto body = parse_json(resp.body);
+  ASSERT_TRUE(body);
+  const Value* data = body->get("Data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->get("cidr_block")->as_str(), "10.0.0.0/16");
+  EXPECT_TRUE(looks_like_resource_id(data->get("id")->as_str()));
+}
+
+TEST_F(ServiceTest, InvokeFailureCarriesCloudErrorCode) {
+  auto resp = post("/invoke",
+                   R"({"Action":"CreateVpc","Params":{"cidr_block":"10.0.0.0/8"}})");
+  EXPECT_EQ(resp.status, 400);
+  auto body = parse_json(resp.body);
+  ASSERT_TRUE(body);
+  EXPECT_EQ(body->get("Error")->get("Code")->as_str(), "InvalidVpc.Range");
+}
+
+TEST_F(ServiceTest, IdStringsRetaggedAsRefs) {
+  auto vpc = post("/invoke",
+                  R"({"Action":"CreateVpc","Params":{"cidr_block":"10.0.0.0/16"}})");
+  auto vpc_id = parse_json(vpc.body)->get("Data")->get("id")->as_str();
+  // The id goes over the wire as a plain string; the service must re-tag
+  // it so the backend's ref-typed parameter accepts it.
+  auto subnet = post("/invoke",
+                     to_json(Value(Value::Map{
+                         {"Action", Value("CreateSubnet")},
+                         {"Params", Value(Value::Map{{"vpc", Value(vpc_id)},
+                                                     {"cidr_block", Value("10.0.1.0/24")},
+                                                     {"zone", Value("us-east")}})}})));
+  EXPECT_EQ(subnet.status, 200) << subnet.body;
+}
+
+TEST_F(ServiceTest, MalformedRequestsRejected) {
+  EXPECT_EQ(post("/invoke", "not json").status, 400);
+  EXPECT_EQ(post("/invoke", "[1,2]").status, 400);
+  EXPECT_EQ(post("/invoke", R"({"Params":{}})").status, 400);
+  EXPECT_EQ(post("/invoke", R"({"Action":"X","Params":[1]})").status, 400);
+  EXPECT_EQ(get("/nope").status, 404);
+  EXPECT_EQ(get("/invoke").status, 405);
+}
+
+TEST_F(ServiceTest, ResetAndSnapshot) {
+  post("/invoke", R"({"Action":"CreateVpc","Params":{"cidr_block":"10.0.0.0/16"}})");
+  auto snap = parse_json(get("/snapshot").body);
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap->as_map().size(), 1u);
+  EXPECT_EQ(post("/reset", "").status, 200);
+  snap = parse_json(get("/snapshot").body);
+  EXPECT_TRUE(snap->as_map().empty());
+}
+
+TEST(Endpoint, LearnedEmulatorOverRealSockets) {
+  // End to end: the learned emulator served over loopback HTTP, driven by
+  // the JSON client — the LocalStack usage pattern.
+  auto emulator =
+      core::LearnedEmulator::from_docs(docs::render_corpus(docs::build_aws_catalog()));
+  EmulatorEndpoint endpoint(emulator.backend());
+  std::uint16_t port = endpoint.start();
+  ASSERT_NE(port, 0);
+
+  auto vpc = invoke_over_http(port, "CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  ASSERT_TRUE(vpc.ok) << vpc.to_text();
+  auto subnet = invoke_over_http(port, "CreateSubnet",
+                                 {{"vpc", Value(vpc.data.get("id")->as_str())},
+                                  {"cidr_block", Value("10.0.1.0/24")},
+                                  {"zone", Value("us-east")}});
+  ASSERT_TRUE(subnet.ok) << subnet.to_text();
+  auto bad = invoke_over_http(port, "CreateSubnet",
+                              {{"vpc", Value(vpc.data.get("id")->as_str())},
+                               {"cidr_block", Value("10.0.0.0/29")},
+                               {"zone", Value("us-east")}});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.code, "InvalidSubnet.Range");
+  endpoint.stop();
+  // After stop, requests fail at the transport layer.
+  EXPECT_EQ(invoke_over_http(port, "CreateVpc", {}).code, "TransportError");
+}
+
+TEST(Endpoint, ConcurrentClientsSeeConsistentState) {
+  // Parallel DevOps tools hammering one endpoint: every create must
+  // succeed, every id must be unique, and the final snapshot must hold
+  // exactly one resource per request.
+  cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+  EmulatorEndpoint endpoint(cloud);
+  std::uint16_t port = endpoint.start();
+  ASSERT_NE(port, 0);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10;
+  std::vector<std::thread> clients;
+  std::mutex mu;
+  std::set<std::string> ids;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto resp =
+            invoke_over_http(port, "CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+        if (!resp.ok) {
+          ++failures;
+          continue;
+        }
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(resp.data.get("id")->as_str());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  auto snap = parse_json(http_request(port, "GET", "/snapshot")->body);
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap->as_map().size(), static_cast<std::size_t>(kThreads * kPerThread));
+  endpoint.stop();
+}
+
+TEST(Endpoint, TwoBackendsSideBySideOverHttp) {
+  // Differential testing over the wire: emulator and cloud each behind a
+  // port, compared call by call — exactly the alignment setup, but remote.
+  auto emulator =
+      core::LearnedEmulator::from_docs(docs::render_corpus(docs::build_aws_catalog()));
+  cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+  EmulatorEndpoint emu_ep(emulator.backend());
+  EmulatorEndpoint cloud_ep(cloud);
+  std::uint16_t emu_port = emu_ep.start();
+  std::uint16_t cloud_port = cloud_ep.start();
+  ASSERT_NE(emu_port, 0);
+  ASSERT_NE(cloud_port, 0);
+  for (const char* cidr : {"10.0.0.0/16", "banana", "10.0.0.0/8"}) {
+    auto a = invoke_over_http(emu_port, "CreateVpc", {{"cidr_block", Value(cidr)}});
+    auto b = invoke_over_http(cloud_port, "CreateVpc", {{"cidr_block", Value(cidr)}});
+    EXPECT_TRUE(b.aligned_with(a)) << cidr << ": " << a.to_text() << " vs " << b.to_text();
+  }
+  emu_ep.stop();
+  cloud_ep.stop();
+}
+
+}  // namespace
+}  // namespace lce::server

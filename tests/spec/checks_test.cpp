@@ -1,0 +1,202 @@
+#include "spec/checks.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/parser.h"
+#include "spec/spec_fixtures.h"
+
+namespace lce::spec {
+namespace {
+
+SpecSet parse_ok(const char* src) {
+  ParseError err;
+  auto s = parse_spec(src, &err);
+  EXPECT_TRUE(s.has_value()) << err.to_text();
+  return s ? std::move(*s) : SpecSet{};
+}
+
+bool has_issue(const CheckReport& r, CheckKind k) {
+  for (const auto& i : r.issues) {
+    if (i.kind == k) return true;
+  }
+  return false;
+}
+
+TEST(Checks, PaperExamplePasses) {
+  SpecSet s = parse_ok(fixtures::kPublicIpSpec);
+  CheckReport r = run_checks(s);
+  EXPECT_TRUE(r.ok()) << (r.issues.empty() ? "" : r.issues[0].to_text());
+}
+
+TEST(Checks, DanglingRefTypeFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A { states { x: ref Missing; } transitions { create CreateA() { } } })");
+  CheckReport r = run_checks(s);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_issue(r, CheckKind::kDanglingType));
+}
+
+TEST(Checks, DanglingParentTypeFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A { contained_in Nowhere; states { }
+           transitions { create CreateA(p: ref Nowhere) { attach_parent(p); } } })");
+  CheckReport r = run_checks(s);
+  EXPECT_TRUE(has_issue(r, CheckKind::kDanglingType));
+}
+
+TEST(Checks, DescribeThatWritesFlagged) {
+  // Paper §4.2: a describe() API is flagged if it modifies state.
+  SpecSet s = parse_ok(R"(
+    sm A {
+      states { x: int; }
+      transitions {
+        create CreateA() { }
+        describe DescribeA() { write(x, 1); }
+      }
+    })");
+  CheckReport r = run_checks(s);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(has_issue(r, CheckKind::kDescribeWrites));
+}
+
+TEST(Checks, WriteToUndeclaredStateFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A { states { x: int; } transitions { create CreateA() { write(y, 1); } } })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kUnknownStateVar));
+}
+
+TEST(Checks, EnumLiteralOutsideDomainFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A {
+      states { st: enum(ON, OFF); }
+      transitions { create CreateA() { write(st, BROKEN); } }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kEnumViolation));
+}
+
+TEST(Checks, BadEnumInitialFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A { states { st: enum(ON, OFF) = "MAYBE"; } transitions { create CreateA() { } } })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kEnumViolation));
+}
+
+TEST(Checks, UnknownCalleeFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm B { states { } transitions { create CreateB() { } } }
+    sm A {
+      states { b: ref B; }
+      transitions { create CreateA() { } modify M() { call(b, NoSuchApi); } }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kUnknownCallee));
+}
+
+TEST(Checks, CreateDeletingParentFlagged) {
+  // Paper §1: "resource creation APIs should not be allowed to delete
+  // their parent resources".
+  SpecSet s = parse_ok(R"(
+    sm Vpc { states { } transitions { create CreateVpc() { } destroy DeleteVpc() { } } }
+    sm Subnet {
+      contained_in Vpc;
+      states { }
+      transitions {
+        create CreateSubnet(vpc: ref Vpc) {
+          attach_parent(vpc);
+          call(vpc, DeleteVpc);
+        }
+      }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kCreateMutatesParent));
+}
+
+TEST(Checks, MissingParentAttachFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm Vpc { states { } transitions { create CreateVpc() { } } }
+    sm Subnet {
+      contained_in Vpc;
+      states { }
+      transitions { create CreateSubnet(vpc: ref Vpc) { } }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kMissingParentAttach));
+}
+
+TEST(Checks, OrphanParentAttachFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A {
+      states { }
+      transitions { create CreateA(p: ref A) { attach_parent(p); } }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kOrphanParentAttach));
+}
+
+TEST(Checks, UnknownErrorCodeFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A {
+      states { x: int; }
+      transitions { create CreateA(v: int) { assert(v > 0) else Totally.Made.Up; } }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kUnknownErrorCode));
+}
+
+TEST(Checks, DuplicateApiAcrossMachinesFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A { states { } transitions { create MakeIt() { } } }
+    sm B { states { } transitions { create MakeIt() { } } })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kDuplicateApi));
+}
+
+TEST(Checks, MissingDestroyGuardIsWarningOnly) {
+  SpecSet s = parse_ok(R"(
+    sm Vpc {
+      states { }
+      transitions { create CreateVpc() { } destroy DeleteVpc() { } }
+    }
+    sm Subnet {
+      contained_in Vpc;
+      states { }
+      transitions { create CreateSubnet(vpc: ref Vpc) { attach_parent(vpc); } }
+    })");
+  CheckReport r = run_checks(s);
+  EXPECT_TRUE(has_issue(r, CheckKind::kMissingDestroyGuard));
+  EXPECT_TRUE(r.ok());  // warning, not error
+  EXPECT_GE(r.warning_count(), 1u);
+}
+
+TEST(Checks, SilentTransitionWarned) {
+  SpecSet s = parse_ok(R"(
+    sm A { states { } transitions { create CreateA() { } action Poke() { } } })");
+  CheckReport r = run_checks(s);
+  EXPECT_TRUE(has_issue(r, CheckKind::kSilentTransition));
+  EXPECT_TRUE(r.ok());
+}
+
+TEST(Checks, BuiltinArityFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A {
+      states { x: str; }
+      transitions { create CreateA(v: str) { assert(cidr_within(v)); write(x, v); } }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kBadBuiltinArity));
+}
+
+TEST(Checks, MachinesWithErrorsListsOffenders) {
+  SpecSet s = parse_ok(R"(
+    sm Good { states { } transitions { create CreateGood() { } } }
+    sm Bad { states { x: ref Missing; } transitions { create CreateBad() { } } })");
+  CheckReport r = run_checks(s);
+  auto names = r.machines_with_errors();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "Bad");
+}
+
+TEST(Checks, IssueToTextMentionsKindAndMachine) {
+  SpecSet s = parse_ok(R"(
+    sm A { states { x: ref Missing; } transitions { create CreateA() { } } })");
+  CheckReport r = run_checks(s);
+  ASSERT_FALSE(r.issues.empty());
+  std::string text = r.issues[0].to_text();
+  EXPECT_NE(text.find("dangling-type"), std::string::npos);
+  EXPECT_NE(text.find("A"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lce::spec

@@ -1,0 +1,119 @@
+#include "spec/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/parser.h"
+#include "spec/spec_fixtures.h"
+
+namespace lce::spec {
+namespace {
+
+SpecSet parse_ok(const char* src) {
+  ParseError err;
+  auto s = parse_spec(src, &err);
+  EXPECT_TRUE(s.has_value()) << err.to_text();
+  return s ? std::move(*s) : SpecSet{};
+}
+
+constexpr const char* kChain = R"(
+  sm Vpc { states { } transitions { create CreateVpc() { } } }
+  sm Subnet {
+    contained_in Vpc;
+    states { }
+    transitions { create CreateSubnet(vpc: ref Vpc) { attach_parent(vpc); } }
+  }
+  sm Instance {
+    contained_in Subnet;
+    states { }
+    transitions { create RunInstance(subnet: ref Subnet) { attach_parent(subnet); } }
+  }
+)";
+
+TEST(Graph, NodesMatchMachines) {
+  auto g = DependencyGraph::build(parse_ok(kChain));
+  EXPECT_EQ(g.node_count(), 3u);
+  EXPECT_TRUE(g.nodes().count("Vpc") == 1);
+  EXPECT_TRUE(g.dangling().empty());
+}
+
+TEST(Graph, ContainmentAndReferenceEdges) {
+  auto g = DependencyGraph::build(parse_ok(kChain));
+  auto deps = g.deps_of("Subnet");
+  EXPECT_TRUE(deps.count("Vpc") == 1);
+  bool has_containment = false;
+  for (const auto& e : g.edges()) {
+    if (e.from == "Subnet" && e.to == "Vpc" && e.kind == DepKind::kContainment) {
+      has_containment = true;
+    }
+  }
+  EXPECT_TRUE(has_containment);
+}
+
+TEST(Graph, TransitiveClosure) {
+  auto g = DependencyGraph::build(parse_ok(kChain));
+  auto cl = g.closure_of("Instance");
+  EXPECT_EQ(cl.size(), 2u);
+  EXPECT_TRUE(cl.count("Vpc") == 1);
+  EXPECT_TRUE(cl.count("Subnet") == 1);
+  EXPECT_TRUE(g.closure_of("Vpc").empty());
+}
+
+TEST(Graph, Reachability) {
+  auto g = DependencyGraph::build(parse_ok(kChain));
+  EXPECT_TRUE(g.reachable("Instance", "Vpc"));
+  EXPECT_FALSE(g.reachable("Vpc", "Instance"));
+  EXPECT_TRUE(g.reachable("Vpc", "Vpc"));
+}
+
+TEST(Graph, DanglingTargetsRecorded) {
+  auto g = DependencyGraph::build(parse_ok(R"(
+    sm A { states { x: ref Ghost; } transitions { create CreateA() { } } })"));
+  ASSERT_EQ(g.dangling().size(), 1u);
+  EXPECT_TRUE(g.dangling().count("Ghost") == 1);
+}
+
+TEST(Graph, CreationOrderRespectsDependencies) {
+  auto g = DependencyGraph::build(parse_ok(kChain));
+  auto order = g.creation_order();
+  ASSERT_EQ(order.size(), 3u);
+  auto pos = [&](const std::string& n) {
+    return std::find(order.begin(), order.end(), n) - order.begin();
+  };
+  EXPECT_LT(pos("Vpc"), pos("Subnet"));
+  EXPECT_LT(pos("Subnet"), pos("Instance"));
+}
+
+TEST(Graph, CreationOrderHandlesCycles) {
+  // PublicIp <-> NetworkInterface reference each other; order still total.
+  ParseError err;
+  auto s = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(s);
+  auto g = DependencyGraph::build(*s);
+  auto order = g.creation_order();
+  EXPECT_EQ(order.size(), 2u);
+}
+
+TEST(Graph, CallEdgesRecorded) {
+  ParseError err;
+  auto s = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(s);
+  auto g = DependencyGraph::build(*s);
+  bool call_edge = false;
+  for (const auto& e : g.edges()) {
+    if (e.from == "PublicIp" && e.to == "NetworkInterface" && e.kind == DepKind::kCall) {
+      call_edge = true;
+    }
+  }
+  EXPECT_TRUE(call_edge);
+}
+
+TEST(Graph, EdgeDensityBounds) {
+  auto g = DependencyGraph::build(parse_ok(kChain));
+  EXPECT_GT(g.edge_density(), 0.0);
+  EXPECT_LE(g.edge_density(), 1.0);
+  auto empty = DependencyGraph::build(SpecSet{});
+  EXPECT_EQ(empty.edge_density(), 0.0);
+}
+
+}  // namespace
+}  // namespace lce::spec

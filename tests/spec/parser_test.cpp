@@ -1,0 +1,218 @@
+#include "spec/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/spec_fixtures.h"
+
+namespace lce::spec {
+namespace {
+
+TEST(Parser, ParsesPaperPublicIpExample) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec.has_value()) << err.to_text();
+  ASSERT_EQ(spec->machines.size(), 2u);
+  const StateMachine* ip = spec->find_machine("PublicIp");
+  ASSERT_NE(ip, nullptr);
+  EXPECT_EQ(ip->service, "ec2");
+  EXPECT_EQ(ip->id_prefix, "eip");
+  EXPECT_EQ(ip->states.size(), 3u);
+  EXPECT_EQ(ip->transitions.size(), 4u);
+}
+
+TEST(Parser, StateTypesParsed) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec);
+  const StateMachine* ip = spec->find_machine("PublicIp");
+  const StateVar* status = ip->find_state("status");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->type.kind, TypeKind::kEnum);
+  ASSERT_EQ(status->type.enum_members.size(), 2u);
+  EXPECT_EQ(status->type.enum_members[0], "ASSIGNED");
+  EXPECT_EQ(status->initial.as_str(), "IDLE");
+  const StateVar* nic = ip->find_state("nic");
+  ASSERT_NE(nic, nullptr);
+  EXPECT_EQ(nic->type.kind, TypeKind::kRef);
+  EXPECT_EQ(nic->type.ref_type, "NetworkInterface");
+}
+
+TEST(Parser, TransitionKindsParsed) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec);
+  const StateMachine* ip = spec->find_machine("PublicIp");
+  EXPECT_EQ(ip->find_transition("CreatePublicIp")->kind, TransitionKind::kCreate);
+  EXPECT_EQ(ip->find_transition("AssociateNic")->kind, TransitionKind::kModify);
+  EXPECT_EQ(ip->find_transition("DescribePublicIp")->kind, TransitionKind::kDescribe);
+  EXPECT_EQ(ip->find_transition("DestroyPublicIp")->kind, TransitionKind::kDestroy);
+}
+
+TEST(Parser, BareIdentifierBecomesEnumLiteral) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec);
+  const Transition* t = spec->find_machine("PublicIp")->find_transition("CreatePublicIp");
+  // write(status, ASSIGNED): ASSIGNED is not in scope -> string literal.
+  const Stmt* write_status = t->body[1].get();
+  ASSERT_EQ(write_status->kind, StmtKind::kWrite);
+  EXPECT_EQ(write_status->var, "status");
+  ASSERT_EQ(write_status->expr->kind, ExprKind::kLiteral);
+  EXPECT_EQ(write_status->expr->literal.as_str(), "ASSIGNED");
+}
+
+TEST(Parser, InScopeIdentifierBecomesVar) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec);
+  const Transition* t = spec->find_machine("PublicIp")->find_transition("CreatePublicIp");
+  // write(zone, region): region is a param -> var ref.
+  const Stmt* write_zone = t->body[2].get();
+  ASSERT_EQ(write_zone->expr->kind, ExprKind::kVar);
+  EXPECT_EQ(write_zone->expr->name, "region");
+}
+
+TEST(Parser, DottedErrorCode) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec);
+  const Transition* t = spec->find_machine("PublicIp")->find_transition("AssociateNic");
+  ASSERT_EQ(t->body[0]->kind, StmtKind::kAssert);
+  EXPECT_EQ(t->body[0]->error_code, "InvalidZone.Mismatch");
+}
+
+TEST(Parser, FieldAccessOnRefParam) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec);
+  const Transition* t = spec->find_machine("PublicIp")->find_transition("AssociateNic");
+  const Expr* pred = t->body[0]->expr.get();
+  ASSERT_EQ(pred->kind, ExprKind::kBinary);
+  EXPECT_EQ(pred->binary_op, BinaryOp::kEq);
+  EXPECT_EQ(pred->kids[0]->kind, ExprKind::kField);
+  EXPECT_EQ(pred->kids[0]->name, "zone");
+}
+
+TEST(Parser, CallStatement) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec);
+  const Transition* t = spec->find_machine("PublicIp")->find_transition("AssociateNic");
+  const Stmt* call = t->body[1].get();
+  ASSERT_EQ(call->kind, StmtKind::kCall);
+  EXPECT_EQ(call->callee, "AttachPublicIp");
+  ASSERT_EQ(call->args.size(), 1u);
+  EXPECT_EQ(call->args[0]->kind, ExprKind::kSelf);
+}
+
+TEST(Parser, AssertWithoutElseDefaultsToValidationError) {
+  ParseError err;
+  auto m = parse_machine(R"(
+    sm X {
+      states { a: int; }
+      transitions { modify SetA(v: int) { assert(v > 0); write(a, v); } }
+    })", &err);
+  ASSERT_TRUE(m) << err.to_text();
+  EXPECT_EQ(m->find_transition("SetA")->body[0]->error_code, "ValidationError");
+}
+
+TEST(Parser, IfElseStatement) {
+  ParseError err;
+  auto m = parse_machine(R"(
+    sm X {
+      states { a: int; b: bool; }
+      transitions {
+        modify M(v: int) {
+          if (v > 3) { write(a, v); } else { write(b, false); }
+        }
+      }
+    })", &err);
+  ASSERT_TRUE(m) << err.to_text();
+  const Stmt* s = m->find_transition("M")->body[0].get();
+  ASSERT_EQ(s->kind, StmtKind::kIf);
+  EXPECT_EQ(s->then_body.size(), 1u);
+  EXPECT_EQ(s->else_body.size(), 1u);
+}
+
+TEST(Parser, ContainedInAndAttachParent) {
+  ParseError err;
+  auto spec = parse_spec(R"(
+    sm Vpc { states { c: str; } transitions { create CreateVpc(c: str) { write(c, c); } } }
+    sm Subnet {
+      contained_in Vpc;
+      states { cidr: str; }
+      transitions {
+        create CreateSubnet(vpc: ref Vpc, cidr: str) {
+          attach_parent(vpc);
+          write(cidr, cidr);
+        }
+      }
+    })", &err);
+  ASSERT_TRUE(spec) << err.to_text();
+  const StateMachine* subnet = spec->find_machine("Subnet");
+  EXPECT_EQ(subnet->parent_type, "Vpc");
+  EXPECT_EQ(subnet->find_transition("CreateSubnet")->body[0]->kind, StmtKind::kAttachParent);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  ParseError err;
+  auto m = parse_machine(R"(
+    sm X {
+      states { a: int; }
+      transitions { modify M(v: int) { assert(v > 1 && v < 5 || v == 9); write(a, v); } }
+    })", &err);
+  ASSERT_TRUE(m) << err.to_text();
+  const Expr* e = m->find_transition("M")->body[0]->expr.get();
+  // Top node must be OR of (AND, EQ).
+  ASSERT_EQ(e->kind, ExprKind::kBinary);
+  EXPECT_EQ(e->binary_op, BinaryOp::kOr);
+  EXPECT_EQ(e->kids[0]->binary_op, BinaryOp::kAnd);
+  EXPECT_EQ(e->kids[1]->binary_op, BinaryOp::kEq);
+}
+
+TEST(Parser, UnknownBuiltinRejected) {
+  ParseError err;
+  auto m = parse_machine(R"(
+    sm X { states { a: int; } transitions { modify M(v: int) { assert(frobnicate(v)); } } })",
+                         &err);
+  EXPECT_FALSE(m.has_value());
+  EXPECT_NE(err.message.find("frobnicate"), std::string::npos);
+}
+
+TEST(Parser, ReportsErrorLocation) {
+  ParseError err;
+  auto m = parse_machine("sm X {\n  bogus_clause;\n}", &err);
+  EXPECT_FALSE(m.has_value());
+  EXPECT_EQ(err.line, 2);
+}
+
+TEST(Parser, MissingSemicolonRejected) {
+  ParseError err;
+  auto m = parse_machine(
+      "sm X { states { a: int } transitions { } }", &err);
+  EXPECT_FALSE(m.has_value());
+}
+
+TEST(Parser, DefaultIdPrefixIsLowercasedName) {
+  ParseError err;
+  auto m = parse_machine("sm RouteTable { states { } transitions { } }", &err);
+  ASSERT_TRUE(m) << err.to_text();
+  EXPECT_EQ(m->id_prefix, "routetable");
+}
+
+TEST(Parser, NegativeIntLiteralInDefault) {
+  ParseError err;
+  auto m = parse_machine("sm X { states { a: int = -3; } transitions { } }", &err);
+  ASSERT_TRUE(m) << err.to_text();
+  EXPECT_EQ(m->states[0].initial.as_int(), -3);
+}
+
+TEST(Parser, EmptySpecIsValid) {
+  ParseError err;
+  auto spec = parse_spec("", &err);
+  ASSERT_TRUE(spec);
+  EXPECT_TRUE(spec->machines.empty());
+}
+
+}  // namespace
+}  // namespace lce::spec

@@ -1,0 +1,83 @@
+#include "spec/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "spec/parser.h"
+#include "spec/spec_fixtures.h"
+
+namespace lce::spec {
+namespace {
+
+// The key property: print(parse(x)) re-parses to an AST that prints
+// identically (canonical fixed point after one round).
+TEST(Printer, RoundTripIsStable) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec) << err.to_text();
+  std::string once = print_spec(*spec);
+  auto reparsed = parse_spec(once, &err);
+  ASSERT_TRUE(reparsed) << err.to_text() << "\n" << once;
+  std::string twice = print_spec(*reparsed);
+  EXPECT_EQ(once, twice);
+}
+
+TEST(Printer, MachineHeaderFields) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec);
+  std::string text = print_machine(*spec->find_machine("PublicIp"));
+  EXPECT_NE(text.find("sm PublicIp {"), std::string::npos);
+  EXPECT_NE(text.find("service \"ec2\";"), std::string::npos);
+  EXPECT_NE(text.find("id_prefix \"eip\";"), std::string::npos);
+  EXPECT_NE(text.find("status: enum(ASSIGNED, IDLE) = \"IDLE\";"), std::string::npos);
+}
+
+TEST(Printer, AssertElseClausePrinted) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec);
+  std::string text = print_machine(*spec->find_machine("PublicIp"));
+  EXPECT_NE(text.find("else InvalidZone.Mismatch;"), std::string::npos);
+  EXPECT_NE(text.find("else DependencyViolation;"), std::string::npos);
+}
+
+TEST(Printer, ClonePrintsIdentically) {
+  ParseError err;
+  auto spec = parse_spec(fixtures::kPublicIpSpec, &err);
+  ASSERT_TRUE(spec);
+  SpecSet copy = spec->clone();
+  EXPECT_EQ(print_spec(*spec), print_spec(copy));
+}
+
+TEST(Printer, IfElsePrintedAndReparsed) {
+  ParseError err;
+  auto m = parse_machine(R"(
+    sm X {
+      states { a: int; }
+      transitions {
+        modify M(v: int) { if (v > 3) { write(a, v); } else { write(a, 0); } }
+      }
+    })", &err);
+  ASSERT_TRUE(m) << err.to_text();
+  std::string text = print_machine(*m);
+  auto again = parse_machine(text, &err);
+  ASSERT_TRUE(again) << err.to_text() << "\n" << text;
+  EXPECT_EQ(print_machine(*again), text);
+}
+
+TEST(Printer, StringsEscaped) {
+  ParseError err;
+  auto m = parse_machine(R"(
+    sm X {
+      states { a: str; }
+      transitions { modify M() { write(a, "he said \"hi\""); } }
+    })", &err);
+  ASSERT_TRUE(m) << err.to_text();
+  std::string text = print_machine(*m);
+  auto again = parse_machine(text, &err);
+  ASSERT_TRUE(again) << err.to_text() << "\n" << text;
+  EXPECT_EQ(again->find_transition("M")->body[0]->expr->literal.as_str(), "he said \"hi\"");
+}
+
+}  // namespace
+}  // namespace lce::spec

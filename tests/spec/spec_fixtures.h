@@ -1,0 +1,63 @@
+// Shared spec-text fixtures used across spec/interp tests: the paper's §3
+// PublicIP/NIC toy example in the concrete DSL syntax.
+#pragma once
+
+namespace lce::spec::fixtures {
+
+inline constexpr const char* kPublicIpSpec = R"SPEC(
+sm NetworkInterface {
+  service "ec2";
+  id_prefix "eni";
+  states {
+    zone: str;
+    public_ip: ref PublicIp;
+  }
+  transitions {
+    create CreateNic(zone: str) {
+      assert(in_list(zone, "us-east", "us-west")) else InvalidParameterValue;
+      write(zone, zone);
+    }
+    modify AttachPublicIp(ip: ref PublicIp) {
+      write(public_ip, ip);
+    }
+    modify DetachPublicIp() {
+      write(public_ip, null);
+    }
+    describe DescribeNic() {
+    }
+    destroy DeleteNic() {
+      assert(is_null(public_ip)) else DependencyViolation;
+    }
+  }
+}
+
+sm PublicIp {
+  service "ec2";
+  id_prefix "eip";
+  states {
+    status: enum(ASSIGNED, IDLE) = "IDLE";
+    zone: str;
+    nic: ref NetworkInterface;
+  }
+  transitions {
+    create CreatePublicIp(region: str) {
+      assert(in_list(region, "us-east", "us-west")) else InvalidParameterValue;
+      write(status, ASSIGNED);
+      write(zone, region);
+    }
+    modify AssociateNic(nic_ref: ref NetworkInterface) {
+      assert(nic_ref.zone == zone) else InvalidZone.Mismatch;
+      call(nic_ref, AttachPublicIp, self);
+      write(nic, nic_ref);
+    }
+    describe DescribePublicIp() {
+    }
+    destroy DestroyPublicIp() {
+      assert(is_null(nic)) else DependencyViolation;
+      write(status, IDLE);
+    }
+  }
+}
+)SPEC";
+
+}  // namespace lce::spec::fixtures

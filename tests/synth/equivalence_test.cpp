@@ -1,0 +1,294 @@
+// The load-bearing integration property: an emulator synthesized from
+// CLEAN documentation with zero noise must be response-aligned with the
+// reference cloud on every documented behaviour — successes, failures,
+// error codes, and payload shape. (Undocumented behaviours are exempt;
+// they are exactly what the alignment phase later repairs.)
+#include <gtest/gtest.h>
+
+#include "cloud/reference_cloud.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+#include "interp/interpreter.h"
+#include "synth/synthesizer.h"
+
+namespace lce {
+namespace {
+
+class EquivalenceTest : public ::testing::Test {
+ protected:
+  EquivalenceTest() : cloud_(docs::build_aws_catalog()) {
+    auto result =
+        synth::synthesize(docs::render_corpus(docs::build_aws_catalog()), {});
+    EXPECT_TRUE(result.ok());
+    emulator_ = std::make_unique<interp::Interpreter>(std::move(result.spec));
+  }
+
+  /// Run the trace on both backends and require per-call alignment.
+  void expect_aligned(const Trace& trace) {
+    auto cloud_resp = run_trace(cloud_, trace);
+    auto emu_resp = run_trace(*emulator_, trace);
+    ASSERT_EQ(cloud_resp.size(), emu_resp.size());
+    for (std::size_t i = 0; i < cloud_resp.size(); ++i) {
+      EXPECT_TRUE(cloud_resp[i].aligned_with(emu_resp[i]))
+          << trace.label << " call #" << i << " " << trace.calls[i].api
+          << "\n  cloud: " << cloud_resp[i].to_text()
+          << "\n  emu:   " << emu_resp[i].to_text();
+    }
+  }
+
+  cloud::ReferenceCloud cloud_;
+  std::unique_ptr<interp::Interpreter> emulator_;
+};
+
+TEST_F(EquivalenceTest, VpcLifecycle) {
+  Trace t;
+  t.label = "vpc-lifecycle";
+  t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  t.add("DescribeVpc", {{"id", Value("$0.id")}});
+  t.add("DeleteVpc", {{"id", Value("$0.id")}});
+  t.add("DescribeVpc", {{"id", Value("$0.id")}});  // both must 404
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, PaperBasicFunctionalityProgram) {
+  // §5 "Basic functionality": VPC + subnet + MapPublicIpOnLaunch.
+  Trace t;
+  t.label = "basic-functionality";
+  t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                         {"cidr_block", Value("10.0.1.0/24")},
+                         {"zone", Value("us-east")}});
+  t.add("ModifySubnetAttribute",
+        {{"id", Value("$1.id")}, {"map_public_ip_on_launch", Value(true)}});
+  t.add("DescribeSubnet", {{"id", Value("$1.id")}});
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, BadVpcCidrVariants) {
+  for (const char* cidr : {"banana", "10.0.0.0", "10.0.0.0/8", "10.0.0.0/30", ""}) {
+    Trace t;
+    t.label = std::string("bad-cidr-") + cidr;
+    t.add("CreateVpc", {{"cidr_block", Value(cidr)}});
+    expect_aligned(t);
+  }
+}
+
+TEST_F(EquivalenceTest, SubnetRuleViolations) {
+  Trace t;
+  t.label = "subnet-rules";
+  t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  // outside parent
+  t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                         {"cidr_block", Value("192.168.0.0/24")},
+                         {"zone", Value("us-east")}});
+  // invalid prefix
+  t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                         {"cidr_block", Value("10.0.0.0/29")},
+                         {"zone", Value("us-east")}});
+  // ok
+  t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                         {"cidr_block", Value("10.0.1.0/24")},
+                         {"zone", Value("us-east")}});
+  // sibling overlap
+  t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                         {"cidr_block", Value("10.0.1.128/25")},
+                         {"zone", Value("us-east")}});
+  // bad zone
+  t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                         {"cidr_block", Value("10.0.2.0/24")},
+                         {"zone", Value("moon-base")}});
+  // missing vpc
+  t.add("CreateSubnet", {{"vpc", Value::ref("vpc-88888888")},
+                         {"cidr_block", Value("10.0.3.0/24")},
+                         {"zone", Value("us-east")}});
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, DeleteVpcDependencyViolation) {
+  Trace t;
+  t.label = "delete-vpc-dependency";
+  t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  t.add("CreateInternetGateway", {{"vpc", Value("$0.id")}});
+  t.add("DeleteVpc", {{"id", Value("$0.id")}});            // DependencyViolation
+  t.add("DeleteInternetGateway", {{"id", Value("$1.id")}});
+  t.add("DeleteVpc", {{"id", Value("$0.id")}});            // now ok
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, DnsAttributeCoupling) {
+  Trace t;
+  t.label = "dns-coupling";
+  t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  t.add("ModifyVpcDnsSupport", {{"id", Value("$0.id")}, {"value", Value(false)}});
+  t.add("ModifyVpcDnsHostnames", {{"id", Value("$0.id")}, {"value", Value(true)}});  // fail
+  t.add("ModifyVpcDnsSupport", {{"id", Value("$0.id")}, {"value", Value(true)}});
+  t.add("ModifyVpcDnsHostnames", {{"id", Value("$0.id")}, {"value", Value(true)}});  // ok
+  t.add("DescribeVpc", {{"id", Value("$0.id")}});
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, ElasticIpAssociationLifecycle) {
+  Trace t;
+  t.label = "eip-lifecycle";
+  t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                         {"cidr_block", Value("10.0.1.0/24")},
+                         {"zone", Value("us-east")}});
+  t.add("CreateNetworkInterface",
+        {{"subnet", Value("$1.id")}, {"zone", Value("us-east")}});
+  t.add("AllocateAddress", {{"zone", Value("us-east")}});
+  t.add("AssociateAddress", {{"id", Value("$3.id")}, {"nic", Value("$2.id")}});
+  t.add("DescribeNetworkInterface", {{"id", Value("$2.id")}});  // back-ref visible
+  t.add("ReleaseAddress", {{"id", Value("$3.id")}});            // DependencyViolation
+  t.add("DisassociateAddress", {{"id", Value("$3.id")}});
+  t.add("ReleaseAddress", {{"id", Value("$3.id")}});            // ok
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, ZoneMismatchAssociation) {
+  Trace t;
+  t.label = "zone-mismatch";
+  t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                         {"cidr_block", Value("10.0.1.0/24")},
+                         {"zone", Value("us-east")}});
+  t.add("CreateNetworkInterface",
+        {{"subnet", Value("$1.id")}, {"zone", Value("us-west")}});
+  t.add("AllocateAddress", {{"zone", Value("us-east")}});
+  t.add("AssociateAddress", {{"id", Value("$3.id")}, {"nic", Value("$2.id")}});
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, DocumentedInstanceStateRules) {
+  Trace t;
+  t.label = "instance-states-documented";
+  t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                         {"cidr_block", Value("10.0.1.0/24")},
+                         {"zone", Value("us-east")}});
+  t.add("RunInstance", {{"subnet", Value("$1.id")}, {"instance_type", Value("t3.micro")}});
+  t.add("ModifyInstanceType", {{"id", Value("$2.id")}, {"value", Value("m5.large")}});  // fail
+  t.add("StopInstance", {{"id", Value("$2.id")}});
+  t.add("ModifyInstanceType", {{"id", Value("$2.id")}, {"value", Value("m5.large")}});  // ok
+  t.add("StopInstance", {{"id", Value("$2.id")}});  // already stopped -> fail
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, UndocumentedBehaviourDivergesBeforeAlignment) {
+  // StartInstance on a running instance: cloud fails, doc-trained emulator
+  // silently succeeds. This divergence is EXPECTED pre-alignment.
+  Trace t;
+  t.label = "undocumented-start";
+  t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  t.add("CreateSubnet", {{"vpc", Value("$0.id")},
+                         {"cidr_block", Value("10.0.1.0/24")},
+                         {"zone", Value("us-east")}});
+  t.add("RunInstance", {{"subnet", Value("$1.id")}, {"instance_type", Value("t3.micro")}});
+  t.add("StartInstance", {{"id", Value("$2.id")}});
+  auto cloud_resp = run_trace(cloud_, t);
+  auto emu_resp = run_trace(*emulator_, t);
+  EXPECT_FALSE(cloud_resp[3].ok);
+  EXPECT_EQ(cloud_resp[3].code, "IncorrectInstanceState");
+  EXPECT_TRUE(emu_resp[3].ok);
+}
+
+TEST_F(EquivalenceTest, DynamoTableWorkflow) {
+  Trace t;
+  t.label = "dynamo-table";
+  t.add("CreateTable",
+        {{"table_name", Value("orders")}, {"billing_mode", Value("PROVISIONED")}});
+  t.add("UpdateTableReadCapacity", {{"id", Value("$0.id")}, {"value", Value(100)}});
+  t.add("UpdateTableReadCapacity", {{"id", Value("$0.id")}, {"value", Value(0)}});
+  t.add("UpdateTableBillingMode",
+        {{"id", Value("$0.id")}, {"value", Value("PAY_PER_REQUEST")}});
+  t.add("UpdateTableReadCapacity", {{"id", Value("$0.id")}, {"value", Value(10)}});
+  t.add("PutItem", {{"table", Value("$0.id")},
+                    {"item_key", Value("k1")},
+                    {"payload", Value("v1")}});
+  t.add("DeleteTable", {{"id", Value("$0.id")}});  // item still inside
+  t.add("DeleteItem", {{"id", Value("$5.id")}});
+  t.add("DeleteTable", {{"id", Value("$0.id")}});
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, LongTailModifyApisAlign) {
+  // Exercise generated long-tail resources end to end.
+  Trace t;
+  t.label = "long-tail";
+  t.add("CreateVolume");
+  t.add("ModifyVolumeVolumeType", {{"id", Value("$0.id")}, {"value", Value("gp3")}});
+  t.add("DescribeVolume", {{"id", Value("$0.id")}});
+  t.add("EnableVolume", {{"id", Value("$0.id")}});
+  t.add("EnableVolume", {{"id", Value("$0.id")}});  // second enable fails
+  t.add("DisableVolume", {{"id", Value("$0.id")}});
+  t.add("DeleteVolume", {{"id", Value("$0.id")}});
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, EksClusterScaling) {
+  Trace t;
+  t.label = "eks-scaling";
+  t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  t.add("CreateCluster", {{"vpc", Value("$0.id")}, {"version", Value("1.29")}});
+  t.add("CreateNodegroup", {{"parent", Value("$1.id")}});
+  t.add("UpdateNodegroupScaling", {{"id", Value("$2.id")}, {"desired_size", Value(10)}});
+  t.add("UpdateNodegroupScaling", {{"id", Value("$2.id")}, {"desired_size", Value(9000)}});
+  t.add("DeleteCluster", {{"id", Value("$1.id")}});  // nodegroup inside
+  t.add("DeleteNodegroup", {{"id", Value("$2.id")}});
+  t.add("DeleteCluster", {{"id", Value("$1.id")}});
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, MissingParamAndWrongTypeAlign) {
+  Trace t1;
+  t1.label = "missing-param";
+  t1.add("CreateVpc");
+  expect_aligned(t1);
+  Trace t2;
+  t2.label = "wrong-type";
+  t2.add("CreateVpc", {{"cidr_block", Value(42)}});
+  expect_aligned(t2);
+  Trace t3;
+  t3.label = "unknown-api";
+  t3.add("FooBarBaz");
+  expect_aligned(t3);
+}
+
+TEST_F(EquivalenceTest, FirewallWorkflow) {
+  Trace t;
+  t.label = "network-firewall";
+  t.add("CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+  t.add("CreateFirewallPolicy");
+  t.add("CreateFirewall", {{"vpc", Value("$0.id")}, {"policy", Value("$1.id")}});
+  t.add("UpdateFirewallDeleteProtection", {{"id", Value("$2.id")}, {"value", Value(true)}});
+  t.add("DeleteFirewall", {{"id", Value("$2.id")}});  // protected
+  t.add("UpdateFirewallDeleteProtection", {{"id", Value("$2.id")}, {"value", Value(false)}});
+  t.add("DeleteFirewall", {{"id", Value("$2.id")}});  // ok
+  expect_aligned(t);
+}
+
+TEST_F(EquivalenceTest, AzurePipelineAlignsToo) {
+  cloud::ReferenceCloud azure(docs::build_azure_catalog(),
+                              cloud::ReferenceCloudOptions{.name = "azure-cloud"});
+  auto result = synth::synthesize(docs::render_corpus(docs::build_azure_catalog()), {});
+  ASSERT_TRUE(result.ok());
+  interp::Interpreter emu(std::move(result.spec));
+  Trace t;
+  t.label = "azure-vnet";
+  t.add("PutVirtualNetwork", {{"address_space", Value("10.0.0.0/16")}});
+  t.add("PutVnetSubnet",
+        {{"vnet", Value("$0.id")}, {"address_prefix", Value("10.0.0.0/29")}});
+  t.add("DeleteVirtualNetwork", {{"id", Value("$0.id")}});  // subnet inside
+  t.add("DeleteVnetSubnet", {{"id", Value("$1.id")}});
+  t.add("DeleteVirtualNetwork", {{"id", Value("$0.id")}});
+  auto cloud_resp = run_trace(azure, t);
+  auto emu_resp = run_trace(emu, t);
+  for (std::size_t i = 0; i < cloud_resp.size(); ++i) {
+    EXPECT_TRUE(cloud_resp[i].aligned_with(emu_resp[i]))
+        << "call #" << i << "\n  cloud: " << cloud_resp[i].to_text()
+        << "\n  emu:   " << emu_resp[i].to_text();
+  }
+}
+
+}  // namespace
+}  // namespace lce

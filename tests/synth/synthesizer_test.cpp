@@ -1,0 +1,144 @@
+#include "synth/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include "docs/corpus.h"
+#include "docs/render.h"
+
+namespace lce::synth {
+namespace {
+
+docs::DocCorpus aws_docs() { return docs::render_corpus(docs::build_aws_catalog()); }
+
+TEST(Synthesizer, CleanDocsZeroNoiseYieldsCleanSpec) {
+  auto result = synthesize(aws_docs(), SynthesisOptions{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_TRUE(result.noise.empty());
+  EXPECT_EQ(result.regeneration_rounds, 0);
+  EXPECT_EQ(result.spec.machines.size(), docs::build_aws_catalog().resource_count());
+}
+
+TEST(Synthesizer, NoiseInjectionIsSeededAndLogged) {
+  SynthesisOptions opts;
+  opts.noise_rate = 0.2;
+  opts.seed = 42;
+  auto a = synthesize(aws_docs(), opts);
+  auto b = synthesize(aws_docs(), opts);
+  EXPECT_FALSE(a.noise.empty());
+  ASSERT_EQ(a.noise.size(), b.noise.size());
+  for (std::size_t i = 0; i < a.noise.size(); ++i) {
+    EXPECT_EQ(a.noise[i].to_text(), b.noise[i].to_text());
+  }
+}
+
+TEST(Synthesizer, ConsistencyChecksDriveRegenerationToClean) {
+  // Even at a heavy noise rate, the checks + targeted correction loop
+  // must converge to a statically clean spec (the re-translation is
+  // deterministic, mirroring "re-prompt until the spec passes").
+  SynthesisOptions opts;
+  opts.noise_rate = 0.3;
+  opts.seed = 7;
+  auto result = synthesize(aws_docs(), opts);
+  EXPECT_TRUE(result.final_checks.ok())
+      << (result.final_checks.issues.empty()
+              ? ""
+              : result.final_checks.issues[0].to_text());
+  EXPECT_GE(result.regeneration_rounds, 1);
+}
+
+TEST(Synthesizer, SomeNoiseSurvivesChecksForAlignmentToCatch) {
+  // Semantically wrong but grammatically valid mutations (dropped asserts,
+  // wrong codes) are invisible to the static checks — that residue is what
+  // the alignment phase exists for (§4.3).
+  SynthesisOptions opts;
+  opts.noise_rate = 0.25;
+  opts.seed = 1234;
+  auto result = synthesize(aws_docs(), opts);
+  EXPECT_TRUE(result.final_checks.ok());
+  EXPECT_FALSE(result.surviving_noise.empty());
+}
+
+TEST(Synthesizer, ChecksOffLeavesNoiseInPlace) {
+  SynthesisOptions opts;
+  opts.noise_rate = 0.25;
+  opts.seed = 99;
+  opts.consistency_checks = false;
+  auto result = synthesize(aws_docs(), opts);
+  EXPECT_EQ(result.surviving_noise.size(), result.noise.size());
+}
+
+TEST(Synthesizer, LogNarratesPipelineStages) {
+  auto result = synthesize(aws_docs(), SynthesisOptions{});
+  ASSERT_GE(result.log.size(), 2u);
+  EXPECT_NE(result.log[0].find("wrangled"), std::string::npos);
+  EXPECT_NE(result.log[1].find("generated"), std::string::npos);
+}
+
+TEST(Synthesizer, WorksOnAzureDocs) {
+  auto docs = docs::render_corpus(docs::build_azure_catalog());
+  auto result = synthesize(docs, SynthesisOptions{});
+  EXPECT_TRUE(result.ok());
+  EXPECT_NE(result.spec.find_machine("VirtualNetwork"), nullptr);
+}
+
+// ------------------------------------------------------------------ D2C --
+
+TEST(D2c, DropsPaperReportedStateVariables) {
+  auto result = synthesize_d2c(aws_docs());
+  const spec::StateMachine* instance = result.spec.find_machine("Instance");
+  ASSERT_NE(instance, nullptr);
+  EXPECT_EQ(instance->find_state("instance_tenancy"), nullptr);
+  EXPECT_EQ(instance->find_state("credit_specification"), nullptr);
+}
+
+TEST(D2c, DeleteVpcLosesDependencyCheck) {
+  auto result = synthesize_d2c(aws_docs());
+  const spec::Transition* del = result.spec.find_machine("Vpc")->find_transition("DeleteVpc");
+  ASSERT_NE(del, nullptr);
+  EXPECT_TRUE(del->body.empty());
+}
+
+TEST(D2c, StartInstanceSilentlySucceeds) {
+  auto result = synthesize_d2c(aws_docs());
+  const spec::Transition* start =
+      result.spec.find_machine("Instance")->find_transition("StartInstance");
+  ASSERT_NE(start, nullptr);
+  EXPECT_TRUE(start->body.empty());
+}
+
+TEST(D2c, SubnetPrefixCheckGoneButConflictCheckStays) {
+  auto result = synthesize_d2c(aws_docs());
+  const spec::Transition* cs =
+      result.spec.find_machine("Subnet")->find_transition("CreateSubnet");
+  ASSERT_NE(cs, nullptr);
+  bool prefix = false;
+  bool conflict = false;
+  for (const auto& s : cs->body) {
+    if (!s->expr) continue;
+    std::string t = s->expr->to_text();
+    if (t.find("cidr_prefix_len") != std::string::npos) prefix = true;
+    if (t.find("sibling_cidr_conflict") != std::string::npos) conflict = true;
+  }
+  EXPECT_FALSE(prefix);
+  EXPECT_TRUE(conflict);
+}
+
+TEST(D2c, ErrorCodesDegradeToGeneric) {
+  auto result = synthesize_d2c(aws_docs());
+  std::size_t generic = 0;
+  std::size_t total = 0;
+  for (const auto& m : result.spec.machines) {
+    for (const auto& t : m.transitions) {
+      for (const auto& s : t.body) {
+        if (s->kind != spec::StmtKind::kAssert) continue;
+        ++total;
+        if (s->error_code == "ValidationError") ++generic;
+      }
+    }
+  }
+  ASSERT_GT(total, 0u);
+  EXPECT_GT(generic * 3, total);  // a large fraction degraded
+}
+
+}  // namespace
+}  // namespace lce::synth

@@ -1,0 +1,189 @@
+#include "synth/translate.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "docs/corpus.h"
+#include "spec/checks.h"
+#include "spec/parser.h"
+#include "spec/printer.h"
+
+namespace lce::synth {
+namespace {
+
+spec::SpecSet translate_aws() {
+  auto catalog = docs::build_aws_catalog();
+  return translate_catalog(catalog);
+}
+
+TEST(Translate, ProducesOneMachinePerResource) {
+  auto catalog = docs::build_aws_catalog();
+  auto spec = translate_catalog(catalog);
+  EXPECT_EQ(spec.machines.size(), catalog.resource_count());
+}
+
+TEST(Translate, MachineMirrorsResourceShape) {
+  auto spec = translate_aws();
+  const spec::StateMachine* vpc = spec.find_machine("Vpc");
+  ASSERT_NE(vpc, nullptr);
+  EXPECT_EQ(vpc->service, "ec2");
+  EXPECT_EQ(vpc->id_prefix, "vpc");
+  EXPECT_EQ(vpc->parent_type, "");
+  EXPECT_NE(vpc->find_state("cidr_block"), nullptr);
+  EXPECT_NE(vpc->find_transition("CreateVpc"), nullptr);
+  EXPECT_EQ(vpc->find_transition("DeleteVpc")->kind, spec::TransitionKind::kDestroy);
+}
+
+TEST(Translate, EnumAttrsKeepDomainEnumParamsBecomeStr) {
+  auto spec = translate_aws();
+  const spec::StateMachine* instance = spec.find_machine("Instance");
+  ASSERT_NE(instance, nullptr);
+  const spec::StateVar* state = instance->find_state("state");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->type.kind, spec::TypeKind::kEnum);
+  EXPECT_EQ(state->type.enum_members.size(), 5u);
+  const spec::Transition* mten = instance->find_transition("ModifyInstanceTenancy");
+  ASSERT_NE(mten, nullptr);
+  ASSERT_EQ(mten->params.size(), 1u);
+  EXPECT_EQ(mten->params[0].type.kind, spec::TypeKind::kStr);
+}
+
+TEST(Translate, RefParamsGetTypedExistenceAsserts) {
+  auto spec = translate_aws();
+  const spec::Transition* cs = spec.find_machine("Subnet")->find_transition("CreateSubnet");
+  ASSERT_NE(cs, nullptr);
+  ASSERT_FALSE(cs->body.empty());
+  const spec::Stmt* first = cs->body[0].get();
+  ASSERT_EQ(first->kind, spec::StmtKind::kAssert);
+  std::string text = first->expr->to_text();
+  EXPECT_NE(text.find("exists"), std::string::npos);
+  EXPECT_NE(text.find("Vpc"), std::string::npos);
+  EXPECT_EQ(first->error_code, "ResourceNotFoundException");
+}
+
+TEST(Translate, SiblingOverlapDeferredAfterAttach) {
+  auto spec = translate_aws();
+  const spec::Transition* cs = spec.find_machine("Subnet")->find_transition("CreateSubnet");
+  int attach_pos = -1;
+  int sibling_pos = -1;
+  for (std::size_t i = 0; i < cs->body.size(); ++i) {
+    if (cs->body[i]->kind == spec::StmtKind::kAttachParent) attach_pos = static_cast<int>(i);
+    if (cs->body[i]->kind == spec::StmtKind::kAssert && cs->body[i]->expr &&
+        cs->body[i]->expr->to_text().find("sibling_cidr_conflict") != std::string::npos) {
+      sibling_pos = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(attach_pos, 0);
+  ASSERT_GE(sibling_pos, 0);
+  EXPECT_LT(attach_pos, sibling_pos);
+}
+
+TEST(Translate, WithinParentConstraintUsesLinkParam) {
+  auto spec = translate_aws();
+  const spec::Transition* cs = spec.find_machine("Subnet")->find_transition("CreateSubnet");
+  bool found = false;
+  for (const auto& s : cs->body) {
+    if (s->kind == spec::StmtKind::kAssert && s->expr) {
+      std::string t = s->expr->to_text();
+      if (t.find("cidr_within") != std::string::npos) {
+        EXPECT_NE(t.find("vpc.cidr_block"), std::string::npos) << t;
+        found = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Translate, BackRefBecomesCallPlusLinkedTransition) {
+  auto spec = translate_aws();
+  // ElasticIp.AssociateAddress sets nic + back-ref on NetworkInterface.
+  const spec::Transition* assoc =
+      spec.find_machine("ElasticIp")->find_transition("AssociateAddress");
+  ASSERT_NE(assoc, nullptr);
+  // The call is wrapped in a null guard: if (!is_null(nic)) { call(...); }
+  bool has_call = false;
+  std::function<void(const spec::Body&)> scan = [&](const spec::Body& body) {
+    for (const auto& s : body) {
+      if (s->kind == spec::StmtKind::kCall) {
+        EXPECT_EQ(s->callee, backref_transition_name("AssociateAddress"));
+        has_call = true;
+      }
+      if (s->kind == spec::StmtKind::kIf) {
+        scan(s->then_body);
+        scan(s->else_body);
+      }
+    }
+  };
+  scan(assoc->body);
+  EXPECT_TRUE(has_call);
+  // The linking pass materialized the transition on the target machine.
+  const spec::Transition* backref = spec.find_machine("NetworkInterface")
+                                        ->find_transition("AssociateAddressBackRef");
+  ASSERT_NE(backref, nullptr);
+  EXPECT_EQ(backref->kind, spec::TransitionKind::kModify);
+  ASSERT_EQ(backref->params.size(), 1u);
+  EXPECT_EQ(backref->params[0].type.ref_type, "ElasticIp");
+}
+
+TEST(Translate, UnlinkedStubsReportedWhenTargetMissing) {
+  docs::CloudCatalog catalog = docs::build_aws_catalog();
+  // Amputate the NetworkInterface resource: the AssociateAddress back-ref
+  // stub now has no home.
+  for (auto& s : catalog.services) {
+    auto& rs = s.resources;
+    rs.erase(std::remove_if(rs.begin(), rs.end(),
+                            [](const docs::ResourceModel& r) {
+                              return r.name == "NetworkInterface";
+                            }),
+             rs.end());
+  }
+  std::vector<Stub> unlinked;
+  translate_catalog(catalog, &unlinked);
+  ASSERT_FALSE(unlinked.empty());
+  EXPECT_EQ(unlinked[0].target_machine, "NetworkInterface");
+}
+
+TEST(Translate, CleanTranslationPassesAllConsistencyChecks) {
+  auto spec = translate_aws();
+  auto report = spec::run_checks(spec);
+  for (const auto& i : report.issues) {
+    if (i.severity == spec::Severity::kError) ADD_FAILURE() << i.to_text();
+  }
+  EXPECT_TRUE(report.ok());
+}
+
+TEST(Translate, OutputParsesThroughTheGrammar) {
+  // The generated spec must be inside Fig. 1's grammar: print it and
+  // re-parse the whole thing.
+  auto spec = translate_aws();
+  std::string text = spec::print_spec(spec);
+  spec::ParseError err;
+  auto reparsed = spec::parse_spec(text, &err);
+  ASSERT_TRUE(reparsed.has_value()) << err.to_text();
+  EXPECT_EQ(reparsed->machines.size(), spec.machines.size());
+  EXPECT_EQ(spec::print_spec(*reparsed), text);
+}
+
+TEST(Translate, UndocumentedConstraintsAbsentFromSpec) {
+  auto spec = translate_aws();
+  const spec::Transition* start =
+      spec.find_machine("Instance")->find_transition("StartInstance");
+  ASSERT_NE(start, nullptr);
+  for (const auto& s : start->body) {
+    EXPECT_NE(s->kind, spec::StmtKind::kAssert)
+        << "undocumented precondition leaked into the learned spec";
+  }
+}
+
+TEST(Translate, AzureCatalogTranslatesCleanly) {
+  auto catalog = docs::build_azure_catalog();
+  std::vector<Stub> unlinked;
+  auto spec = translate_catalog(catalog, &unlinked);
+  EXPECT_TRUE(unlinked.empty());
+  EXPECT_EQ(spec.machines.size(), catalog.resource_count());
+  EXPECT_TRUE(spec::run_checks(spec).ok());
+}
+
+}  // namespace
+}  // namespace lce::synth

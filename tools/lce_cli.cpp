@@ -1,0 +1,175 @@
+// `lce` — the learned-cloud-emulator command line.
+//
+//   lce docs [provider] [resource]   print documentation pages
+//   lce spec [provider]              print the learned SM specification
+//   lce run <script> [provider]      run a trace script on the emulator
+//   lce diff <script> [provider]     run on emulator AND reference cloud,
+//                                    flagging divergences per call
+//   lce align [provider]             run the §4.3 alignment loop, print
+//                                    the repair report
+//   lce serve [provider] [port]      serve the emulator over HTTP
+//                                    (LocalStack-style; Ctrl-D to stop)
+//   lce coverage                     Table-1 style coverage report
+//
+// provider: aws (default) | azure. Scripts: see src/core/trace_script.h.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "align/engine.h"
+#include "server/service.h"
+#include "baselines/moto_like.h"
+#include "cloud/reference_cloud.h"
+#include "core/emulator.h"
+#include "core/trace_script.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+#include "spec/printer.h"
+
+using namespace lce;
+
+namespace {
+
+docs::CloudCatalog catalog_for(const std::string& provider) {
+  return provider == "azure" ? docs::build_azure_catalog() : docs::build_aws_catalog();
+}
+
+int usage() {
+  std::cerr << "usage: lce <docs|spec|run|diff|align|serve|coverage> [args]\n"
+               "  lce docs [aws|azure] [Resource]\n"
+               "  lce spec [aws|azure]\n"
+               "  lce run <script-file> [aws|azure]\n"
+               "  lce diff <script-file> [aws|azure]\n"
+               "  lce align [aws|azure]\n"
+               "  lce serve [aws|azure] [port]\n"
+               "  lce coverage\n";
+  return 2;
+}
+
+std::optional<Trace> load_script(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "lce: cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  core::ScriptError err;
+  auto trace = core::parse_trace_script(ss.str(), &err);
+  if (!trace) {
+    std::cerr << "lce: " << err.to_text() << "\n";
+    return std::nullopt;
+  }
+  trace->label = path;
+  return trace;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  std::string cmd = argv[1];
+
+  if (cmd == "docs") {
+    std::string provider = argc > 2 ? argv[2] : "aws";
+    std::string resource = argc > 3 ? argv[3] : "";
+    auto corpus = docs::render_corpus(catalog_for(provider));
+    for (const auto& page : corpus.pages) {
+      if (!resource.empty() && page.resource != resource) continue;
+      std::cout << page.text << "\n";
+    }
+    return 0;
+  }
+  if (cmd == "spec") {
+    std::string provider = argc > 2 ? argv[2] : "aws";
+    auto emulator =
+        core::LearnedEmulator::from_docs(docs::render_corpus(catalog_for(provider)));
+    std::cout << spec::print_spec(emulator.backend().spec());
+    return 0;
+  }
+  if (cmd == "run" || cmd == "diff") {
+    if (argc < 3) return usage();
+    std::string provider = argc > 3 ? argv[3] : "aws";
+    auto trace = load_script(argv[2]);
+    if (!trace) return 1;
+    auto emulator =
+        core::LearnedEmulator::from_docs(docs::render_corpus(catalog_for(provider)));
+    if (cmd == "run") {
+      std::cout << core::run_trace_script(emulator.backend(), *trace);
+      return 0;
+    }
+    cloud::ReferenceCloud cloud(catalog_for(provider));
+    auto emu_resp = run_trace(emulator.backend(), *trace);
+    auto cloud_resp = run_trace(cloud, *trace);
+    int divergences = 0;
+    for (std::size_t i = 0; i < trace->calls.size(); ++i) {
+      bool aligned = cloud_resp[i].aligned_with(emu_resp[i]);
+      std::cout << "[" << i << "] " << trace->calls[i].api << "  "
+                << (aligned ? "aligned" : "DIVERGED") << "\n";
+      if (!aligned) {
+        ++divergences;
+        std::cout << "      cloud:    " << cloud_resp[i].to_text() << "\n";
+        std::cout << "      emulator: " << emu_resp[i].to_text() << "\n";
+      }
+    }
+    std::cout << divergences << " divergence(s)\n";
+    return divergences == 0 ? 0 : 1;
+  }
+  if (cmd == "align") {
+    std::string provider = argc > 2 ? argv[2] : "aws";
+    auto emulator =
+        core::LearnedEmulator::from_docs(docs::render_corpus(catalog_for(provider)));
+    cloud::ReferenceCloud cloud(catalog_for(provider));
+    auto report = emulator.align_against(cloud);
+    for (const auto& line : report.log) std::cout << line << "\n";
+    std::cout << "converged=" << (report.converged ? "yes" : "no") << " repairs="
+              << report.repairs.size() << " unrepaired=" << report.unrepaired.size()
+              << "\n";
+    for (const auto& r : report.repairs) std::cout << "  " << r.to_text() << "\n";
+    return report.converged ? 0 : 1;
+  }
+  if (cmd == "serve") {
+    std::string provider = argc > 2 ? argv[2] : "aws";
+    int port = 0;
+    if (argc > 3) port = std::atoi(argv[3]);
+    auto emulator =
+        core::LearnedEmulator::from_docs(docs::render_corpus(catalog_for(provider)));
+    server::EmulatorEndpoint endpoint(emulator.backend());
+    std::uint16_t bound = endpoint.start(static_cast<std::uint16_t>(port));
+    if (bound == 0) {
+      std::cerr << "lce: failed to bind port " << port << "\n";
+      return 1;
+    }
+    std::cout << "learned " << provider << " emulator serving on http://127.0.0.1:"
+              << bound << "\n"
+              << "  POST /invoke  {\"Action\": \"CreateVpc\", \"Params\": {...}}\n"
+              << "  GET  /health  |  GET /snapshot  |  POST /reset\n"
+              << "press Ctrl-D (EOF) to stop\n";
+    std::string line;
+    while (std::getline(std::cin, line)) {
+    }
+    endpoint.stop();
+    return 0;
+  }
+  if (cmd == "coverage") {
+    auto catalog = docs::build_aws_catalog();
+    baselines::MotoLike moto(catalog);
+    auto learned = core::LearnedEmulator::from_docs(docs::render_corpus(catalog));
+    for (const auto& service : catalog.services) {
+      std::size_t total = 0;
+      std::size_t moto_n = 0;
+      std::size_t learned_n = 0;
+      for (const auto& r : service.resources) {
+        for (const auto& a : r.apis) {
+          ++total;
+          if (moto.supports(a.name)) ++moto_n;
+          if (learned.backend().supports(a.name)) ++learned_n;
+        }
+      }
+      std::cout << service.name << ": " << total << " APIs, manual " << moto_n
+                << ", learned " << learned_n << "\n";
+    }
+    return 0;
+  }
+  return usage();
+}
