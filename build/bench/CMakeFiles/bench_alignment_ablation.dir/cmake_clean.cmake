@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alignment_ablation.dir/bench_alignment_ablation.cpp.o"
+  "CMakeFiles/bench_alignment_ablation.dir/bench_alignment_ablation.cpp.o.d"
+  "bench_alignment_ablation"
+  "bench_alignment_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alignment_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

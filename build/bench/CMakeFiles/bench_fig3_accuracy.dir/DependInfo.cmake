@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3_accuracy.cpp" "bench/CMakeFiles/bench_fig3_accuracy.dir/bench_fig3_accuracy.cpp.o" "gcc" "bench/CMakeFiles/bench_fig3_accuracy.dir/bench_fig3_accuracy.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lce_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/lce_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/lce_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/lce_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/align/CMakeFiles/lce_align.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/lce_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lce_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/docs/CMakeFiles/lce_docs.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/lce_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_complexity.dir/bench_fig4_complexity.cpp.o"
+  "CMakeFiles/bench_fig4_complexity.dir/bench_fig4_complexity.cpp.o.d"
+  "bench_fig4_complexity"
+  "bench_fig4_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

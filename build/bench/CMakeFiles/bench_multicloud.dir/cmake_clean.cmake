@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multicloud.dir/bench_multicloud.cpp.o"
+  "CMakeFiles/bench_multicloud.dir/bench_multicloud.cpp.o.d"
+  "bench_multicloud"
+  "bench_multicloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multicloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

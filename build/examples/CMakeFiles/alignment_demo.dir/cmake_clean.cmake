@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alignment_demo.dir/alignment_demo.cpp.o"
+  "CMakeFiles/alignment_demo.dir/alignment_demo.cpp.o.d"
+  "alignment_demo"
+  "alignment_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alignment_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloud_gym.dir/cloud_gym.cpp.o"
+  "CMakeFiles/cloud_gym.dir/cloud_gym.cpp.o.d"
+  "cloud_gym"
+  "cloud_gym.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloud_gym.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/devops_program.dir/devops_program.cpp.o"
+  "CMakeFiles/devops_program.dir/devops_program.cpp.o.d"
+  "devops_program"
+  "devops_program.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/devops_program.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_engineering.dir/doc_engineering.cpp.o"
+  "CMakeFiles/doc_engineering.dir/doc_engineering.cpp.o.d"
+  "doc_engineering"
+  "doc_engineering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_engineering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

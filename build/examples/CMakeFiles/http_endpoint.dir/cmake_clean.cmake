@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/http_endpoint.dir/http_endpoint.cpp.o"
+  "CMakeFiles/http_endpoint.dir/http_endpoint.cpp.o.d"
+  "http_endpoint"
+  "http_endpoint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/http_endpoint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multicloud.dir/multicloud.cpp.o"
+  "CMakeFiles/multicloud.dir/multicloud.cpp.o.d"
+  "multicloud"
+  "multicloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multicloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/align/differ.cpp" "src/align/CMakeFiles/lce_align.dir/differ.cpp.o" "gcc" "src/align/CMakeFiles/lce_align.dir/differ.cpp.o.d"
+  "/root/repo/src/align/engine.cpp" "src/align/CMakeFiles/lce_align.dir/engine.cpp.o" "gcc" "src/align/CMakeFiles/lce_align.dir/engine.cpp.o.d"
+  "/root/repo/src/align/fuzz.cpp" "src/align/CMakeFiles/lce_align.dir/fuzz.cpp.o" "gcc" "src/align/CMakeFiles/lce_align.dir/fuzz.cpp.o.d"
+  "/root/repo/src/align/repair.cpp" "src/align/CMakeFiles/lce_align.dir/repair.cpp.o" "gcc" "src/align/CMakeFiles/lce_align.dir/repair.cpp.o.d"
+  "/root/repo/src/align/trace_gen.cpp" "src/align/CMakeFiles/lce_align.dir/trace_gen.cpp.o" "gcc" "src/align/CMakeFiles/lce_align.dir/trace_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lce_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/lce_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lce_interp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

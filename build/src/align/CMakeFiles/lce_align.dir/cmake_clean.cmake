@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_align.dir/differ.cpp.o"
+  "CMakeFiles/lce_align.dir/differ.cpp.o.d"
+  "CMakeFiles/lce_align.dir/engine.cpp.o"
+  "CMakeFiles/lce_align.dir/engine.cpp.o.d"
+  "CMakeFiles/lce_align.dir/fuzz.cpp.o"
+  "CMakeFiles/lce_align.dir/fuzz.cpp.o.d"
+  "CMakeFiles/lce_align.dir/repair.cpp.o"
+  "CMakeFiles/lce_align.dir/repair.cpp.o.d"
+  "CMakeFiles/lce_align.dir/trace_gen.cpp.o"
+  "CMakeFiles/lce_align.dir/trace_gen.cpp.o.d"
+  "liblce_align.a"
+  "liblce_align.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_align.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_analysis.dir/antipatterns.cpp.o"
+  "CMakeFiles/lce_analysis.dir/antipatterns.cpp.o.d"
+  "CMakeFiles/lce_analysis.dir/complexity.cpp.o"
+  "CMakeFiles/lce_analysis.dir/complexity.cpp.o.d"
+  "CMakeFiles/lce_analysis.dir/multicloud.cpp.o"
+  "CMakeFiles/lce_analysis.dir/multicloud.cpp.o.d"
+  "liblce_analysis.a"
+  "liblce_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_baselines.dir/d2c.cpp.o"
+  "CMakeFiles/lce_baselines.dir/d2c.cpp.o.d"
+  "CMakeFiles/lce_baselines.dir/moto_like.cpp.o"
+  "CMakeFiles/lce_baselines.dir/moto_like.cpp.o.d"
+  "liblce_baselines.a"
+  "liblce_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

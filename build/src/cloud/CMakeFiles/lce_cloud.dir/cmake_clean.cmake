@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_cloud.dir/reference_cloud.cpp.o"
+  "CMakeFiles/lce_cloud.dir/reference_cloud.cpp.o.d"
+  "liblce_cloud.a"
+  "liblce_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/api.cpp" "src/common/CMakeFiles/lce_common.dir/api.cpp.o" "gcc" "src/common/CMakeFiles/lce_common.dir/api.cpp.o.d"
+  "/root/repo/src/common/cidr.cpp" "src/common/CMakeFiles/lce_common.dir/cidr.cpp.o" "gcc" "src/common/CMakeFiles/lce_common.dir/cidr.cpp.o.d"
+  "/root/repo/src/common/errors.cpp" "src/common/CMakeFiles/lce_common.dir/errors.cpp.o" "gcc" "src/common/CMakeFiles/lce_common.dir/errors.cpp.o.d"
+  "/root/repo/src/common/ids.cpp" "src/common/CMakeFiles/lce_common.dir/ids.cpp.o" "gcc" "src/common/CMakeFiles/lce_common.dir/ids.cpp.o.d"
+  "/root/repo/src/common/strings.cpp" "src/common/CMakeFiles/lce_common.dir/strings.cpp.o" "gcc" "src/common/CMakeFiles/lce_common.dir/strings.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/lce_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/lce_common.dir/table.cpp.o.d"
+  "/root/repo/src/common/value.cpp" "src/common/CMakeFiles/lce_common.dir/value.cpp.o" "gcc" "src/common/CMakeFiles/lce_common.dir/value.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_common.dir/api.cpp.o"
+  "CMakeFiles/lce_common.dir/api.cpp.o.d"
+  "CMakeFiles/lce_common.dir/cidr.cpp.o"
+  "CMakeFiles/lce_common.dir/cidr.cpp.o.d"
+  "CMakeFiles/lce_common.dir/errors.cpp.o"
+  "CMakeFiles/lce_common.dir/errors.cpp.o.d"
+  "CMakeFiles/lce_common.dir/ids.cpp.o"
+  "CMakeFiles/lce_common.dir/ids.cpp.o.d"
+  "CMakeFiles/lce_common.dir/strings.cpp.o"
+  "CMakeFiles/lce_common.dir/strings.cpp.o.d"
+  "CMakeFiles/lce_common.dir/table.cpp.o"
+  "CMakeFiles/lce_common.dir/table.cpp.o.d"
+  "CMakeFiles/lce_common.dir/value.cpp.o"
+  "CMakeFiles/lce_common.dir/value.cpp.o.d"
+  "liblce_common.a"
+  "liblce_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_core.dir/emulator.cpp.o"
+  "CMakeFiles/lce_core.dir/emulator.cpp.o.d"
+  "CMakeFiles/lce_core.dir/scenarios.cpp.o"
+  "CMakeFiles/lce_core.dir/scenarios.cpp.o.d"
+  "CMakeFiles/lce_core.dir/trace_script.cpp.o"
+  "CMakeFiles/lce_core.dir/trace_script.cpp.o.d"
+  "liblce_core.a"
+  "liblce_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

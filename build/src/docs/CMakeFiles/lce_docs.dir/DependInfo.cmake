@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/docs/builder.cpp" "src/docs/CMakeFiles/lce_docs.dir/builder.cpp.o" "gcc" "src/docs/CMakeFiles/lce_docs.dir/builder.cpp.o.d"
+  "/root/repo/src/docs/corpus_aws.cpp" "src/docs/CMakeFiles/lce_docs.dir/corpus_aws.cpp.o" "gcc" "src/docs/CMakeFiles/lce_docs.dir/corpus_aws.cpp.o.d"
+  "/root/repo/src/docs/corpus_azure.cpp" "src/docs/CMakeFiles/lce_docs.dir/corpus_azure.cpp.o" "gcc" "src/docs/CMakeFiles/lce_docs.dir/corpus_azure.cpp.o.d"
+  "/root/repo/src/docs/defects.cpp" "src/docs/CMakeFiles/lce_docs.dir/defects.cpp.o" "gcc" "src/docs/CMakeFiles/lce_docs.dir/defects.cpp.o.d"
+  "/root/repo/src/docs/literals.cpp" "src/docs/CMakeFiles/lce_docs.dir/literals.cpp.o" "gcc" "src/docs/CMakeFiles/lce_docs.dir/literals.cpp.o.d"
+  "/root/repo/src/docs/model.cpp" "src/docs/CMakeFiles/lce_docs.dir/model.cpp.o" "gcc" "src/docs/CMakeFiles/lce_docs.dir/model.cpp.o.d"
+  "/root/repo/src/docs/render.cpp" "src/docs/CMakeFiles/lce_docs.dir/render.cpp.o" "gcc" "src/docs/CMakeFiles/lce_docs.dir/render.cpp.o.d"
+  "/root/repo/src/docs/wrangler.cpp" "src/docs/CMakeFiles/lce_docs.dir/wrangler.cpp.o" "gcc" "src/docs/CMakeFiles/lce_docs.dir/wrangler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_docs.dir/builder.cpp.o"
+  "CMakeFiles/lce_docs.dir/builder.cpp.o.d"
+  "CMakeFiles/lce_docs.dir/corpus_aws.cpp.o"
+  "CMakeFiles/lce_docs.dir/corpus_aws.cpp.o.d"
+  "CMakeFiles/lce_docs.dir/corpus_azure.cpp.o"
+  "CMakeFiles/lce_docs.dir/corpus_azure.cpp.o.d"
+  "CMakeFiles/lce_docs.dir/defects.cpp.o"
+  "CMakeFiles/lce_docs.dir/defects.cpp.o.d"
+  "CMakeFiles/lce_docs.dir/literals.cpp.o"
+  "CMakeFiles/lce_docs.dir/literals.cpp.o.d"
+  "CMakeFiles/lce_docs.dir/model.cpp.o"
+  "CMakeFiles/lce_docs.dir/model.cpp.o.d"
+  "CMakeFiles/lce_docs.dir/render.cpp.o"
+  "CMakeFiles/lce_docs.dir/render.cpp.o.d"
+  "CMakeFiles/lce_docs.dir/wrangler.cpp.o"
+  "CMakeFiles/lce_docs.dir/wrangler.cpp.o.d"
+  "liblce_docs.a"
+  "liblce_docs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_docs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for lce_docs.
+# This may be replaced when dependencies are built.

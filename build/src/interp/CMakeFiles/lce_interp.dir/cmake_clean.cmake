@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_interp.dir/decoder.cpp.o"
+  "CMakeFiles/lce_interp.dir/decoder.cpp.o.d"
+  "CMakeFiles/lce_interp.dir/interpreter.cpp.o"
+  "CMakeFiles/lce_interp.dir/interpreter.cpp.o.d"
+  "CMakeFiles/lce_interp.dir/store.cpp.o"
+  "CMakeFiles/lce_interp.dir/store.cpp.o.d"
+  "liblce_interp.a"
+  "liblce_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

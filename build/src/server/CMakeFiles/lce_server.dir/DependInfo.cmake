@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/http.cpp" "src/server/CMakeFiles/lce_server.dir/http.cpp.o" "gcc" "src/server/CMakeFiles/lce_server.dir/http.cpp.o.d"
+  "/root/repo/src/server/json.cpp" "src/server/CMakeFiles/lce_server.dir/json.cpp.o" "gcc" "src/server/CMakeFiles/lce_server.dir/json.cpp.o.d"
+  "/root/repo/src/server/service.cpp" "src/server/CMakeFiles/lce_server.dir/service.cpp.o" "gcc" "src/server/CMakeFiles/lce_server.dir/service.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_server.dir/http.cpp.o"
+  "CMakeFiles/lce_server.dir/http.cpp.o.d"
+  "CMakeFiles/lce_server.dir/json.cpp.o"
+  "CMakeFiles/lce_server.dir/json.cpp.o.d"
+  "CMakeFiles/lce_server.dir/service.cpp.o"
+  "CMakeFiles/lce_server.dir/service.cpp.o.d"
+  "liblce_server.a"
+  "liblce_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/ast.cpp" "src/spec/CMakeFiles/lce_spec.dir/ast.cpp.o" "gcc" "src/spec/CMakeFiles/lce_spec.dir/ast.cpp.o.d"
+  "/root/repo/src/spec/checks.cpp" "src/spec/CMakeFiles/lce_spec.dir/checks.cpp.o" "gcc" "src/spec/CMakeFiles/lce_spec.dir/checks.cpp.o.d"
+  "/root/repo/src/spec/graph.cpp" "src/spec/CMakeFiles/lce_spec.dir/graph.cpp.o" "gcc" "src/spec/CMakeFiles/lce_spec.dir/graph.cpp.o.d"
+  "/root/repo/src/spec/lexer.cpp" "src/spec/CMakeFiles/lce_spec.dir/lexer.cpp.o" "gcc" "src/spec/CMakeFiles/lce_spec.dir/lexer.cpp.o.d"
+  "/root/repo/src/spec/parser.cpp" "src/spec/CMakeFiles/lce_spec.dir/parser.cpp.o" "gcc" "src/spec/CMakeFiles/lce_spec.dir/parser.cpp.o.d"
+  "/root/repo/src/spec/printer.cpp" "src/spec/CMakeFiles/lce_spec.dir/printer.cpp.o" "gcc" "src/spec/CMakeFiles/lce_spec.dir/printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/lce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

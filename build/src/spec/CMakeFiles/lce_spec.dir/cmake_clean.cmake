@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_spec.dir/ast.cpp.o"
+  "CMakeFiles/lce_spec.dir/ast.cpp.o.d"
+  "CMakeFiles/lce_spec.dir/checks.cpp.o"
+  "CMakeFiles/lce_spec.dir/checks.cpp.o.d"
+  "CMakeFiles/lce_spec.dir/graph.cpp.o"
+  "CMakeFiles/lce_spec.dir/graph.cpp.o.d"
+  "CMakeFiles/lce_spec.dir/lexer.cpp.o"
+  "CMakeFiles/lce_spec.dir/lexer.cpp.o.d"
+  "CMakeFiles/lce_spec.dir/parser.cpp.o"
+  "CMakeFiles/lce_spec.dir/parser.cpp.o.d"
+  "CMakeFiles/lce_spec.dir/printer.cpp.o"
+  "CMakeFiles/lce_spec.dir/printer.cpp.o.d"
+  "liblce_spec.a"
+  "liblce_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

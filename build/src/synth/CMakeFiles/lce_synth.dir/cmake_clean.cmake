@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce_synth.dir/noise.cpp.o"
+  "CMakeFiles/lce_synth.dir/noise.cpp.o.d"
+  "CMakeFiles/lce_synth.dir/synthesizer.cpp.o"
+  "CMakeFiles/lce_synth.dir/synthesizer.cpp.o.d"
+  "CMakeFiles/lce_synth.dir/translate.cpp.o"
+  "CMakeFiles/lce_synth.dir/translate.cpp.o.d"
+  "liblce_synth.a"
+  "liblce_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/align_test.dir/align/differ_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/differ_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/engine_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/engine_test.cpp.o.d"
+  "CMakeFiles/align_test.dir/align/trace_gen_test.cpp.o"
+  "CMakeFiles/align_test.dir/align/trace_gen_test.cpp.o.d"
+  "align_test"
+  "align_test.pdb"
+  "align_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/align_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cloud/reference_cloud_test.cpp" "tests/CMakeFiles/cloud_test.dir/cloud/reference_cloud_test.cpp.o" "gcc" "tests/CMakeFiles/cloud_test.dir/cloud/reference_cloud_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloud/CMakeFiles/lce_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/docs/CMakeFiles/lce_docs.dir/DependInfo.cmake"
+  "/root/repo/build/src/interp/CMakeFiles/lce_interp.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/lce_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

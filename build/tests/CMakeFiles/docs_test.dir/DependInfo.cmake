@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/docs/corpus_test.cpp" "tests/CMakeFiles/docs_test.dir/docs/corpus_test.cpp.o" "gcc" "tests/CMakeFiles/docs_test.dir/docs/corpus_test.cpp.o.d"
+  "/root/repo/tests/docs/defects_test.cpp" "tests/CMakeFiles/docs_test.dir/docs/defects_test.cpp.o" "gcc" "tests/CMakeFiles/docs_test.dir/docs/defects_test.cpp.o.d"
+  "/root/repo/tests/docs/wrangler_test.cpp" "tests/CMakeFiles/docs_test.dir/docs/wrangler_test.cpp.o" "gcc" "tests/CMakeFiles/docs_test.dir/docs/wrangler_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/docs/CMakeFiles/lce_docs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docs_test.dir/docs/corpus_test.cpp.o"
+  "CMakeFiles/docs_test.dir/docs/corpus_test.cpp.o.d"
+  "CMakeFiles/docs_test.dir/docs/defects_test.cpp.o"
+  "CMakeFiles/docs_test.dir/docs/defects_test.cpp.o.d"
+  "CMakeFiles/docs_test.dir/docs/wrangler_test.cpp.o"
+  "CMakeFiles/docs_test.dir/docs/wrangler_test.cpp.o.d"
+  "docs_test"
+  "docs_test.pdb"
+  "docs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/spec/checks_test.cpp" "tests/CMakeFiles/spec_test.dir/spec/checks_test.cpp.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/checks_test.cpp.o.d"
+  "/root/repo/tests/spec/graph_test.cpp" "tests/CMakeFiles/spec_test.dir/spec/graph_test.cpp.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/graph_test.cpp.o.d"
+  "/root/repo/tests/spec/lexer_test.cpp" "tests/CMakeFiles/spec_test.dir/spec/lexer_test.cpp.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/lexer_test.cpp.o.d"
+  "/root/repo/tests/spec/parser_test.cpp" "tests/CMakeFiles/spec_test.dir/spec/parser_test.cpp.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/parser_test.cpp.o.d"
+  "/root/repo/tests/spec/printer_test.cpp" "tests/CMakeFiles/spec_test.dir/spec/printer_test.cpp.o" "gcc" "tests/CMakeFiles/spec_test.dir/spec/printer_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spec/CMakeFiles/lce_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/lce_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_test.dir/spec/checks_test.cpp.o"
+  "CMakeFiles/spec_test.dir/spec/checks_test.cpp.o.d"
+  "CMakeFiles/spec_test.dir/spec/graph_test.cpp.o"
+  "CMakeFiles/spec_test.dir/spec/graph_test.cpp.o.d"
+  "CMakeFiles/spec_test.dir/spec/lexer_test.cpp.o"
+  "CMakeFiles/spec_test.dir/spec/lexer_test.cpp.o.d"
+  "CMakeFiles/spec_test.dir/spec/parser_test.cpp.o"
+  "CMakeFiles/spec_test.dir/spec/parser_test.cpp.o.d"
+  "CMakeFiles/spec_test.dir/spec/printer_test.cpp.o"
+  "CMakeFiles/spec_test.dir/spec/printer_test.cpp.o.d"
+  "spec_test"
+  "spec_test.pdb"
+  "spec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lce.dir/lce_cli.cpp.o"
+  "CMakeFiles/lce.dir/lce_cli.cpp.o.d"
+  "lce"
+  "lce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
