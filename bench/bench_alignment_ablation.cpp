@@ -72,12 +72,14 @@ int main() {
   align::AlignmentOptions ropts;
   ropts.max_rounds = 8;
   auto report = repair_emu.align_against(repair_cloud, ropts);
-  TextTable rounds({"round", "traces", "API calls", "divergences", "repairs"});
+  TextTable rounds({"round", "traces", "API calls", "divergences", "repairs",
+                    "diff wall ms", "traces/s"});
   for (std::size_t i = 0; i < report.rounds.size(); ++i) {
     const auto& r = report.rounds[i];
     rounds.add_row({std::to_string(i + 1), std::to_string(r.traces),
                     std::to_string(r.api_calls), std::to_string(r.discrepancies),
-                    std::to_string(r.repairs)});
+                    std::to_string(r.repairs), fixed(r.diff_wall_ms, 1),
+                    fixed(r.traces_per_sec, 0)});
   }
   std::cout << rounds.render();
   std::cout << "\nconverged=" << (report.converged ? "yes" : "no") << ", total repairs "

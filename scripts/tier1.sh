@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md):
+#   1. plain build + full ctest suite;
+#   2. ThreadSanitizer build (-DLCE_SANITIZE=thread) running the parallel
+#      alignment / clone-fidelity / fuzz-determinism tests, so data races
+#      in the alignment thread pool are caught at test time.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: plain build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j"$(nproc)")
+
+echo "== tier-1: ThreadSanitizer build + parallel tests =="
+cmake -B build-tsan -S . -DLCE_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target align_test interp_test cloud_test
+(cd build-tsan && ctest --output-on-failure -R 'Parallel|Fuzz|Clone')
+
+echo "tier-1: OK"

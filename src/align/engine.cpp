@@ -1,7 +1,9 @@
 #include "align/engine.h"
 
+#include <chrono>
 #include <map>
 
+#include "align/parallel.h"
 #include "common/strings.h"
 
 namespace lce::align {
@@ -16,6 +18,20 @@ std::size_t AlignmentReport::total_api_calls() const {
   std::size_t n = 0;
   for (const auto& r : rounds) n += r.api_calls;
   return n;
+}
+
+std::string canonical_text(const AlignmentReport& report) {
+  std::string out;
+  for (std::size_t i = 0; i < report.rounds.size(); ++i) {
+    const RoundStats& r = report.rounds[i];
+    out += strf("round ", i + 1, ": traces=", r.traces, " calls=", r.api_calls,
+                " discrepancies=", r.discrepancies, " repairs=", r.repairs, "\n");
+  }
+  for (const auto& a : report.repairs) out += strf("repair: ", a.to_text(), "\n");
+  for (const auto& d : report.unrepaired) out += strf("unrepaired: ", d.to_text(), "\n");
+  out += strf("converged=", report.converged ? "yes" : "no", "\n");
+  for (const auto& line : report.log) out += line + "\n";
+  return out;
 }
 
 AlignmentEngine::AlignmentEngine(interp::Interpreter& emulator, CloudBackend& cloud,
@@ -33,7 +49,23 @@ AlignmentReport AlignmentEngine::run() {
     stats.traces = traces.size();
     for (const auto& g : traces) stats.api_calls += g.trace.calls.size();
 
-    // Differential pass.
+    // Differential pass, sharded across worker threads over cloned backend
+    // pairs (serial when opts_.workers == 1 or clones are unavailable).
+    // Outcomes come back indexed by corpus order, so everything merged
+    // below — discrepancy order and evidence content — is identical to a
+    // serial run regardless of worker count.
+    ParallelExecutor executor(cloud_, emu_, opts_.workers);
+    auto t0 = std::chrono::steady_clock::now();
+    std::vector<TraceOutcome> outcomes = executor.execute(traces);
+    stats.diff_wall_ms = std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+    stats.workers = executor.effective_workers();
+    stats.traces_per_sec = stats.diff_wall_ms > 0
+                               ? static_cast<double>(traces.size()) * 1000.0 /
+                                     stats.diff_wall_ms
+                               : 0.0;
+
     std::vector<Discrepancy> found;
     // Evidence for enum-precondition inference, keyed by
     // (machine, transition, attr): per-member cloud outcome.
@@ -41,24 +73,21 @@ AlignmentReport AlignmentEngine::run() {
     std::map<std::string, std::pair<std::string, std::string>> evidence_site;
     std::map<std::string, std::string> evidence_attr;
 
-    for (const auto& g : traces) {
-      auto d = diff_trace(cloud_, emu_, g);
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      const GenTrace& g = traces[i];
+      TraceOutcome& o = outcomes[i];
       // Record sweep outcomes (aligned or not) for predicate inference.
-      if (g.cls.kind == ClassKind::kStateSweep && g.probe_call < g.trace.calls.size()) {
-        auto cloud_resp = run_trace(cloud_, g.trace);
+      if (g.cls.kind == ClassKind::kStateSweep && o.have_probe_outcome) {
         std::string key = strf(g.cls.machine, "::", g.cls.transition, "::", g.cls.sweep_attr);
-        evidence[key].outcome_by_member[g.cls.sweep_value] =
-            cloud_resp[g.probe_call].ok ? "" : cloud_resp[g.probe_call].code;
+        evidence[key].outcome_by_member[g.cls.sweep_value] = o.probe_outcome;
         evidence_site[key] = {g.cls.machine, g.cls.transition};
         evidence_attr[key] = g.cls.sweep_attr;
       }
       // The happy path is the evidence row for every swept attribute's
       // INITIAL member (sweeps skip it).
-      if (g.cls.kind == ClassKind::kHappyPath && g.probe_call < g.trace.calls.size()) {
+      if (g.cls.kind == ClassKind::kHappyPath && o.have_probe_outcome) {
         const spec::StateMachine* m = emu_.spec().find_machine(g.cls.machine);
         if (m != nullptr) {
-          std::string outcome;
-          bool have_outcome = false;
           for (const auto& sv : m->states) {
             std::string member;
             if (sv.type.kind == spec::TypeKind::kEnum && sv.initial.is_str()) {
@@ -68,20 +97,15 @@ AlignmentReport AlignmentEngine::run() {
             } else {
               continue;
             }
-            if (!have_outcome) {
-              auto cloud_resp = run_trace(cloud_, g.trace);
-              outcome = cloud_resp[g.probe_call].ok ? "" : cloud_resp[g.probe_call].code;
-              have_outcome = true;
-            }
             std::string key =
                 strf(g.cls.machine, "::", g.cls.transition, "::", sv.name);
-            evidence[key].outcome_by_member[member] = outcome;
+            evidence[key].outcome_by_member[member] = o.probe_outcome;
             evidence_site[key] = {g.cls.machine, g.cls.transition};
             evidence_attr[key] = sv.name;
           }
         }
       }
-      if (d) found.push_back(std::move(*d));
+      if (o.discrepancy) found.push_back(std::move(*o.discrepancy));
     }
     stats.discrepancies = found.size();
     report.log.push_back(strf("round ", round + 1, ": ", traces.size(), " traces, ",

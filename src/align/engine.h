@@ -25,6 +25,10 @@ struct AlignmentOptions {
   int max_rounds = 6;
   bool shrink = true;
   bool repair = true;  // false = detection-only (measurement mode)
+  /// Differential-pass parallelism: 0 = auto (hardware concurrency),
+  /// 1 = serial, N = N worker threads over cloned backend pairs. The
+  /// resulting report is byte-identical for every value (see parallel.h).
+  int workers = 0;
 };
 
 struct RoundStats {
@@ -32,6 +36,11 @@ struct RoundStats {
   std::size_t api_calls = 0;       // per backend
   std::size_t discrepancies = 0;
   std::size_t repairs = 0;
+  // Differential-pass performance counters (excluded from the determinism
+  // contract: canonical_text() never includes them).
+  double diff_wall_ms = 0;         // wall clock of the differential pass
+  double traces_per_sec = 0;       // throughput of the differential pass
+  int workers = 1;                 // parallelism the pass actually used
 };
 
 struct AlignmentReport {
@@ -44,6 +53,12 @@ struct AlignmentReport {
   std::size_t total_discrepancies() const;
   std::size_t total_api_calls() const;
 };
+
+/// Canonical serialization of everything behavioural in a report — round
+/// counters (minus timings), repairs, unrepaired discrepancies, the log —
+/// used by the determinism tests and benches to assert that serial and
+/// parallel runs produce bit-identical results.
+std::string canonical_text(const AlignmentReport& report);
 
 class AlignmentEngine {
  public:

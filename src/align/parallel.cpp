@@ -1,0 +1,91 @@
+#include "align/parallel.h"
+
+#include <algorithm>
+#include <memory>
+#include <utility>
+
+#include "common/thread_pool.h"
+
+namespace lce::align {
+
+namespace {
+
+/// One trace's full differential replay against a (cloud, emulator) pair.
+/// Pure function of the pair's behaviour: both run_trace and diff_trace
+/// reset the backend before replaying, so outcomes do not depend on which
+/// worker (or which clone) executes them.
+TraceOutcome replay_one(CloudBackend& cloud, CloudBackend& emulator,
+                        const GenTrace& g) {
+  TraceOutcome out;
+  out.discrepancy = diff_trace(cloud, emulator, g);
+  // Sweep and happy-path probes additionally contribute the cloud's
+  // outcome to the engine's enum-precondition evidence.
+  bool wants_outcome =
+      (g.cls.kind == ClassKind::kStateSweep || g.cls.kind == ClassKind::kHappyPath) &&
+      g.probe_call < g.trace.calls.size();
+  if (wants_outcome) {
+    std::vector<ApiResponse> cloud_resp = run_trace(cloud, g.trace);
+    out.have_probe_outcome = true;
+    out.probe_outcome =
+        cloud_resp[g.probe_call].ok ? "" : cloud_resp[g.probe_call].code;
+  }
+  return out;
+}
+
+}  // namespace
+
+ParallelExecutor::ParallelExecutor(CloudBackend& cloud, CloudBackend& emulator,
+                                   int workers)
+    : cloud_(cloud), emu_(emulator), workers_(workers) {}
+
+std::vector<TraceOutcome> ParallelExecutor::execute(
+    const std::vector<GenTrace>& traces) {
+  std::vector<TraceOutcome> out(traces.size());
+
+  int w = workers_ > 0 ? workers_ : ThreadPool::hardware_workers();
+  w = std::min<int>(w, static_cast<int>(traces.size()));
+  w = std::max(w, 1);
+
+  // Per-worker backend clones. Each worker owns one independent pair, so
+  // replays never contend; a backend that cannot clone forces serial mode.
+  std::vector<std::pair<std::unique_ptr<CloudBackend>, std::unique_ptr<CloudBackend>>>
+      pairs;
+  if (w > 1) {
+    for (int i = 0; i < w; ++i) {
+      auto c = cloud_.clone();
+      auto e = emu_.clone();
+      if (!c || !e) {
+        pairs.clear();
+        w = 1;
+        break;
+      }
+      pairs.emplace_back(std::move(c), std::move(e));
+    }
+  }
+  effective_ = w;
+
+  if (w <= 1) {
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      out[i] = replay_one(cloud_, emu_, traces[i]);
+    }
+    return out;
+  }
+
+  ThreadPool pool(w);
+  for (int k = 0; k < w; ++k) {
+    CloudBackend& c = *pairs[static_cast<std::size_t>(k)].first;
+    CloudBackend& e = *pairs[static_cast<std::size_t>(k)].second;
+    pool.submit([&, k] {
+      // Stride sharding: worker k owns slots k, k+w, k+2w, ... Disjoint
+      // result slots mean no synchronisation on the output vector.
+      for (std::size_t i = static_cast<std::size_t>(k); i < traces.size();
+           i += static_cast<std::size_t>(w)) {
+        out[i] = replay_one(c, e, traces[i]);
+      }
+    });
+  }
+  pool.wait();
+  return out;
+}
+
+}  // namespace lce::align

@@ -1,0 +1,55 @@
+// Parallel differential execution for the alignment loop (paper §4.3).
+//
+// The differential pass — replay every symbolic trace on the emulator AND
+// the reference cloud, record divergences and sweep evidence — is
+// embarrassingly parallel *except* that backends are stateful: each replay
+// resets and mutates the backend's resource store. Rather than lock one
+// backend pair, the executor deep-clones the pair per worker
+// (CloudBackend::clone()) and shards the trace corpus across workers in a
+// stride pattern. Results land in per-trace slots indexed by the corpus
+// order, so the merged output is byte-identical to a serial run for ANY
+// worker count — the determinism contract tests/align/parallel_executor_test
+// enforces.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "align/differ.h"
+#include "align/trace_gen.h"
+#include "common/api.h"
+
+namespace lce::align {
+
+/// Everything the engine needs from one trace's differential replay:
+/// the divergence (if any) plus the cloud's probe outcome, which feeds the
+/// enum-precondition evidence maps ("" = probe succeeded, else error code).
+struct TraceOutcome {
+  std::optional<Discrepancy> discrepancy;
+  bool have_probe_outcome = false;
+  std::string probe_outcome;
+};
+
+class ParallelExecutor {
+ public:
+  /// workers: 0 = auto (hardware concurrency), 1 = serial, N = N threads.
+  ParallelExecutor(CloudBackend& cloud, CloudBackend& emulator, int workers = 0);
+
+  /// Replay every trace on both backends; outcome i corresponds to
+  /// traces[i]. Falls back to serial execution on the real backends when
+  /// either backend cannot clone() or only one worker is requested.
+  std::vector<TraceOutcome> execute(const std::vector<GenTrace>& traces);
+
+  /// The parallelism the last execute() actually used (1 after a serial
+  /// fallback); 0 before the first execute().
+  int effective_workers() const { return effective_; }
+
+ private:
+  CloudBackend& cloud_;
+  CloudBackend& emu_;
+  int workers_;
+  int effective_ = 0;
+};
+
+}  // namespace lce::align

@@ -319,4 +319,10 @@ bool ReferenceCloud::supports(const std::string& api) const {
   return catalog_.find_api_owner(api) != nullptr;
 }
 
+std::unique_ptr<CloudBackend> ReferenceCloud::clone() const {
+  auto copy = std::make_unique<ReferenceCloud>(catalog_, opts_);
+  copy->store_ = store_.clone();
+  return copy;
+}
+
 }  // namespace lce::cloud

@@ -30,6 +30,8 @@ class ReferenceCloud final : public CloudBackend {
   void reset() override;
   bool supports(const std::string& api) const override;
   Value snapshot() const override { return store_.snapshot(); }
+  /// Independent deep copy (catalog, options, resource state, id counters).
+  std::unique_ptr<CloudBackend> clone() const override;
 
   const docs::CloudCatalog& catalog() const { return catalog_; }
   interp::ResourceStore& store() { return store_; }

@@ -4,6 +4,7 @@
 // are strictly black-box, mirroring the paper's methodology (§4.3).
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -64,6 +65,13 @@ class CloudBackend {
   /// map: resource-id -> {type, attrs...}. Backends that cannot enumerate
   /// return an empty map (treated as "no state claim").
   virtual Value snapshot() const { return Value(Value::Map{}); }
+
+  /// Deep-copy this backend — behaviour AND current state — into an
+  /// independent instance (the parallel alignment executor replays trace
+  /// shards against per-worker clones instead of locking one backend).
+  /// Backends that cannot clone return nullptr; callers fall back to
+  /// serial execution.
+  virtual std::unique_ptr<CloudBackend> clone() const { return nullptr; }
 };
 
 /// A trace is an ordered list of API calls; the unit of alignment testing.

@@ -37,24 +37,36 @@ ErrorRegistry::ErrorRegistry() {
 }
 
 bool ErrorRegistry::add(std::string code, std::string message_template) {
-  if (known(code)) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (known_locked(code)) return false;
   specs_.push_back(ErrorSpec{std::move(code), std::move(message_template)});
   return true;
 }
 
-bool ErrorRegistry::known(std::string_view code) const {
+bool ErrorRegistry::known_locked(std::string_view code) const {
   return std::any_of(specs_.begin(), specs_.end(),
                      [&](const ErrorSpec& s) { return s.code == code; });
 }
 
-std::optional<ErrorSpec> ErrorRegistry::find(std::string_view code) const {
+bool ErrorRegistry::known(std::string_view code) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return known_locked(code);
+}
+
+std::optional<ErrorSpec> ErrorRegistry::find_locked(std::string_view code) const {
   for (const auto& s : specs_) {
     if (s.code == code) return s;
   }
   return std::nullopt;
 }
 
+std::optional<ErrorSpec> ErrorRegistry::find(std::string_view code) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return find_locked(code);
+}
+
 std::vector<std::string> ErrorRegistry::all_codes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(specs_.size());
   for (const auto& s : specs_) out.push_back(s.code);
@@ -64,7 +76,11 @@ std::vector<std::string> ErrorRegistry::all_codes() const {
 std::string ErrorRegistry::render_message(
     std::string_view code,
     const std::vector<std::pair<std::string, std::string>>& fields) const {
-  auto spec = find(code);
+  std::optional<ErrorSpec> spec;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    spec = find_locked(code);
+  }
   std::string msg = spec ? spec->message_template
                          : strf("Request failed with code ", code, ".");
   for (const auto& [k, v] : fields) {

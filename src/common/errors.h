@@ -4,6 +4,7 @@
 // specs, and the alignment scorer.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -41,6 +42,8 @@ struct ErrorSpec {
 };
 
 /// Process-wide registry (append-only; seeded with the codes above).
+/// Thread-safe: the parallel alignment executor renders error messages
+/// from worker threads while the repair phase may register new codes.
 class ErrorRegistry {
  public:
   static ErrorRegistry& instance();
@@ -60,6 +63,10 @@ class ErrorRegistry {
 
  private:
   ErrorRegistry();
+  bool known_locked(std::string_view code) const;
+  std::optional<ErrorSpec> find_locked(std::string_view code) const;
+
+  mutable std::mutex mu_;
   std::vector<ErrorSpec> specs_;
 };
 

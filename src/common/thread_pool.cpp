@@ -1,0 +1,62 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace lce {
+
+int ThreadPool::hardware_workers() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int workers) {
+  int n = workers > 0 ? workers : hardware_workers();
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> job) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to run
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    job();
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --running_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace lce

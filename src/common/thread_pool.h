@@ -1,0 +1,52 @@
+// A small fixed-size thread pool for the repository's data-parallel hot
+// paths (the alignment loop's differential replay, §4.3). Deliberately
+// minimal: FIFO job queue, blocking wait() barrier, no futures — callers
+// that need results write into pre-sharded slots so no locking is required
+// on the result side.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace lce {
+
+class ThreadPool {
+ public:
+  /// Start `workers` threads; workers <= 0 uses hardware_workers().
+  explicit ThreadPool(int workers = 0);
+
+  /// Drains the queue (wait()) and joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueue a job. Jobs must not throw (the pool has no error channel);
+  /// exceptions escaping a job terminate the process.
+  void submit(std::function<void()> job);
+
+  /// Block until every submitted job has finished running.
+  void wait();
+
+  /// The machine's concurrency, always >= 1.
+  static int hardware_workers();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: job or stop
+  std::condition_variable idle_cv_;   // signals wait(): all jobs done
+  std::size_t running_ = 0;           // jobs currently executing
+  bool stop_ = false;
+};
+
+}  // namespace lce

@@ -5,12 +5,17 @@ namespace lce::core {
 LearnedEmulator LearnedEmulator::from_docs(const docs::DocCorpus& corpus,
                                            PipelineOptions opts) {
   LearnedEmulator e;
+  e.opts_ = opts;
   e.synthesis_ = synth::synthesize(corpus, opts.synthesis);
   interp::InterpreterOptions iopts;
   iopts.name = opts.name;
   if (opts.rich_messages) iopts.decoder = interp::make_rich_decoder();
   e.backend_ = std::make_unique<interp::Interpreter>(e.synthesis_.spec.clone(), iopts);
   return e;
+}
+
+align::AlignmentReport LearnedEmulator::align_against(CloudBackend& cloud) {
+  return align_against(cloud, opts_.alignment);
 }
 
 align::AlignmentReport LearnedEmulator::align_against(CloudBackend& cloud,

@@ -25,6 +25,9 @@ struct PipelineOptions {
   /// Enrich error messages with root-cause hints (§4.3's "richer" replies).
   bool rich_messages = true;
   std::string name = "learned-emulator";
+  /// Defaults for align_against(cloud) — including `workers`, the
+  /// differential-pass parallelism (0 = auto, 1 = serial).
+  align::AlignmentOptions alignment;
 };
 
 class LearnedEmulator {
@@ -41,9 +44,11 @@ class LearnedEmulator {
   const synth::SynthesisResult& synthesis() const { return synthesis_; }
 
   /// Run the automated alignment loop against an oracle (§4.3). The
-  /// backend's spec is repaired in place.
+  /// backend's spec is repaired in place. The one-argument form uses
+  /// PipelineOptions::alignment as defaults.
+  align::AlignmentReport align_against(CloudBackend& cloud);
   align::AlignmentReport align_against(CloudBackend& cloud,
-                                       align::AlignmentOptions opts = {});
+                                       align::AlignmentOptions opts);
 
   /// Alignment history (empty until align_against ran).
   const std::vector<align::AlignmentReport>& alignment_history() const {
@@ -57,6 +62,7 @@ class LearnedEmulator {
  private:
   LearnedEmulator() = default;
 
+  PipelineOptions opts_;
   synth::SynthesisResult synthesis_;
   std::unique_ptr<interp::Interpreter> backend_;
   std::vector<align::AlignmentReport> alignment_history_;

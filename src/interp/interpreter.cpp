@@ -444,4 +444,11 @@ bool Interpreter::supports(const std::string& api) const {
 
 void Interpreter::replace_spec(spec::SpecSet spec) { spec_ = std::move(spec); }
 
+std::unique_ptr<CloudBackend> Interpreter::clone() const {
+  auto copy = std::make_unique<Interpreter>(spec_.clone(), opts_);
+  copy->store_ = store_.clone();
+  copy->last_failure_ = last_failure_;
+  return copy;
+}
+
 }  // namespace lce::interp

@@ -62,6 +62,8 @@ class Interpreter final : public CloudBackend {
   void reset() override;
   bool supports(const std::string& api) const override;
   Value snapshot() const override { return store_.snapshot(); }
+  /// Independent deep copy (spec, options, resource state, id counters).
+  std::unique_ptr<CloudBackend> clone() const override;
 
   const spec::SpecSet& spec() const { return spec_; }
   /// Swap in an updated spec (the alignment loop's repair step), keeping

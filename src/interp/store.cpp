@@ -27,6 +27,11 @@ const Resource* ResourceStore::find(std::string_view id) const {
 bool ResourceStore::attach(std::string_view child_id, std::string_view parent_id) {
   Resource* child = find(child_id);
   if (child == nullptr || !exists(parent_id)) return false;
+  // Containment must stay a forest: walking up from the proposed parent
+  // must never reach the child (covers self-attach as the first step).
+  for (const Resource* p = find(parent_id); p != nullptr; p = find(p->parent_id)) {
+    if (p->id == child_id) return false;
+  }
   child->parent_id = std::string(parent_id);
   return true;
 }
@@ -39,6 +44,12 @@ bool ResourceStore::destroy(std::string_view id) {
   if (it == resources_.end()) return false;
   resources_.erase(it);
   order_.erase(std::remove(order_.begin(), order_.end(), key), order_.end());
+  // Promote any unreclaimed children to top level: a parent_id must always
+  // name a live resource (or be empty), else children_of/siblings_of and
+  // snapshot() would report links into the void.
+  for (auto& [_, r] : resources_) {
+    if (r.parent_id == key) r.parent_id.clear();
+  }
   return true;
 }
 

@@ -31,11 +31,14 @@ class ResourceStore {
   const Resource* find(std::string_view id) const;
   bool exists(std::string_view id) const { return find(id) != nullptr; }
 
-  /// Link `child_id` under `parent_id`. Returns false when either is gone.
+  /// Link `child_id` under `parent_id`. Returns false when either is gone,
+  /// or when the link would create a containment cycle (attaching a node
+  /// under itself or under one of its own descendants).
   bool attach(std::string_view child_id, std::string_view parent_id);
 
-  /// Remove a resource (must have no children; caller checks). Returns
-  /// false when missing.
+  /// Remove a resource. Returns false when missing. Callers normally
+  /// enforce children-reclaimed guards first; if live children remain they
+  /// are detached to top level so no dangling parent link survives.
   bool destroy(std::string_view id);
 
   /// Ids of live children of `parent_id`, optionally filtered by type.
@@ -58,6 +61,11 @@ class ResourceStore {
 
   /// Full state snapshot: id -> {type, parent, attrs...}.
   Value snapshot() const;
+
+  /// Deep copy: resources, containment links, creation order AND the id
+  /// counters, so a clone's future id sequence matches the original's (the
+  /// parallel alignment executor depends on this for determinism).
+  ResourceStore clone() const { return *this; }
 
  private:
   std::map<std::string, Resource> resources_;

@@ -1,0 +1,74 @@
+// Determinism of the random-fuzzing baseline (src/align/fuzz.cpp): a fixed
+// FuzzOptions::seed must yield an identical discovery sequence across runs,
+// so the §4.3 ablation bench's fuzzing curve is reproducible bit-for-bit.
+#include "align/fuzz.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "cloud/reference_cloud.h"
+#include "core/emulator.h"
+#include "docs/corpus.h"
+#include "docs/defects.h"
+#include "docs/render.h"
+
+namespace lce::align {
+namespace {
+
+docs::DocCorpus seeded_corpus() {
+  docs::CloudCatalog defective = docs::build_aws_catalog();
+  Rng rng(31337);
+  docs::inject_defects(defective, 0.12, rng);
+  return docs::render_corpus(defective);
+}
+
+FuzzReport fuzz_once(const docs::DocCorpus& corpus, std::uint64_t seed,
+                     std::size_t max_calls) {
+  cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+  auto emu = core::LearnedEmulator::from_docs(corpus);
+  FuzzOptions opts;
+  opts.seed = seed;
+  opts.max_calls = max_calls;
+  return run_fuzz(emu.backend(), cloud, emu.backend().spec(), opts);
+}
+
+TEST(Fuzz, SameSeedYieldsIdenticalDiscoverySequence) {
+  auto corpus = seeded_corpus();
+  FuzzReport a = fuzz_once(corpus, 7, 3000);
+  FuzzReport b = fuzz_once(corpus, 7, 3000);
+
+  EXPECT_EQ(a.calls_executed, b.calls_executed);
+  ASSERT_GT(a.discoveries.size(), 0u);
+  ASSERT_EQ(a.discoveries.size(), b.discoveries.size());
+  for (std::size_t i = 0; i < a.discoveries.size(); ++i) {
+    EXPECT_EQ(a.discoveries[i].first, b.discoveries[i].first) << "discovery " << i;
+    EXPECT_EQ(a.discoveries[i].second, b.discoveries[i].second) << "discovery " << i;
+  }
+}
+
+TEST(Fuzz, DifferentSeedsExploreDifferently) {
+  auto corpus = seeded_corpus();
+  FuzzReport a = fuzz_once(corpus, 1, 3000);
+  FuzzReport b = fuzz_once(corpus, 2, 3000);
+  // Same emulator, same budget — but the call sequences differ, so the
+  // first-seen call counts cannot all coincide.
+  EXPECT_NE(a.discoveries, b.discoveries);
+}
+
+TEST(Fuzz, DiscoveriesAreDistinctAndMonotone) {
+  auto corpus = seeded_corpus();
+  FuzzReport r = fuzz_once(corpus, 7, 3000);
+  ASSERT_GT(r.discoveries.size(), 0u);
+  std::set<std::string> keys;
+  std::size_t last_seen = 0;
+  for (const auto& [key, at_call] : r.discoveries) {
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate discovery key " << key;
+    EXPECT_GE(at_call, last_seen);  // first-seen counts are nondecreasing
+    EXPECT_LE(at_call, r.calls_executed);
+    last_seen = at_call;
+  }
+}
+
+}  // namespace
+}  // namespace lce::align

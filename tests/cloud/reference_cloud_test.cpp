@@ -284,6 +284,48 @@ TEST_F(ReferenceCloudTest, ModifyInstanceTypeRequiresStopped) {
       call("ModifyInstanceType", {{"id", Value::ref(id)}, {"value", Value("m5.large")}}).ok);
 }
 
+TEST_F(ReferenceCloudTest, CloneSharesNoStateWithOriginal) {
+  // Build a containment hierarchy on the original.
+  auto vpc = make_vpc();
+  auto sub = make_subnet(vpc, "10.0.1.0/24");
+  std::string before = cloud_.snapshot().to_text();
+
+  auto copy = cloud_.clone();
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->snapshot().to_text(), before);
+
+  // Mutate the clone: new resources, destroyed resources, modified attrs.
+  auto r = copy->invoke({"CreateVpc", {{"cidr_block", Value("172.16.0.0/16")}}, ""});
+  ASSERT_TRUE(r.ok) << r.to_text();
+  ASSERT_TRUE(copy->invoke({"DeleteSubnet", {{"id", Value::ref(sub)}}, ""}).ok);
+  ASSERT_TRUE(copy->invoke({"DeleteVpc", {{"id", Value::ref(vpc)}}, ""}).ok);
+
+  // The original's describe output and containment hierarchy are intact.
+  EXPECT_EQ(cloud_.snapshot().to_text(), before);
+  auto desc = call("DescribeVpc", {{"id", Value::ref(vpc)}});
+  ASSERT_TRUE(desc.ok) << desc.to_text();
+  EXPECT_EQ(desc.data.get("cidr_block")->as_str(), "10.0.0.0/16");
+  ASSERT_EQ(cloud_.store().children_of(vpc).size(), 1u);
+  EXPECT_EQ(cloud_.store().children_of(vpc)[0], sub);
+
+  // And mutating the ORIGINAL does not leak into the clone either.
+  ASSERT_TRUE(call("DeleteSubnet", {{"id", Value::ref(sub)}}).ok);
+  EXPECT_EQ(copy->snapshot().get(sub), nullptr);  // clone deleted it already
+  EXPECT_NE(copy->snapshot().get(r.data.get("id")->as_str()), nullptr);
+}
+
+TEST_F(ReferenceCloudTest, CloneMintsSameIdSequenceAsOriginal) {
+  make_vpc();
+  auto copy = cloud_.clone();
+  auto from_copy = copy->invoke({"CreateVpc", {{"cidr_block", Value("10.1.0.0/16")}}, ""});
+  auto from_orig = call("CreateVpc", {{"cidr_block", Value("10.1.0.0/16")}});
+  ASSERT_TRUE(from_copy.ok);
+  ASSERT_TRUE(from_orig.ok);
+  // Clones continue the id sequence identically — parallel trace replay
+  // depends on this to keep "$k.id" placeholder resolution deterministic.
+  EXPECT_EQ(from_copy.data.get("id")->as_str(), from_orig.data.get("id")->as_str());
+}
+
 TEST_F(ReferenceCloudTest, AzureCatalogRunsToo) {
   ReferenceCloud azure(docs::build_azure_catalog(),
                        ReferenceCloudOptions{.name = "azure-cloud"});

@@ -497,6 +497,30 @@ TEST(Interpreter, AssertMessageNamesOffendingValue) {
   EXPECT_NE(bad.message.find("banana"), std::string::npos) << bad.message;
 }
 
+TEST(Interpreter, CloneSharesNoStateWithOriginal) {
+  auto it = make_public_ip_interp();
+  auto created = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
+  ASSERT_TRUE(created.ok);
+  std::string id = created.data.get("id")->as_str();
+  std::string before = it.snapshot().to_text();
+
+  auto copy = it.clone();
+  ASSERT_NE(copy, nullptr);
+  EXPECT_EQ(copy->snapshot().to_text(), before);
+  EXPECT_EQ(copy->name(), it.name());
+
+  // Mutating the clone (create + destroy) leaves the original untouched.
+  ASSERT_TRUE(copy->invoke({"CreatePublicIp", {{"region", Value("us-west")}}, ""}).ok);
+  ASSERT_TRUE(copy->invoke({"DestroyPublicIp", {{"id", Value::ref(id)}}, ""}).ok);
+  EXPECT_EQ(it.snapshot().to_text(), before);
+  EXPECT_TRUE(call(it, "DescribePublicIp", {{"id", Value::ref(id)}}).ok);
+
+  // The clone carries the full spec: same API surface and behaviour.
+  EXPECT_TRUE(copy->supports("CreatePublicIp"));
+  auto fresh = copy->clone();
+  ASSERT_NE(fresh, nullptr);  // clones are themselves cloneable
+}
+
 TEST(Interpreter, ReplaceSpecSwapsBehaviour) {
   auto it = Interpreter(load(R"(
     sm X { states { } transitions { create CreateX() { } } })"));

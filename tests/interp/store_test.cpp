@@ -105,6 +105,76 @@ TEST(Store, SnapshotContainsTypeParentAttrs) {
   EXPECT_EQ(sb->get("parent")->as_str(), vpc.id);
 }
 
+TEST(Store, AttachRejectsSelfParent) {
+  ResourceStore s;
+  auto& vpc = s.create("Vpc", "vpc");
+  EXPECT_FALSE(s.attach(vpc.id, vpc.id));
+  EXPECT_EQ(s.find(vpc.id)->parent_id, "");
+}
+
+TEST(Store, AttachRejectsOwnDescendantAsParent) {
+  ResourceStore s;
+  auto& vpc = s.create("Vpc", "vpc");
+  auto& sub = s.create("Subnet", "subnet");
+  auto& eni = s.create("NetworkInterface", "eni");
+  ASSERT_TRUE(s.attach(sub.id, vpc.id));
+  ASSERT_TRUE(s.attach(eni.id, sub.id));
+  // vpc -> sub -> eni: attaching vpc under eni (or sub) would be a cycle.
+  EXPECT_FALSE(s.attach(vpc.id, eni.id));
+  EXPECT_FALSE(s.attach(vpc.id, sub.id));
+  EXPECT_EQ(s.find(vpc.id)->parent_id, "");
+  // Legitimate re-parenting still works.
+  auto& vpc2 = s.create("Vpc", "vpc");
+  EXPECT_TRUE(s.attach(eni.id, vpc2.id));
+  EXPECT_EQ(s.find(eni.id)->parent_id, vpc2.id);
+}
+
+TEST(Store, DestroyDetachesOrphanedChildren) {
+  ResourceStore s;
+  auto& vpc = s.create("Vpc", "vpc");
+  auto& sub = s.create("Subnet", "subnet");
+  s.attach(sub.id, vpc.id);
+  std::string vpc_id = vpc.id;
+  ASSERT_TRUE(s.destroy(vpc_id));
+  // No dangling containment link survives: the child is now top-level.
+  EXPECT_EQ(s.find(sub.id)->parent_id, "");
+  EXPECT_TRUE(s.children_of(vpc_id).empty());
+  EXPECT_EQ(s.snapshot().get(sub.id)->get("parent"), nullptr);
+}
+
+TEST(Store, CloneSharesNoStateWithOriginal) {
+  ResourceStore s;
+  auto& vpc = s.create("Vpc", "vpc");
+  vpc.attrs["cidr_block"] = Value("10.0.0.0/16");
+  auto& sub = s.create("Subnet", "subnet");
+  s.attach(sub.id, vpc.id);
+  std::string vpc_id = vpc.id;
+  std::string sub_id = sub.id;
+  std::string before = s.snapshot().to_text();
+
+  ResourceStore copy = s.clone();
+  // Mutate the clone every way the store can be mutated.
+  copy.find(vpc_id)->attrs["cidr_block"] = Value("192.168.0.0/16");
+  copy.create("Vpc", "vpc");
+  copy.destroy(sub_id);
+
+  // The original's contents and containment hierarchy are untouched.
+  EXPECT_EQ(s.snapshot().to_text(), before);
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.find(vpc_id)->attrs.at("cidr_block").as_str(), "10.0.0.0/16");
+  ASSERT_EQ(s.children_of(vpc_id).size(), 1u);
+  EXPECT_EQ(s.children_of(vpc_id)[0], sub_id);
+}
+
+TEST(Store, CloneContinuesIdenticalIdSequence) {
+  ResourceStore s;
+  s.create("Vpc", "vpc");
+  ResourceStore copy = s.clone();
+  // Determinism hinge for parallel replay: clone and original mint the
+  // same next id.
+  EXPECT_EQ(copy.create("Vpc", "vpc").id, s.create("Vpc", "vpc").id);
+}
+
 TEST(Store, CopySemanticsForRollback) {
   ResourceStore s;
   auto id = s.create("Vpc", "vpc").id;

@@ -5,8 +5,12 @@
 //   lce run <script> [provider]      run a trace script on the emulator
 //   lce diff <script> [provider]     run on emulator AND reference cloud,
 //                                    flagging divergences per call
-//   lce align [provider]             run the §4.3 alignment loop, print
-//                                    the repair report
+//   lce align [provider] [--workers N] [--rounds N]
+//                                    run the §4.3 alignment loop, print
+//                                    the repair report; --workers shards
+//                                    the differential pass over N threads
+//                                    (0 = auto, 1 = serial; the report is
+//                                    identical for every worker count)
 //   lce serve [provider] [port]      serve the emulator over HTTP
 //                                    (LocalStack-style; Ctrl-D to stop)
 //   lce coverage                     Table-1 style coverage report
@@ -40,7 +44,11 @@ int usage() {
                "  lce spec [aws|azure]\n"
                "  lce run <script-file> [aws|azure]\n"
                "  lce diff <script-file> [aws|azure]\n"
-               "  lce align [aws|azure]\n"
+               "  lce align [aws|azure] [--workers N] [--rounds N]\n"
+               "      --workers N  differential-pass threads (0 = auto-detect\n"
+               "                   hardware concurrency, 1 = serial; any value\n"
+               "                   yields the identical alignment report)\n"
+               "      --rounds N   max alignment rounds (default 6)\n"
                "  lce serve [aws|azure] [port]\n"
                "  lce coverage\n";
   return 2;
@@ -69,6 +77,10 @@ std::optional<Trace> load_script(const std::string& path) {
 int main(int argc, char** argv) {
   if (argc < 2) return usage();
   std::string cmd = argv[1];
+  if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    usage();
+    return 0;
+  }
 
   if (cmd == "docs") {
     std::string provider = argc > 2 ? argv[2] : "aws";
@@ -116,16 +128,35 @@ int main(int argc, char** argv) {
     return divergences == 0 ? 0 : 1;
   }
   if (cmd == "align") {
-    std::string provider = argc > 2 ? argv[2] : "aws";
+    std::string provider = "aws";
+    align::AlignmentOptions aopts;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "aws" || arg == "azure") {
+        provider = arg;
+      } else if (arg == "--workers" && i + 1 < argc) {
+        aopts.workers = std::atoi(argv[++i]);
+      } else if (arg == "--rounds" && i + 1 < argc) {
+        aopts.max_rounds = std::atoi(argv[++i]);
+      } else {
+        return usage();
+      }
+    }
     auto emulator =
         core::LearnedEmulator::from_docs(docs::render_corpus(catalog_for(provider)));
     cloud::ReferenceCloud cloud(catalog_for(provider));
-    auto report = emulator.align_against(cloud);
+    auto report = emulator.align_against(cloud, aopts);
     for (const auto& line : report.log) std::cout << line << "\n";
     std::cout << "converged=" << (report.converged ? "yes" : "no") << " repairs="
               << report.repairs.size() << " unrepaired=" << report.unrepaired.size()
               << "\n";
     for (const auto& r : report.repairs) std::cout << "  " << r.to_text() << "\n";
+    for (std::size_t i = 0; i < report.rounds.size(); ++i) {
+      const auto& r = report.rounds[i];
+      std::cout << "round " << i + 1 << " timing: " << r.diff_wall_ms << " ms, "
+                << static_cast<long>(r.traces_per_sec) << " traces/s, "
+                << r.workers << " worker(s)\n";
+    }
     return report.converged ? 0 : 1;
   }
   if (cmd == "serve") {
