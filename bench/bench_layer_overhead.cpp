@@ -1,0 +1,109 @@
+// Invoke-path overhead of the lce::stack layer chain (DESIGN.md "Backend
+// layer stack"). A describe-heavy workload — the LocalStack steady state:
+// DevOps tooling polls resource state far more often than it mutates it —
+// runs against the reference cloud:
+//
+//   bare        the backend with no layers (baseline)
+//   serialized  Serialize + Metrics, the default endpoint chain
+//   cached      Serialize + Metrics + ReadCache
+//
+// Reported: ns/op per configuration and the ratio over bare. The exit
+// status enforces the acceptance budget: the default chain must stay
+// under 2x bare, and the read cache must beat the serialized chain on
+// repeated describes (it answers from memory above the mutex).
+#include <chrono>
+#include <iostream>
+#include <vector>
+
+#include "cloud/reference_cloud.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "docs/corpus.h"
+#include "stack/config.h"
+#include "stack/layers.h"
+
+using namespace lce;
+
+namespace {
+
+constexpr int kVpcs = 8;
+constexpr int kRounds = 2000;  // describe sweeps over all vpcs per run
+
+/// Create kVpcs vpcs, then sweep DescribeVpc over them kRounds times.
+/// Returns ns per describe call.
+double run_workload(CloudBackend& backend) {
+  std::vector<Value> ids;
+  for (int i = 0; i < kVpcs; ++i) {
+    auto r = backend.invoke(
+        {"CreateVpc", {{"cidr_block", Value(strf("10.", i, ".0.0/16"))}}, ""});
+    if (!r.ok) {
+      std::cerr << "setup failed: " << r.to_text() << "\n";
+      std::exit(1);
+    }
+    ids.push_back(*r.data.get("id"));
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  for (int round = 0; round < kRounds; ++round) {
+    for (const auto& id : ids) {
+      auto r = backend.invoke({"DescribeVpc", {{"id", id}}, ""});
+      if (!r.ok) {
+        std::cerr << "describe failed: " << r.to_text() << "\n";
+        std::exit(1);
+      }
+    }
+  }
+  double ns = std::chrono::duration<double, std::nano>(
+                  std::chrono::steady_clock::now() - t0)
+                  .count();
+  return ns / (static_cast<double>(kRounds) * kVpcs);
+}
+
+double best_of(CloudBackend& backend, int reps) {
+  double best = 0;
+  for (int i = 0; i < reps; ++i) {
+    backend.reset();
+    double ns = run_workload(backend);
+    if (i == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== Layer stack overhead: describe-heavy invoke path ===\n";
+  std::cout << "  workload: " << kVpcs << " vpcs, " << kRounds
+            << " DescribeVpc sweeps, best of 3 runs\n\n";
+
+  cloud::ReferenceCloud bare_cloud(docs::build_aws_catalog());
+  double bare = best_of(bare_cloud, 3);
+
+  cloud::ReferenceCloud serialized_cloud(docs::build_aws_catalog());
+  stack::StackConfig default_cfg;
+  default_cfg.validate = false;  // Serialize + Metrics, the budgeted pair
+  stack::LayerStack serialized = stack::build_stack(serialized_cloud, default_cfg);
+  double with_layers = best_of(serialized, 3);
+
+  cloud::ReferenceCloud cached_cloud(docs::build_aws_catalog());
+  stack::StackConfig cache_cfg = default_cfg;
+  cache_cfg.read_cache = true;
+  stack::LayerStack cached = stack::build_stack(cached_cloud, cache_cfg);
+  double with_cache = best_of(cached, 3);
+
+  auto row = [&](const char* name, double ns) {
+    return std::vector<std::string>{name, strf(static_cast<long>(ns)),
+                                    strf(static_cast<long>(ns * 100 / bare), "%")};
+  };
+  TextTable table({"configuration", "ns/describe", "vs bare"});
+  table.add_row(row("bare", bare));
+  table.add_row(row("serialize+metrics", with_layers));
+  table.add_row(row("  +read_cache", with_cache));
+  std::cout << table.render() << "\n";
+
+  bool overhead_ok = with_layers < 2.0 * bare;
+  bool cache_ok = with_cache < with_layers;
+  std::cout << "overhead budget (<2x bare): " << (overhead_ok ? "PASS" : "FAIL")
+            << "\nread cache beats serialized chain: " << (cache_ok ? "PASS" : "FAIL")
+            << "\n";
+  return overhead_ok && cache_ok ? 0 : 1;
+}

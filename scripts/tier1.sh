@@ -2,8 +2,10 @@
 # Tier-1 verification (ROADMAP.md):
 #   1. plain build + full ctest suite;
 #   2. ThreadSanitizer build (-DLCE_SANITIZE=thread) running the parallel
-#      alignment / clone-fidelity / fuzz-determinism tests, so data races
-#      in the alignment thread pool are caught at test time.
+#      alignment / clone-fidelity / fuzz-determinism tests plus the layer
+#      stack suite and the concurrent endpoint hammer tests, so data races
+#      in the alignment thread pool, the serialize layer, and the HTTP
+#      invoke path are caught at test time.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -14,7 +16,7 @@ cmake --build build -j
 
 echo "== tier-1: ThreadSanitizer build + parallel tests =="
 cmake -B build-tsan -S . -DLCE_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target align_test interp_test cloud_test
-(cd build-tsan && ctest --output-on-failure -R 'Parallel|Fuzz|Clone')
+cmake --build build-tsan -j --target align_test interp_test cloud_test stack_test server_test
+(cd build-tsan && ctest --output-on-failure -R 'Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer')
 
 echo "tier-1: OK"

@@ -54,13 +54,14 @@ AlignmentReport AlignmentEngine::run() {
     // Outcomes come back indexed by corpus order, so everything merged
     // below — discrepancy order and evidence content — is identical to a
     // serial run regardless of worker count.
-    ParallelExecutor executor(cloud_, emu_, opts_.workers);
+    ParallelExecutor executor(cloud_, emu_, opts_.workers, opts_.collect_metrics);
     auto t0 = std::chrono::steady_clock::now();
     std::vector<TraceOutcome> outcomes = executor.execute(traces);
     stats.diff_wall_ms = std::chrono::duration<double, std::milli>(
                              std::chrono::steady_clock::now() - t0)
                              .count();
     stats.workers = executor.effective_workers();
+    stats.metrics = executor.metrics();
     stats.traces_per_sec = stats.diff_wall_ms > 0
                                ? static_cast<double>(traces.size()) * 1000.0 /
                                      stats.diff_wall_ms

@@ -29,6 +29,11 @@ struct AlignmentOptions {
   /// 1 = serial, N = N worker threads over cloned backend pairs. The
   /// resulting report is byte-identical for every value (see parallel.h).
   int workers = 0;
+  /// Wrap every differential worker's backend pair in a
+  /// stack::MetricsLayer and store the aggregated per-API counters in
+  /// RoundStats::metrics (excluded, like the timing counters, from the
+  /// determinism contract).
+  bool collect_metrics = false;
 };
 
 struct RoundStats {
@@ -41,6 +46,10 @@ struct RoundStats {
   double diff_wall_ms = 0;         // wall clock of the differential pass
   double traces_per_sec = 0;       // throughput of the differential pass
   int workers = 1;                 // parallelism the pass actually used
+  // Aggregated per-API MetricsLayer counters for the pass, null unless
+  // AlignmentOptions::collect_metrics (also outside the contract: counts
+  // are deterministic but latency fields are wall-clock).
+  Value metrics;
 };
 
 struct AlignmentReport {

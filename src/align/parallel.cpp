@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "common/thread_pool.h"
+#include "stack/layers.h"
 
 namespace lce::align {
 
@@ -35,12 +36,14 @@ TraceOutcome replay_one(CloudBackend& cloud, CloudBackend& emulator,
 }  // namespace
 
 ParallelExecutor::ParallelExecutor(CloudBackend& cloud, CloudBackend& emulator,
-                                   int workers)
-    : cloud_(cloud), emu_(emulator), workers_(workers) {}
+                                   int workers, bool collect_metrics)
+    : cloud_(cloud), emu_(emulator), workers_(workers),
+      collect_metrics_(collect_metrics) {}
 
 std::vector<TraceOutcome> ParallelExecutor::execute(
     const std::vector<GenTrace>& traces) {
   std::vector<TraceOutcome> out(traces.size());
+  metrics_ = Value();
 
   int w = workers_ > 0 ? workers_ : ThreadPool::hardware_workers();
   w = std::min<int>(w, static_cast<int>(traces.size()));
@@ -64,27 +67,60 @@ std::vector<TraceOutcome> ParallelExecutor::execute(
   }
   effective_ = w;
 
+  // Per-worker observability: each worker's pair is wrapped in its own
+  // MetricsLayer (no cross-worker contention); counters merge after the
+  // barrier. The layers forward every call unchanged, so replay behaviour
+  // — and therefore the determinism contract — is untouched.
+  std::vector<std::unique_ptr<stack::MetricsLayer>> cloud_metrics;
+  std::vector<std::unique_ptr<stack::MetricsLayer>> emu_metrics;
+  auto wrap = [&](CloudBackend& c, CloudBackend& e) {
+    cloud_metrics.push_back(std::make_unique<stack::MetricsLayer>());
+    cloud_metrics.back()->attach(c);
+    emu_metrics.push_back(std::make_unique<stack::MetricsLayer>());
+    emu_metrics.back()->attach(e);
+  };
+
   if (w <= 1) {
-    for (std::size_t i = 0; i < traces.size(); ++i) {
-      out[i] = replay_one(cloud_, emu_, traces[i]);
+    CloudBackend* c = &cloud_;
+    CloudBackend* e = &emu_;
+    if (collect_metrics_) {
+      wrap(*c, *e);
+      c = cloud_metrics.back().get();
+      e = emu_metrics.back().get();
     }
-    return out;
+    for (std::size_t i = 0; i < traces.size(); ++i) {
+      out[i] = replay_one(*c, *e, traces[i]);
+    }
+  } else {
+    ThreadPool pool(w);
+    for (int k = 0; k < w; ++k) {
+      CloudBackend* c = pairs[static_cast<std::size_t>(k)].first.get();
+      CloudBackend* e = pairs[static_cast<std::size_t>(k)].second.get();
+      if (collect_metrics_) {
+        wrap(*c, *e);
+        c = cloud_metrics.back().get();
+        e = emu_metrics.back().get();
+      }
+      pool.submit([&, c, e, k] {
+        // Stride sharding: worker k owns slots k, k+w, k+2w, ... Disjoint
+        // result slots mean no synchronisation on the output vector.
+        for (std::size_t i = static_cast<std::size_t>(k); i < traces.size();
+             i += static_cast<std::size_t>(w)) {
+          out[i] = replay_one(*c, *e, traces[i]);
+        }
+      });
+    }
+    pool.wait();
   }
 
-  ThreadPool pool(w);
-  for (int k = 0; k < w; ++k) {
-    CloudBackend& c = *pairs[static_cast<std::size_t>(k)].first;
-    CloudBackend& e = *pairs[static_cast<std::size_t>(k)].second;
-    pool.submit([&, k] {
-      // Stride sharding: worker k owns slots k, k+w, k+2w, ... Disjoint
-      // result slots mean no synchronisation on the output vector.
-      for (std::size_t i = static_cast<std::size_t>(k); i < traces.size();
-           i += static_cast<std::size_t>(w)) {
-        out[i] = replay_one(c, e, traces[i]);
-      }
-    });
+  if (collect_metrics_) {
+    stack::MetricsLayer cloud_total;
+    stack::MetricsLayer emu_total;
+    for (const auto& m : cloud_metrics) cloud_total.merge_from(*m);
+    for (const auto& m : emu_metrics) emu_total.merge_from(*m);
+    metrics_ = Value(Value::Map{{"cloud", cloud_total.metrics()},
+                                {"emulator", emu_total.metrics()}});
   }
-  pool.wait();
   return out;
 }
 

@@ -34,7 +34,11 @@ struct TraceOutcome {
 class ParallelExecutor {
  public:
   /// workers: 0 = auto (hardware concurrency), 1 = serial, N = N threads.
-  ParallelExecutor(CloudBackend& cloud, CloudBackend& emulator, int workers = 0);
+  /// collect_metrics: wrap every worker's backend pair in a
+  /// stack::MetricsLayer and aggregate per-API counters across workers
+  /// (see metrics()).
+  ParallelExecutor(CloudBackend& cloud, CloudBackend& emulator, int workers = 0,
+                   bool collect_metrics = false);
 
   /// Replay every trace on both backends; outcome i corresponds to
   /// traces[i]. Falls back to serial execution on the real backends when
@@ -45,11 +49,20 @@ class ParallelExecutor {
   /// fallback); 0 before the first execute().
   int effective_workers() const { return effective_; }
 
+  /// Aggregated {"cloud": ..., "emulator": ...} MetricsLayer snapshots for
+  /// the last execute(); null unless collect_metrics. Call/error counts
+  /// are identical for every worker count (the per-API workload is fixed
+  /// by the trace corpus); latency fields are wall-clock and are — like
+  /// RoundStats timings — excluded from the determinism contract.
+  const Value& metrics() const { return metrics_; }
+
  private:
   CloudBackend& cloud_;
   CloudBackend& emu_;
   int workers_;
+  bool collect_metrics_;
   int effective_ = 0;
+  Value metrics_;
 };
 
 }  // namespace lce::align

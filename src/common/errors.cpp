@@ -34,6 +34,7 @@ ErrorRegistry::ErrorRegistry() {
   seed(errc::kMissingParameter, "The request must contain the parameter {param}.");
   seed(errc::kValidationError, "Validation failed for {param}.");
   seed(errc::kInternalError, "An internal error has occurred.");
+  seed(errc::kRequestLimitExceeded, "Request limit exceeded for {api}; retry later.");
 }
 
 bool ErrorRegistry::add(std::string code, std::string message_template) {

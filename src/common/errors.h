@@ -32,6 +32,7 @@ inline constexpr std::string_view kInvalidAction = "InvalidAction";
 inline constexpr std::string_view kMissingParameter = "MissingParameter";
 inline constexpr std::string_view kValidationError = "ValidationError";
 inline constexpr std::string_view kInternalError = "InternalError";
+inline constexpr std::string_view kRequestLimitExceeded = "RequestLimitExceeded";
 }  // namespace errc
 
 /// One registered error code with its default message template. Templates

@@ -16,6 +16,7 @@
 #include "align/engine.h"
 #include "interp/decoder.h"
 #include "interp/interpreter.h"
+#include "stack/config.h"
 #include "synth/synthesizer.h"
 
 namespace lce::core {
@@ -28,6 +29,10 @@ struct PipelineOptions {
   /// Defaults for align_against(cloud) — including `workers`, the
   /// differential-pass parallelism (0 = auto, 1 = serial).
   align::AlignmentOptions alignment;
+  /// Layer stack installed around the interpreter by layered_backend()
+  /// (serving, concurrent harnesses). Defaults: serialize + validate +
+  /// metrics, no faults.
+  stack::StackConfig stack;
 };
 
 class LearnedEmulator {
@@ -39,6 +44,12 @@ class LearnedEmulator {
   /// The emulator as a cloud backend (invoke APIs against it).
   interp::Interpreter& backend() { return *backend_; }
   const interp::Interpreter& backend() const { return *backend_; }
+
+  /// The emulator behind the PipelineOptions::stack layer chain — the
+  /// production shape: thread-safe, observable, optionally fault-injecting.
+  /// The returned stack references this emulator's interpreter; the
+  /// emulator must outlive it.
+  stack::LayerStack layered_backend() { return stack::build_stack(*backend_, opts_.stack); }
 
   /// Synthesis provenance: wrangling stats, noise, checks, logs.
   const synth::SynthesisResult& synthesis() const { return synthesis_; }

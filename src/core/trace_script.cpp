@@ -113,7 +113,10 @@ std::string print_trace_script(const Trace& trace) {
     for (const auto& [k, v] : call.args) {
       out += strf(" ", k, "=", render_value(v));
     }
-    if (!call.target.empty()) out += strf(" id=", call.target);
+    // Targets print under the "id=" alias (both backends accept an "id"
+    // arg as the target); render_value keeps "$N.id" placeholders and
+    // quotes concrete ids so the line re-parses.
+    if (!call.target.empty()) out += strf(" id=", render_value(Value(call.target)));
     out += "\n";
   }
   return out;

@@ -136,7 +136,7 @@ std::uint16_t HttpServer::start(std::uint16_t port) {
 void HttpServer::serve_loop() {
   // Thread per connection: concurrent DevOps tools hammer real emulators,
   // so the endpoint must not serialize at the accept loop. Backends that
-  // are not thread-safe go behind SerializedBackend (service.h).
+  // are not thread-safe go behind stack::SerializeLayer (stack/layers.h).
   std::vector<std::thread> workers;
   while (running_.load()) {
     pollfd pfd{listen_fd_, POLLIN, 0};

@@ -1,42 +1,13 @@
 #include "server/service.h"
 
-#include <cctype>
-
 #include "common/strings.h"
 #include "server/json.h"
+#include "stack/layer.h"
+#include "stack/layers.h"
 
 namespace lce::server {
 
-bool looks_like_resource_id(const std::string& s) {
-  std::size_t dash = s.rfind('-');
-  if (dash == std::string::npos || dash == 0 || dash + 9 != s.size()) return false;
-  for (std::size_t i = 0; i < dash; ++i) {
-    char c = s[i];
-    if (!std::islower(static_cast<unsigned char>(c)) && c != '-' && c != '_') return false;
-  }
-  for (std::size_t i = dash + 1; i < s.size(); ++i) {
-    if (!std::isdigit(static_cast<unsigned char>(s[i]))) return false;
-  }
-  return true;
-}
-
 namespace {
-
-/// Re-tag id-shaped strings as references, recursively.
-Value retag_refs(const Value& v) {
-  if (v.is_str() && looks_like_resource_id(v.as_str())) return Value::ref(v.as_str());
-  if (v.is_list()) {
-    Value::List out;
-    for (const auto& e : v.as_list()) out.push_back(retag_refs(e));
-    return Value(std::move(out));
-  }
-  if (v.is_map()) {
-    Value::Map out;
-    for (const auto& [k, e] : v.as_map()) out.emplace(k, retag_refs(e));
-    return Value(std::move(out));
-  }
-  return v;
-}
 
 HttpResponse json_response(int status, Value body) {
   HttpResponse resp;
@@ -56,9 +27,26 @@ HttpResponse error_response(int status, std::string code, std::string message) {
 }  // namespace
 
 HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req) {
+  auto* layered = dynamic_cast<stack::LayerStack*>(&backend);
   if (req.method == "GET" && req.path == "/health") {
-    return json_response(200, Value(Value::Map{{"status", Value("ok")},
-                                               {"backend", Value(backend.name())}}));
+    Value::Map health;
+    health["status"] = Value("ok");
+    health["backend"] = Value(backend.name());
+    if (layered != nullptr) {
+      Value::List layers;
+      for (const auto& l : layered->layer_names()) layers.push_back(Value(l));
+      health["layers"] = Value(std::move(layers));
+    }
+    return json_response(200, Value(std::move(health)));
+  }
+  if (req.method == "GET" && req.path == "/metrics") {
+    auto* metrics =
+        layered != nullptr ? layered->find<stack::MetricsLayer>() : nullptr;
+    if (metrics == nullptr) {
+      return error_response(404, "MetricsUnavailable",
+                            "no metrics layer installed on this endpoint");
+    }
+    return json_response(200, metrics->metrics());
   }
   if (req.method == "GET" && req.path == "/snapshot") {
     return json_response(200, backend.snapshot());
@@ -84,26 +72,30 @@ HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& r
       if (!params->is_map()) {
         return error_response(400, "MalformedRequest", "\"Params\" must be an object");
       }
-      for (const auto& [k, v] : params->as_map()) api_req.args[k] = retag_refs(v);
+      // Id re-tagging happens in the stack's validate layer, not here.
+      api_req.args = params->as_map();
     }
     ApiResponse result = backend.invoke(api_req);
     if (result.ok) {
       return json_response(200, Value(Value::Map{{"Data", result.data}}));
     }
-    return error_response(400, result.code, result.message);
+    int status = result.code == "RequestLimitExceeded" ? 429
+                 : result.code == "InternalError"      ? 500
+                                                       : 400;
+    return error_response(status, result.code, result.message);
   }
   if (req.path == "/invoke" || req.path == "/reset" || req.path == "/health" ||
-      req.path == "/snapshot") {
+      req.path == "/snapshot" || req.path == "/metrics") {
     return error_response(405, "MethodNotAllowed",
                           strf(req.method, " not supported on ", req.path));
   }
   return error_response(404, "NoSuchEndpoint", strf("unknown path ", req.path));
 }
 
-EmulatorEndpoint::EmulatorEndpoint(CloudBackend& backend)
-    : backend_(backend),
+EmulatorEndpoint::EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config)
+    : stack_(stack::build_stack(backend, config)),
       server_([this](const HttpRequest& req) {
-        return handle_emulator_request(backend_, req);
+        return handle_emulator_request(stack_, req);
       }) {}
 
 std::uint16_t EmulatorEndpoint::start(std::uint16_t port) { return server_.start(port); }

@@ -4,71 +4,56 @@
 //   POST /invoke    {"Action": "CreateVpc", "Params": {"cidr_block": "..."}}
 //     -> 200 {"Data": {...}}                     on success
 //     -> 400 {"Error": {"Code": ..., "Message": ...}}  on API failure
-//   GET  /health    -> {"status":"ok","backend":"learned-emulator"}
+//   GET  /health    -> {"status":"ok","backend":...,"layers":[...]}
+//   GET  /metrics   -> MetricsLayer counters/histograms (404 when the
+//                      backend stack has no metrics layer)
 //   GET  /snapshot  -> full mock-cloud state
 //   POST /reset     -> fresh account
 //
-// Wire convention: resource ids travel as plain JSON strings; incoming
-// strings shaped like ids ("<prefix>-<8 digits>") are re-tagged as
-// references before dispatch, mirroring how real cloud SDKs pass ids.
+// Cross-cutting invoke-path concerns (thread-safety, id re-tagging,
+// metrics, fault injection, recording, read caching) live in lce::stack;
+// the endpoint just builds a LayerStack from a StackConfig and routes HTTP
+// onto it. The "layers" health field and /metrics are served whenever the
+// backend IS a LayerStack (which EmulatorEndpoint guarantees).
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "common/api.h"
 #include "server/http.h"
+#include "stack/config.h"
 
 namespace lce::server {
 
+/// Wire-format id heuristic, re-exported from the stack's validate layer
+/// (ids travel as plain JSON strings and are re-tagged before dispatch).
+using stack::looks_like_resource_id;
+
 /// Translate one HTTP request into a backend call (exposed separately so
-/// tests can exercise routing without sockets).
+/// tests can exercise routing without sockets). When `backend` is a
+/// stack::LayerStack the chain-aware endpoints (/metrics, the /health
+/// "layers" field) light up.
 HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req);
 
-/// True when `s` has our resource-id shape ("vpc-00000001").
-bool looks_like_resource_id(const std::string& s);
-
-/// Thread-safety adapter: serializes every CloudBackend operation behind a
-/// mutex, so single-threaded backends (the interpreter, the reference
-/// cloud) can sit behind the concurrent HTTP server.
-class SerializedBackend final : public CloudBackend {
- public:
-  explicit SerializedBackend(CloudBackend& inner) : inner_(inner) {}
-
-  std::string name() const override { return inner_.name(); }
-  ApiResponse invoke(const ApiRequest& req) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return inner_.invoke(req);
-  }
-  void reset() override {
-    std::lock_guard<std::mutex> lock(mu_);
-    inner_.reset();
-  }
-  bool supports(const std::string& api) const override { return inner_.supports(api); }
-  Value snapshot() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return inner_.snapshot();
-  }
-
- private:
-  CloudBackend& inner_;
-  mutable std::mutex mu_;
-};
-
-/// A running emulator endpoint; owns the server thread (and a serializing
-/// wrapper around the backend), not the backend itself.
+/// A running emulator endpoint; owns the server thread and the layer stack
+/// built around the backend (default: serialize + validate + metrics), not
+/// the backend itself.
 class EmulatorEndpoint {
  public:
-  explicit EmulatorEndpoint(CloudBackend& backend);
+  explicit EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config = {});
 
   /// Bind and serve; returns the port (0 = failure).
   std::uint16_t start(std::uint16_t port = 0);
   void stop();
   std::uint16_t port() const { return server_.port(); }
 
+  /// The layer stack requests flow through (for pulling metrics, recorded
+  /// traces, or fault counters out of a live endpoint).
+  stack::LayerStack& stack() { return stack_; }
+
  private:
-  SerializedBackend backend_;
+  stack::LayerStack stack_;
   HttpServer server_;
 };
 

@@ -1,0 +1,44 @@
+// Declarative stack construction: which layers to install, in the one
+// canonical order. Consumers (the HTTP endpoint, the core pipeline, the
+// CLI) carry a StackConfig instead of hand-wiring decorators.
+//
+// Canonical order, outermost (sees requests first) to innermost:
+//
+//   metrics -> fault -> validate -> record -> read_cache -> serialize -> base
+//
+// Rationale: metrics observes everything including injected faults;
+// faults fire at the front door before any real work; validation
+// normalizes args so the recorder captures replayable calls and the cache
+// keys canonical requests; the read cache sits above serialize so cache
+// hits never take the backend mutex; serialize is the innermost gate
+// protecting single-threaded backends.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "stack/layers.h"
+
+namespace lce::stack {
+
+struct StackConfig {
+  bool serialize = true;
+  bool validate = true;
+  bool metrics = true;
+  bool read_cache = false;
+  bool record = false;
+  /// Engaged => install a FaultLayer seeded with this value.
+  std::optional<std::uint64_t> fault_seed;
+  FaultConfig fault;
+};
+
+/// Build the configured stack around a base backend the caller keeps
+/// alive. An all-false config yields a zero-layer stack that forwards
+/// straight to the base.
+LayerStack build_stack(CloudBackend& base, const StackConfig& config = {});
+
+/// Owning variant (clone chains, handed-off backends).
+LayerStack build_stack(std::unique_ptr<CloudBackend> base,
+                       const StackConfig& config = {});
+
+}  // namespace lce::stack

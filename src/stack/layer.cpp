@@ -1,0 +1,72 @@
+#include "stack/layer.h"
+
+#include <cassert>
+#include <utility>
+
+namespace lce::stack {
+
+void BackendLayer::attach(CloudBackend& inner) {
+  inner_ = &inner;
+  owned_.reset();
+}
+
+void BackendLayer::attach_owned(std::unique_ptr<CloudBackend> inner) {
+  inner_ = inner.get();
+  owned_ = std::move(inner);
+}
+
+CloudBackend& BackendLayer::inner() {
+  assert(inner_ != nullptr && "layer used before attach()");
+  return *inner_;
+}
+
+const CloudBackend& BackendLayer::inner() const {
+  assert(inner_ != nullptr && "layer used before attach()");
+  return *inner_;
+}
+
+std::unique_ptr<CloudBackend> BackendLayer::clone() const {
+  std::unique_ptr<CloudBackend> inner_clone = inner().clone();
+  if (!inner_clone) return nullptr;
+  std::unique_ptr<BackendLayer> layer = clone_detached();
+  layer->attach_owned(std::move(inner_clone));
+  return layer;
+}
+
+LayerStack::LayerStack(CloudBackend& base) : base_(&base) {}
+
+LayerStack::LayerStack(std::unique_ptr<CloudBackend> base)
+    : base_(base.get()), owned_base_(std::move(base)) {}
+
+LayerStack& LayerStack::push(std::unique_ptr<BackendLayer> layer) {
+  layer->attach(outer());
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+CloudBackend& LayerStack::outer() {
+  return layers_.empty() ? *base_ : *layers_.back();
+}
+
+const CloudBackend& LayerStack::outer() const {
+  return layers_.empty() ? *base_ : *layers_.back();
+}
+
+std::unique_ptr<CloudBackend> LayerStack::clone() const {
+  std::unique_ptr<CloudBackend> base_clone = base_->clone();
+  if (!base_clone) return nullptr;
+  auto copy = std::make_unique<LayerStack>(std::move(base_clone));
+  for (const auto& layer : layers_) copy->push(layer->clone_detached());
+  return copy;
+}
+
+std::vector<std::string> LayerStack::layer_names() const {
+  std::vector<std::string> names;
+  names.reserve(layers_.size());
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    names.push_back((*it)->layer_name());
+  }
+  return names;
+}
+
+}  // namespace lce::stack

@@ -18,6 +18,8 @@
 #include "docs/defects.h"
 #include "docs/render.h"
 #include "interp/interpreter.h"
+#include "stack/config.h"
+#include "stack/layers.h"
 
 namespace lce::align {
 namespace {
@@ -181,7 +183,99 @@ TEST(ParallelAlignment, RoundStatsRecordThroughputCounters) {
   perturbed.rounds[0].diff_wall_ms = 12345.0;
   perturbed.rounds[0].traces_per_sec = 1.0;
   perturbed.rounds[0].workers = 99;
+  perturbed.rounds[0].metrics = Value(Value::Map{{"cloud", Value("perturbed")}});
   EXPECT_EQ(canonical_text(perturbed), canonical_text(r));
+}
+
+// --- lce::stack interop ----------------------------------------------------
+// The whole point of BackendLayer::clone() forwarding: a cloud wrapped in
+// Serialize+Metrics must behave exactly like the bare cloud in the parallel
+// alignment loop — full worker fan-out, byte-identical canonical report.
+
+AlignmentReport align_layered(const docs::DocCorpus& corpus, int workers) {
+  cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+  stack::StackConfig cfg;
+  cfg.validate = false;  // Serialize + Metrics, the acceptance configuration
+  stack::LayerStack layered = stack::build_stack(cloud, cfg);
+  auto emu = core::LearnedEmulator::from_docs(corpus);
+  AlignmentOptions opts;
+  opts.workers = workers;
+  return emu.align_against(layered, opts);
+}
+
+TEST(ParallelStackClone, LayeredBackendDoesNotForceSerialFallback) {
+  // The retired server::SerializedBackend adapter inherited clone() ==
+  // nullptr, silently degrading the executor to serial whenever the cloud
+  // was wrapped for thread-safety. The layer stack clones its whole chain.
+  auto corpus = seeded_corpus();
+  auto emu = core::LearnedEmulator::from_docs(corpus);
+  cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+  stack::LayerStack layered = stack::build_stack(cloud);
+
+  TraceGenerator gen(emu.backend().spec());
+  std::vector<GenTrace> traces = gen.generate_all();
+  ParallelExecutor exec(layered, emu.backend(), 4);
+  exec.execute(traces);
+  EXPECT_EQ(exec.effective_workers(), 4);
+  // Workers replayed against clones: the shared stack saw no traffic.
+  EXPECT_EQ(layered.find<stack::MetricsLayer>()->calls(), 0u);
+}
+
+TEST(ParallelStackAlignment, LayeredReportIdenticalAcrossWorkerCounts) {
+  auto corpus = seeded_corpus();
+
+  AlignmentReport serial = align_layered(corpus, 1);
+  ASSERT_GT(serial.total_discrepancies(), 0u);
+  ASSERT_FALSE(serial.repairs.empty());
+  std::string want = canonical_text(serial);
+
+  EXPECT_EQ(canonical_text(align_layered(corpus, 4)), want);
+  EXPECT_EQ(canonical_text(align_layered(corpus, ThreadPool::hardware_workers())), want);
+
+  // The layers are pure pass-through for alignment semantics: the layered
+  // report matches the bare-backend report byte for byte.
+  EXPECT_EQ(want, canonical_text(align_with_workers(corpus, 1)));
+}
+
+TEST(ParallelStackAlignment, MetricsCollectionIsDeterministicAndInvisible) {
+  auto corpus = seeded_corpus();
+
+  auto align_counted = [&](int workers) {
+    cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+    auto emu = core::LearnedEmulator::from_docs(corpus);
+    AlignmentOptions opts;
+    opts.workers = workers;
+    opts.collect_metrics = true;
+    return emu.align_against(cloud, opts);
+  };
+  AlignmentReport serial = align_counted(1);
+  AlignmentReport parallel = align_counted(4);
+
+  // Collection changes nothing about the report...
+  EXPECT_EQ(canonical_text(serial), canonical_text(parallel));
+  EXPECT_EQ(canonical_text(serial), canonical_text(align_with_workers(corpus, 1)));
+
+  // ...and the call/error counters themselves are deterministic: the same
+  // invokes happen regardless of sharding (latency histograms are not
+  // compared — wall time is explicitly outside the contract).
+  ASSERT_EQ(serial.rounds.size(), parallel.rounds.size());
+  ASSERT_FALSE(serial.rounds.empty());
+  for (std::size_t i = 0; i < serial.rounds.size(); ++i) {
+    for (const char* side : {"cloud", "emulator"}) {
+      const Value* a = serial.rounds[i].metrics.get(side);
+      const Value* b = parallel.rounds[i].metrics.get(side);
+      ASSERT_NE(a, nullptr) << side << " round " << i;
+      ASSERT_NE(b, nullptr) << side << " round " << i;
+      EXPECT_EQ(a->get("total")->get("calls")->as_int(),
+                b->get("total")->get("calls")->as_int())
+          << side << " round " << i;
+      EXPECT_EQ(a->get("total")->get("errors")->as_int(),
+                b->get("total")->get("errors")->as_int())
+          << side << " round " << i;
+    }
+    EXPECT_GT(serial.rounds[i].metrics.get("cloud")->get("total")->get("calls")->as_int(),
+              0);
+  }
 }
 
 }  // namespace

@@ -33,6 +33,23 @@ TEST(LearnedEmulator, RichMessagesOnByDefault) {
   EXPECT_NE(del.message.find("Root cause"), std::string::npos);
 }
 
+TEST(LearnedEmulator, LayeredBackendWrapsInterpreterInConfiguredStack) {
+  PipelineOptions opts;
+  opts.stack.fault_seed = 5;
+  opts.stack.fault.throttle_rate = 0.0;
+  opts.stack.fault.error_rate = 0.0;
+  auto emu = LearnedEmulator::from_docs(aws_docs(), opts);
+  auto layered = emu.layered_backend();
+  EXPECT_EQ(layered.layer_names(),
+            (std::vector<std::string>{"metrics", "fault", "validate", "serialize"}));
+  auto r = layered.invoke(
+      ApiRequest{"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""});
+  EXPECT_TRUE(r.ok) << r.to_text();
+  EXPECT_EQ(layered.find<stack::MetricsLayer>()->calls(), 1u);
+  // The stack shares interpreter state with the bare backend() view.
+  EXPECT_EQ(emu.backend().snapshot().as_map().size(), 1u);
+}
+
 TEST(LearnedEmulator, CoverageCountsSupportedApis) {
   auto emu = LearnedEmulator::from_docs(aws_docs());
   auto catalog = docs::build_aws_catalog();

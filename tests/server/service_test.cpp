@@ -12,6 +12,7 @@
 #include "docs/corpus.h"
 #include "docs/render.h"
 #include "server/json.h"
+#include "stack/config.h"
 
 namespace lce::server {
 namespace {
@@ -29,24 +30,28 @@ TEST(ResourceIdShape, Heuristic) {
 
 class ServiceTest : public ::testing::Test {
  protected:
-  ServiceTest() : cloud_(docs::build_aws_catalog()) {}
+  // Requests route through the default layer stack (metrics -> validate ->
+  // serialize), exactly as EmulatorEndpoint wires a live endpoint.
+  ServiceTest()
+      : cloud_(docs::build_aws_catalog()), stack_(stack::build_stack(cloud_)) {}
 
   HttpResponse post(const std::string& path, const std::string& body) {
     HttpRequest req;
     req.method = "POST";
     req.path = path;
     req.body = body;
-    return handle_emulator_request(cloud_, req);
+    return handle_emulator_request(stack_, req);
   }
 
   HttpResponse get(const std::string& path) {
     HttpRequest req;
     req.method = "GET";
     req.path = path;
-    return handle_emulator_request(cloud_, req);
+    return handle_emulator_request(stack_, req);
   }
 
   cloud::ReferenceCloud cloud_;
+  stack::LayerStack stack_;
 };
 
 TEST_F(ServiceTest, HealthEndpoint) {
@@ -56,6 +61,50 @@ TEST_F(ServiceTest, HealthEndpoint) {
   ASSERT_TRUE(body);
   EXPECT_EQ(body->get("status")->as_str(), "ok");
   EXPECT_EQ(body->get("backend")->as_str(), "reference-cloud");
+  // The health reply names the installed chain, outermost first.
+  const Value* layers = body->get("layers");
+  ASSERT_NE(layers, nullptr);
+  ASSERT_EQ(layers->as_list().size(), 3u);
+  EXPECT_EQ(layers->as_list()[0].as_str(), "metrics");
+  EXPECT_EQ(layers->as_list()[1].as_str(), "validate");
+  EXPECT_EQ(layers->as_list()[2].as_str(), "serialize");
+}
+
+TEST_F(ServiceTest, HealthOnRawBackendOmitsLayerChain) {
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/health";
+  auto resp = handle_emulator_request(cloud_, req);
+  EXPECT_EQ(resp.status, 200);
+  auto body = parse_json(resp.body);
+  ASSERT_TRUE(body);
+  EXPECT_FALSE(body->has("layers"));
+}
+
+TEST_F(ServiceTest, MetricsEndpointCountsInvokes) {
+  post("/invoke", R"({"Action":"CreateVpc","Params":{"cidr_block":"10.0.0.0/16"}})");
+  post("/invoke", R"({"Action":"CreateVpc","Params":{"cidr_block":"10.0.0.0/8"}})");
+  auto resp = get("/metrics");
+  EXPECT_EQ(resp.status, 200);
+  auto body = parse_json(resp.body);
+  ASSERT_TRUE(body);
+  const Value* total = body->get("total");
+  ASSERT_NE(total, nullptr);
+  EXPECT_EQ(total->get("calls")->as_int(), 2);
+  EXPECT_EQ(total->get("errors")->as_int(), 1);  // the /8 CIDR is rejected
+  const Value* per_api = body->get("per_api");
+  ASSERT_NE(per_api, nullptr);
+  EXPECT_EQ(per_api->get("CreateVpc")->get("calls")->as_int(), 2);
+}
+
+TEST_F(ServiceTest, MetricsEndpointRequiresMetricsLayer) {
+  HttpRequest req;
+  req.method = "GET";
+  req.path = "/metrics";
+  auto raw = handle_emulator_request(cloud_, req);
+  EXPECT_EQ(raw.status, 404);
+  EXPECT_EQ(parse_json(raw.body)->get("Error")->get("Code")->as_str(),
+            "MetricsUnavailable");
 }
 
 TEST_F(ServiceTest, InvokeSuccessReturnsData) {

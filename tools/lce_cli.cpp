@@ -5,14 +5,22 @@
 //   lce run <script> [provider]      run a trace script on the emulator
 //   lce diff <script> [provider]     run on emulator AND reference cloud,
 //                                    flagging divergences per call
-//   lce align [provider] [--workers N] [--rounds N]
+//   lce align [provider] [--workers N] [--rounds N] [--metrics]
 //                                    run the §4.3 alignment loop, print
 //                                    the repair report; --workers shards
 //                                    the differential pass over N threads
 //                                    (0 = auto, 1 = serial; the report is
-//                                    identical for every worker count)
-//   lce serve [provider] [port]      serve the emulator over HTTP
+//                                    identical for every worker count);
+//                                    --metrics prints per-API call counts
+//   lce serve [provider] [port] [--metrics|--no-metrics] [--read-cache]
+//             [--fault-seed N] [--record FILE]
+//                                    serve the emulator over HTTP
 //                                    (LocalStack-style; Ctrl-D to stop)
+//                                    through the lce::stack layer chain:
+//                                    GET /metrics for counters, --fault-seed
+//                                    for deterministic throttle/error chaos,
+//                                    --record to dump traffic as a trace
+//                                    script on shutdown
 //   lce coverage                     Table-1 style coverage report
 //
 // provider: aws (default) | azure. Scripts: see src/core/trace_script.h.
@@ -22,6 +30,7 @@
 
 #include "align/engine.h"
 #include "server/service.h"
+#include "stack/config.h"
 #include "baselines/moto_like.h"
 #include "cloud/reference_cloud.h"
 #include "core/emulator.h"
@@ -44,12 +53,21 @@ int usage() {
                "  lce spec [aws|azure]\n"
                "  lce run <script-file> [aws|azure]\n"
                "  lce diff <script-file> [aws|azure]\n"
-               "  lce align [aws|azure] [--workers N] [--rounds N]\n"
+               "  lce align [aws|azure] [--workers N] [--rounds N] [--metrics]\n"
                "      --workers N  differential-pass threads (0 = auto-detect\n"
                "                   hardware concurrency, 1 = serial; any value\n"
                "                   yields the identical alignment report)\n"
                "      --rounds N   max alignment rounds (default 6)\n"
-               "  lce serve [aws|azure] [port]\n"
+               "      --metrics    print per-API call counts per round\n"
+               "  lce serve [aws|azure] [port] [options]\n"
+               "      --metrics / --no-metrics   install the metrics layer and\n"
+               "                   GET /metrics endpoint (default on)\n"
+               "      --read-cache memoize Describe/Get/List calls until the\n"
+               "                   next write\n"
+               "      --fault-seed N  inject deterministic RequestLimitExceeded /\n"
+               "                   InternalError faults seeded with N\n"
+               "      --record FILE   capture live traffic; write it as a\n"
+               "                   replayable trace script on shutdown\n"
                "  lce coverage\n";
   return 2;
 }
@@ -138,6 +156,8 @@ int main(int argc, char** argv) {
         aopts.workers = std::atoi(argv[++i]);
       } else if (arg == "--rounds" && i + 1 < argc) {
         aopts.max_rounds = std::atoi(argv[++i]);
+      } else if (arg == "--metrics") {
+        aopts.collect_metrics = true;
       } else {
         return usage();
       }
@@ -156,16 +176,48 @@ int main(int argc, char** argv) {
       std::cout << "round " << i + 1 << " timing: " << r.diff_wall_ms << " ms, "
                 << static_cast<long>(r.traces_per_sec) << " traces/s, "
                 << r.workers << " worker(s)\n";
+      if (aopts.collect_metrics && r.metrics.is_map()) {
+        for (const char* side : {"cloud", "emulator"}) {
+          const Value* total = r.metrics.get(side) ? r.metrics.get(side)->get("total")
+                                                   : nullptr;
+          if (total == nullptr) continue;
+          std::cout << "  " << side << ": " << total->get_or("calls", Value(0)).as_int()
+                    << " calls, " << total->get_or("errors", Value(0)).as_int()
+                    << " errors\n";
+        }
+      }
     }
     return report.converged ? 0 : 1;
   }
   if (cmd == "serve") {
-    std::string provider = argc > 2 ? argv[2] : "aws";
+    std::string provider = "aws";
     int port = 0;
-    if (argc > 3) port = std::atoi(argv[3]);
+    stack::StackConfig config;
+    std::string record_path;
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "aws" || arg == "azure") {
+        provider = arg;
+      } else if (arg == "--metrics") {
+        config.metrics = true;
+      } else if (arg == "--no-metrics") {
+        config.metrics = false;
+      } else if (arg == "--read-cache") {
+        config.read_cache = true;
+      } else if (arg == "--fault-seed" && i + 1 < argc) {
+        config.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (arg == "--record" && i + 1 < argc) {
+        config.record = true;
+        record_path = argv[++i];
+      } else if (!arg.empty() && arg[0] != '-') {
+        port = std::atoi(arg.c_str());
+      } else {
+        return usage();
+      }
+    }
     auto emulator =
         core::LearnedEmulator::from_docs(docs::render_corpus(catalog_for(provider)));
-    server::EmulatorEndpoint endpoint(emulator.backend());
+    server::EmulatorEndpoint endpoint(emulator.backend(), config);
     std::uint16_t bound = endpoint.start(static_cast<std::uint16_t>(port));
     if (bound == 0) {
       std::cerr << "lce: failed to bind port " << port << "\n";
@@ -174,12 +226,31 @@ int main(int argc, char** argv) {
     std::cout << "learned " << provider << " emulator serving on http://127.0.0.1:"
               << bound << "\n"
               << "  POST /invoke  {\"Action\": \"CreateVpc\", \"Params\": {...}}\n"
-              << "  GET  /health  |  GET /snapshot  |  POST /reset\n"
+              << "  GET  /health  |  GET /metrics  |  GET /snapshot  |  POST /reset\n"
+              << "  layers: ";
+    auto names = endpoint.stack().layer_names();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      std::cout << (i ? " -> " : "") << names[i];
+    }
+    std::cout << (names.empty() ? "(none)" : "") << " -> " << emulator.backend().name()
+              << "\n"
               << "press Ctrl-D (EOF) to stop\n";
     std::string line;
     while (std::getline(std::cin, line)) {
     }
     endpoint.stop();
+    if (auto* rec = endpoint.stack().find<stack::RecordLayer>()) {
+      std::ofstream out(record_path);
+      if (!out) {
+        std::cerr << "lce: cannot write " << record_path << "\n";
+        return 1;
+      }
+      Trace trace = rec->trace();
+      trace.label = record_path;
+      out << core::print_trace_script(trace);
+      std::cout << "recorded " << trace.calls.size() << " call(s) to " << record_path
+                << "\n";
+    }
     return 0;
   }
   if (cmd == "coverage") {
