@@ -11,14 +11,21 @@
 // status enforces the acceptance budget: the default chain must stay
 // under 2x bare, and the read cache must beat the serialized chain on
 // repeated describes (it answers from memory above the mutex).
+//
+// Flags: --quick (smaller workload for CI smoke), --json FILE (machine-
+// readable results, uploaded as a CI artifact).
 #include <chrono>
+#include <fstream>
 #include <iostream>
+#include <string>
 #include <vector>
 
 #include "cloud/reference_cloud.h"
 #include "common/strings.h"
 #include "common/table.h"
+#include "common/value.h"
 #include "docs/corpus.h"
+#include "server/json.h"
 #include "stack/config.h"
 #include "stack/layers.h"
 
@@ -27,11 +34,10 @@ using namespace lce;
 namespace {
 
 constexpr int kVpcs = 8;
-constexpr int kRounds = 2000;  // describe sweeps over all vpcs per run
 
-/// Create kVpcs vpcs, then sweep DescribeVpc over them kRounds times.
+/// Create kVpcs vpcs, then sweep DescribeVpc over them `rounds` times.
 /// Returns ns per describe call.
-double run_workload(CloudBackend& backend) {
+double run_workload(CloudBackend& backend, int rounds) {
   std::vector<Value> ids;
   for (int i = 0; i < kVpcs; ++i) {
     auto r = backend.invoke(
@@ -43,7 +49,7 @@ double run_workload(CloudBackend& backend) {
     ids.push_back(*r.data.get("id"));
   }
   auto t0 = std::chrono::steady_clock::now();
-  for (int round = 0; round < kRounds; ++round) {
+  for (int round = 0; round < rounds; ++round) {
     for (const auto& id : ids) {
       auto r = backend.invoke({"DescribeVpc", {{"id", id}}, ""});
       if (!r.ok) {
@@ -55,14 +61,14 @@ double run_workload(CloudBackend& backend) {
   double ns = std::chrono::duration<double, std::nano>(
                   std::chrono::steady_clock::now() - t0)
                   .count();
-  return ns / (static_cast<double>(kRounds) * kVpcs);
+  return ns / (static_cast<double>(rounds) * kVpcs);
 }
 
-double best_of(CloudBackend& backend, int reps) {
+double best_of(CloudBackend& backend, int reps, int rounds) {
   double best = 0;
   for (int i = 0; i < reps; ++i) {
     backend.reset();
-    double ns = run_workload(backend);
+    double ns = run_workload(backend, rounds);
     if (i == 0 || ns < best) best = ns;
   }
   return best;
@@ -70,25 +76,42 @@ double best_of(CloudBackend& backend, int reps) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      std::cerr << "unknown bench flag: " << arg
+                << "\nflags: --quick --json FILE\n";
+      return 2;
+    }
+  }
+  int rounds = quick ? 400 : 2000;
+  int reps = quick ? 2 : 3;
+
   std::cout << "=== Layer stack overhead: describe-heavy invoke path ===\n";
-  std::cout << "  workload: " << kVpcs << " vpcs, " << kRounds
-            << " DescribeVpc sweeps, best of 3 runs\n\n";
+  std::cout << "  workload: " << kVpcs << " vpcs, " << rounds
+            << " DescribeVpc sweeps, best of " << reps << " runs\n\n";
 
   cloud::ReferenceCloud bare_cloud(docs::build_aws_catalog());
-  double bare = best_of(bare_cloud, 3);
+  double bare = best_of(bare_cloud, reps, rounds);
 
   cloud::ReferenceCloud serialized_cloud(docs::build_aws_catalog());
   stack::StackConfig default_cfg;
   default_cfg.validate = false;  // Serialize + Metrics, the budgeted pair
   stack::LayerStack serialized = stack::build_stack(serialized_cloud, default_cfg);
-  double with_layers = best_of(serialized, 3);
+  double with_layers = best_of(serialized, reps, rounds);
 
   cloud::ReferenceCloud cached_cloud(docs::build_aws_catalog());
   stack::StackConfig cache_cfg = default_cfg;
   cache_cfg.read_cache = true;
   stack::LayerStack cached = stack::build_stack(cached_cloud, cache_cfg);
-  double with_cache = best_of(cached, 3);
+  double with_cache = best_of(cached, reps, rounds);
 
   auto row = [&](const char* name, double ns) {
     return std::vector<std::string>{name, strf(static_cast<long>(ns)),
@@ -105,5 +128,24 @@ int main() {
   std::cout << "overhead budget (<2x bare): " << (overhead_ok ? "PASS" : "FAIL")
             << "\nread cache beats serialized chain: " << (cache_ok ? "PASS" : "FAIL")
             << "\n";
+
+  if (!json_path.empty()) {
+    Value::Map root;
+    root["bench"] = Value(std::string("layer_overhead"));
+    root["quick"] = Value(quick);
+    root["bare_ns_per_describe"] = Value(static_cast<std::int64_t>(bare));
+    root["serialized_ns_per_describe"] = Value(static_cast<std::int64_t>(with_layers));
+    root["cached_ns_per_describe"] = Value(static_cast<std::int64_t>(with_cache));
+    root["overhead_budget_ok"] = Value(overhead_ok);
+    root["read_cache_ok"] = Value(cache_ok);
+    root["pass"] = Value(overhead_ok && cache_ok);
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << server::to_json(Value(std::move(root))) << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
   return overhead_ok && cache_ok ? 0 : 1;
 }

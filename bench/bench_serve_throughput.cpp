@@ -1,0 +1,13 @@
+// Open-loop / closed-loop serve benchmark: the sharded interpreter path
+// against the SerializeLayer compatibility path (see src/bench/serve_bench
+// for the driver and DESIGN.md "Serve throughput benchmark" for the
+// methodology). CI runs `--quick --json BENCH_serve.json` as the
+// bench-smoke gate; the exit status enforces sharded > serialized at the
+// top measured concurrency >= 4.
+#include "bench/serve_bench.h"
+
+int main(int argc, char** argv) {
+  lce::bench::ServeBenchOptions opts;
+  if (!lce::bench::parse_serve_bench_args(argc - 1, argv + 1, opts)) return 2;
+  return lce::bench::run_serve_bench(opts);
+}

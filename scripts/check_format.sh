@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# clang-format dry run over every C++ file in the tree. Exit 1 when any
+# file needs formatting, with the offending paths listed; exit 0 when
+# clean. CI runs this as a non-blocking job (continue-on-error) — style
+# feedback, not a merge gate. Run with FIX=1 to rewrite in place.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+if ! command -v clang-format >/dev/null 2>&1; then
+  echo "check_format: clang-format not installed, skipping"
+  exit 0
+fi
+
+mode=(--dry-run -Werror)
+[[ "${FIX:-0}" = "1" ]] && mode=(-i)
+
+fail=0
+while IFS= read -r -d '' f; do
+  if ! clang-format "${mode[@]}" "$f" >/dev/null 2>&1; then
+    echo "needs format: $f"
+    fail=1
+  fi
+done < <(find src tests tools bench examples -type f \
+  \( -name '*.cpp' -o -name '*.h' \) -print0)
+
+if [[ "$fail" = "0" ]]; then
+  echo "check_format: clean"
+fi
+exit "$fail"

@@ -1,0 +1,22 @@
+# Single source of truth for the test selections shared by local tier-1
+# verification (scripts/tier1.sh) and the hosted pipeline
+# (.github/workflows/ci.yml). Both source this file, so the TSan suite
+# can never drift between the two.
+#
+# LCE_TSAN_TEST_TARGETS  test binaries built for the sanitizer configs
+#                        (a subset: docs/spec/synth are single-threaded
+#                        and only slow the instrumented build down).
+# LCE_TSAN_TEST_REGEX    ctest -R selection: every concurrency-sensitive
+#                        suite — parallel alignment, clone fidelity, fuzz
+#                        determinism, the layer stack, the endpoint
+#                        hammers, fault injection, and the sharded-store
+#                        stress tests ("Shard").
+export LCE_TSAN_TEST_TARGETS="common_test align_test interp_test cloud_test stack_test server_test"
+export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard'
+
+# Portable core count: GNU coreutils' nproc, then the BSD/macOS sysctl,
+# then POSIX getconf, then a safe fallback.
+lce_nproc() {
+  nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null ||
+    getconf _NPROCESSORS_ONLN 2>/dev/null || echo 2
+}

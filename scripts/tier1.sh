@@ -3,20 +3,28 @@
 #   1. plain build + full ctest suite;
 #   2. ThreadSanitizer build (-DLCE_SANITIZE=thread) running the parallel
 #      alignment / clone-fidelity / fuzz-determinism tests plus the layer
-#      stack suite and the concurrent endpoint hammer tests, so data races
-#      in the alignment thread pool, the serialize layer, and the HTTP
-#      invoke path are caught at test time.
+#      stack suite, the concurrent endpoint hammers, and the sharded-store
+#      stress tests, so data races in the alignment thread pool, the
+#      striped store locks, and the HTTP invoke path are caught at test
+#      time.
+#
+# The TSan target list and test regex live in scripts/ci_env.sh, shared
+# with .github/workflows/ci.yml.
 set -euo pipefail
 cd "$(dirname "$0")/.."
+source scripts/ci_env.sh
+
+JOBS="$(lce_nproc)"
 
 echo "== tier-1: plain build + full test suite =="
 cmake -B build -S . >/dev/null
-cmake --build build -j
-(cd build && ctest --output-on-failure -j"$(nproc)")
+cmake --build build -j"$JOBS"
+(cd build && ctest --output-on-failure -j"$JOBS")
 
 echo "== tier-1: ThreadSanitizer build + parallel tests =="
 cmake -B build-tsan -S . -DLCE_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target align_test interp_test cloud_test stack_test server_test
-(cd build-tsan && ctest --output-on-failure -R 'Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer')
+# shellcheck disable=SC2086  # target list is intentionally word-split
+cmake --build build-tsan -j"$JOBS" --target $LCE_TSAN_TEST_TARGETS
+(cd build-tsan && ctest --output-on-failure -R "$LCE_TSAN_TEST_REGEX")
 
 echo "tier-1: OK"

@@ -1,0 +1,227 @@
+#include "bench/serve_bench.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "bench/loadgen.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "common/thread_pool.h"
+#include "core/emulator.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+#include "server/json.h"
+#include "stack/config.h"
+
+namespace lce::bench {
+
+namespace {
+
+stack::StackConfig bench_config(stack::SerializeMode mode) {
+  stack::StackConfig cfg;
+  cfg.serialize = mode;
+  cfg.validate = true;
+  // No metrics layer: its counter mutex is shared contention that would
+  // blur the serialized-vs-sharded comparison this bench exists to make.
+  cfg.metrics = false;
+  return cfg;
+}
+
+struct SweepPoint {
+  std::string config;
+  int concurrency = 0;
+  LoadStats stats;
+};
+
+Value point_value(const SweepPoint& p, double rate) {
+  Value::Map m = p.stats.to_value().as_map();
+  m["config"] = Value(p.config);
+  m["concurrency"] = Value(static_cast<std::int64_t>(p.concurrency));
+  if (rate > 0) m["arrival_rate_ops_s"] = Value(static_cast<std::int64_t>(rate));
+  return Value(std::move(m));
+}
+
+std::string fmt_speedup(double s) {
+  return strf(static_cast<long>(s), ".", static_cast<long>(s * 100) % 100 / 10,
+              static_cast<long>(s * 100) % 10, "x");
+}
+
+}  // namespace
+
+bool parse_serve_bench_args(int argc, char** argv, ServeBenchOptions& out) {
+  for (int i = 0; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      out.quick = true;
+    } else if (arg == "--json" && i + 1 < argc) {
+      out.json_path = argv[++i];
+    } else if (arg == "--no-json") {
+      out.json_path.clear();
+    } else if (arg == "--ops" && i + 1 < argc) {
+      out.ops = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (arg == "--concurrency" && i + 1 < argc) {
+      out.concurrency.clear();
+      std::string list = argv[++i];
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        std::size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        out.concurrency.push_back(std::atoi(list.substr(pos, comma - pos).c_str()));
+        pos = comma + 1;
+      }
+    } else if (arg == "--rate" && i + 1 < argc) {
+      out.open_loop_rate = std::atof(argv[++i]);
+    } else if (arg == "--seed" && i + 1 < argc) {
+      out.seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+    } else if (arg == "--min-speedup" && i + 1 < argc) {
+      out.min_speedup = std::atof(argv[++i]);
+    } else if (arg == "--no-enforce") {
+      out.enforce = false;
+    } else {
+      std::cerr << "unknown bench flag: " << arg << "\n"
+                << "flags: --quick --json FILE --no-json --ops N "
+                   "--concurrency a,b,c --rate R --seed N --min-speedup X "
+                   "--no-enforce\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+int run_serve_bench(const ServeBenchOptions& opts) {
+  std::vector<int> sweep = opts.concurrency;
+  if (sweep.empty()) {
+    sweep = opts.quick ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  }
+  std::size_t ops = opts.ops != 0 ? opts.ops : (opts.quick ? 3000 : 20000);
+  int hw = ThreadPool::hardware_workers();
+
+  std::cout << "=== Serve-path throughput: serialized vs sharded invoke ===\n"
+            << "  workload: " << ops << " ops/run, 10% create / 20% mutate / "
+               "70% describe, hardware workers: " << hw << "\n\n";
+
+  // One emulator, two stacks over the same interpreter: identical layers
+  // except the serialize gate. Each run_load resets the shared store.
+  auto emulator = core::LearnedEmulator::from_docs(
+      docs::render_corpus(docs::build_aws_catalog()));
+  stack::LayerStack serialized =
+      stack::build_stack(emulator.backend(), bench_config(stack::SerializeMode::kOn));
+  stack::LayerStack sharded =
+      stack::build_stack(emulator.backend(), bench_config(stack::SerializeMode::kOff));
+
+  LoadOptions base;
+  base.total_ops = ops;
+  base.seed = opts.seed;
+
+  std::vector<SweepPoint> closed;
+  double best_sharded = 0;
+  for (int c : sweep) {
+    for (auto* side : {&serialized, &sharded}) {
+      LoadOptions lo = base;
+      lo.concurrency = c;
+      SweepPoint p;
+      p.config = side == &serialized ? "serialized" : "sharded";
+      p.concurrency = c;
+      p.stats = run_load(*side, lo);
+      if (side == &sharded && p.stats.throughput_ops_s > best_sharded) {
+        best_sharded = p.stats.throughput_ops_s;
+      }
+      closed.push_back(std::move(p));
+    }
+  }
+
+  TextTable table({"config", "conc", "ops/s", "p50 us", "p99 us", "errors"});
+  for (const auto& p : closed) {
+    table.add_row({p.config, strf(p.concurrency),
+                   strf(static_cast<long>(p.stats.throughput_ops_s)),
+                   strf(static_cast<long>(p.stats.p50_us)),
+                   strf(static_cast<long>(p.stats.p99_us)),
+                   strf(p.stats.errors)});
+  }
+  std::cout << table.render() << "\n";
+
+  // Speedups per concurrency point.
+  double gate_speedup = 0;
+  int gate_conc = 0;
+  std::cout << "sharded vs serialized:";
+  for (int c : sweep) {
+    double ser = 0, sha = 0;
+    for (const auto& p : closed) {
+      if (p.concurrency != c) continue;
+      (p.config == "serialized" ? ser : sha) = p.stats.throughput_ops_s;
+    }
+    double speedup = ser > 0 ? sha / ser : 0;
+    std::cout << "  c" << c << "=" << fmt_speedup(speedup);
+    if (c >= 4 && c >= gate_conc) {
+      gate_conc = c;
+      gate_speedup = speedup;
+    }
+  }
+  std::cout << "\n";
+
+  // Open-loop latency at a rate the serialized path struggles with.
+  double rate = opts.open_loop_rate > 0 ? opts.open_loop_rate : best_sharded * 0.6;
+  int open_conc = sweep.back();
+  std::vector<SweepPoint> open;
+  if (rate > 0) {
+    std::cout << "\nopen loop: " << static_cast<long>(rate)
+              << " ops/s scheduled arrivals, concurrency " << open_conc
+              << " (latency from scheduled arrival):\n";
+    for (auto* side : {&serialized, &sharded}) {
+      LoadOptions lo = base;
+      lo.concurrency = open_conc;
+      lo.arrival_rate = rate;
+      SweepPoint p;
+      p.config = side == &serialized ? "serialized" : "sharded";
+      p.concurrency = open_conc;
+      p.stats = run_load(*side, lo);
+      std::cout << "  " << p.config << ": p50 "
+                << static_cast<long>(p.stats.p50_us) << " us, p99 "
+                << static_cast<long>(p.stats.p99_us) << " us, max "
+                << static_cast<long>(p.stats.max_us / 1000) << " ms\n";
+      open.push_back(std::move(p));
+    }
+  }
+
+  bool gate_applicable = opts.enforce && gate_conc >= 4 && hw >= 2;
+  bool pass = !gate_applicable || gate_speedup >= opts.min_speedup;
+  if (gate_applicable) {
+    std::cout << "\nsharded >= " << fmt_speedup(opts.min_speedup)
+              << " serialized at c" << gate_conc << ": "
+              << (pass ? "PASS" : "FAIL") << " (" << fmt_speedup(gate_speedup)
+              << ")\n";
+  } else if (opts.enforce) {
+    std::cout << "\nspeedup gate skipped ("
+              << (hw < 2 ? "single-core machine" : "no sweep point >= 4")
+              << ")\n";
+  }
+
+  if (!opts.json_path.empty()) {
+    Value::Map root;
+    root["bench"] = Value(std::string("serve_throughput"));
+    root["quick"] = Value(opts.quick);
+    root["hardware_workers"] = Value(static_cast<std::int64_t>(hw));
+    root["ops_per_run"] = Value(static_cast<std::int64_t>(ops));
+    Value::List closed_rows;
+    for (const auto& p : closed) closed_rows.push_back(point_value(p, 0));
+    root["closed_loop"] = Value(std::move(closed_rows));
+    Value::List open_rows;
+    for (const auto& p : open) open_rows.push_back(point_value(p, rate));
+    root["open_loop"] = Value(std::move(open_rows));
+    root["speedup_at_gate"] = Value(fmt_speedup(gate_speedup));
+    root["gate_concurrency"] = Value(static_cast<std::int64_t>(gate_conc));
+    root["pass"] = Value(pass);
+    std::ofstream out(opts.json_path);
+    if (!out) {
+      std::cerr << "cannot write " << opts.json_path << "\n";
+      return 1;
+    }
+    out << server::to_json(Value(std::move(root))) << "\n";
+    std::cout << "wrote " << opts.json_path << "\n";
+  }
+
+  return pass ? 0 : 1;
+}
+
+}  // namespace lce::bench

@@ -1,0 +1,48 @@
+// The serve-path benchmark driver behind both `bench_serve_throughput`
+// and `lce bench serve`: a closed-loop concurrency sweep comparing the
+// serialized invoke path (SerializeLayer forced ON — the pre-sharding
+// default) against the sharded path (gate OFF — the interpreter's own
+// striped locks), followed by an open-loop latency run at a fixed arrival
+// rate. Results print as a table and optionally land in BENCH_serve.json.
+//
+// Exit-code contract (the CI bench-smoke gate): when enforcement is on,
+// the run fails unless sharded throughput beats serialized throughput by
+// `min_speedup` at the highest measured concurrency >= 4. Enforcement is
+// skipped on single-core machines, where no concurrent speedup exists.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lce::bench {
+
+struct ServeBenchOptions {
+  /// Smaller op counts for CI smoke runs.
+  bool quick = false;
+  /// Where to write the JSON report; "" = don't.
+  std::string json_path = "BENCH_serve.json";
+  /// Closed-loop sweep points; empty = {1, 2, 4, 8} ({1, 4} in quick mode).
+  std::vector<int> concurrency;
+  /// Ops per measured run; 0 = default (20000; 3000 in quick mode).
+  std::size_t ops = 0;
+  /// Open-loop arrival rate in ops/sec; 0 = derive from the sharded
+  /// closed-loop result (60% of its peak — enough to queue on the
+  /// serialized path, comfortable for the sharded one).
+  double open_loop_rate = 0;
+  std::uint64_t seed = 42;
+  /// Fail the process when the sharded path is not >= min_speedup x the
+  /// serialized path at the top concurrency >= 4.
+  bool enforce = true;
+  double min_speedup = 1.0;
+};
+
+/// Parse bench flags (--quick, --json FILE, --ops N, --concurrency a,b,c,
+/// --rate R, --seed N, --min-speedup X, --no-enforce, --no-json) into
+/// `out`. Returns false (and prints to stderr) on unknown flags.
+bool parse_serve_bench_args(int argc, char** argv, ServeBenchOptions& out);
+
+/// Run the benchmark; returns the process exit code (0 = pass).
+int run_serve_bench(const ServeBenchOptions& opts);
+
+}  // namespace lce::bench

@@ -61,6 +61,13 @@ class CloudBackend {
   /// accounting, Table 1). Default: optimistically true.
   virtual bool supports(const std::string& api) const;
 
+  /// True when invoke()/reset()/snapshot() may be called concurrently
+  /// without external serialization. Backends that lock internally (the
+  /// sharded interpreter) return true; stack::build_stack consults this
+  /// to decide whether the SerializeLayer compatibility gate is needed.
+  /// Default: false — the safe assumption for plain single-threaded code.
+  virtual bool thread_safe() const { return false; }
+
   /// Snapshot of all live resources for state comparison:
   /// map: resource-id -> {type, attrs...}. Backends that cannot enumerate
   /// return an empty map (treated as "no state claim").

@@ -17,6 +17,20 @@ std::string IdGenerator::next(std::string_view prefix) {
   return strf(prefix, "-", buf);
 }
 
+std::uint64_t IdGenerator::current(std::string_view prefix) const {
+  auto it = counters_.find(prefix);
+  return it == counters_.end() ? 0 : it->second;
+}
+
+void IdGenerator::set_counter(std::string_view prefix, std::uint64_t value) {
+  if (value == 0) {
+    auto it = counters_.find(prefix);
+    if (it != counters_.end()) counters_.erase(it);
+    return;
+  }
+  counters_.insert_or_assign(std::string(prefix), value);
+}
+
 std::string IdGenerator::prefix_for(std::string_view resource_type) {
   return to_lower(resource_type);
 }

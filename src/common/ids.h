@@ -16,6 +16,12 @@ class IdGenerator {
 
   void reset() { counters_.clear(); }
 
+  /// Current counter for `prefix` (0 when nothing was minted yet). Paired
+  /// with set_counter() so transactional callers can un-mint an id when a
+  /// transition rolls back (keeping serial id sequences gap-free).
+  std::uint64_t current(std::string_view prefix) const;
+  void set_counter(std::string_view prefix, std::uint64_t value);
+
   /// Derive the conventional prefix for a resource-type name:
   /// "Vpc" -> "vpc", "NetworkInterface" -> "eni"-less generic "networkinterface".
   static std::string prefix_for(std::string_view resource_type);

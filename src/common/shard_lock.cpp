@@ -1,0 +1,120 @@
+#include "common/shard_lock.h"
+
+#include <algorithm>
+
+namespace lce {
+
+namespace {
+
+/// FNV-1a, the same cheap stable hash everywhere (std::hash<string> may
+/// differ across libc++ / libstdc++; shard placement must not).
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace
+
+std::size_t shard_index_for_id(std::string_view id, std::size_t shard_count) {
+  if (shard_count <= 1) return 0;
+  // "vpc-00000001" -> family "vpc", suffix 1. Family hash keeps distinct
+  // types apart; adding the suffix spreads one family's instances across
+  // shards instead of serializing a type behind a single stripe.
+  std::size_t dash = id.rfind('-');
+  std::uint64_t suffix = 0;
+  bool numeric = dash != std::string_view::npos && dash + 1 < id.size();
+  if (numeric) {
+    for (std::size_t i = dash + 1; i < id.size(); ++i) {
+      char c = id[i];
+      if (c < '0' || c > '9') {
+        numeric = false;
+        break;
+      }
+      suffix = suffix * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+  }
+  std::uint64_t h = numeric ? fnv1a(id.substr(0, dash)) + suffix : fnv1a(id);
+  return static_cast<std::size_t>(h % shard_count);
+}
+
+StripedRwLock::StripedRwLock(std::size_t shard_count) {
+  if (shard_count == 0) shard_count = 1;
+  mutexes_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    mutexes_.push_back(std::make_unique<std::shared_mutex>());
+  }
+}
+
+StripedRwLock::Guard::Guard(Guard&& o) noexcept
+    : table_(o.table_), shards_(std::move(o.shards_)), exclusive_(o.exclusive_) {
+  o.table_ = nullptr;
+  o.shards_.clear();
+}
+
+StripedRwLock::Guard& StripedRwLock::Guard::operator=(Guard&& o) noexcept {
+  if (this != &o) {
+    release();
+    table_ = o.table_;
+    shards_ = std::move(o.shards_);
+    exclusive_ = o.exclusive_;
+    o.table_ = nullptr;
+    o.shards_.clear();
+  }
+  return *this;
+}
+
+void StripedRwLock::Guard::release() {
+  if (table_ == nullptr) return;
+  // Reverse acquisition order: the mirror image of the ascending-order
+  // rule that makes multi-shard holds deadlock-free.
+  for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+    if (exclusive_) {
+      table_->mutexes_[*it]->unlock();
+    } else {
+      table_->mutexes_[*it]->unlock_shared();
+    }
+  }
+  table_ = nullptr;
+  shards_.clear();
+}
+
+bool StripedRwLock::Guard::holds(std::size_t shard) const {
+  return table_ != nullptr &&
+         std::find(shards_.begin(), shards_.end(), shard) != shards_.end();
+}
+
+StripedRwLock::Guard StripedRwLock::lock_shared_all() {
+  std::vector<std::size_t> all(shard_count());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+    mutexes_[i]->lock_shared();
+  }
+  return Guard(this, std::move(all), /*exclusive=*/false);
+}
+
+StripedRwLock::Guard StripedRwLock::lock_exclusive_all() {
+  std::vector<std::size_t> all(shard_count());
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    all[i] = i;
+    mutexes_[i]->lock();
+  }
+  return Guard(this, std::move(all), /*exclusive=*/true);
+}
+
+StripedRwLock::Guard StripedRwLock::lock_exclusive(std::vector<std::size_t> shards) {
+  std::sort(shards.begin(), shards.end());
+  shards.erase(std::unique(shards.begin(), shards.end()), shards.end());
+  for (std::size_t s : shards) mutexes_[s]->lock();
+  return Guard(this, std::move(shards), /*exclusive=*/true);
+}
+
+StripedRwLock::Guard StripedRwLock::lock_shared_one(std::size_t shard) {
+  mutexes_[shard]->lock_shared();
+  return Guard(this, {shard}, /*exclusive=*/false);
+}
+
+}  // namespace lce

@@ -1,0 +1,91 @@
+// Striped reader-writer locking for sharded state (DESIGN.md "Sharded
+// resource store"). State is partitioned into N shards, each guarded by
+// its own std::shared_mutex; callers take either
+//
+//   - shared locks on ALL shards   (read-only operations, scans),
+//   - exclusive locks on a SET of shards (writes whose footprint is known
+//     up front, e.g. "the target resource plus the referenced parent"), or
+//   - exclusive locks on ALL shards (writes with a dynamic footprint).
+//
+// Deadlock freedom comes from one global rule: every multi-shard
+// acquisition locks shards in ascending index order and releases in
+// descending order. `shard_index_for_id` maps a resource id to its shard
+// by hashing the id's family (the prefix before the trailing counter,
+// e.g. "vpc" / "subnet") and mixing in the numeric suffix, so resources
+// of one family spread across shards instead of piling onto one.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <shared_mutex>
+#include <string_view>
+#include <vector>
+
+namespace lce {
+
+/// Shard index for a resource id ("vpc-00000001"): hash of the family
+/// prefix combined with the numeric suffix, modulo `shard_count`.
+/// Ids without the family-counter shape hash as opaque strings — every
+/// string maps to SOME stable shard, so callers never need a special case.
+std::size_t shard_index_for_id(std::string_view id, std::size_t shard_count);
+
+class StripedRwLock {
+ public:
+  static constexpr std::size_t kDefaultShards = 16;
+
+  explicit StripedRwLock(std::size_t shard_count = kDefaultShards);
+
+  // Movable (the sharded store is copy-assignable and rebuilds its lock
+  // table), not copyable: a lock's identity is its mutexes.
+  StripedRwLock(StripedRwLock&&) noexcept = default;
+  StripedRwLock& operator=(StripedRwLock&&) noexcept = default;
+  StripedRwLock(const StripedRwLock&) = delete;
+  StripedRwLock& operator=(const StripedRwLock&) = delete;
+
+  std::size_t shard_count() const { return mutexes_.size(); }
+
+  /// RAII hold over a set of shards. Releases in reverse acquisition
+  /// order on destruction; movable so guards can be returned.
+  class Guard {
+   public:
+    Guard() = default;
+    Guard(Guard&& o) noexcept;
+    Guard& operator=(Guard&& o) noexcept;
+    Guard(const Guard&) = delete;
+    Guard& operator=(const Guard&) = delete;
+    ~Guard() { release(); }
+
+    void release();
+    bool exclusive() const { return exclusive_; }
+    /// True when this guard holds `shard` (tests assert lock coverage).
+    bool holds(std::size_t shard) const;
+    /// Held shard indices, ascending (consumers pass these to store
+    /// helpers that must know the held set, e.g. attach_guarded).
+    const std::vector<std::size_t>& shards() const { return shards_; }
+
+   private:
+    friend class StripedRwLock;
+    Guard(StripedRwLock* table, std::vector<std::size_t> shards, bool exclusive)
+        : table_(table), shards_(std::move(shards)), exclusive_(exclusive) {}
+
+    StripedRwLock* table_ = nullptr;
+    std::vector<std::size_t> shards_;  // ascending; the acquisition order
+    bool exclusive_ = false;
+  };
+
+  /// Shared-lock every shard (read-only scans see a consistent store).
+  Guard lock_shared_all();
+  /// Exclusively lock every shard (dynamic-footprint writes).
+  Guard lock_exclusive_all();
+  /// Exclusively lock just `shards` (any order / duplicates accepted;
+  /// acquisition is sorted + deduplicated).
+  Guard lock_exclusive(std::vector<std::size_t> shards);
+  /// Shared-lock one shard — transient probes (e.g. the attach cycle walk
+  /// peeking at an ancestor outside the caller's exclusive set).
+  Guard lock_shared_one(std::size_t shard);
+
+ private:
+  std::vector<std::unique_ptr<std::shared_mutex>> mutexes_;
+};
+
+}  // namespace lce

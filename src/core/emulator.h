@@ -30,8 +30,10 @@ struct PipelineOptions {
   /// differential-pass parallelism (0 = auto, 1 = serial).
   align::AlignmentOptions alignment;
   /// Layer stack installed around the interpreter by layered_backend()
-  /// (serving, concurrent harnesses). Defaults: serialize + validate +
-  /// metrics, no faults.
+  /// (serving, concurrent harnesses). Defaults: validate + metrics, no
+  /// faults; serialize is kAuto and stays OUT for the interpreter (it is
+  /// thread_safe() via the sharded store), so the default serve path runs
+  /// concurrently.
   stack::StackConfig stack;
 };
 

@@ -1,6 +1,8 @@
 #include "interp/interpreter.h"
 
 #include <optional>
+#include <set>
+#include <vector>
 
 #include "common/cidr.h"
 #include "common/errors.h"
@@ -27,6 +29,247 @@ struct Abort {
   FailureSite site;
 };
 
+// -------------------------------------------------------- lock planning --
+//
+// Every transition is classified before any shard lock is taken:
+//
+//   kReadShared  no writes at all — shared-lock every shard; concurrent
+//                describes run fully in parallel.
+//   kWriteLocal  all touched state is reachable from ids known up front
+//                (the target / preminted id and ref-valued arguments) —
+//                exclusively lock just those shards; unrelated resources
+//                keep flowing.
+//   kWriteAll    the footprint is dynamic (nested call(), destroy's child
+//                scan/promotion, sibling scans, derefs of non-parameter
+//                refs) — exclusively lock everything. Correct, never
+//                fast; the classifier falls back here whenever in doubt.
+
+enum class LockMode { kReadShared, kWriteLocal, kWriteAll };
+
+struct BodyTraits {
+  bool writes = false;
+  bool attaches = false;
+  bool calls = false;
+  bool local = true;
+};
+
+using ParamNames = std::set<std::string, std::less<>>;
+
+/// Builtins that never touch the store.
+bool pure_builtin(const std::string& name) {
+  return name == "is_null" || name == "len" || name == "in_list" ||
+         name == "cidr_valid" || name == "cidr_prefix_len" ||
+         name == "cidr_within" || name == "cidr_overlaps";
+}
+
+/// True when evaluating `e` can only dereference resources whose shards a
+/// kWriteLocal plan has locked: self (the target / preminted id) and
+/// ref-valued declared parameters (every ref in the args is collected
+/// into the lockset). Anything else — nested field paths, store scans,
+/// refs read out of attributes — is non-local.
+bool expr_local(const Expr& e, const ParamNames& params) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kSelf:
+    case ExprKind::kVar:  // value read from params or self attrs, no deref
+      return true;
+    case ExprKind::kField:
+      return e.kids[0]->kind == ExprKind::kSelf ||
+             (e.kids[0]->kind == ExprKind::kVar &&
+              params.contains(e.kids[0]->name));
+    case ExprKind::kUnary:
+    case ExprKind::kBinary: {
+      for (const auto& k : e.kids) {
+        if (!expr_local(*k, params)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kBuiltin: {
+      if (pure_builtin(e.name)) {
+        for (const auto& k : e.kids) {
+          if (!expr_local(*k, params)) return false;
+        }
+        return true;
+      }
+      if (e.name == "exists") {
+        // exists(param[, "Type"]) dereferences exactly the param ref.
+        if (e.kids.empty()) return true;
+        if (e.kids[0]->kind != ExprKind::kVar ||
+            !params.contains(e.kids[0]->name)) {
+          return false;
+        }
+        for (std::size_t i = 1; i < e.kids.size(); ++i) {
+          if (e.kids[i]->kind != ExprKind::kLiteral) return false;
+        }
+        return true;
+      }
+      // child_count, sibling_cidr_conflict, unknown builtins: store scans.
+      return false;
+    }
+  }
+  return false;
+}
+
+void scan_body(const spec::Body& body, const ParamNames& params, BodyTraits& out) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::kWrite:
+        out.writes = true;
+        out.local = out.local && expr_local(*s->expr, params);
+        break;
+      case StmtKind::kRead:
+        break;
+      case StmtKind::kAssert:
+        out.local = out.local && expr_local(*s->expr, params);
+        break;
+      case StmtKind::kCall:
+        out.calls = true;
+        break;
+      case StmtKind::kAttachParent:
+        out.attaches = true;
+        // The parent must be a declared param so its shard is locked.
+        out.local = out.local && s->expr->kind == ExprKind::kVar &&
+                    params.contains(s->expr->name);
+        break;
+      case StmtKind::kIf:
+        out.local = out.local && expr_local(*s->expr, params);
+        scan_body(s->then_body, params, out);
+        scan_body(s->else_body, params, out);
+        break;
+    }
+  }
+}
+
+struct LockPlan {
+  LockMode mode = LockMode::kWriteAll;
+  bool attaches = false;
+};
+
+LockPlan plan_transition(const Transition& t) {
+  ParamNames params;
+  for (const auto& p : t.params) params.insert(p.name);
+  BodyTraits traits;
+  scan_body(t.body, params, traits);
+  bool mutates = traits.writes || traits.attaches || traits.calls ||
+                 t.kind == TransitionKind::kCreate ||
+                 t.kind == TransitionKind::kDestroy;
+  if (!mutates) return {LockMode::kReadShared, false};
+  // destroy scans children (guard + promotion); call() reaches arbitrary
+  // resources; non-local bodies deref refs we cannot enumerate up front.
+  // Attaches outside create need the full cycle walk over arbitrary
+  // ancestor shards, so they lock everything too — only a CREATE attach
+  // has the fresh-child guarantee attach_created() relies on.
+  if (traits.calls || t.kind == TransitionKind::kDestroy || !traits.local ||
+      (traits.attaches && t.kind != TransitionKind::kCreate)) {
+    return {LockMode::kWriteAll, false};
+  }
+  return {LockMode::kWriteLocal, traits.attaches};
+}
+
+/// Shards of every ref nested anywhere in an argument value.
+void collect_ref_shards(const Value& v, const ResourceStore& store,
+                        std::vector<std::size_t>& out) {
+  if (v.is_ref()) {
+    out.push_back(store.shard_of(v.as_str()));
+  } else if (v.is_list()) {
+    for (const auto& item : v.as_list()) collect_ref_shards(item, store, out);
+  } else if (v.is_map()) {
+    for (const auto& [_, item] : v.as_map()) collect_ref_shards(item, store, out);
+  }
+}
+
+/// The trailing counter of a minted id ("vpc-00000007" -> 7); 0 when the
+/// id has no numeric suffix.
+std::uint64_t id_suffix_counter(std::string_view id) {
+  std::size_t dash = id.rfind('-');
+  if (dash == std::string_view::npos) return 0;
+  std::uint64_t n = 0;
+  for (std::size_t i = dash + 1; i < id.size(); ++i) {
+    char c = id[i];
+    if (c < '0' || c > '9') return 0;
+    n = n * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return n;
+}
+
+// ---------------------------------------------------------- undo journal --
+
+/// Transactional rollback under held shard locks: instead of copying the
+/// whole store per invoke (the pre-sharded design — O(store) per call and
+/// impossible once two transitions run at once), record the first-touch
+/// before-image of every mutated resource and undo in reverse on abort.
+class UndoJournal {
+ public:
+  void note_minted(std::string prefix, std::uint64_t minted_counter) {
+    Entry e;
+    e.kind = Entry::kMinted;
+    e.id = std::move(prefix);  // reuse the id slot for the prefix
+    e.counter = minted_counter;
+    entries_.push_back(std::move(e));
+  }
+
+  void note_created(const std::string& id) {
+    touched_.insert(id);
+    Entry e;
+    e.kind = Entry::kCreated;
+    e.id = id;
+    entries_.push_back(std::move(e));
+  }
+
+  /// Record `r`'s before-image unless this transaction already owns it
+  /// (created it or captured it earlier).
+  void note_modified(const Resource& r) {
+    if (!touched_.insert(r.id).second) return;
+    Entry e;
+    e.kind = Entry::kModified;
+    e.id = r.id;
+    e.before = r;
+    entries_.push_back(std::move(e));
+  }
+
+  void note_destroyed(const Resource& r) {
+    // A destroy always rolls back to the full before-image, even when
+    // earlier statements of the same transaction modified it: the
+    // earlier kModified entry (replayed later in the reverse pass)
+    // restores the true pre-transaction state.
+    Entry e;
+    e.kind = Entry::kDestroyed;
+    e.id = r.id;
+    e.before = r;
+    entries_.push_back(std::move(e));
+  }
+
+  void rollback(ResourceStore& store) {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      switch (it->kind) {
+        case Entry::kCreated:
+          store.erase_raw(it->id);
+          break;
+        case Entry::kModified:
+        case Entry::kDestroyed:
+          store.restore(std::move(it->before));
+          break;
+        case Entry::kMinted:
+          if (it->counter > 0) store.rewind_id(it->id, it->counter - 1);
+          break;
+      }
+    }
+    entries_.clear();
+    touched_.clear();
+  }
+
+ private:
+  struct Entry {
+    enum Kind { kCreated, kModified, kDestroyed, kMinted } kind = kModified;
+    std::string id;          // resource id; mint prefix for kMinted
+    Resource before;         // kModified / kDestroyed
+    std::uint64_t counter = 0;  // kMinted: the counter the mint produced
+  };
+
+  std::vector<Entry> entries_;
+  std::set<std::string> touched_;
+};
+
 class Execution {
  public:
   Execution(const spec::SpecSet& spec, const InterpreterOptions& opts, ResourceStore& store)
@@ -40,14 +283,47 @@ class Execution {
       site_out.error_code = std::string(errc::kInvalidAction);
       return fail("", "", std::string(errc::kInvalidAction), {{"api", req.api}});
     }
-    // Transactional semantics: a failed transition must leave no partial
-    // writes behind, so execute against a copy and commit on success.
-    ResourceStore backup = store_;
+
+    LockPlan plan = plan_transition(*transition);
+    mode_ = plan.mode;
+    StripedRwLock::Guard guard;
+    switch (plan.mode) {
+      case LockMode::kReadShared:
+        guard = store_.locks().lock_shared_all();
+        break;
+      case LockMode::kWriteAll:
+        guard = store_.locks().lock_exclusive_all();
+        break;
+      case LockMode::kWriteLocal: {
+        // Mint BEFORE locking so the new resource's shard joins the
+        // ordered acquisition set (minting is internally synchronized
+        // and journaled for rollback).
+        if (transition->kind == TransitionKind::kCreate) {
+          preminted_ = store_.mint_id(machine->id_prefix);
+          journal_.note_minted(std::string(machine->id_prefix.empty()
+                                               ? std::string_view("res")
+                                               : std::string_view(machine->id_prefix)),
+                               id_suffix_counter(preminted_));
+        }
+        std::vector<std::size_t> shards;
+        std::string target = !req.target.empty() ? req.target
+                             : req.args.count("id") != 0 ? req.args.at("id").as_str()
+                                                         : "";
+        if (!preminted_.empty()) shards.push_back(store_.shard_of(preminted_));
+        if (!target.empty()) shards.push_back(store_.shard_of(target));
+        for (const auto& [_, v] : req.args) collect_ref_shards(v, store_, shards);
+        guard = store_.locks().lock_exclusive(std::move(shards));
+        break;
+      }
+    }
+
     try {
       ApiResponse resp = run_transition(*machine, *transition, req);
       return resp;
     } catch (const Abort& a) {
-      store_ = std::move(backup);
+      // Transactional semantics: a failed transition must leave no
+      // partial writes behind. Undo in reverse under the locks we hold.
+      journal_.rollback(store_);
       site_out = a.site;
       return a.response;
     }
@@ -88,6 +364,26 @@ class Execution {
     return ApiResponse::failure(std::move(code), std::move(msg));
   }
 
+  /// Create the target of a kCreate transition. The top-level create of a
+  /// kWriteLocal plan consumes the preminted id; everything else (serial
+  /// plans, nested creates reached via call() under kWriteAll) mints here.
+  Resource& make_resource(const StateMachine& machine) {
+    std::string id;
+    if (!preminted_.empty()) {
+      id = std::move(preminted_);
+      preminted_.clear();
+    } else {
+      id = store_.mint_id(machine.id_prefix);
+      journal_.note_minted(std::string(machine.id_prefix.empty()
+                                           ? std::string_view("res")
+                                           : std::string_view(machine.id_prefix)),
+                           id_suffix_counter(id));
+    }
+    Resource& r = store_.create_with_id(std::move(id), machine.name);
+    journal_.note_created(r.id);
+    return r;
+  }
+
   ApiResponse run_transition(const StateMachine& machine, const Transition& transition,
                              const ApiRequest& req) {
     if (++depth_ > opts_.max_call_depth) {
@@ -119,7 +415,7 @@ class Execution {
 
     // Resolve or create the target instance.
     if (transition.kind == TransitionKind::kCreate) {
-      Resource& r = store_.create(machine.name, machine.id_prefix);
+      Resource& r = make_resource(machine);
       for (const auto& sv : machine.states) r.attrs[sv.name] = sv.initial;
       frame.self = &r;
     } else {
@@ -173,6 +469,15 @@ class Execution {
     }
     for (auto& [k, v] : frame.reads) data[k] = v;
     if (transition.kind == TransitionKind::kDestroy) {
+      // Journal the full before-image plus every child whose parent link
+      // the promotion pass clears (destroy runs under kWriteAll, so the
+      // scan is safe).
+      for (const auto& child_id : store_.children_of(self_id)) {
+        if (const Resource* child = store_.find(child_id)) {
+          journal_.note_modified(*child);
+        }
+      }
+      if (self != nullptr) journal_.note_destroyed(*self);
       store_.destroy(self_id);
     }
     --depth_;
@@ -199,6 +504,7 @@ class Execution {
                      {{"param", s.var}, {"value", v.to_text()}}, mname, tname, "",
                      FailureSite::Origin::kWriteCheck, s.var);
         }
+        journal_.note_modified(*frame.self);
         frame.self->attrs[s.var] = std::move(v);
         return;
       }
@@ -267,7 +573,14 @@ class Execution {
                       {"id", parent.is_ref() ? parent.as_str() : parent.to_text()}},
                      mname, tname);
         }
-        store_.attach(frame.self->id, p->id);
+        journal_.note_modified(*frame.self);
+        if (mode_ == LockMode::kWriteLocal) {
+          // Write-local implies a create body (plan_transition): self is
+          // the freshly minted child, so no cycle walk is needed or legal.
+          store_.attach_created(frame.self->id, p->id);
+        } else {
+          store_.attach(frame.self->id, p->id);
+        }
         return;
       }
       case StmtKind::kIf: {
@@ -424,6 +737,9 @@ class Execution {
   const spec::SpecSet& spec_;
   const InterpreterOptions& opts_;
   ResourceStore& store_;
+  UndoJournal journal_;
+  LockMode mode_ = LockMode::kWriteAll;
+  std::string preminted_;  // create id minted before locking (kWriteLocal)
   int depth_ = 0;
 };
 
@@ -433,20 +749,41 @@ Interpreter::Interpreter(spec::SpecSet spec, InterpreterOptions opts)
     : spec_(std::move(spec)), opts_(std::move(opts)) {}
 
 ApiResponse Interpreter::invoke(const ApiRequest& req) {
-  return Execution(spec_, opts_, store_).run(req, last_failure_);
+  FailureSite site;
+  ApiResponse resp = Execution(spec_, opts_, store_).run(req, site);
+  std::lock_guard<std::mutex> lock(*failure_mu_);
+  last_failure_ = std::move(site);
+  return resp;
 }
 
-void Interpreter::reset() { store_.clear(); }
+void Interpreter::reset() {
+  auto guard = store_.locks().lock_exclusive_all();
+  store_.clear();
+}
+
+Value Interpreter::snapshot() const {
+  auto guard = store_.locks().lock_shared_all();
+  return store_.snapshot();
+}
 
 bool Interpreter::supports(const std::string& api) const {
   return spec_.find_api(api).first != nullptr;
+}
+
+FailureSite Interpreter::last_failure() const {
+  std::lock_guard<std::mutex> lock(*failure_mu_);
+  return last_failure_;
 }
 
 void Interpreter::replace_spec(spec::SpecSet spec) { spec_ = std::move(spec); }
 
 std::unique_ptr<CloudBackend> Interpreter::clone() const {
   auto copy = std::make_unique<Interpreter>(spec_.clone(), opts_);
-  copy->store_ = store_.clone();
+  {
+    auto guard = store_.locks().lock_shared_all();
+    copy->store_ = store_.clone();
+  }
+  std::lock_guard<std::mutex> lock(*failure_mu_);
   copy->last_failure_ = last_failure_;
   return copy;
 }

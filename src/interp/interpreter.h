@@ -7,6 +7,8 @@
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/api.h"
@@ -53,6 +55,15 @@ struct FailureSite {
   } origin = Origin::kNone;
 };
 
+/// The interpreter is a concurrent backend: every invoke() classifies its
+/// transition into a lock plan over the store's shard stripes (read-shared
+/// for read-only transitions, exclusive on the statically-known touched
+/// shards for local writes, exclusive-all for dynamic footprints), and
+/// transactional rollback uses an undo journal applied under the held
+/// locks instead of a whole-store copy. thread_safe() therefore reports
+/// true and stack::build_stack skips the SerializeLayer gate by default.
+/// replace_spec() is the one exception: it must not race in-flight
+/// invokes (the alignment loop runs it from a quiescent, serial phase).
 class Interpreter final : public CloudBackend {
  public:
   explicit Interpreter(spec::SpecSet spec, InterpreterOptions opts = {});
@@ -61,7 +72,8 @@ class Interpreter final : public CloudBackend {
   ApiResponse invoke(const ApiRequest& req) override;
   void reset() override;
   bool supports(const std::string& api) const override;
-  Value snapshot() const override { return store_.snapshot(); }
+  Value snapshot() const override;
+  bool thread_safe() const override { return true; }
   /// Independent deep copy (spec, options, resource state, id counters).
   std::unique_ptr<CloudBackend> clone() const override;
 
@@ -74,14 +86,19 @@ class Interpreter final : public CloudBackend {
   const ResourceStore& store() const { return store_; }
 
   /// Breadcrumb for the most recent invoke(); origin kNone when it
-  /// succeeded.
-  const FailureSite& last_failure() const { return last_failure_; }
+  /// succeeded. Under concurrent invokes "most recent" follows the
+  /// internal commit order — diagnosis consumers (the alignment loop)
+  /// call serially.
+  FailureSite last_failure() const;
 
  private:
   spec::SpecSet spec_;
   InterpreterOptions opts_;
   ResourceStore store_;
   FailureSite last_failure_;
+  // unique_ptr keeps the Interpreter movable (guaranteed-elision callers
+  // and by-value factories in tests stay valid).
+  std::unique_ptr<std::mutex> failure_mu_ = std::make_unique<std::mutex>();
 };
 
 }  // namespace lce::interp

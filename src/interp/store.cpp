@@ -1,27 +1,99 @@
 #include "interp/store.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace lce::interp {
 
-Resource& ResourceStore::create(std::string_view type, std::string_view id_prefix) {
-  std::string id = ids_.next(id_prefix.empty() ? "res" : id_prefix);
+namespace {
+
+/// Collect-and-sort helper: iteration surfaces (children_of, all_of_type,
+/// snapshot) gather (seq, id) pairs across shards and order by seq, which
+/// reproduces the single-vector creation order of the pre-sharded store.
+using SeqId = std::pair<std::uint64_t, const Resource*>;
+
+void sort_by_seq(std::vector<SeqId>& v) {
+  std::sort(v.begin(), v.end(),
+            [](const SeqId& a, const SeqId& b) { return a.first < b.first; });
+}
+
+}  // namespace
+
+ResourceStore::ResourceStore(std::size_t shard_count)
+    : shards_(shard_count == 0 ? 1 : shard_count),
+      locks_(shard_count == 0 ? 1 : shard_count) {}
+
+ResourceStore::ResourceStore(const ResourceStore& o)
+    : shards_(o.shards_), ids_(o.ids_), next_seq_(o.next_seq_),
+      locks_(o.shards_.size()) {}
+
+ResourceStore& ResourceStore::operator=(const ResourceStore& o) {
+  if (this == &o) return *this;
+  shards_ = o.shards_;
+  ids_ = o.ids_;
+  next_seq_ = o.next_seq_;
+  if (locks_.shard_count() != o.shards_.size()) {
+    locks_ = StripedRwLock(o.shards_.size());
+  }
+  return *this;
+}
+
+std::map<std::string, Resource>& ResourceStore::shard_for(std::string_view id) {
+  return shards_[shard_of(id)];
+}
+
+const std::map<std::string, Resource>& ResourceStore::shard_for(
+    std::string_view id) const {
+  return shards_[shard_of(id)];
+}
+
+std::string ResourceStore::mint_id(std::string_view id_prefix) {
+  std::lock_guard<std::mutex> lock(mint_mu_);
+  return ids_.next(id_prefix.empty() ? "res" : id_prefix);
+}
+
+std::uint64_t ResourceStore::id_counter(std::string_view id_prefix) const {
+  std::lock_guard<std::mutex> lock(mint_mu_);
+  return ids_.current(id_prefix.empty() ? "res" : id_prefix);
+}
+
+void ResourceStore::rewind_id(std::string_view id_prefix,
+                              std::uint64_t counter_before) {
+  std::lock_guard<std::mutex> lock(mint_mu_);
+  std::string_view prefix = id_prefix.empty() ? "res" : id_prefix;
+  // Only un-mint when ours was the latest mint; otherwise a concurrent
+  // transition already holds a higher id and rewinding would reissue it.
+  if (ids_.current(prefix) == counter_before + 1) {
+    ids_.set_counter(prefix, counter_before);
+  }
+}
+
+Resource& ResourceStore::create_with_id(std::string id, std::string_view type) {
   Resource r;
   r.id = id;
   r.type = std::string(type);
-  auto [it, _] = resources_.emplace(id, std::move(r));
-  order_.push_back(id);
+  {
+    std::lock_guard<std::mutex> lock(mint_mu_);
+    r.seq = next_seq_++;
+  }
+  auto [it, _] = shard_for(id).emplace(std::move(id), std::move(r));
   return it->second;
 }
 
+Resource& ResourceStore::create(std::string_view type, std::string_view id_prefix) {
+  return create_with_id(mint_id(id_prefix), type);
+}
+
 Resource* ResourceStore::find(std::string_view id) {
-  auto it = resources_.find(std::string(id));
-  return it == resources_.end() ? nullptr : &it->second;
+  auto& shard = shard_for(id);
+  auto it = shard.find(std::string(id));
+  return it == shard.end() ? nullptr : &it->second;
 }
 
 const Resource* ResourceStore::find(std::string_view id) const {
-  auto it = resources_.find(std::string(id));
-  return it == resources_.end() ? nullptr : &it->second;
+  const auto& shard = shard_for(id);
+  auto it = shard.find(std::string(id));
+  return it == shard.end() ? nullptr : &it->second;
 }
 
 bool ResourceStore::attach(std::string_view child_id, std::string_view parent_id) {
@@ -36,73 +108,138 @@ bool ResourceStore::attach(std::string_view child_id, std::string_view parent_id
   return true;
 }
 
+bool ResourceStore::attach_created(std::string_view child_id,
+                                   std::string_view parent_id) {
+  if (child_id == parent_id) return false;
+  Resource* child = find(child_id);
+  const Resource* parent = find(parent_id);
+  if (child == nullptr || parent == nullptr) return false;
+  // No cycle walk: the caller guarantees `child_id` was created inside
+  // the current transition, and a resource whose id has never been
+  // visible outside its (still exclusively held) shard cannot be anyone's
+  // ancestor. Attaches of pre-existing children go through attach() with
+  // every shard held.
+  child->parent_id = std::string(parent_id);
+  return true;
+}
+
 bool ResourceStore::destroy(std::string_view id) {
   // Copy first: callers may pass a view into the Resource being erased
   // (e.g. `self->id`), which dies with the map node.
   std::string key(id);
-  auto it = resources_.find(key);
-  if (it == resources_.end()) return false;
-  resources_.erase(it);
-  order_.erase(std::remove(order_.begin(), order_.end(), key), order_.end());
+  auto& shard = shard_for(key);
+  auto it = shard.find(key);
+  if (it == shard.end()) return false;
+  shard.erase(it);
   // Promote any unreclaimed children to top level: a parent_id must always
   // name a live resource (or be empty), else children_of/siblings_of and
   // snapshot() would report links into the void.
-  for (auto& [_, r] : resources_) {
-    if (r.parent_id == key) r.parent_id.clear();
+  for (auto& s : shards_) {
+    for (auto& [_, r] : s) {
+      if (r.parent_id == key) r.parent_id.clear();
+    }
   }
   return true;
 }
 
+bool ResourceStore::erase_raw(std::string_view id) {
+  std::string key(id);
+  return shard_for(key).erase(key) != 0;
+}
+
+void ResourceStore::restore(Resource r) {
+  std::string key = r.id;
+  shard_for(key).insert_or_assign(std::move(key), std::move(r));
+}
+
 std::vector<std::string> ResourceStore::children_of(std::string_view parent_id,
                                                     std::string_view type) const {
-  std::vector<std::string> out;
-  for (const auto& id : order_) {
-    const Resource& r = resources_.at(id);
-    if (r.parent_id == parent_id && (type.empty() || r.type == type)) out.push_back(id);
+  std::vector<SeqId> hits;
+  for (const auto& shard : shards_) {
+    for (const auto& [_, r] : shard) {
+      if (r.parent_id == parent_id && (type.empty() || r.type == type)) {
+        hits.emplace_back(r.seq, &r);
+      }
+    }
   }
+  sort_by_seq(hits);
+  std::vector<std::string> out;
+  out.reserve(hits.size());
+  for (const auto& [_, r] : hits) out.push_back(r->id);
   return out;
 }
 
 std::size_t ResourceStore::child_count(std::string_view parent_id,
                                        std::string_view type) const {
-  return children_of(parent_id, type).size();
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    for (const auto& [_, r] : shard) {
+      if (r.parent_id == parent_id && (type.empty() || r.type == type)) ++n;
+    }
+  }
+  return n;
 }
 
 std::vector<std::string> ResourceStore::siblings_of(std::string_view id) const {
   const Resource* self = find(id);
   if (self == nullptr) return {};
-  std::vector<std::string> out;
-  for (const auto& other_id : order_) {
-    if (other_id == id) continue;
-    const Resource& r = resources_.at(other_id);
-    if (r.type == self->type && r.parent_id == self->parent_id) out.push_back(other_id);
+  std::vector<SeqId> hits;
+  for (const auto& shard : shards_) {
+    for (const auto& [_, r] : shard) {
+      if (r.id == id) continue;
+      if (r.type == self->type && r.parent_id == self->parent_id) {
+        hits.emplace_back(r.seq, &r);
+      }
+    }
   }
+  sort_by_seq(hits);
+  std::vector<std::string> out;
+  out.reserve(hits.size());
+  for (const auto& [_, r] : hits) out.push_back(r->id);
   return out;
 }
 
 std::vector<std::string> ResourceStore::all_of_type(std::string_view type) const {
-  std::vector<std::string> out;
-  for (const auto& id : order_) {
-    if (resources_.at(id).type == type) out.push_back(id);
+  std::vector<SeqId> hits;
+  for (const auto& shard : shards_) {
+    for (const auto& [_, r] : shard) {
+      if (r.type == type) hits.emplace_back(r.seq, &r);
+    }
   }
+  sort_by_seq(hits);
+  std::vector<std::string> out;
+  out.reserve(hits.size());
+  for (const auto& [_, r] : hits) out.push_back(r->id);
   return out;
 }
 
+std::size_t ResourceStore::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard.size();
+  return n;
+}
+
 void ResourceStore::clear() {
-  resources_.clear();
-  order_.clear();
+  for (auto& shard : shards_) shard.clear();
+  std::lock_guard<std::mutex> lock(mint_mu_);
   ids_.reset();
+  next_seq_ = 1;
 }
 
 Value ResourceStore::snapshot() const {
+  std::vector<SeqId> all;
+  for (const auto& shard : shards_) {
+    for (const auto& [_, r] : shard) all.emplace_back(r.seq, &r);
+  }
+  sort_by_seq(all);
   Value::Map out;
-  for (const auto& id : order_) {
-    const Resource& r = resources_.at(id);
+  for (const auto& [_, rp] : all) {
+    const Resource& r = *rp;
     Value::Map entry;
     entry["type"] = Value(r.type);
     if (!r.parent_id.empty()) entry["parent"] = Value::ref(r.parent_id);
     for (const auto& [k, v] : r.attrs) entry[k] = v;
-    out[id] = Value(std::move(entry));
+    out[r.id] = Value(std::move(entry));
   }
   return Value(std::move(out));
 }

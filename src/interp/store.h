@@ -1,9 +1,33 @@
 // The mock-cloud resource store shared by every backend in the repo: live
 // resource instances with attributes plus the containment hierarchy
 // (parent/child links) that the paper's SM hierarchy scopes its checks to.
+//
+// Concurrency model (DESIGN.md "Sharded resource store"): resources are
+// partitioned across shards keyed by id family + counter hash, with one
+// shared_mutex stripe per shard (`locks()`). The store itself does NOT
+// take shard locks around data operations — the caller owns the locking
+// protocol, because only the caller (the interpreter's transition planner)
+// knows a whole transition's footprint:
+//
+//   - read-only ops        caller holds lock_shared_all()
+//   - known-footprint writes  caller holds lock_exclusive({touched shards})
+//   - dynamic-footprint writes caller holds lock_exclusive_all()
+//   - create-attaches      caller holds the child's and parent's shards
+//                          exclusively and uses attach_created() (no
+//                          cycle walk — a fresh child cannot be an
+//                          ancestor); every other attach is planned as a
+//                          dynamic-footprint write and uses attach()
+//
+// Serial callers (tests, the reference cloud behind SerializeLayer, the
+// alignment loop's per-worker clones) may skip locking entirely — the
+// sharded layout is semantics-preserving. Id minting and the creation-
+// order sequence counter ARE internally synchronized (mint_mu_), so id
+// sequences stay deterministic no matter how transitions interleave.
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
@@ -11,6 +35,7 @@
 #include <vector>
 
 #include "common/ids.h"
+#include "common/shard_lock.h"
 #include "common/value.h"
 
 namespace lce::interp {
@@ -20,12 +45,36 @@ struct Resource {
   std::string type;       // resource type name, e.g. "Vpc"
   std::string parent_id;  // containment parent ("" = top-level)
   Value::Map attrs;
+  std::uint64_t seq = 0;  // store-wide creation stamp (iteration order)
 };
 
 class ResourceStore {
  public:
+  explicit ResourceStore(std::size_t shard_count = StripedRwLock::kDefaultShards);
+
+  /// Deep copies: resources, containment links, creation sequence AND the
+  /// id counters (a clone's future id sequence matches the original's —
+  /// the parallel alignment executor depends on this for determinism).
+  /// Lock state is NOT copied; the copy gets fresh, unheld stripes.
+  ResourceStore(const ResourceStore& o);
+  ResourceStore& operator=(const ResourceStore& o);
+
   /// Create a resource of `type`, minting an id with `id_prefix`.
   Resource& create(std::string_view type, std::string_view id_prefix);
+
+  /// Mint the next id for `id_prefix` without creating the resource —
+  /// concurrent transitions mint BEFORE taking shard locks so the new
+  /// resource's shard can be part of the ordered acquisition set.
+  std::string mint_id(std::string_view id_prefix);
+  /// Create under a previously minted id (see mint_id).
+  Resource& create_with_id(std::string id, std::string_view type);
+  /// Undo a mint during rollback: restores `id_prefix`'s counter to
+  /// `counter_before` — but only when no other mint happened since, so a
+  /// concurrent mint never gets its id reissued. Serial callers always
+  /// satisfy that condition, keeping rolled-back id sequences gap-free.
+  void rewind_id(std::string_view id_prefix, std::uint64_t counter_before);
+  /// Counter value a mint_id for `id_prefix` would increment from.
+  std::uint64_t id_counter(std::string_view id_prefix) const;
 
   Resource* find(std::string_view id);
   const Resource* find(std::string_view id) const;
@@ -36,10 +85,27 @@ class ResourceStore {
   /// under itself or under one of its own descendants).
   bool attach(std::string_view child_id, std::string_view parent_id);
 
+  /// attach() for a child CREATED in the current transition, with both
+  /// the child's and parent's shards exclusively held. Skips the cycle
+  /// walk entirely: a freshly minted resource's id was never visible
+  /// outside its still-held shard, so it cannot already be an ancestor of
+  /// anything — and the walk's out-of-order shard probes would violate
+  /// the ascending acquisition rule. Attaches of pre-existing children
+  /// must use attach() with every shard held (the interpreter plans those
+  /// transitions as write-all).
+  bool attach_created(std::string_view child_id, std::string_view parent_id);
+
   /// Remove a resource. Returns false when missing. Callers normally
   /// enforce children-reclaimed guards first; if live children remain they
   /// are detached to top level so no dangling parent link survives.
   bool destroy(std::string_view id);
+
+  /// Remove without child promotion — rollback of a create that never had
+  /// children (transaction journal only).
+  bool erase_raw(std::string_view id);
+  /// Reinstate a resource exactly as captured (id, links, attrs, seq) —
+  /// rollback of a destroy or of attribute writes (transaction journal).
+  void restore(Resource r);
 
   /// Ids of live children of `parent_id`, optionally filtered by type.
   std::vector<std::string> children_of(std::string_view parent_id,
@@ -55,22 +121,35 @@ class ResourceStore {
   /// All live resources of `type` in creation order.
   std::vector<std::string> all_of_type(std::string_view type) const;
 
-  std::size_t size() const { return resources_.size(); }
+  std::size_t size() const;
 
   void clear();
 
-  /// Full state snapshot: id -> {type, parent, attrs...}.
+  /// Full state snapshot: id -> {type, parent, attrs...}, creation order.
   Value snapshot() const;
 
-  /// Deep copy: resources, containment links, creation order AND the id
-  /// counters, so a clone's future id sequence matches the original's (the
-  /// parallel alignment executor depends on this for determinism).
+  /// Deep copy (see copy constructor). Callers in concurrent contexts
+  /// hold lock_shared_all() across the copy (Interpreter::clone does).
   ResourceStore clone() const { return *this; }
 
+  // ----------------------------------------------------- lock protocol --
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t shard_of(std::string_view id) const {
+    return shard_index_for_id(id, shards_.size());
+  }
+  /// The stripe table callers acquire through (mutable: locking a shard
+  /// of a const store is still a read).
+  StripedRwLock& locks() const { return locks_; }
+
  private:
-  std::map<std::string, Resource> resources_;
-  std::vector<std::string> order_;  // creation order of live ids
-  IdGenerator ids_;
+  std::map<std::string, Resource>& shard_for(std::string_view id);
+  const std::map<std::string, Resource>& shard_for(std::string_view id) const;
+
+  std::vector<std::map<std::string, Resource>> shards_;
+  IdGenerator ids_;           // guarded by mint_mu_
+  std::uint64_t next_seq_ = 1;  // guarded by mint_mu_
+  mutable std::mutex mint_mu_;
+  mutable StripedRwLock locks_;
 };
 
 }  // namespace lce::interp

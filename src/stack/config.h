@@ -21,8 +21,19 @@
 
 namespace lce::stack {
 
+/// Whether to install the SerializeLayer compatibility gate.
+///   kAuto  install only when the base backend reports thread_safe() ==
+///          false — the sharded interpreter runs gate-free, while plain
+///          single-threaded backends (the reference cloud, baselines)
+///          keep the old whole-backend mutex. The default.
+///   kOn    always install (forced compatibility / benchmarking the
+///          serialized path).
+///   kOff   never install — the caller guarantees the base is safe or
+///          that access is single-threaded.
+enum class SerializeMode { kAuto, kOn, kOff };
+
 struct StackConfig {
-  bool serialize = true;
+  SerializeMode serialize = SerializeMode::kAuto;
   bool validate = true;
   bool metrics = true;
   bool read_cache = false;

@@ -39,6 +39,10 @@ class BackendLayer : public CloudBackend {
   void reset() override { inner().reset(); }
   bool supports(const std::string& api) const override { return inner().supports(api); }
   Value snapshot() const override { return inner().snapshot(); }
+  /// A chain is as thread-safe as what it wraps: stock layers are all
+  /// internally synchronized, so safety is decided by the base (or by a
+  /// SerializeLayer, which overrides this to true for anything below it).
+  bool thread_safe() const override { return inner().thread_safe(); }
 
   /// Clones the whole chain: the inner backend first (nullptr propagates,
   /// degrading callers to serial execution exactly like an uncloneable
@@ -94,6 +98,7 @@ class LayerStack final : public CloudBackend {
   void reset() override { outer().reset(); }
   bool supports(const std::string& api) const override { return outer().supports(api); }
   Value snapshot() const override { return outer().snapshot(); }
+  bool thread_safe() const override { return outer().thread_safe(); }
 
   /// Clones base + every layer's state into an independent stack. Returns
   /// nullptr when the base cannot clone (same contract as CloudBackend).

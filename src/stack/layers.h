@@ -52,6 +52,9 @@ class SerializeLayer final : public BackendLayer {
   void reset() override;
   bool supports(const std::string& api) const override;
   Value snapshot() const override;
+  /// The gate's whole point: everything below it is serialized, so the
+  /// chain from here down is safe for concurrent callers.
+  bool thread_safe() const override { return true; }
 
  protected:
   std::unique_ptr<BackendLayer> clone_detached() const override;

@@ -1,0 +1,127 @@
+// The load generator is itself part of the measurement contract: a wrong
+// percentile or a serialized worker loop would fake the very speedups the
+// serve bench gates on. These tests pin the statistics helpers and smoke
+// the generator end to end against the learned emulator — both stack
+// configurations, closed and open loop.
+#include "bench/loadgen.h"
+
+#include <gtest/gtest.h>
+
+#include "core/emulator.h"
+#include "docs/corpus.h"
+#include "docs/render.h"
+#include "stack/config.h"
+
+namespace lce::bench {
+namespace {
+
+TEST(Percentile, NearestRankMatchesHandComputedValues) {
+  std::vector<double> s{10, 20, 30, 40, 50, 60, 70, 80, 90, 100};
+  EXPECT_EQ(percentile(s, 50), 50);
+  EXPECT_EQ(percentile(s, 90), 90);
+  EXPECT_EQ(percentile(s, 99), 100);
+  EXPECT_EQ(percentile(s, 100), 100);
+  EXPECT_EQ(percentile(s, 0), 10);  // floor: first element
+}
+
+TEST(Percentile, SortsUnorderedInputAndHandlesEdgeCases) {
+  std::vector<double> s{5, 1, 3};
+  EXPECT_EQ(percentile(s, 50), 3);
+  EXPECT_EQ(s, (std::vector<double>{1, 3, 5}));  // documented in-place sort
+
+  std::vector<double> empty;
+  EXPECT_EQ(percentile(empty, 99), 0);
+
+  std::vector<double> one{7};
+  EXPECT_EQ(percentile(one, 1), 7);
+  EXPECT_EQ(percentile(one, 99), 7);
+}
+
+TEST(LoadStats, ToValueCarriesEveryReportedField) {
+  LoadStats stats;
+  stats.ops = 100;
+  stats.errors = 2;
+  stats.wall_ms = 12.5;
+  stats.throughput_ops_s = 8000;
+  stats.p50_us = 3;
+  stats.p99_us = 40;
+  Value v = stats.to_value();
+  EXPECT_EQ(v.get("ops")->as_int(), 100);
+  EXPECT_EQ(v.get("errors")->as_int(), 2);
+  EXPECT_EQ(v.get("wall_ms")->as_int(), 12);
+  EXPECT_EQ(v.get("throughput_ops_s")->as_int(), 8000);
+  EXPECT_EQ(v.get("p50_us")->as_int(), 3);
+  EXPECT_EQ(v.get("p99_us")->as_int(), 40);
+}
+
+class LoadGenTest : public ::testing::Test {
+ protected:
+  LoadGenTest()
+      : emulator_(core::LearnedEmulator::from_docs(
+            docs::render_corpus(docs::build_aws_catalog()))) {}
+
+  stack::LayerStack make_stack(stack::SerializeMode mode) {
+    stack::StackConfig cfg;
+    cfg.serialize = mode;
+    cfg.metrics = false;
+    return stack::build_stack(emulator_.backend(), cfg);
+  }
+
+  core::LearnedEmulator emulator_;
+};
+
+TEST_F(LoadGenTest, ClosedLoopRunsEveryOpWithoutErrors) {
+  auto stack = make_stack(stack::SerializeMode::kAuto);
+  LoadOptions opts;
+  opts.concurrency = 4;
+  opts.total_ops = 400;
+  opts.prepopulate = 8;
+  LoadStats stats = run_load(stack, opts);
+  EXPECT_EQ(stats.ops, 400u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GT(stats.throughput_ops_s, 0);
+  EXPECT_GT(stats.wall_ms, 0);
+  EXPECT_LE(stats.p50_us, stats.p99_us);
+  EXPECT_LE(stats.p99_us, stats.max_us);
+}
+
+TEST_F(LoadGenTest, SerializedPathRunsTheSameWorkloadCleanly) {
+  auto stack = make_stack(stack::SerializeMode::kOn);
+  LoadOptions opts;
+  opts.concurrency = 4;
+  opts.total_ops = 300;
+  opts.prepopulate = 8;
+  LoadStats stats = run_load(stack, opts);
+  EXPECT_EQ(stats.ops, 300u);
+  EXPECT_EQ(stats.errors, 0u);
+}
+
+TEST_F(LoadGenTest, OpenLoopPacesArrivalsAcrossTheSchedule) {
+  auto stack = make_stack(stack::SerializeMode::kAuto);
+  LoadOptions opts;
+  opts.concurrency = 2;
+  opts.total_ops = 200;
+  opts.prepopulate = 8;
+  opts.arrival_rate = 20000;  // 200 ops / 20k ops/s -> ~10 ms schedule
+  LoadStats stats = run_load(stack, opts);
+  EXPECT_EQ(stats.ops, 200u);
+  EXPECT_EQ(stats.errors, 0u);
+  // The run cannot finish faster than the arrival schedule allows.
+  EXPECT_GE(stats.wall_ms, 8.0);
+}
+
+TEST_F(LoadGenTest, ResetBetweenRunsKeepsRunsIndependent) {
+  auto stack = make_stack(stack::SerializeMode::kAuto);
+  LoadOptions opts;
+  opts.concurrency = 2;
+  opts.total_ops = 150;
+  opts.prepopulate = 4;
+  LoadStats a = run_load(stack, opts);
+  LoadStats b = run_load(stack, opts);  // run_load resets the backend
+  EXPECT_EQ(a.ops, b.ops);
+  EXPECT_EQ(a.errors, 0u);
+  EXPECT_EQ(b.errors, 0u);
+}
+
+}  // namespace
+}  // namespace lce::bench

@@ -40,8 +40,12 @@ TEST(LearnedEmulator, LayeredBackendWrapsInterpreterInConfiguredStack) {
   opts.stack.fault.error_rate = 0.0;
   auto emu = LearnedEmulator::from_docs(aws_docs(), opts);
   auto layered = emu.layered_backend();
+  // No "serialize": the interpreter is thread_safe() via the sharded
+  // store, so the kAuto gate stays out and the serve path runs
+  // concurrently by default.
   EXPECT_EQ(layered.layer_names(),
-            (std::vector<std::string>{"metrics", "fault", "validate", "serialize"}));
+            (std::vector<std::string>{"metrics", "fault", "validate"}));
+  EXPECT_TRUE(layered.thread_safe());
   auto r = layered.invoke(
       ApiRequest{"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""});
   EXPECT_TRUE(r.ok) << r.to_text();

@@ -12,7 +12,10 @@
 #include <vector>
 
 #include "cloud/reference_cloud.h"
+#include "common/strings.h"
+#include "core/emulator.h"
 #include "docs/corpus.h"
+#include "docs/render.h"
 #include "server/json.h"
 #include "server/service.h"
 #include "stack/layers.h"
@@ -50,6 +53,61 @@ TEST(EndpointStack, HammerFullChainKeepsCountsAndStateConsistent) {
         std::string id = created.data.get("id")->as_str();
         // Read back through the cache layer; the id travels as a plain
         // string and the validate layer re-tags it.
+        auto described = invoke_over_http(port, "DescribeVpc", {{"id", Value(id)}});
+        if (!described.ok) ++failures;
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(id);
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(ids.size(), static_cast<std::size_t>(kThreads * kPerThread));
+
+  auto snap = parse_json(http_request(port, "GET", "/snapshot")->body);
+  ASSERT_TRUE(snap);
+  EXPECT_EQ(snap->as_map().size(), static_cast<std::size_t>(kThreads * kPerThread));
+
+  auto metrics = parse_json(http_request(port, "GET", "/metrics")->body);
+  ASSERT_TRUE(metrics);
+  EXPECT_EQ(metrics->get("total")->get("calls")->as_int(), 2 * kThreads * kPerThread);
+  EXPECT_EQ(metrics->get("total")->get("errors")->as_int(), 0);
+  endpoint.stop();
+}
+
+TEST(EndpointStack, HammerShardedInterpreterEndpointWithoutSerializeGate) {
+  // The interpreter backend is thread_safe(), so the default (kAuto) stack
+  // must NOT install the serialize gate — requests hit the sharded store
+  // concurrently — yet counts, snapshot size, and per-id state must come
+  // out exactly as if serialized. This is the serve-path tentpole's
+  // end-to-end TSan target.
+  auto emulator = core::LearnedEmulator::from_docs(
+      docs::render_corpus(docs::build_aws_catalog()));
+  EmulatorEndpoint endpoint(emulator.backend());
+  auto layers = endpoint.stack().layer_names();
+  EXPECT_EQ(std::count(layers.begin(), layers.end(), "serialize"), 0)
+      << "thread-safe backend should skip the serialize gate by default";
+  std::uint16_t port = endpoint.start();
+  ASSERT_NE(port, 0);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 8;
+  std::vector<std::thread> clients;
+  std::mutex mu;
+  std::set<std::string> ids;
+  std::atomic<int> failures{0};
+  for (int t = 0; t < kThreads; ++t) {
+    clients.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Unique CIDR per op keeps sibling-conflict checks out of play.
+        auto created = invoke_over_http(
+            port, "CreateVpc",
+            {{"cidr_block", Value(strf("10.", t * kPerThread + i, ".0.0/16"))}});
+        if (!created.ok) {
+          ++failures;
+          continue;
+        }
+        std::string id = created.data.get("id")->as_str();
         auto described = invoke_over_http(port, "DescribeVpc", {{"id", Value(id)}});
         if (!described.ok) ++failures;
         std::lock_guard<std::mutex> lock(mu);

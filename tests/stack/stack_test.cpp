@@ -428,7 +428,8 @@ TEST(LayerStackTest, BuildStackInstallsCanonicalOrder) {
 TEST(LayerStackTest, EmptyConfigForwardsStraightToBase) {
   auto cloud = make_cloud();
   StackConfig none;
-  none.serialize = none.validate = none.metrics = false;
+  none.serialize = SerializeMode::kOff;
+  none.validate = none.metrics = false;
   LayerStack stack = build_stack(cloud, none);
   EXPECT_EQ(stack.depth(), 0u);
   EXPECT_EQ(stack.find<MetricsLayer>(), nullptr);

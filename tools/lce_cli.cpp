@@ -21,6 +21,11 @@
 //                                    for deterministic throttle/error chaos,
 //                                    --record to dump traffic as a trace
 //                                    script on shutdown
+//   lce bench serve [flags]          serve-path throughput benchmark:
+//                                    sharded vs serialized invoke under a
+//                                    mixed create/mutate/describe load
+//                                    (flags: see `lce bench serve --help`
+//                                    or src/bench/serve_bench.h)
 //   lce coverage                     Table-1 style coverage report
 //
 // provider: aws (default) | azure. Scripts: see src/core/trace_script.h.
@@ -29,6 +34,7 @@
 #include <sstream>
 
 #include "align/engine.h"
+#include "bench/serve_bench.h"
 #include "server/service.h"
 #include "stack/config.h"
 #include "baselines/moto_like.h"
@@ -48,8 +54,13 @@ docs::CloudCatalog catalog_for(const std::string& provider) {
 }
 
 int usage() {
-  std::cerr << "usage: lce <docs|spec|run|diff|align|serve|coverage> [args]\n"
+  std::cerr << "usage: lce <docs|spec|run|diff|align|serve|bench|coverage> [args]\n"
                "  lce docs [aws|azure] [Resource]\n"
+               "  lce bench serve [--quick] [--json FILE] [--ops N]\n"
+               "                  [--concurrency a,b,c] [--rate R] [--seed N]\n"
+               "                  [--min-speedup X] [--no-enforce]\n"
+               "      open-loop serve benchmark: sharded interpreter invoke vs\n"
+               "      the SerializeLayer path; writes BENCH_serve.json\n"
                "  lce spec [aws|azure]\n"
                "  lce run <script-file> [aws|azure]\n"
                "  lce diff <script-file> [aws|azure]\n"
@@ -64,6 +75,9 @@ int usage() {
                "                   GET /metrics endpoint (default on)\n"
                "      --read-cache memoize Describe/Get/List calls until the\n"
                "                   next write\n"
+               "      --serialize  force the whole-backend serialize gate even\n"
+               "                   for thread-safe backends (compatibility mode;\n"
+               "                   the sharded interpreter path is the default)\n"
                "      --fault-seed N  inject deterministic RequestLimitExceeded /\n"
                "                   InternalError faults seeded with N\n"
                "      --record FILE   capture live traffic; write it as a\n"
@@ -204,6 +218,8 @@ int main(int argc, char** argv) {
         config.metrics = false;
       } else if (arg == "--read-cache") {
         config.read_cache = true;
+      } else if (arg == "--serialize") {
+        config.serialize = stack::SerializeMode::kOn;
       } else if (arg == "--fault-seed" && i + 1 < argc) {
         config.fault_seed = static_cast<std::uint64_t>(std::atoll(argv[++i]));
       } else if (arg == "--record" && i + 1 < argc) {
@@ -252,6 +268,12 @@ int main(int argc, char** argv) {
                 << "\n";
     }
     return 0;
+  }
+  if (cmd == "bench") {
+    if (argc < 3 || std::string(argv[2]) != "serve") return usage();
+    bench::ServeBenchOptions bopts;
+    if (!bench::parse_serve_bench_args(argc - 3, argv + 3, bopts)) return 2;
+    return bench::run_serve_bench(bopts);
   }
   if (cmd == "coverage") {
     auto catalog = docs::build_aws_catalog();
