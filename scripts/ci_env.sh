@@ -9,10 +9,13 @@
 # LCE_TSAN_TEST_REGEX    ctest -R selection: every concurrency-sensitive
 #                        suite — parallel alignment, clone fidelity, fuzz
 #                        determinism, the layer stack, the endpoint
-#                        hammers, fault injection, and the sharded-store
-#                        stress tests ("Shard").
-export LCE_TSAN_TEST_TARGETS="common_test align_test interp_test cloud_test stack_test server_test"
-export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard'
+#                        hammers, fault injection, the sharded-store
+#                        stress tests ("Shard"), and the durable-state
+#                        suites (group-commit WAL, snapshot rotation
+#                        racing writers, recovery/replay). The fork-based
+#                        CrashTorture tests self-skip under TSan.
+export LCE_TSAN_TEST_TARGETS="common_test align_test interp_test cloud_test stack_test server_test persist_test"
+export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard|Wal|Journal|Snapshot|Recovery|Replay|Durable'
 
 # Portable core count: GNU coreutils' nproc, then the BSD/macOS sysctl,
 # then POSIX getconf, then a safe fallback.

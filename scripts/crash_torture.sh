@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Crash-torture harness (DESIGN.md "Durability"): repeatedly SIGKILL a
+# serving `lce` process while clients are writing, then require
+# `lce replay` to verify the surviving data dir — recovery must succeed,
+# two independent replays must agree byte-for-byte, and every surviving
+# log record's response must reproduce. The same dir is reused across
+# cycles, so each round also proves the previous crash's debris (torn
+# tails, half-rotated epochs) does not poison the next recovery.
+#
+# Usage: scripts/crash_torture.sh [LCE_BINARY]
+# Env:   CYCLES        kill cycles to run (default 10)
+#        ARTIFACT_DIR  where failing data dirs are preserved for upload
+#                      (default crash-torture-artifacts)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LCE="${1:-build/tools/lce}"
+CYCLES="${CYCLES:-10}"
+ARTIFACT_DIR="${ARTIFACT_DIR:-crash-torture-artifacts}"
+
+if [[ ! -x "$LCE" ]]; then
+  echo "crash_torture: $LCE not found or not executable (build the lce target)" >&2
+  exit 2
+fi
+
+DATA_DIR="$(mktemp -d)"
+LOG="$(mktemp)"
+cleanup() { rm -rf "$DATA_DIR" "$LOG"; }
+trap cleanup EXIT
+
+cycle=0
+fail() {
+  # Preserve the evidence: the data dir that failed verification plus the
+  # server log of the killed process.
+  mkdir -p "$ARTIFACT_DIR"
+  cp -r "$DATA_DIR" "$ARTIFACT_DIR/data-dir-cycle-$cycle" 2>/dev/null || true
+  cp "$LOG" "$ARTIFACT_DIR/serve-cycle-$cycle.log" 2>/dev/null || true
+  echo "crash_torture: cycle $cycle FAILED: $1" >&2
+  echo "crash_torture: failing data dir preserved under $ARTIFACT_DIR/" >&2
+  exit 1
+}
+
+for ((cycle = 1; cycle <= CYCLES; cycle++)); do
+  : > "$LOG"
+  # A tight snapshot cadence makes kills land in rotation windows too.
+  "$LCE" serve --data-dir "$DATA_DIR" --snapshot-every 40 --no-stdin \
+    > "$LOG" 2>&1 &
+  SERVE_PID=$!
+
+  # Wait for the endpoint to announce its ephemeral port (this includes
+  # recovery of whatever the previous cycle's kill left behind).
+  PORT=""
+  for _ in $(seq 1 200); do
+    PORT="$(sed -n 's#.*serving on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$LOG" | head -1)"
+    [[ -n "$PORT" ]] && break
+    kill -0 "$SERVE_PID" 2>/dev/null || fail "server died during startup/recovery"
+    sleep 0.05
+  done
+  [[ -n "$PORT" ]] || fail "server never announced a port"
+
+  # Hammer journaled writes until the kill interrupts one mid-commit.
+  (
+    i=0
+    while :; do
+      curl -s -o /dev/null -X POST "http://127.0.0.1:$PORT/invoke" \
+        -d "{\"Action\":\"CreateVpc\",\"Params\":{\"cidr_block\":\"10.$((i % 200)).0.0/16\"}}" \
+        2>/dev/null || exit 0
+      i=$((i + 1))
+    done
+  ) &
+  LOAD_PID=$!
+
+  # Kill at a random point in the write stream (0.1s - 0.5s of load).
+  sleep "0.$((RANDOM % 5 + 1))"
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  wait "$SERVE_PID" 2>/dev/null || true
+  kill "$LOAD_PID" 2>/dev/null || true
+  wait "$LOAD_PID" 2>/dev/null || true
+
+  "$LCE" replay "$DATA_DIR" > /dev/null || fail "replay rejected the data dir"
+done
+
+echo "crash_torture: $CYCLES kill -9 cycle(s) recovered and verified"

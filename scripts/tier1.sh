@@ -3,10 +3,14 @@
 #   1. plain build + full ctest suite;
 #   2. ThreadSanitizer build (-DLCE_SANITIZE=thread) running the parallel
 #      alignment / clone-fidelity / fuzz-determinism tests plus the layer
-#      stack suite, the concurrent endpoint hammers, and the sharded-store
-#      stress tests, so data races in the alignment thread pool, the
-#      striped store locks, and the HTTP invoke path are caught at test
-#      time.
+#      stack suite, the concurrent endpoint hammers, the sharded-store
+#      stress tests, and the durable-state suites (group-commit WAL,
+#      snapshot rotation racing writers, recovery/replay), so data races
+#      in the alignment thread pool, the striped store locks, the HTTP
+#      invoke path, and the journal gate are caught at test time.
+#
+# The kill -9 crash-torture harness (scripts/crash_torture.sh) runs as its
+# own CI job; run it locally before touching src/persist.
 #
 # The TSan target list and test regex live in scripts/ci_env.sh, shared
 # with .github/workflows/ci.yml.

@@ -1,6 +1,7 @@
 #include "bench/serve_bench.h"
 
 #include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -11,6 +12,7 @@
 #include "core/emulator.h"
 #include "docs/corpus.h"
 #include "docs/render.h"
+#include "persist/journal.h"
 #include "server/json.h"
 #include "stack/config.h"
 
@@ -78,11 +80,23 @@ bool parse_serve_bench_args(int argc, char** argv, ServeBenchOptions& out) {
       out.min_speedup = std::atof(argv[++i]);
     } else if (arg == "--no-enforce") {
       out.enforce = false;
+    } else if (arg == "--data-dir" && i + 1 < argc) {
+      out.data_dir = argv[++i];
+    } else if (arg == "--wal-sync" && i + 1 < argc) {
+      std::string mode = argv[++i];
+      if (mode != "none" && mode != "batch") {
+        std::cerr << "unknown --wal-sync mode: " << mode << "\n";
+        return false;
+      }
+      out.wal_sync_batch = mode == "batch";
+    } else if (arg == "--max-wal-overhead" && i + 1 < argc) {
+      out.max_wal_overhead = std::atof(argv[++i]);
     } else {
       std::cerr << "unknown bench flag: " << arg << "\n"
                 << "flags: --quick --json FILE --no-json --ops N "
                    "--concurrency a,b,c --rate R --seed N --min-speedup X "
-                   "--no-enforce\n";
+                   "--no-enforce --data-dir DIR --wal-sync none|batch "
+                   "--max-wal-overhead X\n";
       return false;
     }
   }
@@ -101,14 +115,40 @@ int run_serve_bench(const ServeBenchOptions& opts) {
             << "  workload: " << ops << " ops/run, 10% create / 20% mutate / "
                "70% describe, hardware workers: " << hw << "\n\n";
 
-  // One emulator, two stacks over the same interpreter: identical layers
-  // except the serialize gate. Each run_load resets the shared store.
+  // One emulator, three stacks over the same interpreter: identical
+  // layers except the serialize gate / the journal. Each run_load resets
+  // the shared store.
   auto emulator = core::LearnedEmulator::from_docs(
       docs::render_corpus(docs::build_aws_catalog()));
   stack::LayerStack serialized =
       stack::build_stack(emulator.backend(), bench_config(stack::SerializeMode::kOn));
   stack::LayerStack sharded =
       stack::build_stack(emulator.backend(), bench_config(stack::SerializeMode::kOff));
+
+  // The durable path: sharded stack + JournalLayer over a real data dir.
+  std::string data_dir = opts.data_dir;
+  if (data_dir.empty()) {
+    data_dir = (std::filesystem::temp_directory_path() / "lce_bench_wal").string();
+  }
+  std::error_code ec;
+  std::filesystem::remove_all(data_dir, ec);  // fresh log per bench run
+  persist::PersistOptions popts;
+  popts.data_dir = data_dir;
+  popts.sync = opts.wal_sync_batch ? persist::WalSync::kBatch : persist::WalSync::kNone;
+  popts.snapshot_every = 0;  // measure the log alone, no rotation pauses
+  std::string persist_error;
+  auto persist_mgr =
+      persist::PersistManager::open(emulator.backend(), popts, &persist_error);
+  if (persist_mgr == nullptr) {
+    std::cerr << "cannot open bench data dir " << data_dir << ": " << persist_error
+              << "\n";
+    return 1;
+  }
+  stack::StackConfig wal_cfg = bench_config(stack::SerializeMode::kOff);
+  wal_cfg.journal = [&persist_mgr] {
+    return std::make_unique<persist::JournalLayer>(persist_mgr.get());
+  };
+  stack::LayerStack wal = stack::build_stack(emulator.backend(), wal_cfg);
 
   LoadOptions base;
   base.total_ops = ops;
@@ -117,11 +157,13 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   std::vector<SweepPoint> closed;
   double best_sharded = 0;
   for (int c : sweep) {
-    for (auto* side : {&serialized, &sharded}) {
+    for (auto* side : {&serialized, &sharded, &wal}) {
       LoadOptions lo = base;
       lo.concurrency = c;
       SweepPoint p;
-      p.config = side == &serialized ? "serialized" : "sharded";
+      p.config = side == &serialized ? "serialized"
+                 : side == &sharded  ? "sharded"
+                                     : "wal";
       p.concurrency = c;
       p.stats = run_load(*side, lo);
       if (side == &sharded && p.stats.throughput_ops_s > best_sharded) {
@@ -143,22 +185,41 @@ int run_serve_bench(const ServeBenchOptions& opts) {
 
   // Speedups per concurrency point.
   double gate_speedup = 0;
+  double gate_wal_overhead = 0;
   int gate_conc = 0;
   std::cout << "sharded vs serialized:";
   for (int c : sweep) {
-    double ser = 0, sha = 0;
+    double ser = 0, sha = 0, wl = 0;
     for (const auto& p : closed) {
       if (p.concurrency != c) continue;
-      (p.config == "serialized" ? ser : sha) = p.stats.throughput_ops_s;
+      if (p.config == "serialized") ser = p.stats.throughput_ops_s;
+      if (p.config == "sharded") sha = p.stats.throughput_ops_s;
+      if (p.config == "wal") wl = p.stats.throughput_ops_s;
     }
     double speedup = ser > 0 ? sha / ser : 0;
     std::cout << "  c" << c << "=" << fmt_speedup(speedup);
     if (c >= 4 && c >= gate_conc) {
       gate_conc = c;
       gate_speedup = speedup;
+      gate_wal_overhead = wl > 0 ? sha / wl : 0;
     }
   }
   std::cout << "\n";
+  {
+    // WAL overhead per concurrency point (sharded ops/s over wal ops/s —
+    // 1.00x means journaling is free).
+    std::cout << "wal overhead (sharded / wal):";
+    for (int c : sweep) {
+      double sha = 0, wl = 0;
+      for (const auto& p : closed) {
+        if (p.concurrency != c) continue;
+        if (p.config == "sharded") sha = p.stats.throughput_ops_s;
+        if (p.config == "wal") wl = p.stats.throughput_ops_s;
+      }
+      std::cout << "  c" << c << "=" << fmt_speedup(wl > 0 ? sha / wl : 0);
+    }
+    std::cout << "\n";
+  }
 
   // Open-loop latency at a rate the serialized path struggles with.
   double rate = opts.open_loop_rate > 0 ? opts.open_loop_rate : best_sharded * 0.6;
@@ -185,12 +246,18 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   }
 
   bool gate_applicable = opts.enforce && gate_conc >= 4 && hw >= 2;
-  bool pass = !gate_applicable || gate_speedup >= opts.min_speedup;
+  bool speedup_pass = !gate_applicable || gate_speedup >= opts.min_speedup;
+  bool wal_pass = !gate_applicable || gate_wal_overhead == 0 ||
+                  gate_wal_overhead <= opts.max_wal_overhead;
+  bool pass = speedup_pass && wal_pass;
   if (gate_applicable) {
     std::cout << "\nsharded >= " << fmt_speedup(opts.min_speedup)
               << " serialized at c" << gate_conc << ": "
-              << (pass ? "PASS" : "FAIL") << " (" << fmt_speedup(gate_speedup)
-              << ")\n";
+              << (speedup_pass ? "PASS" : "FAIL") << " ("
+              << fmt_speedup(gate_speedup) << ")\n";
+    std::cout << "wal overhead <= " << fmt_speedup(opts.max_wal_overhead)
+              << " at c" << gate_conc << ": " << (wal_pass ? "PASS" : "FAIL")
+              << " (" << fmt_speedup(gate_wal_overhead) << ")\n";
   } else if (opts.enforce) {
     std::cout << "\nspeedup gate skipped ("
               << (hw < 2 ? "single-core machine" : "no sweep point >= 4")
@@ -210,6 +277,8 @@ int run_serve_bench(const ServeBenchOptions& opts) {
     for (const auto& p : open) open_rows.push_back(point_value(p, rate));
     root["open_loop"] = Value(std::move(open_rows));
     root["speedup_at_gate"] = Value(fmt_speedup(gate_speedup));
+    root["wal_overhead"] = Value(fmt_speedup(gate_wal_overhead));
+    root["wal_sync"] = Value(std::string(opts.wal_sync_batch ? "batch" : "none"));
     root["gate_concurrency"] = Value(static_cast<std::int64_t>(gate_conc));
     root["pass"] = Value(pass);
     std::ofstream out(opts.json_path);

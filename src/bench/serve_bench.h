@@ -5,10 +5,16 @@
 // striped locks), followed by an open-loop latency run at a fixed arrival
 // rate. Results print as a table and optionally land in BENCH_serve.json.
 //
+// A third "wal" configuration measures the durable serve path: the
+// sharded stack plus a JournalLayer appending every write to a real
+// write-ahead log (group commit, sync mode per --wal-sync).
+//
 // Exit-code contract (the CI bench-smoke gate): when enforcement is on,
-// the run fails unless sharded throughput beats serialized throughput by
-// `min_speedup` at the highest measured concurrency >= 4. Enforcement is
-// skipped on single-core machines, where no concurrent speedup exists.
+// the run fails unless (a) sharded throughput beats serialized throughput
+// by `min_speedup` at the highest measured concurrency >= 4, and (b) the
+// WAL-on path stays within `max_wal_overhead` of WAL-off (sharded /
+// wal <= 1.5x by default). Enforcement is skipped on single-core
+// machines, where no concurrent speedup exists.
 #pragma once
 
 #include <cstdint>
@@ -35,10 +41,20 @@ struct ServeBenchOptions {
   /// serialized path at the top concurrency >= 4.
   bool enforce = true;
   double min_speedup = 1.0;
+  /// Data dir for the WAL ("wal" sweep config). "" = a scratch dir under
+  /// the system temp dir, recreated per run.
+  std::string data_dir;
+  /// fdatasync per group-commit batch ("batch") instead of page-cache
+  /// writes ("none", the default — matching `lce serve`).
+  bool wal_sync_batch = false;
+  /// Gate: sharded (WAL-off) throughput must not exceed wal (WAL-on)
+  /// throughput by more than this factor at the gate concurrency.
+  double max_wal_overhead = 1.5;
 };
 
 /// Parse bench flags (--quick, --json FILE, --ops N, --concurrency a,b,c,
-/// --rate R, --seed N, --min-speedup X, --no-enforce, --no-json) into
+/// --rate R, --seed N, --min-speedup X, --no-enforce, --no-json,
+/// --data-dir DIR, --wal-sync none|batch, --max-wal-overhead X) into
 /// `out`. Returns false (and prints to stderr) on unknown flags.
 bool parse_serve_bench_args(int argc, char** argv, ServeBenchOptions& out);
 

@@ -26,6 +26,12 @@ class IdGenerator {
   /// "Vpc" -> "vpc", "NetworkInterface" -> "eni"-less generic "networkinterface".
   static std::string prefix_for(std::string_view resource_type);
 
+  /// All counters, for canonical persistence dumps (snapshot files must
+  /// reproduce the exact future id sequence on restore).
+  const std::map<std::string, std::uint64_t, std::less<>>& counters() const {
+    return counters_;
+  }
+
  private:
   std::map<std::string, std::uint64_t, std::less<>> counters_;
 };

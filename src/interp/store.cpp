@@ -226,6 +226,46 @@ void ResourceStore::clear() {
   next_seq_ = 1;
 }
 
+std::uint64_t ResourceStore::next_seq() const {
+  std::lock_guard<std::mutex> lock(mint_mu_);
+  return next_seq_;
+}
+
+void ResourceStore::set_next_seq(std::uint64_t v) {
+  std::lock_guard<std::mutex> lock(mint_mu_);
+  next_seq_ = v;
+}
+
+std::map<std::string, std::uint64_t> ResourceStore::id_counters() const {
+  std::lock_guard<std::mutex> lock(mint_mu_);
+  return {ids_.counters().begin(), ids_.counters().end()};
+}
+
+void ResourceStore::restore_id_counters(
+    const std::map<std::string, std::uint64_t>& counters) {
+  std::lock_guard<std::mutex> lock(mint_mu_);
+  ids_.reset();
+  for (const auto& [prefix, value] : counters) ids_.set_counter(prefix, value);
+}
+
+void ResourceStore::set_id_counter(std::string_view id_prefix,
+                                   std::uint64_t value) {
+  std::lock_guard<std::mutex> lock(mint_mu_);
+  ids_.set_counter(id_prefix.empty() ? "res" : id_prefix, value);
+}
+
+std::vector<const Resource*> ResourceStore::resources_in_creation_order() const {
+  std::vector<SeqId> all;
+  for (const auto& shard : shards_) {
+    for (const auto& [_, r] : shard) all.emplace_back(r.seq, &r);
+  }
+  sort_by_seq(all);
+  std::vector<const Resource*> out;
+  out.reserve(all.size());
+  for (const auto& [_, r] : all) out.push_back(r);
+  return out;
+}
+
 Value ResourceStore::snapshot() const {
   std::vector<SeqId> all;
   for (const auto& shard : shards_) {

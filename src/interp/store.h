@@ -132,6 +132,31 @@ class ResourceStore {
   /// hold lock_shared_all() across the copy (Interpreter::clone does).
   ResourceStore clone() const { return *this; }
 
+  // ------------------------------------------------------- persistence --
+  // Introspection + restore hooks for the durable-state subsystem
+  // (src/persist). Snapshot files must capture everything that shapes
+  // future behavior — the seq clock and the id counters, not just the
+  // live resources — so a restored store mints the exact sequence the
+  // original would have. Restore-side callers are serial (recovery runs
+  // before the endpoint serves); dump-side callers hold lock_shared_all.
+
+  /// The creation stamp the next create would receive.
+  std::uint64_t next_seq() const;
+  void set_next_seq(std::uint64_t v);
+
+  /// Every id counter (prefix -> last minted value).
+  std::map<std::string, std::uint64_t> id_counters() const;
+  void restore_id_counters(const std::map<std::string, std::uint64_t>& counters);
+  /// Force a single counter (replay uses this to pin the id a logged call
+  /// minted, even when concurrent commits landed in the log out of mint
+  /// order). Unlike rewind_id there is no latest-mint guard — replay is
+  /// serial and KNOWS the target value.
+  void set_id_counter(std::string_view id_prefix, std::uint64_t value);
+
+  /// Live resources ordered by creation seq. Pointers are invalidated by
+  /// any subsequent mutation.
+  std::vector<const Resource*> resources_in_creation_order() const;
+
   // ----------------------------------------------------- lock protocol --
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t shard_of(std::string_view id) const {

@@ -1,0 +1,343 @@
+#include "persist/format.h"
+
+#include <array>
+#include <cstring>
+
+#include "interp/store.h"
+
+namespace lce::persist {
+
+namespace {
+
+/// Value nesting bound for decode (the JSON wire format and the spec
+/// grammar never come close; this guards recovery against hostile bytes).
+constexpr int kMaxValueDepth = 128;
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+enum class ValueTag : std::uint8_t {
+  kNull = 0,
+  kFalse = 1,
+  kTrue = 2,
+  kInt = 3,
+  kStr = 4,
+  kRef = 5,
+  kList = 6,
+  kMap = 7,
+};
+
+bool decode_value_impl(ByteReader& r, Value* out, int depth) {
+  if (depth > kMaxValueDepth) return false;
+  std::uint8_t tag = r.u8();
+  if (!r.ok()) return false;
+  switch (static_cast<ValueTag>(tag)) {
+    case ValueTag::kNull: *out = Value(); return true;
+    case ValueTag::kFalse: *out = Value(false); return true;
+    case ValueTag::kTrue: *out = Value(true); return true;
+    case ValueTag::kInt: *out = Value(r.i64()); return r.ok();
+    case ValueTag::kStr: *out = Value(r.str()); return r.ok();
+    case ValueTag::kRef: *out = Value::ref(r.str()); return r.ok();
+    case ValueTag::kList: {
+      std::uint32_t n = r.u32();
+      if (!r.ok()) return false;
+      Value::List list;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        Value e;
+        if (!decode_value_impl(r, &e, depth + 1)) return false;
+        list.push_back(std::move(e));
+      }
+      *out = Value(std::move(list));
+      return true;
+    }
+    case ValueTag::kMap: {
+      std::uint32_t n = r.u32();
+      if (!r.ok()) return false;
+      Value::Map map;
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::string key = r.str();
+        Value e;
+        if (!r.ok() || !decode_value_impl(r, &e, depth + 1)) return false;
+        map[std::move(key)] = std::move(e);
+      }
+      *out = Value(std::move(map));
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::string_view bytes) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (unsigned char ch : bytes) {
+    c = table[(c ^ ch) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ------------------------------------------------------------- primitives --
+
+void ByteWriter::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void ByteWriter::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out_.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+}
+
+void ByteWriter::str(std::string_view s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  out_.append(s.data(), s.size());
+}
+
+bool ByteReader::take(std::size_t n, const char** out) {
+  if (!ok_ || in_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  *out = in_.data() + pos_;
+  pos_ += n;
+  return true;
+}
+
+std::uint8_t ByteReader::u8() {
+  const char* p = nullptr;
+  if (!take(1, &p)) return 0;
+  return static_cast<std::uint8_t>(*p);
+}
+
+std::uint32_t ByteReader::u32() {
+  const char* p = nullptr;
+  if (!take(4, &p)) return 0;
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::uint64_t ByteReader::u64() {
+  const char* p = nullptr;
+  if (!take(8, &p)) return 0;
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<unsigned char>(p[i]);
+  return v;
+}
+
+std::string ByteReader::str() {
+  std::uint32_t n = u32();
+  if (!ok_ || in_.size() - pos_ < n) {
+    ok_ = false;
+    return {};
+  }
+  const char* p = nullptr;
+  take(n, &p);
+  return std::string(p, n);
+}
+
+// ------------------------------------------------------------ Value codec --
+
+void encode_value(const Value& v, ByteWriter& w) {
+  switch (v.kind()) {
+    case ValueKind::kNull:
+      w.u8(static_cast<std::uint8_t>(ValueTag::kNull));
+      return;
+    case ValueKind::kBool:
+      w.u8(static_cast<std::uint8_t>(v.as_bool() ? ValueTag::kTrue : ValueTag::kFalse));
+      return;
+    case ValueKind::kInt:
+      w.u8(static_cast<std::uint8_t>(ValueTag::kInt));
+      w.i64(v.as_int());
+      return;
+    case ValueKind::kStr:
+      w.u8(static_cast<std::uint8_t>(ValueTag::kStr));
+      w.str(v.as_str());
+      return;
+    case ValueKind::kRef:
+      w.u8(static_cast<std::uint8_t>(ValueTag::kRef));
+      w.str(v.as_str());
+      return;
+    case ValueKind::kList:
+      w.u8(static_cast<std::uint8_t>(ValueTag::kList));
+      w.u32(static_cast<std::uint32_t>(v.as_list().size()));
+      for (const auto& e : v.as_list()) encode_value(e, w);
+      return;
+    case ValueKind::kMap:
+      w.u8(static_cast<std::uint8_t>(ValueTag::kMap));
+      w.u32(static_cast<std::uint32_t>(v.as_map().size()));
+      for (const auto& [k, e] : v.as_map()) {
+        w.str(k);
+        encode_value(e, w);
+      }
+      return;
+  }
+}
+
+bool decode_value(ByteReader& r, Value* out) { return decode_value_impl(r, out, 0); }
+
+// -------------------------------------------------------------- LogRecord --
+
+std::vector<std::string> collect_minted_ids(const ApiResponse& resp) {
+  std::vector<std::string> out;
+  if (!resp.ok) return out;
+  const Value* id = resp.data.get("id");
+  if (id != nullptr && (id->is_ref() || id->is_str()) && !id->as_str().empty()) {
+    out.push_back(id->as_str());
+  }
+  return out;
+}
+
+std::string encode_record(const LogRecord& rec) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(rec.type));
+  if (rec.type == LogRecord::Type::kReset) return w.take();
+  w.str(rec.request.api);
+  w.str(rec.request.target);
+  encode_value(Value(rec.request.args), w);
+  w.u8(rec.has_response ? 1 : 0);
+  if (rec.has_response) {
+    w.u8(rec.response.ok ? 1 : 0);
+    w.str(rec.response.code);
+    w.str(rec.response.message);
+    encode_value(rec.response.data, w);
+  }
+  w.u32(static_cast<std::uint32_t>(rec.minted_ids.size()));
+  for (const auto& id : rec.minted_ids) w.str(id);
+  return w.take();
+}
+
+bool decode_record(std::string_view payload, LogRecord* out) {
+  ByteReader r(payload);
+  std::uint8_t type = r.u8();
+  if (!r.ok()) return false;
+  *out = LogRecord{};
+  if (type == static_cast<std::uint8_t>(LogRecord::Type::kReset)) {
+    out->type = LogRecord::Type::kReset;
+    return r.at_end();
+  }
+  if (type != static_cast<std::uint8_t>(LogRecord::Type::kCall)) return false;
+  out->type = LogRecord::Type::kCall;
+  out->request.api = r.str();
+  out->request.target = r.str();
+  Value args;
+  if (!r.ok() || !decode_value(r, &args) || !args.is_map()) return false;
+  out->request.args = args.as_map();
+  out->has_response = r.u8() != 0;
+  if (!r.ok()) return false;
+  if (out->has_response) {
+    out->response.ok = r.u8() != 0;
+    out->response.code = r.str();
+    out->response.message = r.str();
+    if (!r.ok() || !decode_value(r, &out->response.data)) return false;
+  }
+  std::uint32_t n = r.u32();
+  if (!r.ok() || n > payload.size()) return false;
+  for (std::uint32_t i = 0; i < n; ++i) out->minted_ids.push_back(r.str());
+  return r.ok() && r.at_end();
+}
+
+// ---------------------------------------------------------------- framing --
+
+void append_framed(std::string& out, std::string_view payload) {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(payload.size()));
+  w.u32(crc32(payload));
+  out += w.bytes();
+  out.append(payload.data(), payload.size());
+}
+
+bool scan_framed(std::string_view bytes, std::size_t* pos, std::string_view* payload) {
+  if (bytes.size() - *pos < 8) return false;
+  ByteReader r(bytes.substr(*pos, 8));
+  std::uint32_t len = r.u32();
+  std::uint32_t crc = r.u32();
+  if (len > kMaxRecordBytes) return false;
+  if (bytes.size() - *pos - 8 < len) return false;
+  std::string_view body = bytes.substr(*pos + 8, len);
+  if (crc32(body) != crc) return false;
+  *payload = body;
+  *pos += 8 + len;
+  return true;
+}
+
+// ------------------------------------------------------------ store codec --
+
+namespace {
+constexpr std::uint32_t kStoreVersion = 1;
+}  // namespace
+
+std::string serialize_store(const interp::ResourceStore& store) {
+  ByteWriter w;
+  w.u32(kStoreVersion);
+  w.u64(store.next_seq());
+  auto counters = store.id_counters();
+  w.u32(static_cast<std::uint32_t>(counters.size()));
+  for (const auto& [prefix, count] : counters) {
+    w.str(prefix);
+    w.u64(count);
+  }
+  auto resources = store.resources_in_creation_order();
+  w.u64(resources.size());
+  for (const interp::Resource* r : resources) {
+    w.str(r->id);
+    w.str(r->type);
+    w.str(r->parent_id);
+    w.u64(r->seq);
+    encode_value(Value(r->attrs), w);
+  }
+  return w.take();
+}
+
+bool deserialize_store(std::string_view bytes, interp::ResourceStore* store) {
+  store->clear();
+  ByteReader r(bytes);
+  if (r.u32() != kStoreVersion || !r.ok()) return false;
+  std::uint64_t next_seq = r.u64();
+  std::uint32_t n_counters = r.u32();
+  if (!r.ok()) return false;
+  std::map<std::string, std::uint64_t> counters;
+  for (std::uint32_t i = 0; i < n_counters; ++i) {
+    std::string prefix = r.str();
+    std::uint64_t count = r.u64();
+    if (!r.ok()) return false;
+    counters[std::move(prefix)] = count;
+  }
+  std::uint64_t n_resources = r.u64();
+  if (!r.ok() || n_resources > bytes.size()) {
+    store->clear();
+    return false;
+  }
+  for (std::uint64_t i = 0; i < n_resources; ++i) {
+    interp::Resource res;
+    res.id = r.str();
+    res.type = r.str();
+    res.parent_id = r.str();
+    res.seq = r.u64();
+    Value attrs;
+    if (!r.ok() || !decode_value(r, &attrs) || !attrs.is_map()) {
+      store->clear();
+      return false;
+    }
+    res.attrs = attrs.as_map();
+    store->restore(std::move(res));
+  }
+  if (!r.at_end()) {
+    store->clear();
+    return false;
+  }
+  store->restore_id_counters(counters);
+  store->set_next_seq(next_seq);
+  return true;
+}
+
+}  // namespace lce::persist

@@ -1,0 +1,153 @@
+// Binary on-disk format shared by every durable-state artifact (DESIGN.md
+// "Durability"): the write-ahead log, snapshots, and exported traces all
+// speak one record vocabulary, so a recorded endpoint session and a serve
+// WAL are interchangeable inputs to replay and the alignment differ.
+//
+// Layers of the format, bottom up:
+//
+//   primitives   little-endian fixed-width ints and length-prefixed
+//                strings (ByteWriter / ByteReader)
+//   Value codec  tag byte + payload, recursion-depth bounded
+//   LogRecord    one committed transition: the normalized call, the
+//                released response, and the ids it minted
+//   framing      [u32 payload-len][u32 crc32][payload] per record; a
+//                record is valid only when fully present AND its checksum
+//                matches, which is what makes the torn-tail rule of
+//                recovery safe at any kill -9 byte offset
+//   store codec  canonical, versioned dump of a ResourceStore: resources
+//                in creation (seq) order plus the id counters and the seq
+//                clock, so a restored store mints the exact id sequence
+//                the original would have (serialize_canonical of equal
+//                stores is byte-identical — the determinism contract the
+//                replay verifier and the crash-torture suite compare on)
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/api.h"
+#include "common/value.h"
+
+namespace lce::interp {
+class ResourceStore;
+}  // namespace lce::interp
+
+namespace lce::persist {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of `bytes`.
+std::uint32_t crc32(std::string_view bytes);
+
+/// File headers: 4 magic bytes + u32 format version.
+inline constexpr std::string_view kWalMagic = "LCW1";
+inline constexpr std::string_view kSnapshotMagic = "LCS1";
+inline constexpr std::uint32_t kFormatVersion = 1;
+inline constexpr std::size_t kFileHeaderBytes = 8;
+/// Sanity cap on a single framed record (malformed length fields must not
+/// drive giant allocations during recovery scans).
+inline constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+
+// ------------------------------------------------------------- primitives --
+
+class ByteWriter {
+ public:
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+  void str(std::string_view s);
+  /// Bytes verbatim, no length prefix (file magics).
+  void raw(std::string_view s) { out_.append(s.data(), s.size()); }
+
+  const std::string& bytes() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader; any out-of-range read latches ok() == false and
+/// subsequent reads return zero values.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view in) : in_(in) {}
+
+  std::uint8_t u8();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  std::string str();
+
+  bool ok() const { return ok_; }
+  bool at_end() const { return pos_ == in_.size(); }
+
+ private:
+  bool take(std::size_t n, const char** out);
+
+  std::string_view in_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ------------------------------------------------------------ Value codec --
+
+void encode_value(const Value& v, ByteWriter& w);
+/// False on malformed input or nesting beyond the format's depth bound.
+bool decode_value(ByteReader& r, Value* out);
+
+// -------------------------------------------------------------- LogRecord --
+
+/// One entry of the write-ahead log / trace-record stream.
+struct LogRecord {
+  enum class Type : std::uint8_t {
+    kCall = 1,   // a state-changing (or, optionally, read) API invocation
+    kReset = 2,  // a whole-account reset (POST /reset)
+  };
+
+  Type type = Type::kCall;
+  /// The call as the journal saw it: already normalized (ids re-tagged as
+  /// refs by the validate layer above). Exported traces may instead carry
+  /// "$k.id" placeholders; replay resolves both shapes.
+  ApiRequest request;
+  /// Trace exports built from a request-only Trace have no response.
+  bool has_response = false;
+  ApiResponse response;
+  /// Ids this call minted (the created resource's "id" field), recorded so
+  /// replay can pin the id sequence even when concurrent commits landed in
+  /// the log out of mint order.
+  std::vector<std::string> minted_ids;
+};
+
+/// Minted ids of a response: the top-level "id" ref of a successful reply
+/// (the interpreter's create contract), empty otherwise.
+std::vector<std::string> collect_minted_ids(const ApiResponse& resp);
+
+std::string encode_record(const LogRecord& rec);
+bool decode_record(std::string_view payload, LogRecord* out);
+
+// ---------------------------------------------------------------- framing --
+
+/// Append [u32 len][u32 crc32(payload)][payload] to `out`.
+void append_framed(std::string& out, std::string_view payload);
+
+/// Scan one framed record at `bytes[pos...]`. Returns true and advances
+/// `pos` past the record when a complete, checksum-valid record is
+/// present; false for ANY defect (short length field, truncated payload,
+/// CRC mismatch, absurd length) — the caller treats everything from `pos`
+/// on as a torn tail.
+bool scan_framed(std::string_view bytes, std::size_t* pos, std::string_view* payload);
+
+// ------------------------------------------------------------ store codec --
+
+/// Canonical serialization of the full store: version, seq clock, id
+/// counters, then resources in creation order. Deterministic — equal
+/// stores serialize to identical bytes. Caller holds lock_shared_all (or
+/// is serial), matching the store's scan contract.
+std::string serialize_store(const interp::ResourceStore& store);
+
+/// Rebuild `store` from serialize_store bytes (clears it first). False on
+/// malformed input or version mismatch; the store is left cleared.
+bool deserialize_store(std::string_view bytes, interp::ResourceStore* store);
+
+}  // namespace lce::persist

@@ -1,0 +1,180 @@
+#include "persist/snapshot.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/strings.h"
+#include "persist/format.h"
+
+namespace fs = std::filesystem;
+
+namespace lce::persist {
+
+namespace {
+
+std::string epoch_name(std::string_view stem, std::uint64_t epoch,
+                       std::string_view suffix) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%08llu", static_cast<unsigned long long>(epoch));
+  return strf(stem, "-", buf, suffix);
+}
+
+/// Parse "<stem>-NNNNNNNN<suffix>" -> epoch. False on any other name.
+bool parse_epoch_name(std::string_view name, std::string_view stem,
+                      std::string_view suffix, std::uint64_t* epoch) {
+  if (name.size() <= stem.size() + 1 + suffix.size()) return false;
+  if (name.substr(0, stem.size()) != stem || name[stem.size()] != '-') return false;
+  if (name.substr(name.size() - suffix.size()) != suffix) return false;
+  std::string_view digits =
+      name.substr(stem.size() + 1, name.size() - stem.size() - 1 - suffix.size());
+  if (digits.empty()) return false;
+  std::uint64_t v = 0;
+  for (char c : digits) {
+    if (c < '0' || c > '9') return false;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  *epoch = v;
+  return true;
+}
+
+bool fsync_path(const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+}
+
+}  // namespace
+
+std::string wal_path(const std::string& dir, std::uint64_t epoch) {
+  return strf(dir, "/", epoch_name("wal", epoch, kWalSuffix));
+}
+
+std::string snapshot_path(const std::string& dir, std::uint64_t epoch) {
+  return strf(dir, "/", epoch_name("snap", epoch, kSnapshotSuffix));
+}
+
+DataDirState scan_data_dir(const std::string& dir) {
+  DataDirState state;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    std::uint64_t epoch = 0;
+    if (parse_epoch_name(name, "snap", kSnapshotSuffix, &epoch)) {
+      state.snapshot_epochs.push_back(epoch);
+    } else if (parse_epoch_name(name, "wal", kWalSuffix, &epoch)) {
+      state.wal_epochs.push_back(epoch);
+    }
+  }
+  std::sort(state.snapshot_epochs.begin(), state.snapshot_epochs.end());
+  std::sort(state.wal_epochs.begin(), state.wal_epochs.end());
+  return state;
+}
+
+bool ensure_dir(const std::string& dir, std::string* error) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    if (error != nullptr) *error = strf("mkdir ", dir, ": ", ec.message());
+    return false;
+  }
+  return true;
+}
+
+bool write_snapshot_file(const std::string& path, const std::string& store_bytes,
+                         std::string* error) {
+  ByteWriter w;
+  w.raw(kSnapshotMagic);
+  w.u32(kFormatVersion);
+  std::string file = w.take();
+  append_framed(file, store_bytes);
+
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = strf("open ", tmp, ": ", std::strerror(errno));
+    return false;
+  }
+  bool ok = true;
+  std::size_t done = 0;
+  while (done < file.size()) {
+    ssize_t n = ::write(fd, file.data() + done, file.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ok = false;
+      break;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  // The snapshot must be on disk BEFORE the rename makes it discoverable —
+  // otherwise a crash could leave a complete-looking name over torn bytes.
+  if (ok) ok = ::fsync(fd) == 0;
+  ::close(fd);
+  if (!ok) {
+    if (error != nullptr) *error = strf("write ", tmp, ": ", std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = strf("rename ", tmp, ": ", std::strerror(errno));
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  // Persist the rename itself (directory entry).
+  fsync_path(fs::path(path).parent_path().string());
+  return true;
+}
+
+bool read_snapshot_file(const std::string& path, std::string* store_bytes) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string bytes = ss.str();
+  if (bytes.size() < kFileHeaderBytes ||
+      std::string_view(bytes).substr(0, kSnapshotMagic.size()) != kSnapshotMagic) {
+    return false;
+  }
+  {
+    ByteReader r(std::string_view(bytes).substr(kSnapshotMagic.size(), 4));
+    if (r.u32() != kFormatVersion) return false;
+  }
+  std::size_t pos = kFileHeaderBytes;
+  std::string_view payload;
+  if (!scan_framed(bytes, &pos, &payload)) return false;
+  if (pos != bytes.size()) return false;  // trailing garbage = not a clean write
+  *store_bytes = std::string(payload);
+  return true;
+}
+
+void remove_stale_epochs(const std::string& dir, std::uint64_t keep_epoch) {
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (ec) break;
+    const std::string name = entry.path().filename().string();
+    std::uint64_t epoch = 0;
+    bool stale = false;
+    if (parse_epoch_name(name, "snap", kSnapshotSuffix, &epoch) ||
+        parse_epoch_name(name, "wal", kWalSuffix, &epoch)) {
+      stale = epoch < keep_epoch;
+    } else if (name.size() > 4 && name.substr(name.size() - 4) == ".tmp") {
+      stale = true;  // half-written snapshot from a crashed attempt
+    }
+    if (stale) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+    }
+  }
+}
+
+}  // namespace lce::persist

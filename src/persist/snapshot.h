@@ -1,0 +1,64 @@
+// Snapshot files and the epoch layout of a data dir.
+//
+// A data dir holds epoch-numbered pairs:
+//
+//   wal-<epoch>.lcw    the write-ahead log of that epoch
+//   snap-<epoch>.lcs   the store state at the MOMENT epoch began, i.e.
+//                      snapshot + same-epoch WAL = current state
+//
+// Taking a snapshot of epoch E writes snap-(E+1) (tmp file + fsync +
+// atomic rename), then starts wal-(E+1), then deletes stale epochs. Every
+// crash window is safe:
+//
+//   - crash before the rename: snap-(E+1).tmp is garbage, ignored by
+//     recovery; snap-E + wal-E still reconstruct the state.
+//   - crash after the rename, before wal-(E+1) exists: recovery picks
+//     snap-(E+1) and finds no same-epoch WAL — exactly the snapshotted
+//     state, which equals snap-E + full wal-E.
+//   - crash during stale deletion: leftovers from epochs < chosen are
+//     ignored (recovery always pairs a snapshot with its OWN epoch's WAL,
+//     never an older one, so old records are never double-applied).
+//
+// Recovery picks the highest epoch whose snapshot VALIDATES (magic,
+// version, checksum), falling back to older epochs — a half-written or
+// bit-rotted newest snapshot degrades to the previous one instead of
+// failing the boot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lce::persist {
+
+inline constexpr std::string_view kWalSuffix = ".lcw";
+inline constexpr std::string_view kSnapshotSuffix = ".lcs";
+
+std::string wal_path(const std::string& dir, std::uint64_t epoch);
+std::string snapshot_path(const std::string& dir, std::uint64_t epoch);
+
+/// Epochs present in `dir`, each list ascending.
+struct DataDirState {
+  std::vector<std::uint64_t> snapshot_epochs;
+  std::vector<std::uint64_t> wal_epochs;
+};
+
+DataDirState scan_data_dir(const std::string& dir);
+
+/// mkdir -p. False (with *error set) when the dir can't be created.
+bool ensure_dir(const std::string& dir, std::string* error);
+
+/// Write a snapshot file holding `store_bytes` (a serialize_store dump):
+/// header + one CRC-framed record, via tmp + fsync + atomic rename.
+bool write_snapshot_file(const std::string& path, const std::string& store_bytes,
+                         std::string* error);
+
+/// Validate + extract a snapshot's store bytes. False on any defect
+/// (missing, bad magic/version, torn frame, checksum mismatch).
+bool read_snapshot_file(const std::string& path, std::string* store_bytes);
+
+/// Delete snapshots/WALs of epochs below `keep_epoch`, plus any leftover
+/// .tmp files. Best effort — failures leave stragglers recovery ignores.
+void remove_stale_epochs(const std::string& dir, std::uint64_t keep_epoch);
+
+}  // namespace lce::persist

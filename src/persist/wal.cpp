@@ -1,0 +1,193 @@
+#include "persist/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace lce::persist {
+
+namespace {
+
+std::string file_header() {
+  ByteWriter w;
+  w.raw(kWalMagic);
+  w.u32(kFormatVersion);
+  return w.take();
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+bool write_all(int fd, std::string_view bytes) {
+  std::size_t done = 0;
+  while (done < bytes.size()) {
+    ssize_t n = ::write(fd, bytes.data() + done, bytes.size() - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+WalScan read_wal(const std::string& path) {
+  WalScan scan;
+  std::string bytes;
+  if (!read_file(path, &bytes)) return scan;
+  scan.file_bytes = bytes.size();
+  // Header: magic + version. A defect here voids the whole file.
+  if (bytes.size() < kFileHeaderBytes ||
+      std::string_view(bytes).substr(0, kWalMagic.size()) != kWalMagic) {
+    scan.torn_tail = bytes.size() > 0;
+    return scan;
+  }
+  {
+    ByteReader r(std::string_view(bytes).substr(kWalMagic.size(), 4));
+    if (r.u32() != kFormatVersion) {
+      scan.torn_tail = true;
+      return scan;
+    }
+  }
+  scan.header_ok = true;
+  std::size_t pos = kFileHeaderBytes;
+  std::string_view payload;
+  while (scan_framed(bytes, &pos, &payload)) {
+    LogRecord rec;
+    if (!decode_record(payload, &rec)) break;  // framed but semantically bad
+    scan.records.push_back(std::move(rec));
+    scan.valid_bytes = pos;  // only after full validation of the record
+  }
+  if (scan.valid_bytes == 0) scan.valid_bytes = kFileHeaderBytes;
+  scan.torn_tail = scan.valid_bytes < scan.file_bytes;
+  return scan;
+}
+
+bool write_wal_file(const std::string& path,
+                    const std::vector<LogRecord>& records, std::string* error) {
+  std::string bytes = file_header();
+  for (const auto& rec : records) append_framed(bytes, encode_record(rec));
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out || !out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()))) {
+    if (error != nullptr) *error = strf("write ", path, " failed");
+    return false;
+  }
+  return true;
+}
+
+WalWriter::WalWriter(std::string path, int fd, WalSync sync,
+                     std::uint64_t records, std::uint64_t bytes)
+    : path_(std::move(path)), fd_(fd), sync_(sync), records_(records),
+      bytes_(bytes) {}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::unique_ptr<WalWriter> WalWriter::open(const std::string& path, WalSync sync,
+                                           std::string* error) {
+  WalScan scan = read_wal(path);
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = strf("open ", path, ": ", std::strerror(errno));
+    return nullptr;
+  }
+  std::uint64_t start_bytes = 0;
+  bool ok = true;
+  if (!scan.header_ok) {
+    // Missing, empty, or header-corrupt file: start fresh. (Recovery has
+    // already decided such a log contributes zero records.)
+    ok = ::ftruncate(fd, 0) == 0 && write_all(fd, file_header());
+    start_bytes = kFileHeaderBytes;
+    scan.records.clear();
+  } else {
+    // Drop the torn tail so appends extend the valid prefix.
+    ok = ::ftruncate(fd, static_cast<off_t>(scan.valid_bytes)) == 0 &&
+         ::lseek(fd, 0, SEEK_END) >= 0;
+    start_bytes = scan.valid_bytes;
+  }
+  if (!ok) {
+    if (error != nullptr) *error = strf("prepare ", path, ": ", std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, fd, sync, scan.records.size(), start_bytes));
+}
+
+bool WalWriter::append(const LogRecord& rec) {
+  // Serialize outside the lock — group commit's whole point is that the
+  // sharded serve path doesn't line up behind each other's encoding work.
+  std::string framed;
+  append_framed(framed, encode_record(rec));
+
+  std::unique_lock<std::mutex> lk(mu_);
+  if (failed_) return false;
+  const std::uint64_t ticket = ++last_ticket_;
+  pending_ += framed;
+  ++pending_records_;
+
+  while (durable_ticket_ < ticket) {
+    if (failed_) return false;
+    if (!flushing_) {
+      // Become the leader: take the whole pending batch (which includes
+      // our record and any staged after it) and write it in one syscall.
+      flushing_ = true;
+      std::string batch = std::move(pending_);
+      pending_.clear();
+      const std::uint64_t batch_high = last_ticket_;
+      const std::uint64_t batch_records = pending_records_;
+      pending_records_ = 0;
+      lk.unlock();
+      bool ok = write_all(fd_, batch);
+      if (ok && sync_ == WalSync::kBatch) ok = ::fdatasync(fd_) == 0;
+      lk.lock();
+      flushing_ = false;
+      if (ok) {
+        durable_ticket_ = batch_high;
+        records_ += batch_records;
+        bytes_ += batch.size();
+      } else {
+        failed_ = true;  // sticky: every waiter and future append fails
+      }
+      cv_.notify_all();
+    } else {
+      cv_.wait(lk, [&] {
+        return durable_ticket_ >= ticket || !flushing_ || failed_;
+      });
+    }
+  }
+  return !failed_;
+}
+
+bool WalWriter::failed() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return failed_;
+}
+
+std::uint64_t WalWriter::record_count() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return records_;
+}
+
+std::uint64_t WalWriter::size_bytes() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return bytes_;
+}
+
+}  // namespace lce::persist

@@ -1,0 +1,108 @@
+// Write-ahead log: an append-only file of framed LogRecords (format.h)
+// behind a group-commit writer. Every committed transition is appended —
+// and made durable per the configured sync policy — BEFORE the response
+// is released to the client (DESIGN.md "Durability").
+//
+// Group commit: concurrent appenders serialize their records outside the
+// lock, stage the framed bytes into a shared pending buffer, and one
+// leader writes the whole batch with a single write() (plus fdatasync
+// under WalSync::kBatch) while followers wait on the durable high-water
+// mark. The sharded serve path pays one lock handoff per append, not one
+// syscall per request.
+//
+// Torn-tail rule: a record counts only when fully present and checksum-
+// valid. Readers (read_wal) stop at the first defect; the writer opens by
+// truncating the file to that valid prefix, so a kill -9 at any byte
+// offset leaves a log that recovers to a consistent prefix.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "persist/format.h"
+
+namespace lce::persist {
+
+enum class WalSync {
+  /// write() into the page cache, no explicit sync. Survives process
+  /// death (kill -9) — the crash model the torture suite exercises — but
+  /// not OS/power failure. The serve-path default.
+  kNone,
+  /// fdatasync once per group-commit batch. Survives OS crash; costs one
+  /// device flush per batch.
+  kBatch,
+};
+
+/// Result of scanning a WAL file.
+struct WalScan {
+  std::vector<LogRecord> records;
+  /// Byte offset of the first defect — everything before it is the valid
+  /// prefix (equals file_bytes for a clean log; 0 when the header itself
+  /// is missing or corrupt).
+  std::size_t valid_bytes = 0;
+  std::size_t file_bytes = 0;
+  /// File existed and began with a valid magic + version header.
+  bool header_ok = false;
+  /// A defect (torn or corrupt record) was found before end of file.
+  bool torn_tail = false;
+};
+
+/// Read and scan `path`. A missing file yields an empty scan (no error —
+/// a fresh data dir has no log yet).
+WalScan read_wal(const std::string& path);
+
+/// Write a standalone record file (header + framed records), overwriting
+/// `path` — the `lce trace export` path. The result is a valid WAL.
+bool write_wal_file(const std::string& path, const std::vector<LogRecord>& records,
+                    std::string* error);
+
+class WalWriter {
+ public:
+  /// Open `path` for appending, creating it (with a fresh header) when
+  /// missing or headerless, truncating any torn tail otherwise. Returns
+  /// nullptr on I/O failure with a diagnostic in *error.
+  static std::unique_ptr<WalWriter> open(const std::string& path, WalSync sync,
+                                         std::string* error);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Append one record via group commit. Blocks until the record is
+  /// durable per the sync policy. False once the writer has failed (any
+  /// prior I/O error is sticky — the journal must stop acking writes).
+  bool append(const LogRecord& rec);
+
+  /// True once an append hit an I/O error (sticky).
+  bool failed() const;
+  /// Records in the log file (valid prefix at open + appends since).
+  std::uint64_t record_count() const;
+  /// Current log file size in bytes.
+  std::uint64_t size_bytes() const;
+  const std::string& path() const { return path_; }
+
+ private:
+  WalWriter(std::string path, int fd, WalSync sync, std::uint64_t records,
+            std::uint64_t bytes);
+
+  std::string path_;
+  int fd_;
+  WalSync sync_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::string pending_;               // framed bytes staged for the next batch
+  std::uint64_t pending_records_ = 0;
+  std::uint64_t last_ticket_ = 0;     // ticket of the newest staged record
+  std::uint64_t durable_ticket_ = 0;  // high-water mark of flushed tickets
+  bool flushing_ = false;             // a leader is writing a batch
+  bool failed_ = false;               // sticky I/O failure
+  std::uint64_t records_;             // durable records in the file
+  std::uint64_t bytes_;               // durable file size
+};
+
+}  // namespace lce::persist

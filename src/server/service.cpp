@@ -1,6 +1,9 @@
 #include "server/service.h"
 
+#include <utility>
+
 #include "common/strings.h"
+#include "persist/journal.h"
 #include "server/json.h"
 #include "stack/layer.h"
 #include "stack/layers.h"
@@ -26,8 +29,40 @@ HttpResponse error_response(int status, std::string code, std::string message) {
 
 }  // namespace
 
-HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req) {
+HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req,
+                                     persist::PersistManager* persist) {
   auto* layered = dynamic_cast<stack::LayerStack*>(&backend);
+  if (req.path == "/admin/snapshot" || req.path == "/admin/persist") {
+    if (persist == nullptr) {
+      return error_response(404, "PersistenceUnavailable",
+                            "endpoint is not running with a data dir");
+    }
+    if (req.method == "POST" && req.path == "/admin/snapshot") {
+      std::string error;
+      if (!persist->take_snapshot(&error)) {
+        return error_response(500, "SnapshotFailed", error);
+      }
+      persist::PersistStatus st = persist->status();
+      Value::Map body;
+      body["status"] = Value("snapshotted");
+      body["epoch"] = Value(static_cast<std::int64_t>(st.epoch));
+      return json_response(200, Value(std::move(body)));
+    }
+    if (req.method == "GET" && req.path == "/admin/persist") {
+      persist::PersistStatus st = persist->status();
+      Value::Map body;
+      body["data_dir"] = Value(persist->options().data_dir);
+      body["epoch"] = Value(static_cast<std::int64_t>(st.epoch));
+      body["wal_records"] = Value(static_cast<std::int64_t>(st.wal_records));
+      body["wal_bytes"] = Value(static_cast<std::int64_t>(st.wal_bytes));
+      body["snapshots_taken"] =
+          Value(static_cast<std::int64_t>(st.snapshots_taken));
+      body["failed"] = Value(st.failed);
+      return json_response(200, Value(std::move(body)));
+    }
+    return error_response(405, "MethodNotAllowed",
+                          strf(req.method, " not supported on ", req.path));
+  }
   if (req.method == "GET" && req.path == "/health") {
     Value::Map health;
     health["status"] = Value("ok");
@@ -92,10 +127,26 @@ HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& r
   return error_response(404, "NoSuchEndpoint", strf("unknown path ", req.path));
 }
 
-EmulatorEndpoint::EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config)
-    : stack_(stack::build_stack(backend, config)),
+namespace {
+
+stack::StackConfig with_journal(stack::StackConfig config,
+                                persist::PersistManager* persist) {
+  if (persist != nullptr) {
+    config.journal = [persist] {
+      return std::make_unique<persist::JournalLayer>(persist);
+    };
+  }
+  return config;
+}
+
+}  // namespace
+
+EmulatorEndpoint::EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config,
+                                   persist::PersistManager* persist)
+    : stack_(stack::build_stack(backend, with_journal(std::move(config), persist))),
+      persist_(persist),
       server_([this](const HttpRequest& req) {
-        return handle_emulator_request(stack_, req);
+        return handle_emulator_request(stack_, req, persist_);
       }) {}
 
 std::uint16_t EmulatorEndpoint::start(std::uint16_t port) { return server_.start(port); }

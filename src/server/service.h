@@ -9,6 +9,9 @@
 //                      backend stack has no metrics layer)
 //   GET  /snapshot  -> full mock-cloud state
 //   POST /reset     -> fresh account
+//   POST /admin/snapshot -> durable snapshot + epoch rotation (404 when
+//                      the endpoint runs without a data dir)
+//   GET  /admin/persist  -> durability status: epoch, WAL records/bytes
 //
 // Cross-cutting invoke-path concerns (thread-safety, id re-tagging,
 // metrics, fault injection, recording, read caching) live in lce::stack;
@@ -24,6 +27,10 @@
 #include "server/http.h"
 #include "stack/config.h"
 
+namespace lce::persist {
+class PersistManager;
+}  // namespace lce::persist
+
 namespace lce::server {
 
 /// Wire-format id heuristic, re-exported from the stack's validate layer
@@ -33,15 +40,21 @@ using stack::looks_like_resource_id;
 /// Translate one HTTP request into a backend call (exposed separately so
 /// tests can exercise routing without sockets). When `backend` is a
 /// stack::LayerStack the chain-aware endpoints (/metrics, the /health
-/// "layers" field) light up.
-HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req);
+/// "layers" field) light up. `persist` (may be null) serves the
+/// /admin/snapshot and /admin/persist durability routes.
+HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req,
+                                     persist::PersistManager* persist = nullptr);
 
 /// A running emulator endpoint; owns the server thread and the layer stack
 /// built around the backend (default: serialize + validate + metrics), not
 /// the backend itself.
 class EmulatorEndpoint {
  public:
-  explicit EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config = {});
+  /// `persist` (optional, caller-owned, must outlive the endpoint) makes
+  /// the endpoint durable: a JournalLayer is installed in the stack (the
+  /// config's journal hook is overwritten) and the /admin routes light up.
+  explicit EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config = {},
+                            persist::PersistManager* persist = nullptr);
 
   /// Bind and serve; returns the port (0 = failure).
   std::uint16_t start(std::uint16_t port = 0);
@@ -54,6 +67,7 @@ class EmulatorEndpoint {
 
  private:
   stack::LayerStack stack_;
+  persist::PersistManager* persist_;
   HttpServer server_;
 };
 

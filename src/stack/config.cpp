@@ -15,6 +15,7 @@ void push_layers(LayerStack& stack, const StackConfig& config,
   if (serialize) stack.push(std::make_unique<SerializeLayer>());
   if (config.read_cache) stack.push(std::make_unique<ReadCacheLayer>());
   if (config.record) stack.push(std::make_unique<RecordLayer>());
+  if (config.journal) stack.push(config.journal());
   if (config.validate) stack.push(std::make_unique<ValidateLayer>());
   if (config.fault_seed) {
     stack.push(std::make_unique<FaultLayer>(*config.fault_seed, config.fault));

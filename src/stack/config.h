@@ -4,17 +4,22 @@
 //
 // Canonical order, outermost (sees requests first) to innermost:
 //
-//   metrics -> fault -> validate -> record -> read_cache -> serialize -> base
+//   metrics -> fault -> validate -> journal -> record -> read_cache
+//     -> serialize -> base
 //
 // Rationale: metrics observes everything including injected faults;
 // faults fire at the front door before any real work; validation
-// normalizes args so the recorder captures replayable calls and the cache
-// keys canonical requests; the read cache sits above serialize so cache
-// hits never take the backend mutex; serialize is the innermost gate
-// protecting single-threaded backends.
+// normalizes args so the journal logs (and the recorder captures)
+// replayable calls and the cache keys canonical requests; the journal
+// sits below validate so the WAL holds normalized calls but above the
+// cache so cache hits are not journaled as writes; the read cache sits
+// above serialize so cache hits never take the backend mutex; serialize
+// is the innermost gate protecting single-threaded backends.
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <optional>
 
 #include "stack/layers.h"
@@ -41,6 +46,10 @@ struct StackConfig {
   /// Engaged => install a FaultLayer seeded with this value.
   std::optional<std::uint64_t> fault_seed;
   FaultConfig fault;
+  /// Engaged => the factory's layer is installed between validate and
+  /// record. The durability subsystem (src/persist) injects its
+  /// JournalLayer here, keeping lce_stack free of a persist dependency.
+  std::function<std::unique_ptr<BackendLayer>()> journal;
 };
 
 /// Build the configured stack around a base backend the caller keeps

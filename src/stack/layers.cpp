@@ -269,13 +269,18 @@ ApiResponse RecordLayer::invoke(const ApiRequest& req) {
     }
     index = trace_.calls.size();
     trace_.calls.push_back(std::move(recorded));
+    responses_.emplace_back();  // slot filled once the call completes
   }
   ApiResponse resp = inner().invoke(req);
-  if (resp.ok) {
-    const Value* id = resp.data.get("id");
-    if (id != nullptr && (id->is_str() || id->is_ref())) {
-      std::lock_guard<std::mutex> lock(mu_);
-      minted_ids_.emplace(id->as_str(), index);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // A concurrent reset()/clear_trace() may have dropped our slot.
+    if (index < responses_.size()) responses_[index] = resp;
+    if (resp.ok) {
+      const Value* id = resp.data.get("id");
+      if (id != nullptr && (id->is_str() || id->is_ref())) {
+        minted_ids_.emplace(id->as_str(), index);
+      }
     }
   }
   return resp;
@@ -285,6 +290,7 @@ void RecordLayer::reset() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     trace_.calls.clear();
+    responses_.clear();
     minted_ids_.clear();
   }
   inner().reset();
@@ -303,13 +309,20 @@ std::size_t RecordLayer::recorded() const {
 void RecordLayer::clear_trace() {
   std::lock_guard<std::mutex> lock(mu_);
   trace_.calls.clear();
+  responses_.clear();
   minted_ids_.clear();
+}
+
+std::vector<ApiResponse> RecordLayer::responses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return responses_;
 }
 
 std::unique_ptr<BackendLayer> RecordLayer::clone_detached() const {
   auto copy = std::make_unique<RecordLayer>();
   std::lock_guard<std::mutex> lock(mu_);
   copy->trace_ = trace_;
+  copy->responses_ = responses_;
   copy->minted_ids_ = minted_ids_;
   return copy;
 }

@@ -165,12 +165,18 @@ class RecordLayer final : public BackendLayer {
   std::size_t recorded() const;
   void clear_trace();
 
+  /// Responses index-aligned with trace().calls (a call that is still in
+  /// flight holds a default-constructed slot). Together with the trace
+  /// this is everything `lce trace export` writes into a record file.
+  std::vector<ApiResponse> responses() const;
+
  protected:
   std::unique_ptr<BackendLayer> clone_detached() const override;
 
  private:
   mutable std::mutex mu_;
   Trace trace_;
+  std::vector<ApiResponse> responses_;  // index-aligned with trace_.calls
   /// id string -> index of the recorded call whose response minted it.
   std::map<std::string, std::size_t> minted_ids_;
 };

@@ -1,0 +1,350 @@
+#include "persist/format.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/api.h"
+#include "common/value.h"
+#include "interp/store.h"
+#include "persist/persist_test_util.h"
+
+namespace lce::persist {
+namespace {
+
+TEST(Crc32, KnownVectors) {
+  // The standard IEEE 802.3 check value.
+  EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(crc32(""), 0x00000000u);
+  EXPECT_NE(crc32("abc"), crc32("abd"));
+}
+
+TEST(BytePrimitives, RoundTrip) {
+  ByteWriter w;
+  w.u8(0xAB);
+  w.u32(0xDEADBEEFu);
+  w.u64(0x0123456789ABCDEFull);
+  w.i64(-42);
+  w.str("hello");
+  w.str("");  // empty strings are representable
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.ok());
+  EXPECT_TRUE(r.at_end());
+}
+
+TEST(BytePrimitives, LittleEndianLayout) {
+  ByteWriter w;
+  w.u32(0x01020304u);
+  const std::string& b = w.bytes();
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(static_cast<unsigned char>(b[0]), 0x04);
+  EXPECT_EQ(static_cast<unsigned char>(b[3]), 0x01);
+}
+
+TEST(BytePrimitives, ShortReadLatchesNotOk) {
+  ByteWriter w;
+  w.u8(7);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u32(), 0u);  // past the end: zero value, ok() latches false
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.u64(), 0u);  // stays failed
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(BytePrimitives, TruncatedStringLengthRejected) {
+  ByteWriter w;
+  w.u32(1000);  // claims a 1000-byte string with no payload behind it
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_FALSE(r.ok());
+}
+
+Value sample_value() {
+  Value::Map m;
+  m["null"] = Value();
+  m["yes"] = Value(true);
+  m["no"] = Value(false);
+  m["int"] = Value(std::int64_t{-1234567890123});
+  m["str"] = Value("plain");
+  m["ref"] = Value::ref("eip-00000001");
+  m["list"] = Value(Value::List{Value(1), Value("two"), Value()});
+  Value::Map nested;
+  nested["k"] = Value(Value::List{Value(Value::Map{{"deep", Value(true)}})});
+  m["map"] = Value(std::move(nested));
+  return Value(std::move(m));
+}
+
+TEST(ValueCodec, RoundTripPreservesKindsAndOrder) {
+  Value v = sample_value();
+  ByteWriter w;
+  encode_value(v, w);
+
+  ByteReader r(w.bytes());
+  Value out;
+  ASSERT_TRUE(decode_value(r, &out));
+  EXPECT_TRUE(r.at_end());
+  EXPECT_EQ(out, v);
+  // Ref-ness survives (it is a distinct kind, not a string flavor).
+  EXPECT_TRUE(out.get("ref")->is_ref());
+  EXPECT_TRUE(out.get("str")->is_str());
+}
+
+TEST(ValueCodec, DeterministicEncoding) {
+  ByteWriter a, b;
+  encode_value(sample_value(), a);
+  encode_value(sample_value(), b);
+  EXPECT_EQ(a.bytes(), b.bytes());
+}
+
+TEST(ValueCodec, DepthBoundEnforced) {
+  // 200 nested lists exceeds the 128-depth bound.
+  Value v;
+  for (int i = 0; i < 200; ++i) v = Value(Value::List{std::move(v)});
+  ByteWriter w;
+  encode_value(v, w);
+  ByteReader r(w.bytes());
+  Value out;
+  EXPECT_FALSE(decode_value(r, &out));
+}
+
+TEST(ValueCodec, DepthJustUnderBoundAccepted) {
+  Value v(std::int64_t{7});
+  for (int i = 0; i < 100; ++i) v = Value(Value::List{std::move(v)});
+  ByteWriter w;
+  encode_value(v, w);
+  ByteReader r(w.bytes());
+  Value out;
+  ASSERT_TRUE(decode_value(r, &out));
+  EXPECT_EQ(out, v);
+}
+
+TEST(ValueCodec, GarbageTagRejected) {
+  std::string bytes(1, static_cast<char>(0x7F));
+  ByteReader r(bytes);
+  Value out;
+  EXPECT_FALSE(decode_value(r, &out));
+}
+
+LogRecord sample_call_record() {
+  LogRecord rec;
+  rec.type = LogRecord::Type::kCall;
+  rec.request.api = "CreatePublicIp";
+  rec.request.args = {{"region", Value("us-east")}};
+  rec.request.target = "";
+  rec.has_response = true;
+  rec.response = ApiResponse::success(Value(Value::Map{
+      {"id", Value::ref("eip-00000001")}, {"status", Value("ASSIGNED")}}));
+  rec.minted_ids = {"eip-00000001"};
+  return rec;
+}
+
+TEST(RecordCodec, CallRoundTrip) {
+  LogRecord rec = sample_call_record();
+  std::string payload = encode_record(rec);
+  LogRecord out;
+  ASSERT_TRUE(decode_record(payload, &out));
+  EXPECT_EQ(out.type, LogRecord::Type::kCall);
+  EXPECT_EQ(out.request.api, rec.request.api);
+  EXPECT_EQ(Value(out.request.args), Value(rec.request.args));
+  EXPECT_TRUE(out.has_response);
+  EXPECT_EQ(out.response.ok, rec.response.ok);
+  EXPECT_EQ(out.response.data, rec.response.data);
+  EXPECT_EQ(out.minted_ids, rec.minted_ids);
+}
+
+TEST(RecordCodec, FailureResponseRoundTrip) {
+  LogRecord rec;
+  rec.request.api = "DeleteNic";
+  rec.has_response = true;
+  rec.response = ApiResponse::failure("DependencyViolation", "public ip attached");
+  std::string payload = encode_record(rec);
+  LogRecord out;
+  ASSERT_TRUE(decode_record(payload, &out));
+  EXPECT_FALSE(out.response.ok);
+  EXPECT_EQ(out.response.code, "DependencyViolation");
+  EXPECT_EQ(out.response.message, "public ip attached");
+  EXPECT_TRUE(out.minted_ids.empty());
+}
+
+TEST(RecordCodec, ResetRoundTrip) {
+  LogRecord rec;
+  rec.type = LogRecord::Type::kReset;
+  std::string payload = encode_record(rec);
+  LogRecord out;
+  ASSERT_TRUE(decode_record(payload, &out));
+  EXPECT_EQ(out.type, LogRecord::Type::kReset);
+  EXPECT_FALSE(out.has_response);
+}
+
+TEST(RecordCodec, TrailingGarbageRejected) {
+  std::string payload = encode_record(sample_call_record());
+  payload += "x";
+  LogRecord out;
+  EXPECT_FALSE(decode_record(payload, &out));
+}
+
+TEST(RecordCodec, TruncatedPayloadRejected) {
+  std::string payload = encode_record(sample_call_record());
+  LogRecord out;
+  EXPECT_FALSE(decode_record(std::string_view(payload).substr(0, payload.size() / 2),
+                             &out));
+  EXPECT_FALSE(decode_record("", &out));
+}
+
+TEST(RecordCodec, UnknownTypeByteRejected) {
+  std::string payload(1, static_cast<char>(99));
+  LogRecord out;
+  EXPECT_FALSE(decode_record(payload, &out));
+}
+
+TEST(CollectMintedIds, OnlyTopLevelIdOfSuccess) {
+  auto ok = ApiResponse::success(
+      Value(Value::Map{{"id", Value::ref("eni-00000002")}, {"zone", Value("z")}}));
+  EXPECT_EQ(collect_minted_ids(ok), std::vector<std::string>{"eni-00000002"});
+
+  auto plain_str = ApiResponse::success(Value(Value::Map{{"id", Value("eni-3")}}));
+  EXPECT_EQ(collect_minted_ids(plain_str), std::vector<std::string>{"eni-3"});
+
+  auto failure = ApiResponse::failure("InvalidAction", "nope");
+  failure.data = ok.data;
+  EXPECT_TRUE(collect_minted_ids(failure).empty());
+
+  auto no_id = ApiResponse::success(Value(Value::Map{{"status", Value("OK")}}));
+  EXPECT_TRUE(collect_minted_ids(no_id).empty());
+
+  auto nested = ApiResponse::success(Value(
+      Value::Map{{"nic", Value(Value::Map{{"id", Value::ref("eni-9")}})}}));
+  EXPECT_TRUE(collect_minted_ids(nested).empty());
+}
+
+TEST(Framing, RoundTripMultipleRecords) {
+  std::string out;
+  append_framed(out, "first");
+  append_framed(out, "second record");
+  append_framed(out, "");  // zero-length payload frames fine
+
+  std::size_t pos = 0;
+  std::string_view payload;
+  ASSERT_TRUE(scan_framed(out, &pos, &payload));
+  EXPECT_EQ(payload, "first");
+  ASSERT_TRUE(scan_framed(out, &pos, &payload));
+  EXPECT_EQ(payload, "second record");
+  ASSERT_TRUE(scan_framed(out, &pos, &payload));
+  EXPECT_EQ(payload, "");
+  EXPECT_EQ(pos, out.size());
+  EXPECT_FALSE(scan_framed(out, &pos, &payload));  // clean end of input
+}
+
+TEST(Framing, CorruptPayloadFailsChecksum) {
+  std::string out;
+  append_framed(out, "payload-bytes");
+  out[out.size() - 1] ^= 0x01;  // flip one payload bit
+  std::size_t pos = 0;
+  std::string_view payload;
+  EXPECT_FALSE(scan_framed(out, &pos, &payload));
+  EXPECT_EQ(pos, 0u);  // pos is not advanced past a defect
+}
+
+TEST(Framing, CorruptLengthFieldRejected) {
+  std::string out;
+  append_framed(out, "payload-bytes");
+  out[0] = static_cast<char>(0xFF);  // length now disagrees with the content
+  std::size_t pos = 0;
+  std::string_view payload;
+  EXPECT_FALSE(scan_framed(out, &pos, &payload));
+}
+
+TEST(Framing, TruncationAtEveryByteOffsetIsADefectNotACrash) {
+  std::string full;
+  append_framed(full, "some payload long enough to truncate interestingly");
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::string_view torn = std::string_view(full).substr(0, cut);
+    std::size_t pos = 0;
+    std::string_view payload;
+    EXPECT_FALSE(scan_framed(torn, &pos, &payload)) << "cut at " << cut;
+  }
+}
+
+TEST(Framing, AbsurdLengthCapRejected) {
+  ByteWriter w;
+  w.u32(kMaxRecordBytes + 1);
+  w.u32(0);
+  std::string out = w.take();
+  out.append(16, 'x');
+  std::size_t pos = 0;
+  std::string_view payload;
+  EXPECT_FALSE(scan_framed(out, &pos, &payload));
+}
+
+TEST(StoreCodec, RoundTripRestoresResourcesCountersAndSeq) {
+  auto it = persist::testing::make_interp();
+  auto r1 = it.invoke({"CreatePublicIp", {{"region", Value("us-east")}}, ""});
+  ASSERT_TRUE(r1.ok) << r1.to_text();
+  auto r2 = it.invoke({"CreateNic", {{"zone", Value("us-west")}}, ""});
+  ASSERT_TRUE(r2.ok) << r2.to_text();
+
+  std::string bytes = serialize_store(it.store());
+
+  auto twin = persist::testing::make_interp();
+  ASSERT_TRUE(deserialize_store(bytes, &twin.store()));
+
+  // Canonical dump of the restored store is byte-identical.
+  EXPECT_EQ(serialize_store(twin.store()), bytes);
+
+  // The restored store keeps minting where the original left off.
+  auto next_orig = it.invoke({"CreatePublicIp", {{"region", Value("us-west")}}, ""});
+  auto next_twin = twin.invoke({"CreatePublicIp", {{"region", Value("us-west")}}, ""});
+  ASSERT_TRUE(next_orig.ok && next_twin.ok);
+  EXPECT_EQ(next_orig.data.get("id")->as_str(), next_twin.data.get("id")->as_str());
+}
+
+TEST(StoreCodec, EmptyStoreRoundTrip) {
+  auto it = persist::testing::make_interp();
+  std::string bytes = serialize_store(it.store());
+  auto twin = persist::testing::make_interp();
+  ASSERT_TRUE(deserialize_store(bytes, &twin.store()));
+  EXPECT_EQ(serialize_store(twin.store()), bytes);
+}
+
+TEST(StoreCodec, MalformedBytesLeaveStoreCleared) {
+  auto it = persist::testing::make_interp();
+  auto resp = it.invoke({"CreateNic", {{"zone", Value("us-east")}}, ""});
+  ASSERT_TRUE(resp.ok);
+  std::string bytes = serialize_store(it.store());
+
+  auto victim = persist::testing::make_interp();
+  ASSERT_TRUE(victim.invoke({"CreateNic", {{"zone", Value("us-east")}}, ""}).ok);
+
+  // Truncated input must fail and clear, not half-restore.
+  EXPECT_FALSE(deserialize_store(std::string_view(bytes).substr(0, bytes.size() - 3),
+                                 &victim.store()));
+  auto empty = persist::testing::make_interp();
+  EXPECT_EQ(serialize_store(victim.store()), serialize_store(empty.store()));
+
+  EXPECT_FALSE(deserialize_store("not a store dump", &victim.store()));
+  EXPECT_FALSE(deserialize_store(bytes + "trailing", &victim.store()));
+}
+
+TEST(StoreCodec, DeterministicAcrossEquivalentHistories) {
+  // Same final state reached in different arg orders serializes identically.
+  auto a = persist::testing::make_interp();
+  auto b = persist::testing::make_interp();
+  for (auto* it : {&a, &b}) {
+    ASSERT_TRUE(it->invoke({"CreateNic", {{"zone", Value("us-east")}}, ""}).ok);
+    ASSERT_TRUE(it->invoke({"CreatePublicIp", {{"region", Value("us-east")}}, ""}).ok);
+  }
+  EXPECT_EQ(serialize_store(a.store()), serialize_store(b.store()));
+}
+
+}  // namespace
+}  // namespace lce::persist

@@ -1,0 +1,52 @@
+// Shared helpers for the persist suites: a PublicIp-spec interpreter
+// factory and an RAII scratch data dir.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <string>
+#include <utility>
+
+#include "interp/interpreter.h"
+#include "spec/parser.h"
+#include "spec/spec_fixtures.h"
+
+namespace lce::persist::testing {
+
+inline spec::SpecSet load_spec(const char* src) {
+  spec::ParseError err;
+  auto s = spec::parse_spec(src, &err);
+  EXPECT_TRUE(s.has_value()) << err.to_text();
+  return s ? std::move(*s) : spec::SpecSet{};
+}
+
+inline interp::Interpreter make_interp() {
+  return interp::Interpreter(load_spec(spec::fixtures::kPublicIpSpec));
+}
+
+/// mkdtemp-backed scratch dir, removed on destruction.
+class ScratchDir {
+ public:
+  ScratchDir() {
+    std::string tmpl =
+        (std::filesystem::temp_directory_path() / "lce_persist_XXXXXX").string();
+    char* made = ::mkdtemp(tmpl.data());
+    EXPECT_NE(made, nullptr);
+    path_ = made != nullptr ? made : tmpl;
+  }
+  ~ScratchDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  ScratchDir(const ScratchDir&) = delete;
+  ScratchDir& operator=(const ScratchDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+}  // namespace lce::persist::testing

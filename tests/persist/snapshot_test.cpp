@@ -1,0 +1,148 @@
+#include "persist/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "persist/format.h"
+#include "persist/persist_test_util.h"
+
+namespace lce::persist {
+namespace {
+
+using persist::testing::ScratchDir;
+namespace fs = std::filesystem;
+
+void touch(const std::string& path, const std::string& bytes = "") {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(SnapshotPaths, EpochNaming) {
+  EXPECT_EQ(wal_path("/d", 1), "/d/wal-00000001.lcw");
+  EXPECT_EQ(snapshot_path("/d", 42), "/d/snap-00000042.lcs");
+}
+
+TEST(SnapshotPaths, ScanFindsEpochsSorted) {
+  ScratchDir dir;
+  touch(wal_path(dir.path(), 3));
+  touch(wal_path(dir.path(), 1));
+  touch(snapshot_path(dir.path(), 3));
+  touch(snapshot_path(dir.path(), 2));
+  // Noise a scan must ignore.
+  touch(dir.path() + "/snap-00000009.lcs.tmp");
+  touch(dir.path() + "/README.txt");
+  touch(dir.path() + "/wal-notanumber.lcw");
+
+  DataDirState state = scan_data_dir(dir.path());
+  EXPECT_EQ(state.wal_epochs, (std::vector<std::uint64_t>{1, 3}));
+  EXPECT_EQ(state.snapshot_epochs, (std::vector<std::uint64_t>{2, 3}));
+}
+
+TEST(SnapshotPaths, ScanOfMissingDirIsEmpty) {
+  DataDirState state = scan_data_dir("/definitely/not/a/dir");
+  EXPECT_TRUE(state.wal_epochs.empty());
+  EXPECT_TRUE(state.snapshot_epochs.empty());
+}
+
+TEST(SnapshotPaths, EnsureDirCreatesNested) {
+  ScratchDir dir;
+  const std::string nested = dir.path() + "/a/b/c";
+  std::string error;
+  ASSERT_TRUE(ensure_dir(nested, &error)) << error;
+  EXPECT_TRUE(fs::is_directory(nested));
+  // Idempotent on an existing dir.
+  EXPECT_TRUE(ensure_dir(nested, &error)) << error;
+}
+
+TEST(SnapshotFile, WriteReadRoundTrip) {
+  ScratchDir dir;
+  const std::string path = snapshot_path(dir.path(), 2);
+  const std::string store_bytes("pretend-store-dump\x00\x01\x02", 21);
+  std::string error;
+  ASSERT_TRUE(write_snapshot_file(path, store_bytes, &error)) << error;
+
+  std::string out;
+  ASSERT_TRUE(read_snapshot_file(path, &out));
+  EXPECT_EQ(out, store_bytes);
+
+  // The tmp staging file must not survive a successful write.
+  for (const auto& entry : fs::directory_iterator(dir.path())) {
+    EXPECT_EQ(entry.path().extension(), ".lcs") << entry.path();
+  }
+}
+
+TEST(SnapshotFile, MissingAndCorruptFilesRejected) {
+  ScratchDir dir;
+  std::string out;
+  EXPECT_FALSE(read_snapshot_file(snapshot_path(dir.path(), 1), &out));
+
+  const std::string path = snapshot_path(dir.path(), 1);
+  std::string error;
+  ASSERT_TRUE(write_snapshot_file(path, "store-bytes", &error)) << error;
+
+  // Flip a payload byte: checksum must catch it.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes(std::istreambuf_iterator<char>(in), {});
+    bytes.back() ^= 0x01;
+    touch(path, bytes);
+  }
+  EXPECT_FALSE(read_snapshot_file(path, &out));
+
+  // Wrong magic.
+  touch(path, "XXXX\x01\x00\x00\x00");
+  EXPECT_FALSE(read_snapshot_file(path, &out));
+
+  // Truncated mid-frame.
+  ASSERT_TRUE(write_snapshot_file(path, "store-bytes", &error)) << error;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes(std::istreambuf_iterator<char>(in), {});
+    touch(path, bytes.substr(0, bytes.size() - 4));
+  }
+  EXPECT_FALSE(read_snapshot_file(path, &out));
+
+  // Trailing garbage after the single frame.
+  ASSERT_TRUE(write_snapshot_file(path, "store-bytes", &error)) << error;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes(std::istreambuf_iterator<char>(in), {});
+    touch(path, bytes + "extra");
+  }
+  EXPECT_FALSE(read_snapshot_file(path, &out));
+}
+
+TEST(SnapshotFile, EmptyStoreBytesRoundTrip) {
+  ScratchDir dir;
+  const std::string path = snapshot_path(dir.path(), 1);
+  std::string error;
+  ASSERT_TRUE(write_snapshot_file(path, "", &error)) << error;
+  std::string out = "sentinel";
+  ASSERT_TRUE(read_snapshot_file(path, &out));
+  EXPECT_EQ(out, "");
+}
+
+TEST(RemoveStaleEpochs, DeletesBelowKeepAndTmpLeftovers) {
+  ScratchDir dir;
+  for (std::uint64_t e : {1u, 2u, 3u}) {
+    touch(wal_path(dir.path(), e));
+    touch(snapshot_path(dir.path(), e));
+  }
+  touch(dir.path() + "/snap-00000004.lcs.tmp");
+
+  remove_stale_epochs(dir.path(), 3);
+
+  EXPECT_FALSE(fs::exists(wal_path(dir.path(), 1)));
+  EXPECT_FALSE(fs::exists(snapshot_path(dir.path(), 1)));
+  EXPECT_FALSE(fs::exists(wal_path(dir.path(), 2)));
+  EXPECT_FALSE(fs::exists(snapshot_path(dir.path(), 2)));
+  EXPECT_TRUE(fs::exists(wal_path(dir.path(), 3)));
+  EXPECT_TRUE(fs::exists(snapshot_path(dir.path(), 3)));
+  EXPECT_FALSE(fs::exists(dir.path() + "/snap-00000004.lcs.tmp"));
+}
+
+}  // namespace
+}  // namespace lce::persist

@@ -1,0 +1,260 @@
+#include "persist/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/value.h"
+#include "persist/persist_test_util.h"
+
+namespace lce::persist {
+namespace {
+
+using persist::testing::ScratchDir;
+
+LogRecord call_record(const std::string& api, int n) {
+  LogRecord rec;
+  rec.type = LogRecord::Type::kCall;
+  rec.request.api = api;
+  rec.request.args = {{"n", Value(n)}};
+  rec.has_response = true;
+  rec.response = ApiResponse::success(Value(Value::Map{{"n", Value(n)}}));
+  return rec;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in), {});
+}
+
+void dump(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Wal, MissingFileScansEmpty) {
+  ScratchDir dir;
+  WalScan scan = read_wal(dir.path() + "/nope.lcw");
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_FALSE(scan.header_ok);
+  EXPECT_FALSE(scan.torn_tail);
+  EXPECT_EQ(scan.file_bytes, 0u);
+}
+
+TEST(Wal, WriteFileThenReadRoundTrips) {
+  ScratchDir dir;
+  const std::string path = dir.path() + "/log.lcw";
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 5; ++i) records.push_back(call_record("CreateNic", i));
+  records.push_back([] {
+    LogRecord r;
+    r.type = LogRecord::Type::kReset;
+    return r;
+  }());
+
+  std::string error;
+  ASSERT_TRUE(write_wal_file(path, records, &error)) << error;
+
+  WalScan scan = read_wal(path);
+  EXPECT_TRUE(scan.header_ok);
+  EXPECT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), 6u);
+  EXPECT_EQ(scan.valid_bytes, scan.file_bytes);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(scan.records[i].request.api, "CreateNic");
+    EXPECT_EQ(Value(scan.records[i].request.args), Value(records[i].request.args));
+  }
+  EXPECT_EQ(scan.records[5].type, LogRecord::Type::kReset);
+}
+
+TEST(Wal, WriterAppendsAreReadable) {
+  ScratchDir dir;
+  const std::string path = dir.path() + "/log.lcw";
+  std::string error;
+  auto w = WalWriter::open(path, WalSync::kNone, &error);
+  ASSERT_NE(w, nullptr) << error;
+  EXPECT_EQ(w->record_count(), 0u);
+
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(w->append(call_record("Op", i)));
+  EXPECT_EQ(w->record_count(), 10u);
+  EXPECT_FALSE(w->failed());
+  EXPECT_EQ(w->size_bytes(), std::filesystem::file_size(path));
+
+  WalScan scan = read_wal(path);
+  ASSERT_EQ(scan.records.size(), 10u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(scan.records[i].request.args.at("n").as_int(), i);
+  }
+}
+
+TEST(Wal, ReopenContinuesAppending) {
+  ScratchDir dir;
+  const std::string path = dir.path() + "/log.lcw";
+  std::string error;
+  {
+    auto w = WalWriter::open(path, WalSync::kNone, &error);
+    ASSERT_NE(w, nullptr) << error;
+    ASSERT_TRUE(w->append(call_record("A", 1)));
+  }
+  {
+    auto w = WalWriter::open(path, WalSync::kNone, &error);
+    ASSERT_NE(w, nullptr) << error;
+    EXPECT_EQ(w->record_count(), 1u);  // counts the surviving prefix
+    ASSERT_TRUE(w->append(call_record("B", 2)));
+  }
+  WalScan scan = read_wal(path);
+  ASSERT_EQ(scan.records.size(), 2u);
+  EXPECT_EQ(scan.records[0].request.api, "A");
+  EXPECT_EQ(scan.records[1].request.api, "B");
+}
+
+TEST(Wal, BatchSyncModeAppends) {
+  ScratchDir dir;
+  const std::string path = dir.path() + "/log.lcw";
+  std::string error;
+  auto w = WalWriter::open(path, WalSync::kBatch, &error);
+  ASSERT_NE(w, nullptr) << error;
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(w->append(call_record("Op", i)));
+  EXPECT_EQ(read_wal(path).records.size(), 3u);
+}
+
+TEST(Wal, ConcurrentAppendersAllLand) {
+  ScratchDir dir;
+  const std::string path = dir.path() + "/log.lcw";
+  std::string error;
+  auto w = WalWriter::open(path, WalSync::kNone, &error);
+  ASSERT_NE(w, nullptr) << error;
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        ASSERT_TRUE(w->append(call_record("Thread", t * kPerThread + i)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(w->record_count(), kThreads * kPerThread);
+
+  // Every record survives intact (group commit interleaves batches, never
+  // bytes within a record), each exactly once.
+  WalScan scan = read_wal(path);
+  EXPECT_FALSE(scan.torn_tail);
+  ASSERT_EQ(scan.records.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  std::vector<bool> seen(kThreads * kPerThread, false);
+  for (const auto& rec : scan.records) {
+    const int n = static_cast<int>(rec.request.args.at("n").as_int());
+    ASSERT_GE(n, 0);
+    ASSERT_LT(n, kThreads * kPerThread);
+    EXPECT_FALSE(seen[n]) << "record " << n << " duplicated";
+    seen[n] = true;
+  }
+}
+
+TEST(Wal, TornTailDetectedAndTruncatedOnOpen) {
+  ScratchDir dir;
+  const std::string path = dir.path() + "/log.lcw";
+  std::string error;
+  {
+    auto w = WalWriter::open(path, WalSync::kNone, &error);
+    ASSERT_NE(w, nullptr) << error;
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE(w->append(call_record("Op", i)));
+  }
+  const std::string clean = slurp(path);
+  dump(path, clean + "\x07\x00\x00\x00garbage-tail");
+
+  WalScan scan = read_wal(path);
+  EXPECT_TRUE(scan.torn_tail);
+  EXPECT_EQ(scan.records.size(), 3u);
+  EXPECT_EQ(scan.valid_bytes, clean.size());
+
+  // Reopening truncates back to the valid prefix.
+  auto w = WalWriter::open(path, WalSync::kNone, &error);
+  ASSERT_NE(w, nullptr) << error;
+  EXPECT_EQ(std::filesystem::file_size(path), clean.size());
+  ASSERT_TRUE(w->append(call_record("After", 9)));
+  WalScan after = read_wal(path);
+  EXPECT_FALSE(after.torn_tail);
+  ASSERT_EQ(after.records.size(), 4u);
+  EXPECT_EQ(after.records[3].request.api, "After");
+}
+
+TEST(Wal, CorruptHeaderVoidsWholeFile) {
+  ScratchDir dir;
+  const std::string path = dir.path() + "/log.lcw";
+  std::string error;
+  {
+    auto w = WalWriter::open(path, WalSync::kNone, &error);
+    ASSERT_NE(w, nullptr) << error;
+    ASSERT_TRUE(w->append(call_record("Op", 0)));
+  }
+  std::string bytes = slurp(path);
+  bytes[0] = 'X';  // corrupt the magic
+  dump(path, bytes);
+
+  WalScan scan = read_wal(path);
+  EXPECT_FALSE(scan.header_ok);
+  EXPECT_TRUE(scan.records.empty());
+  EXPECT_TRUE(scan.torn_tail);
+
+  // The writer starts the file over with a fresh header.
+  auto w = WalWriter::open(path, WalSync::kNone, &error);
+  ASSERT_NE(w, nullptr) << error;
+  ASSERT_TRUE(w->append(call_record("Fresh", 1)));
+  WalScan after = read_wal(path);
+  EXPECT_TRUE(after.header_ok);
+  ASSERT_EQ(after.records.size(), 1u);
+  EXPECT_EQ(after.records[0].request.api, "Fresh");
+}
+
+// The torn-tail acceptance property at the file level: truncate a clean
+// log at EVERY byte offset; the scan must recover exactly the records
+// whose frames fit entirely in the prefix — never a partial record, never
+// a crash.
+TEST(Wal, TruncationSweepRecoversLongestValidPrefix) {
+  ScratchDir dir;
+  const std::string path = dir.path() + "/log.lcw";
+  std::vector<LogRecord> records;
+  for (int i = 0; i < 4; ++i) records.push_back(call_record("Op", i));
+  std::string error;
+  ASSERT_TRUE(write_wal_file(path, records, &error)) << error;
+  const std::string full = slurp(path);
+
+  // Record boundaries: scan the clean file, noting valid_bytes after each.
+  std::vector<std::size_t> boundaries = {kFileHeaderBytes};
+  {
+    std::size_t pos = kFileHeaderBytes;
+    std::string_view payload;
+    while (scan_framed(full, &pos, &payload)) boundaries.push_back(pos);
+  }
+  ASSERT_EQ(boundaries.size(), 5u);  // header + 4 records
+
+  const std::string torn_path = dir.path() + "/torn.lcw";
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    dump(torn_path, full.substr(0, cut));
+    WalScan scan = read_wal(torn_path);
+    // Expected surviving record count = boundaries at or below the cut.
+    std::size_t expect = 0;
+    while (expect + 1 < boundaries.size() && boundaries[expect + 1] <= cut) ++expect;
+    if (cut < kFileHeaderBytes) {
+      EXPECT_FALSE(scan.header_ok) << "cut at " << cut;
+      EXPECT_TRUE(scan.records.empty());
+    } else {
+      EXPECT_TRUE(scan.header_ok) << "cut at " << cut;
+      EXPECT_EQ(scan.records.size(), expect) << "cut at " << cut;
+      EXPECT_EQ(scan.valid_bytes, boundaries[expect]) << "cut at " << cut;
+      EXPECT_EQ(scan.torn_tail, cut != boundaries[expect]) << "cut at " << cut;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lce::persist

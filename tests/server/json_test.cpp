@@ -75,5 +75,79 @@ TEST(Json, DeeplyNestedStructures) {
   EXPECT_EQ(to_json(*v), doc);
 }
 
+TEST(Json, DeeplyNestedMixedObjectsAndArraysRoundTrip) {
+  std::string doc;
+  for (int i = 0; i < 150; ++i) doc += R"({"k":[)";
+  doc += "null";
+  for (int i = 0; i < 150; ++i) doc += "]}";
+  JsonError err;
+  auto v = parse_json(doc, &err);
+  ASSERT_TRUE(v) << err.to_text();
+  EXPECT_EQ(to_json(*v), doc);
+}
+
+TEST(Json, UnicodeEscapesDecodeToUtf8) {
+  struct Case {
+    const char* doc;
+    const char* utf8;
+  };
+  for (const Case& c : {Case{"\"\\u0041\"", "A"},             // 1-byte
+                        Case{"\"\\u00e9\"", "\xC3\xA9"},      // 2-byte é
+                        Case{"\"\\u20AC\"", "\xE2\x82\xAC"},  // 3-byte €
+                        Case{"\"\\u4e2d\"", "\xE4\xB8\xAD"}}) {  // 3-byte 中
+    JsonError err;
+    auto v = parse_json(c.doc, &err);
+    ASSERT_TRUE(v) << c.doc << ": " << err.to_text();
+    EXPECT_EQ(v->as_str(), c.utf8) << c.doc;
+    // Re-encoding emits raw UTF-8 (not an escape); parsing that again
+    // yields the same string.
+    auto back = parse_json(to_json(*v), &err);
+    ASSERT_TRUE(back) << c.doc << ": " << err.to_text();
+    EXPECT_EQ(back->as_str(), v->as_str()) << c.doc;
+  }
+}
+
+TEST(Json, TruncatedOrBadUnicodeEscapesRejected) {
+  for (const char* doc : {R"("\u")", R"("\u12")", R"("\u123")", R"("\uZZZZ")",
+                          R"("\u12G4")"}) {
+    JsonError err;
+    EXPECT_FALSE(parse_json(doc, &err).has_value()) << doc;
+    EXPECT_FALSE(err.message.empty()) << doc;
+  }
+}
+
+TEST(Json, TrickyStringsSurviveEncodeParseRoundTrip) {
+  const std::string tricky[] = {
+      "plain",
+      "with \"quotes\" inside",
+      "backslash \\ and slash /",
+      "newline\nand\ttab\rand\bback\fform",
+      std::string("embedded\0nul", 12),
+      "\x01\x02\x1F",                    // control chars -> \u00XX escapes
+      "\xC3\xA9 caf\xC3\xA9 \xE2\x82\xAC100",  // raw UTF-8 passes through
+      "trailing backslash \\",
+      "\\u0041 is a literal, not an escape",
+  };
+  for (const std::string& s : tricky) {
+    JsonError err;
+    auto v = parse_json(to_json(Value(s)), &err);
+    ASSERT_TRUE(v) << to_json(Value(s)) << ": " << err.to_text();
+    EXPECT_EQ(v->as_str(), s) << to_json(Value(s));
+  }
+}
+
+TEST(Json, TrickyMapKeysRoundTrip) {
+  Value::Map m;
+  m["with \"quote"] = Value(1);
+  m["tab\there"] = Value(2);
+  m["\xC3\xA9"] = Value(3);
+  JsonError err;
+  auto v = parse_json(to_json(Value(m)), &err);
+  ASSERT_TRUE(v) << err.to_text();
+  EXPECT_EQ(v->get("with \"quote")->as_int(), 1);
+  EXPECT_EQ(v->get("tab\there")->as_int(), 2);
+  EXPECT_EQ(v->get("\xC3\xA9")->as_int(), 3);
+}
+
 }  // namespace
 }  // namespace lce::server

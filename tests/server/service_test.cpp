@@ -11,6 +11,8 @@
 #include "core/emulator.h"
 #include "docs/corpus.h"
 #include "docs/render.h"
+#include "persist/journal.h"
+#include "persist/persist_test_util.h"
 #include "server/json.h"
 #include "stack/config.h"
 
@@ -225,6 +227,95 @@ TEST(Endpoint, ConcurrentClientsSeeConsistentState) {
   ASSERT_TRUE(snap);
   EXPECT_EQ(snap->as_map().size(), static_cast<std::size_t>(kThreads * kPerThread));
   endpoint.stop();
+}
+
+TEST_F(ServiceTest, AdminEndpointsRequirePersistence) {
+  // Without a data dir there is no persist manager; the admin routes 404.
+  for (const char* path : {"/admin/snapshot", "/admin/persist"}) {
+    HttpRequest req;
+    req.method = path == std::string("/admin/snapshot") ? "POST" : "GET";
+    req.path = path;
+    auto resp = handle_emulator_request(stack_, req);
+    EXPECT_EQ(resp.status, 404) << path;
+    EXPECT_EQ(parse_json(resp.body)->get("Error")->get("Code")->as_str(),
+              "PersistenceUnavailable")
+        << path;
+  }
+}
+
+TEST(Endpoint, DurableServeSurvivesRestartOverHttp) {
+  // The full durability loop over real sockets: journaled writes, an
+  // on-demand snapshot via the admin API, endpoint teardown, then a second
+  // endpoint recovering the same data dir and serving the old state.
+  persist::testing::ScratchDir dir;
+  persist::PersistOptions popts;
+  popts.data_dir = dir.path();
+  std::string vpc_id;
+  {
+    auto emulator = core::LearnedEmulator::from_docs(
+        docs::render_corpus(docs::build_aws_catalog()));
+    std::string error;
+    auto mgr = persist::PersistManager::open(emulator.backend(), popts, &error);
+    ASSERT_NE(mgr, nullptr) << error;
+    EmulatorEndpoint endpoint(emulator.backend(), {}, mgr.get());
+    std::uint16_t port = endpoint.start();
+    ASSERT_NE(port, 0);
+
+    auto vpc =
+        invoke_over_http(port, "CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}});
+    ASSERT_TRUE(vpc.ok) << vpc.to_text();
+    vpc_id = vpc.data.get("id")->as_str();
+
+    auto status = http_request(port, "GET", "/admin/persist");
+    ASSERT_TRUE(status.has_value());
+    EXPECT_EQ(status->status, 200);
+    auto body = parse_json(status->body);
+    ASSERT_TRUE(body);
+    EXPECT_EQ(body->get("epoch")->as_int(), 1);
+    EXPECT_EQ(body->get("wal_records")->as_int(), 1);
+    EXPECT_FALSE(body->get("failed")->as_bool());
+
+    auto snap = http_request(port, "POST", "/admin/snapshot");
+    ASSERT_TRUE(snap.has_value());
+    EXPECT_EQ(snap->status, 200);
+    auto snap_body = parse_json(snap->body);
+    ASSERT_TRUE(snap_body);
+    EXPECT_EQ(snap_body->get("status")->as_str(), "snapshotted");
+    EXPECT_EQ(snap_body->get("epoch")->as_int(), 2);
+
+    // Unsupported method on an admin route.
+    auto del = http_request(port, "DELETE", "/admin/persist");
+    ASSERT_TRUE(del.has_value());
+    EXPECT_EQ(del->status, 405);
+
+    // A post-snapshot write lands in the new epoch's log.
+    auto subnet = invoke_over_http(port, "CreateSubnet",
+                                   {{"vpc", Value(vpc_id)},
+                                    {"cidr_block", Value("10.0.1.0/24")},
+                                    {"zone", Value("us-east")}});
+    ASSERT_TRUE(subnet.ok) << subnet.to_text();
+    endpoint.stop();
+  }
+  {
+    auto emulator = core::LearnedEmulator::from_docs(
+        docs::render_corpus(docs::build_aws_catalog()));
+    std::string error;
+    persist::RecoveryResult rec;
+    auto mgr =
+        persist::PersistManager::open(emulator.backend(), popts, &error, &rec);
+    ASSERT_NE(mgr, nullptr) << error;
+    EXPECT_EQ(rec.epoch, 2u);
+    EXPECT_TRUE(rec.snapshot_loaded);
+    EXPECT_EQ(rec.wal_records, 1u);
+    EmulatorEndpoint endpoint(emulator.backend(), {}, mgr.get());
+    std::uint16_t port = endpoint.start();
+    ASSERT_NE(port, 0);
+    auto snap = parse_json(http_request(port, "GET", "/snapshot")->body);
+    ASSERT_TRUE(snap);
+    EXPECT_TRUE(snap->has(vpc_id)) << to_json(*snap);
+    EXPECT_EQ(snap->as_map().size(), 2u);  // the vpc and its subnet
+    endpoint.stop();
+  }
 }
 
 TEST(Endpoint, TwoBackendsSideBySideOverHttp) {

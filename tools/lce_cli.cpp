@@ -13,14 +13,30 @@
 //                                    identical for every worker count);
 //                                    --metrics prints per-API call counts
 //   lce serve [provider] [port] [--metrics|--no-metrics] [--read-cache]
-//             [--fault-seed N] [--record FILE]
+//             [--fault-seed N] [--record FILE] [--data-dir DIR]
+//             [--snapshot-every N] [--wal-sync none|batch] [--no-stdin]
 //                                    serve the emulator over HTTP
 //                                    (LocalStack-style; Ctrl-D to stop)
 //                                    through the lce::stack layer chain:
 //                                    GET /metrics for counters, --fault-seed
 //                                    for deterministic throttle/error chaos,
 //                                    --record to dump traffic as a trace
-//                                    script on shutdown
+//                                    script (or .lcw record file) on
+//                                    shutdown; --data-dir makes the store
+//                                    durable: recover on boot, journal
+//                                    every write, snapshot + truncate the
+//                                    log every N records
+//   lce snapshot [port]              ask a running durable endpoint to
+//                                    snapshot now (POST /admin/snapshot)
+//   lce replay <dir|file.lcw> [provider]
+//                                    deterministic replay verifier: rerun
+//                                    a data dir (or a standalone record
+//                                    file) against fresh interpreters and
+//                                    assert byte-identical canonical dumps
+//   lce trace export <script> <out.lcw> [provider]
+//   lce trace import <in.lcw> <out-script>
+//                                    convert between trace scripts and the
+//                                    binary WAL/trace record format
 //   lce bench serve [flags]          serve-path throughput benchmark:
 //                                    sharded vs serialized invoke under a
 //                                    mixed create/mutate/describe load
@@ -29,12 +45,21 @@
 //   lce coverage                     Table-1 style coverage report
 //
 // provider: aws (default) | azure. Scripts: see src/core/trace_script.h.
+#include <chrono>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <thread>
 
 #include "align/engine.h"
 #include "bench/serve_bench.h"
+#include "persist/journal.h"
+#include "persist/recovery.h"
+#include "persist/snapshot.h"
+#include "persist/wal.h"
+#include "server/http.h"
+#include "server/json.h"
 #include "server/service.h"
 #include "stack/config.h"
 #include "baselines/moto_like.h"
@@ -54,7 +79,7 @@ docs::CloudCatalog catalog_for(const std::string& provider) {
 }
 
 int usage() {
-  std::cerr << "usage: lce <docs|spec|run|diff|align|serve|bench|coverage> [args]\n"
+  std::cerr << "usage: lce <docs|spec|run|diff|align|serve|snapshot|replay|trace|bench|coverage> [args]\n"
                "  lce docs [aws|azure] [Resource]\n"
                "  lce bench serve [--quick] [--json FILE] [--ops N]\n"
                "                  [--concurrency a,b,c] [--rate R] [--seed N]\n"
@@ -81,14 +106,49 @@ int usage() {
                "      --fault-seed N  inject deterministic RequestLimitExceeded /\n"
                "                   InternalError faults seeded with N\n"
                "      --record FILE   capture live traffic; write it as a\n"
-               "                   replayable trace script on shutdown\n"
+               "                   replayable trace script (.lcw extension =\n"
+               "                   binary record file with responses) on shutdown\n"
+               "      --data-dir DIR  durable store: recover on boot, write-ahead\n"
+               "                   log every write, replay the tail after a crash\n"
+               "      --snapshot-every N  snapshot + truncate the log once the\n"
+               "                   WAL holds N records (default 10000; 0 = only\n"
+               "                   on demand via POST /admin/snapshot)\n"
+               "      --wal-sync none|batch  durability of the log: none = page\n"
+               "                   cache (survives kill -9; default), batch =\n"
+               "                   fdatasync per group-commit batch (survives OS\n"
+               "                   crash)\n"
+               "      --no-stdin   don't wait for EOF on stdin (for running\n"
+               "                   detached / under a supervisor)\n"
+               "  lce snapshot [port]\n"
+               "      POST /admin/snapshot on a running durable endpoint\n"
+               "  lce replay <dir|file.lcw> [aws|azure]\n"
+               "      rerun a data dir or record file on fresh interpreters and\n"
+               "      verify byte-identical canonical dumps + logged responses\n"
+               "  lce trace export <script> <out.lcw> [aws|azure]\n"
+               "  lce trace import <in.lcw> <out-script>\n"
+               "      convert between trace scripts and binary record files\n"
                "  lce coverage\n";
   return 2;
 }
 
+bool is_record_file(const std::string& path) {
+  return path.size() > 4 && path.substr(path.size() - 4) == ".lcw";
+}
+
 std::optional<Trace> load_script(const std::string& path) {
+  if (is_record_file(path)) {
+    persist::WalScan scan = persist::read_wal(path);
+    if (!scan.header_ok) {
+      std::cerr << "lce: " << path << " is not a record file\n";
+      return std::nullopt;
+    }
+    Trace trace = persist::trace_from_records(scan.records, path);
+    return trace;
+  }
+  // ifstream on a directory "opens" but reads nothing, which would look
+  // like a valid empty script.
   std::ifstream in(path);
-  if (!in) {
+  if (!in || std::filesystem::is_directory(path)) {
     std::cerr << "lce: cannot open " << path << "\n";
     return std::nullopt;
   }
@@ -208,6 +268,9 @@ int main(int argc, char** argv) {
     int port = 0;
     stack::StackConfig config;
     std::string record_path;
+    persist::PersistOptions popts;
+    popts.snapshot_every = 10000;
+    bool wait_stdin = true;
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "aws" || arg == "azure") {
@@ -225,6 +288,22 @@ int main(int argc, char** argv) {
       } else if (arg == "--record" && i + 1 < argc) {
         config.record = true;
         record_path = argv[++i];
+      } else if (arg == "--data-dir" && i + 1 < argc) {
+        popts.data_dir = argv[++i];
+      } else if (arg == "--snapshot-every" && i + 1 < argc) {
+        popts.snapshot_every = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (arg == "--wal-sync" && i + 1 < argc) {
+        std::string mode = argv[++i];
+        if (mode == "none") {
+          popts.sync = persist::WalSync::kNone;
+        } else if (mode == "batch") {
+          popts.sync = persist::WalSync::kBatch;
+        } else {
+          std::cerr << "lce: unknown --wal-sync mode " << mode << "\n";
+          return usage();
+        }
+      } else if (arg == "--no-stdin") {
+        wait_stdin = false;
       } else if (!arg.empty() && arg[0] != '-') {
         port = std::atoi(arg.c_str());
       } else {
@@ -233,7 +312,27 @@ int main(int argc, char** argv) {
     }
     auto emulator =
         core::LearnedEmulator::from_docs(docs::render_corpus(catalog_for(provider)));
-    server::EmulatorEndpoint endpoint(emulator.backend(), config);
+    std::unique_ptr<persist::PersistManager> persist_mgr;
+    if (!popts.data_dir.empty()) {
+      std::string error;
+      persist::RecoveryResult recovery;
+      persist_mgr =
+          persist::PersistManager::open(emulator.backend(), popts, &error, &recovery);
+      if (persist_mgr == nullptr) {
+        std::cerr << "lce: cannot open data dir: " << error << "\n";
+        return 1;
+      }
+      std::cout << "recovered epoch " << recovery.epoch << ": snapshot "
+                << (recovery.snapshot_loaded ? "loaded" : "none") << ", "
+                << recovery.wal_records << " log record(s) replayed"
+                << (recovery.torn_tail ? ", torn tail discarded" : "") << "\n";
+      if (recovery.mismatches != 0) {
+        std::cerr << "lce: WARNING: " << recovery.mismatches
+                  << " replayed call(s) diverged from the log ("
+                  << recovery.first_mismatch << ")\n";
+      }
+    }
+    server::EmulatorEndpoint endpoint(emulator.backend(), config, persist_mgr.get());
     std::uint16_t bound = endpoint.start(static_cast<std::uint16_t>(port));
     if (bound == 0) {
       std::cerr << "lce: failed to bind port " << port << "\n";
@@ -242,31 +341,139 @@ int main(int argc, char** argv) {
     std::cout << "learned " << provider << " emulator serving on http://127.0.0.1:"
               << bound << "\n"
               << "  POST /invoke  {\"Action\": \"CreateVpc\", \"Params\": {...}}\n"
-              << "  GET  /health  |  GET /metrics  |  GET /snapshot  |  POST /reset\n"
-              << "  layers: ";
+              << "  GET  /health  |  GET /metrics  |  GET /snapshot  |  POST /reset\n";
+    if (persist_mgr != nullptr) {
+      std::cout << "  POST /admin/snapshot  |  GET /admin/persist  (data dir: "
+                << popts.data_dir << ")\n";
+    }
+    std::cout << "  layers: ";
     auto names = endpoint.stack().layer_names();
     for (std::size_t i = 0; i < names.size(); ++i) {
       std::cout << (i ? " -> " : "") << names[i];
     }
     std::cout << (names.empty() ? "(none)" : "") << " -> " << emulator.backend().name()
-              << "\n"
-              << "press Ctrl-D (EOF) to stop\n";
-    std::string line;
-    while (std::getline(std::cin, line)) {
+              << "\n";
+    // Supervisors parse the port announcement from a pipe or log file, so
+    // it must leave the stdio buffer before the serve loop blocks.
+    std::cout.flush();
+    if (wait_stdin) {
+      std::cout << "press Ctrl-D (EOF) to stop\n";
+      std::string line;
+      while (std::getline(std::cin, line)) {
+      }
+    } else {
+      // Detached mode (supervisors, the crash-torture harness): serve until
+      // killed. The torture suite SIGKILLs this process mid-write on purpose.
+      for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
     }
     endpoint.stop();
     if (auto* rec = endpoint.stack().find<stack::RecordLayer>()) {
-      std::ofstream out(record_path);
-      if (!out) {
-        std::cerr << "lce: cannot write " << record_path << "\n";
-        return 1;
-      }
       Trace trace = rec->trace();
       trace.label = record_path;
-      out << core::print_trace_script(trace);
+      if (is_record_file(record_path)) {
+        auto records = persist::records_from_trace(trace);
+        auto responses = rec->responses();
+        for (std::size_t i = 0; i < records.size() && i < responses.size(); ++i) {
+          records[i].has_response = true;
+          records[i].response = responses[i];
+          records[i].minted_ids = persist::collect_minted_ids(responses[i]);
+        }
+        std::string error;
+        if (!persist::write_wal_file(record_path, records, &error)) {
+          std::cerr << "lce: " << error << "\n";
+          return 1;
+        }
+      } else {
+        std::ofstream out(record_path);
+        if (!out) {
+          std::cerr << "lce: cannot write " << record_path << "\n";
+          return 1;
+        }
+        out << core::print_trace_script(trace);
+      }
       std::cout << "recorded " << trace.calls.size() << " call(s) to " << record_path
                 << "\n";
     }
+    return 0;
+  }
+  if (cmd == "snapshot") {
+    int port = argc > 2 ? std::atoi(argv[2]) : 0;
+    if (port <= 0) {
+      std::cerr << "lce: snapshot needs the port of a running endpoint\n";
+      return 2;
+    }
+    auto resp = server::http_request(static_cast<std::uint16_t>(port), "POST",
+                                     "/admin/snapshot", "");
+    if (!resp) {
+      std::cerr << "lce: no response from http://127.0.0.1:" << port << "\n";
+      return 1;
+    }
+    std::cout << resp->body << "\n";
+    return resp->status == 200 ? 0 : 1;
+  }
+  if (cmd == "replay") {
+    if (argc < 3) return usage();
+    std::string path = argv[2];
+    std::string provider = argc > 3 ? argv[3] : "aws";
+    auto corpus = docs::render_corpus(catalog_for(provider));
+    auto emu_a = core::LearnedEmulator::from_docs(corpus);
+    persist::ReplayReport report;
+    if (std::filesystem::is_directory(path)) {
+      auto emu_b = core::LearnedEmulator::from_docs(corpus);
+      report = persist::replay_dir(path, &emu_a.backend(), &emu_b.backend());
+    } else {
+      report = persist::replay_file(path, &emu_a.backend());
+    }
+    std::cout << "replayed " << report.recovery.wal_records << " record(s)"
+              << (report.recovery.torn_tail ? " (torn tail discarded)" : "")
+              << ", canonical dump " << report.canonical_dump.size() << " byte(s), "
+              << (report.dumps_identical ? "dumps identical" : "DUMPS DIFFER") << ", "
+              << report.mismatches << " response mismatch(es)\n";
+    if (!report.ok) {
+      std::cerr << "lce: replay FAILED: " << report.error << "\n";
+      return 1;
+    }
+    std::cout << "replay OK\n";
+    return 0;
+  }
+  if (cmd == "trace") {
+    if (argc < 5 || (std::string(argv[2]) != "export" && std::string(argv[2]) != "import")) {
+      return usage();
+    }
+    std::string sub = argv[2];
+    std::string in_path = argv[3];
+    std::string out_path = argv[4];
+    if (sub == "export") {
+      auto trace = load_script(in_path);
+      if (!trace) return 1;
+      std::string error;
+      if (!persist::write_wal_file(out_path, persist::records_from_trace(*trace),
+                                   &error)) {
+        std::cerr << "lce: " << error << "\n";
+        return 1;
+      }
+      std::cout << "exported " << trace->calls.size() << " call(s) to " << out_path
+                << "\n";
+      return 0;
+    }
+    persist::WalScan scan = persist::read_wal(in_path);
+    if (!scan.header_ok) {
+      std::cerr << "lce: " << in_path << " is not a record file\n";
+      return 1;
+    }
+    if (scan.torn_tail) {
+      std::cerr << "lce: warning: torn tail discarded after "
+                << scan.records.size() << " record(s)\n";
+    }
+    Trace trace = persist::trace_from_records(scan.records, out_path);
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "lce: cannot write " << out_path << "\n";
+      return 1;
+    }
+    out << core::print_trace_script(trace);
+    std::cout << "imported " << trace.calls.size() << " call(s) to " << out_path
+              << "\n";
     return 0;
   }
   if (cmd == "bench") {
