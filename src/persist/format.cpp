@@ -256,12 +256,13 @@ void append_framed(std::string& out, std::string_view payload) {
   out.append(payload.data(), payload.size());
 }
 
-bool scan_framed(std::string_view bytes, std::size_t* pos, std::string_view* payload) {
+bool scan_framed(std::string_view bytes, std::size_t* pos, std::string_view* payload,
+                 std::uint64_t max_payload_bytes) {
   if (bytes.size() - *pos < 8) return false;
   ByteReader r(bytes.substr(*pos, 8));
   std::uint32_t len = r.u32();
   std::uint32_t crc = r.u32();
-  if (len > kMaxRecordBytes) return false;
+  if (len > max_payload_bytes) return false;
   if (bytes.size() - *pos - 8 < len) return false;
   std::string_view body = bytes.substr(*pos + 8, len);
   if (crc32(body) != crc) return false;

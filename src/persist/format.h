@@ -47,6 +47,11 @@ inline constexpr std::size_t kFileHeaderBytes = 8;
 /// Sanity cap on a single framed record (malformed length fields must not
 /// drive giant allocations during recovery scans).
 inline constexpr std::uint32_t kMaxRecordBytes = 64u << 20;
+/// Cap on a snapshot's single frame (one whole-store dump, so far larger
+/// than any WAL record). write_snapshot_file enforces it at write time:
+/// a snapshot that cannot be read back must never be created, because
+/// rotation deletes the older epochs that could rebuild the same state.
+inline constexpr std::uint64_t kMaxSnapshotBytes = 1ull << 30;
 
 // ------------------------------------------------------------- primitives --
 
@@ -134,9 +139,11 @@ void append_framed(std::string& out, std::string_view payload);
 /// Scan one framed record at `bytes[pos...]`. Returns true and advances
 /// `pos` past the record when a complete, checksum-valid record is
 /// present; false for ANY defect (short length field, truncated payload,
-/// CRC mismatch, absurd length) — the caller treats everything from `pos`
-/// on as a torn tail.
-bool scan_framed(std::string_view bytes, std::size_t* pos, std::string_view* payload);
+/// CRC mismatch, length over `max_payload_bytes`) — the caller treats
+/// everything from `pos` on as a torn tail. WAL scans use the per-record
+/// cap; snapshot reads pass kMaxSnapshotBytes.
+bool scan_framed(std::string_view bytes, std::size_t* pos, std::string_view* payload,
+                 std::uint64_t max_payload_bytes = kMaxRecordBytes);
 
 // ------------------------------------------------------------ store codec --
 

@@ -1,5 +1,7 @@
 #include "persist/journal.h"
 
+#include <unistd.h>
+
 #include <mutex>
 #include <utility>
 
@@ -64,16 +66,29 @@ bool PersistManager::take_snapshot(std::string* error) {
     bytes = serialize_store(interp_.store());
   }
   const std::uint64_t next_epoch = epoch_ + 1;
-  if (!write_snapshot_file(snapshot_path(opts_.data_dir, next_epoch), bytes,
-                           error)) {
-    return false;
-  }
-  auto wal = WalWriter::open(wal_path(opts_.data_dir, next_epoch), opts_.sync,
-                             error);
-  if (wal == nullptr) {
-    // The renamed snapshot is valid on its own: recovery pairing it with
-    // a missing wal-(E+1) yields exactly the snapshotted state. Keep
-    // serving on the old epoch.
+  const std::string next_wal = wal_path(opts_.data_dir, next_epoch);
+  const std::string next_snap = snapshot_path(opts_.data_dir, next_epoch);
+  // Start the next epoch's WAL BEFORE the snapshot becomes discoverable.
+  // If any step up to the rename fails, nothing references epoch E+1 yet:
+  // recovery keeps pairing snap-E with wal-E, so every acked write stays
+  // recoverable and serving continues on the old epoch. (The reverse
+  // order would let a WAL-open failure strand acked writes in wal-E while
+  // recovery pairs snap-(E+1) with the missing wal-(E+1).) The fresh
+  // create also truncates any stale wal-(E+1) a prior life left behind,
+  // whose records must not replay on top of the new snapshot.
+  auto wal = WalWriter::create_fresh(next_wal, opts_.sync, error);
+  if (wal == nullptr) return false;
+  // Write, then re-validate: once remove_stale_epochs runs, this snapshot
+  // is the only copy of the state, so it must prove readable first.
+  std::string check;
+  if (!write_snapshot_file(next_snap, bytes, error) ||
+      !read_snapshot_file(next_snap, &check) || check != bytes) {
+    if (error != nullptr && error->empty()) {
+      *error = strf(next_snap, " did not validate after writing");
+    }
+    wal.reset();
+    ::unlink(next_snap.c_str());
+    ::unlink(next_wal.c_str());
     return false;
   }
   wal_ = std::move(wal);
@@ -136,6 +151,10 @@ void JournalLayer::reset() {
   }
   std::unique_lock<std::shared_mutex> gate(manager_->gate());
   inner().reset();
+  // An append failure latches the WAL's sticky failed flag; the HTTP
+  // handler reads it back via status().failed and refuses to ack the
+  // un-logged reset (same no-unlogged-ack rule as the invoke path —
+  // recovery would otherwise resurrect the pre-reset state).
   manager_->journal_reset();
 }
 

@@ -119,6 +119,14 @@ RecoveryResult recover_into(const std::string& dir, interp::Interpreter* interp)
   res.epoch = epoch;
 
   const WalScan scan = read_wal(wal_path(dir, epoch));
+  if (scan.version_mismatch) {
+    // A log a newer binary may own: treating it as empty would silently
+    // drop its records (and appending to the file later would corrupt
+    // it), so refuse the boot instead.
+    res.error = strf(wal_path(dir, epoch),
+                     " has an unsupported format version; refusing to recover");
+    return res;
+  }
   res.torn_tail = scan.torn_tail;
   const ApplyResult applied = apply_records(scan.records, interp);
   res.wal_records = applied.applied;
@@ -162,6 +170,10 @@ ReplayReport replay_dir(const std::string& dir, interp::Interpreter* a,
 ReplayReport replay_file(const std::string& path, interp::Interpreter* interp) {
   ReplayReport rep;
   const WalScan scan = read_wal(path);
+  if (scan.version_mismatch) {
+    rep.error = strf(path, " has an unsupported format version");
+    return rep;
+  }
   if (!scan.header_ok) {
     rep.error = strf(path, " is not a record file (bad or missing header)");
     return rep;

@@ -93,6 +93,17 @@ bool ensure_dir(const std::string& dir, std::string* error) {
 
 bool write_snapshot_file(const std::string& path, const std::string& store_bytes,
                          std::string* error) {
+  // A frame read_snapshot_file would reject must fail HERE, before the
+  // rename makes it discoverable: an unreadable snapshot that rotation
+  // then treats as load-bearing orphans the whole data dir.
+  if (store_bytes.size() > kMaxSnapshotBytes) {
+    if (error != nullptr) {
+      *error = strf("store dump is ", store_bytes.size(),
+                    " bytes, over the ", kMaxSnapshotBytes,
+                    "-byte snapshot format cap");
+    }
+    return false;
+  }
   ByteWriter w;
   w.raw(kSnapshotMagic);
   w.u32(kFormatVersion);
@@ -151,7 +162,7 @@ bool read_snapshot_file(const std::string& path, std::string* store_bytes) {
   }
   std::size_t pos = kFileHeaderBytes;
   std::string_view payload;
-  if (!scan_framed(bytes, &pos, &payload)) return false;
+  if (!scan_framed(bytes, &pos, &payload, kMaxSnapshotBytes)) return false;
   if (pos != bytes.size()) return false;  // trailing garbage = not a clean write
   *store_bytes = std::string(payload);
   return true;

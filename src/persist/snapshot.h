@@ -6,15 +6,20 @@
 //   snap-<epoch>.lcs   the store state at the MOMENT epoch began, i.e.
 //                      snapshot + same-epoch WAL = current state
 //
-// Taking a snapshot of epoch E writes snap-(E+1) (tmp file + fsync +
-// atomic rename), then starts wal-(E+1), then deletes stale epochs. Every
-// crash window is safe:
+// Taking a snapshot of epoch E starts a FRESH wal-(E+1) (truncating any
+// stale file a prior life left under that name), then writes snap-(E+1)
+// (tmp file + fsync + atomic rename), re-validates it, then deletes
+// stale epochs. The WAL comes first so a failure at any step before the
+// rename leaves nothing referencing epoch E+1 — serving continues on
+// epoch E with every acked write still recoverable. Every crash window
+// is safe:
 //
-//   - crash before the rename: snap-(E+1).tmp is garbage, ignored by
-//     recovery; snap-E + wal-E still reconstruct the state.
-//   - crash after the rename, before wal-(E+1) exists: recovery picks
-//     snap-(E+1) and finds no same-epoch WAL — exactly the snapshotted
-//     state, which equals snap-E + full wal-E.
+//   - crash before the rename: snap-(E+1).tmp is garbage and wal-(E+1)
+//     is empty, both ignored by recovery; snap-E + wal-E still
+//     reconstruct the state.
+//   - crash after the rename: recovery picks snap-(E+1) and pairs it
+//     with the empty wal-(E+1) — exactly the snapshotted state, which
+//     equals snap-E + full wal-E.
 //   - crash during stale deletion: leftovers from epochs < chosen are
 //     ignored (recovery always pairs a snapshot with its OWN epoch's WAL,
 //     never an older one, so old records are never double-applied).
@@ -50,6 +55,8 @@ bool ensure_dir(const std::string& dir, std::string* error);
 
 /// Write a snapshot file holding `store_bytes` (a serialize_store dump):
 /// header + one CRC-framed record, via tmp + fsync + atomic rename.
+/// Fails (without touching `path`) on dumps over kMaxSnapshotBytes —
+/// never writes a file read_snapshot_file would reject.
 bool write_snapshot_file(const std::string& path, const std::string& store_bytes,
                          std::string* error);
 

@@ -61,6 +61,7 @@ WalScan read_wal(const std::string& path) {
     ByteReader r(std::string_view(bytes).substr(kWalMagic.size(), 4));
     if (r.u32() != kFormatVersion) {
       scan.torn_tail = true;
+      scan.version_mismatch = true;
       return scan;
     }
   }
@@ -102,6 +103,14 @@ WalWriter::~WalWriter() {
 std::unique_ptr<WalWriter> WalWriter::open(const std::string& path, WalSync sync,
                                            std::string* error) {
   WalScan scan = read_wal(path);
+  if (scan.version_mismatch) {
+    // Not ours to repair: truncating would silently destroy a log a newer
+    // binary version could have read.
+    if (error != nullptr) {
+      *error = strf(path, ": unsupported WAL format version, refusing to open");
+    }
+    return nullptr;
+  }
   int fd = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
   if (fd < 0) {
     if (error != nullptr) *error = strf("open ", path, ": ", std::strerror(errno));
@@ -128,6 +137,29 @@ std::unique_ptr<WalWriter> WalWriter::open(const std::string& path, WalSync sync
   }
   return std::unique_ptr<WalWriter>(
       new WalWriter(path, fd, sync, scan.records.size(), start_bytes));
+}
+
+std::unique_ptr<WalWriter> WalWriter::create_fresh(const std::string& path,
+                                                   WalSync sync,
+                                                   std::string* error) {
+  if (read_wal(path).version_mismatch) {
+    if (error != nullptr) {
+      *error = strf(path, ": unsupported WAL format version, refusing to truncate");
+    }
+    return nullptr;
+  }
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    if (error != nullptr) *error = strf("open ", path, ": ", std::strerror(errno));
+    return nullptr;
+  }
+  if (!write_all(fd, file_header())) {
+    if (error != nullptr) *error = strf("write ", path, ": ", std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(path, fd, sync, 0, kFileHeaderBytes));
 }
 
 bool WalWriter::append(const LogRecord& rec) {

@@ -49,6 +49,11 @@ struct WalScan {
   bool header_ok = false;
   /// A defect (torn or corrupt record) was found before end of file.
   bool torn_tail = false;
+  /// The magic matched but the format version is one this binary does not
+  /// read — a log a NEWER binary may own. Writers must refuse to truncate
+  /// it (truncating would silently destroy data a future version could
+  /// have recovered); readers contribute zero records from it.
+  bool version_mismatch = false;
 };
 
 /// Read and scan `path`. A missing file yields an empty scan (no error —
@@ -64,9 +69,16 @@ class WalWriter {
  public:
   /// Open `path` for appending, creating it (with a fresh header) when
   /// missing or headerless, truncating any torn tail otherwise. Returns
-  /// nullptr on I/O failure with a diagnostic in *error.
+  /// nullptr on I/O failure — or on a version-mismatched header, which is
+  /// refused rather than truncated — with a diagnostic in *error.
   static std::unique_ptr<WalWriter> open(const std::string& path, WalSync sync,
                                          std::string* error);
+  /// Start `path` over as an empty log (header only), discarding ANY
+  /// existing contents — the epoch-rotation path, where a stale file
+  /// under the new epoch's name holds records that must not replay on
+  /// top of the new snapshot. Still refuses a version-mismatched file.
+  static std::unique_ptr<WalWriter> create_fresh(const std::string& path,
+                                                 WalSync sync, std::string* error);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;

@@ -88,6 +88,14 @@ HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& r
   }
   if (req.method == "POST" && req.path == "/reset") {
     backend.reset();
+    if (persist != nullptr && persist->status().failed) {
+      // The reset happened in memory but its marker never reached the WAL
+      // (the failure is sticky), so recovery would resurrect the pre-reset
+      // state — don't ack it, matching the invoke path's no-unlogged-ack
+      // rule.
+      return error_response(500, "InternalError",
+                            "write-ahead log append failed; reset is not durable");
+    }
     return json_response(200, Value(Value::Map{{"status", Value("reset")}}));
   }
   if (req.method == "POST" && req.path == "/invoke") {

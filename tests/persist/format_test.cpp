@@ -286,6 +286,21 @@ TEST(Framing, AbsurdLengthCapRejected) {
   EXPECT_FALSE(scan_framed(out, &pos, &payload));
 }
 
+TEST(Framing, PayloadCapIsCallerConfigurable) {
+  // Snapshot reads raise the cap (one frame holds a whole-store dump); a
+  // frame just over the caller's cap is a defect, at or under it scans.
+  const std::string payload(1024, 'x');
+  std::string out;
+  append_framed(out, payload);
+  std::size_t pos = 0;
+  std::string_view got;
+  EXPECT_FALSE(scan_framed(out, &pos, &got, payload.size() - 1));
+  EXPECT_EQ(pos, 0u);
+  ASSERT_TRUE(scan_framed(out, &pos, &got, payload.size()));
+  EXPECT_EQ(got, payload);
+  EXPECT_EQ(pos, out.size());
+}
+
 TEST(StoreCodec, RoundTripRestoresResourcesCountersAndSeq) {
   auto it = persist::testing::make_interp();
   auto r1 = it.invoke({"CreatePublicIp", {{"region", Value("us-east")}}, ""});

@@ -112,6 +112,61 @@ TEST(Journal, SnapshotRotatesEpochAndTruncatesLog) {
   EXPECT_EQ(serialize_store(twin.store()), serialize_store(it.store()));
 }
 
+TEST(Journal, RotationDiscardsStaleNextEpochWal) {
+  ScratchDir dir;
+  auto it = make_interp();
+  auto mgr = open_mgr(it, dir.path());
+  ASSERT_NE(mgr, nullptr);
+  commit(*mgr, it, {"CreateNic", {{"zone", Value("us-east")}}, ""});
+
+  // A stale wal-2 from a prior life (e.g. recovery degraded to epoch 1
+  // after snap-2 failed validation): its records must NOT survive the
+  // rotation back into epoch 2 and replay on top of the fresh snapshot.
+  {
+    LogRecord stale;
+    stale.type = LogRecord::Type::kCall;
+    stale.request = {"CreateNic", {{"zone", Value("stale")}}, ""};
+    std::string error;
+    ASSERT_TRUE(write_wal_file(wal_path(dir.path(), 2), {stale}, &error)) << error;
+  }
+
+  std::string error;
+  ASSERT_TRUE(mgr->take_snapshot(&error)) << error;
+  EXPECT_EQ(mgr->status().epoch, 2u);
+  EXPECT_EQ(mgr->status().wal_records, 0u);
+
+  auto twin = make_interp();
+  RecoveryResult rec = recover_into(dir.path(), &twin);
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_EQ(rec.wal_records, 0u);  // the stale records are gone
+  EXPECT_EQ(serialize_store(twin.store()), serialize_store(it.store()));
+}
+
+TEST(Journal, FailedRotationLeavesStateRecoverable) {
+  ScratchDir dir;
+  auto it = make_interp();
+  auto mgr = open_mgr(it, dir.path());
+  ASSERT_NE(mgr, nullptr);
+  commit(*mgr, it, {"CreateNic", {{"zone", Value("us-east")}}, ""});
+
+  // Make wal-2 un-creatable: the rotation must fail BEFORE snap-2 becomes
+  // discoverable, or recovery would pair snap-2 with the missing wal-2
+  // and silently lose every write acked afterwards.
+  ASSERT_TRUE(std::filesystem::create_directory(wal_path(dir.path(), 2)));
+  std::string error;
+  EXPECT_FALSE(mgr->take_snapshot(&error));
+  EXPECT_EQ(mgr->status().epoch, 1u);
+  EXPECT_FALSE(std::filesystem::exists(snapshot_path(dir.path(), 2)));
+
+  // Serving continues on epoch 1 and later acked writes stay recoverable.
+  commit(*mgr, it, {"CreateNic", {{"zone", Value("us-west")}}, ""});
+  auto twin = make_interp();
+  RecoveryResult rec = recover_into(dir.path(), &twin);
+  ASSERT_TRUE(rec.ok) << rec.error;
+  EXPECT_EQ(rec.wal_records, 2u);
+  EXPECT_EQ(serialize_store(twin.store()), serialize_store(it.store()));
+}
+
 TEST(Journal, ReopenAfterCleanShutdownResumesEpoch) {
   ScratchDir dir;
   {

@@ -231,6 +231,30 @@ TEST(Recovery, TornWalTailDiscarded) {
   EXPECT_EQ(serialize_store(it.store()), serialize_store(live.store()));
 }
 
+TEST(Recovery, UnsupportedWalVersionRefusesBoot) {
+  ScratchDir dir;
+  // wal-1 from a future binary: valid magic, unknown version. Recovering
+  // as if it were empty would silently drop its records (and serving
+  // would then append our version's records to it), so boot must refuse.
+  {
+    ByteWriter w;
+    w.raw(kWalMagic);
+    w.u32(kFormatVersion + 1);
+    std::ofstream out(wal_path(dir.path(), 1), std::ios::binary);
+    const std::string header = w.take();
+    out.write(header.data(), static_cast<std::streamsize>(header.size()));
+    out << "future-records";
+  }
+  auto it = make_interp();
+  RecoveryResult rec = recover_into(dir.path(), &it);
+  EXPECT_FALSE(rec.ok);
+  EXPECT_NE(rec.error.find("version"), std::string::npos) << rec.error;
+
+  ReplayReport report = replay_file(wal_path(dir.path(), 1), &it);
+  EXPECT_FALSE(report.ok);
+  EXPECT_NE(report.error.find("version"), std::string::npos) << report.error;
+}
+
 TEST(Replay, DirVerifiesTwinDumpsIdentical) {
   ScratchDir dir;
   auto live = make_interp();

@@ -115,6 +115,22 @@ TEST(SnapshotFile, MissingAndCorruptFilesRejected) {
   EXPECT_FALSE(read_snapshot_file(path, &out));
 }
 
+// Regression: a store dump larger than the per-WAL-record cap must still
+// round-trip. Snapshots are bounded by kMaxSnapshotBytes, not
+// kMaxRecordBytes — a snapshot that wrote successfully but could not be
+// read back used to orphan the data dir once rotation pruned the older
+// epochs that could have rebuilt the same state.
+TEST(SnapshotFile, PayloadBeyondWalRecordCapRoundTrips) {
+  ScratchDir dir;
+  const std::string path = snapshot_path(dir.path(), 1);
+  const std::string big(static_cast<std::size_t>(kMaxRecordBytes) + 7, '\x5a');
+  std::string error;
+  ASSERT_TRUE(write_snapshot_file(path, big, &error)) << error;
+  std::string out;
+  ASSERT_TRUE(read_snapshot_file(path, &out));
+  EXPECT_EQ(out, big);
+}
+
 TEST(SnapshotFile, EmptyStoreBytesRoundTrip) {
   ScratchDir dir;
   const std::string path = snapshot_path(dir.path(), 1);

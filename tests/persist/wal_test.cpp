@@ -215,6 +215,54 @@ TEST(Wal, CorruptHeaderVoidsWholeFile) {
   EXPECT_EQ(after.records[0].request.api, "Fresh");
 }
 
+TEST(Wal, UnknownFormatVersionRefusedNotTruncated) {
+  ScratchDir dir;
+  const std::string path = dir.path() + "/log.lcw";
+  // A log some future binary wrote: valid magic, version 2, records this
+  // binary cannot parse. It must be left byte-for-byte intact.
+  std::string future(kWalMagic);
+  ByteWriter version;
+  version.u32(kFormatVersion + 1);
+  future += version.take();
+  future += "records-this-binary-cannot-read";
+  dump(path, future);
+
+  WalScan scan = read_wal(path);
+  EXPECT_FALSE(scan.header_ok);
+  EXPECT_TRUE(scan.version_mismatch);
+  EXPECT_TRUE(scan.records.empty());
+
+  std::string error;
+  EXPECT_EQ(WalWriter::open(path, WalSync::kNone, &error), nullptr);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+  error.clear();
+  EXPECT_EQ(WalWriter::create_fresh(path, WalSync::kNone, &error), nullptr);
+  EXPECT_NE(error.find("version"), std::string::npos) << error;
+  EXPECT_EQ(slurp(path), future);
+}
+
+TEST(Wal, CreateFreshDiscardsExistingRecords) {
+  ScratchDir dir;
+  const std::string path = dir.path() + "/log.lcw";
+  std::string error;
+  ASSERT_TRUE(write_wal_file(path, {call_record("Stale", 1), call_record("Stale", 2)},
+                             &error))
+      << error;
+
+  // The rotation path: a stale file under the new epoch's name must start
+  // over empty, not keep its valid prefix the way append-open does.
+  auto w = WalWriter::create_fresh(path, WalSync::kNone, &error);
+  ASSERT_NE(w, nullptr) << error;
+  EXPECT_EQ(w->record_count(), 0u);
+  EXPECT_EQ(w->size_bytes(), kFileHeaderBytes);
+  ASSERT_TRUE(w->append(call_record("Fresh", 1)));
+
+  WalScan scan = read_wal(path);
+  EXPECT_TRUE(scan.header_ok);
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.records[0].request.api, "Fresh");
+}
+
 // The torn-tail acceptance property at the file level: truncate a clean
 // log at EVERY byte offset; the scan must recover exactly the records
 // whose frames fit entirely in the prefix — never a partial record, never

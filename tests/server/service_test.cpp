@@ -1,6 +1,8 @@
 #include "server/service.h"
 
 #include <gtest/gtest.h>
+#include <signal.h>
+#include <sys/resource.h>
 
 #include <atomic>
 #include <mutex>
@@ -316,6 +318,75 @@ TEST(Endpoint, DurableServeSurvivesRestartOverHttp) {
     EXPECT_EQ(snap->as_map().size(), 2u);  // the vpc and its subnet
     endpoint.stop();
   }
+}
+
+TEST(Endpoint, ResetIsNotAckedAfterWalFailure) {
+  // The no-unlogged-ack rule for POST /reset: once the WAL has failed, a
+  // reset happens in memory but its marker never reaches the log, so
+  // recovery would resurrect the pre-reset state — the handler must
+  // return 500, exactly as the invoke path does for unlogged writes.
+  persist::testing::ScratchDir dir;
+  auto emulator = core::LearnedEmulator::from_docs(
+      docs::render_corpus(docs::build_aws_catalog()));
+  persist::PersistOptions popts;
+  popts.data_dir = dir.path();
+  std::string error;
+  auto mgr = persist::PersistManager::open(emulator.backend(), popts, &error);
+  ASSERT_NE(mgr, nullptr) << error;
+  stack::StackConfig cfg;
+  auto* raw_mgr = mgr.get();
+  cfg.journal = [raw_mgr] {
+    return std::make_unique<persist::JournalLayer>(raw_mgr);
+  };
+  auto stack = stack::build_stack(emulator.backend(), cfg);
+  auto post = [&](const std::string& path, const std::string& body) {
+    HttpRequest req;
+    req.method = "POST";
+    req.path = path;
+    req.body = body;
+    return handle_emulator_request(stack, req, raw_mgr);
+  };
+
+  ASSERT_EQ(post("/invoke",
+                 R"({"Action":"CreateVpc","Params":{"cidr_block":"10.0.0.0/16"}})")
+                .status,
+            200);
+  ASSERT_FALSE(mgr->status().failed);
+
+  // Choke the WAL with a file-size rlimit: the next append is a genuine
+  // I/O error (EFBIG once SIGXFSZ is ignored), latching the sticky
+  // failure the way a full disk would.
+  struct sigaction ignore_xfsz {};
+  struct sigaction old_xfsz {};
+  ignore_xfsz.sa_handler = SIG_IGN;
+  ASSERT_EQ(::sigaction(SIGXFSZ, &ignore_xfsz, &old_xfsz), 0);
+  struct rlimit old_limit {};
+  ASSERT_EQ(::getrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  struct rlimit tiny = old_limit;
+  tiny.rlim_cur = 1;
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &tiny), 0);
+
+  auto choked = post("/invoke",
+                     R"({"Action":"CreateVpc","Params":{"cidr_block":"10.1.0.0/16"}})");
+  EXPECT_EQ(choked.status, 500);
+  auto reset = post("/reset", "");
+  EXPECT_EQ(reset.status, 500);
+  EXPECT_EQ(parse_json(reset.body)->get("Error")->get("Code")->as_str(),
+            "InternalError");
+
+  ASSERT_EQ(::setrlimit(RLIMIT_FSIZE, &old_limit), 0);
+  ASSERT_EQ(::sigaction(SIGXFSZ, &old_xfsz, nullptr), 0);
+
+  auto rec_twin = core::LearnedEmulator::from_docs(
+      docs::render_corpus(docs::build_aws_catalog()));
+  persist::RecoveryResult rec;
+  std::string rec_error;
+  auto reopened =
+      persist::PersistManager::open(rec_twin.backend(), popts, &rec_error, &rec);
+  ASSERT_NE(reopened, nullptr) << rec_error;
+  // Recovery sees exactly what was acked: the first vpc, no reset.
+  EXPECT_EQ(rec.wal_records, 1u);
+  EXPECT_EQ(rec_twin.backend().snapshot().as_map().size(), 1u);
 }
 
 TEST(Endpoint, TwoBackendsSideBySideOverHttp) {
