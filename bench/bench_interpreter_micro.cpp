@@ -3,14 +3,39 @@
 // ablation DESIGN.md calls out), plus the hot paths of the pipeline
 // itself: lexing/parsing the DSL, rendering and wrangling documentation,
 // and symbolic trace generation.
+//
+// With --quick and/or --json [FILE] the binary instead runs the
+// plan-vs-tree differential harness (DESIGN.md "Compiled execution
+// plans"): the same interpreter serving through compiled execution plans
+// and through the tree-walking reference path, over the Fig. 3 scenario
+// families plus describe-hot and modify-hot steady-state workloads
+// (polling and attribute flips, the LocalStack equilibrium). Reported:
+// ns/op per
+// family per mode and the speedup; the exit status enforces the
+// acceptance gate (compiled plans >= 1.5x the tree-walk on the overall
+// mix). The gate self-skips under sanitizers, whose instrumentation
+// rewrites the cost model the gate assumes. JSON lands in FILE
+// (default BENCH_interp.json), uploaded as a CI artifact.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "align/trace_gen.h"
 #include "cloud/reference_cloud.h"
+#include "common/strings.h"
+#include "common/table.h"
+#include "core/scenarios.h"
 #include "docs/corpus.h"
 #include "docs/render.h"
 #include "docs/wrangler.h"
 #include "interp/interpreter.h"
+#include "server/json.h"
 #include "server/service.h"
 #include "spec/parser.h"
 #include "spec/printer.h"
@@ -51,6 +76,17 @@ void BM_LearnedEmulatorCycle(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 4);  // 4 API calls per cycle
 }
 BENCHMARK(BM_LearnedEmulatorCycle);
+
+void BM_TreeWalkEmulatorCycle(benchmark::State& state) {
+  // The same cycle through the tree-walking reference path: the live
+  // counterpart of the plan-vs-tree harness below.
+  interp::InterpreterOptions opts;
+  opts.use_plan = false;
+  interp::Interpreter emu(aws_spec().clone(), opts);
+  for (auto _ : state) drive_cycle(emu);
+  state.SetItemsProcessed(state.iterations() * 4);
+}
+BENCHMARK(BM_TreeWalkEmulatorCycle);
 
 void BM_ReferenceCloudCycle(benchmark::State& state) {
   cloud::ReferenceCloud cloud(docs::build_aws_catalog());
@@ -136,6 +172,250 @@ void BM_SymbolicTraceGeneration(benchmark::State& state) {
 }
 BENCHMARK(BM_SymbolicTraceGeneration);
 
+// ------------------------------------------------------------------------
+// Plan-vs-tree differential harness (--quick / --json modes).
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
+    __has_feature(undefined_behavior_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+interp::Interpreter make_interp(bool use_plan) {
+  interp::InterpreterOptions opts;
+  opts.use_plan = use_plan;
+  return interp::Interpreter(aws_spec().clone(), opts);
+}
+
+/// Pre-resolve one scenario family's traces into a flat call list by
+/// replaying them (no reset between traces) and substituting "$k.field"
+/// placeholders with that run's real responses. Resource ids are minted
+/// deterministically, so replaying the resolved calls from a reset store
+/// reproduces the identical run on either execution mode — the timed loop
+/// measures pure invoke() cost, not placeholder resolution.
+std::vector<ApiRequest> resolve_family(interp::Interpreter& be,
+                                       const std::vector<const Trace*>& traces) {
+  be.reset();
+  std::vector<ApiRequest> resolved;
+  for (const Trace* t : traces) {
+    std::vector<ApiResponse> prior;
+    for (const auto& req : t->calls) {
+      ApiRequest r = resolve_placeholders(req, prior);
+      prior.push_back(be.invoke(r));
+      resolved.push_back(r);
+    }
+  }
+  be.reset();
+  return resolved;
+}
+
+double ns_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::nano>(std::chrono::steady_clock::now() -
+                                                  t0)
+      .count();
+}
+
+/// ns per call replaying `calls` from a reset store, best of `reps`.
+double measure_replay(interp::Interpreter& be, const std::vector<ApiRequest>& calls,
+                      int iters, int reps) {
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    be.reset();
+    for (const auto& c : calls) be.invoke(c);  // warm
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) {
+      be.reset();
+      for (const auto& c : calls) be.invoke(c);
+    }
+    double ns = ns_since(t0) / (static_cast<double>(iters) * calls.size());
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+/// ns per invocation of one fixed request against a prepared store, best
+/// of `reps` — the steady-state workloads (polling, attribute flips).
+double measure_hot(interp::Interpreter& be, const ApiRequest& req, int iters,
+                   int reps) {
+  double best = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (int i = 0; i < iters / 10; ++i) be.invoke(req);  // warm
+    auto t0 = std::chrono::steady_clock::now();
+    for (int i = 0; i < iters; ++i) be.invoke(req);
+    double ns = ns_since(t0) / iters;
+    if (rep == 0 || ns < best) best = ns;
+  }
+  return best;
+}
+
+/// Provision a vpc+subnet pair from a reset store; returns the requests
+/// for the two steady-state workloads: DescribeVpc polling and the
+/// ModifySubnetAttribute flip.
+std::pair<ApiRequest, ApiRequest> setup_steady_state(interp::Interpreter& be) {
+  be.reset();
+  auto vpc = be.invoke({"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""});
+  if (!vpc.ok) {
+    std::cerr << "steady-state setup failed: " << vpc.to_text() << "\n";
+    std::exit(1);
+  }
+  auto subnet = be.invoke({"CreateSubnet",
+                           {{"vpc", *vpc.data.get("id")},
+                            {"cidr_block", Value("10.0.1.0/24")},
+                            {"zone", Value("us-east")}},
+                           ""});
+  if (!subnet.ok) {
+    std::cerr << "steady-state setup failed: " << subnet.to_text() << "\n";
+    std::exit(1);
+  }
+  return {ApiRequest{"DescribeVpc", {}, vpc.data.get("id")->as_str()},
+          ApiRequest{"ModifySubnetAttribute",
+                     {{"id", *subnet.data.get("id")},
+                      {"map_public_ip_on_launch", Value(true)}},
+                     ""}};
+}
+
+struct FamilyResult {
+  std::string name;
+  std::size_t calls = 0;  // workload weight in the overall mix
+  double plan_ns = 0;
+  double tree_ns = 0;
+  double speedup() const { return plan_ns > 0 ? tree_ns / plan_ns : 0; }
+};
+
+int run_plan_vs_tree(bool quick, const std::string& json_path) {
+  const int iters = quick ? 150 : 1000;
+  const int reps = quick ? 3 : 4;
+  const int hot_iters = quick ? 15000 : 80000;
+
+  interp::Interpreter with_plan = make_interp(true);
+  interp::Interpreter tree = make_interp(false);
+
+  // Fig. 3 scenario families, in suite order.
+  core::ScenarioSuite suite = core::fig3_aws_suite();
+  std::vector<std::string> family_order;
+  std::map<std::string, std::vector<const Trace*>> families;
+  for (const auto& entry : suite.entries) {
+    if (!families.count(entry.scenario)) family_order.push_back(entry.scenario);
+    families[entry.scenario].push_back(&entry.trace);
+  }
+
+  std::vector<FamilyResult> results;
+  std::size_t scenario_calls = 0;
+  for (const auto& name : family_order) {
+    std::vector<ApiRequest> calls = resolve_family(tree, families[name]);
+    FamilyResult r;
+    r.name = name;
+    r.calls = calls.size();
+    r.plan_ns = measure_replay(with_plan, calls, iters, reps);
+    r.tree_ns = measure_replay(tree, calls, iters, reps);
+    scenario_calls += calls.size();
+    results.push_back(std::move(r));
+  }
+
+  // Steady-state workloads — the LocalStack equilibrium where DevOps
+  // tooling polls state and flips attributes far more often than it
+  // provisions. Each is weighted like the whole scenario sweep.
+  auto [plan_desc, plan_mod] = setup_steady_state(with_plan);
+  auto [tree_desc, tree_mod] = setup_steady_state(tree);
+  FamilyResult desc;
+  desc.name = "describe-hot";
+  desc.calls = scenario_calls;
+  desc.plan_ns = measure_hot(with_plan, plan_desc, hot_iters, reps);
+  desc.tree_ns = measure_hot(tree, tree_desc, hot_iters, reps);
+  results.push_back(std::move(desc));
+  FamilyResult mod;
+  mod.name = "modify-hot";
+  mod.calls = scenario_calls;
+  mod.plan_ns = measure_hot(with_plan, plan_mod, hot_iters, reps);
+  mod.tree_ns = measure_hot(tree, tree_mod, hot_iters, reps);
+  results.push_back(std::move(mod));
+
+  double plan_total = 0, tree_total = 0;
+  for (const auto& r : results) {
+    plan_total += r.plan_ns * static_cast<double>(r.calls);
+    tree_total += r.tree_ns * static_cast<double>(r.calls);
+  }
+  double overall = plan_total > 0 ? tree_total / plan_total : 0;
+
+  std::cout << "=== Compiled execution plan vs tree-walk interpreter ===\n";
+  std::cout << "  fig3 scenario replay (" << iters
+            << " iters) + describe/modify steady-state (" << hot_iters
+            << " iters), best of " << reps << " runs\n\n";
+  TextTable table({"family", "calls", "plan ns/op", "tree ns/op", "speedup"});
+  for (const auto& r : results) {
+    table.add_row({r.name, strf(r.calls), strf(static_cast<long>(r.plan_ns)),
+                   strf(static_cast<long>(r.tree_ns)),
+                   strf(static_cast<long>(r.speedup() * 100), "%")});
+  }
+  std::cout << table.render() << "\n";
+  std::cout << "overall mix speedup: " << static_cast<long>(overall * 100) << "%\n";
+
+  bool gate_ok = overall >= 1.5;
+  if (kSanitized) {
+    std::cout << "speedup gate (>=1.5x): SKIPPED (sanitizer build)\n";
+  } else {
+    std::cout << "speedup gate (>=1.5x): " << (gate_ok ? "PASS" : "FAIL") << "\n";
+  }
+
+  if (!json_path.empty()) {
+    Value::Map root;
+    root["bench"] = Value(std::string("interpreter_micro"));
+    root["quick"] = Value(quick);
+    root["sanitized"] = Value(kSanitized);
+    Value::Map per_family;
+    for (const auto& r : results) {
+      Value::Map f;
+      f["calls"] = Value(static_cast<std::int64_t>(r.calls));
+      f["plan_ns_per_op"] = Value(static_cast<std::int64_t>(r.plan_ns));
+      f["tree_ns_per_op"] = Value(static_cast<std::int64_t>(r.tree_ns));
+      f["speedup_pct"] = Value(static_cast<std::int64_t>(r.speedup() * 100));
+      per_family[r.name] = Value(std::move(f));
+    }
+    root["families"] = Value(std::move(per_family));
+    root["overall_speedup_pct"] = Value(static_cast<std::int64_t>(overall * 100));
+    root["gate_threshold_pct"] = Value(static_cast<std::int64_t>(150));
+    root["pass"] = Value(kSanitized || gate_ok);
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << server::to_json(Value(std::move(root))) << "\n";
+    std::cout << "wrote " << json_path << "\n";
+  }
+  return kSanitized || gate_ok ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bool quick = false, harness = false;
+  std::string json_path;
+  std::vector<char*> passthrough{argv[0]};
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = harness = true;
+    } else if (arg == "--json") {
+      harness = true;
+      json_path = (i + 1 < argc && argv[i + 1][0] != '-') ? argv[++i]
+                                                          : "BENCH_interp.json";
+    } else {
+      passthrough.push_back(argv[i]);
+    }
+  }
+  if (harness) return run_plan_vs_tree(quick, json_path);
+
+  int bench_argc = static_cast<int>(passthrough.size());
+  benchmark::Initialize(&bench_argc, passthrough.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, passthrough.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

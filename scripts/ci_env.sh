@@ -12,10 +12,14 @@
 #                        hammers, fault injection, the sharded-store
 #                        stress tests ("Shard"), and the durable-state
 #                        suites (group-commit WAL, snapshot rotation
-#                        racing writers, recovery/replay). The fork-based
-#                        CrashTorture tests self-skip under TSan.
-export LCE_TSAN_TEST_TARGETS="common_test align_test interp_test cloud_test stack_test server_test persist_test"
-export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard|Wal|Journal|Snapshot|Recovery|Replay|Durable'
+#                        racing writers, recovery/replay), and the
+#                        compiled-plan suites ("Plan": plan-vs-tree
+#                        equivalence plus plan sharing/rebuild across
+#                        clones and parallel alignment workers). The
+#                        fork-based CrashTorture tests self-skip under
+#                        TSan.
+export LCE_TSAN_TEST_TARGETS="common_test align_test interp_test cloud_test stack_test server_test persist_test plan_test"
+export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard|Wal|Journal|Snapshot|Recovery|Replay|Durable|Plan'
 
 # Portable core count: GNU coreutils' nproc, then the BSD/macOS sysctl,
 # then POSIX getconf, then a safe fallback.

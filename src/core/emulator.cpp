@@ -9,6 +9,7 @@ LearnedEmulator LearnedEmulator::from_docs(const docs::DocCorpus& corpus,
   e.synthesis_ = synth::synthesize(corpus, opts.synthesis);
   interp::InterpreterOptions iopts;
   iopts.name = opts.name;
+  iopts.use_plan = opts.use_plan;
   if (opts.rich_messages) iopts.decoder = interp::make_rich_decoder();
   e.backend_ = std::make_unique<interp::Interpreter>(e.synthesis_.spec.clone(), iopts);
   return e;

@@ -25,6 +25,10 @@ struct PipelineOptions {
   synth::SynthesisOptions synthesis;
   /// Enrich error messages with root-cause hints (§4.3's "richer" replies).
   bool rich_messages = true;
+  /// Serve through the compiled execution plan (InterpreterOptions::
+  /// use_plan); off = the tree-walking reference path, for debugging and
+  /// differential testing.
+  bool use_plan = true;
   std::string name = "learned-emulator";
   /// Defaults for align_against(cloud) — including `workers`, the
   /// differential-pass parallelism (0 = auto, 1 = serial).

@@ -1,17 +1,23 @@
 #include "interp/interpreter.h"
 
+#include <algorithm>
 #include <optional>
-#include <set>
 #include <vector>
 
 #include "common/cidr.h"
 #include "common/errors.h"
 #include "common/strings.h"
+#include "interp/exec_internal.h"
+#include "interp/plan/exec.h"
 
 namespace lce::interp {
 
 namespace {
 
+using internal::Abort;
+using internal::UndoJournal;
+using plan::LockMode;
+using plan::LockPlan;
 using spec::BinaryOp;
 using spec::Expr;
 using spec::ExprKind;
@@ -22,254 +28,10 @@ using spec::Transition;
 using spec::TransitionKind;
 using spec::UnaryOp;
 
-/// Thrown (as a value) to abort a transition; carries the response plus
-/// the diagnosis breadcrumb.
-struct Abort {
-  ApiResponse response;
-  FailureSite site;
-};
-
-// -------------------------------------------------------- lock planning --
-//
-// Every transition is classified before any shard lock is taken:
-//
-//   kReadShared  no writes at all — shared-lock every shard; concurrent
-//                describes run fully in parallel.
-//   kWriteLocal  all touched state is reachable from ids known up front
-//                (the target / preminted id and ref-valued arguments) —
-//                exclusively lock just those shards; unrelated resources
-//                keep flowing.
-//   kWriteAll    the footprint is dynamic (nested call(), destroy's child
-//                scan/promotion, sibling scans, derefs of non-parameter
-//                refs) — exclusively lock everything. Correct, never
-//                fast; the classifier falls back here whenever in doubt.
-
-enum class LockMode { kReadShared, kWriteLocal, kWriteAll };
-
-struct BodyTraits {
-  bool writes = false;
-  bool attaches = false;
-  bool calls = false;
-  bool local = true;
-};
-
-using ParamNames = std::set<std::string, std::less<>>;
-
-/// Builtins that never touch the store.
-bool pure_builtin(const std::string& name) {
-  return name == "is_null" || name == "len" || name == "in_list" ||
-         name == "cidr_valid" || name == "cidr_prefix_len" ||
-         name == "cidr_within" || name == "cidr_overlaps";
-}
-
-/// True when evaluating `e` can only dereference resources whose shards a
-/// kWriteLocal plan has locked: self (the target / preminted id) and
-/// ref-valued declared parameters (every ref in the args is collected
-/// into the lockset). Anything else — nested field paths, store scans,
-/// refs read out of attributes — is non-local.
-bool expr_local(const Expr& e, const ParamNames& params) {
-  switch (e.kind) {
-    case ExprKind::kLiteral:
-    case ExprKind::kSelf:
-    case ExprKind::kVar:  // value read from params or self attrs, no deref
-      return true;
-    case ExprKind::kField:
-      return e.kids[0]->kind == ExprKind::kSelf ||
-             (e.kids[0]->kind == ExprKind::kVar &&
-              params.contains(e.kids[0]->name));
-    case ExprKind::kUnary:
-    case ExprKind::kBinary: {
-      for (const auto& k : e.kids) {
-        if (!expr_local(*k, params)) return false;
-      }
-      return true;
-    }
-    case ExprKind::kBuiltin: {
-      if (pure_builtin(e.name)) {
-        for (const auto& k : e.kids) {
-          if (!expr_local(*k, params)) return false;
-        }
-        return true;
-      }
-      if (e.name == "exists") {
-        // exists(param[, "Type"]) dereferences exactly the param ref.
-        if (e.kids.empty()) return true;
-        if (e.kids[0]->kind != ExprKind::kVar ||
-            !params.contains(e.kids[0]->name)) {
-          return false;
-        }
-        for (std::size_t i = 1; i < e.kids.size(); ++i) {
-          if (e.kids[i]->kind != ExprKind::kLiteral) return false;
-        }
-        return true;
-      }
-      // child_count, sibling_cidr_conflict, unknown builtins: store scans.
-      return false;
-    }
-  }
-  return false;
-}
-
-void scan_body(const spec::Body& body, const ParamNames& params, BodyTraits& out) {
-  for (const auto& s : body) {
-    switch (s->kind) {
-      case StmtKind::kWrite:
-        out.writes = true;
-        out.local = out.local && expr_local(*s->expr, params);
-        break;
-      case StmtKind::kRead:
-        break;
-      case StmtKind::kAssert:
-        out.local = out.local && expr_local(*s->expr, params);
-        break;
-      case StmtKind::kCall:
-        out.calls = true;
-        break;
-      case StmtKind::kAttachParent:
-        out.attaches = true;
-        // The parent must be a declared param so its shard is locked.
-        out.local = out.local && s->expr->kind == ExprKind::kVar &&
-                    params.contains(s->expr->name);
-        break;
-      case StmtKind::kIf:
-        out.local = out.local && expr_local(*s->expr, params);
-        scan_body(s->then_body, params, out);
-        scan_body(s->else_body, params, out);
-        break;
-    }
-  }
-}
-
-struct LockPlan {
-  LockMode mode = LockMode::kWriteAll;
-  bool attaches = false;
-};
-
-LockPlan plan_transition(const Transition& t) {
-  ParamNames params;
-  for (const auto& p : t.params) params.insert(p.name);
-  BodyTraits traits;
-  scan_body(t.body, params, traits);
-  bool mutates = traits.writes || traits.attaches || traits.calls ||
-                 t.kind == TransitionKind::kCreate ||
-                 t.kind == TransitionKind::kDestroy;
-  if (!mutates) return {LockMode::kReadShared, false};
-  // destroy scans children (guard + promotion); call() reaches arbitrary
-  // resources; non-local bodies deref refs we cannot enumerate up front.
-  // Attaches outside create need the full cycle walk over arbitrary
-  // ancestor shards, so they lock everything too — only a CREATE attach
-  // has the fresh-child guarantee attach_created() relies on.
-  if (traits.calls || t.kind == TransitionKind::kDestroy || !traits.local ||
-      (traits.attaches && t.kind != TransitionKind::kCreate)) {
-    return {LockMode::kWriteAll, false};
-  }
-  return {LockMode::kWriteLocal, traits.attaches};
-}
-
-/// Shards of every ref nested anywhere in an argument value.
-void collect_ref_shards(const Value& v, const ResourceStore& store,
-                        std::vector<std::size_t>& out) {
-  if (v.is_ref()) {
-    out.push_back(store.shard_of(v.as_str()));
-  } else if (v.is_list()) {
-    for (const auto& item : v.as_list()) collect_ref_shards(item, store, out);
-  } else if (v.is_map()) {
-    for (const auto& [_, item] : v.as_map()) collect_ref_shards(item, store, out);
-  }
-}
-
-/// The trailing counter of a minted id ("vpc-00000007" -> 7); 0 when the
-/// id has no numeric suffix.
-std::uint64_t id_suffix_counter(std::string_view id) {
-  std::size_t dash = id.rfind('-');
-  if (dash == std::string_view::npos) return 0;
-  std::uint64_t n = 0;
-  for (std::size_t i = dash + 1; i < id.size(); ++i) {
-    char c = id[i];
-    if (c < '0' || c > '9') return 0;
-    n = n * 10 + static_cast<std::uint64_t>(c - '0');
-  }
-  return n;
-}
-
-// ---------------------------------------------------------- undo journal --
-
-/// Transactional rollback under held shard locks: instead of copying the
-/// whole store per invoke (the pre-sharded design — O(store) per call and
-/// impossible once two transitions run at once), record the first-touch
-/// before-image of every mutated resource and undo in reverse on abort.
-class UndoJournal {
- public:
-  void note_minted(std::string prefix, std::uint64_t minted_counter) {
-    Entry e;
-    e.kind = Entry::kMinted;
-    e.id = std::move(prefix);  // reuse the id slot for the prefix
-    e.counter = minted_counter;
-    entries_.push_back(std::move(e));
-  }
-
-  void note_created(const std::string& id) {
-    touched_.insert(id);
-    Entry e;
-    e.kind = Entry::kCreated;
-    e.id = id;
-    entries_.push_back(std::move(e));
-  }
-
-  /// Record `r`'s before-image unless this transaction already owns it
-  /// (created it or captured it earlier).
-  void note_modified(const Resource& r) {
-    if (!touched_.insert(r.id).second) return;
-    Entry e;
-    e.kind = Entry::kModified;
-    e.id = r.id;
-    e.before = r;
-    entries_.push_back(std::move(e));
-  }
-
-  void note_destroyed(const Resource& r) {
-    // A destroy always rolls back to the full before-image, even when
-    // earlier statements of the same transaction modified it: the
-    // earlier kModified entry (replayed later in the reverse pass)
-    // restores the true pre-transaction state.
-    Entry e;
-    e.kind = Entry::kDestroyed;
-    e.id = r.id;
-    e.before = r;
-    entries_.push_back(std::move(e));
-  }
-
-  void rollback(ResourceStore& store) {
-    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
-      switch (it->kind) {
-        case Entry::kCreated:
-          store.erase_raw(it->id);
-          break;
-        case Entry::kModified:
-        case Entry::kDestroyed:
-          store.restore(std::move(it->before));
-          break;
-        case Entry::kMinted:
-          if (it->counter > 0) store.rewind_id(it->id, it->counter - 1);
-          break;
-      }
-    }
-    entries_.clear();
-    touched_.clear();
-  }
-
- private:
-  struct Entry {
-    enum Kind { kCreated, kModified, kDestroyed, kMinted } kind = kModified;
-    std::string id;          // resource id; mint prefix for kMinted
-    Resource before;         // kModified / kDestroyed
-    std::uint64_t counter = 0;  // kMinted: the counter the mint produced
-  };
-
-  std::vector<Entry> entries_;
-  std::set<std::string> touched_;
-};
-
+// The tree-walking reference execution path. The compiled-plan path
+// (interp/plan) must match it byte-for-byte; keep the two in lockstep
+// when changing semantics here (the differential equivalence suite
+// enforces it).
 class Execution {
  public:
   Execution(const spec::SpecSet& spec, const InterpreterOptions& opts, ResourceStore& store)
@@ -284,10 +46,13 @@ class Execution {
       return fail("", "", std::string(errc::kInvalidAction), {{"api", req.api}});
     }
 
-    LockPlan plan = plan_transition(*transition);
-    mode_ = plan.mode;
+    std::string target = !req.target.empty() ? req.target
+                         : req.args.count("id") != 0 ? req.args.at("id").as_str()
+                                                     : "";
+    LockPlan lock = plan::classify_transition(*transition);
+    mode_ = lock.mode;
     StripedRwLock::Guard guard;
-    switch (plan.mode) {
+    switch (lock.mode) {
       case LockMode::kReadShared:
         guard = store_.locks().lock_shared_all();
         break;
@@ -303,22 +68,21 @@ class Execution {
           journal_.note_minted(std::string(machine->id_prefix.empty()
                                                ? std::string_view("res")
                                                : std::string_view(machine->id_prefix)),
-                               id_suffix_counter(preminted_));
+                               internal::id_suffix_counter(preminted_));
         }
         std::vector<std::size_t> shards;
-        std::string target = !req.target.empty() ? req.target
-                             : req.args.count("id") != 0 ? req.args.at("id").as_str()
-                                                         : "";
         if (!preminted_.empty()) shards.push_back(store_.shard_of(preminted_));
         if (!target.empty()) shards.push_back(store_.shard_of(target));
-        for (const auto& [_, v] : req.args) collect_ref_shards(v, store_, shards);
+        for (const auto& [_, v] : req.args) {
+          internal::collect_ref_shards(v, store_, shards);
+        }
         guard = store_.locks().lock_exclusive(std::move(shards));
         break;
       }
     }
 
     try {
-      ApiResponse resp = run_transition(*machine, *transition, req);
+      ApiResponse resp = run_transition(*machine, *transition, &req.args, nullptr, target);
       return resp;
     } catch (const Abort& a) {
       // Transactional semantics: a failed transition must leave no
@@ -377,15 +141,20 @@ class Execution {
       journal_.note_minted(std::string(machine.id_prefix.empty()
                                            ? std::string_view("res")
                                            : std::string_view(machine.id_prefix)),
-                           id_suffix_counter(id));
+                           internal::id_suffix_counter(id));
     }
     Resource& r = store_.create_with_id(std::move(id), machine.name);
     journal_.note_created(r.id);
     return r;
   }
 
+  /// `named` (top-level request args, bound by name) and `positional`
+  /// (sub-call argument values, aligned to the callee's param order) are
+  /// the two argument sources; exactly one is non-null. Positional values
+  /// are moved out — call() no longer rebuilds a string-keyed arg map.
   ApiResponse run_transition(const StateMachine& machine, const Transition& transition,
-                             const ApiRequest& req) {
+                             const Value::Map* named, std::vector<Value>* positional,
+                             const std::string& target) {
     if (++depth_ > opts_.max_call_depth) {
       abort_with(std::string(errc::kInternalError), {}, machine.name, transition.name,
                  "call depth limit exceeded", FailureSite::Origin::kFramework);
@@ -395,9 +164,16 @@ class Execution {
     frame.transition = &transition;
 
     // Bind parameters.
-    for (const auto& p : transition.params) {
-      auto it = req.args.find(p.name);
-      if (it == req.args.end()) {
+    for (std::size_t i = 0; i < transition.params.size(); ++i) {
+      const auto& p = transition.params[i];
+      const Value* src = nullptr;
+      if (named != nullptr) {
+        auto it = named->find(p.name);
+        if (it != named->end()) src = &it->second;
+      } else if (positional != nullptr && i < positional->size()) {
+        src = &(*positional)[i];
+      }
+      if (src == nullptr) {
         if (opts_.validate_params) {
           abort_with(std::string(errc::kMissingParameter), {{"param", p.name}}, machine.name,
                      transition.name);
@@ -405,12 +181,13 @@ class Execution {
         frame.params[p.name] = Value();
         continue;
       }
-      if (opts_.validate_params && !it->second.is_null() && !p.type.admits(it->second)) {
+      if (opts_.validate_params && !src->is_null() && !p.type.admits(*src)) {
         abort_with(std::string(errc::kInvalidParameterValue),
-                   {{"param", p.name}, {"value", it->second.to_text()}}, machine.name,
+                   {{"param", p.name}, {"value", src->to_text()}}, machine.name,
                    transition.name);
       }
-      frame.params[p.name] = it->second;
+      frame.params[p.name] =
+          positional != nullptr ? std::move((*positional)[i]) : *src;
     }
 
     // Resolve or create the target instance.
@@ -419,12 +196,10 @@ class Execution {
       for (const auto& sv : machine.states) r.attrs[sv.name] = sv.initial;
       frame.self = &r;
     } else {
-      std::string id = !req.target.empty() ? req.target : req.args.count("id") != 0
-          ? req.args.at("id").as_str() : "";
-      Resource* r = store_.find(id);
+      Resource* r = store_.find(target);
       if (r == nullptr || r->type != machine.name) {
         abort_with(std::string(errc::kResourceNotFound),
-                   {{"resource", machine.name}, {"id", id.empty() ? "(none)" : id}},
+                   {{"resource", machine.name}, {"id", target.empty() ? "(none)" : target}},
                    machine.name, transition.name);
       }
       frame.self = r;
@@ -552,15 +327,15 @@ class Execution {
                      strf("call to unknown transition '", s.callee, "' on type '",
                           callee_res->type, "'"));
         }
-        // Positional argument binding.
-        ApiRequest sub;
-        sub.api = s.callee;
-        sub.target = callee_res->id;
-        for (std::size_t i = 0; i < s.args.size() && i < callee_t->params.size(); ++i) {
-          sub.args[callee_t->params[i].name] = eval(*s.args[i], frame);
-        }
-        ApiResponse resp = run_transition(*callee_m, *callee_t, sub);
-        if (!resp.ok) throw Abort{resp};  // propagate (already decoded)
+        // Positional argument binding into a flat vector the callee binds
+        // by index (no per-call arg map).
+        std::size_t argc = std::min(s.args.size(), callee_t->params.size());
+        std::vector<Value> args;
+        args.reserve(argc);
+        for (std::size_t i = 0; i < argc; ++i) args.push_back(eval(*s.args[i], frame));
+        ApiResponse resp =
+            run_transition(*callee_m, *callee_t, nullptr, &args, callee_res->id);
+        if (!resp.ok) throw Abort{resp, {}};  // propagate (already decoded)
         return;
       }
       case StmtKind::kAttachParent: {
@@ -575,8 +350,9 @@ class Execution {
         }
         journal_.note_modified(*frame.self);
         if (mode_ == LockMode::kWriteLocal) {
-          // Write-local implies a create body (plan_transition): self is
-          // the freshly minted child, so no cycle walk is needed or legal.
+          // Write-local implies a create body (classify_transition): self
+          // is the freshly minted child, so no cycle walk is needed or
+          // legal.
           store_.attach_created(frame.self->id, p->id);
         } else {
           store_.attach(frame.self->id, p->id);
@@ -746,11 +522,32 @@ class Execution {
 }  // namespace
 
 Interpreter::Interpreter(spec::SpecSet spec, InterpreterOptions opts)
-    : spec_(std::move(spec)), opts_(std::move(opts)) {}
+    : spec_(std::move(spec)), opts_(std::move(opts)) {
+  rebuild_dispatch();
+}
+
+Interpreter::Interpreter(spec::SpecSet spec, InterpreterOptions opts,
+                         std::shared_ptr<const plan::ExecutionPlan> shared_plan)
+    : spec_(std::move(spec)), opts_(std::move(opts)), plan_(std::move(shared_plan)) {
+  // Clone path: the plan (when any) is already built and immutable; only
+  // the per-copy dispatch index needs (re)building.
+  spec_.invalidate_api_index();
+  spec_.ensure_api_index();
+}
+
+void Interpreter::rebuild_dispatch() {
+  // The incoming spec may carry an index built before its last mutation
+  // (repair edits specs in place); drop it rather than trust it.
+  spec_.invalidate_api_index();
+  spec_.ensure_api_index();
+  plan_ = opts_.use_plan ? plan::ExecutionPlan::build(spec_) : nullptr;
+}
 
 ApiResponse Interpreter::invoke(const ApiRequest& req) {
   FailureSite site;
-  ApiResponse resp = Execution(spec_, opts_, store_).run(req, site);
+  ApiResponse resp = plan_ != nullptr
+                         ? plan::run_plan(*plan_, opts_, store_, req, site)
+                         : Execution(spec_, opts_, store_).run(req, site);
   std::lock_guard<std::mutex> lock(*failure_mu_);
   last_failure_ = std::move(site);
   return resp;
@@ -767,6 +564,9 @@ Value Interpreter::snapshot() const {
 }
 
 bool Interpreter::supports(const std::string& api) const {
+  // Same index/dispatch table invoke() uses — supports() + invoke() pairs
+  // (the stack's validate layer) cost two cheap lookups, not two scans.
+  if (plan_ != nullptr) return plan_->find_api(api) != nullptr;
   return spec_.find_api(api).first != nullptr;
 }
 
@@ -775,10 +575,16 @@ FailureSite Interpreter::last_failure() const {
   return last_failure_;
 }
 
-void Interpreter::replace_spec(spec::SpecSet spec) { spec_ = std::move(spec); }
+void Interpreter::replace_spec(spec::SpecSet spec) {
+  spec_ = std::move(spec);
+  // Rebuilding bumps the plan epoch, so every Resource slot cache built
+  // against the old plan goes stale atomically with the swap.
+  rebuild_dispatch();
+}
 
 std::unique_ptr<CloudBackend> Interpreter::clone() const {
-  auto copy = std::make_unique<Interpreter>(spec_.clone(), opts_);
+  auto copy = std::unique_ptr<Interpreter>(
+      new Interpreter(spec_.clone(), opts_, plan_));
   {
     auto guard = store_.locks().lock_shared_all();
     copy->store_ = store_.clone();

@@ -17,6 +17,10 @@
 
 namespace lce::interp {
 
+namespace plan {
+class ExecutionPlan;
+}
+
 /// Hook for enriching error messages (paper §4.3: messages are for
 /// developer consumption and the emulator may "decode" failures into
 /// richer text than the cloud). Receives (machine, transition, error code,
@@ -32,6 +36,13 @@ struct InterpreterOptions {
   int max_call_depth = 16;
   /// Validate argument presence/types against transition signatures.
   bool validate_params = true;
+  /// Compile the spec into an immutable ExecutionPlan (src/interp/plan)
+  /// at construction and after every replace_spec, and serve invokes
+  /// through it: interned-symbol dispatch, cached lock plans, slot-
+  /// resolved state and flat expression programs. Off = the tree-walking
+  /// reference path; both produce byte-identical responses, dumps and
+  /// alignment reports (enforced by the differential equivalence suite).
+  bool use_plan = true;
   /// Optional message enrichment.
   MessageDecoder decoder;
   /// Backend display name.
@@ -92,8 +103,21 @@ class Interpreter final : public CloudBackend {
   FailureSite last_failure() const;
 
  private:
+  /// Clone path: shares the already-built plan instead of recompiling.
+  Interpreter(spec::SpecSet spec, InterpreterOptions opts,
+              std::shared_ptr<const plan::ExecutionPlan> shared_plan);
+
+  /// Recompile the execution plan (when use_plan) and the spec's sorted
+  /// api dispatch index. Called from construction and replace_spec; must
+  /// not race in-flight invokes (see replace_spec).
+  void rebuild_dispatch();
+
   spec::SpecSet spec_;
   InterpreterOptions opts_;
+  // Immutable compiled form of spec_ (null when use_plan is off). Shared
+  // by clones; swapped wholesale on replace_spec, so a plan's internals
+  // never mutate once published.
+  std::shared_ptr<const plan::ExecutionPlan> plan_;
   ResourceStore store_;
   FailureSite last_failure_;
   // unique_ptr keeps the Interpreter movable (guaranteed-elision callers

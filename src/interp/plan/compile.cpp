@@ -1,0 +1,443 @@
+// The spec compiler: SpecSet -> ExecutionPlan. Runs once per Interpreter
+// construction / replace_spec; everything here trades compile-time work
+// for per-invoke table lookups.
+#include "interp/plan/plan.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace lce::interp::plan {
+
+namespace {
+
+using spec::Expr;
+using spec::ExprKind;
+using spec::Stmt;
+using spec::StmtKind;
+using spec::Transition;
+
+/// First variable or self-field reference in a predicate (the argument
+/// most error messages should name), or nullptr. Mirrors the tree-walk
+/// interpreter's first_var so assert failure messages stay byte-equal.
+const Expr* first_var(const Expr& e) {
+  if (e.kind == ExprKind::kVar) return &e;
+  if (e.kind == ExprKind::kField && e.kids[0]->kind == ExprKind::kSelf) return &e;
+  for (const auto& k : e.kids) {
+    if (const Expr* found = first_var(*k)) return found;
+  }
+  return nullptr;
+}
+
+std::atomic<std::uint64_t> g_plan_epoch{0};
+
+/// True when evaluating `e` reads nothing outside the target resource:
+/// literals, params (values already copied into the frame), self state,
+/// and pure builtins over those. Stricter than the classifier's
+/// expr_local — even a field access on a ref-valued param dereferences
+/// another resource, whose shard a self-only read plan does not lock.
+bool expr_self_local(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+    case ExprKind::kSelf:
+    case ExprKind::kVar:
+      return true;
+    case ExprKind::kField:
+      return e.kids[0]->kind == ExprKind::kSelf;
+    case ExprKind::kUnary:
+    case ExprKind::kBinary: {
+      for (const auto& k : e.kids) {
+        if (!expr_self_local(*k)) return false;
+      }
+      return true;
+    }
+    case ExprKind::kBuiltin: {
+      switch (builtin_from_name(e.name)) {
+        case Builtin::kIsNull:
+        case Builtin::kLen:
+        case Builtin::kInList:
+        case Builtin::kCidrValid:
+        case Builtin::kCidrPrefixLen:
+        case Builtin::kCidrWithin:
+        case Builtin::kCidrOverlaps:
+          break;  // pure over their argument values
+        default:
+          return false;  // exists / child_count / sibling scans: store reads
+      }
+      for (const auto& k : e.kids) {
+        if (!expr_self_local(*k)) return false;
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+/// True when a kReadShared body touches only the target: read() outputs
+/// self state, assert/if predicates are self-local. Any mutating
+/// statement disqualifies (and would never classify kReadShared anyway).
+bool body_self_local(const spec::Body& body) {
+  for (const auto& s : body) {
+    switch (s->kind) {
+      case StmtKind::kRead:
+        break;
+      case StmtKind::kAssert:
+      case StmtKind::kIf:
+        if (!expr_self_local(*s->expr)) return false;
+        if (s->kind == StmtKind::kIf &&
+            (!body_self_local(s->then_body) || !body_self_local(s->else_body))) {
+          return false;
+        }
+        break;
+      default:
+        return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+Builtin builtin_from_name(std::string_view name) {
+  if (name == "is_null") return Builtin::kIsNull;
+  if (name == "len") return Builtin::kLen;
+  if (name == "in_list") return Builtin::kInList;
+  if (name == "cidr_valid") return Builtin::kCidrValid;
+  if (name == "cidr_prefix_len") return Builtin::kCidrPrefixLen;
+  if (name == "cidr_within") return Builtin::kCidrWithin;
+  if (name == "cidr_overlaps") return Builtin::kCidrOverlaps;
+  if (name == "child_count") return Builtin::kChildCount;
+  if (name == "sibling_cidr_conflict") return Builtin::kSiblingCidrConflict;
+  if (name == "exists") return Builtin::kExists;
+  return Builtin::kUnknown;
+}
+
+std::uint32_t SymbolTable::intern(std::string_view s) {
+  auto it = index_.find(s);
+  if (it != index_.end()) return it->second;
+  names_.emplace_back(s);
+  std::uint32_t id = static_cast<std::uint32_t>(names_.size() - 1);
+  index_.emplace(std::string_view(names_.back()), id);
+  return id;
+}
+
+std::uint32_t SymbolTable::find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it != index_.end() ? it->second : kNone;
+}
+
+std::uint32_t MachinePlan::state_slot(std::string_view name) const {
+  auto it = state_index.find(name);
+  return it != state_index.end() ? it->second : kNoSlot;
+}
+
+const CompiledTransition* ExecutionPlan::find_api(std::string_view api) const {
+  auto it = std::lower_bound(
+      dispatch_.begin(), dispatch_.end(), api,
+      [](const auto& e, std::string_view key) { return e.first < key; });
+  if (it == dispatch_.end() || it->first != api) return nullptr;
+  return it->second;
+}
+
+const MachinePlan* ExecutionPlan::machine_for_type(std::string_view type) const {
+  auto it = machine_by_type_.find(type);
+  return it != machine_by_type_.end() ? &machines_[it->second] : nullptr;
+}
+
+// --------------------------------------------------------------- compiler --
+
+struct Compiler {
+  ExecutionPlan& plan;
+  const MachinePlan* mp = nullptr;           // machine being compiled
+  const CompiledTransition* ct = nullptr;    // transition being compiled
+
+  FieldKind field_kind(const std::string& field) const {
+    if (field == "id") return FieldKind::kId;
+    if (field == "parent") return FieldKind::kParent;
+    return FieldKind::kAttr;
+  }
+
+  std::uint32_t param_index(std::string_view name) const {
+    for (std::uint32_t i = 0; i < ct->params.size(); ++i) {
+      if (*ct->params[i].name == name) return i;
+    }
+    return kNoSlot;
+  }
+
+  void emit_expr(const Expr& e, std::vector<Op>& out) {
+    switch (e.kind) {
+      case ExprKind::kLiteral: {
+        Op op;
+        op.code = OpCode::kPushLiteral;
+        op.lit = &e.literal;
+        out.push_back(op);
+        return;
+      }
+      case ExprKind::kSelf:
+        out.push_back(Op{OpCode::kPushSelf});
+        return;
+      case ExprKind::kVar: {
+        // Tree-walk resolution order: params shadow state vars; unknown
+        // names fall through to a dynamic self-attr lookup (null when
+        // absent — repairs can leave either side of the declaration out
+        // of sync with live resources).
+        Op op;
+        op.name = &e.name;
+        if (std::uint32_t pi = param_index(e.name); pi != kNoSlot) {
+          op.code = OpCode::kPushParam;
+          op.a = pi;
+        } else if (std::uint32_t slot = mp->state_slot(e.name); slot != kNoSlot) {
+          op.code = OpCode::kPushState;
+          op.a = slot;
+        } else {
+          op.code = OpCode::kPushDynamic;
+        }
+        out.push_back(op);
+        return;
+      }
+      case ExprKind::kField: {
+        Op op;
+        op.name = &e.name;
+        op.a = static_cast<std::uint32_t>(field_kind(e.name));
+        if (e.kids[0]->kind == ExprKind::kSelf) {
+          op.code = OpCode::kSelfField;
+          op.b = mp->state_slot(e.name);
+        } else {
+          emit_expr(*e.kids[0], out);
+          op.code = OpCode::kField;
+        }
+        out.push_back(op);
+        return;
+      }
+      case ExprKind::kUnary:
+        emit_expr(*e.kids[0], out);
+        out.push_back(Op{e.unary_op == spec::UnaryOp::kNot ? OpCode::kNot : OpCode::kNeg});
+        return;
+      case ExprKind::kBinary: {
+        using spec::BinaryOp;
+        if (e.binary_op == BinaryOp::kAnd || e.binary_op == BinaryOp::kOr) {
+          // Short-circuit with the tree-walk's exact result values: a
+          // falsy lhs yields false (truthy lhs yields true for Or)
+          // without evaluating the rhs; otherwise the result is the
+          // rhs's truthiness.
+          emit_expr(*e.kids[0], out);
+          std::size_t probe = out.size();
+          out.push_back(Op{e.binary_op == BinaryOp::kAnd ? OpCode::kAndProbe
+                                                         : OpCode::kOrProbe});
+          emit_expr(*e.kids[1], out);
+          out.push_back(Op{OpCode::kToBool});
+          out[probe].a = static_cast<std::uint32_t>(out.size());
+          return;
+        }
+        emit_expr(*e.kids[0], out);
+        emit_expr(*e.kids[1], out);
+        Op op;
+        switch (e.binary_op) {
+          case BinaryOp::kEq: op.code = OpCode::kEq; break;
+          case BinaryOp::kNe: op.code = OpCode::kNe; break;
+          case BinaryOp::kLt: op.code = OpCode::kLt; break;
+          case BinaryOp::kLe: op.code = OpCode::kLe; break;
+          case BinaryOp::kGt: op.code = OpCode::kGt; break;
+          case BinaryOp::kGe: op.code = OpCode::kGe; break;
+          case BinaryOp::kAdd: op.code = OpCode::kAdd; break;
+          case BinaryOp::kSub: op.code = OpCode::kSub; break;
+          default: op.code = OpCode::kEq; break;
+        }
+        out.push_back(op);
+        return;
+      }
+      case ExprKind::kBuiltin: {
+        for (const auto& k : e.kids) emit_expr(*k, out);
+        Op op;
+        op.code = OpCode::kBuiltin;
+        op.a = static_cast<std::uint32_t>(builtin_from_name(e.name));
+        op.b = static_cast<std::uint32_t>(e.kids.size());
+        op.name = &e.name;
+        out.push_back(op);
+        return;
+      }
+    }
+  }
+
+  ExprProgram compile_expr(const Expr& e) {
+    ExprProgram prog;
+    prog.src = &e;
+    emit_expr(e, prog.ops);
+    return prog;
+  }
+
+  CompiledStmt compile_stmt(const Stmt& s) {
+    CompiledStmt out;
+    out.kind = s.kind;
+    switch (s.kind) {
+      case StmtKind::kWrite:
+        out.var = &s.var;
+        out.slot = mp->state_slot(s.var);
+        out.state = out.slot != kNoSlot ? &mp->src->states[out.slot] : nullptr;
+        out.expr = compile_expr(*s.expr);
+        break;
+      case StmtKind::kRead:
+        out.var = &s.var;
+        out.slot = mp->state_slot(s.var);
+        break;
+      case StmtKind::kAssert: {
+        out.var = &s.var;
+        out.expr = compile_expr(*s.expr);
+        out.error_code = &s.error_code;
+        out.error_note = &s.error_note;
+        out.assert_text = s.expr->to_text();
+        if (const Expr* fv = first_var(*s.expr)) {
+          out.has_first_var = true;
+          out.first_var_name = fv->name;
+          out.first_var_prog = compile_expr(*fv);
+        }
+        break;
+      }
+      case StmtKind::kCall: {
+        out.expr = compile_expr(*s.expr);
+        out.callee = &s.callee;
+        out.args.reserve(s.args.size());
+        for (const auto& a : s.args) out.args.push_back(compile_expr(*a));
+        // Pre-resolve the callee per possible target machine: the actual
+        // machine depends on the target resource's runtime type.
+        out.callee_by_machine.resize(plan.machines_.size(), nullptr);
+        for (std::uint32_t mi = 0; mi < plan.machines_.size(); ++mi) {
+          const auto& m = plan.spec_.machines[mi];
+          for (std::uint32_t ti = 0; ti < m.transitions.size(); ++ti) {
+            if (m.transitions[ti].name == s.callee) {
+              out.callee_by_machine[mi] = &plan.machines_[mi].transitions[ti];
+              break;
+            }
+          }
+        }
+        break;
+      }
+      case StmtKind::kAttachParent:
+        out.expr = compile_expr(*s.expr);
+        break;
+      case StmtKind::kIf: {
+        out.expr = compile_expr(*s.expr);
+        out.then_body.reserve(s.then_body.size());
+        for (const auto& k : s.then_body) out.then_body.push_back(compile_stmt(*k));
+        out.else_body.reserve(s.else_body.size());
+        for (const auto& k : s.else_body) out.else_body.push_back(compile_stmt(*k));
+        break;
+      }
+    }
+    return out;
+  }
+
+  void compile_transition(const MachinePlan& machine, CompiledTransition& out,
+                          const Transition& t) {
+    mp = &machine;
+    out.machine = machine.src;
+    out.src = &t;
+    out.machine_index = machine.index;
+    out.kind = t.kind;
+    out.lock = classify_transition(t);
+    if (out.lock.mode == LockMode::kReadShared) {
+      out.lock.self_only = body_self_local(t.body);
+    }
+    out.params.reserve(t.params.size());
+    for (const auto& p : t.params) {
+      plan.symbols_.intern(p.name);
+      out.params.push_back(CompiledTransition::ParamInfo{&p.name, &p.type});
+    }
+    ct = &out;
+    out.body.reserve(t.body.size());
+    for (const auto& s : t.body) out.body.push_back(compile_stmt(*s));
+    out.body_calls = body_has_calls(t.body);
+    if (t.kind == spec::TransitionKind::kModify) {
+      // Scan the top-level body from the end: the last write followed only
+      // by (infallible) reads needs no undo image — every abort path runs
+      // before it mutates. Earlier writes keep journaling: that last
+      // write's own admits check can still abort after they mutated.
+      for (auto it = out.body.rbegin(); it != out.body.rend(); ++it) {
+        if (it->kind == StmtKind::kRead) continue;
+        if (it->kind == StmtKind::kWrite) it->skip_journal = true;
+        break;
+      }
+    }
+  }
+
+  static bool body_has_calls(const spec::Body& body) {
+    for (const auto& s : body) {
+      if (s->kind == StmtKind::kCall) return true;
+      if (s->kind == StmtKind::kIf &&
+          (body_has_calls(s->then_body) || body_has_calls(s->else_body))) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void run() {
+    const spec::SpecSet& spec = plan.spec_;
+    // Machines and transitions are laid out up front so every compiled
+    // pointer (callee tables in particular) stays stable while bodies
+    // compile in a second pass.
+    plan.machines_.resize(spec.machines.size());
+    for (std::uint32_t mi = 0; mi < spec.machines.size(); ++mi) {
+      const spec::StateMachine& m = spec.machines[mi];
+      MachinePlan& machine = plan.machines_[mi];
+      machine.src = &m;
+      machine.index = mi;
+      machine.transitions.resize(m.transitions.size());
+      plan.symbols_.intern(m.name);
+      plan.machine_by_type_.emplace(std::string_view(m.name), mi);
+      for (std::uint32_t si = 0; si < m.states.size(); ++si) {
+        plan.symbols_.intern(m.states[si].name);
+        // First declaration wins on duplicates (find_state parity).
+        machine.state_index.emplace(std::string_view(m.states[si].name), si);
+        // Last declaration wins in the prototype (map-assign parity with
+        // the tree-walk's per-state insertion loop).
+        machine.attr_prototype[m.states[si].name] = m.states[si].initial;
+      }
+      // Ascending-key emplace order for create/describe responses, and
+      // where "id" slots into it.
+      machine.response_order.resize(m.states.size());
+      for (std::uint32_t si = 0; si < m.states.size(); ++si) {
+        machine.response_order[si] = si;
+      }
+      std::stable_sort(machine.response_order.begin(), machine.response_order.end(),
+                       [&](std::uint32_t a, std::uint32_t b) {
+                         return m.states[a].name < m.states[b].name;
+                       });
+      machine.id_response_pos = 0;
+      while (machine.id_response_pos < machine.response_order.size() &&
+             m.states[machine.response_order[machine.id_response_pos]].name <
+                 std::string_view("id")) {
+        ++machine.id_response_pos;
+      }
+      for (const auto& sv : m.states) {
+        if (sv.name == "id") machine.sorted_response = false;
+      }
+    }
+    for (std::uint32_t mi = 0; mi < spec.machines.size(); ++mi) {
+      MachinePlan& machine = plan.machines_[mi];
+      for (std::uint32_t ti = 0; ti < machine.transitions.size(); ++ti) {
+        const Transition& t = spec.machines[mi].transitions[ti];
+        plan.symbols_.intern(t.name);
+        for (const auto& s : t.body) {
+          if (s->kind == StmtKind::kAssert) plan.symbols_.intern(s->error_code);
+        }
+        compile_transition(machine, machine.transitions[ti], t);
+        plan.dispatch_.emplace_back(std::string_view(t.name),
+                                    &machine.transitions[ti]);
+      }
+    }
+    // Stable sort keeps declaration order for duplicate API names —
+    // lower_bound then lands on the same transition find_api picks.
+    std::stable_sort(plan.dispatch_.begin(), plan.dispatch_.end(),
+                     [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+};
+
+std::shared_ptr<const ExecutionPlan> ExecutionPlan::build(const spec::SpecSet& spec) {
+  auto plan = std::shared_ptr<ExecutionPlan>(new ExecutionPlan());
+  plan->spec_ = spec.clone();
+  plan->epoch_ = g_plan_epoch.fetch_add(1, std::memory_order_relaxed) + 1;
+  Compiler{*plan}.run();
+  return plan;
+}
+
+}  // namespace lce::interp::plan

@@ -1,0 +1,20 @@
+// Entry point of the compiled-plan execution path. Semantics are defined
+// by the tree-walking reference interpreter; the differential equivalence
+// suite (tests/interp/plan_equivalence_test.cpp) holds the two paths to
+// byte-identical responses, canonical dumps and alignment reports.
+#pragma once
+
+#include "common/api.h"
+#include "interp/interpreter.h"
+#include "interp/plan/plan.h"
+#include "interp/store.h"
+
+namespace lce::interp::plan {
+
+/// Execute one request against `store` under `plan`. Takes/releases shard
+/// locks per the transition's cached lock plan, rolls back on abort, and
+/// fills `site_out` with the failure breadcrumb (origin kNone on success).
+ApiResponse run_plan(const ExecutionPlan& plan, const InterpreterOptions& opts,
+                     ResourceStore& store, const ApiRequest& req, FailureSite& site_out);
+
+}  // namespace lce::interp::plan

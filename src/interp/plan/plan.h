@@ -1,0 +1,289 @@
+// Compiled execution plans (DESIGN.md "Compiled execution plans"): the
+// spec compiler that turns a SpecSet into a pre-resolved, immutable
+// ExecutionPlan shared by an Interpreter and all of its clones. The
+// interpreter re-discovered the spec on every request — find_api linear
+// scans, per-invoke lock classification, string-keyed attribute maps,
+// recursive tree-walking eval. The plan does all of that resolution once:
+//
+//   - a SymbolTable interning machine / transition / state-var / param /
+//     error-code names to dense ids,
+//   - a sorted dispatch table over interned API names (invoke/supports
+//     become a binary search instead of a machines×transitions scan),
+//   - per-transition cached lock plans and body traits (the classifier
+//     below runs at compile time; per-invoke it is a field read),
+//   - slot-resolved state variables: each machine's declared states get
+//     fixed slots (their index in machine.states) and Resource carries a
+//     per-plan-epoch cache of Value* into its attrs map — the Value::Map
+//     stays the single source of truth so canonical dumps, the persist
+//     codec, and replay output stay byte-identical,
+//   - flattened postorder expression programs with pre-resolved slot /
+//     param indices and builtin ids, evaluated by a loop over a compact
+//     op array instead of recursive eval() on ExprPtr trees,
+//   - pre-resolved call() targets: per call statement, a machine-id ->
+//     compiled-transition table replaces find_machine + find_transition.
+//
+// A plan owns a private clone of the spec it compiled (every internal
+// pointer aims at that clone), so it is self-contained and safely shared
+// across clones via shared_ptr. Invalidation is by replacement: the
+// Interpreter rebuilds the plan on construction and on replace_spec()
+// (each alignment repair), and each plan carries a process-unique epoch
+// that stamps Resource slot caches, so caches built against a dead plan
+// are simply ignored.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/value.h"
+#include "spec/ast.h"
+
+namespace lce::interp::plan {
+
+// -------------------------------------------------- lock classification --
+//
+// Shared by both execution paths (the tree-walk reference path classifies
+// per invoke; the plan caches the result per transition). See the
+// interpreter header for the semantics of the three modes.
+
+enum class LockMode { kReadShared, kWriteLocal, kWriteAll };
+
+struct LockPlan {
+  LockMode mode = LockMode::kWriteAll;
+  bool attaches = false;
+  /// kReadShared only: the body (and the describe response, which reads
+  /// just the target's states) provably touches no resource but the
+  /// target, so a shared lock on the target's shard alone suffices.
+  /// Computed by the compiler's deeper locality analysis — the per-invoke
+  /// classifier always leaves it false and the tree-walk path locks every
+  /// shard, the coarse-but-safe mode.
+  bool self_only = false;
+};
+
+/// Classify a transition's shard-locking footprint (see interpreter.h).
+LockPlan classify_transition(const spec::Transition& t);
+
+// ---------------------------------------------------------- symbol table --
+
+/// Interns strings to dense ids. Names live in a deque so views handed
+/// out stay stable as the table grows.
+class SymbolTable {
+ public:
+  static constexpr std::uint32_t kNone = 0xffffffffu;
+
+  std::uint32_t intern(std::string_view s);
+  /// kNone when the symbol was never interned.
+  std::uint32_t find(std::string_view s) const;
+  const std::string& name(std::uint32_t id) const { return names_[id]; }
+  std::size_t size() const { return names_.size(); }
+
+ private:
+  std::deque<std::string> names_;
+  std::unordered_map<std::string_view, std::uint32_t> index_;
+};
+
+// --------------------------------------------------- expression programs --
+
+constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
+/// Builtins resolved to an id at compile time (kUnknown evaluates to null,
+/// exactly like the tree-walk's fallthrough).
+enum class Builtin : std::uint8_t {
+  kIsNull,
+  kLen,
+  kInList,
+  kCidrValid,
+  kCidrPrefixLen,
+  kCidrWithin,
+  kCidrOverlaps,
+  kChildCount,
+  kSiblingCidrConflict,
+  kExists,
+  kUnknown,
+};
+
+Builtin builtin_from_name(std::string_view name);
+
+/// Field access resolved at compile time ("id" and "parent" are virtual
+/// fields of every resource; everything else is an attrs lookup).
+enum class FieldKind : std::uint8_t { kId, kParent, kAttr };
+
+enum class OpCode : std::uint8_t {
+  kPushLiteral,    // push *lit
+  kPushSelf,       // push ref(self.id)
+  kPushParam,      // push params[a]
+  kPushState,      // a = state slot on self; *name is the map fallback
+  kPushDynamic,    // *name: undeclared var — self attr lookup or null
+  kSelfField,      // a = FieldKind; b = state slot or kNoSlot; *name = field
+  kField,          // pops base; a = FieldKind; *name = field
+  kNot,            // top = !truthy(top)
+  kNeg,            // top = -as_int(top)
+  kEq, kNe, kLt, kLe, kGt, kGe, kAdd, kSub,  // pop rhs, fold into lhs
+  kAndProbe,       // top falsy ? {top = false; jump a} : pop
+  kOrProbe,        // top truthy ? {top = true; jump a} : pop
+  kToBool,         // top = truthy(top)
+  kBuiltin,        // a = Builtin, b = argc; pops argc args
+};
+
+/// One postorder instruction. `name` and `lit` point into the owning
+/// plan's private spec clone (stable for the plan's lifetime).
+struct Op {
+  OpCode code = OpCode::kPushLiteral;
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  const std::string* name = nullptr;
+  const Value* lit = nullptr;
+};
+
+struct ExprProgram {
+  std::vector<Op> ops;
+  const spec::Expr* src = nullptr;  // diagnostics / to_text parity
+};
+
+// ---------------------------------------------------- compiled statements --
+
+struct CompiledTransition;
+
+struct CompiledStmt {
+  spec::StmtKind kind = spec::StmtKind::kWrite;
+
+  // kWrite / kRead: target state variable.
+  const std::string* var = nullptr;
+  std::uint32_t slot = kNoSlot;            // kNoSlot: undeclared variable
+  const spec::StateVar* state = nullptr;   // kWrite admits() check
+
+  // kWrite: nothing that can abort runs after this write mutates (its own
+  // undeclared/admits checks precede the mutation; only kReads follow it;
+  // the transition is a kModify, which has no post-body guards), so the
+  // undo journal's before-image — a full copy of the resource's attribute
+  // map — is dead weight. Honored only at call depth 1: reached via
+  // call(), the *parent* transition can still abort afterwards.
+  bool skip_journal = false;
+
+  // kWrite value / kAssert predicate / kIf condition / kCall target /
+  // kAttachParent parent ref.
+  ExprProgram expr;
+
+  // kAssert: error mapping plus the precomputed failure-message pieces
+  // (predicate text and the first mentioned variable) the tree-walk path
+  // recomputes on every failure.
+  const std::string* error_code = nullptr;
+  const std::string* error_note = nullptr;
+  std::string assert_text;        // expr->to_text()
+  bool has_first_var = false;
+  std::string first_var_name;     // first_var->name
+  ExprProgram first_var_prog;     // evaluates the first mentioned variable
+
+  // kCall: callee name, argument programs (positional, already truncated
+  // to the callee's arity where resolvable), and the machine-id ->
+  // compiled-transition table replacing find_machine/find_transition.
+  const std::string* callee = nullptr;
+  std::vector<ExprProgram> args;
+  std::vector<const CompiledTransition*> callee_by_machine;
+
+  // kIf.
+  std::vector<CompiledStmt> then_body;
+  std::vector<CompiledStmt> else_body;
+};
+
+// --------------------------------------------------- compiled transitions --
+
+struct CompiledTransition {
+  const spec::StateMachine* machine = nullptr;  // plan's private spec clone
+  const spec::Transition* src = nullptr;
+  std::uint32_t machine_index = 0;
+  spec::TransitionKind kind = spec::TransitionKind::kModify;
+  LockPlan lock;
+
+  struct ParamInfo {
+    const std::string* name = nullptr;
+    const spec::Type* type = nullptr;
+  };
+  std::vector<ParamInfo> params;
+
+  /// True when the body contains a call() anywhere (including nested if
+  /// arms). Without one, no other transition runs mid-body, so the target
+  /// pointer resolved up front stays valid through the response build and
+  /// the executor skips the defensive re-lookup the tree-walk performs.
+  bool body_calls = false;
+
+  std::vector<CompiledStmt> body;
+};
+
+/// Per-machine slot layout: declared state var i (its index in
+/// machine.states) lives in slot i of a Resource's slot cache.
+struct MachinePlan {
+  const spec::StateMachine* src = nullptr;
+  std::uint32_t index = 0;
+  std::vector<CompiledTransition> transitions;  // aligned with src->transitions
+
+  std::uint32_t slot_count() const { return static_cast<std::uint32_t>(src->states.size()); }
+  const std::string& slot_name(std::uint32_t slot) const { return src->states[slot].name; }
+  /// kNoSlot when the machine declares no such state variable. On
+  /// duplicate declarations the first wins (find_state parity).
+  std::uint32_t state_slot(std::string_view name) const;
+
+  std::unordered_map<std::string_view, std::uint32_t> state_index;
+
+  /// Slots sorted by state name: create/describe responses emplace their
+  /// entries in ascending key order with an end hint, skipping the
+  /// per-insert root-down walk of the response map. Unused (and the
+  /// executor falls back to the tree-walk's assignment loop) when a state
+  /// is itself named "id": the tree path lets that state overwrite the
+  /// response's id ref, which first-wins emplace would not reproduce.
+  bool sorted_response = true;
+  std::vector<std::uint32_t> response_order;
+  /// Where "id" belongs in that ascending order (index into
+  /// response_order before which it is emplaced).
+  std::uint32_t id_response_pos = 0;
+  /// {state name -> initial value}: creates copy this wholesale instead
+  /// of inserting the defaults one by one. Identical contents to the
+  /// insertion loop (duplicate names: last declaration wins, map-assign
+  /// parity with the tree-walk).
+  Value::Map attr_prototype;
+};
+
+// -------------------------------------------------------- execution plan --
+
+class ExecutionPlan {
+ public:
+  /// Compile `spec` (cloning it; the plan keeps no pointer into the
+  /// caller's copy).
+  static std::shared_ptr<const ExecutionPlan> build(const spec::SpecSet& spec);
+
+  /// O(log n) dispatch over the sorted interned API names; nullptr when
+  /// unknown. Duplicate API names resolve to declaration order, matching
+  /// SpecSet::find_api.
+  const CompiledTransition* find_api(std::string_view api) const;
+
+  /// Machine plan for a resource type; nullptr when unknown.
+  const MachinePlan* machine_for_type(std::string_view type) const;
+
+  const spec::SpecSet& spec() const { return spec_; }
+  const SymbolTable& symbols() const { return symbols_; }
+  std::size_t machine_count() const { return machines_.size(); }
+  const MachinePlan& machine(std::size_t i) const { return machines_[i]; }
+
+  /// Process-unique stamp for Resource slot caches: a cache is valid only
+  /// while its epoch equals the serving plan's.
+  std::uint64_t epoch() const { return epoch_; }
+
+ private:
+  friend struct Compiler;
+  ExecutionPlan() = default;
+
+  spec::SpecSet spec_;  // frozen private clone; every pointer aims here
+  SymbolTable symbols_;
+  std::vector<MachinePlan> machines_;
+  std::unordered_map<std::string_view, std::uint32_t> machine_by_type_;
+  // (api name, owner) sorted by name then declaration order.
+  std::vector<std::pair<std::string_view, const CompiledTransition*>> dispatch_;
+  std::uint64_t epoch_ = 0;
+};
+
+}  // namespace lce::interp::plan

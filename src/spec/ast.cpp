@@ -1,6 +1,8 @@
 #include "spec/ast.h"
 
+#include <algorithm>
 #include <cctype>
+#include <tuple>
 
 #include "common/strings.h"
 
@@ -253,12 +255,46 @@ StateMachine* SpecSet::find_machine(std::string_view name) {
   return nullptr;
 }
 
+ApiIndex::ApiIndex(const SpecSet& spec) {
+  for (std::uint32_t mi = 0; mi < spec.machines.size(); ++mi) {
+    const auto& ts = spec.machines[mi].transitions;
+    for (std::uint32_t ti = 0; ti < ts.size(); ++ti) {
+      entries_.push_back(Entry{ts[ti].name, mi, ti});
+    }
+  }
+  std::sort(entries_.begin(), entries_.end(), [](const Entry& a, const Entry& b) {
+    return std::tie(a.name, a.machine, a.transition) <
+           std::tie(b.name, b.machine, b.transition);
+  });
+}
+
+std::pair<const StateMachine*, const Transition*> ApiIndex::find(
+    const SpecSet& spec, std::string_view api) const {
+  auto it = std::lower_bound(entries_.begin(), entries_.end(), api,
+                             [](const Entry& e, std::string_view key) { return e.name < key; });
+  if (it == entries_.end() || it->name != api) return {nullptr, nullptr};
+  // A stale index (mutation without invalidate) must never read out of
+  // bounds; report the api unknown rather than crash.
+  if (it->machine >= spec.machines.size() ||
+      it->transition >= spec.machines[it->machine].transitions.size()) {
+    return {nullptr, nullptr};
+  }
+  const StateMachine& m = spec.machines[it->machine];
+  return {&m, &m.transitions[it->transition]};
+}
+
 std::pair<const StateMachine*, const Transition*> SpecSet::find_api(
     std::string_view api) const {
+  if (api_index != nullptr) return api_index->find(*this, api);
   for (const auto& m : machines) {
     if (const Transition* t = m.find_transition(api)) return {&m, t};
   }
   return {nullptr, nullptr};
+}
+
+const ApiIndex& SpecSet::ensure_api_index() const {
+  if (api_index == nullptr) api_index = std::make_shared<const ApiIndex>(*this);
+  return *api_index;
 }
 
 std::vector<std::string> SpecSet::all_api_names() const {

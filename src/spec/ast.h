@@ -7,6 +7,7 @@
 // and a small builtin-function vocabulary for CIDR and hierarchy checks.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -178,17 +179,55 @@ struct StateMachine {
   StateMachine clone() const;
 };
 
+struct SpecSet;
+
+/// Sorted api-name -> (machine, transition) index replacing find_api's
+/// machines×transitions linear scan. Entries store indices, not pointers,
+/// so an index stays valid across SpecSet moves and applies to any
+/// structurally identical copy (Interpreter::clone shares one this way).
+/// Ties on duplicate API names resolve to the first (machine, transition)
+/// in declaration order — the exact answer the linear scan gives.
+class ApiIndex {
+ public:
+  ApiIndex() = default;
+  explicit ApiIndex(const SpecSet& spec);
+
+  std::pair<const StateMachine*, const Transition*> find(const SpecSet& spec,
+                                                         std::string_view api) const;
+
+ private:
+  struct Entry {
+    std::string name;
+    std::uint32_t machine = 0;
+    std::uint32_t transition = 0;
+  };
+  std::vector<Entry> entries_;  // sorted by (name, machine, transition)
+};
+
 /// A full specification: the hierarchy of state machines for one provider
 /// (or one service). Also memoizes the api-name -> SM index.
 struct SpecSet {
   std::vector<StateMachine> machines;
 
+  /// Lazily built dispatch index consulted by find_api(). Built by
+  /// ensure_api_index() (NOT thread-safe; call from a single thread before
+  /// concurrent find_api/supports traffic — Interpreter construction and
+  /// replace_spec do). Anyone mutating `machines` on a spec that may carry
+  /// an index must call invalidate_api_index() afterwards; clone() never
+  /// copies the index, so freshly cloned specs are always safe to edit.
+  mutable std::shared_ptr<const ApiIndex> api_index;
+
   const StateMachine* find_machine(std::string_view name) const;
   StateMachine* find_machine(std::string_view name);
 
   /// Locate the SM and transition owning a public API name; nullptrs when
-  /// unknown.
+  /// unknown. O(log n) through the api_index when one has been built,
+  /// linear scan otherwise.
   std::pair<const StateMachine*, const Transition*> find_api(std::string_view api) const;
+
+  /// Build the sorted dispatch index if absent (see api_index).
+  const ApiIndex& ensure_api_index() const;
+  void invalidate_api_index() const { api_index.reset(); }
 
   std::vector<std::string> all_api_names() const;
 

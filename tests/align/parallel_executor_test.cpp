@@ -170,6 +170,29 @@ TEST(ParallelAlignment, RepeatedRunsAreStable) {
   EXPECT_EQ(canonical_text(a), canonical_text(b));
 }
 
+TEST(ParallelAlignment, PlanRebuildAfterRepairIsDeterministic) {
+  // Each repair round swaps the spec and recompiles the execution plan
+  // (interp/plan). The rebuild must be invisible to the determinism
+  // contract — identical reports at every worker count — and the repaired
+  // emulator must keep serving through the fresh plan afterwards.
+  auto corpus = seeded_corpus();
+
+  cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+  auto emu = core::LearnedEmulator::from_docs(corpus);
+  AlignmentOptions opts;
+  opts.workers = 4;
+  opts.repair = true;
+  AlignmentReport parallel = emu.align_against(cloud, opts);
+  ASSERT_GT(parallel.repairs.size(), 0u);
+
+  AlignmentReport serial = align_with_workers(corpus, 1, /*repair=*/true);
+  EXPECT_EQ(canonical_text(serial), canonical_text(parallel));
+
+  auto resp =
+      emu.backend().invoke({"CreateVpc", {{"cidr_block", Value("10.9.0.0/16")}}, ""});
+  EXPECT_TRUE(resp.ok) << resp.to_text();
+}
+
 TEST(ParallelAlignment, RoundStatsRecordThroughputCounters) {
   auto corpus = seeded_corpus();
   AlignmentReport r = align_with_workers(corpus, 2, /*repair=*/false);

@@ -1,0 +1,146 @@
+// Unit tests for the spec compiler (src/interp/plan/): symbol interning,
+// dispatch-table lookup, cached lock plans, slot layout, plan ownership,
+// epoch uniqueness, and the Interpreter's rebuild-on-replace_spec contract.
+// The behavioural plan-vs-tree contract lives in plan_equivalence_test.cpp.
+#include "interp/plan/plan.h"
+
+#include <gtest/gtest.h>
+
+#include <utility>
+
+#include "interp/interpreter.h"
+#include "spec/parser.h"
+#include "spec/spec_fixtures.h"
+
+namespace lce::interp::plan {
+namespace {
+
+using lce::spec::fixtures::kPublicIpSpec;
+
+spec::SpecSet load(const char* src) {
+  spec::ParseError err;
+  auto s = spec::parse_spec(src, &err);
+  EXPECT_TRUE(s.has_value()) << err.to_text();
+  return s ? std::move(*s) : spec::SpecSet{};
+}
+
+ApiResponse call(Interpreter& it, std::string api, Value::Map args = {},
+                 std::string target = "") {
+  return it.invoke(ApiRequest{std::move(api), std::move(args), std::move(target)});
+}
+
+TEST(PlanCompiler, SymbolTableInternsOnceAndFinds) {
+  SymbolTable syms;
+  std::uint32_t a = syms.intern("CreateVpc");
+  std::uint32_t b = syms.intern("DeleteVpc");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(syms.intern("CreateVpc"), a);
+  EXPECT_EQ(syms.find("DeleteVpc"), b);
+  EXPECT_EQ(syms.find("NeverInterned"), SymbolTable::kNone);
+  EXPECT_EQ(syms.name(a), "CreateVpc");
+  EXPECT_EQ(syms.size(), 2u);
+}
+
+TEST(PlanCompiler, DispatchResolvesEveryDeclaredApi) {
+  auto spec = load(kPublicIpSpec);
+  auto plan = ExecutionPlan::build(spec);
+  for (const auto& m : spec.machines) {
+    for (const auto& t : m.transitions) {
+      const CompiledTransition* ct = plan->find_api(t.name);
+      ASSERT_NE(ct, nullptr) << t.name;
+      EXPECT_EQ(ct->src->name, t.name);
+      EXPECT_EQ(ct->machine->name, m.name);
+    }
+  }
+  EXPECT_EQ(plan->find_api("LaunchRocket"), nullptr);
+}
+
+TEST(PlanCompiler, LockPlansMatchPerInvokeClassifier) {
+  auto spec = load(kPublicIpSpec);
+  auto plan = ExecutionPlan::build(spec);
+  for (std::size_t mi = 0; mi < plan->machine_count(); ++mi) {
+    const MachinePlan& mp = plan->machine(mi);
+    for (const auto& ct : mp.transitions) {
+      LockPlan want = classify_transition(*ct.src);
+      EXPECT_EQ(static_cast<int>(ct.lock.mode), static_cast<int>(want.mode))
+          << ct.src->name;
+      EXPECT_EQ(ct.lock.attaches, want.attaches) << ct.src->name;
+    }
+  }
+}
+
+TEST(PlanCompiler, SlotLayoutMirrorsDeclarationOrder) {
+  auto spec = load(kPublicIpSpec);
+  auto plan = ExecutionPlan::build(spec);
+  const MachinePlan* mp = plan->machine_for_type("PublicIp");
+  ASSERT_NE(mp, nullptr);
+  ASSERT_EQ(mp->slot_count(), mp->src->states.size());
+  for (std::uint32_t i = 0; i < mp->slot_count(); ++i) {
+    EXPECT_EQ(mp->state_slot(mp->src->states[i].name), i);
+    EXPECT_EQ(mp->slot_name(i), mp->src->states[i].name);
+  }
+  EXPECT_EQ(mp->state_slot("no_such_var"), kNoSlot);
+  EXPECT_EQ(plan->machine_for_type("NoSuchMachine"), nullptr);
+}
+
+TEST(PlanCompiler, PlanOwnsPrivateSpecClone) {
+  auto spec = load(kPublicIpSpec);
+  auto plan = ExecutionPlan::build(spec);
+  ASSERT_NE(&plan->spec(), &spec);
+  // Mutating (here: destroying) the caller's copy must not disturb the
+  // plan — every internal pointer aims at the plan's private clone.
+  spec.machines.clear();
+  const CompiledTransition* ct = plan->find_api("CreatePublicIp");
+  ASSERT_NE(ct, nullptr);
+  EXPECT_EQ(ct->machine->name, "PublicIp");
+}
+
+TEST(PlanCompiler, EpochsAreProcessUnique) {
+  auto spec = load(kPublicIpSpec);
+  auto a = ExecutionPlan::build(spec);
+  auto b = ExecutionPlan::build(spec);
+  EXPECT_NE(a->epoch(), b->epoch());
+}
+
+TEST(PlanCompiler, ReplaceSpecRebuildsPlanAndServesLiveState) {
+  Interpreter it(load(kPublicIpSpec));  // use_plan defaults on
+  auto created = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
+  ASSERT_TRUE(created.ok) << created.to_text();
+  std::string id = created.data.get("id")->as_str();
+
+  // Swap in a re-parsed spec (what every alignment repair does). The old
+  // plan's slot caches on the live resource go stale; the rebuilt plan
+  // must re-resolve them and keep serving the same state.
+  it.replace_spec(load(kPublicIpSpec));
+  auto described = call(it, "DescribePublicIp", {}, id);
+  ASSERT_TRUE(described.ok) << described.to_text();
+  EXPECT_EQ(described.data.get("status")->as_str(), "ASSIGNED");
+  EXPECT_EQ(described.data.get("zone")->as_str(), "us-east");
+}
+
+TEST(PlanCompiler, CloneSharesPlanAndState) {
+  Interpreter it(load(kPublicIpSpec));
+  auto created = call(it, "CreatePublicIp", {{"region", Value("us-west")}});
+  ASSERT_TRUE(created.ok);
+  std::string id = created.data.get("id")->as_str();
+
+  auto copy = it.clone();
+  ASSERT_NE(copy, nullptr);
+  auto from_copy = copy->invoke({"DescribePublicIp", {}, id});
+  auto from_orig = call(it, "DescribePublicIp", {}, id);
+  EXPECT_EQ(from_copy.to_text(), from_orig.to_text());
+}
+
+TEST(PlanCompiler, SupportsAgreesAcrossModes) {
+  InterpreterOptions tree_opts;
+  tree_opts.use_plan = false;
+  Interpreter with_plan(load(kPublicIpSpec));
+  Interpreter tree(load(kPublicIpSpec), tree_opts);
+  for (const auto& api :
+       {"CreatePublicIp", "AssociateNic", "DescribeNic", "DeleteNic", "LaunchRocket"}) {
+    EXPECT_EQ(with_plan.supports(api), tree.supports(api)) << api;
+  }
+}
+
+}  // namespace
+}  // namespace lce::interp::plan

@@ -90,6 +90,7 @@ int usage() {
                "  lce run <script-file> [aws|azure]\n"
                "  lce diff <script-file> [aws|azure]\n"
                "  lce align [aws|azure] [--workers N] [--rounds N] [--metrics]\n"
+               "            [--no-plan]\n"
                "      --workers N  differential-pass threads (0 = auto-detect\n"
                "                   hardware concurrency, 1 = serial; any value\n"
                "                   yields the identical alignment report)\n"
@@ -119,6 +120,9 @@ int usage() {
                "                   crash)\n"
                "      --no-stdin   don't wait for EOF on stdin (for running\n"
                "                   detached / under a supervisor)\n"
+               "      --no-plan    serve through the tree-walking reference\n"
+               "                   interpreter instead of the compiled execution\n"
+               "                   plan (debugging / A-B comparison)\n"
                "  lce snapshot [port]\n"
                "      POST /admin/snapshot on a running durable endpoint\n"
                "  lce replay <dir|file.lcw> [aws|azure]\n"
@@ -222,6 +226,7 @@ int main(int argc, char** argv) {
   if (cmd == "align") {
     std::string provider = "aws";
     align::AlignmentOptions aopts;
+    core::PipelineOptions popts;
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "aws" || arg == "azure") {
@@ -232,12 +237,14 @@ int main(int argc, char** argv) {
         aopts.max_rounds = std::atoi(argv[++i]);
       } else if (arg == "--metrics") {
         aopts.collect_metrics = true;
+      } else if (arg == "--no-plan") {
+        popts.use_plan = false;
       } else {
         return usage();
       }
     }
-    auto emulator =
-        core::LearnedEmulator::from_docs(docs::render_corpus(catalog_for(provider)));
+    auto emulator = core::LearnedEmulator::from_docs(
+        docs::render_corpus(catalog_for(provider)), popts);
     cloud::ReferenceCloud cloud(catalog_for(provider));
     auto report = emulator.align_against(cloud, aopts);
     for (const auto& line : report.log) std::cout << line << "\n";
@@ -268,6 +275,7 @@ int main(int argc, char** argv) {
     int port = 0;
     stack::StackConfig config;
     std::string record_path;
+    core::PipelineOptions pipeline;
     persist::PersistOptions popts;
     popts.snapshot_every = 10000;
     bool wait_stdin = true;
@@ -304,14 +312,16 @@ int main(int argc, char** argv) {
         }
       } else if (arg == "--no-stdin") {
         wait_stdin = false;
+      } else if (arg == "--no-plan") {
+        pipeline.use_plan = false;
       } else if (!arg.empty() && arg[0] != '-') {
         port = std::atoi(arg.c_str());
       } else {
         return usage();
       }
     }
-    auto emulator =
-        core::LearnedEmulator::from_docs(docs::render_corpus(catalog_for(provider)));
+    auto emulator = core::LearnedEmulator::from_docs(
+        docs::render_corpus(catalog_for(provider)), pipeline);
     std::unique_ptr<persist::PersistManager> persist_mgr;
     if (!popts.data_dir.empty()) {
       std::string error;
