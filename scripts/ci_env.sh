@@ -15,11 +15,15 @@
 #                        racing writers, recovery/replay), and the
 #                        compiled-plan suites ("Plan": plan-vs-tree
 #                        equivalence plus plan sharing/rebuild across
-#                        clones and parallel alignment workers). The
+#                        clones and parallel alignment workers), and the
+#                        epoll front-end suites (incremental-parser
+#                        torture/fuzz, wire-level HttpTorture, slow-loris
+#                        reaping, keep-alive accounting, and the
+#                        ShutdownHammer restart cycles — "Hammer"). The
 #                        fork-based CrashTorture tests self-skip under
 #                        TSan.
 export LCE_TSAN_TEST_TARGETS="common_test align_test interp_test cloud_test stack_test server_test persist_test plan_test"
-export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard|Wal|Journal|Snapshot|Recovery|Replay|Durable|Plan'
+export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard|Wal|Journal|Snapshot|Recovery|Replay|Durable|Plan|HttpParser|HttpTorture|SlowLoris|KeepAlive'
 
 # Portable core count: GNU coreutils' nproc, then the BSD/macOS sysctl,
 # then POSIX getconf, then a safe fallback.

@@ -4,10 +4,13 @@
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <thread>
 
 #include "common/rng.h"
 #include "common/strings.h"
+#include "server/http.h"
+#include "server/service.h"
 
 namespace lce::bench {
 
@@ -75,6 +78,18 @@ LoadStats run_load(CloudBackend& backend, const LoadOptions& opts) {
     WorkerResult& out = results[static_cast<std::size_t>(w)];
     Rng rng(opts.seed ^ (0x9E3779B97F4A7C15ull * static_cast<std::uint64_t>(w + 1)));
     std::vector<Value> own_ids;  // resources this worker created
+    // HTTP mode: one client per worker. With keep-alive that is one TCP
+    // connection for the worker's whole op stream; without it the client
+    // is told to close after every response, so each op pays a handshake.
+    std::unique_ptr<server::HttpClient> client;
+    if (opts.http_port != 0) {
+      client = std::make_unique<server::HttpClient>(opts.http_port);
+    }
+    auto invoke = [&](const ApiRequest& req) -> ApiResponse {
+      if (client == nullptr) return backend.invoke(req);
+      return server::invoke_over_client(*client, req.api, req.args,
+                                        opts.http_keep_alive);
+    };
     auto pick_target = [&]() -> const Value* {
       std::uint64_t n = seeded_ids.size() + own_ids.size();
       if (n == 0) return nullptr;
@@ -114,7 +129,7 @@ LoadStats run_load(CloudBackend& backend, const LoadOptions& opts) {
         req = {"DescribeVpc", {{"id", *target}}, ""};
       }
 
-      ApiResponse resp = backend.invoke(req);
+      ApiResponse resp = invoke(req);
       auto now = Clock::now();
       if (resp.ok) {
         if (req.api == "CreateVpc" && resp.data.get("id") != nullptr) {

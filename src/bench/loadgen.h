@@ -43,6 +43,15 @@ struct LoadOptions {
   /// and mutates have targets from the first op on.
   std::size_t prepopulate = 64;
   WorkloadMix mix;
+  /// When nonzero, the measured phase drives a live loopback endpoint on
+  /// this port over real sockets (POST /invoke) instead of calling the
+  /// backend in process. reset() and prepopulation still go through the
+  /// in-process backend — it must be the same state the endpoint serves.
+  std::uint16_t http_port = 0;
+  /// HTTP mode only: one persistent keep-alive connection per worker vs a
+  /// fresh Connection: close socket per request. The difference is the
+  /// keep-alive sweep in BENCH_serve.json.
+  bool http_keep_alive = true;
 };
 
 struct LoadStats {

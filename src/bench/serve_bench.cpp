@@ -14,11 +14,28 @@
 #include "docs/render.h"
 #include "persist/journal.h"
 #include "server/json.h"
+#include "server/service.h"
 #include "stack/config.h"
 
 namespace lce::bench {
 
 namespace {
+
+// Sanitizer instrumentation swamps the socket-layer numbers, so the
+// keep-alive gate (like the plan gate in bench_interpreter_micro) only
+// enforces on uninstrumented builds.
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
+    __has_feature(undefined_behavior_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
 
 stack::StackConfig bench_config(stack::SerializeMode mode) {
   stack::StackConfig cfg;
@@ -34,6 +51,9 @@ struct SweepPoint {
   std::string config;
   int concurrency = 0;
   LoadStats stats;
+  /// HTTP sweep only: TCP connections the server accepted during the run
+  /// (keep-alive ~= concurrency, close ~= ops).
+  std::int64_t connections = -1;
 };
 
 Value point_value(const SweepPoint& p, double rate) {
@@ -41,6 +61,7 @@ Value point_value(const SweepPoint& p, double rate) {
   m["config"] = Value(p.config);
   m["concurrency"] = Value(static_cast<std::int64_t>(p.concurrency));
   if (rate > 0) m["arrival_rate_ops_s"] = Value(static_cast<std::int64_t>(rate));
+  if (p.connections >= 0) m["connections"] = Value(p.connections);
   return Value(std::move(m));
 }
 
@@ -91,12 +112,19 @@ bool parse_serve_bench_args(int argc, char** argv, ServeBenchOptions& out) {
       out.wal_sync_batch = mode == "batch";
     } else if (arg == "--max-wal-overhead" && i + 1 < argc) {
       out.max_wal_overhead = std::atof(argv[++i]);
+    } else if (arg == "--no-http") {
+      out.http_sweep = false;
+    } else if (arg == "--io-threads" && i + 1 < argc) {
+      out.io_threads = std::atoi(argv[++i]);
+    } else if (arg == "--min-keepalive-speedup" && i + 1 < argc) {
+      out.min_keepalive_speedup = std::atof(argv[++i]);
     } else {
       std::cerr << "unknown bench flag: " << arg << "\n"
                 << "flags: --quick --json FILE --no-json --ops N "
                    "--concurrency a,b,c --rate R --seed N --min-speedup X "
                    "--no-enforce --data-dir DIR --wal-sync none|batch "
-                   "--max-wal-overhead X\n";
+                   "--max-wal-overhead X --no-http --io-threads N "
+                   "--min-keepalive-speedup X\n";
       return false;
     }
   }
@@ -245,11 +273,88 @@ int run_serve_bench(const ServeBenchOptions& opts) {
     }
   }
 
+  // HTTP front-end sweep: the same sharded stack, but reached through the
+  // epoll server over real loopback sockets — once with one keep-alive
+  // connection per worker, once with a fresh Connection: close socket per
+  // request — then an open-loop latency run near the keep-alive peak.
+  std::vector<SweepPoint> http_points;
+  double ka_speedup = 0;
+  double http_rate = 0;
+  int http_io_threads = 0;
+  if (opts.http_sweep) {
+    server::HttpServerOptions hopts;
+    hopts.io_threads = opts.io_threads;
+    server::EmulatorEndpoint endpoint(emulator.backend(),
+                                      bench_config(stack::SerializeMode::kOff),
+                                      nullptr, hopts);
+    std::uint16_t port = endpoint.start();
+    if (port == 0) {
+      std::cerr << "cannot bind the HTTP front-end sweep endpoint\n";
+      return 1;
+    }
+    http_io_threads = endpoint.io_threads();
+    int hc = sweep.back();
+    double ka_tput = 0, close_tput = 0;
+    std::cout << "\nHTTP front end (" << http_io_threads << " io threads, concurrency "
+              << hc << "): keep-alive vs close-per-request\n";
+    auto http_point = [&](const char* config, bool keep_alive, double rate) {
+      LoadOptions lo = base;
+      lo.concurrency = hc;
+      lo.http_port = port;
+      lo.http_keep_alive = keep_alive;
+      lo.arrival_rate = rate;
+      auto before = endpoint.server_stats();
+      SweepPoint p;
+      p.config = config;
+      p.concurrency = hc;
+      p.stats = run_load(endpoint.stack(), lo);
+      auto after = endpoint.server_stats();
+      p.connections = static_cast<std::int64_t>(after.connections_accepted -
+                                                before.connections_accepted);
+      return p;
+    };
+    for (bool keep_alive : {false, true}) {
+      SweepPoint p = http_point(keep_alive ? "http_keepalive" : "http_close",
+                                keep_alive, 0);
+      (keep_alive ? ka_tput : close_tput) = p.stats.throughput_ops_s;
+      std::cout << "  " << p.config << ": "
+                << static_cast<long>(p.stats.throughput_ops_s) << " ops/s over "
+                << p.connections << " connection(s), p99 "
+                << static_cast<long>(p.stats.p99_us) << " us, errors "
+                << p.stats.errors << "\n";
+      http_points.push_back(std::move(p));
+    }
+    ka_speedup = close_tput > 0 ? ka_tput / close_tput : 0;
+    http_rate = ka_tput * 0.7;
+    if (http_rate > 0) {
+      SweepPoint p = http_point("http_keepalive_open", true, http_rate);
+      std::cout << "  open loop @" << static_cast<long>(http_rate)
+                << " ops/s: p50 " << static_cast<long>(p.stats.p50_us)
+                << " us, p99 " << static_cast<long>(p.stats.p99_us) << " us, max "
+                << static_cast<long>(p.stats.max_us / 1000) << " ms\n";
+      http_points.push_back(std::move(p));
+    }
+    endpoint.stop();
+  }
+
   bool gate_applicable = opts.enforce && gate_conc >= 4 && hw >= 2;
   bool speedup_pass = !gate_applicable || gate_speedup >= opts.min_speedup;
   bool wal_pass = !gate_applicable || gate_wal_overhead == 0 ||
                   gate_wal_overhead <= opts.max_wal_overhead;
-  bool pass = speedup_pass && wal_pass;
+  // Keep-alive must beat close-per-request: without parallel event loops
+  // (single core) or with sanitizer instrumentation the comparison is
+  // meaningless, so the gate self-skips there.
+  bool ka_applicable = opts.enforce && opts.http_sweep && !kSanitized && hw >= 2;
+  bool ka_pass = !ka_applicable || ka_speedup >= opts.min_keepalive_speedup;
+  bool pass = speedup_pass && wal_pass && ka_pass;
+  if (ka_applicable) {
+    std::cout << "\nkeep-alive >= " << fmt_speedup(opts.min_keepalive_speedup)
+              << " close-per-request: " << (ka_pass ? "PASS" : "FAIL") << " ("
+              << fmt_speedup(ka_speedup) << ")\n";
+  } else if (opts.enforce && opts.http_sweep) {
+    std::cout << "\nkeep-alive gate skipped ("
+              << (kSanitized ? "sanitizer build" : "single-core machine") << ")\n";
+  }
   if (gate_applicable) {
     std::cout << "\nsharded >= " << fmt_speedup(opts.min_speedup)
               << " serialized at c" << gate_conc << ": "
@@ -276,6 +381,14 @@ int run_serve_bench(const ServeBenchOptions& opts) {
     Value::List open_rows;
     for (const auto& p : open) open_rows.push_back(point_value(p, rate));
     root["open_loop"] = Value(std::move(open_rows));
+    Value::List http_rows;
+    for (const auto& p : http_points) {
+      http_rows.push_back(
+          point_value(p, p.config == "http_keepalive_open" ? http_rate : 0));
+    }
+    root["http_front_end"] = Value(std::move(http_rows));
+    root["keepalive_speedup"] = Value(fmt_speedup(ka_speedup));
+    root["io_threads"] = Value(static_cast<std::int64_t>(http_io_threads));
     root["speedup_at_gate"] = Value(fmt_speedup(gate_speedup));
     root["wal_overhead"] = Value(fmt_speedup(gate_wal_overhead));
     root["wal_sync"] = Value(std::string(opts.wal_sync_batch ? "batch" : "none"));

@@ -50,12 +50,23 @@ struct ServeBenchOptions {
   /// Gate: sharded (WAL-off) throughput must not exceed wal (WAL-on)
   /// throughput by more than this factor at the gate concurrency.
   double max_wal_overhead = 1.5;
+  /// HTTP front-end sweep: drive the sharded stack through the epoll
+  /// server over real loopback sockets, keep-alive vs Connection: close,
+  /// then an open-loop latency run over keep-alive. --no-http disables.
+  bool http_sweep = true;
+  /// Event-loop threads for the front-end sweep; 0 = server default.
+  int io_threads = 0;
+  /// Gate: keep-alive throughput must be >= this factor over close-per-
+  /// request at the sweep concurrency. Self-skips under sanitizers and on
+  /// single-core machines (no reuse win exists without parallel loops).
+  double min_keepalive_speedup = 1.0;
 };
 
 /// Parse bench flags (--quick, --json FILE, --ops N, --concurrency a,b,c,
 /// --rate R, --seed N, --min-speedup X, --no-enforce, --no-json,
-/// --data-dir DIR, --wal-sync none|batch, --max-wal-overhead X) into
-/// `out`. Returns false (and prints to stderr) on unknown flags.
+/// --data-dir DIR, --wal-sync none|batch, --max-wal-overhead X,
+/// --no-http, --io-threads N, --min-keepalive-speedup X) into `out`.
+/// Returns false (and prints to stderr) on unknown flags.
 bool parse_serve_bench_args(int argc, char** argv, ServeBenchOptions& out);
 
 /// Run the benchmark; returns the process exit code (0 = pass).

@@ -2,87 +2,116 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
-#include <poll.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <array>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
-#include <vector>
+#include <unordered_map>
 
 #include "common/strings.h"
+#include "server/http_parser.h"
 
 namespace lce::server {
 
 namespace {
 
-/// Read until the predicate says the buffer is complete or the peer closes.
-bool read_until(int fd, std::string& buf,
-                const std::function<bool(const std::string&)>& complete) {
-  char chunk[4096];
-  while (!complete(buf)) {
-    ssize_t n = ::read(fd, chunk, sizeof(chunk));
-    if (n <= 0) return complete(buf);
-    buf.append(chunk, static_cast<std::size_t>(n));
-    if (buf.size() > (16u << 20)) return false;  // 16 MiB request cap
-  }
-  return true;
-}
+using Clock = std::chrono::steady_clock;
 
-bool write_all(int fd, const std::string& data) {
+/// Blocking write of the whole buffer; MSG_NOSIGNAL so a peer that went
+/// away yields EPIPE instead of killing the process.
+bool send_all(int fd, std::string_view data) {
   std::size_t off = 0;
   while (off < data.size()) {
-    ssize_t n = ::write(fd, data.data() + off, data.size() - off);
+    ssize_t n = ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
     if (n <= 0) return false;
     off += static_cast<std::size_t>(n);
   }
   return true;
 }
 
-/// True when `raw` holds a complete request (headers + body).
-bool request_complete(const std::string& raw) {
-  std::size_t hdr_end = raw.find("\r\n\r\n");
-  if (hdr_end == std::string::npos) return false;
-  std::size_t content_length = 0;
-  std::string lower = to_lower(raw.substr(0, hdr_end));
-  std::size_t cl = lower.find("content-length:");
-  if (cl != std::string::npos) {
-    std::int64_t n = 0;
-    std::size_t eol = lower.find("\r\n", cl);
-    std::string v = trim(lower.substr(cl + 15, eol - cl - 15));
-    if (parse_int(v, n) && n >= 0) content_length = static_cast<std::size_t>(n);
+int status_for(ParseStatus st) {
+  switch (st) {
+    case ParseStatus::kHeadersTooLarge: return 431;
+    case ParseStatus::kBodyTooLarge: return 413;
+    default: return 400;
   }
-  return raw.size() >= hdr_end + 4 + content_length;
+}
+
+/// Parse one complete Content-Length-framed response out of the front of
+/// `buf`. Returns nullopt while incomplete; on success erases the consumed
+/// bytes. `malformed` is set when the bytes can never become a response.
+std::optional<HttpResponse> pop_http_response(std::string& buf, bool* malformed) {
+  *malformed = false;
+  std::size_t hdr_end = buf.find("\r\n\r\n");
+  if (hdr_end == std::string::npos) return std::nullopt;
+  auto lines = split(buf.substr(0, hdr_end), '\n');
+  auto status_line = split_ws(trim(lines[0]));
+  if (status_line.size() < 2 || !starts_with(status_line[0], "HTTP/1.")) {
+    *malformed = true;
+    return std::nullopt;
+  }
+  HttpResponse resp;
+  std::int64_t status = 0;
+  if (!parse_int(status_line[1], status)) {
+    *malformed = true;
+    return std::nullopt;
+  }
+  resp.status = static_cast<int>(status);
+  for (std::size_t i = 1; i < lines.size(); ++i) {
+    std::string line = trim(lines[i]);
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    resp.headers[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
+  }
+  std::size_t content_length = 0;
+  if (auto it = resp.headers.find("content-length"); it != resp.headers.end()) {
+    std::int64_t n = 0;
+    if (!parse_int(it->second, n) || n < 0) {
+      *malformed = true;
+      return std::nullopt;
+    }
+    content_length = static_cast<std::size_t>(n);
+  }
+  if (buf.size() < hdr_end + 4 + content_length) return std::nullopt;
+  resp.body = buf.substr(hdr_end + 4, content_length);
+  buf.erase(0, hdr_end + 4 + content_length);
+  return resp;
+}
+
+int connect_loopback(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  // Bound the wait for a wedged server so tests and the load generator
+  // fail instead of hanging.
+  timeval tv{30, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  return fd;
 }
 
 }  // namespace
 
 std::optional<HttpRequest> parse_http_request(const std::string& raw) {
-  std::size_t hdr_end = raw.find("\r\n\r\n");
-  if (hdr_end == std::string::npos) return std::nullopt;
-  auto lines = split(raw.substr(0, hdr_end), '\n');
-  if (lines.empty()) return std::nullopt;
-  auto request_line = split_ws(trim(lines[0]));
-  if (request_line.size() < 3) return std::nullopt;
+  HttpParser parser;
+  parser.feed(raw);
   HttpRequest req;
-  req.method = request_line[0];
-  req.path = request_line[1];
-  if (!starts_with(request_line[2], "HTTP/1.")) return std::nullopt;
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    std::string line = trim(lines[i]);
-    if (line.empty()) continue;
-    std::size_t colon = line.find(':');
-    if (colon == std::string::npos) return std::nullopt;
-    req.headers[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
-  }
-  std::size_t content_length = 0;
-  auto it = req.headers.find("content-length");
-  if (it != req.headers.end()) {
-    std::int64_t n = 0;
-    if (!parse_int(it->second, n) || n < 0) return std::nullopt;
-    content_length = static_cast<std::size_t>(n);
-  }
-  if (raw.size() < hdr_end + 4 + content_length) return std::nullopt;
-  req.body = raw.substr(hdr_end + 4, content_length);
+  if (parser.next(req) != ParseStatus::kRequest) return std::nullopt;
   return req;
 }
 
@@ -92,26 +121,65 @@ std::string status_text(int status) {
     case 400: return "Bad Request";
     case 404: return "Not Found";
     case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 431: return "Request Header Fields Too Large";
     case 500: return "Internal Server Error";
     default: return "Unknown";
   }
 }
 
-std::string serialize_http_response(const HttpResponse& resp) {
+std::string serialize_http_response(const HttpResponse& resp, bool keep_alive) {
   std::string out = strf("HTTP/1.1 ", resp.status, " ", status_text(resp.status), "\r\n");
   for (const auto& [k, v] : resp.headers) out += strf(k, ": ", v, "\r\n");
   out += strf("content-length: ", resp.body.size(), "\r\n");
-  out += "connection: close\r\n\r\n";
+  out += keep_alive ? "connection: keep-alive\r\n\r\n" : "connection: close\r\n\r\n";
   out += resp.body;
   return out;
 }
 
-HttpServer::HttpServer(HttpHandler handler) : handler_(std::move(handler)) {}
+std::string serialize_http_response(const HttpResponse& resp) {
+  return serialize_http_response(resp, /*keep_alive=*/false);
+}
+
+// ---------------------------------------------------------------------------
+// Event-loop server
+
+namespace {
+
+/// Per-connection state machine: the parser accumulates fragments, `out`
+/// holds response bytes the kernel has not yet accepted, and `deadline`
+/// implements the reap policy (refreshed only when a request completes).
+struct ConnState {
+  HttpParser parser;
+  std::string out;
+  Clock::time_point deadline;
+  std::uint64_t requests = 0;
+  bool close_after_flush = false;
+  bool rd_done = false;  // peer sent FIN; stop watching EPOLLIN
+  std::uint32_t armed = 0;  // epoll event mask currently registered
+
+  explicit ConnState(ParserLimits limits) : parser(limits) {}
+};
+
+}  // namespace
+
+struct HttpServer::Loop {
+  int epoll_fd = -1;
+  int wake_fd = -1;
+  std::thread thread;
+  std::unordered_map<int, ConnState> conns;
+};
+
+HttpServer::HttpServer(HttpHandler handler, HttpServerOptions opts)
+    : handler_(std::move(handler)), opts_(opts) {}
 
 HttpServer::~HttpServer() { stop(); }
 
 std::uint16_t HttpServer::start(std::uint16_t port) {
-  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (running_.load()) return port_;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (listen_fd_ < 0) return 0;
   int one = 1;
   ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
@@ -120,7 +188,7 @@ std::uint16_t HttpServer::start(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
-      ::listen(listen_fd_, 16) != 0) {
+      ::listen(listen_fd_, 256) != 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
     return 0;
@@ -128,108 +196,374 @@ std::uint16_t HttpServer::start(std::uint16_t port) {
   socklen_t len = sizeof(addr);
   ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
   port_ = ntohs(addr.sin_port);
-  running_.store(true);
-  thread_ = std::thread([this] { serve_loop(); });
-  return port_;
-}
 
-void HttpServer::serve_loop() {
-  // Thread per connection: concurrent DevOps tools hammer real emulators,
-  // so the endpoint must not serialize at the accept loop. Backends that
-  // are not thread-safe go behind stack::SerializeLayer (stack/layers.h).
-  std::vector<std::thread> workers;
-  while (running_.load()) {
-    pollfd pfd{listen_fd_, POLLIN, 0};
-    int rc = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (rc <= 0) continue;
-    int client = ::accept(listen_fd_, nullptr, nullptr);
-    if (client < 0) continue;
-    workers.emplace_back([this, client] {
-      std::string raw;
-      HttpResponse resp;
-      if (read_until(client, raw, request_complete)) {
-        auto req = parse_http_request(raw);
-        if (req) {
-          resp = handler_(*req);
-        } else {
-          resp = HttpResponse{400, {}, "malformed request"};
-        }
-      } else {
-        resp = HttpResponse{400, {}, "truncated request"};
-      }
-      write_all(client, serialize_http_response(resp));
-      ::shutdown(client, SHUT_RDWR);
-      ::close(client);
-    });
-    // Opportunistically reap finished workers to bound the vector.
-    if (workers.size() > 64) {
-      for (auto& w : workers) w.join();
-      workers.clear();
-    }
+  int n = opts_.io_threads;
+  if (n <= 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    n = static_cast<int>(hw == 0 ? 1 : hw > 8 ? 8 : hw);
   }
-  for (auto& w : workers) w.join();
+  // Every loop polls the listen socket; EPOLLEXCLUSIVE (where available)
+  // wakes one loop per pending connection instead of the whole herd, which
+  // is also what spreads accepted connections across the loops.
+  std::uint32_t listen_events = EPOLLIN;
+#ifdef EPOLLEXCLUSIVE
+  listen_events |= EPOLLEXCLUSIVE;
+#endif
+  for (int i = 0; i < n; ++i) {
+    auto loop = std::make_unique<Loop>();
+    loop->epoll_fd = ::epoll_create1(EPOLL_CLOEXEC);
+    loop->wake_fd = ::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+    if (loop->epoll_fd < 0 || loop->wake_fd < 0) {
+      if (loop->epoll_fd >= 0) ::close(loop->epoll_fd);
+      if (loop->wake_fd >= 0) ::close(loop->wake_fd);
+      continue;
+    }
+    epoll_event wev{};
+    wev.events = EPOLLIN;
+    wev.data.fd = loop->wake_fd;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, loop->wake_fd, &wev);
+    epoll_event lev{};
+    lev.events = listen_events;
+    lev.data.fd = listen_fd_;
+    ::epoll_ctl(loop->epoll_fd, EPOLL_CTL_ADD, listen_fd_, &lev);
+    loops_.push_back(std::move(loop));
+  }
+  if (loops_.empty()) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return 0;
+  }
+  running_.store(true);
+  for (auto& loop : loops_) {
+    loop->thread = std::thread([this, l = loop.get()] { run_loop(*l); });
+  }
+  return port_;
 }
 
 void HttpServer::stop() {
   if (!running_.exchange(false)) {
-    if (thread_.joinable()) thread_.join();
+    // start() may have failed half-way or never run; nothing to join.
+    loops_.clear();
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
     return;
   }
-  if (thread_.joinable()) thread_.join();
+  std::uint64_t one = 1;
+  for (auto& loop : loops_) {
+    [[maybe_unused]] ssize_t n = ::write(loop->wake_fd, &one, sizeof(one));
+  }
+  for (auto& loop : loops_) {
+    if (loop->thread.joinable()) loop->thread.join();
+    ::close(loop->wake_fd);
+    ::close(loop->epoll_fd);
+  }
+  loops_.clear();
+  // Closed after the join so a recycled descriptor number can never be
+  // mistaken for the listen socket by a loop still draining events.
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
 }
 
+HttpServerStats HttpServer::stats() const {
+  HttpServerStats s;
+  s.connections_accepted = accepted_.load(std::memory_order_relaxed);
+  s.connections_closed = closed_.load(std::memory_order_relaxed);
+  s.requests_served = served_.load(std::memory_order_relaxed);
+  s.keepalive_reuses = reused_.load(std::memory_order_relaxed);
+  s.idle_reaped = reaped_.load(std::memory_order_relaxed);
+  s.rejected_400 = rej400_.load(std::memory_order_relaxed);
+  s.rejected_413 = rej413_.load(std::memory_order_relaxed);
+  s.rejected_431 = rej431_.load(std::memory_order_relaxed);
+  return s;
+}
+
+void HttpServer::run_loop(Loop& loop) {
+  std::array<epoll_event, 64> events;
+  while (running_.load(std::memory_order_acquire)) {
+    // Short tick while connections are live so idle deadlines are enforced
+    // promptly; a longer one when the loop is empty.
+    int timeout_ms = loop.conns.empty() ? 200 : 25;
+    int n = ::epoll_wait(loop.epoll_fd, events.data(),
+                         static_cast<int>(events.size()), timeout_ms);
+    for (int i = 0; i < n; ++i) {
+      int fd = events[static_cast<std::size_t>(i)].data.fd;
+      if (fd == listen_fd_) {
+        accept_new(loop);
+      } else if (fd == loop.wake_fd) {
+        std::uint64_t drained = 0;
+        [[maybe_unused]] ssize_t r = ::read(loop.wake_fd, &drained, sizeof(drained));
+      } else {
+        handle_conn_event(loop, fd, events[static_cast<std::size_t>(i)].events);
+      }
+    }
+    reap_idle(loop);
+  }
+  // Deterministic shutdown: abort every connection this loop owns.
+  for (auto& [fd, conn] : loop.conns) {
+    ::close(fd);
+    closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  loop.conns.clear();
+}
+
+void HttpServer::accept_new(Loop& loop) {
+  while (running_.load(std::memory_order_acquire)) {
+    int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) break;  // EAGAIN (another loop won the race) or shutdown
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (::epoll_ctl(loop.epoll_fd, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    ConnState conn{ParserLimits{opts_.max_header_bytes, opts_.max_body_bytes}};
+    conn.armed = EPOLLIN;
+    conn.deadline = Clock::now() + std::chrono::milliseconds(
+                                       opts_.idle_timeout_ms > 0 ? opts_.idle_timeout_ms
+                                                                 : 0);
+    loop.conns.emplace(fd, std::move(conn));
+    accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+namespace {
+
+/// Flush as much of conn.out as the kernel will take without blocking.
+/// Returns false when the connection is dead (write error).
+bool flush_some(int fd, ConnState& conn) {
+  while (!conn.out.empty()) {
+    ssize_t n = ::send(fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out.erase(0, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+void HttpServer::handle_conn_event(Loop& loop, int fd, std::uint32_t ev) {
+  auto it = loop.conns.find(fd);
+  if (it == loop.conns.end()) return;
+  ConnState& conn = it->second;
+
+  auto close_conn = [&] {
+    ::close(fd);  // also deregisters from epoll
+    loop.conns.erase(it);
+    closed_.fetch_add(1, std::memory_order_relaxed);
+  };
+
+  if ((ev & (EPOLLHUP | EPOLLERR)) != 0) {
+    close_conn();
+    return;
+  }
+
+  bool peer_closed = false;
+  if ((ev & EPOLLIN) != 0 && conn.close_after_flush) {
+    // Already committed to closing: discard further input so level-
+    // triggered readiness cannot spin while the final response drains.
+    char sink[4096];
+    for (;;) {
+      ssize_t n = ::read(fd, sink, sizeof(sink));
+      if (n > 0) continue;
+      if (n < 0 && errno == EINTR) continue;
+      if (n == 0) conn.rd_done = true;
+      break;
+    }
+  } else if ((ev & EPOLLIN) != 0) {
+    char chunk[16384];
+    for (;;) {
+      ssize_t n = ::read(fd, chunk, sizeof(chunk));
+      if (n > 0) {
+        conn.parser.feed({chunk, static_cast<std::size_t>(n)});
+      } else if (n == 0) {
+        peer_closed = true;
+        break;
+      } else if (errno == EINTR) {
+        continue;
+      } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        break;
+      } else {
+        close_conn();
+        return;
+      }
+
+      // Drain every complete pipelined request before reading again, so
+      // response order matches arrival order on the connection.
+      for (;;) {
+        HttpRequest req;
+        ParseStatus st = conn.parser.next(req);
+        if (st == ParseStatus::kNeedMore) break;
+        if (st == ParseStatus::kRequest) {
+          ++conn.requests;
+          served_.fetch_add(1, std::memory_order_relaxed);
+          if (conn.requests > 1) reused_.fetch_add(1, std::memory_order_relaxed);
+          bool keep = wants_keep_alive(req) && running_.load(std::memory_order_acquire);
+          if (opts_.max_requests_per_conn > 0 &&
+              conn.requests >= static_cast<std::uint64_t>(opts_.max_requests_per_conn)) {
+            keep = false;
+          }
+          conn.out += serialize_http_response(handler_(req), keep);
+          if (opts_.idle_timeout_ms > 0) {
+            conn.deadline =
+                Clock::now() + std::chrono::milliseconds(opts_.idle_timeout_ms);
+          }
+          if (!keep) {
+            conn.close_after_flush = true;
+            break;
+          }
+        } else {
+          int status = status_for(st);
+          (status == 431   ? rej431_
+           : status == 413 ? rej413_
+                           : rej400_)
+              .fetch_add(1, std::memory_order_relaxed);
+          conn.out += serialize_http_response(
+              HttpResponse{status, {}, "malformed request"}, /*keep_alive=*/false);
+          conn.close_after_flush = true;
+          break;
+        }
+      }
+      if (conn.close_after_flush) break;  // discard any remaining input
+    }
+  }
+
+  if (peer_closed) {
+    conn.rd_done = true;
+    if (conn.parser.buffered() > 0 && conn.out.empty()) {
+      // The peer half-closed mid-request; it can still read the verdict.
+      rej400_.fetch_add(1, std::memory_order_relaxed);
+      conn.out += serialize_http_response(HttpResponse{400, {}, "truncated request"},
+                                          /*keep_alive=*/false);
+    }
+    conn.close_after_flush = true;
+  }
+
+  if (!flush_some(fd, conn)) {
+    close_conn();
+    return;
+  }
+  if (conn.out.empty() && conn.close_after_flush) {
+    close_conn();
+    return;
+  }
+  // Re-arm: EPOLLOUT only while a write is pending; drop EPOLLIN once the
+  // peer sent FIN (a half-closed socket is permanently read-ready and
+  // would otherwise spin the level-triggered loop).
+  std::uint32_t want = (conn.out.empty() ? 0u : static_cast<std::uint32_t>(EPOLLOUT)) |
+                       (conn.rd_done ? 0u : static_cast<std::uint32_t>(EPOLLIN));
+  if (want != conn.armed) {
+    conn.armed = want;
+    epoll_event mod{};
+    mod.events = want;
+    mod.data.fd = fd;
+    ::epoll_ctl(loop.epoll_fd, EPOLL_CTL_MOD, fd, &mod);
+  }
+}
+
+void HttpServer::reap_idle(Loop& loop) {
+  if (opts_.idle_timeout_ms <= 0) return;
+  auto now = Clock::now();
+  for (auto it = loop.conns.begin(); it != loop.conns.end();) {
+    if (now >= it->second.deadline) {
+      // Counters before close(): a client observing our FIN must already
+      // see the reap reflected in stats().
+      closed_.fetch_add(1, std::memory_order_relaxed);
+      reaped_.fetch_add(1, std::memory_order_relaxed);
+      ::close(it->first);
+      it = loop.conns.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Clients
+
+bool HttpClient::ensure_connected() {
+  if (fd_ >= 0) return true;
+  fd_ = connect_loopback(port_);
+  if (fd_ < 0) return false;
+  ++opens_;
+  return true;
+}
+
+void HttpClient::disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::optional<HttpResponse> HttpClient::request(const std::string& method,
+                                                const std::string& path,
+                                                const std::string& body,
+                                                bool keep_alive) {
+  // A reused connection may have been reaped server-side between requests
+  // (idle timeout, max-requests) — that surfaces as a send failure or an
+  // immediate EOF, and one reconnect-and-retry is always safe because
+  // nothing of this request was processed.
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    bool fresh = fd_ < 0;
+    if (!ensure_connected()) return std::nullopt;
+    std::string req = strf(method, " ", path, " HTTP/1.1\r\nhost: 127.0.0.1\r\n",
+                           "content-type: application/json\r\n",
+                           "content-length: ", body.size(), "\r\nconnection: ",
+                           keep_alive ? "keep-alive" : "close", "\r\n\r\n", body);
+    if (!send_all(fd_, req)) {
+      disconnect();
+      if (fresh) return std::nullopt;
+      continue;
+    }
+    std::string buf;
+    bool got_bytes = false;
+    std::optional<HttpResponse> resp;
+    for (;;) {
+      bool malformed = false;
+      resp = pop_http_response(buf, &malformed);
+      if (resp || malformed) break;
+      char chunk[4096];
+      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+      if (n > 0) {
+        got_bytes = true;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      break;  // EOF or error
+    }
+    if (!resp) {
+      disconnect();
+      if (!fresh && !got_bytes) continue;  // stale keep-alive connection
+      return std::nullopt;
+    }
+    bool server_keeps = keep_alive;
+    if (auto itc = resp->headers.find("connection"); itc != resp->headers.end()) {
+      server_keeps = !contains(to_lower(itc->second), "close");
+    }
+    if (!keep_alive || !server_keeps) disconnect();
+    return resp;
+  }
+  return std::nullopt;
+}
+
 std::optional<HttpResponse> http_request(std::uint16_t port, const std::string& method,
                                          const std::string& path,
                                          const std::string& body) {
-  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) return std::nullopt;
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return std::nullopt;
-  }
-  std::string req = strf(method, " ", path, " HTTP/1.1\r\nhost: 127.0.0.1\r\n",
-                         "content-type: application/json\r\n", "content-length: ",
-                         body.size(), "\r\nconnection: close\r\n\r\n", body);
-  if (!write_all(fd, req)) {
-    ::close(fd);
-    return std::nullopt;
-  }
-  // Read to EOF (the server closes after one response).
-  std::string raw;
-  char chunk[4096];
-  ssize_t n;
-  while ((n = ::read(fd, chunk, sizeof(chunk))) > 0) {
-    raw.append(chunk, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
-
-  std::size_t hdr_end = raw.find("\r\n\r\n");
-  if (hdr_end == std::string::npos) return std::nullopt;
-  auto lines = split(raw.substr(0, hdr_end), '\n');
-  auto status_line = split_ws(trim(lines[0]));
-  if (status_line.size() < 2 || !starts_with(status_line[0], "HTTP/1.")) {
-    return std::nullopt;
-  }
-  HttpResponse resp;
-  std::int64_t status = 0;
-  if (!parse_int(status_line[1], status)) return std::nullopt;
-  resp.status = static_cast<int>(status);
-  for (std::size_t i = 1; i < lines.size(); ++i) {
-    std::string line = trim(lines[i]);
-    std::size_t colon = line.find(':');
-    if (colon == std::string::npos) continue;
-    resp.headers[to_lower(trim(line.substr(0, colon)))] = trim(line.substr(colon + 1));
-  }
-  resp.body = raw.substr(hdr_end + 4);
-  return resp;
+  HttpClient client(port);
+  return client.request(method, path, body, /*keep_alive=*/false);
 }
 
 }  // namespace lce::server

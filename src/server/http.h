@@ -1,16 +1,22 @@
 // A deliberately small HTTP/1.1 implementation over loopback TCP — enough
 // to serve the emulator the way LocalStack serves DevOps tools, with no
-// external dependencies. Single acceptor thread, one request per
-// connection (Connection: close), Content-Length framing only.
+// external dependencies. The server is a multi-threaded epoll event loop
+// (DESIGN.md "Serving front end"): N io threads each own an epoll
+// instance, accepted connections are distributed across them, and each
+// connection runs an incremental parser state machine, so keep-alive
+// clients pay one TCP handshake for thousands of requests. Content-Length
+// framing only.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
+#include <vector>
 
 namespace lce::server {
 
@@ -19,6 +25,7 @@ struct HttpRequest {
   std::string path;    // "/invoke"
   std::map<std::string, std::string> headers;  // lower-cased keys
   std::string body;
+  int version_minor = 1;  // HTTP/1.0 vs 1.1 (keep-alive default differs)
 };
 
 struct HttpResponse {
@@ -29,10 +36,15 @@ struct HttpResponse {
 
 /// Parse a full HTTP/1.1 request out of `raw` (headers + body). Returns
 /// nullopt on malformed input or when the body is shorter than
-/// Content-Length (callers accumulate and retry).
+/// Content-Length (callers accumulate and retry). One-shot convenience
+/// over HttpParser (server/http_parser.h), which is the incremental form
+/// the event loop uses.
 std::optional<HttpRequest> parse_http_request(const std::string& raw);
 
-/// Serialize a response with Content-Length and Connection: close.
+/// Serialize a response with Content-Length and a Connection header
+/// matching `keep_alive`. The one-argument form closes (the historical
+/// contract every one-shot caller relies on).
+std::string serialize_http_response(const HttpResponse& resp, bool keep_alive);
 std::string serialize_http_response(const HttpResponse& resp);
 
 /// Reason phrase for the handful of statuses the service uses.
@@ -40,11 +52,43 @@ std::string status_text(int status);
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
 
+struct HttpServerOptions {
+  /// Event-loop threads; 0 = one per core, capped at 8.
+  int io_threads = 0;
+  /// A connection is reaped when no REQUEST COMPLETES on it for this long
+  /// — receiving bytes does not extend the deadline, so both silent and
+  /// one-byte-per-interval slow-loris connections die on schedule while
+  /// genuinely idle keep-alive connections get the full window. 0 = never.
+  int idle_timeout_ms = 30000;
+  /// Close (Connection: close on the final response) after this many
+  /// requests on one connection; 0 = unlimited.
+  int max_requests_per_conn = 0;
+  /// Parser limits: oversized headers draw 431, oversized bodies 413.
+  std::size_t max_header_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 16 * 1024 * 1024;
+};
+
+/// Monotonic counters for the life of the server (across start/stop
+/// cycles). Exposed under "server" in the endpoint's /metrics.
+struct HttpServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t requests_served = 0;
+  /// Requests beyond the first on their connection — the keep-alive win.
+  std::uint64_t keepalive_reuses = 0;
+  std::uint64_t idle_reaped = 0;
+  std::uint64_t rejected_400 = 0;
+  std::uint64_t rejected_413 = 0;
+  std::uint64_t rejected_431 = 0;
+};
+
 /// Loopback HTTP server. start() binds 127.0.0.1 (port 0 = ephemeral),
-/// spawns the accept loop, and returns the bound port. stop() joins it.
+/// spawns the io threads, and returns the bound port. stop() is
+/// deterministic: it closes the listen socket, wakes every event loop,
+/// aborts in-flight connections, and joins — no detached threads survive.
 class HttpServer {
  public:
-  explicit HttpServer(HttpHandler handler);
+  explicit HttpServer(HttpHandler handler, HttpServerOptions opts = {});
   ~HttpServer();
 
   HttpServer(const HttpServer&) = delete;
@@ -55,19 +99,67 @@ class HttpServer {
   void stop();
   bool running() const { return running_.load(); }
   std::uint16_t port() const { return port_; }
+  int io_threads() const { return static_cast<int>(loops_.size()); }
+  HttpServerStats stats() const;
 
  private:
-  void serve_loop();
+  struct Loop;
+
+  void run_loop(Loop& loop);
+  void accept_new(Loop& loop);
+  void handle_conn_event(Loop& loop, int fd, std::uint32_t events);
+  void reap_idle(Loop& loop);
 
   HttpHandler handler_;
+  HttpServerOptions opts_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
   std::atomic<bool> running_{false};
-  std::thread thread_;
+  std::vector<std::unique_ptr<Loop>> loops_;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> served_{0};
+  std::atomic<std::uint64_t> reused_{0};
+  std::atomic<std::uint64_t> reaped_{0};
+  std::atomic<std::uint64_t> rej400_{0};
+  std::atomic<std::uint64_t> rej413_{0};
+  std::atomic<std::uint64_t> rej431_{0};
 };
 
-/// Blocking HTTP client for tests/examples: one request, one response.
-/// Returns nullopt on connection or protocol failure.
+/// Client side of keep-alive: one persistent loopback connection, one
+/// request at a time. Reconnects transparently when the server closed the
+/// previous connection (idle reap, max-requests, Connection: close), so
+/// callers just see request() succeed.
+class HttpClient {
+ public:
+  explicit HttpClient(std::uint16_t port) : port_(port) {}
+  ~HttpClient() { disconnect(); }
+
+  HttpClient(const HttpClient&) = delete;
+  HttpClient& operator=(const HttpClient&) = delete;
+
+  /// Send one request; with keep_alive the connection is reused for the
+  /// next call. Returns nullopt on connection or protocol failure.
+  std::optional<HttpResponse> request(const std::string& method, const std::string& path,
+                                      const std::string& body = "",
+                                      bool keep_alive = true);
+
+  void disconnect();
+  bool connected() const { return fd_ >= 0; }
+  /// TCP connections dialed over this client's lifetime (1 = full reuse).
+  int connections_opened() const { return opens_; }
+
+ private:
+  bool ensure_connected();
+
+  std::uint16_t port_;
+  int fd_ = -1;
+  int opens_ = 0;
+};
+
+/// Blocking HTTP client for tests/examples: one request over a fresh
+/// Connection: close socket. Returns nullopt on failure.
 std::optional<HttpResponse> http_request(std::uint16_t port, const std::string& method,
                                          const std::string& path,
                                          const std::string& body = "");

@@ -1,0 +1,119 @@
+#include "server/http_parser.h"
+
+#include "common/strings.h"
+
+namespace lce::server {
+
+namespace {
+
+/// Pop one LF-terminated line out of `buf` starting at `pos`, stripping
+/// the optional preceding CR. Returns false when no full line is buffered.
+bool next_line(const std::string& buf, std::size_t& pos, std::string& line) {
+  std::size_t nl = buf.find('\n', pos);
+  if (nl == std::string::npos) return false;
+  std::size_t end = nl;
+  if (end > pos && buf[end - 1] == '\r') --end;
+  line.assign(buf, pos, end - pos);
+  pos = nl + 1;
+  return true;
+}
+
+}  // namespace
+
+void HttpParser::feed(std::string_view bytes) {
+  buf_.append(bytes.data(), bytes.size());
+}
+
+void HttpParser::reset() {
+  buf_.clear();
+  error_ = ParseStatus::kNeedMore;
+}
+
+ParseStatus HttpParser::fail(ParseStatus status) {
+  error_ = status;
+  return status;
+}
+
+ParseStatus HttpParser::next(HttpRequest& out) {
+  if (error_ != ParseStatus::kNeedMore) return error_;
+
+  // RFC 9112 §2.2: tolerate stray blank lines before the request line
+  // (clients that end the previous body with an extra CRLF). Erase them so
+  // a blank-line flood cannot grow the buffer unboundedly.
+  for (;;) {
+    if (starts_with(buf_, "\r\n")) {
+      buf_.erase(0, 2);
+    } else if (!buf_.empty() && buf_[0] == '\n') {
+      buf_.erase(0, 1);
+    } else {
+      break;
+    }
+  }
+
+  std::size_t pos = 0;
+  std::string line;
+  if (!next_line(buf_, pos, line)) {
+    if (buf_.size() > limits_.max_header_bytes) return fail(ParseStatus::kHeadersTooLarge);
+    return ParseStatus::kNeedMore;
+  }
+  auto parts = split_ws(trim(line));
+  if (parts.size() != 3 || !starts_with(parts[2], "HTTP/1.")) {
+    return fail(ParseStatus::kBadRequest);
+  }
+  HttpRequest req;
+  req.method = parts[0];
+  req.path = parts[1];
+  req.version_minor = parts[2] == "HTTP/1.0" ? 0 : 1;
+
+  for (;;) {
+    if (!next_line(buf_, pos, line)) {
+      if (buf_.size() > limits_.max_header_bytes) return fail(ParseStatus::kHeadersTooLarge);
+      return ParseStatus::kNeedMore;
+    }
+    if (line.empty()) break;  // blank line: end of headers
+    if (pos > limits_.max_header_bytes) return fail(ParseStatus::kHeadersTooLarge);
+    // Obsolete line folding (a continuation line starting with whitespace)
+    // is a smuggling vector; RFC 7230 §3.2.4 lets servers reject it.
+    if (line[0] == ' ' || line[0] == '\t') return fail(ParseStatus::kBadRequest);
+    std::size_t colon = line.find(':');
+    if (colon == std::string::npos || colon == 0) return fail(ParseStatus::kBadRequest);
+    std::string key = trim(line.substr(0, colon));
+    // Whitespace inside a header name means the request line bled into the
+    // header block (or vice versa) — unparseable, not just unusual.
+    if (key.find(' ') != std::string::npos || key.find('\t') != std::string::npos) {
+      return fail(ParseStatus::kBadRequest);
+    }
+    req.headers[to_lower(key)] = trim(line.substr(colon + 1));
+  }
+
+  if (req.headers.count("transfer-encoding") != 0) {
+    // Content-Length framing only; chunked bodies are rejected rather than
+    // mis-framed (request-smuggling hygiene).
+    return fail(ParseStatus::kBadRequest);
+  }
+  std::size_t content_length = 0;
+  if (auto it = req.headers.find("content-length"); it != req.headers.end()) {
+    std::int64_t n = 0;
+    if (!parse_int(it->second, n) || n < 0) return fail(ParseStatus::kBadRequest);
+    if (static_cast<std::size_t>(n) > limits_.max_body_bytes) {
+      return fail(ParseStatus::kBodyTooLarge);
+    }
+    content_length = static_cast<std::size_t>(n);
+  }
+  if (buf_.size() - pos < content_length) return ParseStatus::kNeedMore;
+  req.body.assign(buf_, pos, content_length);
+  buf_.erase(0, pos + content_length);
+  out = std::move(req);
+  return ParseStatus::kRequest;
+}
+
+bool wants_keep_alive(const HttpRequest& req) {
+  if (auto it = req.headers.find("connection"); it != req.headers.end()) {
+    std::string v = to_lower(it->second);
+    if (contains(v, "close")) return false;
+    if (contains(v, "keep-alive")) return true;
+  }
+  return req.version_minor >= 1;
+}
+
+}  // namespace lce::server

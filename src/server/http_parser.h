@@ -1,0 +1,71 @@
+// Incremental, resumable HTTP/1.1 request parser for the epoll front end
+// (DESIGN.md "Serving front end"). Bytes arrive in arbitrary fragments —
+// a header split mid-name, a body trickling one byte at a time, or three
+// pipelined requests in one read — and the parser carries state across
+// feed() calls so the event loop never blocks waiting for a complete
+// request. next() pops one request at a time, which is what makes
+// pipelining work: the connection keeps calling next() until the buffer
+// runs dry.
+//
+// Framing is Content-Length only (Transfer-Encoding is rejected — the
+// emulator protocol never chunks). Both CRLF and bare-LF line endings are
+// accepted; header names are lower-cased. Limits are enforced while
+// parsing, so a connection spraying unbounded header bytes is rejected
+// after `max_header_bytes`, not buffered forever.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+#include "server/http.h"
+
+namespace lce::server {
+
+enum class ParseStatus {
+  kNeedMore,         // no complete request buffered yet — feed more bytes
+  kRequest,          // `out` holds the next parsed request
+  kBadRequest,       // malformed request line / header (HTTP 400)
+  kHeadersTooLarge,  // header section exceeds max_header_bytes (HTTP 431)
+  kBodyTooLarge,     // declared Content-Length exceeds max_body_bytes (HTTP 413)
+};
+
+struct ParserLimits {
+  std::size_t max_header_bytes = 64 * 1024;
+  std::size_t max_body_bytes = 16 * 1024 * 1024;
+};
+
+class HttpParser {
+ public:
+  HttpParser() = default;
+  explicit HttpParser(ParserLimits limits) : limits_(limits) {}
+
+  /// Append raw bytes from the socket. Cheap; all parsing happens in next().
+  void feed(std::string_view bytes);
+
+  /// Pop the next complete request into `out`. Error statuses are sticky:
+  /// once a connection has produced garbage its remaining bytes cannot be
+  /// trusted, so the caller responds and closes. reset() re-arms the
+  /// parser for a fresh connection.
+  ParseStatus next(HttpRequest& out);
+
+  void reset();
+
+  /// Bytes buffered but not yet consumed by a completed request — nonzero
+  /// at peer close means the final request was truncated.
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  ParseStatus fail(ParseStatus status);
+
+  std::string buf_;
+  ParserLimits limits_;
+  ParseStatus error_ = ParseStatus::kNeedMore;  // sticky once != kNeedMore
+};
+
+/// HTTP keep-alive negotiation: "Connection: close" always closes,
+/// "Connection: keep-alive" always holds, otherwise HTTP/1.1 defaults to
+/// keep-alive and HTTP/1.0 to close.
+bool wants_keep_alive(const HttpRequest& req);
+
+}  // namespace lce::server

@@ -27,10 +27,24 @@ HttpResponse error_response(int status, std::string code, std::string message) {
   return json_response(status, Value(Value::Map{{"Error", Value(std::move(err))}}));
 }
 
+Value server_stats_value(const HttpServerStats& s) {
+  Value::Map m;
+  m["connections_accepted"] = Value(static_cast<std::int64_t>(s.connections_accepted));
+  m["connections_closed"] = Value(static_cast<std::int64_t>(s.connections_closed));
+  m["requests_served"] = Value(static_cast<std::int64_t>(s.requests_served));
+  m["keepalive_reuses"] = Value(static_cast<std::int64_t>(s.keepalive_reuses));
+  m["idle_reaped"] = Value(static_cast<std::int64_t>(s.idle_reaped));
+  m["rejected_400"] = Value(static_cast<std::int64_t>(s.rejected_400));
+  m["rejected_413"] = Value(static_cast<std::int64_t>(s.rejected_413));
+  m["rejected_431"] = Value(static_cast<std::int64_t>(s.rejected_431));
+  return Value(std::move(m));
+}
+
 }  // namespace
 
 HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req,
-                                     persist::PersistManager* persist) {
+                                     persist::PersistManager* persist,
+                                     const HttpServer* server) {
   auto* layered = dynamic_cast<stack::LayerStack*>(&backend);
   if (req.path == "/admin/snapshot" || req.path == "/admin/persist") {
     if (persist == nullptr) {
@@ -81,7 +95,9 @@ HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& r
       return error_response(404, "MetricsUnavailable",
                             "no metrics layer installed on this endpoint");
     }
-    return json_response(200, metrics->metrics());
+    Value::Map body = metrics->metrics().as_map();
+    if (server != nullptr) body["server"] = server_stats_value(server->stats());
+    return json_response(200, Value(std::move(body)));
   }
   if (req.method == "GET" && req.path == "/snapshot") {
     return json_response(200, backend.snapshot());
@@ -150,23 +166,26 @@ stack::StackConfig with_journal(stack::StackConfig config,
 }  // namespace
 
 EmulatorEndpoint::EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config,
-                                   persist::PersistManager* persist)
+                                   persist::PersistManager* persist,
+                                   HttpServerOptions http)
     : stack_(stack::build_stack(backend, with_journal(std::move(config), persist))),
       persist_(persist),
-      server_([this](const HttpRequest& req) {
-        return handle_emulator_request(stack_, req, persist_);
-      }) {}
+      server_(
+          [this](const HttpRequest& req) {
+            return handle_emulator_request(stack_, req, persist_, &server_);
+          },
+          http) {}
 
 std::uint16_t EmulatorEndpoint::start(std::uint16_t port) { return server_.start(port); }
 
 void EmulatorEndpoint::stop() { server_.stop(); }
 
-ApiResponse invoke_over_http(std::uint16_t port, const std::string& action,
-                             const Value::Map& params) {
+ApiResponse invoke_over_client(HttpClient& client, const std::string& action,
+                               const Value::Map& params, bool keep_alive) {
   Value::Map doc;
   doc["Action"] = Value(action);
   doc["Params"] = Value(params);
-  auto resp = http_request(port, "POST", "/invoke", to_json(Value(doc)));
+  auto resp = client.request("POST", "/invoke", to_json(Value(doc)), keep_alive);
   if (!resp) return ApiResponse::failure("TransportError", "no response from endpoint");
   JsonError jerr;
   auto body = parse_json(resp->body, &jerr);
@@ -191,6 +210,12 @@ ApiResponse invoke_over_http(std::uint16_t port, const std::string& action,
                                 err->get_or("Message", Value("")).as_str());
   }
   return ApiResponse::failure("TransportError", "response had neither Data nor Error");
+}
+
+ApiResponse invoke_over_http(std::uint16_t port, const std::string& action,
+                             const Value::Map& params) {
+  HttpClient client(port);
+  return invoke_over_client(client, action, params, /*keep_alive=*/false);
 }
 
 }  // namespace lce::server

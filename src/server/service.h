@@ -41,9 +41,12 @@ using stack::looks_like_resource_id;
 /// tests can exercise routing without sockets). When `backend` is a
 /// stack::LayerStack the chain-aware endpoints (/metrics, the /health
 /// "layers" field) light up. `persist` (may be null) serves the
-/// /admin/snapshot and /admin/persist durability routes.
+/// /admin/snapshot and /admin/persist durability routes. `server` (may be
+/// null) adds the front-end counters — accepted connections, keep-alive
+/// reuses, reaps, rejections — under "server" in the /metrics body.
 HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req,
-                                     persist::PersistManager* persist = nullptr);
+                                     persist::PersistManager* persist = nullptr,
+                                     const HttpServer* server = nullptr);
 
 /// A running emulator endpoint; owns the server thread and the layer stack
 /// built around the backend (default: serialize + validate + metrics), not
@@ -53,8 +56,11 @@ class EmulatorEndpoint {
   /// `persist` (optional, caller-owned, must outlive the endpoint) makes
   /// the endpoint durable: a JournalLayer is installed in the stack (the
   /// config's journal hook is overwritten) and the /admin routes light up.
+  /// `http` tunes the serving front end (io threads, idle timeout,
+  /// per-connection request cap, parser limits).
   explicit EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config = {},
-                            persist::PersistManager* persist = nullptr);
+                            persist::PersistManager* persist = nullptr,
+                            HttpServerOptions http = {});
 
   /// Bind and serve; returns the port (0 = failure).
   std::uint16_t start(std::uint16_t port = 0);
@@ -65,6 +71,10 @@ class EmulatorEndpoint {
   /// traces, or fault counters out of a live endpoint).
   stack::LayerStack& stack() { return stack_; }
 
+  /// Front-end counters (also served under "server" in /metrics).
+  HttpServerStats server_stats() const { return server_.stats(); }
+  int io_threads() const { return server_.io_threads(); }
+
  private:
   stack::LayerStack stack_;
   persist::PersistManager* persist_;
@@ -72,8 +82,14 @@ class EmulatorEndpoint {
 };
 
 /// Client-side helper: invoke an action over HTTP and decode the reply
-/// into an ApiResponse (for driving a remote emulator from tests).
+/// into an ApiResponse (for driving a remote emulator from tests). Opens
+/// a fresh Connection: close socket per call.
 ApiResponse invoke_over_http(std::uint16_t port, const std::string& action,
                              const Value::Map& params);
+
+/// Same decode over a persistent keep-alive client — the load generator's
+/// fast path, where one TCP connection carries the whole request stream.
+ApiResponse invoke_over_client(HttpClient& client, const std::string& action,
+                               const Value::Map& params, bool keep_alive = true);
 
 }  // namespace lce::server

@@ -7,9 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "bench/serve_bench.h"
 #include "core/emulator.h"
 #include "docs/corpus.h"
 #include "docs/render.h"
+#include "server/json.h"
+#include "server/service.h"
 #include "stack/config.h"
 
 namespace lce::bench {
@@ -108,6 +115,121 @@ TEST_F(LoadGenTest, OpenLoopPacesArrivalsAcrossTheSchedule) {
   EXPECT_EQ(stats.errors, 0u);
   // The run cannot finish faster than the arrival schedule allows.
   EXPECT_GE(stats.wall_ms, 8.0);
+}
+
+// ---------------------------------------------------------------------------
+// HTTP mode: the measured phase drives a live epoll endpoint over real
+// loopback sockets, keep-alive vs Connection: close — the data behind the
+// keep-alive sweep in BENCH_serve.json.
+
+class KeepAliveLoadgen : public ::testing::Test {
+ protected:
+  KeepAliveLoadgen()
+      : emulator_(core::LearnedEmulator::from_docs(
+            docs::render_corpus(docs::build_aws_catalog()))),
+        endpoint_(emulator_.backend(), sharded_config()) {}
+
+  static stack::StackConfig sharded_config() {
+    stack::StackConfig cfg;
+    cfg.serialize = stack::SerializeMode::kOff;
+    cfg.metrics = false;
+    return cfg;
+  }
+
+  LoadOptions http_opts(bool keep_alive) {
+    LoadOptions opts;
+    opts.concurrency = 3;
+    opts.total_ops = 120;
+    opts.prepopulate = 8;
+    opts.http_port = port_;
+    opts.http_keep_alive = keep_alive;
+    return opts;
+  }
+
+  void SetUp() override {
+    port_ = endpoint_.start();
+    ASSERT_NE(port_, 0);
+  }
+  void TearDown() override { endpoint_.stop(); }
+
+  core::LearnedEmulator emulator_;
+  server::EmulatorEndpoint endpoint_;
+  std::uint16_t port_ = 0;
+};
+
+TEST_F(KeepAliveLoadgen, KeepAliveWorkersReuseOneConnectionEach) {
+  server::HttpServerStats before = endpoint_.server_stats();
+  LoadStats stats = run_load(endpoint_.stack(), http_opts(true));
+  server::HttpServerStats after = endpoint_.server_stats();
+  EXPECT_EQ(stats.ops, 120u);
+  EXPECT_EQ(stats.errors, 0u);
+  // One persistent connection per worker (a stale-retry reconnect could
+  // add one more, but nowhere near one per request).
+  std::uint64_t opened = after.connections_accepted - before.connections_accepted;
+  EXPECT_GE(opened, 3u);
+  EXPECT_LE(opened, 6u);
+  EXPECT_GE(after.keepalive_reuses - before.keepalive_reuses, 100u);
+}
+
+TEST_F(KeepAliveLoadgen, CloseModeOpensAConnectionPerRequest) {
+  server::HttpServerStats before = endpoint_.server_stats();
+  LoadStats stats = run_load(endpoint_.stack(), http_opts(false));
+  server::HttpServerStats after = endpoint_.server_stats();
+  EXPECT_EQ(stats.ops, 120u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_GE(after.connections_accepted - before.connections_accepted, 120u);
+  EXPECT_EQ(after.keepalive_reuses - before.keepalive_reuses, 0u);
+}
+
+TEST_F(KeepAliveLoadgen, OpenLoopOverHttpHoldsTheArrivalSchedule) {
+  LoadOptions opts = http_opts(true);
+  opts.total_ops = 100;
+  opts.arrival_rate = 5000;  // 100 ops / 5k ops/s -> ~20 ms schedule
+  LoadStats stats = run_load(endpoint_.stack(), opts);
+  EXPECT_EQ(stats.ops, 100u);
+  EXPECT_EQ(stats.errors, 0u);
+  // Latency is measured from the scheduled arrival (no coordinated
+  // omission), so the wall clock cannot beat the schedule.
+  EXPECT_GE(stats.wall_ms, 15.0);
+}
+
+TEST(ServeBenchJson, ReportCarriesTheKeepAliveSweep) {
+  std::string path = ::testing::TempDir() + "lce_bench_serve_test.json";
+  ServeBenchOptions opts;
+  opts.quick = true;
+  opts.ops = 200;
+  opts.concurrency = {2};
+  opts.json_path = path;
+  opts.enforce = false;  // tiny run: numbers are noise, shape is the test
+  int rc = run_serve_bench(opts);
+  EXPECT_EQ(rc, 0);
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buf;
+  buf << in.rdbuf();
+  auto report = server::parse_json(buf.str());
+  ASSERT_TRUE(report.has_value());
+  const Value::Map& top = report->as_map();
+  ASSERT_TRUE(top.count("http_front_end"));
+  ASSERT_TRUE(top.count("keepalive_speedup"));
+  ASSERT_TRUE(top.count("io_threads"));
+  const auto& rows = top.at("http_front_end").as_list();
+  ASSERT_GE(rows.size(), 3u);  // close, keepalive, keepalive_open
+  bool saw_close = false, saw_ka = false, saw_open = false;
+  for (const Value& row : rows) {
+    const std::string& config = row.get("config")->as_str();
+    saw_close |= config == "http_close";
+    saw_ka |= config == "http_keepalive";
+    saw_open |= config == "http_keepalive_open";
+    EXPECT_GT(row.get("throughput_ops_s")->as_int(), 0) << config;
+    EXPECT_GE(row.get("connections")->as_int(), 1) << config;
+    EXPECT_GT(row.get("p99_us")->as_int(), 0) << config;
+  }
+  EXPECT_TRUE(saw_close);
+  EXPECT_TRUE(saw_ka);
+  EXPECT_TRUE(saw_open);
+  std::remove(path.c_str());
 }
 
 TEST_F(LoadGenTest, ResetBetweenRunsKeepsRunsIndependent) {

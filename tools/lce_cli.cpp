@@ -123,6 +123,13 @@ int usage() {
                "      --no-plan    serve through the tree-walking reference\n"
                "                   interpreter instead of the compiled execution\n"
                "                   plan (debugging / A-B comparison)\n"
+               "      --io-threads N  epoll event-loop threads for the serving\n"
+               "                   front end (default: one per core, max 8)\n"
+               "      --idle-timeout-ms N  reap a connection when no request\n"
+               "                   completes on it for N ms (default 30000;\n"
+               "                   0 = never; also the slow-loris guard)\n"
+               "      --max-requests-per-conn N  close a keep-alive connection\n"
+               "                   after N requests (default 0 = unlimited)\n"
                "  lce snapshot [port]\n"
                "      POST /admin/snapshot on a running durable endpoint\n"
                "  lce replay <dir|file.lcw> [aws|azure]\n"
@@ -278,6 +285,7 @@ int main(int argc, char** argv) {
     core::PipelineOptions pipeline;
     persist::PersistOptions popts;
     popts.snapshot_every = 10000;
+    server::HttpServerOptions hopts;
     bool wait_stdin = true;
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
@@ -314,6 +322,12 @@ int main(int argc, char** argv) {
         wait_stdin = false;
       } else if (arg == "--no-plan") {
         pipeline.use_plan = false;
+      } else if (arg == "--io-threads" && i + 1 < argc) {
+        hopts.io_threads = std::atoi(argv[++i]);
+      } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+        hopts.idle_timeout_ms = std::atoi(argv[++i]);
+      } else if (arg == "--max-requests-per-conn" && i + 1 < argc) {
+        hopts.max_requests_per_conn = std::atoi(argv[++i]);
       } else if (!arg.empty() && arg[0] != '-') {
         port = std::atoi(arg.c_str());
       } else {
@@ -342,14 +356,15 @@ int main(int argc, char** argv) {
                   << recovery.first_mismatch << ")\n";
       }
     }
-    server::EmulatorEndpoint endpoint(emulator.backend(), config, persist_mgr.get());
+    server::EmulatorEndpoint endpoint(emulator.backend(), config, persist_mgr.get(),
+                                      hopts);
     std::uint16_t bound = endpoint.start(static_cast<std::uint16_t>(port));
     if (bound == 0) {
       std::cerr << "lce: failed to bind port " << port << "\n";
       return 1;
     }
     std::cout << "learned " << provider << " emulator serving on http://127.0.0.1:"
-              << bound << "\n"
+              << bound << " (" << endpoint.io_threads() << " io thread(s), keep-alive)\n"
               << "  POST /invoke  {\"Action\": \"CreateVpc\", \"Params\": {...}}\n"
               << "  GET  /health  |  GET /metrics  |  GET /snapshot  |  POST /reset\n";
     if (persist_mgr != nullptr) {
