@@ -18,10 +18,15 @@
 // (default BENCH_interp.json), uploaded as a CI artifact.
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <new>
 #include <string>
 #include <utility>
 #include <vector>
@@ -176,17 +181,88 @@ BENCHMARK(BM_SymbolicTraceGeneration);
 // Plan-vs-tree differential harness (--quick / --json modes).
 
 #if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
-constexpr bool kSanitized = true;
+#define LCE_BENCH_SANITIZED_BUILD 1
 #elif defined(__has_feature)
 #if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer) || \
     __has_feature(undefined_behavior_sanitizer)
-constexpr bool kSanitized = true;
+#define LCE_BENCH_SANITIZED_BUILD 1
 #else
-constexpr bool kSanitized = false;
+#define LCE_BENCH_SANITIZED_BUILD 0
 #endif
 #else
-constexpr bool kSanitized = false;
+#define LCE_BENCH_SANITIZED_BUILD 0
 #endif
+
+constexpr bool kSanitized = LCE_BENCH_SANITIZED_BUILD != 0;
+
+}  // namespace
+
+// ------------------------------------------------------------------------
+// Heap-allocation counter: every operator new in this binary bumps a
+// counter, so the harness can report allocations *per request* alongside
+// ns/op — the metric the compact-Value work is gated on. Compiled out
+// under sanitizers (they intercept new/delete themselves; counts there
+// would measure the instrumentation, and the gate self-skips anyway).
+
+#if !LCE_BENCH_SANITIZED_BUILD
+// GCC flags free() inside our replacement operator delete as mismatched
+// with the replacement operator new; both sides are malloc-backed here.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+namespace {
+std::atomic<std::uint64_t> g_heap_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n ? n : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void* operator new(std::size_t n, std::align_val_t a) {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  void* p = std::aligned_alloc(static_cast<std::size_t>(a),
+                               (n + static_cast<std::size_t>(a) - 1) &
+                                   ~(static_cast<std::size_t>(a) - 1));
+  if (p != nullptr) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n, std::align_val_t a) { return ::operator new(n, a); }
+void* operator new(std::size_t n, const std::nothrow_t&) noexcept {
+  g_heap_allocs.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(n ? n : 1);
+}
+void* operator new[](std::size_t n, const std::nothrow_t& t) noexcept {
+  return ::operator new(n, t);
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+#endif  // !LCE_BENCH_SANITIZED_BUILD
+
+namespace {
+
+std::string fixed(double v, int prec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+std::uint64_t heap_alloc_count() {
+#if LCE_BENCH_SANITIZED_BUILD
+  return 0;
+#else
+  return g_heap_allocs.load(std::memory_order_relaxed);
+#endif
+}
 
 interp::Interpreter make_interp(bool use_plan) {
   interp::InterpreterOptions opts;
@@ -240,17 +316,28 @@ double measure_replay(interp::Interpreter& be, const std::vector<ApiRequest>& ca
   return best;
 }
 
-/// ns per invocation of one fixed request against a prepared store, best
-/// of `reps` — the steady-state workloads (polling, attribute flips).
-double measure_hot(interp::Interpreter& be, const ApiRequest& req, int iters,
-                   int reps) {
-  double best = 0;
+/// ns + heap allocations per invocation of one fixed request against a
+/// prepared store, best of `reps` — the steady-state workloads (polling,
+/// attribute flips). Allocation counts are deterministic per request in
+/// steady state, so best-of-reps and single-rep agree.
+struct HotCost {
+  double ns = 0;
+  double allocs = 0;  // heap allocations per request (0 under sanitizers)
+};
+
+HotCost measure_hot(interp::Interpreter& be, const ApiRequest& req, int iters,
+                    int reps) {
+  HotCost best;
   for (int rep = 0; rep < reps; ++rep) {
     for (int i = 0; i < iters / 10; ++i) be.invoke(req);  // warm
+    std::uint64_t a0 = heap_alloc_count();
     auto t0 = std::chrono::steady_clock::now();
     for (int i = 0; i < iters; ++i) be.invoke(req);
     double ns = ns_since(t0) / iters;
-    if (rep == 0 || ns < best) best = ns;
+    double allocs =
+        static_cast<double>(heap_alloc_count() - a0) / static_cast<double>(iters);
+    if (rep == 0 || ns < best.ns) best.ns = ns;
+    if (rep == 0 || allocs < best.allocs) best.allocs = allocs;
   }
   return best;
 }
@@ -286,8 +373,21 @@ struct FamilyResult {
   std::size_t calls = 0;  // workload weight in the overall mix
   double plan_ns = 0;
   double tree_ns = 0;
+  double plan_allocs = -1;  // heap allocations per request; -1 = not measured
   double speedup() const { return plan_ns > 0 ? tree_ns / plan_ns : 0; }
 };
+
+// Heap allocations per request on the plan path as measured at the PR 5
+// seed (fat map-of-variants Value, std::map attrs, per-node key strings)
+// on the same steady-state workloads. These are representation-determined
+// counts, not timings, so they are machine-independent and serve as the
+// recorded baseline the compact-Value allocation gate compares against:
+// the current representation must allocate at least 30% less per request.
+constexpr double kPr5BaselineAllocs[2] = {
+    /*describe-hot*/ 28.0,
+    /*modify-hot*/ 5.0,
+};
+constexpr double kAllocGateMaxRatio = 0.70;  // >=30% reduction required
 
 int run_plan_vs_tree(bool quick, const std::string& json_path) {
   const int iters = quick ? 150 : 1000;
@@ -327,14 +427,18 @@ int run_plan_vs_tree(bool quick, const std::string& json_path) {
   FamilyResult desc;
   desc.name = "describe-hot";
   desc.calls = scenario_calls;
-  desc.plan_ns = measure_hot(with_plan, plan_desc, hot_iters, reps);
-  desc.tree_ns = measure_hot(tree, tree_desc, hot_iters, reps);
+  HotCost plan_desc_cost = measure_hot(with_plan, plan_desc, hot_iters, reps);
+  desc.plan_ns = plan_desc_cost.ns;
+  desc.plan_allocs = plan_desc_cost.allocs;
+  desc.tree_ns = measure_hot(tree, tree_desc, hot_iters, reps).ns;
   results.push_back(std::move(desc));
   FamilyResult mod;
   mod.name = "modify-hot";
   mod.calls = scenario_calls;
-  mod.plan_ns = measure_hot(with_plan, plan_mod, hot_iters, reps);
-  mod.tree_ns = measure_hot(tree, tree_mod, hot_iters, reps);
+  HotCost plan_mod_cost = measure_hot(with_plan, plan_mod, hot_iters, reps);
+  mod.plan_ns = plan_mod_cost.ns;
+  mod.plan_allocs = plan_mod_cost.allocs;
+  mod.tree_ns = measure_hot(tree, tree_mod, hot_iters, reps).ns;
   results.push_back(std::move(mod));
 
   double plan_total = 0, tree_total = 0;
@@ -348,11 +452,13 @@ int run_plan_vs_tree(bool quick, const std::string& json_path) {
   std::cout << "  fig3 scenario replay (" << iters
             << " iters) + describe/modify steady-state (" << hot_iters
             << " iters), best of " << reps << " runs\n\n";
-  TextTable table({"family", "calls", "plan ns/op", "tree ns/op", "speedup"});
+  TextTable table(
+      {"family", "calls", "plan ns/op", "tree ns/op", "speedup", "allocs/op"});
   for (const auto& r : results) {
     table.add_row({r.name, strf(r.calls), strf(static_cast<long>(r.plan_ns)),
                    strf(static_cast<long>(r.tree_ns)),
-                   strf(static_cast<long>(r.speedup() * 100), "%")});
+                   strf(static_cast<long>(r.speedup() * 100), "%"),
+                   r.plan_allocs < 0 ? std::string("-") : fixed(r.plan_allocs, 1)});
   }
   std::cout << table.render() << "\n";
   std::cout << "overall mix speedup: " << static_cast<long>(overall * 100) << "%\n";
@@ -362,6 +468,35 @@ int run_plan_vs_tree(bool quick, const std::string& json_path) {
     std::cout << "speedup gate (>=1.5x): SKIPPED (sanitizer build)\n";
   } else {
     std::cout << "speedup gate (>=1.5x): " << (gate_ok ? "PASS" : "FAIL") << "\n";
+  }
+
+  // Allocation gate: the compact-Value representation must allocate at
+  // least 30% less per request than the recorded PR 5 baseline on both
+  // steady-state workloads. Counts are representation-determined, so the
+  // gate holds on any machine; it self-skips under sanitizers (the hook
+  // is compiled out there).
+  bool alloc_ok = true;
+  const FamilyResult* hot[2] = {&results[results.size() - 2],
+                                &results[results.size() - 1]};
+  for (int i = 0; i < 2; ++i) {
+    double baseline = kPr5BaselineAllocs[i];
+    double now = hot[i]->plan_allocs;
+    if (kSanitized) {
+      std::cout << "alloc gate " << hot[i]->name << ": SKIPPED (sanitizer build)\n";
+      continue;
+    }
+    if (baseline <= 0) {
+      std::cout << "alloc gate " << hot[i]->name << ": SKIPPED (no baseline; "
+                << fixed(now, 1) << " allocs/op measured)\n";
+      continue;
+    }
+    bool ok = now <= baseline * kAllocGateMaxRatio;
+    alloc_ok = alloc_ok && ok;
+    std::cout << "alloc gate " << hot[i]->name << " (<= " << fixed(baseline, 1)
+              << " * " << fixed(kAllocGateMaxRatio, 2) << "): " << fixed(now, 1)
+              << " allocs/op, "
+              << static_cast<long>((1.0 - now / baseline) * 100)
+              << "% below baseline -> " << (ok ? "PASS" : "FAIL") << "\n";
   }
 
   if (!json_path.empty()) {
@@ -376,12 +511,33 @@ int run_plan_vs_tree(bool quick, const std::string& json_path) {
       f["plan_ns_per_op"] = Value(static_cast<std::int64_t>(r.plan_ns));
       f["tree_ns_per_op"] = Value(static_cast<std::int64_t>(r.tree_ns));
       f["speedup_pct"] = Value(static_cast<std::int64_t>(r.speedup() * 100));
+      if (r.plan_allocs >= 0 && !kSanitized) {
+        f["alloc_per_op_x10"] =
+            Value(static_cast<std::int64_t>(r.plan_allocs * 10 + 0.5));
+      }
       per_family[r.name] = Value(std::move(f));
     }
     root["families"] = Value(std::move(per_family));
     root["overall_speedup_pct"] = Value(static_cast<std::int64_t>(overall * 100));
     root["gate_threshold_pct"] = Value(static_cast<std::int64_t>(150));
-    root["pass"] = Value(kSanitized || gate_ok);
+    Value::Map alloc_gate;
+    for (int i = 0; i < 2; ++i) {
+      Value::Map g;
+      g["baseline_alloc_per_op_x10"] =
+          Value(static_cast<std::int64_t>(kPr5BaselineAllocs[i] * 10 + 0.5));
+      g["alloc_per_op_x10"] =
+          Value(static_cast<std::int64_t>(hot[i]->plan_allocs * 10 + 0.5));
+      if (!kSanitized && kPr5BaselineAllocs[i] > 0) {
+        g["reduction_pct"] = Value(static_cast<std::int64_t>(
+            (1.0 - hot[i]->plan_allocs / kPr5BaselineAllocs[i]) * 100));
+      }
+      alloc_gate[hot[i]->name] = Value(std::move(g));
+    }
+    alloc_gate["max_ratio_pct"] =
+        Value(static_cast<std::int64_t>(kAllocGateMaxRatio * 100));
+    alloc_gate["pass"] = Value(kSanitized || alloc_ok);
+    root["alloc_gate"] = Value(std::move(alloc_gate));
+    root["pass"] = Value(kSanitized || (gate_ok && alloc_ok));
     std::ofstream out(json_path);
     if (!out) {
       std::cerr << "cannot write " << json_path << "\n";
@@ -390,7 +546,7 @@ int run_plan_vs_tree(bool quick, const std::string& json_path) {
     out << server::to_json(Value(std::move(root))) << "\n";
     std::cout << "wrote " << json_path << "\n";
   }
-  return kSanitized || gate_ok ? 0 : 1;
+  return kSanitized || (gate_ok && alloc_ok) ? 0 : 1;
 }
 
 }  // namespace

@@ -67,7 +67,7 @@ Value::Map& Value::mutable_map() {
 
 const Value* Value::get(std::string_view key) const {
   if (!is_map()) return nullptr;
-  auto it = map_.find(std::string(key));
+  auto it = map_.find(key);
   if (it == map_.end()) return nullptr;
   return &it->second;
 }

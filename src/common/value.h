@@ -29,7 +29,8 @@ std::string_view to_string(ValueKind k);
 class Value {
  public:
   using List = std::vector<Value>;
-  using Map = std::map<std::string, Value>;
+  // std::less<> so lookups with string_view keys need no temporary string.
+  using Map = std::map<std::string, Value, std::less<>>;
 
   Value() : kind_(ValueKind::kNull) {}
   // NOLINTBEGIN(google-explicit-constructor): implicit conversions are the
