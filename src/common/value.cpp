@@ -122,36 +122,43 @@ bool Value::operator<(const Value& o) const {
 
 std::string Value::to_text() const {
   std::string out;
+  append_text(out);
+  return out;
+}
+
+void Value::append_text(std::string& out) const {
   switch (kind_) {
-    case ValueKind::kNull: return "null";
-    case ValueKind::kBool: return bool_ ? "true" : "false";
-    case ValueKind::kInt: return std::to_string(int_);
-    case ValueKind::kStr: append_escaped(out, str_); return out;
-    case ValueKind::kRef: return "@" + str_;
+    case ValueKind::kNull: out += "null"; return;
+    case ValueKind::kBool: out += bool_ ? "true" : "false"; return;
+    case ValueKind::kInt: out += std::to_string(int_); return;
+    case ValueKind::kStr: append_escaped(out, str_); return;
+    case ValueKind::kRef:
+      out += '@';
+      out += str_;
+      return;
     case ValueKind::kList: {
-      out = "[";
+      out += '[';
       for (std::size_t i = 0; i < list_.size(); ++i) {
-        if (i != 0) out += ",";
-        out += list_[i].to_text();
+        if (i != 0) out += ',';
+        list_[i].append_text(out);
       }
-      out += "]";
-      return out;
+      out += ']';
+      return;
     }
     case ValueKind::kMap: {
-      out = "{";
+      out += '{';
       bool first = true;
       for (const auto& [k, v] : map_) {
-        if (!first) out += ",";
+        if (!first) out += ',';
         first = false;
         append_escaped(out, k);
-        out += ":";
-        out += v.to_text();
+        out += ':';
+        v.append_text(out);
       }
-      out += "}";
-      return out;
+      out += '}';
+      return;
     }
   }
-  return out;
 }
 
 std::vector<std::string> Value::diff(const Value& a, const Value& b, const std::string& path) {

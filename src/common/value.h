@@ -87,6 +87,9 @@ class Value {
 
   /// Compact JSON-ish rendering (refs rendered as @id).
   std::string to_text() const;
+  /// Same rendering appended to `out` — one buffer threaded through the
+  /// whole tree instead of a temporary string per child.
+  void append_text(std::string& out) const;
 
   /// Structural diff: returns human-readable paths that differ, e.g.
   /// ".cidr_block: \"10.0.0.0/16\" vs \"10.0.0.0/24\"". Empty if equal.

@@ -82,6 +82,40 @@ TEST(Value, ToTextEscapesStrings) {
   EXPECT_EQ(m.to_text(), "{\"x\":1}");
 }
 
+// Byte-for-byte pin of the rendering on a nested corpus. The expected
+// strings are hardcoded (not computed from the old implementation) so the
+// contract survives representation rewrites: any change to escaping, key
+// order, separators, or ref prefixes is a canonical-dump break.
+TEST(Value, ToTextPinnedOnNestedCorpus) {
+  const std::pair<Value, std::string> corpus[] = {
+      {Value(), "null"},
+      {Value(true), "true"},
+      {Value(false), "false"},
+      {Value(-42), "-42"},
+      {Value("plain"), "\"plain\""},
+      {Value("quote\" slash\\ nl\n"), "\"quote\\\" slash\\\\ nl\\n\""},
+      {Value::ref("subnet-00000002"), "@subnet-00000002"},
+      {Value(Value::List{}), "[]"},
+      {Value(Value::Map{}), "{}"},
+      {Value(Value::List{Value(1), Value("a"), Value(), Value::ref("i-1")}),
+       "[1,\"a\",null,@i-1]"},
+      {Value(Value::Map{
+           {"zebra", Value(1)},
+           {"alpha", Value(Value::List{Value(Value::Map{{"k\"x", Value(false)}}),
+                                       Value(Value::List{})})},
+           {"mid", Value(Value::Map{{"deep", Value(Value::Map{{"er", Value("v")}})}})},
+       }),
+       "{\"alpha\":[{\"k\\\"x\":false},[]],\"mid\":{\"deep\":{\"er\":\"v\"}},"
+       "\"zebra\":1}"},
+  };
+  for (const auto& [v, expected] : corpus) {
+    EXPECT_EQ(v.to_text(), expected);
+    std::string prefixed = "seed:";
+    v.append_text(prefixed);
+    EXPECT_EQ(prefixed, "seed:" + expected);
+  }
+}
+
 TEST(Value, DiffReportsPaths) {
   Value a{Value::Map{{"cidr", Value("10.0.0.0/16")}, {"n", Value(1)}}};
   Value b{Value::Map{{"cidr", Value("10.0.0.0/24")}, {"n", Value(1)}}};
