@@ -72,7 +72,7 @@ void drive_cycle(CloudBackend& be) {
               {"map_public_ip_on_launch", Value(true)}},
              ""});
   benchmark::DoNotOptimize(
-      be.invoke({"DescribeSubnet", {}, subnet.data.get("id")->as_str()}));
+      be.invoke({"DescribeSubnet", {}, std::string(subnet.data.get("id")->as_str())}));
 }
 
 void BM_LearnedEmulatorCycle(benchmark::State& state) {
@@ -103,7 +103,7 @@ BENCHMARK(BM_ReferenceCloudCycle);
 void BM_InterpreterDescribeOnly(benchmark::State& state) {
   interp::Interpreter emu(aws_spec().clone());
   auto vpc = emu.invoke({"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""});
-  std::string id = vpc.data.get("id")->as_str();
+  std::string id(vpc.data.get("id")->as_str());
   for (auto _ : state) {
     benchmark::DoNotOptimize(emu.invoke({"DescribeVpc", {}, id}));
   }
@@ -361,7 +361,7 @@ std::pair<ApiRequest, ApiRequest> setup_steady_state(interp::Interpreter& be) {
     std::cerr << "steady-state setup failed: " << subnet.to_text() << "\n";
     std::exit(1);
   }
-  return {ApiRequest{"DescribeVpc", {}, vpc.data.get("id")->as_str()},
+  return {ApiRequest{"DescribeVpc", {}, std::string(vpc.data.get("id")->as_str())},
           ApiRequest{"ModifySubnetAttribute",
                      {{"id", *subnet.data.get("id")},
                       {"map_public_ip_on_launch", Value(true)}},

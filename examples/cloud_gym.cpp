@@ -55,7 +55,7 @@ class GymAgent {
         ++stats.reward;
         q += 1.0;
         if (t->kind == spec::TransitionKind::kCreate) {
-          inventory_[m->name].push_back(resp.data.get("id")->as_str());
+          inventory_[m->name].emplace_back(resp.data.get("id")->as_str());
         }
       } else {
         ++stats.errors;

@@ -85,7 +85,7 @@ int main() {
       {"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""});
   emulator.backend().invoke(
       {"CreateInternetGateway", {{"vpc", vpc.data.get_or("id", Value())}}, ""});
-  auto del = emulator.backend().invoke({"DeleteVpc", {}, vpc.data.get("id")->as_str()});
+  auto del = emulator.backend().invoke({"DeleteVpc", {}, std::string(vpc.data.get("id")->as_str())});
   std::cout << "  " << del.message << "\n";
   return 0;
 }

@@ -57,7 +57,7 @@ int main() {
     Value::Map out;
     for (const auto& [k, v] : params) {
       if (v.is_str() && !v.as_str().empty() && v.as_str()[0] == '@') {
-        auto it = ids.find(v.as_str().substr(1));
+        auto it = ids.find(std::string(v.as_str().substr(1)));
         out[k] = it != ids.end() ? Value(it->second) : v;
       } else {
         out[k] = v;

@@ -104,9 +104,9 @@ int main() {
                            {"nic_ref", nic.data.get_or("id", Value())}},
                           ""});
   show("AssociateNIC", assoc);
-  auto nic_desc = be.invoke({"DescribeNic", {}, nic.data.get("id")->as_str()});
+  auto nic_desc = be.invoke({"DescribeNic", {}, std::string(nic.data.get("id")->as_str())});
   show("DescribeNic (back-reference visible)", nic_desc);
-  auto destroy = be.invoke({"DestroyPublicIP", {}, ip.data.get("id")->as_str()});
+  auto destroy = be.invoke({"DestroyPublicIP", {}, std::string(ip.data.get("id")->as_str())});
   show("DestroyPublicIP while attached", destroy);
 
   auto wrong_zone = be.invoke({"CreateNic", {{"zone", Value("us-west")}}, ""});

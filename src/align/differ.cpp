@@ -37,12 +37,12 @@ DivergenceKind classify(const ApiResponse& cloud, const ApiResponse& emu) {
 /// Call indices referenced by "$k.field" placeholders in a value tree.
 void collect_deps(const Value& v, std::set<std::size_t>& deps) {
   if (v.is_str() || v.is_ref()) {
-    const std::string& s = v.as_str();
+    std::string_view s = v.as_str();
     if (s.size() > 2 && s[0] == '$') {
       std::size_t dot = s.find('.');
       std::int64_t k = -1;
-      if (dot != std::string::npos &&
-          parse_int(std::string_view(s).substr(1, dot - 1), k) && k >= 0) {
+      if (dot != std::string_view::npos &&
+          parse_int(s.substr(1, dot - 1), k) && k >= 0) {
         deps.insert(static_cast<std::size_t>(k));
       }
     }
@@ -71,12 +71,11 @@ std::optional<Trace> remove_call(const Trace& t, std::size_t victim) {
   }
   auto remap_value = [&](const Value& v) -> Value {
     if (!(v.is_str() || v.is_ref())) return v;
-    const std::string& s = v.as_str();
+    std::string_view s = v.as_str();
     if (s.size() <= 2 || s[0] != '$') return v;
     std::size_t dot = s.find('.');
     std::int64_t k = -1;
-    if (dot == std::string::npos ||
-        !parse_int(std::string_view(s).substr(1, dot - 1), k) || k < 0) {
+    if (dot == std::string_view::npos || !parse_int(s.substr(1, dot - 1), k) || k < 0) {
       return v;
     }
     std::size_t idx = static_cast<std::size_t>(k);
@@ -91,12 +90,14 @@ std::optional<Trace> remove_call(const Trace& t, std::size_t victim) {
     ApiRequest req = t.calls[i];
     for (auto& [_, v] : req.args) {
       if (v.is_list()) {
-        for (auto& e : v.mutable_list()) e = remap_value(e);
+        Value::List items = v.as_list();
+        for (auto& e : items) e = remap_value(e);
+        v = Value(std::move(items));
       } else {
         v = remap_value(v);
       }
     }
-    req.target = remap_value(Value(req.target)).as_str();
+    req.target = std::string(remap_value(Value(req.target)).as_str());
     shrunk.calls.push_back(std::move(req));
   }
   return shrunk;

@@ -148,7 +148,7 @@ AlignmentReport AlignmentEngine::run() {
           const spec::StateVar* sv =
               m != nullptr ? m->find_state(evidence_attr[key]) : nullptr;
           if (sv != nullptr && sv->initial.is_str()) {
-            enriched.outcome_by_member[sv->initial.as_str()] = d.cloud.code;
+            enriched.outcome_by_member[std::string(sv->initial.as_str())] = d.cloud.code;
           } else if (sv != nullptr && sv->initial.is_bool()) {
             enriched.outcome_by_member[sv->initial.as_bool() ? "true" : "false"] =
                 d.cloud.code;

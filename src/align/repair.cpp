@@ -200,9 +200,10 @@ std::optional<RepairAction> Repairer::repair_spurious_failure(const Discrepancy&
       for (const auto& tt : m->transitions) {
         if (tt.kind == TransitionKind::kDescribe) describe = &tt;
       }
-      std::string target = !probe.target.empty() ? probe.target
-                           : probe.args.count("id") != 0 ? probe.args.at("id").as_str()
-                                                         : "";
+      std::string target =
+          !probe.target.empty()           ? probe.target
+          : probe.args.count("id") != 0   ? std::string(probe.args.at("id").as_str())
+                                          : "";
       if (describe != nullptr && !target.empty()) {
         ApiResponse resp =
             cloud_.invoke(ApiRequest{describe->name, {{"id", Value::ref(target)}}, ""});
@@ -382,15 +383,16 @@ std::optional<RepairAction> Repairer::repair_missing_check(const Discrepancy& d)
           prior.push_back(emu_.invoke(resolve_placeholders(d.trace.calls[i], prior)));
         }
         ApiRequest probe = resolve_placeholders(d.trace.calls[d.call_index], prior);
-        std::string target = !probe.target.empty() ? probe.target
-                             : probe.args.count("id") != 0 ? probe.args.at("id").as_str()
-                                                           : "";
+        std::string target =
+            !probe.target.empty()           ? probe.target
+            : probe.args.count("id") != 0   ? std::string(probe.args.at("id").as_str())
+                                            : "";
         const interp::Resource* self = emu_.store().find(target);
         if (self != nullptr) {
           for (const auto& sv : m->states) {
             if (sv.type.kind != spec::TypeKind::kRef) continue;
-            auto it = self->attrs.find(sv.name);
-            if (it == self->attrs.end() || it->second.is_null()) continue;
+            const Value* cur = self->attrs.get(sv.name);
+            if (cur == nullptr || cur->is_null()) continue;
             ensure_code_registered(code);
             auto pred = spec::make_builtin("is_null", [&] {
               std::vector<spec::ExprPtr> v;

@@ -113,7 +113,7 @@ AssertInfo analyze_assert(const spec::Stmt& s) {
     info.shape = Shape::kInList;
     for (std::size_t i = 1; i < e.kids.size(); ++i) {
       if (e.kids[i]->kind == ExprKind::kLiteral) {
-        info.values.push_back(e.kids[i]->literal.as_str());
+        info.values.emplace_back(e.kids[i]->literal.as_str());
       }
     }
     return info;
@@ -633,9 +633,9 @@ class Builder {
       if (it != args_so_far.end() && it->second.is_str()) {
         // "$k.id" -> planned attrs of call k.
         std::int64_t k = -1;
-        const std::string& ph = it->second.as_str();
+        std::string_view ph = it->second.as_str();
         if (ph.size() > 1 && ph[0] == '$') {
-          (void)parse_int(std::string_view(ph).substr(1, ph.find('.') - 1), k);
+          (void)parse_int(ph.substr(1, ph.find('.') - 1), k);
         }
         const Planned* pp = k >= 0 ? planned(static_cast<std::size_t>(k)) : nullptr;
         if (pp != nullptr && pp->attrs.count(within_attr) != 0) {
@@ -888,7 +888,7 @@ std::vector<GenTrace> TraceGenerator::generate_for(const std::string& machine,
         }
         // Candidate differing value: another enum member from the target's
         // create in_list, else "-alt".
-        Value other = Value(mine.as_str() + "-alt");
+        Value other = Value(std::string(mine.as_str()) + "-alt");
         for (const auto& tt : target_m->transitions) {
           if (tt.kind != TransitionKind::kCreate) continue;
           for (const spec::Stmt* a2 : collect_asserts(tt.body)) {

@@ -57,9 +57,9 @@ class Call {
     // 2. Target resolution.
     Resource* self = nullptr;
     if (api->category != ApiCategory::kCreate) {
-      std::string id = !req.target.empty()              ? req.target
-                       : req.args.count("id") != 0      ? req.args.at("id").as_str()
-                                                        : "";
+      std::string id = !req.target.empty()         ? req.target
+                       : req.args.count("id") != 0 ? std::string(req.args.at("id").as_str())
+                                                   : "";
       self = store_.find(id);
       if (self == nullptr || self->type != resource->name) {
         return fail(errc::kResourceNotFound,
@@ -78,7 +78,7 @@ class Call {
           (!p.ref_type.empty() && target->type != p.ref_type)) {
         return fail(errc::kResourceNotFound,
                     {{"resource", p.ref_type.empty() ? "resource" : p.ref_type},
-                     {"id", it->second.as_str()}});
+                     {"id", std::string(it->second.as_str())}});
       }
     }
 
@@ -99,7 +99,7 @@ class Call {
     if (api->category == ApiCategory::kCreate) {
       Resource& r = store_.create(resource->name, resource->id_prefix);
       for (const auto& a : resource->attrs) {
-        r.attrs[a.name] = docs::parse_literal(a.initial, a.type);
+        r.attrs.set(a.name, docs::parse_literal(a.initial, a.type));
       }
       self = &r;
     }
@@ -114,8 +114,8 @@ class Call {
     if (api->category == ApiCategory::kCreate ||
         api->category == ApiCategory::kDescribe) {
       for (const auto& a : resource->attrs) {
-        auto it = self->attrs.find(a.name);
-        data[a.name] = it != self->attrs.end() ? it->second : Value();
+        const Value* v = self->attrs.get(a.name);
+        data[a.name] = v != nullptr ? *v : Value();
       }
     }
     if (api->category == ApiCategory::kDestroy) {
@@ -184,9 +184,8 @@ class Call {
         auto inner = Cidr::parse(arg_or_null(req, c.param).as_str());
         const Resource* parent = intended_parent(api, self, req);
         if (parent == nullptr) return std::nullopt;
-        auto it = parent->attrs.find(c.attr);
-        auto outer = it != parent->attrs.end() ? Cidr::parse(it->second.as_str())
-                                               : std::nullopt;
+        const Value* pv = parent->attrs.get(c.attr);
+        auto outer = pv != nullptr ? Cidr::parse(pv->as_str()) : std::nullopt;
         if (inner && outer && outer->contains(*inner)) return std::nullopt;
         return violated(arg_or_null(req, c.param).as_str());
       }
@@ -198,9 +197,9 @@ class Call {
         for (const auto& sid : store_.children_of(parent_id, resource.name)) {
           if (self != nullptr && sid == self->id) continue;
           const Resource* sib = store_.find(sid);
-          auto it = sib->attrs.find(c.attr);
-          if (it == sib->attrs.end()) continue;
-          auto theirs = Cidr::parse(it->second.as_str());
+          const Value* av = sib->attrs.get(c.attr);
+          if (av == nullptr) continue;
+          auto theirs = Cidr::parse(av->as_str());
           if (theirs && mine->overlaps(*theirs)) {
             return violated(arg_or_null(req, c.param).as_str());
           }
@@ -210,8 +209,8 @@ class Call {
       case ConstraintKind::kAttrEquals:
       case ConstraintKind::kAttrNotEquals: {
         if (self == nullptr) return std::nullopt;
-        auto it = self->attrs.find(c.attr);
-        Value actual = it != self->attrs.end() ? it->second : Value();
+        const Value* av = self->attrs.get(c.attr);
+        Value actual = av != nullptr ? *av : Value();
         const docs::AttrModel* am = resource.find_attr(c.attr);
         Value expected = docs::parse_literal(c.str_vals.empty() ? "" : c.str_vals[0],
                                              am != nullptr ? am->type : FieldType::kStr);
@@ -225,25 +224,25 @@ class Call {
         if (!v.is_ref()) return std::nullopt;
         const Resource* target = store_.find(v.as_str());
         if (target == nullptr) return std::nullopt;  // existence checked earlier
-        auto ti = target->attrs.find(c.attr);
-        auto si = self->attrs.find(c.attr);
-        Value tv = ti != target->attrs.end() ? ti->second : Value();
-        Value sv = si != self->attrs.end() ? si->second : Value();
+        const Value* ti = target->attrs.get(c.attr);
+        const Value* si = self->attrs.get(c.attr);
+        Value tv = ti != nullptr ? *ti : Value();
+        Value sv = si != nullptr ? *si : Value();
         if (tv == sv) return std::nullopt;
         return violated(tv.to_text());
       }
       case ConstraintKind::kAttrNull: {
         if (self == nullptr) return std::nullopt;
-        auto it = self->attrs.find(c.attr);
-        if (it == self->attrs.end() || it->second.is_null()) return std::nullopt;
-        return violated(it->second.to_text());
+        const Value* av = self->attrs.get(c.attr);
+        if (av == nullptr || av->is_null()) return std::nullopt;
+        return violated(av->to_text());
       }
       case ConstraintKind::kAttrTrueRequires: {
         Value v = arg_or_null(req, c.param);
         if (!v.is_bool() || !v.as_bool()) return std::nullopt;
         if (self == nullptr) return std::nullopt;
-        auto it = self->attrs.find(c.attr);
-        if (it != self->attrs.end() && it->second.truthy()) return std::nullopt;
+        const Value* av = self->attrs.get(c.attr);
+        if (av != nullptr && av->truthy()) return std::nullopt;
         return violated("true");
       }
       case ConstraintKind::kChildrenReclaimed: {
@@ -264,19 +263,19 @@ class Call {
 
   static std::string self_attr_text(const Resource* self, const std::string& attr) {
     if (self == nullptr) return "";
-    auto it = self->attrs.find(attr);
-    return it == self->attrs.end() ? "" : it->second.to_text();
+    const Value* v = self->attrs.get(attr);
+    return v == nullptr ? "" : v->to_text();
   }
 
   void apply_effect(const docs::EffectModel& e, Resource& self, const ApiRequest& req) {
     switch (e.kind) {
       case EffectKind::kWriteParam:
-        self.attrs[e.attr] = arg_or_null(req, e.param);
+        self.attrs.set(e.attr, arg_or_null(req, e.param));
         return;
       case EffectKind::kWriteConst:
-        self.attrs[e.attr] = docs::parse_literal(
+        self.attrs.set(e.attr, docs::parse_literal(
             e.literal, e.literal_type == FieldType::kEnum ? FieldType::kStr
-                                                          : e.literal_type);
+                                                          : e.literal_type));
         return;
       case EffectKind::kLinkParent: {
         Value v = arg_or_null(req, e.param);
@@ -285,16 +284,16 @@ class Call {
       }
       case EffectKind::kSetRef: {
         Value v = arg_or_null(req, e.param);
-        self.attrs[e.attr] = v;
+        self.attrs.set(e.attr, v);
         if (!e.target_attr.empty() && v.is_ref()) {
           if (Resource* target = store_.find(v.as_str())) {
-            target->attrs[e.target_attr] = Value::ref(self.id);
+            target->attrs.set(e.target_attr, Value::ref(self.id));
           }
         }
         return;
       }
       case EffectKind::kClearAttr:
-        self.attrs[e.attr] = Value();
+        self.attrs.set(e.attr, Value());
         return;
     }
   }

@@ -86,13 +86,13 @@ std::size_t Trace::add(std::string api, Value::Map args, std::string target) {
 namespace {
 // Resolve one "$k.field" placeholder; returns nullopt when `s` is not a
 // placeholder at all (so ordinary strings pass through untouched).
-std::optional<Value> resolve_one(const std::string& s,
+std::optional<Value> resolve_one(std::string_view s,
                                  const std::vector<ApiResponse>& prior) {
   if (s.size() < 4 || s[0] != '$') return std::nullopt;
   std::size_t dot = s.find('.');
-  if (dot == std::string::npos) return std::nullopt;
+  if (dot == std::string_view::npos) return std::nullopt;
   std::int64_t k = 0;
-  if (!parse_int(std::string_view(s).substr(1, dot - 1), k)) return std::nullopt;
+  if (!parse_int(s.substr(1, dot - 1), k)) return std::nullopt;
   if (k < 0 || static_cast<std::size_t>(k) >= prior.size()) return Value();
   const ApiResponse& resp = prior[static_cast<std::size_t>(k)];
   if (!resp.ok) return Value();
@@ -124,7 +124,7 @@ ApiRequest resolve_placeholders(const ApiRequest& req,
   ApiRequest out = req;
   for (auto& [k, v] : out.args) v = resolve_value(v, prior);
   if (auto r = resolve_one(out.target, prior)) {
-    out.target = (r->is_ref() || r->is_str()) ? r->as_str() : "";
+    out.target = (r->is_ref() || r->is_str()) ? std::string(r->as_str()) : "";
   }
   return out;
 }

@@ -1,0 +1,88 @@
+#include "common/arena.h"
+
+#include <cstdlib>
+#include <new>
+
+namespace lce {
+
+namespace {
+thread_local Arena* t_arena = nullptr;
+}  // namespace
+
+Arena::~Arena() {
+  reset();
+  for (Chunk* c = reserve_; c != nullptr;) {
+    Chunk* next = c->next;
+    std::free(c);
+    c = next;
+  }
+}
+
+Arena::Chunk* Arena::new_chunk(std::size_t min_payload) {
+  // Reuse a recycled chunk when it fits; oversized requests get their own.
+  if (reserve_ != nullptr && reserve_->cap >= min_payload) {
+    Chunk* c = reserve_;
+    reserve_ = c->next;
+    c->used = 0;
+    return c;
+  }
+  std::size_t payload = min_payload > kChunkBytes ? min_payload : kChunkBytes;
+  auto* c = static_cast<Chunk*>(std::malloc(sizeof(Chunk) + payload));
+  if (c == nullptr) throw std::bad_alloc();
+  c->cap = payload;
+  c->used = 0;
+  return c;
+}
+
+void* Arena::allocate(std::size_t n) {
+  n = (n + 15) & ~std::size_t{15};
+  if (head_ == nullptr || head_->cap - head_->used < n) {
+    Chunk* c = new_chunk(n);
+    c->next = head_;
+    head_ = c;
+  }
+  void* p = head_->data() + head_->used;
+  head_->used += n;
+  bytes_ += n;
+  return p;
+}
+
+void Arena::reset() {
+  while (head_ != nullptr) {
+    Chunk* next = head_->next;
+    head_->next = reserve_;
+    reserve_ = head_;
+    head_ = next;
+  }
+  bytes_ = 0;
+}
+
+ArenaScope::ArenaScope(Arena& a) : prev_(t_arena) { t_arena = &a; }
+ArenaScope::~ArenaScope() { t_arena = prev_; }
+
+ArenaPause::ArenaPause() : prev_(t_arena) { t_arena = nullptr; }
+ArenaPause::~ArenaPause() { t_arena = prev_; }
+
+namespace detail {
+
+Arena* current_arena() noexcept { return t_arena; }
+
+void* value_alloc(std::size_t n, bool& arena_backed) {
+  if (t_arena != nullptr) {
+    arena_backed = true;
+    return t_arena->allocate(n);
+  }
+  arena_backed = false;
+  return ::operator new(n);
+}
+
+void* value_alloc_heap(std::size_t n) { return ::operator new(n); }
+
+void value_free(void* p, bool arena_backed) noexcept {
+  if (!arena_backed) ::operator delete(p);
+  // Arena blocks are reclaimed wholesale by Arena::reset().
+}
+
+}  // namespace detail
+
+}  // namespace lce

@@ -1,0 +1,119 @@
+// Request-scoped bump allocator for Value rep blocks. While an ArenaScope
+// is active on a thread, every Value representation block (string, list,
+// map storage) built on that thread comes from the arena: no per-node
+// malloc, and the whole request's scratch is recycled with one pointer
+// reset. Ownership discipline (enforced at the write sites, documented in
+// DESIGN.md): no Value carrying arena-backed blocks may outlive the scope —
+// anything escaping into the store or returned from the request must be
+// detach()ed to the heap first.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lce {
+
+class Arena {
+ public:
+  Arena() = default;
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* allocate(std::size_t n);
+
+  /// Rewind to empty, keeping the chunks for reuse. Every Value holding
+  /// arena-backed blocks must already be destroyed or detached.
+  void reset();
+
+  std::size_t bytes_allocated() const { return bytes_; }
+
+ private:
+  struct Chunk {
+    Chunk* next = nullptr;
+    std::size_t cap = 0;
+    std::size_t used = 0;
+    // Payload follows the header.
+    char* data() { return reinterpret_cast<char*>(this + 1); }
+  };
+  static constexpr std::size_t kChunkBytes = 64 * 1024;
+
+  Chunk* new_chunk(std::size_t min_payload);
+
+  Chunk* head_ = nullptr;      // chunk currently bumping
+  Chunk* reserve_ = nullptr;   // recycled chunks (after reset)
+  std::size_t bytes_ = 0;
+};
+
+/// RAII: installs `a` as the thread's active Value arena; restores the
+/// previous one (normally none) on destruction. Does NOT reset the arena —
+/// the owner resets once all request-local Values are gone.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& a);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* prev_;
+};
+
+/// RAII: temporarily suspends the thread's active arena, so Value copies
+/// built inside the scope land on the heap. Used at store-write sites that
+/// copy whole trees (a paused copy beats copy-then-detach).
+class ArenaPause {
+ public:
+  ArenaPause();
+  ~ArenaPause();
+  ArenaPause(const ArenaPause&) = delete;
+  ArenaPause& operator=(const ArenaPause&) = delete;
+
+ private:
+  Arena* prev_;
+};
+
+namespace detail {
+/// Allocate a Value rep block: bump-allocated when this thread has an
+/// active arena (`arena_backed` set accordingly), heap otherwise.
+void* value_alloc(std::size_t n, bool& arena_backed);
+/// Force a heap block regardless of any active arena (detach path).
+void* value_alloc_heap(std::size_t n);
+void value_free(void* p, bool arena_backed) noexcept;
+Arena* current_arena() noexcept;
+}  // namespace detail
+
+/// Minimal STL allocator over the thread's active arena, pinned at
+/// construction. For containers whose whole lifetime sits inside one
+/// ArenaScope (the plan executor's eval stack and parameter frames):
+/// buffers bump-allocate and the free is a no-op, so steady-state
+/// request execution does zero container mallocs. With no arena active
+/// it degrades to plain new/delete. Pinning is what keeps deallocate
+/// correct — the arena-vs-heap decision cannot drift mid-lifetime even
+/// if a reallocation happens under an ArenaPause.
+template <typename T>
+class ArenaAlloc {
+ public:
+  using value_type = T;
+
+  ArenaAlloc() noexcept : arena_(detail::current_arena()) {}
+  template <typename U>
+  ArenaAlloc(const ArenaAlloc<U>& o) noexcept : arena_(o.arena()) {}
+
+  T* allocate(std::size_t n) {
+    if (arena_ != nullptr) return static_cast<T*>(arena_->allocate(n * sizeof(T)));
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    if (arena_ == nullptr) ::operator delete(p);
+  }
+
+  Arena* arena() const noexcept { return arena_; }
+  bool operator==(const ArenaAlloc& o) const noexcept { return arena_ == o.arena_; }
+  bool operator!=(const ArenaAlloc& o) const noexcept { return arena_ != o.arena_; }
+
+ private:
+  Arena* arena_;
+};
+
+}  // namespace lce

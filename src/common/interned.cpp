@@ -1,0 +1,47 @@
+#include "common/interned.h"
+
+#include <mutex>
+#include <stdexcept>
+
+namespace lce {
+
+KeyTable& KeyTable::instance() {
+  static KeyTable* table = new KeyTable();  // leaked: ids outlive all statics
+  return *table;
+}
+
+KeyId KeyTable::intern(std::string_view name) {
+  {
+    std::shared_lock lock(mu_);
+    auto it = index_.find(name);
+    if (it != index_.end()) return it->second;
+  }
+  std::unique_lock lock(mu_);
+  auto it = index_.find(name);
+  if (it != index_.end()) return it->second;
+
+  std::size_t id = size_.load(std::memory_order_relaxed);
+  std::size_t chunk_idx = id >> kChunkBits;
+  if (chunk_idx >= kMaxChunks) throw std::length_error("KeyTable exhausted");
+  Chunk* c = chunks_[chunk_idx].load(std::memory_order_relaxed);
+  if (c == nullptr) {
+    c = new Chunk();
+    chunks_[chunk_idx].store(c, std::memory_order_release);
+  }
+  std::string& slot = c->names[id & (kChunkSize - 1)];
+  slot.assign(name);
+  index_.emplace(std::string_view(slot), static_cast<KeyId>(id));
+  // Publish after the name is fully constructed: a reader that obtained
+  // this id (necessarily after intern() returned) sees the string via the
+  // release store on the chunk pointer / this size update.
+  size_.store(id + 1, std::memory_order_release);
+  return static_cast<KeyId>(id);
+}
+
+KeyId KeyTable::find(std::string_view name) const {
+  std::shared_lock lock(mu_);
+  auto it = index_.find(name);
+  return it != index_.end() ? it->second : kNoKey;
+}
+
+}  // namespace lce

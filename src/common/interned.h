@@ -1,0 +1,71 @@
+// Process-wide intern table for map keys. `Value`'s map representation
+// stores `KeyId`s instead of owned strings: interning happens once per
+// distinct spelling (attribute names, response fields, resource ids in
+// snapshots), after which key equality is an integer compare and lookups
+// never allocate. Names are immutable and live for the process lifetime —
+// see DESIGN.md "Value representation" for the growth implications.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace lce {
+
+using KeyId = std::uint32_t;
+inline constexpr KeyId kNoKey = 0xffffffffu;
+
+class KeyTable {
+ public:
+  /// The one process-wide table (map keys must compare across threads and
+  /// subsystems, so per-instance tables would defeat id equality).
+  static KeyTable& instance();
+
+  /// Intern `name`, returning its stable id. Ids are dense and assigned in
+  /// first-seen order; equal spellings always yield equal ids.
+  KeyId intern(std::string_view name);
+
+  /// Lookup without inserting; kNoKey when never interned.
+  KeyId find(std::string_view name) const;
+
+  /// The interned spelling. Lock-free; `id` must come from intern().
+  std::string_view name(KeyId id) const {
+    const Chunk* c = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+    return c->names[id & (kChunkSize - 1)];
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  KeyTable(const KeyTable&) = delete;
+  KeyTable& operator=(const KeyTable&) = delete;
+
+ private:
+  KeyTable() = default;
+
+  // Chunked stable storage: names never move, so `name()` needs no lock —
+  // only an acquire load of the chunk pointer.
+  static constexpr std::size_t kChunkBits = 12;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kMaxChunks = 4096;  // 16M distinct keys
+
+  struct Chunk {
+    std::string names[kChunkSize];
+  };
+
+  std::atomic<std::size_t> size_{0};
+  std::atomic<Chunk*> chunks_[kMaxChunks] = {};
+  mutable std::shared_mutex mu_;
+  // Views point into chunk storage, which is append-only and stable.
+  std::unordered_map<std::string_view, KeyId> index_;
+};
+
+/// Shorthand used throughout the Value implementation.
+inline std::string_view key_name(KeyId id) { return KeyTable::instance().name(id); }
+inline KeyId intern_key(std::string_view name) {
+  return KeyTable::instance().intern(name);
+}
+
+}  // namespace lce

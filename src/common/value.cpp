@@ -1,15 +1,24 @@
 #include "common/value.h"
 
+#include <cstring>
+#include <new>
+
+#include "common/arena.h"
 #include "common/strings.h"
 
 namespace lce {
 
-namespace {
-const Value::List kEmptyList;
-const Value::Map kEmptyMap;
-const std::string kEmptyStr;
+using value_detail::BigMapRep;
+using value_detail::Entry;
+using value_detail::ListRep;
+using value_detail::map_entries;
+using value_detail::list_items;
+using value_detail::MapRep;
+using value_detail::StrRep;
 
-void append_escaped(std::string& out, const std::string& s) {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
   out += '"';
   for (char c : s) {
     switch (c) {
@@ -21,6 +30,35 @@ void append_escaped(std::string& out, const std::string& s) {
   }
   out += '"';
 }
+
+/// First entry whose key name is not less than `name` (entries are sorted
+/// by key spelling).
+std::uint32_t lower_bound_entries(const Entry* es, std::uint32_t n,
+                                  std::string_view name) {
+  std::uint32_t lo = 0;
+  while (n > 0) {
+    std::uint32_t half = n / 2;
+    if (key_name(es[lo + half].key) < name) {
+      lo += half + 1;
+      n -= half + 1;
+    } else {
+      n = half;
+    }
+  }
+  return lo;
+}
+
+/// Allocate a rep block with the same backing class as an existing block:
+/// mutation must never silently move a heap-rooted tree into the arena
+/// (the store's maps grow in place and outlive every request).
+void* alloc_like(std::size_t n, bool old_arena, bool& arena_out) {
+  if (old_arena && detail::current_arena() != nullptr) {
+    return detail::value_alloc(n, arena_out);
+  }
+  arena_out = false;
+  return detail::value_alloc_heap(n);
+}
+
 }  // namespace
 
 std::string_view to_string(ValueKind k) {
@@ -36,40 +74,209 @@ std::string_view to_string(ValueKind k) {
   return "?";
 }
 
-Value Value::ref(std::string id) {
-  Value v(std::move(id));
-  v.kind_ = ValueKind::kRef;
+void Value::init_str(ValueKind k, std::string_view s) {
+  kind_ = k;
+  if (s.size() <= kInlineStrCap) {
+    std::memcpy(pay_.ch, s.data(), s.size());
+    aux_ = static_cast<std::uint32_t>(s.size());
+    return;
+  }
+  bool arena = false;
+  auto* rep = static_cast<StrRep*>(
+      detail::value_alloc(sizeof(StrRep) + s.size(), arena));
+  rep->len = static_cast<std::uint32_t>(s.size());
+  std::memcpy(rep->data(), s.data(), s.size());
+  pay_.s = rep;
+  flags_ = static_cast<std::uint8_t>(kHeapStr | (arena ? kArenaBlk : 0));
+}
+
+Value::Value(List l) : kind_(ValueKind::kList) {
+  pay_.l = nullptr;
+  if (l.empty()) return;
+  bool arena = false;
+  auto* rep = static_cast<ListRep*>(detail::value_alloc(
+      sizeof(ListRep) + l.size() * sizeof(Value), arena));
+  rep->size = 0;
+  rep->cap = static_cast<std::uint32_t>(l.size());
+  Value* items = list_items(rep);
+  for (Value& v : l) new (&items[rep->size++]) Value(std::move(v));
+  pay_.l = rep;
+  if (arena) flags_ |= kArenaBlk;
+}
+
+Value::Value(Map m) : kind_(ValueKind::kMap) {
+  pay_.m = nullptr;
+  if (m.empty()) return;
+  bool arena = false;
+  if (m.size() <= kSmallMapMax) {
+    std::uint32_t cap = 4;
+    while (cap < m.size()) cap <<= 1;
+    auto* rep = static_cast<MapRep*>(detail::value_alloc(
+        sizeof(MapRep) + cap * sizeof(Entry), arena));
+    rep->size = 0;
+    rep->cap = cap;
+    Entry* es = map_entries(rep);
+    for (auto& [k, v] : m) {
+      Entry* e = es + rep->size++;
+      e->key = intern_key(k);
+      new (&e->val) Value(std::move(v));
+    }
+    pay_.m = rep;
+    if (arena) flags_ |= kArenaBlk;
+  } else {
+    auto* rep =
+        static_cast<BigMapRep*>(detail::value_alloc(sizeof(BigMapRep), arena));
+    new (rep) BigMapRep();
+    for (auto& [k, v] : m) {
+      rep->m.emplace_hint(rep->m.end(), intern_key(k), std::move(v));
+    }
+    pay_.bm = rep;
+    flags_ = static_cast<std::uint8_t>(kBigMap | (arena ? kArenaBlk : 0));
+  }
+}
+
+Value Value::ref(std::string_view id) {
+  Value v;
+  v.init_str(ValueKind::kRef, id);
   return v;
 }
 
-const std::string& Value::as_str() const {
-  return (is_str() || is_ref()) ? str_ : kEmptyStr;
+Value Value::empty_map() {
+  Value v;
+  v.kind_ = ValueKind::kMap;
+  v.pay_.m = nullptr;
+  return v;
 }
 
-const Value::List& Value::as_list() const { return is_list() ? list_ : kEmptyList; }
-const Value::Map& Value::as_map() const { return is_map() ? map_ : kEmptyMap; }
-
-Value::List& Value::mutable_list() {
-  if (!is_list()) {
-    kind_ = ValueKind::kList;
-    list_.clear();
+void Value::copy_from(const Value& o) {
+  kind_ = o.kind_;
+  aux_ = o.aux_;
+  flags_ = 0;
+  switch (o.kind_) {
+    case ValueKind::kNull:
+    case ValueKind::kBool:
+    case ValueKind::kInt:
+      pay_ = o.pay_;
+      return;
+    case ValueKind::kStr:
+    case ValueKind::kRef: {
+      if ((o.flags_ & kHeapStr) == 0) {
+        pay_ = o.pay_;
+        return;
+      }
+      bool arena = false;
+      auto* rep = static_cast<StrRep*>(
+          detail::value_alloc(sizeof(StrRep) + o.pay_.s->len, arena));
+      rep->len = o.pay_.s->len;
+      std::memcpy(rep->data(), o.pay_.s->data(), rep->len);
+      pay_.s = rep;
+      flags_ = static_cast<std::uint8_t>(kHeapStr | (arena ? kArenaBlk : 0));
+      return;
+    }
+    case ValueKind::kList: {
+      pay_.l = nullptr;
+      if (o.pay_.l == nullptr || o.pay_.l->size == 0) return;
+      bool arena = false;
+      auto* rep = static_cast<ListRep*>(detail::value_alloc(
+          sizeof(ListRep) + o.pay_.l->size * sizeof(Value), arena));
+      rep->size = o.pay_.l->size;
+      rep->cap = o.pay_.l->size;
+      const Value* src = list_items(o.pay_.l);
+      Value* dst = list_items(rep);
+      for (std::uint32_t i = 0; i < rep->size; ++i) new (&dst[i]) Value(src[i]);
+      pay_.l = rep;
+      if (arena) flags_ |= kArenaBlk;
+      return;
+    }
+    case ValueKind::kMap: {
+      pay_.m = nullptr;
+      if (o.pay_.m == nullptr) return;
+      bool arena = false;
+      if ((o.flags_ & kBigMap) != 0) {
+        auto* rep = static_cast<BigMapRep*>(
+            detail::value_alloc(sizeof(BigMapRep), arena));
+        new (rep) BigMapRep{o.pay_.bm->m};
+        pay_.bm = rep;
+        flags_ = static_cast<std::uint8_t>(kBigMap | (arena ? kArenaBlk : 0));
+        return;
+      }
+      if (o.pay_.m->size == 0) return;
+      std::uint32_t cap = 4;
+      while (cap < o.pay_.m->size) cap <<= 1;
+      auto* rep = static_cast<MapRep*>(detail::value_alloc(
+          sizeof(MapRep) + cap * sizeof(Entry), arena));
+      rep->size = o.pay_.m->size;
+      rep->cap = cap;
+      const Entry* src = map_entries(o.pay_.m);
+      Entry* dst = map_entries(rep);
+      for (std::uint32_t i = 0; i < rep->size; ++i) {
+        dst[i].key = src[i].key;
+        new (&dst[i].val) Value(src[i].val);
+      }
+      pay_.m = rep;
+      if (arena) flags_ |= kArenaBlk;
+      return;
+    }
   }
-  return list_;
 }
 
-Value::Map& Value::mutable_map() {
-  if (!is_map()) {
-    kind_ = ValueKind::kMap;
-    map_.clear();
+void Value::destroy() noexcept {
+  switch (kind_) {
+    case ValueKind::kStr:
+    case ValueKind::kRef:
+      if ((flags_ & kHeapStr) != 0) {
+        detail::value_free(pay_.s, (flags_ & kArenaBlk) != 0);
+      }
+      break;
+    case ValueKind::kList:
+      if (pay_.l != nullptr) {
+        Value* items = list_items(pay_.l);
+        for (std::uint32_t i = 0; i < pay_.l->size; ++i) items[i].~Value();
+        detail::value_free(pay_.l, (flags_ & kArenaBlk) != 0);
+      }
+      break;
+    case ValueKind::kMap:
+      if (pay_.m != nullptr) {
+        if ((flags_ & kBigMap) != 0) {
+          pay_.bm->~BigMapRep();
+          detail::value_free(pay_.bm, (flags_ & kArenaBlk) != 0);
+        } else {
+          Entry* es = map_entries(pay_.m);
+          for (std::uint32_t i = 0; i < pay_.m->size; ++i) es[i].val.~Value();
+          detail::value_free(pay_.m, (flags_ & kArenaBlk) != 0);
+        }
+      }
+      break;
+    default:
+      break;
   }
-  return map_;
+  kind_ = ValueKind::kNull;
+  flags_ = 0;
 }
 
 const Value* Value::get(std::string_view key) const {
-  if (!is_map()) return nullptr;
-  auto it = map_.find(key);
-  if (it == map_.end()) return nullptr;
-  return &it->second;
+  if (!is_map() || pay_.m == nullptr) return nullptr;
+  if ((flags_ & kBigMap) != 0) {
+    auto it = pay_.bm->m.find(key);
+    return it != pay_.bm->m.end() ? &it->second : nullptr;
+  }
+  const Entry* es = map_entries(pay_.m);
+  std::uint32_t idx = lower_bound_entries(es, pay_.m->size, key);
+  if (idx < pay_.m->size && key_name(es[idx].key) == key) return &es[idx].val;
+  return nullptr;
+}
+
+const Value* Value::get(KeyId key) const {
+  if (!is_map() || pay_.m == nullptr) return nullptr;
+  if ((flags_ & kBigMap) != 0) {
+    auto it = pay_.bm->m.find(key);
+    return it != pay_.bm->m.end() ? &it->second : nullptr;
+  }
+  const Entry* es = map_entries(pay_.m);
+  for (std::uint32_t i = 0; i < pay_.m->size; ++i) {
+    if (es[i].key == key) return &es[i].val;
+  }
+  return nullptr;
 }
 
 Value Value::get_or(std::string_view key, Value def) const {
@@ -77,17 +284,221 @@ Value Value::get_or(std::string_view key, Value def) const {
   return v != nullptr ? *v : std::move(def);
 }
 
-void Value::set(std::string key, Value v) { mutable_map()[std::move(key)] = std::move(v); }
+void Value::become_empty_map() {
+  destroy();
+  kind_ = ValueKind::kMap;
+  pay_.m = nullptr;
+}
+
+void Value::spill_to_big() {
+  MapRep* old = pay_.m;
+  bool old_arena = (flags_ & kArenaBlk) != 0;
+  bool arena = false;
+  auto* rep = static_cast<BigMapRep*>(
+      alloc_like(sizeof(BigMapRep), old_arena, arena));
+  new (rep) BigMapRep();
+  Entry* es = map_entries(old);
+  for (std::uint32_t i = 0; i < old->size; ++i) {
+    rep->m.emplace_hint(rep->m.end(), es[i].key, std::move(es[i].val));
+    es[i].val.~Value();
+  }
+  detail::value_free(old, old_arena);
+  pay_.bm = rep;
+  flags_ = static_cast<std::uint8_t>(kBigMap | (arena ? kArenaBlk : 0));
+}
+
+void Value::insert_new(KeyId key, std::string_view name, Value&& v) {
+  MapRep* rep = pay_.m;
+  if (rep == nullptr || rep->size == rep->cap) {
+    if (rep != nullptr && rep->size >= kSmallMapMax) {
+      spill_to_big();
+      pay_.bm->m.emplace(key, std::move(v));
+      return;
+    }
+    bool old_arena = (flags_ & kArenaBlk) != 0;
+    std::uint32_t ncap = rep != nullptr ? rep->cap * 2 : 4;
+    bool arena = false;
+    auto* nrep = static_cast<MapRep*>(
+        rep != nullptr
+            ? alloc_like(sizeof(MapRep) + ncap * sizeof(Entry), old_arena, arena)
+            : detail::value_alloc(sizeof(MapRep) + ncap * sizeof(Entry), arena));
+    nrep->cap = ncap;
+    nrep->size = rep != nullptr ? rep->size : 0;
+    if (rep != nullptr) {
+      Entry* src = map_entries(rep);
+      Entry* dst = map_entries(nrep);
+      for (std::uint32_t i = 0; i < rep->size; ++i) {
+        dst[i].key = src[i].key;
+        new (&dst[i].val) Value(std::move(src[i].val));
+      }
+      detail::value_free(rep, old_arena);
+    }
+    pay_.m = nrep;
+    flags_ = static_cast<std::uint8_t>((flags_ & ~kArenaBlk) |
+                                       (arena ? kArenaBlk : 0));
+    rep = nrep;
+  }
+  Entry* es = map_entries(rep);
+  std::uint32_t idx = lower_bound_entries(es, rep->size, name);
+  if (idx < rep->size) {
+    // Shift [idx, size) up one slot; the top slot is raw storage.
+    std::uint32_t last = rep->size;
+    es[last].key = es[last - 1].key;
+    new (&es[last].val) Value(std::move(es[last - 1].val));
+    for (std::uint32_t j = last - 1; j > idx; --j) {
+      es[j].key = es[j - 1].key;
+      es[j].val = std::move(es[j - 1].val);
+    }
+    es[idx].key = key;
+    es[idx].val = std::move(v);
+  } else {
+    es[idx].key = key;
+    new (&es[idx].val) Value(std::move(v));
+  }
+  rep->size++;
+}
+
+void Value::set(KeyId key, Value v) {
+  if (!is_map()) become_empty_map();
+  if ((flags_ & kBigMap) != 0) {
+    pay_.bm->m.insert_or_assign(key, std::move(v));
+    return;
+  }
+  std::string_view name = key_name(key);
+  MapRep* rep = pay_.m;
+  if (rep != nullptr && rep->size > 0) {
+    Entry* es = map_entries(rep);
+    // Fast path: ascending builds append at the end.
+    if (key_name(es[rep->size - 1].key) < name) {
+      insert_new(key, name, std::move(v));
+      return;
+    }
+    std::uint32_t idx = lower_bound_entries(es, rep->size, name);
+    if (idx < rep->size && es[idx].key == key) {
+      es[idx].val = std::move(v);
+      return;
+    }
+  }
+  insert_new(key, name, std::move(v));
+}
+
+void Value::set(std::string_view key, Value v) {
+  set(intern_key(key), std::move(v));
+}
+
+void Value::grow_list() {
+  ListRep* rep = pay_.l;
+  bool old_arena = (flags_ & kArenaBlk) != 0;
+  std::uint32_t ncap = rep != nullptr ? rep->cap * 2 : 4;
+  bool arena = false;
+  auto* nrep = static_cast<ListRep*>(
+      rep != nullptr
+          ? alloc_like(sizeof(ListRep) + ncap * sizeof(Value), old_arena, arena)
+          : detail::value_alloc(sizeof(ListRep) + ncap * sizeof(Value), arena));
+  nrep->cap = ncap;
+  nrep->size = rep != nullptr ? rep->size : 0;
+  if (rep != nullptr) {
+    Value* src = list_items(rep);
+    Value* dst = list_items(nrep);
+    for (std::uint32_t i = 0; i < rep->size; ++i) new (&dst[i]) Value(std::move(src[i]));
+    detail::value_free(rep, old_arena);
+  }
+  pay_.l = nrep;
+  flags_ = static_cast<std::uint8_t>((flags_ & ~kArenaBlk) | (arena ? kArenaBlk : 0));
+}
+
+void Value::append(Value v) {
+  if (!is_list()) {
+    destroy();
+    kind_ = ValueKind::kList;
+    pay_.l = nullptr;
+  }
+  if (pay_.l == nullptr || pay_.l->size == pay_.l->cap) grow_list();
+  new (&list_items(pay_.l)[pay_.l->size]) Value(std::move(v));
+  pay_.l->size++;
+}
+
+void Value::detach() {
+  switch (kind_) {
+    case ValueKind::kStr:
+    case ValueKind::kRef:
+      if ((flags_ & (kHeapStr | kArenaBlk)) == (kHeapStr | kArenaBlk)) {
+        auto* rep = static_cast<StrRep*>(
+            detail::value_alloc_heap(sizeof(StrRep) + pay_.s->len));
+        rep->len = pay_.s->len;
+        std::memcpy(rep->data(), pay_.s->data(), rep->len);
+        pay_.s = rep;
+        flags_ &= static_cast<std::uint8_t>(~kArenaBlk);
+      }
+      return;
+    case ValueKind::kList: {
+      if (pay_.l == nullptr) return;
+      if ((flags_ & kArenaBlk) != 0) {
+        auto* rep = static_cast<ListRep*>(detail::value_alloc_heap(
+            sizeof(ListRep) + pay_.l->cap * sizeof(Value)));
+        rep->size = pay_.l->size;
+        rep->cap = pay_.l->cap;
+        Value* src = list_items(pay_.l);
+        Value* dst = list_items(rep);
+        for (std::uint32_t i = 0; i < rep->size; ++i) {
+          new (&dst[i]) Value(std::move(src[i]));
+        }
+        pay_.l = rep;  // old block reclaimed by the arena
+        flags_ &= static_cast<std::uint8_t>(~kArenaBlk);
+      }
+      Value* items = list_items(pay_.l);
+      for (std::uint32_t i = 0; i < pay_.l->size; ++i) items[i].detach();
+      return;
+    }
+    case ValueKind::kMap: {
+      if (pay_.m == nullptr) return;
+      if ((flags_ & kBigMap) != 0) {
+        if ((flags_ & kArenaBlk) != 0) {
+          auto* rep =
+              static_cast<BigMapRep*>(detail::value_alloc_heap(sizeof(BigMapRep)));
+          new (rep) BigMapRep{std::move(pay_.bm->m)};
+          pay_.bm->~BigMapRep();  // block itself reclaimed by the arena
+          pay_.bm = rep;
+          flags_ &= static_cast<std::uint8_t>(~kArenaBlk);
+        }
+        for (auto& [k, v] : pay_.bm->m) {
+          (void)k;
+          v.detach();
+        }
+        return;
+      }
+      if ((flags_ & kArenaBlk) != 0) {
+        auto* rep = static_cast<MapRep*>(detail::value_alloc_heap(
+            sizeof(MapRep) + pay_.m->cap * sizeof(Entry)));
+        rep->size = pay_.m->size;
+        rep->cap = pay_.m->cap;
+        Entry* src = map_entries(pay_.m);
+        Entry* dst = map_entries(rep);
+        for (std::uint32_t i = 0; i < rep->size; ++i) {
+          dst[i].key = src[i].key;
+          new (&dst[i].val) Value(std::move(src[i].val));
+        }
+        pay_.m = rep;  // old block reclaimed by the arena
+        flags_ &= static_cast<std::uint8_t>(~kArenaBlk);
+      }
+      Entry* es = map_entries(pay_.m);
+      for (std::uint32_t i = 0; i < pay_.m->size; ++i) es[i].val.detach();
+      return;
+    }
+    default:
+      return;
+  }
+}
 
 bool Value::truthy() const {
   switch (kind_) {
     case ValueKind::kNull: return false;
-    case ValueKind::kBool: return bool_;
-    case ValueKind::kInt: return int_ != 0;
+    case ValueKind::kBool: return pay_.b;
+    case ValueKind::kInt: return pay_.i != 0;
     case ValueKind::kStr:
-    case ValueKind::kRef: return !str_.empty();
-    case ValueKind::kList: return !list_.empty();
-    case ValueKind::kMap: return !map_.empty();
+    case ValueKind::kRef: return !as_str().empty();
+    case ValueKind::kList: return pay_.l != nullptr && pay_.l->size > 0;
+    case ValueKind::kMap: return as_map().size() > 0;
   }
   return false;
 }
@@ -96,12 +507,29 @@ bool Value::operator==(const Value& o) const {
   if (kind_ != o.kind_) return false;
   switch (kind_) {
     case ValueKind::kNull: return true;
-    case ValueKind::kBool: return bool_ == o.bool_;
-    case ValueKind::kInt: return int_ == o.int_;
+    case ValueKind::kBool: return pay_.b == o.pay_.b;
+    case ValueKind::kInt: return pay_.i == o.pay_.i;
     case ValueKind::kStr:
-    case ValueKind::kRef: return str_ == o.str_;
-    case ValueKind::kList: return list_ == o.list_;
-    case ValueKind::kMap: return map_ == o.map_;
+    case ValueKind::kRef: return as_str() == o.as_str();
+    case ValueKind::kList: {
+      ListView a = as_list(), b = o.as_list();
+      if (a.size() != b.size()) return false;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (!(a[i] == b[i])) return false;
+      }
+      return true;
+    }
+    case ValueKind::kMap: {
+      MapView a = as_map(), b = o.as_map();
+      if (a.size() != b.size()) return false;
+      auto ia = a.begin(), ib = b.begin(), ea = a.end();
+      for (; ia != ea; ++ia, ++ib) {
+        auto pa = *ia;
+        auto pb = *ib;
+        if (pa.first != pb.first || !(pa.second == pb.second)) return false;
+      }
+      return true;
+    }
   }
   return false;
 }
@@ -110,12 +538,34 @@ bool Value::operator<(const Value& o) const {
   if (kind_ != o.kind_) return kind_ < o.kind_;
   switch (kind_) {
     case ValueKind::kNull: return false;
-    case ValueKind::kBool: return bool_ < o.bool_;
-    case ValueKind::kInt: return int_ < o.int_;
+    case ValueKind::kBool: return static_cast<int>(pay_.b) < static_cast<int>(o.pay_.b);
+    case ValueKind::kInt: return pay_.i < o.pay_.i;
     case ValueKind::kStr:
-    case ValueKind::kRef: return str_ < o.str_;
-    case ValueKind::kList: return list_ < o.list_;
-    case ValueKind::kMap: return map_ < o.map_;
+    case ValueKind::kRef: return as_str() < o.as_str();
+    case ValueKind::kList: {
+      // std::vector's lexicographic order, reproduced over the views.
+      ListView a = as_list(), b = o.as_list();
+      std::size_t n = a.size() < b.size() ? a.size() : b.size();
+      for (std::size_t i = 0; i < n; ++i) {
+        if (a[i] < b[i]) return true;
+        if (b[i] < a[i]) return false;
+      }
+      return a.size() < b.size();
+    }
+    case ValueKind::kMap: {
+      // std::map's lexicographic order over (key, value) pairs.
+      MapView a = as_map(), b = o.as_map();
+      auto ia = a.begin(), ea = a.end(), ib = b.begin(), eb = b.end();
+      for (; ia != ea && ib != eb; ++ia, ++ib) {
+        auto pa = *ia;
+        auto pb = *ib;
+        if (pa.first < pb.first) return true;
+        if (pb.first < pa.first) return false;
+        if (pa.second < pb.second) return true;
+        if (pb.second < pa.second) return false;
+      }
+      return ib != eb;
+    }
   }
   return false;
 }
@@ -129,18 +579,19 @@ std::string Value::to_text() const {
 void Value::append_text(std::string& out) const {
   switch (kind_) {
     case ValueKind::kNull: out += "null"; return;
-    case ValueKind::kBool: out += bool_ ? "true" : "false"; return;
-    case ValueKind::kInt: out += std::to_string(int_); return;
-    case ValueKind::kStr: append_escaped(out, str_); return;
+    case ValueKind::kBool: out += pay_.b ? "true" : "false"; return;
+    case ValueKind::kInt: out += std::to_string(pay_.i); return;
+    case ValueKind::kStr: append_escaped(out, as_str()); return;
     case ValueKind::kRef:
       out += '@';
-      out += str_;
+      out += as_str();
       return;
     case ValueKind::kList: {
       out += '[';
-      for (std::size_t i = 0; i < list_.size(); ++i) {
+      ListView items = as_list();
+      for (std::size_t i = 0; i < items.size(); ++i) {
         if (i != 0) out += ',';
-        list_[i].append_text(out);
+        items[i].append_text(out);
       }
       out += ']';
       return;
@@ -148,7 +599,7 @@ void Value::append_text(std::string& out) const {
     case ValueKind::kMap: {
       out += '{';
       bool first = true;
-      for (const auto& [k, v] : map_) {
+      for (const auto& [k, v] : as_map()) {
         if (!first) out += ',';
         first = false;
         append_escaped(out, k);
@@ -180,8 +631,8 @@ std::vector<std::string> Value::diff(const Value& a, const Value& b, const std::
     return out;
   }
   if (a.kind() == ValueKind::kList && b.kind() == ValueKind::kList) {
-    const auto& la = a.as_list();
-    const auto& lb = b.as_list();
+    ListView la = a.as_list();
+    ListView lb = b.as_list();
     if (la.size() != lb.size()) {
       out.push_back(strf(path, ": list size ", la.size(), " vs ", lb.size()));
       return out;

@@ -2,19 +2,29 @@
 // resource attributes, API arguments, API response payloads, and the SM
 // interpreter's state variables. It is a JSON-like tagged union with ordered
 // maps (for deterministic printing and comparison).
+//
+// Representation (DESIGN.md "Value representation"): a 24-byte tagged union.
+// Strings up to 16 bytes live inline; longer ones in a single heap block.
+// Maps keep interned keys (`KeyId`, see common/interned.h) sorted by key
+// *string*, stored as a flat entry array while small and spilling to a
+// node-based ordered form when large — logical semantics are identical to
+// the historical std::map<std::string, Value>, byte-for-byte in every
+// rendering. Rep blocks come from the thread's active request arena when
+// one is installed (common/arena.h); `detach()` rewrites a tree onto the
+// heap before it may outlive the request.
 #pragma once
 
 #include <cstdint>
 #include <map>
-#include <memory>
-#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/interned.h"
+
 namespace lce {
 
-enum class ValueKind {
+enum class ValueKind : std::uint8_t {
   kNull,
   kBool,
   kInt,
@@ -26,28 +36,96 @@ enum class ValueKind {
 
 std::string_view to_string(ValueKind k);
 
+class Value;
+
+namespace value_detail {
+
+// Rep-block headers; the payload (chars, Values, Entries) follows the
+// header inside the same allocation.
+struct StrRep {
+  std::uint32_t len;
+  char* data() { return reinterpret_cast<char*>(this + 1); }
+  const char* data() const { return reinterpret_cast<const char*>(this + 1); }
+};
+struct ListRep {
+  std::uint32_t size;
+  std::uint32_t cap;
+  // Value[cap] follows.
+};
+struct MapRep {
+  std::uint32_t size;
+  std::uint32_t cap;
+  // Entry[cap] follows.
+};
+struct Entry;      // { KeyId key; Value val; }
+struct BigMapRep;  // node-based ordered form for large maps
+
+// Orders interned keys by their spelling, so iteration order matches the
+// historical std::map<std::string, Value> exactly.
+struct KeyNameLess {
+  using is_transparent = void;
+  bool operator()(KeyId a, KeyId b) const { return key_name(a) < key_name(b); }
+  bool operator()(KeyId a, std::string_view b) const { return key_name(a) < b; }
+  bool operator()(std::string_view a, KeyId b) const { return a < key_name(b); }
+};
+using BigMap = std::map<KeyId, Value, KeyNameLess>;
+
+}  // namespace value_detail
+
 class Value {
  public:
+  /// Builder/reference forms: ergonomic for literals and incremental
+  /// construction; converted into the compact representation by the
+  /// Value(Map)/Value(List) constructors. std::less<> so lookups with
+  /// string_view keys need no temporary string.
   using List = std::vector<Value>;
-  // std::less<> so lookups with string_view keys need no temporary string.
   using Map = std::map<std::string, Value, std::less<>>;
 
-  Value() : kind_(ValueKind::kNull) {}
+  Value() noexcept {}
   // NOLINTBEGIN(google-explicit-constructor): implicit conversions are the
   // point of a dynamic value type.
-  Value(bool b) : kind_(ValueKind::kBool), bool_(b) {}
-  Value(std::int64_t i) : kind_(ValueKind::kInt), int_(i) {}
-  Value(int i) : kind_(ValueKind::kInt), int_(i) {}
-  Value(std::string s) : kind_(ValueKind::kStr), str_(std::move(s)) {}
-  Value(const char* s) : kind_(ValueKind::kStr), str_(s) {}
-  Value(List l) : kind_(ValueKind::kList), list_(std::move(l)) {}
-  Value(Map m) : kind_(ValueKind::kMap), map_(std::move(m)) {}
+  Value(bool b) noexcept : kind_(ValueKind::kBool) { pay_.b = b; }
+  Value(std::int64_t i) noexcept : kind_(ValueKind::kInt) { pay_.i = i; }
+  Value(int i) noexcept : kind_(ValueKind::kInt) { pay_.i = i; }
+  Value(const std::string& s) { init_str(ValueKind::kStr, s); }
+  Value(std::string_view s) { init_str(ValueKind::kStr, s); }
+  Value(const char* s) { init_str(ValueKind::kStr, s); }
+  Value(List l);
+  Value(Map m);
   // NOLINTEND(google-explicit-constructor)
+
+  Value(const Value& o) { copy_from(o); }
+  Value(Value&& o) noexcept : pay_(o.pay_), aux_(o.aux_), kind_(o.kind_), flags_(o.flags_) {
+    o.kind_ = ValueKind::kNull;
+    o.flags_ = 0;
+  }
+  Value& operator=(const Value& o) {
+    if (this != &o) {
+      destroy();
+      copy_from(o);
+    }
+    return *this;
+  }
+  Value& operator=(Value&& o) noexcept {
+    if (this != &o) {
+      destroy();
+      pay_ = o.pay_;
+      aux_ = o.aux_;
+      kind_ = o.kind_;
+      flags_ = o.flags_;
+      o.kind_ = ValueKind::kNull;
+      o.flags_ = 0;
+    }
+    return *this;
+  }
+  ~Value() { destroy(); }
 
   /// Make a resource-reference value (distinct kind from plain strings so
   /// alignment can treat ids specially when diffing responses).
-  static Value ref(std::string id);
+  static Value ref(std::string_view id);
   static Value null() { return Value(); }
+  /// An empty map (distinct from null: renders as {} and accepts set()).
+  static Value empty_map();
 
   ValueKind kind() const { return kind_; }
   bool is_null() const { return kind_ == ValueKind::kNull; }
@@ -58,26 +136,43 @@ class Value {
   bool is_list() const { return kind_ == ValueKind::kList; }
   bool is_map() const { return kind_ == ValueKind::kMap; }
 
-  /// Accessors assert the kind in debug builds; on mismatch they return a
-  /// zero value rather than UB (emulation code paths prefer robustness).
-  bool as_bool() const { return is_bool() ? bool_ : false; }
-  std::int64_t as_int() const { return is_int() ? int_ : 0; }
-  const std::string& as_str() const;  // str or ref
-  const List& as_list() const;
-  const Map& as_map() const;
-  List& mutable_list();
-  Map& mutable_map();
+  /// Accessors return a zero value on kind mismatch rather than UB
+  /// (emulation code paths prefer robustness).
+  bool as_bool() const { return is_bool() ? pay_.b : false; }
+  std::int64_t as_int() const { return is_int() ? pay_.i : 0; }
+  std::string_view as_str() const {  // str or ref
+    if (!is_str() && !is_ref()) return {};
+    return (flags_ & kHeapStr) != 0 ? std::string_view(pay_.s->data(), pay_.s->len)
+                                    : std::string_view(pay_.ch, aux_);
+  }
+
+  class ListView;
+  class MapView;
+  ListView as_list() const;
+  MapView as_map() const;
 
   /// Map convenience: pointer into the map, nullptr when not a map or key
   /// missing. (Pointer, not optional<Value>: callers chain `->as_list()`
-  /// etc., which must not reference a temporary.)
+  /// etc., which must not reference a temporary.) The pointer is valid
+  /// until the map is next mutated.
   const Value* get(std::string_view key) const;
+  const Value* get(KeyId key) const;
   /// Map convenience with default.
   Value get_or(std::string_view key, Value def) const;
   bool has(std::string_view key) const { return get(key) != nullptr; }
-  void set(std::string key, Value v);
+  /// Insert or overwrite; converts *this to an (empty) map first when it
+  /// is not one, matching the historical mutable_map() behavior.
+  void set(std::string_view key, Value v);
+  void set(KeyId key, Value v);
+  /// List append; converts *this to an (empty) list first if needed.
+  void append(Value v);
 
-  /// "Truthiness" used by predicates: null/false/0/"" are false.
+  /// Rewrite any arena-backed rep blocks in this tree onto the heap, in
+  /// place. Required before a Value escapes the request that built it
+  /// (store writes, returned responses). No-op for heap/inline trees.
+  void detach();
+
+  /// "Truthiness" used by predicates: null/false/0/""/[]/{} are false.
   bool truthy() const;
 
   bool operator==(const Value& o) const;
@@ -97,12 +192,167 @@ class Value {
                                        const std::string& path = "");
 
  private:
-  ValueKind kind_;
-  bool bool_ = false;
-  std::int64_t int_ = 0;
-  std::string str_;
-  List list_;
-  Map map_;
+  friend struct value_detail::Entry;
+
+  enum : std::uint8_t {
+    kHeapStr = 1,   // str/ref payload is a StrRep*, not inline chars
+    kBigMap = 2,    // map payload is a BigMapRep*, not a flat MapRep*
+    kArenaBlk = 4,  // the rep block was bump-allocated from the arena
+  };
+  static constexpr std::size_t kInlineStrCap = 16;
+  static constexpr std::uint32_t kSmallMapMax = 32;  // flat->big threshold
+
+  union Payload {
+    bool b;
+    std::int64_t i;
+    char ch[kInlineStrCap];
+    value_detail::StrRep* s;
+    value_detail::ListRep* l;
+    value_detail::MapRep* m;
+    value_detail::BigMapRep* bm;
+  };
+
+  void init_str(ValueKind k, std::string_view s);
+  void copy_from(const Value& o);
+  void destroy() noexcept;
+  void become_empty_map();
+  /// Insert `v` at sorted position for `key` (which must be absent),
+  /// growing or spilling as needed.
+  void insert_new(KeyId key, std::string_view name, Value&& v);
+  void spill_to_big();
+  void grow_list();
+
+  Payload pay_{};
+  std::uint32_t aux_ = 0;  // inline string length
+  ValueKind kind_ = ValueKind::kNull;
+  std::uint8_t flags_ = 0;
 };
+
+static_assert(sizeof(Value) <= 40, "Value must stay a compact tagged union");
+
+namespace value_detail {
+
+struct Entry {
+  KeyId key;
+  Value val;
+};
+
+struct BigMapRep {
+  BigMap m;
+};
+
+inline Value* list_items(ListRep* l) { return reinterpret_cast<Value*>(l + 1); }
+inline const Value* list_items(const ListRep* l) {
+  return reinterpret_cast<const Value*>(l + 1);
+}
+inline Entry* map_entries(MapRep* m) { return reinterpret_cast<Entry*>(m + 1); }
+inline const Entry* map_entries(const MapRep* m) {
+  return reinterpret_cast<const Entry*>(m + 1);
+}
+
+}  // namespace value_detail
+
+/// Read-only view over a list Value's contiguous elements. Value-semantic
+/// and cheap; empty for non-list Values.
+class Value::ListView {
+ public:
+  using iterator = const Value*;
+  const Value* begin() const { return data_; }
+  const Value* end() const { return data_ + size_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  const Value& operator[](std::size_t i) const { return data_[i]; }
+  const Value& front() const { return data_[0]; }
+  const Value& back() const { return data_[size_ - 1]; }
+  /// Builder copy, for call sites that mutate a snapshot of the list.
+  operator List() const { return List(begin(), end()); }  // NOLINT
+
+ private:
+  friend class Value;
+  ListView(const Value* d, std::size_t n) : data_(d), size_(n) {}
+  const Value* data_;
+  std::size_t size_;
+};
+
+/// Read-only view over a map Value's ordered (key, value) pairs; iteration
+/// yields pair<string_view, const Value&> in key order. Empty for non-map
+/// Values.
+class Value::MapView {
+  using Entry = value_detail::Entry;
+  using BigIt = value_detail::BigMap::const_iterator;
+
+ public:
+  class iterator {
+   public:
+    using reference = std::pair<std::string_view, const Value&>;
+    reference operator*() const {
+      if (big_) return {key_name(it_->first), it_->second};
+      return {key_name(e_->key), e_->val};
+    }
+    struct ArrowProxy {
+      reference p;
+      const reference* operator->() const { return &p; }
+    };
+    ArrowProxy operator->() const { return ArrowProxy{**this}; }
+    iterator& operator++() {
+      if (big_) {
+        ++it_;
+      } else {
+        ++e_;
+      }
+      return *this;
+    }
+    bool operator==(const iterator& o) const {
+      return big_ ? it_ == o.it_ : e_ == o.e_;
+    }
+    bool operator!=(const iterator& o) const { return !(*this == o); }
+
+   private:
+    friend class MapView;
+    iterator(const Entry* e) : e_(e), big_(false) {}
+    iterator(BigIt it) : it_(it), big_(true) {}
+    const Entry* e_ = nullptr;
+    BigIt it_{};
+    bool big_;
+  };
+
+  iterator begin() const {
+    if (big_ != nullptr) return iterator(big_->m.begin());
+    return iterator(flat_);
+  }
+  iterator end() const {
+    if (big_ != nullptr) return iterator(big_->m.end());
+    return iterator(flat_ + size_);
+  }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  /// Builder copy, for call sites that mutate a snapshot of the map.
+  operator Map() const {  // NOLINT
+    Map out;
+    for (const auto& [k, v] : *this) out.emplace_hint(out.end(), std::string(k), v);
+    return out;
+  }
+
+ private:
+  friend class Value;
+  MapView() : flat_(nullptr), size_(0) {}
+  MapView(const Entry* e, std::size_t n) : flat_(e), size_(n) {}
+  explicit MapView(const value_detail::BigMapRep* b)
+      : flat_(nullptr), big_(b), size_(b->m.size()) {}
+  const Entry* flat_;
+  const value_detail::BigMapRep* big_ = nullptr;
+  std::size_t size_;
+};
+
+inline Value::ListView Value::as_list() const {
+  if (!is_list() || pay_.l == nullptr) return ListView(nullptr, 0);
+  return ListView(value_detail::list_items(pay_.l), pay_.l->size);
+}
+
+inline Value::MapView Value::as_map() const {
+  if (!is_map() || pay_.m == nullptr) return MapView();
+  if ((flags_ & kBigMap) != 0) return MapView(pay_.bm);
+  return MapView(value_detail::map_entries(pay_.m), pay_.m->size);
+}
 
 }  // namespace lce

@@ -56,7 +56,7 @@ std::string render_value(const Value& v) {
     case ValueKind::kInt: return std::to_string(v.as_int());
     case ValueKind::kStr:
     case ValueKind::kRef: {
-      const std::string& s = v.as_str();
+      std::string_view s = v.as_str();
       // "$N.id" placeholders round-trip to $N.
       if (s.size() > 4 && s[0] == '$' && ends_with(s, ".id")) {
         std::int64_t n = 0;

@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/cidr.h"
 #include "common/errors.h"
 #include "common/strings.h"
@@ -47,8 +48,9 @@ class Execution {
     }
 
     std::string target = !req.target.empty() ? req.target
-                         : req.args.count("id") != 0 ? req.args.at("id").as_str()
-                                                     : "";
+                         : req.args.count("id") != 0
+                             ? std::string(req.args.at("id").as_str())
+                             : "";
     LockPlan lock = plan::classify_transition(*transition);
     mode_ = lock.mode;
     StripedRwLock::Guard guard;
@@ -193,7 +195,11 @@ class Execution {
     // Resolve or create the target instance.
     if (transition.kind == TransitionKind::kCreate) {
       Resource& r = make_resource(machine);
-      for (const auto& sv : machine.states) r.attrs[sv.name] = sv.initial;
+      {
+        // Store write: the initial-value copies must be heap-backed.
+        ArenaPause pause;
+        for (const auto& sv : machine.states) r.attrs.set(sv.name, sv.initial);
+      }
       frame.self = &r;
     } else {
       Resource* r = store_.find(target);
@@ -237,8 +243,8 @@ class Execution {
         transition.kind == TransitionKind::kDescribe) {
       if (self != nullptr) {
         for (const auto& sv : machine.states) {
-          auto it = self->attrs.find(sv.name);
-          data[sv.name] = it != self->attrs.end() ? it->second : Value();
+          const Value* v = self->attrs.get(sv.name);
+          data[sv.name] = v != nullptr ? *v : Value();
         }
       }
     }
@@ -280,12 +286,13 @@ class Execution {
                      FailureSite::Origin::kWriteCheck, s.var);
         }
         journal_.note_modified(*frame.self);
-        frame.self->attrs[s.var] = std::move(v);
+        v.detach();  // store write: the value outlives the request
+        frame.self->attrs.set(s.var, std::move(v));
         return;
       }
       case StmtKind::kRead: {
-        auto it = frame.self->attrs.find(s.var);
-        frame.reads[s.var] = it != frame.self->attrs.end() ? it->second : Value();
+        const Value* v = frame.self->attrs.get(s.var);
+        frame.reads[s.var] = v != nullptr ? *v : Value();
         return;
       }
       case StmtKind::kAssert: {
@@ -317,7 +324,8 @@ class Execution {
         Resource* callee_res = store_.find(target.as_str());
         if (callee_res == nullptr) {
           abort_with(std::string(errc::kResourceNotFound),
-                     {{"resource", "resource"}, {"id", target.as_str()}}, mname, tname);
+                     {{"resource", "resource"}, {"id", std::string(target.as_str())}},
+                     mname, tname);
         }
         const StateMachine* callee_m = spec_.find_machine(callee_res->type);
         const Transition* callee_t =
@@ -345,7 +353,8 @@ class Execution {
                              p->type != frame.machine->parent_type)) {
           abort_with(std::string(errc::kResourceNotFound),
                      {{"resource", frame.machine->parent_type},
-                      {"id", parent.is_ref() ? parent.as_str() : parent.to_text()}},
+                      {"id", parent.is_ref() ? std::string(parent.as_str())
+                                             : parent.to_text()}},
                      mname, tname);
         }
         journal_.note_modified(*frame.self);
@@ -391,8 +400,7 @@ class Execution {
       case ExprKind::kVar: {
         auto pit = frame.params.find(e.name);
         if (pit != frame.params.end()) return pit->second;
-        auto ait = frame.self->attrs.find(e.name);
-        if (ait != frame.self->attrs.end()) return ait->second;
+        if (const Value* av = frame.self->attrs.get(e.name)) return *av;
         // Unknown name evaluates to null (lenient, like the mock cloud).
         return Value();
       }
@@ -405,8 +413,8 @@ class Execution {
         if (e.name == "parent") {
           return r->parent_id.empty() ? Value() : Value::ref(r->parent_id);
         }
-        auto it = r->attrs.find(e.name);
-        return it != r->attrs.end() ? it->second : Value();
+        const Value* v = r->attrs.get(e.name);
+        return v != nullptr ? *v : Value();
       }
       case ExprKind::kUnary: {
         Value v = eval(*e.kids[0], frame);
@@ -485,13 +493,15 @@ class Execution {
       if (!mine) return Value(false);
       // Optional second arg: which sibling attribute holds the block
       // (defaults to the AWS-style "cidr_block").
-      std::string attr = e.kids.size() > 1 ? arg(1).as_str() : "cidr_block";
+      Value attr_arg = e.kids.size() > 1 ? arg(1) : Value();
+      std::string_view attr =
+          e.kids.size() > 1 ? attr_arg.as_str() : std::string_view("cidr_block");
       for (const auto& sid : store_.siblings_of(frame.self->id)) {
         const Resource* sib = store_.find(sid);
         if (sib == nullptr) continue;
-        auto it = sib->attrs.find(attr);
-        if (it == sib->attrs.end()) continue;
-        auto theirs = Cidr::parse(it->second.as_str());
+        const Value* block = sib->attrs.get(attr);
+        if (block == nullptr) continue;
+        auto theirs = Cidr::parse(block->as_str());
         if (theirs && mine->overlaps(*theirs)) return Value(true);
       }
       return Value(false);
@@ -545,9 +555,24 @@ void Interpreter::rebuild_dispatch() {
 
 ApiResponse Interpreter::invoke(const ApiRequest& req) {
   FailureSite site;
-  ApiResponse resp = plan_ != nullptr
-                         ? plan::run_plan(*plan_, opts_, store_, req, site)
-                         : Execution(spec_, opts_, store_).run(req, site);
+  ApiResponse resp;
+  if (opts_.use_arena && detail::current_arena() == nullptr) {
+    // Request-scoped arena: every transient Value rep block this invoke
+    // builds on this thread is bump-allocated and reclaimed in one reset.
+    // Store writes detach at the write site; the response detaches here,
+    // after which no arena-backed Value survives.
+    static thread_local Arena arena;
+    {
+      ArenaScope scope(arena);
+      resp = plan_ != nullptr ? plan::run_plan(*plan_, opts_, store_, req, site)
+                              : Execution(spec_, opts_, store_).run(req, site);
+      resp.data.detach();
+    }
+    arena.reset();
+  } else {
+    resp = plan_ != nullptr ? plan::run_plan(*plan_, opts_, store_, req, site)
+                            : Execution(spec_, opts_, store_).run(req, site);
+  }
   std::lock_guard<std::mutex> lock(*failure_mu_);
   last_failure_ = std::move(site);
   return resp;

@@ -384,14 +384,18 @@ struct Compiler {
       machine.transitions.resize(m.transitions.size());
       plan.symbols_.intern(m.name);
       plan.machine_by_type_.emplace(std::string_view(m.name), mi);
+      machine.slot_keys.reserve(m.states.size());
+      Value::Map proto;
       for (std::uint32_t si = 0; si < m.states.size(); ++si) {
         plan.symbols_.intern(m.states[si].name);
         // First declaration wins on duplicates (find_state parity).
         machine.state_index.emplace(std::string_view(m.states[si].name), si);
+        machine.slot_keys.push_back(intern_key(m.states[si].name));
         // Last declaration wins in the prototype (map-assign parity with
         // the tree-walk's per-state insertion loop).
-        machine.attr_prototype[m.states[si].name] = m.states[si].initial;
+        proto[m.states[si].name] = m.states[si].initial;
       }
+      machine.attr_prototype = Value(std::move(proto));
       // Ascending-key emplace order for create/describe responses, and
       // where "id" slots into it.
       machine.response_order.resize(m.states.size());

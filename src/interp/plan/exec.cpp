@@ -1,14 +1,16 @@
 // Executes compiled plans: a mirror of the tree-walking Execution in
 // interpreter.cpp with every name already resolved — dispatch and lock
 // mode are table lookups, parameters live in a flat slot vector, state
-// variables go through the Resource slot cache, and expressions run as
-// postorder op arrays over a reused value stack. Any behavioral
-// difference from the reference path is a bug; see the equivalence suite.
+// variables are read and written by interned KeyId straight into the
+// Resource's compact attrs map, and expressions run as postorder op
+// arrays over a reused value stack. Any behavioral difference from the
+// reference path is a bug; see the equivalence suite.
 #include "interp/plan/exec.h"
 
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/cidr.h"
 #include "common/errors.h"
 #include "common/strings.h"
@@ -23,14 +25,28 @@ using internal::UndoJournal;
 using spec::StateMachine;
 using spec::TransitionKind;
 
+/// Interned key for the response's "id" field (every payload carries it).
+KeyId id_key() {
+  static const KeyId k = intern_key("id");
+  return k;
+}
+
+// Per-request containers draw from the request arena (ArenaAlloc pins
+// the active arena at construction; PlanExecution and every PlanFrame
+// live strictly inside the invoke's ArenaScope), so steady-state
+// requests do no container mallocs at all.
+using ValueVec = std::vector<Value, ArenaAlloc<Value>>;
+
 struct PlanFrame {
   const MachinePlan* mp = nullptr;
   const CompiledTransition* ct = nullptr;
   Resource* self = nullptr;
-  std::vector<Value> params;  // indexed by the transition's param order
+  ValueVec params;  // indexed by the transition's param order
   // read() outputs in execution order; duplicate vars overwrite when
   // merged into the response map, matching the tree-walk's reads map.
-  std::vector<std::pair<const std::string*, Value>> reads;
+  std::vector<std::pair<const std::string*, Value>,
+              ArenaAlloc<std::pair<const std::string*, Value>>>
+      reads;
 };
 
 class PlanExecution {
@@ -50,8 +66,9 @@ class PlanExecution {
 
     const StateMachine& machine = *ct->machine;
     std::string target = !req.target.empty() ? req.target
-                         : req.args.count("id") != 0 ? req.args.at("id").as_str()
-                                                     : "";
+                         : req.args.count("id") != 0
+                             ? std::string(req.args.at("id").as_str())
+                             : "";
     mode_ = ct->lock.mode;
     StripedRwLock::Guard guard;
     switch (mode_) {
@@ -77,6 +94,7 @@ class PlanExecution {
                                internal::id_suffix_counter(preminted_));
         }
         std::vector<std::size_t> shards;
+        shards.reserve(4);  // premint + target + a couple of ref args
         if (!preminted_.empty()) shards.push_back(store_.shard_of(preminted_));
         if (!target.empty()) shards.push_back(store_.shard_of(target));
         for (const auto& [_, v] : req.args) {
@@ -126,61 +144,12 @@ class PlanExecution {
     return ApiResponse::failure(std::move(code), std::move(msg));
   }
 
-  bool exclusive() const { return mode_ != LockMode::kReadShared; }
-
-  /// (Re)point `r`'s slot cache at its attrs map nodes for this plan's
-  /// epoch. Only legal under an exclusive lock on r's shard.
-  void build_slot_cache(Resource& r, const MachinePlan& mp) {
-    r.slot_cache.assign(mp.slot_count(), nullptr);
-    for (std::uint32_t i = 0; i < mp.slot_count(); ++i) {
-      auto it = r.attrs.find(mp.slot_name(i));
-      if (it != r.attrs.end()) r.slot_cache[i] = &it->second;
-    }
-    r.slot_epoch = plan_.epoch();
-  }
-
-  /// Slot cache for an attrs map just copied from the machine's
-  /// prototype: the copy preserves sorted order, so one ordered walk
-  /// replaces the per-slot lookups of build_slot_cache.
-  void build_slot_cache_fresh(Resource& r, const MachinePlan& mp) {
-    r.slot_cache.assign(mp.slot_count(), nullptr);
-    auto it = r.attrs.begin();
-    for (std::uint32_t i = 0; i < mp.response_order.size(); ++i) {
-      std::uint32_t slot = mp.response_order[i];
-      const std::string& name = mp.slot_name(slot);
-      while (it != r.attrs.end() && it->first < name) ++it;
-      if (it != r.attrs.end() && it->first == name) r.slot_cache[slot] = &it->second;
-    }
-    r.slot_epoch = plan_.epoch();
-  }
-
   /// Current value of declared state `slot` on `r` (machine plan `mp`),
-  /// nullptr when the attribute is absent. Uses the slot cache when warm;
-  /// read-shared transitions may not build caches, so they fall back to a
-  /// map lookup when cold.
-  const Value* state_value(Resource& r, const MachinePlan& mp, std::uint32_t slot,
-                           const std::string& name) {
-    if (r.slot_epoch == plan_.epoch()) return r.slot_cache[slot];
-    if (exclusive()) {
-      build_slot_cache(r, mp);
-      return r.slot_cache[slot];
-    }
-    auto it = r.attrs.find(name);
-    return it != r.attrs.end() ? &it->second : nullptr;
-  }
-
-  /// Slot pointer for a write (exclusive lock held by construction of the
-  /// lock plan — only mutating transitions contain writes). Inserts the
-  /// attribute when absent and keeps the cache pointing at the node.
-  Value* state_slot_for_write(Resource& r, const MachinePlan& mp, std::uint32_t slot,
-                              const std::string& name) {
-    if (r.slot_epoch != plan_.epoch()) build_slot_cache(r, mp);
-    if (r.slot_cache[slot] == nullptr) {
-      auto [it, inserted] = r.attrs.emplace(name, Value());
-      (void)inserted;
-      r.slot_cache[slot] = &it->second;
-    }
-    return r.slot_cache[slot];
+  /// nullptr when the attribute is absent: one integer-keyed probe of the
+  /// compact attrs map — no string hashing or comparison, no allocation.
+  static const Value* state_value(const Resource& r, const MachinePlan& mp,
+                                  std::uint32_t slot) {
+    return r.attrs.get(mp.slot_key(slot));
   }
 
   /// Create the target of a kCreate transition. The top-level create of a
@@ -207,7 +176,7 @@ class PlanExecution {
   /// values, aligned to the callee's param order) are the two argument
   /// sources; exactly one is non-null. Positional values are moved out.
   ApiResponse run_transition(const MachinePlan& mp, const CompiledTransition& ct,
-                             const Value::Map* named, std::vector<Value>* positional,
+                             const Value::Map* named, ValueVec* positional,
                              const std::string& target) {
     const StateMachine& machine = *ct.machine;
     const std::string& tname = ct.src->name;
@@ -252,10 +221,13 @@ class PlanExecution {
     // Resolve or create the target instance.
     if (ct.kind == TransitionKind::kCreate) {
       Resource& r = make_resource(machine);
-      // Wholesale copy of the precompiled defaults map — same contents as
-      // inserting machine.states one by one, at map-copy cost.
-      r.attrs = mp.attr_prototype;
-      build_slot_cache_fresh(r, mp);  // creates always hold exclusive locks
+      {
+        // Wholesale copy of the precompiled defaults map — same contents
+        // as inserting machine.states one by one, at one compact-rep copy.
+        // Store write: pause the arena so the copy is heap-backed.
+        ArenaPause pause;
+        r.attrs = mp.attr_prototype;
+      }
       frame.self = &r;
     } else {
       Resource* r = store_.find(target);
@@ -299,36 +271,34 @@ class PlanExecution {
       }
     }
 
-    // Build the response payload. Create/describe emit the target's full
-    // state; the precompiled sorted slot order lets every entry land with
-    // an end-of-map emplace hint instead of a root-down walk.
-    Value::Map data;
+    // Build the response payload directly in Value's compact form (rep
+    // blocks come from the request arena when one is active; the caller
+    // detaches the response). Create/describe emit the target's full
+    // state; the precompiled sorted slot order makes every set() hit the
+    // flat map's append fast path instead of a search + shift.
+    Value data = Value::empty_map();
     Resource* self = self_stable ? frame.self : store_.find(self_id);
     bool full_state = (ct.kind == TransitionKind::kCreate ||
                        ct.kind == TransitionKind::kDescribe) &&
                       self != nullptr;
     if (full_state && mp.sorted_response) {
       for (std::uint32_t i = 0; i <= mp.response_order.size(); ++i) {
-        if (i == mp.id_response_pos) {
-          data.emplace_hint(data.end(), "id", Value::ref(self_id));
-        }
+        if (i == mp.id_response_pos) data.set(id_key(), Value::ref(self_id));
         if (i == mp.response_order.size()) break;
         std::uint32_t slot = mp.response_order[i];
-        const std::string& name = mp.slot_name(slot);
-        const Value* v = state_value(*self, mp, slot, name);
-        data.emplace_hint(data.end(), name, v != nullptr ? *v : Value());
+        const Value* v = state_value(*self, mp, slot);
+        data.set(mp.slot_key(slot), v != nullptr ? *v : Value());
       }
     } else {
-      data["id"] = Value::ref(self_id);
+      data.set(id_key(), Value::ref(self_id));
       if (full_state) {
         for (std::uint32_t slot = 0; slot < mp.slot_count(); ++slot) {
-          const std::string& name = mp.slot_name(slot);
-          const Value* v = state_value(*self, mp, slot, name);
-          data[name] = v != nullptr ? *v : Value();
+          const Value* v = state_value(*self, mp, slot);
+          data.set(mp.slot_key(slot), v != nullptr ? *v : Value());
         }
       }
     }
-    for (auto& [k, v] : frame.reads) data[*k] = std::move(v);
+    for (auto& [k, v] : frame.reads) data.set(*k, std::move(v));
     if (ct.kind == TransitionKind::kDestroy) {
       // Journal the full before-image plus every child whose parent link
       // the promotion pass clears (destroy runs under kWriteAll, so the
@@ -342,7 +312,7 @@ class PlanExecution {
       store_.destroy(self_id);
     }
     --depth_;
-    return ApiResponse::success(Value(std::move(data)));
+    return ApiResponse::success(std::move(data));
   }
 
   void exec_body(const std::vector<CompiledStmt>& body, PlanFrame& frame) {
@@ -365,17 +335,14 @@ class PlanExecution {
                      FailureSite::Origin::kWriteCheck, *s.var);
         }
         if (!s.skip_journal || depth_ != 1) journal_.note_modified(*frame.self);
-        *state_slot_for_write(*frame.self, *frame.mp, s.slot, *s.var) = std::move(v);
+        v.detach();  // store write: the value outlives the request
+        frame.self->attrs.set(frame.mp->slot_key(s.slot), std::move(v));
         return;
       }
       case spec::StmtKind::kRead: {
-        const Value* v;
-        if (s.slot != kNoSlot) {
-          v = state_value(*frame.self, *frame.mp, s.slot, *s.var);
-        } else {
-          auto it = frame.self->attrs.find(*s.var);
-          v = it != frame.self->attrs.end() ? &it->second : nullptr;
-        }
+        const Value* v = s.slot != kNoSlot
+                             ? state_value(*frame.self, *frame.mp, s.slot)
+                             : frame.self->attrs.get(*s.var);
         frame.reads.emplace_back(s.var, v != nullptr ? *v : Value());
         return;
       }
@@ -407,7 +374,8 @@ class PlanExecution {
         Resource* callee_res = store_.find(target.as_str());
         if (callee_res == nullptr) {
           abort_with(std::string(errc::kResourceNotFound),
-                     {{"resource", "resource"}, {"id", target.as_str()}}, mname, tname);
+                     {{"resource", "resource"}, {"id", std::string(target.as_str())}},
+                     mname, tname);
         }
         const MachinePlan* callee_mp = plan_.machine_for_type(callee_res->type);
         const CompiledTransition* callee_ct =
@@ -420,7 +388,7 @@ class PlanExecution {
         // Positional argument binding: evaluate into a flat vector the
         // callee binds by slot — no per-call arg map.
         std::size_t argc = std::min(s.args.size(), callee_ct->params.size());
-        std::vector<Value> args;
+        ValueVec args;
         args.reserve(argc);
         for (std::size_t i = 0; i < argc; ++i) args.push_back(eval(s.args[i], frame));
         ApiResponse resp = run_transition(*callee_mp, *callee_ct, nullptr, &args,
@@ -435,7 +403,8 @@ class PlanExecution {
                              p->type != frame.ct->machine->parent_type)) {
           abort_with(std::string(errc::kResourceNotFound),
                      {{"resource", frame.ct->machine->parent_type},
-                      {"id", parent.is_ref() ? parent.as_str() : parent.to_text()}},
+                      {"id", parent.is_ref() ? std::string(parent.as_str())
+                                             : parent.to_text()}},
                      mname, tname);
         }
         journal_.note_modified(*frame.self);
@@ -465,7 +434,7 @@ class PlanExecution {
   Value eval(const ExprProgram& prog, PlanFrame& frame) {
     // Evaluations never nest (builtins do not re-enter eval, and call()
     // finishes each argument before the next), so one reused stack works.
-    std::vector<Value>& st = stack_;
+    ValueVec& st = stack_;
     st.clear();
     const std::vector<Op>& ops = prog.ops;
     std::size_t pc = 0;
@@ -482,13 +451,13 @@ class PlanExecution {
           st.push_back(frame.params[op.a]);
           break;
         case OpCode::kPushState: {
-          const Value* v = state_value(*frame.self, *frame.mp, op.a, *op.name);
+          const Value* v = state_value(*frame.self, *frame.mp, op.a);
           st.push_back(v != nullptr ? *v : Value());
           break;
         }
         case OpCode::kPushDynamic: {
-          auto it = frame.self->attrs.find(*op.name);
-          st.push_back(it != frame.self->attrs.end() ? it->second : Value());
+          const Value* v = frame.self->attrs.get(*op.name);
+          st.push_back(v != nullptr ? *v : Value());
           break;
         }
         case OpCode::kSelfField: {
@@ -502,13 +471,9 @@ class PlanExecution {
                                : Value::ref(frame.self->parent_id));
               break;
             case FieldKind::kAttr: {
-              const Value* v;
-              if (op.b != kNoSlot) {
-                v = state_value(*frame.self, *frame.mp, op.b, *op.name);
-              } else {
-                auto it = frame.self->attrs.find(*op.name);
-                v = it != frame.self->attrs.end() ? &it->second : nullptr;
-              }
+              const Value* v = op.b != kNoSlot
+                                   ? state_value(*frame.self, *frame.mp, op.b)
+                                   : frame.self->attrs.get(*op.name);
               st.push_back(v != nullptr ? *v : Value());
               break;
             }
@@ -535,8 +500,8 @@ class PlanExecution {
             st.push_back(r->parent_id.empty() ? Value() : Value::ref(r->parent_id));
             break;
           }
-          auto it = r->attrs.find(*op.name);
-          st.push_back(it != r->attrs.end() ? it->second : Value());
+          const Value* v = r->attrs.get(*op.name);
+          st.push_back(v != nullptr ? *v : Value());
           break;
         }
         case OpCode::kNot:
@@ -603,7 +568,7 @@ class PlanExecution {
     return out;
   }
 
-  Value eval_builtin(Builtin b, const std::vector<Value>& st, std::size_t base,
+  Value eval_builtin(Builtin b, const ValueVec& st, std::size_t base,
                      std::size_t argc, PlanFrame& frame) {
     static const Value kNull;
     auto arg = [&](std::size_t i) -> const Value& {
@@ -649,13 +614,14 @@ class PlanExecution {
         if (!mine) return Value(false);
         // Optional second arg: which sibling attribute holds the block
         // (defaults to the AWS-style "cidr_block").
-        std::string attr = argc > 1 ? arg(1).as_str() : "cidr_block";
+        std::string_view attr =
+            argc > 1 ? arg(1).as_str() : std::string_view("cidr_block");
         for (const auto& sid : store_.siblings_of(frame.self->id)) {
           const Resource* sib = store_.find(sid);
           if (sib == nullptr) continue;
-          auto it = sib->attrs.find(attr);
-          if (it == sib->attrs.end()) continue;
-          auto theirs = Cidr::parse(it->second.as_str());
+          const Value* block = sib->attrs.get(attr);
+          if (block == nullptr) continue;
+          auto theirs = Cidr::parse(block->as_str());
           if (theirs && mine->overlaps(*theirs)) return Value(true);
         }
         return Value(false);
@@ -681,7 +647,7 @@ class PlanExecution {
   LockMode mode_ = LockMode::kWriteAll;
   std::string preminted_;  // create id minted before locking (kWriteLocal)
   int depth_ = 0;
-  std::vector<Value> stack_;  // reused expression value stack
+  ValueVec stack_;  // reused expression value stack
 };
 
 }  // namespace

@@ -12,10 +12,10 @@
 //   - per-transition cached lock plans and body traits (the classifier
 //     below runs at compile time; per-invoke it is a field read),
 //   - slot-resolved state variables: each machine's declared states get
-//     fixed slots (their index in machine.states) and Resource carries a
-//     per-plan-epoch cache of Value* into its attrs map — the Value::Map
-//     stays the single source of truth so canonical dumps, the persist
-//     codec, and replay output stay byte-identical,
+//     fixed slots (their index in machine.states) with their interned
+//     KeyId precomputed (`slot_keys`), so the executor reads and writes a
+//     Resource's compact attrs map by integer key — no hashing, no string
+//     compares, no per-resource pointer cache to invalidate,
 //   - flattened postorder expression programs with pre-resolved slot /
 //     param indices and builtin ids, evaluated by a loop over a compact
 //     op array instead of recursive eval() on ExprPtr trees,
@@ -224,11 +224,16 @@ struct MachinePlan {
 
   std::uint32_t slot_count() const { return static_cast<std::uint32_t>(src->states.size()); }
   const std::string& slot_name(std::uint32_t slot) const { return src->states[slot].name; }
+  KeyId slot_key(std::uint32_t slot) const { return slot_keys[slot]; }
   /// kNoSlot when the machine declares no such state variable. On
   /// duplicate declarations the first wins (find_state parity).
   std::uint32_t state_slot(std::string_view name) const;
 
   std::unordered_map<std::string_view, std::uint32_t> state_index;
+
+  /// Interned map key for each slot's state name (aligned with
+  /// src->states): attrs reads/writes go through Value::get/set(KeyId).
+  std::vector<KeyId> slot_keys;
 
   /// Slots sorted by state name: create/describe responses emplace their
   /// entries in ascending key order with an end hint, skipping the
@@ -241,11 +246,11 @@ struct MachinePlan {
   /// Where "id" belongs in that ascending order (index into
   /// response_order before which it is emplaced).
   std::uint32_t id_response_pos = 0;
-  /// {state name -> initial value}: creates copy this wholesale instead
-  /// of inserting the defaults one by one. Identical contents to the
-  /// insertion loop (duplicate names: last declaration wins, map-assign
-  /// parity with the tree-walk).
-  Value::Map attr_prototype;
+  /// Map Value of {state name -> initial value}: creates copy this
+  /// wholesale (one compact-rep copy) instead of inserting the defaults
+  /// one by one. Identical contents to the insertion loop (duplicate
+  /// names: last declaration wins, map-assign parity with the tree-walk).
+  Value attr_prototype = Value::empty_map();
 };
 
 // -------------------------------------------------------- execution plan --

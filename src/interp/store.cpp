@@ -148,6 +148,10 @@ bool ResourceStore::erase_raw(std::string_view id) {
 }
 
 void ResourceStore::restore(Resource r) {
+  // Journal before-images may carry arena-backed attribute blocks (they
+  // were copied mid-request); the store outlives the request, so pin the
+  // tree to the heap before it lands.
+  r.attrs.detach();
   std::string key = r.id;
   shard_for(key).insert_or_assign(std::move(key), std::move(r));
 }
@@ -278,7 +282,7 @@ Value ResourceStore::snapshot() const {
     Value::Map entry;
     entry["type"] = Value(r.type);
     if (!r.parent_id.empty()) entry["parent"] = Value::ref(r.parent_id);
-    for (const auto& [k, v] : r.attrs) entry[k] = v;
+    for (const auto& [k, v] : r.attrs.as_map()) entry[std::string(k)] = v;
     out[r.id] = Value(std::move(entry));
   }
   return Value(std::move(out));

@@ -44,40 +44,13 @@ struct Resource {
   std::string id;
   std::string type;       // resource type name, e.g. "Vpc"
   std::string parent_id;  // containment parent ("" = top-level)
-  Value::Map attrs;
+  // Attribute map in Value's compact interned-key representation: the
+  // compiled-plan executor reads and writes state vars by KeyId, so the
+  // former per-resource slot-pointer cache is gone — the map IS the fast
+  // path, and stays the single source of truth for snapshots, canonical
+  // dumps and the persist codec. Always map-kind (renders as {}).
+  Value attrs = Value::empty_map();
   std::uint64_t seq = 0;  // store-wide creation stamp (iteration order)
-
-  // Compiled-plan fast path (src/interp/plan): per-slot Value pointers
-  // into `attrs` for the owning machine's declared state vars (nullptr =
-  // attribute absent), valid only while slot_epoch matches the serving
-  // plan's epoch. `attrs` stays the single source of truth — snapshots,
-  // canonical dumps and the persist codec never look at the cache. map
-  // node addresses are stable across unrelated insert/erase, so the
-  // pointers survive attribute writes; the plan executor (re)builds the
-  // cache only under an exclusive shard lock and read-shared transitions
-  // fall back to map lookups when the cache is stale. Copies drop the
-  // cache (the pointers aim at the source's map nodes); moves keep it
-  // (the nodes move with the map).
-  Resource() = default;
-  Resource(Resource&&) = default;
-  Resource& operator=(Resource&&) = default;
-  Resource(const Resource& o)
-      : id(o.id), type(o.type), parent_id(o.parent_id), attrs(o.attrs), seq(o.seq) {}
-  Resource& operator=(const Resource& o) {
-    if (this != &o) {
-      id = o.id;
-      type = o.type;
-      parent_id = o.parent_id;
-      attrs = o.attrs;
-      seq = o.seq;
-      slot_cache.clear();
-      slot_epoch = 0;
-    }
-    return *this;
-  }
-
-  std::vector<Value*> slot_cache;
-  std::uint64_t slot_epoch = 0;
 };
 
 class ResourceStore {

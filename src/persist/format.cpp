@@ -192,7 +192,7 @@ std::vector<std::string> collect_minted_ids(const ApiResponse& resp) {
   if (!resp.ok) return out;
   const Value* id = resp.data.get("id");
   if (id != nullptr && (id->is_ref() || id->is_str()) && !id->as_str().empty()) {
-    out.push_back(id->as_str());
+    out.emplace_back(id->as_str());
   }
   return out;
 }
@@ -294,7 +294,7 @@ std::string serialize_store(const interp::ResourceStore& store) {
     w.str(r->type);
     w.str(r->parent_id);
     w.u64(r->seq);
-    encode_value(Value(r->attrs), w);
+    encode_value(r->attrs, w);
   }
   return w.take();
 }
@@ -329,7 +329,7 @@ bool deserialize_store(std::string_view bytes, interp::ResourceStore* store) {
       store->clear();
       return false;
     }
-    res.attrs = attrs.as_map();
+    res.attrs = std::move(attrs);
     store->restore(std::move(res));
   }
   if (!r.at_end()) {

@@ -201,7 +201,7 @@ class Parser {
   std::size_t pos_ = 0;
 };
 
-void append_json_string(std::string& out, const std::string& s) {
+void append_json_string(std::string& out, std::string_view s) {
   out += '"';
   for (char c : s) {
     switch (c) {

@@ -206,8 +206,9 @@ ApiResponse invoke_over_client(HttpClient& client, const std::string& action,
     return ApiResponse::success(std::move(tagged));
   }
   if (const Value* err = body->get("Error")) {
-    return ApiResponse::failure(err->get_or("Code", Value("UnknownError")).as_str(),
-                                err->get_or("Message", Value("")).as_str());
+    return ApiResponse::failure(
+        std::string(err->get_or("Code", Value("UnknownError")).as_str()),
+        std::string(err->get_or("Message", Value("")).as_str()));
   }
   return ApiResponse::failure("TransportError", "response had neither Data nor Error");
 }

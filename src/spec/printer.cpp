@@ -8,7 +8,7 @@ namespace {
 
 std::string ind(int n) { return std::string(static_cast<std::size_t>(n) * 2, ' '); }
 
-std::string quote(const std::string& s) {
+std::string quote(std::string_view s) {
   std::string out = "\"";
   for (char c : s) {
     if (c == '"' || c == '\\') out += '\\';

@@ -10,9 +10,9 @@
 
 namespace lce::stack {
 
-bool looks_like_resource_id(const std::string& s) {
+bool looks_like_resource_id(std::string_view s) {
   std::size_t dash = s.rfind('-');
-  if (dash == std::string::npos || dash == 0 || dash + 9 != s.size()) return false;
+  if (dash == std::string_view::npos || dash == 0 || dash + 9 != s.size()) return false;
   for (std::size_t i = 0; i < dash; ++i) {
     char c = s[i];
     if (!std::islower(static_cast<unsigned char>(c)) && c != '-' && c != '_') return false;
@@ -237,7 +237,8 @@ namespace {
 
 /// Replace every string/ref matching a previously minted id with that
 /// call's "$k.id" placeholder (recursively through lists and maps).
-Value portabilize(const Value& v, const std::map<std::string, std::size_t>& minted) {
+Value portabilize(const Value& v,
+                  const std::map<std::string, std::size_t, std::less<>>& minted) {
   if (v.is_str() || v.is_ref()) {
     auto it = minted.find(v.as_str());
     if (it != minted.end()) return Value(strf("$", it->second, ".id"));
@@ -250,7 +251,7 @@ Value portabilize(const Value& v, const std::map<std::string, std::size_t>& mint
   }
   if (v.is_map()) {
     Value::Map out;
-    for (const auto& [k, e] : v.as_map()) out[k] = portabilize(e, minted);
+    for (const auto& [k, e] : v.as_map()) out.emplace(k, portabilize(e, minted));
     return Value(std::move(out));
   }
   return v;

@@ -31,7 +31,7 @@ namespace lce::stack {
 
 /// True when `s` has our resource-id shape ("vpc-00000001"): a lowercase
 /// dashed prefix followed by exactly 8 digits.
-bool looks_like_resource_id(const std::string& s);
+bool looks_like_resource_id(std::string_view s);
 
 /// Re-tag id-shaped strings as refs, recursively through lists and maps.
 Value retag_refs(const Value& v);
@@ -178,7 +178,7 @@ class RecordLayer final : public BackendLayer {
   Trace trace_;
   std::vector<ApiResponse> responses_;  // index-aligned with trace_.calls
   /// id string -> index of the recorded call whose response minted it.
-  std::map<std::string, std::size_t> minted_ids_;
+  std::map<std::string, std::size_t, std::less<>> minted_ids_;
 };
 
 /// Memoizes read-only calls (Describe*/Get*/List* by API-name convention,

@@ -53,7 +53,7 @@ TEST(MotoLike, DeleteVpcBugReproduced) {
   auto igw = moto.invoke(
       ApiRequest{"CreateInternetGateway", {{"vpc", vpc.data.get_or("id", Value())}}, ""});
   ASSERT_TRUE(igw.ok);
-  auto del = moto.invoke(ApiRequest{"DeleteVpc", {}, vpc.data.get("id")->as_str()});
+  auto del = moto.invoke(ApiRequest{"DeleteVpc", {}, std::string(vpc.data.get("id")->as_str())});
   EXPECT_TRUE(del.ok) << del.to_text();  // the bug: should be DependencyViolation
 }
 
@@ -71,7 +71,7 @@ TEST(MotoLike, StartInstanceSilentBugReproduced) {
                                       {"instance_type", Value("t3.micro")}},
                                      ""});
   ASSERT_TRUE(inst.ok) << inst.to_text();
-  auto start = moto.invoke(ApiRequest{"StartInstance", {}, inst.data.get("id")->as_str()});
+  auto start = moto.invoke(ApiRequest{"StartInstance", {}, std::string(inst.data.get("id")->as_str())});
   EXPECT_TRUE(start.ok);  // the bug: should be IncorrectInstanceState
 }
 
@@ -101,7 +101,7 @@ TEST(D2c, BackendExhibitsPaperBugs) {
                                     ""});
   EXPECT_TRUE(sub.ok) << sub.to_text();
   // DeleteVpc with contents wrongly succeeds (no framework guard either).
-  auto del = d2c->invoke(ApiRequest{"DeleteVpc", {}, vpc.data.get("id")->as_str()});
+  auto del = d2c->invoke(ApiRequest{"DeleteVpc", {}, std::string(vpc.data.get("id")->as_str())});
   EXPECT_TRUE(del.ok) << del.to_text();
 }
 

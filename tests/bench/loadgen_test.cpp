@@ -218,7 +218,7 @@ TEST(ServeBenchJson, ReportCarriesTheKeepAliveSweep) {
   ASSERT_GE(rows.size(), 3u);  // close, keepalive, keepalive_open
   bool saw_close = false, saw_ka = false, saw_open = false;
   for (const Value& row : rows) {
-    const std::string& config = row.get("config")->as_str();
+    std::string_view config = row.get("config")->as_str();
     saw_close |= config == "http_close";
     saw_ka |= config == "http_keepalive";
     saw_open |= config == "http_keepalive_open";

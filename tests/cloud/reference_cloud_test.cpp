@@ -12,14 +12,14 @@ class ReferenceCloudTest : public ::testing::Test {
  protected:
   ReferenceCloudTest() : cloud_(docs::build_aws_catalog()) {}
 
-  ApiResponse call(std::string api, Value::Map args = {}, std::string target = "") {
-    return cloud_.invoke(ApiRequest{std::move(api), std::move(args), std::move(target)});
+  ApiResponse call(std::string api, Value::Map args = {}, std::string_view target = "") {
+    return cloud_.invoke(ApiRequest{std::move(api), std::move(args), std::string(target)});
   }
 
   std::string make_vpc(const std::string& cidr = "10.0.0.0/16") {
     auto r = call("CreateVpc", {{"cidr_block", Value(cidr)}});
     EXPECT_TRUE(r.ok) << r.to_text();
-    return r.data.get("id")->as_str();
+    return std::string(r.data.get("id")->as_str());
   }
 
   std::string make_subnet(const std::string& vpc, const std::string& cidr,
@@ -28,7 +28,7 @@ class ReferenceCloudTest : public ::testing::Test {
                                    {"cidr_block", Value(cidr)},
                                    {"zone", Value(zone)}});
     EXPECT_TRUE(r.ok) << r.to_text();
-    return r.data.get("id")->as_str();
+    return std::string(r.data.get("id")->as_str());
   }
 
   ReferenceCloud cloud_;

@@ -28,7 +28,7 @@ TEST(LearnedEmulator, RichMessagesOnByDefault) {
   emu.backend().invoke(ApiRequest{
       "CreateInternetGateway", {{"vpc", vpc.data.get_or("id", Value())}}, ""});
   auto del = emu.backend().invoke(
-      ApiRequest{"DeleteVpc", {}, vpc.data.get("id")->as_str()});
+      ApiRequest{"DeleteVpc", {}, std::string(vpc.data.get("id")->as_str())});
   ASSERT_FALSE(del.ok);
   EXPECT_NE(del.message.find("Root cause"), std::string::npos);
 }

@@ -22,8 +22,8 @@ spec::SpecSet load(const char* src) {
 Interpreter make_public_ip_interp() { return Interpreter(load(kPublicIpSpec)); }
 
 ApiResponse call(Interpreter& it, std::string api, Value::Map args = {},
-                 std::string target = "") {
-  return it.invoke(ApiRequest{std::move(api), std::move(args), std::move(target)});
+                 std::string_view target = "") {
+  return it.invoke(ApiRequest{std::move(api), std::move(args), std::string(target)});
 }
 
 TEST(Interpreter, CreateReturnsIdAndFullState) {
@@ -167,7 +167,7 @@ TEST(Interpreter, FailedTransitionRollsBackAllWrites) {
   EXPECT_FALSE(bad.ok);
   EXPECT_EQ(bad.code, errc::kLimitExceeded);
   // a must still be 0: the write(a, 50) was rolled back.
-  EXPECT_EQ(it.store().find(id)->attrs.at("a").as_int(), 0);
+  EXPECT_EQ(it.store().find(id)->attrs.get("a")->as_int(), 0);
 }
 
 TEST(Interpreter, CallFailurePropagatesAndRollsBack) {
@@ -474,7 +474,7 @@ TEST(Interpreter, ListStateVarsAcceptListValues) {
   auto id = x.data.get("id")->as_str();
   Value tags(Value::List{Value("a"), Value("b")});
   ASSERT_TRUE(call(it, "SetTags", {{"id", Value::ref(id)}, {"tags", tags}}).ok);
-  auto desc = it.store().find(id)->attrs.at("tags");
+  Value desc = *it.store().find(id)->attrs.get("tags");
   EXPECT_EQ(desc.as_list().size(), 2u);
   // Wrong type rejected by param validation.
   EXPECT_EQ(call(it, "SetTags", {{"id", Value::ref(id)}, {"tags", Value(3)}}).code,
@@ -501,7 +501,7 @@ TEST(Interpreter, CloneSharesNoStateWithOriginal) {
   auto it = make_public_ip_interp();
   auto created = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
   ASSERT_TRUE(created.ok);
-  std::string id = created.data.get("id")->as_str();
+  std::string id(created.data.get("id")->as_str());
   std::string before = it.snapshot().to_text();
 
   auto copy = it.clone();

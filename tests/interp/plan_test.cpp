@@ -106,7 +106,7 @@ TEST(PlanCompiler, ReplaceSpecRebuildsPlanAndServesLiveState) {
   Interpreter it(load(kPublicIpSpec));  // use_plan defaults on
   auto created = call(it, "CreatePublicIp", {{"region", Value("us-east")}});
   ASSERT_TRUE(created.ok) << created.to_text();
-  std::string id = created.data.get("id")->as_str();
+  std::string id(created.data.get("id")->as_str());
 
   // Swap in a re-parsed spec (what every alignment repair does). The old
   // plan's slot caches on the live resource go stale; the rebuilt plan
@@ -122,7 +122,7 @@ TEST(PlanCompiler, CloneSharesPlanAndState) {
   Interpreter it(load(kPublicIpSpec));
   auto created = call(it, "CreatePublicIp", {{"region", Value("us-west")}});
   ASSERT_TRUE(created.ok);
-  std::string id = created.data.get("id")->as_str();
+  std::string id(created.data.get("id")->as_str());
 
   auto copy = it.clone();
   ASSERT_NE(copy, nullptr);

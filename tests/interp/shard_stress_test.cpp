@@ -55,7 +55,8 @@ Interpreter make_forest_interp(bool hierarchy_guards = true) {
 /// Thread-safe grab-bag of resource ids the worker threads trade through.
 class IdPool {
  public:
-  void add(std::string id) {
+  void add(std::string_view sv) {
+    std::string id(sv);
     std::lock_guard<std::mutex> g(mu_);
     ids_.push_back(std::move(id));
   }

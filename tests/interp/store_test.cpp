@@ -92,7 +92,7 @@ TEST(Store, ClearResetsIdsToo) {
 TEST(Store, SnapshotContainsTypeParentAttrs) {
   ResourceStore s;
   auto& vpc = s.create("Vpc", "vpc");
-  vpc.attrs["cidr_block"] = Value("10.0.0.0/16");
+  vpc.attrs.set("cidr_block", Value("10.0.0.0/16"));
   auto& sub = s.create("Subnet", "subnet");
   s.attach(sub.id, vpc.id);
   Value snap = s.snapshot();
@@ -145,7 +145,7 @@ TEST(Store, DestroyDetachesOrphanedChildren) {
 TEST(Store, CloneSharesNoStateWithOriginal) {
   ResourceStore s;
   auto& vpc = s.create("Vpc", "vpc");
-  vpc.attrs["cidr_block"] = Value("10.0.0.0/16");
+  vpc.attrs.set("cidr_block", Value("10.0.0.0/16"));
   auto& sub = s.create("Subnet", "subnet");
   s.attach(sub.id, vpc.id);
   std::string vpc_id = vpc.id;
@@ -154,14 +154,14 @@ TEST(Store, CloneSharesNoStateWithOriginal) {
 
   ResourceStore copy = s.clone();
   // Mutate the clone every way the store can be mutated.
-  copy.find(vpc_id)->attrs["cidr_block"] = Value("192.168.0.0/16");
+  copy.find(vpc_id)->attrs.set("cidr_block", Value("192.168.0.0/16"));
   copy.create("Vpc", "vpc");
   copy.destroy(sub_id);
 
   // The original's contents and containment hierarchy are untouched.
   EXPECT_EQ(s.snapshot().to_text(), before);
   EXPECT_EQ(s.size(), 2u);
-  EXPECT_EQ(s.find(vpc_id)->attrs.at("cidr_block").as_str(), "10.0.0.0/16");
+  EXPECT_EQ(s.find(vpc_id)->attrs.get("cidr_block")->as_str(), "10.0.0.0/16");
   ASSERT_EQ(s.children_of(vpc_id).size(), 1u);
   EXPECT_EQ(s.children_of(vpc_id)[0], sub_id);
 }
@@ -179,11 +179,11 @@ TEST(Store, CopySemanticsForRollback) {
   ResourceStore s;
   auto id = s.create("Vpc", "vpc").id;
   ResourceStore backup = s;
-  s.find(id)->attrs["x"] = Value(1);
+  s.find(id)->attrs.set("x", Value(1));
   s.create("Vpc", "vpc");
   s = backup;
   EXPECT_EQ(s.size(), 1u);
-  EXPECT_EQ(s.find(id)->attrs.count("x"), 0u);
+  EXPECT_FALSE(s.find(id)->attrs.has("x"));
   // Id counter restored too: next id repeats what the discarded copy used.
   EXPECT_EQ(s.create("Vpc", "vpc").id, "vpc-00000002");
 }

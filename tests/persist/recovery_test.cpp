@@ -43,8 +43,8 @@ TEST(ApplyRecords, ReproducesStateAndResponses) {
   std::vector<LogRecord> log;
   log.push_back(journaled(live, "CreatePublicIp", {{"region", Value("us-east")}}));
   log.push_back(journaled(live, "CreateNic", {{"zone", Value("us-east")}}));
-  const std::string eip = log[0].response.data.get("id")->as_str();
-  const std::string eni = log[1].response.data.get("id")->as_str();
+  const std::string eip(log[0].response.data.get("id")->as_str());
+  const std::string eni(log[1].response.data.get("id")->as_str());
   log.push_back(journaled(live, "AttachPublicIp",
                           {{"ip", Value::ref(eip)}}, eni));
   // A failed call is journaled too; replay verifies the error reproduces.
@@ -337,8 +337,8 @@ TEST(Replay, RecoveryEqualsReplayAtEveryTruncationOffset) {
   std::vector<LogRecord> log;
   log.push_back(journaled(live, "CreateNic", {{"zone", Value("us-east")}}));
   log.push_back(journaled(live, "CreatePublicIp", {{"region", Value("us-east")}}));
-  const std::string eni = log[0].response.data.get("id")->as_str();
-  const std::string eip = log[1].response.data.get("id")->as_str();
+  const std::string eni(log[0].response.data.get("id")->as_str());
+  const std::string eip(log[1].response.data.get("id")->as_str());
   log.push_back(journaled(live, "AttachPublicIp", {{"ip", Value::ref(eip)}}, eni));
   log.push_back(journaled(live, "DetachPublicIp", {}, eni));
   std::string error;

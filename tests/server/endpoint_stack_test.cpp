@@ -50,7 +50,7 @@ TEST(EndpointStack, HammerFullChainKeepsCountsAndStateConsistent) {
           ++failures;
           continue;
         }
-        std::string id = created.data.get("id")->as_str();
+        std::string id(created.data.get("id")->as_str());
         // Read back through the cache layer; the id travels as a plain
         // string and the validate layer re-tags it.
         auto described = invoke_over_http(port, "DescribeVpc", {{"id", Value(id)}});
@@ -107,7 +107,7 @@ TEST(EndpointStack, HammerShardedInterpreterEndpointWithoutSerializeGate) {
           ++failures;
           continue;
         }
-        std::string id = created.data.get("id")->as_str();
+        std::string id(created.data.get("id")->as_str());
         auto described = invoke_over_http(port, "DescribeVpc", {{"id", Value(id)}});
         if (!described.ok) ++failures;
         std::lock_guard<std::mutex> lock(mu);

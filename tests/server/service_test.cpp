@@ -218,7 +218,7 @@ TEST(Endpoint, ConcurrentClientsSeeConsistentState) {
           continue;
         }
         std::lock_guard<std::mutex> lock(mu);
-        ids.insert(resp.data.get("id")->as_str());
+        ids.emplace(resp.data.get("id")->as_str());
       }
     });
   }

@@ -275,14 +275,14 @@ TEST(RecordLayerTest, MintedIdsRecordAsPortablePlaceholders) {
 
   auto vpc = record.invoke(create_vpc());
   ASSERT_TRUE(vpc.ok);
-  std::string vpc_id = vpc.data.get("id")->as_str();
+  std::string vpc_id(vpc.data.get("id")->as_str());
   auto subnet = record.invoke({"CreateSubnet",
                                {{"vpc", Value::ref(vpc_id)},
                                 {"cidr_block", Value("10.0.1.0/24")},
                                 {"zone", Value("us-east")}},
                                ""});
   ASSERT_TRUE(subnet.ok) << subnet.to_text();
-  auto destroy = record.invoke({"DeleteSubnet", {}, subnet.data.get("id")->as_str()});
+  auto destroy = record.invoke({"DeleteSubnet", {}, std::string(subnet.data.get("id")->as_str())});
   ASSERT_TRUE(destroy.ok) << destroy.to_text();
 
   Trace trace = record.trace();
