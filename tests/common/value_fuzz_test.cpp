@@ -1,0 +1,442 @@
+// Differential fuzz suite for the compact `Value` representation.
+//
+// The tests build random value trees twice from the same stream of random
+// decisions: once as a `Value` and once as a `RefValue` — a deliberately
+// naive reference implementation that reproduces the historical fat-struct
+// semantics (std::map<std::string, ...> maps, std::vector lists, owned
+// strings). Every externally observable behavior is then compared:
+// to_text() rendering, operator== / operator< ordering, the persist codec
+// round-trip, the server JSON round-trip, and arena-build-then-detach
+// parity. The generator is seeded, so failures replay exactly.
+//
+// Test names contain "Fuzz" on purpose: scripts/ci_env.sh selects them
+// into the ThreadSanitizer tier-1 run.
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/arena.h"
+#include "common/interned.h"
+#include "common/value.h"
+#include "persist/format.h"
+#include "server/json.h"
+
+namespace lce {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Reference implementation: the pre-refactor fat Value, spelled out with
+// standard containers. Kept independent of common/value.cpp so a bug there
+// cannot cancel out in the comparison.
+
+struct RefValue {
+  ValueKind kind = ValueKind::kNull;
+  bool b = false;
+  std::int64_t i = 0;
+  std::string s;  // str / ref payload
+  std::vector<RefValue> list;
+  std::map<std::string, RefValue> map;
+
+  static void append_escaped(std::string& out, const std::string& in) {
+    out += '"';
+    for (char c : in) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        default: out += c;
+      }
+    }
+    out += '"';
+  }
+
+  void append_text(std::string& out) const {
+    switch (kind) {
+      case ValueKind::kNull: out += "null"; return;
+      case ValueKind::kBool: out += b ? "true" : "false"; return;
+      case ValueKind::kInt: out += std::to_string(i); return;
+      case ValueKind::kStr: append_escaped(out, s); return;
+      case ValueKind::kRef:
+        out += '@';
+        out += s;
+        return;
+      case ValueKind::kList: {
+        out += '[';
+        bool first = true;
+        for (const auto& e : list) {
+          if (!first) out += ',';
+          first = false;
+          e.append_text(out);
+        }
+        out += ']';
+        return;
+      }
+      case ValueKind::kMap: {
+        out += '{';
+        bool first = true;
+        for (const auto& [k, v] : map) {
+          if (!first) out += ',';
+          first = false;
+          append_escaped(out, k);
+          out += ':';
+          v.append_text(out);
+        }
+        out += '}';
+        return;
+      }
+    }
+  }
+
+  std::string to_text() const {
+    std::string out;
+    append_text(out);
+    return out;
+  }
+
+  bool operator==(const RefValue& o) const {
+    if (kind != o.kind) return false;
+    switch (kind) {
+      case ValueKind::kNull: return true;
+      case ValueKind::kBool: return b == o.b;
+      case ValueKind::kInt: return i == o.i;
+      case ValueKind::kStr:
+      case ValueKind::kRef: return s == o.s;
+      case ValueKind::kList: return list == o.list;
+      case ValueKind::kMap: return map == o.map;
+    }
+    return false;
+  }
+
+  bool operator<(const RefValue& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    switch (kind) {
+      case ValueKind::kNull: return false;
+      case ValueKind::kBool: return static_cast<int>(b) < static_cast<int>(o.b);
+      case ValueKind::kInt: return i < o.i;
+      case ValueKind::kStr:
+      case ValueKind::kRef: return s < o.s;
+      case ValueKind::kList: return list < o.list;
+      case ValueKind::kMap: return map < o.map;
+    }
+    return false;
+  }
+
+  /// JSON collapses refs into plain strings; the round-trip comparison
+  /// needs the reference tree in the same collapsed shape.
+  RefValue collapse_refs() const {
+    RefValue out = *this;
+    if (out.kind == ValueKind::kRef) out.kind = ValueKind::kStr;
+    for (auto& e : out.list) e = e.collapse_refs();
+    for (auto& [k, v] : out.map) v = v.collapse_refs();
+    return out;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Deterministic generator. splitmix64 so the stream is identical across
+// platforms and standard libraries (std::mt19937 would also work, but this
+// keeps replays self-contained).
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+  // Uniform in [0, n).
+  std::uint64_t below(std::uint64_t n) { return next() % n; }
+
+ private:
+  std::uint64_t state_;
+};
+
+std::string random_string(Rng& rng, std::size_t max_len) {
+  // Lengths cluster around the 16-byte inline-string boundary, and the
+  // alphabet includes every character the text renderer escapes.
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789-_./\"\\\n";
+  std::size_t len = rng.below(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t j = 0; j < len; ++j) {
+    out += kAlphabet[rng.below(sizeof(kAlphabet) - 1)];
+  }
+  return out;
+}
+
+/// Build a Value and a RefValue from the same decision stream. Map sizes
+/// deliberately cross the flat->big spill threshold (32 entries) and string
+/// lengths the inline cap (16 bytes).
+std::pair<Value, RefValue> random_tree(Rng& rng, int depth) {
+  int pick = depth <= 0 ? static_cast<int>(rng.below(5))
+                        : static_cast<int>(rng.below(7));
+  switch (pick) {
+    case 0: return {Value(), RefValue{}};
+    case 1: {
+      bool b = rng.below(2) != 0;
+      RefValue r;
+      r.kind = ValueKind::kBool;
+      r.b = b;
+      return {Value(b), r};
+    }
+    case 2: {
+      auto i = static_cast<std::int64_t>(rng.next());
+      RefValue r;
+      r.kind = ValueKind::kInt;
+      r.i = i;
+      return {Value(i), r};
+    }
+    case 3: {
+      std::string s = random_string(rng, 40);
+      RefValue r;
+      r.kind = ValueKind::kStr;
+      r.s = s;
+      return {Value(s), r};
+    }
+    case 4: {
+      std::string s = random_string(rng, 24);
+      RefValue r;
+      r.kind = ValueKind::kRef;
+      r.s = s;
+      return {Value::ref(s), r};
+    }
+    case 5: {
+      std::size_t n = rng.below(9);
+      Value::List items;
+      RefValue r;
+      r.kind = ValueKind::kList;
+      for (std::size_t j = 0; j < n; ++j) {
+        auto [v, rv] = random_tree(rng, depth - 1);
+        items.push_back(std::move(v));
+        r.list.push_back(std::move(rv));
+      }
+      return {Value(std::move(items)), r};
+    }
+    default: {
+      // Occasionally oversize so the flat representation spills to the
+      // node-based big map mid-construction.
+      std::size_t n = rng.below(2) == 0 ? rng.below(48) : rng.below(8);
+      Value::Map m;
+      RefValue r;
+      r.kind = ValueKind::kMap;
+      for (std::size_t j = 0; j < n; ++j) {
+        std::string key = random_string(rng, 20);
+        auto [v, rv] = random_tree(rng, depth - 1);
+        m[key] = std::move(v);
+        r.map[key] = std::move(rv);
+      }
+      return {Value(std::move(m)), r};
+    }
+  }
+}
+
+constexpr int kRounds = 400;
+
+// ---------------------------------------------------------------------------
+
+TEST(ValueFuzz, ToTextMatchesReference) {
+  Rng rng(0x1ce5eed1);
+  for (int round = 0; round < kRounds; ++round) {
+    auto [v, ref] = random_tree(rng, 3);
+    EXPECT_EQ(v.to_text(), ref.to_text()) << "round " << round;
+  }
+}
+
+TEST(ValueFuzz, OrderingMatchesReference) {
+  Rng rng(0x1ce5eed2);
+  for (int round = 0; round < kRounds; ++round) {
+    auto [a, ra] = random_tree(rng, 2);
+    auto [b, rb] = random_tree(rng, 2);
+    EXPECT_EQ(a == b, ra == rb) << "round " << round;
+    EXPECT_EQ(a < b, ra < rb) << "round " << round;
+    EXPECT_EQ(b < a, rb < ra) << "round " << round;
+    // Self-comparison: a strict weak order is irreflexive.
+    EXPECT_TRUE(a == a) << "round " << round;
+    EXPECT_FALSE(a < a) << "round " << round;
+    // A copy is indistinguishable from the original.
+    Value c = a;
+    EXPECT_TRUE(a == c) << "round " << round;
+    EXPECT_FALSE(a < c) << "round " << round;
+    EXPECT_FALSE(c < a) << "round " << round;
+  }
+}
+
+TEST(ValueFuzz, PersistCodecRoundTrips) {
+  Rng rng(0x1ce5eed3);
+  for (int round = 0; round < kRounds; ++round) {
+    auto [v, ref] = random_tree(rng, 3);
+    persist::ByteWriter w;
+    persist::encode_value(v, w);
+    persist::ByteReader r(w.bytes());
+    Value back;
+    ASSERT_TRUE(persist::decode_value(r, &back)) << "round " << round;
+    EXPECT_TRUE(back == v) << "round " << round;
+    EXPECT_EQ(back.to_text(), ref.to_text()) << "round " << round;
+    // Re-encoding the decoded tree must reproduce the exact bytes: the
+    // codec output is what the WAL and snapshots pin across versions.
+    persist::ByteWriter w2;
+    persist::encode_value(back, w2);
+    EXPECT_EQ(w.bytes(), w2.bytes()) << "round " << round;
+  }
+}
+
+TEST(ValueFuzz, ServerJsonRoundTrips) {
+  Rng rng(0x1ce5eed4);
+  for (int round = 0; round < kRounds; ++round) {
+    auto [v, ref] = random_tree(rng, 3);
+    std::string json = server::to_json(v);
+    server::JsonError jerr;
+    auto parsed = server::parse_json(json, &jerr);
+    ASSERT_TRUE(parsed.has_value())
+        << "round " << round << ": " << jerr.to_text() << "\n"
+        << json;
+    // Refs serialize as plain strings, so compare against the collapsed
+    // reference; a second serialization must be byte-stable.
+    EXPECT_EQ(parsed->to_text(), ref.collapse_refs().to_text())
+        << "round " << round;
+    EXPECT_EQ(server::to_json(*parsed), json) << "round " << round;
+  }
+}
+
+TEST(ValueFuzz, ArenaBuildDetachMatchesHeapBuild) {
+  Rng rng(0x1ce5eed5);
+  Arena arena;
+  for (int round = 0; round < kRounds; ++round) {
+    std::uint64_t fork = rng.next();
+    Value heap_built;
+    RefValue ref;
+    {
+      Rng branch(fork);
+      auto [v, rv] = random_tree(branch, 3);
+      heap_built = std::move(v);
+      ref = std::move(rv);
+    }
+    Value escaped;
+    {
+      ArenaScope scope(arena);
+      Rng branch(fork);
+      auto [v, rv] = random_tree(branch, 3);
+      v.detach();
+      escaped = std::move(v);
+    }
+    arena.reset();
+    // `escaped` outlives the scope and the reset; it must be a full heap
+    // tree indistinguishable from one built with no arena installed.
+    EXPECT_TRUE(escaped == heap_built) << "round " << round;
+    EXPECT_EQ(escaped.to_text(), ref.to_text()) << "round " << round;
+    persist::ByteWriter wa, wh;
+    persist::encode_value(escaped, wa);
+    persist::encode_value(heap_built, wh);
+    EXPECT_EQ(wa.bytes(), wh.bytes()) << "round " << round;
+  }
+}
+
+TEST(ValueFuzz, MutationSequenceMatchesReference) {
+  Rng rng(0x1ce5eed6);
+  for (int round = 0; round < 120; ++round) {
+    Value v = Value::empty_map();
+    std::map<std::string, RefValue> ref;
+    // Keys drawn from a small pool so overwrites happen; enough inserts to
+    // cross the flat->big spill threshold within one sequence.
+    std::size_t ops = 8 + rng.below(70);
+    for (std::size_t op = 0; op < ops; ++op) {
+      std::string key = "k";
+      key += std::to_string(rng.below(40));
+      auto [child, rchild] = random_tree(rng, 1);
+      v.set(key, child);
+      ref[key] = std::move(rchild);
+      const Value* got = v.get(key);
+      ASSERT_NE(got, nullptr) << "round " << round << " op " << op;
+      EXPECT_EQ(got->to_text(), ref[key].to_text())
+          << "round " << round << " op " << op;
+    }
+    RefValue rmap;
+    rmap.kind = ValueKind::kMap;
+    rmap.map = std::move(ref);
+    EXPECT_EQ(v.to_text(), rmap.to_text()) << "round " << round;
+    for (const auto& [k, rv] : rmap.map) {
+      EXPECT_TRUE(v.has(k)) << "round " << round << " key " << k;
+    }
+  }
+}
+
+TEST(ValueFuzz, ListAppendMatchesReference) {
+  Rng rng(0x1ce5eed7);
+  for (int round = 0; round < 120; ++round) {
+    Value v;  // append() converts null to a list
+    RefValue ref;
+    ref.kind = ValueKind::kList;
+    std::size_t n = rng.below(40);
+    for (std::size_t j = 0; j < n; ++j) {
+      auto [child, rchild] = random_tree(rng, 1);
+      v.append(std::move(child));
+      ref.list.push_back(std::move(rchild));
+    }
+    if (n == 0) {
+      EXPECT_TRUE(v.is_null());
+      continue;
+    }
+    EXPECT_EQ(v.as_list().size(), n) << "round " << round;
+    EXPECT_EQ(v.to_text(), ref.to_text()) << "round " << round;
+  }
+}
+
+TEST(ValueFuzz, KeyInterningIsThreadSafe) {
+  // Hammer the process-wide KeyTable from several threads over an
+  // overlapping key set; every interning must agree on the id and return
+  // the exact spelling. Runs under the TSan tier via the "Fuzz" name.
+  constexpr int kThreads = 4;
+  constexpr int kKeysPerThread = 300;
+  std::vector<std::thread> threads;
+  std::vector<std::vector<KeyId>> ids(kThreads);
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t, &ids] {
+      Rng rng(0xfeed + static_cast<std::uint64_t>(t % 2));  // overlap pairs
+      for (int j = 0; j < kKeysPerThread; ++j) {
+        std::string key = "fuzz-key-" + std::to_string(rng.below(512));
+        KeyId id = intern_key(key);
+        EXPECT_EQ(key_name(id), key);
+        EXPECT_EQ(intern_key(key), id);
+        ids[t].push_back(id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // Threads 0/2 and 1/3 ran identical decision streams: same ids.
+  EXPECT_EQ(ids[0], ids[2]);
+  EXPECT_EQ(ids[1], ids[3]);
+}
+
+TEST(ValueFuzz, ConcurrentReadersOnSharedTree) {
+  // Shared immutable Value trees are read from multiple threads in the
+  // parallel alignment path; renders and comparisons must be race-free.
+  Rng rng(0x1ce5eed8);
+  auto [v, ref] = random_tree(rng, 3);
+  const std::string want = ref.to_text();
+  const Value& shared = v;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&shared, &want] {
+      for (int j = 0; j < 50; ++j) {
+        EXPECT_EQ(shared.to_text(), want);
+        Value copy = shared;
+        EXPECT_TRUE(copy == shared);
+        EXPECT_FALSE(copy < shared);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+}  // namespace lce
