@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Flag pass-by-value `Value` parameters on hot-path code. `Value` is a
+# 24-byte tagged union whose copy constructor deep-copies rep blocks
+# (strings past the inline cap, whole list/map trees), so accidental
+# by-value parameters on the request path silently reintroduce the
+# allocations the compact representation removed. Hot-path functions
+# must take `const Value&` (read) or `Value&&` (transfer).
+#
+# Intentional *sink* parameters — taken by value and moved-from, where
+# the caller can hand over an rvalue for free — are fine; list their
+# grep fingerprints in scripts/value_param_allowlist.txt (one extended
+# regex per line, '#' comments allowed). Exit 1 when an unlisted hit
+# appears, with the offending path:line listed.
+#
+# CI runs this next to check_format as a blocking style gate: unlike
+# formatting, a stray by-value Value is a real perf defect.
+set -uo pipefail
+cd "$(dirname "$0")/.."
+
+# Directories on the serve/align request path. Tests, tools, benches,
+# and examples may copy Values freely.
+HOT_DIRS=(src/common src/interp src/server src/stack src/cloud src/persist)
+
+ALLOWLIST=scripts/value_param_allowlist.txt
+
+# A parameter spelled `Value name` directly after '(' or ', ' — skipping
+# `const Value&`, `Value&`, `Value*`, `Value&&`, and types merely
+# prefixed with Value (ValueKind etc.).
+hits=$(grep -rnE '(\(|, )Value [a-z_][a-zA-Z0-9_]*\s*[,)=]' "${HOT_DIRS[@]}" \
+         --include='*.h' --include='*.cpp' \
+       | grep -vE 'const Value|Value\s*[&*]' || true)
+
+if [[ -n "$hits" && -f "$ALLOWLIST" ]]; then
+  hits=$(grep -vEf <(grep -v '^\s*#' "$ALLOWLIST" | grep -v '^\s*$') \
+           <<<"$hits" || true)
+fi
+
+if [[ -n "$hits" ]]; then
+  echo "check_value_params: pass-by-value Value parameter(s) on a hot path."
+  echo "Take 'const Value&' (or 'Value&&' for transfer); if this is an"
+  echo "intentional moved-from sink, add a fingerprint to $ALLOWLIST."
+  echo
+  echo "$hits"
+  exit 1
+fi
+
+echo "check_value_params: clean"
