@@ -12,23 +12,77 @@
 # regex per line, '#' comments allowed). Exit 1 when an unlisted hit
 # appears, with the offending path:line listed.
 #
+# Hot directories are discovered, not enumerated: every src/<dir> is on
+# the hook unless listed in COLD_DIRS below, so a new subsystem (e.g.
+# src/persist's replicas, src/stack's router) is covered the day it
+# lands instead of the day someone remembers to edit this script.
+#
 # CI runs this next to check_format as a blocking style gate: unlike
 # formatting, a stray by-value Value is a real perf defect.
+#
+# Usage: check_value_params.sh [--self-test]
+#   --self-test  verify the detector against known-bad/known-good
+#                fixtures instead of scanning the tree (CI runs this
+#                first so a silently broken grep can't wave PRs through)
 set -uo pipefail
 cd "$(dirname "$0")/.."
 
-# Directories on the serve/align request path. Tests, tools, benches,
-# and examples may copy Values freely.
-HOT_DIRS=(src/common src/interp src/server src/stack src/cloud src/persist)
+# Off the request path: corpus/spec tooling, offline synthesis and
+# analysis, pipeline assembly, baselines, and the benches themselves.
+# Everything else under src/ is scanned.
+COLD_DIRS=(align analysis baselines bench core docs spec synth)
+
+HOT_DIRS=()
+for d in src/*/; do
+  d="${d%/}"
+  base="${d#src/}"
+  cold=0
+  for c in "${COLD_DIRS[@]}"; do
+    [[ "$base" == "$c" ]] && cold=1 && break
+  done
+  [[ "$cold" == 0 ]] && HOT_DIRS+=("$d")
+done
 
 ALLOWLIST=scripts/value_param_allowlist.txt
 
 # A parameter spelled `Value name` directly after '(' or ', ' — skipping
 # `const Value&`, `Value&`, `Value*`, `Value&&`, and types merely
 # prefixed with Value (ValueKind etc.).
-hits=$(grep -rnE '(\(|, )Value [a-z_][a-zA-Z0-9_]*\s*[,)=]' "${HOT_DIRS[@]}" \
-         --include='*.h' --include='*.cpp' \
-       | grep -vE 'const Value|Value\s*[&*]' || true)
+scan() {
+  grep -rnE '(\(|, )Value [a-z_][a-zA-Z0-9_]*\s*[,)=]' "$@" \
+      --include='*.h' --include='*.cpp' \
+    | grep -vE 'const Value|Value\s*[&*]' || true
+}
+
+if [[ "${1:-}" == "--self-test" ]]; then
+  fixtures="$(mktemp -d)"
+  trap 'rm -rf "$fixtures"' EXIT
+  cat > "$fixtures/bad.cpp" <<'EOF'
+void hot_path(Value v);
+ApiResponse invoke(const std::string& api, Value params, int n);
+EOF
+  cat > "$fixtures/good.cpp" <<'EOF'
+void hot_path(const Value& v);
+ApiResponse invoke(const std::string& api, Value&& params, int n);
+ValueKind classify(Value* out);
+EOF
+  bad_hits="$(scan "$fixtures/bad.cpp")"
+  good_hits="$(scan "$fixtures/good.cpp")"
+  if [[ "$(grep -c . <<<"$bad_hits")" -ne 2 ]]; then
+    echo "check_value_params --self-test: detector missed the known-bad fixture:" >&2
+    echo "$bad_hits" >&2
+    exit 1
+  fi
+  if [[ -n "$good_hits" ]]; then
+    echo "check_value_params --self-test: false positive on the known-good fixture:" >&2
+    echo "$good_hits" >&2
+    exit 1
+  fi
+  echo "check_value_params --self-test: detector OK (hot dirs: ${HOT_DIRS[*]})"
+  exit 0
+fi
+
+hits=$(scan "${HOT_DIRS[@]}")
 
 if [[ -n "$hits" && -f "$ALLOWLIST" ]]; then
   hits=$(grep -vEf <(grep -v '^\s*#' "$ALLOWLIST" | grep -v '^\s*$') \
@@ -44,4 +98,4 @@ if [[ -n "$hits" ]]; then
   exit 1
 fi
 
-echo "check_value_params: clean"
+echo "check_value_params: clean (scanned: ${HOT_DIRS[*]})"

@@ -19,11 +19,15 @@
 #                        epoll front-end suites (incremental-parser
 #                        torture/fuzz, wire-level HttpTorture, slow-loris
 #                        reaping, keep-alive accounting, and the
-#                        ShutdownHammer restart cycles — "Hammer"). The
-#                        fork-based CrashTorture tests self-skip under
-#                        TSan.
-export LCE_TSAN_TEST_TARGETS="common_test align_test interp_test cloud_test stack_test server_test persist_test plan_test"
-export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard|Wal|Journal|Snapshot|Recovery|Replay|Durable|Plan|HttpParser|HttpTorture|SlowLoris|KeepAlive'
+#                        ShutdownHammer restart cycles — "Hammer"), and
+#                        the replication suites ("Replica": WAL feed
+#                        ring, applier/reader races, reseed-after-gap,
+#                        promotion byte-identity; "Route": bounded-
+#                        staleness read routing under parallel readers).
+#                        The fork-based CrashTorture tests self-skip
+#                        under TSan.
+export LCE_TSAN_TEST_TARGETS="common_test value_fuzz_test align_test interp_test cloud_test stack_test server_test persist_test plan_test"
+export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard|Wal|Journal|Snapshot|Recovery|Replay|Durable|Plan|HttpParser|Torture|SlowLoris|KeepAlive|Endpoint|Replica|Route'
 
 # Portable core count: GNU coreutils' nproc, then the BSD/macOS sysctl,
 # then POSIX getconf, then a safe fallback.

@@ -7,8 +7,19 @@
 # cycles, so each round also proves the previous crash's debris (torn
 # tails, half-rotated epochs) does not poison the next recovery.
 #
+# Replica mode (REPLICAS > 0) extends each cycle: the server runs with
+# WAL-shipped read replicas, the load mixes describes (routed to
+# replicas) into the write stream, and the kill lands mid-replication.
+# After `lce replay` verifies the surviving dir, the cycle restarts the
+# server with replicas and POSTs /admin/promote for every replica —
+# each promoted clone must drain and produce a canonical dump
+# byte-identical to the recovered primary's. That closes the loop the
+# plain mode can't: crash debris must not poison the *replication* seam
+# (seed clone + feed apply) any more than it poisons recovery.
+#
 # Usage: scripts/crash_torture.sh [LCE_BINARY]
 # Env:   CYCLES        kill cycles to run (default 10)
+#        REPLICAS      read replicas to serve with (default 0: plain mode)
 #        ARTIFACT_DIR  where failing data dirs are preserved for upload
 #                      (default crash-torture-artifacts)
 set -euo pipefail
@@ -16,6 +27,7 @@ cd "$(dirname "$0")/.."
 
 LCE="${1:-build/tools/lce}"
 CYCLES="${CYCLES:-10}"
+REPLICAS="${REPLICAS:-0}"
 ARTIFACT_DIR="${ARTIFACT_DIR:-crash-torture-artifacts}"
 
 if [[ ! -x "$LCE" ]]; then
@@ -40,15 +52,20 @@ fail() {
   exit 1
 }
 
-for ((cycle = 1; cycle <= CYCLES; cycle++)); do
+SERVE_ARGS=(--data-dir "$DATA_DIR" --snapshot-every 40 --no-stdin)
+if [[ "$REPLICAS" -gt 0 ]]; then
+  SERVE_ARGS+=(--replicas "$REPLICAS")
+fi
+
+# Start the server and wait for it to announce its ephemeral port (this
+# includes recovery of whatever the previous cycle's kill left behind,
+# and in replica mode the seeding of every replica clone). Sets
+# SERVE_PID and PORT.
+start_server() {
   : > "$LOG"
   # A tight snapshot cadence makes kills land in rotation windows too.
-  "$LCE" serve --data-dir "$DATA_DIR" --snapshot-every 40 --no-stdin \
-    > "$LOG" 2>&1 &
+  "$LCE" serve "${SERVE_ARGS[@]}" > "$LOG" 2>&1 &
   SERVE_PID=$!
-
-  # Wait for the endpoint to announce its ephemeral port (this includes
-  # recovery of whatever the previous cycle's kill left behind).
   PORT=""
   for _ in $(seq 1 200); do
     PORT="$(sed -n 's#.*serving on http://127\.0\.0\.1:\([0-9]*\).*#\1#p' "$LOG" | head -1)"
@@ -57,14 +74,31 @@ for ((cycle = 1; cycle <= CYCLES; cycle++)); do
     sleep 0.05
   done
   [[ -n "$PORT" ]] || fail "server never announced a port"
+}
 
-  # Hammer journaled writes until the kill interrupts one mid-commit.
+stop_server() {
+  kill -9 "$SERVE_PID" 2>/dev/null || true
+  wait "$SERVE_PID" 2>/dev/null || true
+}
+
+for ((cycle = 1; cycle <= CYCLES; cycle++)); do
+  start_server
+
+  # Hammer journaled writes until the kill interrupts one mid-commit. In
+  # replica mode every third request is a describe, so the kill also
+  # lands while the router is serving reads off replica state.
   (
     i=0
     while :; do
-      curl -s -o /dev/null -X POST "http://127.0.0.1:$PORT/invoke" \
-        -d "{\"Action\":\"CreateVpc\",\"Params\":{\"cidr_block\":\"10.$((i % 200)).0.0/16\"}}" \
-        2>/dev/null || exit 0
+      if [[ "$REPLICAS" -gt 0 && $((i % 3)) -eq 2 ]]; then
+        curl -s -o /dev/null -X POST "http://127.0.0.1:$PORT/invoke" \
+          -d "{\"Action\":\"DescribeVpc\",\"Params\":{\"id\":\"vpc-00000001\"}}" \
+          2>/dev/null || exit 0
+      else
+        curl -s -o /dev/null -X POST "http://127.0.0.1:$PORT/invoke" \
+          -d "{\"Action\":\"CreateVpc\",\"Params\":{\"cidr_block\":\"10.$((i % 200)).0.0/16\"}}" \
+          2>/dev/null || exit 0
+      fi
       i=$((i + 1))
     done
   ) &
@@ -72,12 +106,35 @@ for ((cycle = 1; cycle <= CYCLES; cycle++)); do
 
   # Kill at a random point in the write stream (0.1s - 0.5s of load).
   sleep "0.$((RANDOM % 5 + 1))"
-  kill -9 "$SERVE_PID" 2>/dev/null || true
-  wait "$SERVE_PID" 2>/dev/null || true
+  stop_server
   kill "$LOAD_PID" 2>/dev/null || true
   wait "$LOAD_PID" 2>/dev/null || true
 
   "$LCE" replay "$DATA_DIR" > /dev/null || fail "replay rejected the data dir"
+
+  if [[ "$REPLICAS" -gt 0 ]]; then
+    # Restart over the crash debris and require every freshly seeded
+    # replica to promote byte-identically to the recovered primary.
+    start_server
+    for ((r = 0; r < REPLICAS; r++)); do
+      PROMOTE="$(curl -s -X POST "http://127.0.0.1:$PORT/admin/promote" \
+        -d "{\"Replica\":$r}" 2>/dev/null || true)"
+      case "$PROMOTE" in
+        *'"ok":true'*'"dumps_identical":true'* | \
+        *'"dumps_identical":true'*'"ok":true'*) ;;
+        *)
+          echo "$PROMOTE" > "$LOG.promote" || true
+          stop_server
+          fail "replica $r failed post-crash promotion: $PROMOTE"
+          ;;
+      esac
+    done
+    stop_server
+  fi
 done
 
-echo "crash_torture: $CYCLES kill -9 cycle(s) recovered and verified"
+if [[ "$REPLICAS" -gt 0 ]]; then
+  echo "crash_torture: $CYCLES kill -9 cycle(s) recovered, verified, and promoted $REPLICAS replica(s) byte-identically each cycle"
+else
+  echo "crash_torture: $CYCLES kill -9 cycle(s) recovered and verified"
+fi

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,17 @@ struct LoadOptions {
   /// fresh Connection: close socket per request. The difference is the
   /// keep-alive sweep in BENCH_serve.json.
   bool http_keep_alive = true;
+  /// Describes target only the prepopulated resources (mutates and their
+  /// targets are unrestricted). Needed when reads are served under a
+  /// bounded-staleness contract (the replica sweep): a replica within the
+  /// staleness bound is guaranteed to hold every PREPOPULATED resource,
+  /// but may not yet hold one created mid-run by a racing worker — which
+  /// would turn an expected-ok describe into a spurious error.
+  bool describe_targets_seeded = false;
+  /// Called once after prepopulation, before the measured clock starts
+  /// (e.g. to let replica appliers drain the prepopulation records so the
+  /// measured phase starts from caught-up replicas).
+  std::function<void()> after_prepopulate;
 };
 
 struct LoadStats {

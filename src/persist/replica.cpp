@@ -1,0 +1,282 @@
+#include "persist/replica.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/strings.h"
+#include "interp/interpreter.h"
+#include "persist/journal.h"
+#include "persist/recovery.h"
+
+namespace lce::persist {
+
+// ---------------------------------------------------------------- WalFeed --
+
+InProcessWalFeed::InProcessWalFeed(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  ring_.reserve(capacity_ < 1024 ? capacity_ : 1024);
+}
+
+std::uint64_t InProcessWalFeed::publish(const LogRecord& rec) {
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(rec);
+    seq = ++head_;
+    if (ring_.size() > capacity_) {
+      // Evict the oldest retained records; a straggler consumer now sees
+      // a gap and re-seeds. erase-from-front keeps the structure a plain
+      // vector — eviction is rare (appliers normally keep up) and batches.
+      const std::size_t drop = ring_.size() - capacity_;
+      ring_.erase(ring_.begin(), ring_.begin() + static_cast<std::ptrdiff_t>(drop));
+      base_ += drop;
+    }
+  }
+  cv_.notify_all();
+  return seq;
+}
+
+std::uint64_t InProcessWalFeed::published_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return head_;
+}
+
+FeedFetch InProcessWalFeed::fetch(std::uint64_t after, std::size_t max_records,
+                                  std::vector<LogRecord>* out) {
+  out->clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (after < base_) return FeedFetch::kGap;
+  if (after >= head_) return FeedFetch::kEmpty;
+  const std::size_t first = static_cast<std::size_t>(after - base_);
+  const std::size_t avail = ring_.size() - first;
+  const std::size_t n = avail < max_records ? avail : max_records;
+  out->assign(ring_.begin() + static_cast<std::ptrdiff_t>(first),
+              ring_.begin() + static_cast<std::ptrdiff_t>(first + n));
+  return FeedFetch::kRecords;
+}
+
+std::uint64_t InProcessWalFeed::wait_published(std::uint64_t after, int timeout_ms) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+               [&] { return head_ > after || shutdown_; });
+  return head_;
+}
+
+void InProcessWalFeed::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+}
+
+// ------------------------------------------------------------- ReplicaSet --
+
+namespace {
+
+/// Clone the primary under the exclusive gate: every committed write has
+/// both mutated the store AND published to the feed, so (clone state,
+/// published seq) is a consistent seed point. Returns nullptr when the
+/// backend's clone seam fails.
+std::unique_ptr<interp::Interpreter> quiesced_clone(PersistManager& persist,
+                                                    WalFeed& feed,
+                                                    std::uint64_t* seq) {
+  std::unique_lock<std::shared_mutex> gate(persist.gate());
+  std::unique_ptr<CloudBackend> copy = persist.primary().clone();
+  auto* interp = dynamic_cast<interp::Interpreter*>(copy.get());
+  if (interp == nullptr) return nullptr;
+  copy.release();
+  *seq = feed.published_seq();
+  return std::unique_ptr<interp::Interpreter>(interp);
+}
+
+}  // namespace
+
+ReplicaSet::ReplicaSet(PersistManager& persist, std::shared_ptr<WalFeed> feed,
+                       ReplicaSetOptions opts)
+    : persist_(persist), feed_(std::move(feed)), opts_(opts) {}
+
+std::unique_ptr<ReplicaSet> ReplicaSet::create(PersistManager& persist,
+                                               std::size_t n,
+                                               ReplicaSetOptions opts,
+                                               std::string* error) {
+  auto feed = std::make_shared<InProcessWalFeed>(opts.feed_capacity);
+  if (!persist.attach_feed(feed)) {
+    if (error != nullptr) *error = "persist manager already has a WAL feed";
+    return nullptr;
+  }
+  auto set = std::unique_ptr<ReplicaSet>(
+      new ReplicaSet(persist, std::move(feed), opts));
+  for (std::size_t i = 0; i < n; ++i) {
+    auto rep = std::make_unique<Rep>();
+    std::uint64_t seq = 0;
+    rep->interp = quiesced_clone(persist, *set->feed_, &seq);
+    if (rep->interp == nullptr) {
+      if (error != nullptr) *error = strf("replica ", i, ": primary clone failed");
+      return nullptr;  // no applier is running yet; ~ReplicaSet is a no-op
+    }
+    rep->applied.store(seq, std::memory_order_release);
+    set->replicas_.push_back(std::move(rep));
+  }
+  for (auto& rep : set->replicas_) {
+    rep->applier = std::thread([set_ptr = set.get(), rep_ptr = rep.get()] {
+      set_ptr->applier_loop(*rep_ptr);
+    });
+  }
+  return set;
+}
+
+ReplicaSet::~ReplicaSet() {
+  stop_.store(true, std::memory_order_release);
+  feed_->shutdown();
+  for (auto& rep : replicas_) {
+    if (rep->applier.joinable()) rep->applier.join();
+  }
+}
+
+std::uint64_t ReplicaSet::replica_applied_seq(std::size_t i) const {
+  return replicas_[i]->applied.load(std::memory_order_acquire);
+}
+
+ApiResponse ReplicaSet::invoke_on_replica(std::size_t i, const ApiRequest& req) {
+  Rep& rep = *replicas_[i];
+  // Shared with the applier (the interpreter's striped locks order reads
+  // against applied writes); exclusive only for a re-seed swap.
+  std::shared_lock<std::shared_mutex> hold(rep.swap_mu);
+  return rep.interp->invoke(req);
+}
+
+void ReplicaSet::applier_loop(Rep& rep) {
+  std::vector<LogRecord> batch;
+  while (!stop_.load(std::memory_order_acquire)) {
+    const std::uint64_t after = rep.applied.load(std::memory_order_relaxed);
+    const FeedFetch kind = feed_->fetch(after, opts_.batch_max, &batch);
+    if (kind == FeedFetch::kGap) {
+      if (!reseed(rep)) return;  // clone seam failed; replica stays stale
+      continue;
+    }
+    if (kind == FeedFetch::kEmpty) {
+      feed_->wait_published(after, opts_.poll_ms);
+      continue;
+    }
+    {
+      std::shared_lock<std::shared_mutex> hold(rep.swap_mu);
+      const ApplyResult applied = apply_records(batch, rep.interp.get());
+      if (applied.mismatches != 0) {
+        rep.mismatches.fetch_add(applied.mismatches, std::memory_order_relaxed);
+      }
+    }
+    rep.applied.store(after + batch.size(), std::memory_order_release);
+  }
+}
+
+bool ReplicaSet::reseed(Rep& rep) {
+  std::uint64_t seq = 0;
+  auto fresh = quiesced_clone(persist_, *feed_, &seq);
+  if (fresh == nullptr) return false;
+  {
+    std::unique_lock<std::shared_mutex> swap(rep.swap_mu);
+    rep.interp = std::move(fresh);
+  }
+  rep.applied.store(seq, std::memory_order_release);
+  rep.reseeds.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ReplicaSet::drain(std::uint64_t seq, int timeout_ms) {
+  const std::uint64_t target = seq != 0 ? seq : feed_->published_seq();
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  for (;;) {
+    bool all = true;
+    for (const auto& rep : replicas_) {
+      if (rep->applied.load(std::memory_order_acquire) < target) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+PromoteReport ReplicaSet::promote(std::size_t i, int drain_timeout_ms) {
+  PromoteReport report;
+  if (i >= replicas_.size()) {
+    report.error = strf("no replica ", i);
+    return report;
+  }
+  Rep& rep = *replicas_[i];
+  // The exclusive gate freezes commits (everything committed is published,
+  // nothing new publishes until release), but a straggler that fell past
+  // the feed's retention window needs that same gate to re-seed. So drain
+  // gate-free first, then take the gate and re-check: a commit that slips
+  // in between is caught by the re-check, which releases and retries.
+  std::unique_lock<std::shared_mutex> gate(persist_.gate(), std::defer_lock);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(drain_timeout_ms);
+  std::uint64_t target;
+  for (;;) {
+    target = feed_->published_seq();
+    while (rep.applied.load(std::memory_order_acquire) < target) {
+      if (std::chrono::steady_clock::now() >= deadline) {
+        report.error = strf("drain timed out at ",
+                            rep.applied.load(std::memory_order_relaxed), "/",
+                            target);
+        return report;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      target = feed_->published_seq();
+    }
+    gate.lock();
+    target = feed_->published_seq();
+    if (rep.applied.load(std::memory_order_acquire) >= target) break;
+    gate.unlock();
+    if (std::chrono::steady_clock::now() >= deadline) {
+      report.error = strf("drain raced new commits until the deadline (",
+                          rep.applied.load(std::memory_order_relaxed), "/",
+                          target, ")");
+      return report;
+    }
+  }
+  report.applied_seq = rep.applied.load(std::memory_order_acquire);
+  report.mismatches = rep.mismatches.load(std::memory_order_relaxed);
+
+  std::string primary_dump;
+  {
+    auto stripes = persist_.primary().store().locks().lock_shared_all();
+    primary_dump = serialize_store(persist_.primary().store());
+  }
+  {
+    std::shared_lock<std::shared_mutex> hold(rep.swap_mu);
+    auto stripes = rep.interp->store().locks().lock_shared_all();
+    report.canonical_dump = serialize_store(rep.interp->store());
+  }
+  report.dumps_identical = report.canonical_dump == primary_dump;
+  report.ok = report.dumps_identical;
+  if (!report.ok) {
+    report.error = strf("replica ", i, " dump (", report.canonical_dump.size(),
+                        " bytes) differs from primary (", primary_dump.size(),
+                        " bytes) after applying ", report.applied_seq,
+                        " record(s)");
+  }
+  return report;
+}
+
+std::vector<ReplicaStatus> ReplicaSet::status() const {
+  std::vector<ReplicaStatus> out;
+  out.reserve(replicas_.size());
+  const std::uint64_t head = feed_->published_seq();
+  for (const auto& rep : replicas_) {
+    ReplicaStatus st;
+    st.applied_seq = rep->applied.load(std::memory_order_acquire);
+    st.lag = head > st.applied_seq ? head - st.applied_seq : 0;
+    st.reseeds = rep->reseeds.load(std::memory_order_relaxed);
+    st.mismatches = rep->mismatches.load(std::memory_order_relaxed);
+    out.push_back(st);
+  }
+  return out;
+}
+
+}  // namespace lce::persist

@@ -1,0 +1,205 @@
+// WAL-shipped read replicas (DESIGN.md "Replication"): the deterministic
+// group-commit WAL (wal.h) plus the CloudBackend::clone() seam make
+// replication nearly free — a replica is a full interpreter seeded from
+// the primary's quiesced state and kept current by re-applying the
+// primary's committed log records through the exact machinery crash
+// recovery uses (apply_records: normal invoke path, minted-id pinning).
+//
+// Three pieces:
+//
+//   WalFeed       the transport interface: the primary publishes each
+//                 committed record (journal_call/journal_reset, after the
+//                 WAL append succeeds and before the response is
+//                 released), consumers fetch by sequence number. The
+//                 in-process implementation is a bounded ring of
+//                 committed records; a network hop slots in behind the
+//                 same interface later.
+//   Replica       a private Interpreter + an applier thread draining the
+//                 feed. Falling off the ring's tail (a gap) triggers a
+//                 re-seed: quiesce the primary, clone it, resume from the
+//                 clone's sequence — the same snapshot + catch-up shape
+//                 recovery implements against disk.
+//   ReplicaSet    owns N replicas and implements stack::ReplicaTier, so
+//                 the RouteLayer can send bounded-staleness reads at
+//                 them. promote() is failover: drain the feed into one
+//                 replica under the exclusive gate and verify its
+//                 canonical dump against the primary's — byte-identical
+//                 for serial/disjoint histories, the same determinism
+//                 caveat recovery documents (racing conflicting writes
+//                 may commit to the store in the opposite order of their
+//                 log records).
+//
+// Consistency: a replica's state is always SOME prefix of the published
+// record sequence applied to a quiesced seed — never a torn mid-write
+// view, because records only publish after their transition committed
+// and appended. Staleness is bounded by the RouteLayer, not here.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "persist/format.h"
+#include "stack/route.h"
+
+namespace lce::interp {
+class Interpreter;
+}  // namespace lce::interp
+
+namespace lce::persist {
+
+class PersistManager;
+
+// ---------------------------------------------------------------- WalFeed --
+
+/// One fetch outcome. kGap means `after` has been evicted from the
+/// feed's retention window — the consumer must re-seed from a snapshot.
+enum class FeedFetch { kRecords, kEmpty, kGap };
+
+/// Transport seam between the primary's committed log and its consumers.
+/// publish() is called with the primary's commit gate held shared, so
+/// published_seq() observed under the gate (shared or exclusive) is
+/// exact. All methods are internally synchronized.
+class WalFeed {
+ public:
+  virtual ~WalFeed() = default;
+
+  /// Append one committed record; returns its sequence number (1-based,
+  /// contiguous).
+  virtual std::uint64_t publish(const LogRecord& rec) = 0;
+  /// High-water mark: sequence of the newest published record.
+  virtual std::uint64_t published_seq() const = 0;
+  /// Copy records with sequence in (after, after + max_records] into
+  /// *out (cleared first).
+  virtual FeedFetch fetch(std::uint64_t after, std::size_t max_records,
+                          std::vector<LogRecord>* out) = 0;
+  /// Block until published_seq() > after, `timeout_ms` elapses, or
+  /// shutdown() is called. Returns published_seq().
+  virtual std::uint64_t wait_published(std::uint64_t after, int timeout_ms) = 0;
+  /// Wake every waiter permanently (applier shutdown).
+  virtual void shutdown() = 0;
+};
+
+/// The in-process feed: a mutex-guarded ring of the newest `capacity`
+/// committed records. Readers that fall more than `capacity` records
+/// behind observe a gap and re-seed, exactly like a network follower
+/// whose retention window on the primary expired.
+class InProcessWalFeed final : public WalFeed {
+ public:
+  explicit InProcessWalFeed(std::size_t capacity = 16384);
+
+  std::uint64_t publish(const LogRecord& rec) override;
+  std::uint64_t published_seq() const override;
+  FeedFetch fetch(std::uint64_t after, std::size_t max_records,
+                  std::vector<LogRecord>* out) override;
+  std::uint64_t wait_published(std::uint64_t after, int timeout_ms) override;
+  void shutdown() override;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<LogRecord> ring_;   // ring_[i] holds seq base_ + i + 1
+  std::uint64_t base_ = 0;        // records evicted off the front
+  std::uint64_t head_ = 0;        // newest published sequence
+  bool shutdown_ = false;
+};
+
+// ------------------------------------------------------------- ReplicaSet --
+
+struct ReplicaSetOptions {
+  /// In-process feed retention, in records. Consumers further behind
+  /// re-seed from a primary clone instead of replaying the gap.
+  std::size_t feed_capacity = 16384;
+  /// Records per applier batch.
+  std::size_t batch_max = 256;
+  /// Applier idle poll interval (the cv wait bounds shutdown latency).
+  int poll_ms = 50;
+};
+
+/// Per-replica introspection for GET /admin/replicas and /metrics.
+struct ReplicaStatus {
+  std::uint64_t applied_seq = 0;
+  std::uint64_t lag = 0;         // published - applied at sample time
+  std::uint64_t reseeds = 0;     // gap-triggered snapshot catch-ups
+  std::uint64_t mismatches = 0;  // applied records whose response diverged
+};
+
+/// Outcome of promote(): failover rehearsal / verification.
+struct PromoteReport {
+  bool ok = false;
+  std::string error;
+  std::uint64_t applied_seq = 0;    // replica's sequence after the drain
+  bool dumps_identical = false;     // replica dump == primary dump
+  std::uint64_t mismatches = 0;     // lifetime apply mismatches
+  std::string canonical_dump;       // serialize_store of the replica
+};
+
+class ReplicaSet final : public stack::ReplicaTier {
+ public:
+  /// Seed `n` replicas from `persist`'s primary (quiescing it once per
+  /// replica) and start their applier threads. The primary interpreter
+  /// and the manager must outlive the set. Attaches an InProcessWalFeed
+  /// to the manager; fails (nullptr + *error) when the manager already
+  /// has a feed or a seed clone fails.
+  static std::unique_ptr<ReplicaSet> create(PersistManager& persist, std::size_t n,
+                                            ReplicaSetOptions opts,
+                                            std::string* error);
+  ~ReplicaSet() override;
+
+  ReplicaSet(const ReplicaSet&) = delete;
+  ReplicaSet& operator=(const ReplicaSet&) = delete;
+
+  // stack::ReplicaTier
+  std::size_t replica_count() const override { return replicas_.size(); }
+  std::uint64_t primary_seq() const override { return feed_->published_seq(); }
+  std::uint64_t replica_applied_seq(std::size_t i) const override;
+  ApiResponse invoke_on_replica(std::size_t i, const ApiRequest& req) override;
+
+  /// Failover: quiesce the primary (exclusive gate, so no write is in
+  /// flight and everything committed is published), drain the feed into
+  /// replica `i`, and compare canonical dumps. The report's dump is the
+  /// state a promoted replica would serve — byte-identical to what the
+  /// PR 4 recovery path reconstructs from the primary's data dir for
+  /// serial/disjoint histories.
+  PromoteReport promote(std::size_t i, int drain_timeout_ms = 10000);
+
+  /// Wait (without quiescing) until every replica has applied at least
+  /// `seq` (published_seq() when 0). False on timeout.
+  bool drain(std::uint64_t seq = 0, int timeout_ms = 10000);
+
+  std::vector<ReplicaStatus> status() const;
+  WalFeed& feed() { return *feed_; }
+
+ private:
+  struct Rep {
+    // swap_mu orders re-seed swaps against readers/applier: shared for
+    // invoke + apply, exclusive only while reseed() replaces the interp.
+    mutable std::shared_mutex swap_mu;
+    std::unique_ptr<interp::Interpreter> interp;
+    std::atomic<std::uint64_t> applied{0};
+    std::atomic<std::uint64_t> reseeds{0};
+    std::atomic<std::uint64_t> mismatches{0};
+    std::thread applier;
+  };
+
+  ReplicaSet(PersistManager& persist, std::shared_ptr<WalFeed> feed,
+             ReplicaSetOptions opts);
+
+  void applier_loop(Rep& rep);
+  bool reseed(Rep& rep);
+
+  PersistManager& persist_;
+  std::shared_ptr<WalFeed> feed_;
+  ReplicaSetOptions opts_;
+  std::atomic<bool> stop_{false};
+  std::vector<std::unique_ptr<Rep>> replicas_;
+};
+
+}  // namespace lce::persist

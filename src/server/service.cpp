@@ -4,9 +4,11 @@
 
 #include "common/strings.h"
 #include "persist/journal.h"
+#include "persist/replica.h"
 #include "server/json.h"
 #include "stack/layer.h"
 #include "stack/layers.h"
+#include "stack/route.h"
 
 namespace lce::server {
 
@@ -40,12 +42,83 @@ Value server_stats_value(const HttpServerStats& s) {
   return Value(std::move(m));
 }
 
+Value route_stats_value(const stack::RouteStats& s) {
+  Value::Map m;
+  m["replica_reads"] = Value(static_cast<std::int64_t>(s.replica_reads));
+  m["primary_reads"] = Value(static_cast<std::int64_t>(s.primary_reads));
+  m["lag_fallbacks"] = Value(static_cast<std::int64_t>(s.lag_fallbacks));
+  m["writes"] = Value(static_cast<std::int64_t>(s.writes));
+  Value::List hits;
+  for (std::uint64_t h : s.replica_hits) {
+    hits.push_back(Value(static_cast<std::int64_t>(h)));
+  }
+  m["replica_hits"] = Value(std::move(hits));
+  return Value(std::move(m));
+}
+
+Value replica_status_value(const persist::ReplicaStatus& st) {
+  Value::Map m;
+  m["applied_seq"] = Value(static_cast<std::int64_t>(st.applied_seq));
+  m["lag"] = Value(static_cast<std::int64_t>(st.lag));
+  m["reseeds"] = Value(static_cast<std::int64_t>(st.reseeds));
+  m["mismatches"] = Value(static_cast<std::int64_t>(st.mismatches));
+  return Value(std::move(m));
+}
+
 }  // namespace
 
 HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req,
                                      persist::PersistManager* persist,
-                                     const HttpServer* server) {
+                                     const HttpServer* server,
+                                     persist::ReplicaSet* replicas) {
   auto* layered = dynamic_cast<stack::LayerStack*>(&backend);
+  if (req.path == "/admin/replicas" || req.path == "/admin/promote") {
+    if (replicas == nullptr) {
+      return error_response(404, "ReplicationUnavailable",
+                            "endpoint is not running with replicas");
+    }
+    if (req.method == "GET" && req.path == "/admin/replicas") {
+      Value::Map body;
+      body["published_seq"] =
+          Value(static_cast<std::int64_t>(replicas->primary_seq()));
+      Value::List list;
+      for (const auto& st : replicas->status()) {
+        list.push_back(replica_status_value(st));
+      }
+      body["replicas"] = Value(std::move(list));
+      return json_response(200, Value(std::move(body)));
+    }
+    if (req.method == "POST" && req.path == "/admin/promote") {
+      // Replica index from the body ({"Replica": N}); default 0.
+      std::size_t index = 0;
+      if (!req.body.empty()) {
+        JsonError jerr;
+        auto doc = parse_json(req.body, &jerr);
+        if (!doc || !doc->is_map()) {
+          return error_response(400, "MalformedRequest",
+                                doc ? "request body must be a JSON object"
+                                    : jerr.to_text());
+        }
+        if (const Value* idx = doc->get("Replica")) {
+          if (!idx->is_int() || idx->as_int() < 0) {
+            return error_response(400, "MalformedRequest",
+                                  "\"Replica\" must be a non-negative integer");
+          }
+          index = static_cast<std::size_t>(idx->as_int());
+        }
+      }
+      persist::PromoteReport report = replicas->promote(index);
+      Value::Map body;
+      body["ok"] = Value(report.ok);
+      body["applied_seq"] = Value(static_cast<std::int64_t>(report.applied_seq));
+      body["dumps_identical"] = Value(report.dumps_identical);
+      body["mismatches"] = Value(static_cast<std::int64_t>(report.mismatches));
+      if (!report.error.empty()) body["error"] = Value(report.error);
+      return json_response(report.ok ? 200 : 500, Value(std::move(body)));
+    }
+    return error_response(405, "MethodNotAllowed",
+                          strf(req.method, " not supported on ", req.path));
+  }
   if (req.path == "/admin/snapshot" || req.path == "/admin/persist") {
     if (persist == nullptr) {
       return error_response(404, "PersistenceUnavailable",
@@ -97,6 +170,9 @@ HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& r
     }
     Value::Map body = metrics->metrics().as_map();
     if (server != nullptr) body["server"] = server_stats_value(server->stats());
+    auto* route =
+        layered != nullptr ? layered->find<stack::RouteLayer>() : nullptr;
+    if (route != nullptr) body["route"] = route_stats_value(route->stats());
     return json_response(200, Value(std::move(body)));
   }
   if (req.method == "GET" && req.path == "/snapshot") {
@@ -167,12 +243,15 @@ stack::StackConfig with_journal(stack::StackConfig config,
 
 EmulatorEndpoint::EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config,
                                    persist::PersistManager* persist,
-                                   HttpServerOptions http)
+                                   HttpServerOptions http,
+                                   persist::ReplicaSet* replicas)
     : stack_(stack::build_stack(backend, with_journal(std::move(config), persist))),
       persist_(persist),
+      replicas_(replicas),
       server_(
           [this](const HttpRequest& req) {
-            return handle_emulator_request(stack_, req, persist_, &server_);
+            return handle_emulator_request(stack_, req, persist_, &server_,
+                                           replicas_);
           },
           http) {}
 

@@ -29,6 +29,7 @@
 
 namespace lce::persist {
 class PersistManager;
+class ReplicaSet;
 }  // namespace lce::persist
 
 namespace lce::server {
@@ -44,9 +45,14 @@ using stack::looks_like_resource_id;
 /// /admin/snapshot and /admin/persist durability routes. `server` (may be
 /// null) adds the front-end counters — accepted connections, keep-alive
 /// reuses, reaps, rejections — under "server" in the /metrics body.
+/// `replicas` (may be null) serves GET /admin/replicas (per-replica
+/// applied-seq/lag) and POST /admin/promote (drain + byte-identity
+/// verification against the primary) and, with a RouteLayer in the
+/// stack, the "route" section of /metrics.
 HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req,
                                      persist::PersistManager* persist = nullptr,
-                                     const HttpServer* server = nullptr);
+                                     const HttpServer* server = nullptr,
+                                     persist::ReplicaSet* replicas = nullptr);
 
 /// A running emulator endpoint; owns the server thread and the layer stack
 /// built around the backend (default: serialize + validate + metrics), not
@@ -58,9 +64,14 @@ class EmulatorEndpoint {
   /// config's journal hook is overwritten) and the /admin routes light up.
   /// `http` tunes the serving front end (io threads, idle timeout,
   /// per-connection request cap, parser limits).
+  /// `replicas` (optional, caller-owned, must outlive the endpoint)
+  /// lights up the /admin/replicas and /admin/promote routes; the
+  /// RouteLayer itself is installed via config.route (the CLI wires
+  /// both from --replicas).
   explicit EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config = {},
                             persist::PersistManager* persist = nullptr,
-                            HttpServerOptions http = {});
+                            HttpServerOptions http = {},
+                            persist::ReplicaSet* replicas = nullptr);
 
   /// Bind and serve; returns the port (0 = failure).
   std::uint16_t start(std::uint16_t port = 0);
@@ -78,6 +89,7 @@ class EmulatorEndpoint {
  private:
   stack::LayerStack stack_;
   persist::PersistManager* persist_;
+  persist::ReplicaSet* replicas_;
   HttpServer server_;
 };
 

@@ -1,0 +1,60 @@
+#include "stack/route.h"
+
+#include <utility>
+
+namespace lce::stack {
+
+RouteLayer::RouteLayer(ReplicaTier* tier, RouteOptions opts)
+    : tier_(tier), opts_(std::move(opts)) {
+  hit_slots_ = tier_ != nullptr ? tier_->replica_count() : 0;
+  if (hit_slots_ != 0) {
+    hits_ = std::make_unique<std::atomic<std::uint64_t>[]>(hit_slots_);
+    for (std::size_t i = 0; i < hit_slots_; ++i) hits_[i].store(0);
+  }
+}
+
+ApiResponse RouteLayer::invoke(const ApiRequest& req) {
+  const bool routable = tier_ != nullptr && hit_slots_ != 0 && opts_.read_only &&
+                        opts_.read_only(req.api);
+  if (!routable) {
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    return inner().invoke(req);
+  }
+  // Sample the high-water mark once; replicas only catch UP afterwards,
+  // so the bound stays conservative under concurrent publication.
+  const std::uint64_t head = tier_->primary_seq();
+  const std::size_t n = hit_slots_;
+  const std::size_t start =
+      static_cast<std::size_t>(rr_.fetch_add(1, std::memory_order_relaxed)) % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t i = (start + k) % n;
+    const std::uint64_t applied = tier_->replica_applied_seq(i);
+    if (head - std::min(head, applied) <= opts_.lag_max) {
+      hits_[i].fetch_add(1, std::memory_order_relaxed);
+      replica_reads_.fetch_add(1, std::memory_order_relaxed);
+      return tier_->invoke_on_replica(i, req);
+    }
+  }
+  lag_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+  primary_reads_.fetch_add(1, std::memory_order_relaxed);
+  return inner().invoke(req);
+}
+
+RouteStats RouteLayer::stats() const {
+  RouteStats s;
+  s.replica_reads = replica_reads_.load(std::memory_order_relaxed);
+  s.primary_reads = primary_reads_.load(std::memory_order_relaxed);
+  s.lag_fallbacks = lag_fallbacks_.load(std::memory_order_relaxed);
+  s.writes = writes_.load(std::memory_order_relaxed);
+  s.replica_hits.reserve(hit_slots_);
+  for (std::size_t i = 0; i < hit_slots_; ++i) {
+    s.replica_hits.push_back(hits_[i].load(std::memory_order_relaxed));
+  }
+  return s;
+}
+
+std::unique_ptr<BackendLayer> RouteLayer::clone_detached() const {
+  return std::make_unique<RouteLayer>(nullptr, opts_);
+}
+
+}  // namespace lce::stack

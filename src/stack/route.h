@@ -1,0 +1,106 @@
+// Read routing over a replica tier (DESIGN.md "Replication"): the serve
+// stack's seam between "one store answers everything" and "a primary
+// handles mutations while a fan-out tier absorbs Describe traffic" — the
+// front-door shape the serve bench's 70%-describe mix exists to model.
+//
+// RouteLayer classifies each request with a caller-supplied read-only
+// predicate (sourced from the interpreter's compiled lock plans — exactly
+// the transitions whose lock classification is read-shared, so a routed
+// call provably cannot mutate) and sends reads to a replica under a
+// bounded-staleness contract:
+//
+//   eligible(replica) := primary_seq() - applied_seq(replica) <= lag_max
+//
+// where both sequences count committed WAL records. Reads rotate round-
+// robin across eligible replicas; when none is within the bound the read
+// falls back to the primary chain, so the client never observes state
+// older than `lag_max` committed writes. lag_max = 0 degenerates to
+// strict routing: a replica serves only when fully caught up, which keeps
+// serial histories byte-identical to an unreplicated endpoint. Mutations
+// (and unclassifiable APIs) always continue inward to the primary.
+//
+// The tier itself lives behind the ReplicaTier interface: the stack knows
+// nothing about WAL feeds or applier threads (src/persist/replica.h
+// provides the in-process implementation; a network hop would slot in
+// behind the same four methods).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "stack/layer.h"
+
+namespace lce::stack {
+
+/// What the router needs from a replication tier, and nothing more.
+/// Implementations must be internally synchronized: invoke_on_replica and
+/// the sequence reads race freely across serving threads.
+class ReplicaTier {
+ public:
+  virtual ~ReplicaTier() = default;
+
+  virtual std::size_t replica_count() const = 0;
+  /// Committed records published by the primary (the feed high-water mark).
+  virtual std::uint64_t primary_seq() const = 0;
+  /// Records replica `i` has applied (monotonic).
+  virtual std::uint64_t replica_applied_seq(std::size_t i) const = 0;
+  /// Serve a (validated, read-only) request from replica `i`'s store.
+  virtual ApiResponse invoke_on_replica(std::size_t i, const ApiRequest& req) = 0;
+};
+
+struct RouteOptions {
+  /// Maximum tolerated replica lag, in committed-WAL-record terms. Reads
+  /// that would exceed it fall back to the primary. 0 = serve from a
+  /// replica only when it has applied everything published.
+  std::uint64_t lag_max = 64;
+  /// True for APIs safe to serve from a replica (read-shared lock plans).
+  /// An empty predicate routes nothing — every call stays on the primary.
+  std::function<bool(const std::string&)> read_only;
+};
+
+/// Router counters for /metrics ("route" section).
+struct RouteStats {
+  std::uint64_t replica_reads = 0;   // served by some replica
+  std::uint64_t primary_reads = 0;   // read-only but served by the primary
+  std::uint64_t lag_fallbacks = 0;   // subset of primary_reads: bound exceeded
+  std::uint64_t writes = 0;          // non-read calls passed inward
+  std::vector<std::uint64_t> replica_hits;  // per-replica served count
+};
+
+class RouteLayer final : public BackendLayer {
+ public:
+  /// `tier` is caller-owned and must outlive the layer; nullptr (or zero
+  /// replicas) makes the layer a counting passthrough.
+  RouteLayer(ReplicaTier* tier, RouteOptions opts);
+
+  std::string layer_name() const override { return "route"; }
+  ApiResponse invoke(const ApiRequest& req) override;
+
+  RouteStats stats() const;
+  const RouteOptions& options() const { return opts_; }
+
+ protected:
+  /// Clones detach from the tier: a cloned chain (parallel alignment
+  /// workers) owns a private backend whose state the shared replicas do
+  /// not track, so routing its reads elsewhere would answer from the
+  /// wrong store. Same discipline as JournalLayer.
+  std::unique_ptr<BackendLayer> clone_detached() const override;
+
+ private:
+  ReplicaTier* tier_;
+  RouteOptions opts_;
+
+  std::atomic<std::uint64_t> rr_{0};  // round-robin cursor
+  std::atomic<std::uint64_t> replica_reads_{0};
+  std::atomic<std::uint64_t> primary_reads_{0};
+  std::atomic<std::uint64_t> lag_fallbacks_{0};
+  std::atomic<std::uint64_t> writes_{0};
+  std::unique_ptr<std::atomic<std::uint64_t>[]> hits_;  // replica_count() wide
+  std::size_t hit_slots_ = 0;
+};
+
+}  // namespace lce::stack

@@ -18,8 +18,12 @@
 #include "docs/defects.h"
 #include "docs/render.h"
 #include "interp/interpreter.h"
+#include "persist/journal.h"
+#include "persist/persist_test_util.h"
+#include "persist/replica.h"
 #include "stack/config.h"
 #include "stack/layers.h"
+#include "stack/route.h"
 
 namespace lce::align {
 namespace {
@@ -298,6 +302,72 @@ TEST(ParallelStackAlignment, MetricsCollectionIsDeterministicAndInvisible) {
     }
     EXPECT_GT(serial.rounds[i].metrics.get("cloud")->get("total")->get("calls")->as_int(),
               0);
+  }
+}
+
+// A routed durable stack (journal -> route over WAL-shipped replicas,
+// strict staleness bound) must be invisible to the differential pass:
+// outcomes byte-identical to the bare interpreter, for both pipeline
+// shapes (compiled plan / tree-walk) and any worker count. Workers
+// execute on clones, which detach from the WAL and the replica tier;
+// serial execution routes reads at live replicas, whose state is
+// byte-identical to the primary's at every quiesced point of the serial
+// trace stream.
+TEST(ParallelExecutor, RoutedStackOutcomesMatchBareBackend) {
+  auto corpus = seeded_corpus();
+  for (bool use_plan : {true, false}) {
+    SCOPED_TRACE(use_plan ? "plan" : "tree");
+    core::PipelineOptions popts;
+    popts.use_plan = use_plan;
+    auto emu = core::LearnedEmulator::from_docs(corpus, popts);
+    cloud::ReferenceCloud cloud(docs::build_aws_catalog());
+    TraceGenerator gen(emu.backend().spec());
+    std::vector<GenTrace> traces = gen.generate_all();
+    ASSERT_GT(traces.size(), 100u);
+
+    ParallelExecutor bare(cloud, emu.backend(), 1);
+    auto want = bare.execute(traces);
+
+    persist::testing::ScratchDir dir;
+    persist::PersistOptions po;
+    po.data_dir = dir.path();
+    std::string error;
+    auto mgr = persist::PersistManager::open(emu.backend(), po, &error);
+    ASSERT_NE(mgr, nullptr) << error;
+    auto replicas = persist::ReplicaSet::create(*mgr, 2, {}, &error);
+    ASSERT_NE(replicas, nullptr) << error;
+
+    stack::StackConfig cfg;
+    cfg.metrics = false;
+    cfg.validate = false;  // traces are already normalized
+    cfg.journal = [&mgr] {
+      return std::make_unique<persist::JournalLayer>(mgr.get());
+    };
+    cfg.route = [&replicas, interp = &emu.backend()] {
+      stack::RouteOptions ro;
+      ro.lag_max = 0;  // strict: replicas serve only when fully caught up
+      ro.read_only = [interp](const std::string& api) {
+        return interp->read_only_api(api);
+      };
+      return std::make_unique<stack::RouteLayer>(replicas.get(), std::move(ro));
+    };
+
+    for (int workers : {1, 4}) {
+      SCOPED_TRACE(workers);
+      stack::LayerStack routed = stack::build_stack(emu.backend(), cfg);
+      ParallelExecutor exec(cloud, routed, workers);
+      auto got = exec.execute(traces);
+      ASSERT_EQ(want.size(), got.size());
+      for (std::size_t i = 0; i < want.size(); ++i) {
+        EXPECT_EQ(want[i].discrepancy.has_value(), got[i].discrepancy.has_value())
+            << "trace " << i << " (" << traces[i].trace.label << ")";
+        if (want[i].discrepancy && got[i].discrepancy) {
+          EXPECT_EQ(want[i].discrepancy->to_text(), got[i].discrepancy->to_text());
+        }
+        EXPECT_EQ(want[i].have_probe_outcome, got[i].have_probe_outcome);
+        EXPECT_EQ(want[i].probe_outcome, got[i].probe_outcome) << "trace " << i;
+      }
+    }
   }
 }
 

@@ -1,0 +1,155 @@
+// Guards the CI configuration itself (ROADMAP standing constraint: every
+// new lock is a TSan liability, and the TSan selection lives in
+// scripts/ci_env.sh). The failure mode this prevents: someone adds a
+// threaded test suite, tier-1 runs it uninstrumented, and the data race
+// it was written to catch ships because the sanitizer configs never saw
+// it. The guard cross-references three artifacts that normally drift
+// apart silently — the test sources, the per-binary source lists in
+// tests/CMakeLists.txt, and the target/regex selection in ci_env.sh —
+// and fails the moment a thread-spawning *_test.cpp falls outside the
+// TSan selection.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#ifndef LCE_SOURCE_DIR
+#error "ci_guard_test requires LCE_SOURCE_DIR (see tests/CMakeLists.txt)"
+#endif
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// Value of `export NAME="..."` / `export NAME='...'` in a shell script.
+std::string shell_export(const std::string& text, const std::string& name) {
+  std::regex pat("export\\s+" + name + "=[\"']([^\"']*)[\"']");
+  std::smatch m;
+  if (!std::regex_search(text, m, pat)) return {};
+  return m[1].str();
+}
+
+/// tests/CMakeLists.txt parsed into binary -> relative source paths, by
+/// scanning each lce_add_test(name src...) call.
+std::map<std::string, std::vector<std::string>> parse_test_binaries(
+    const std::string& cmake) {
+  std::map<std::string, std::vector<std::string>> out;
+  std::regex call("lce_add_test\\(\\s*([A-Za-z0-9_]+)([^)]*)\\)");
+  for (auto it = std::sregex_iterator(cmake.begin(), cmake.end(), call);
+       it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    std::istringstream body((*it)[2].str());
+    std::string tok;
+    while (body >> tok) {
+      if (tok.ends_with(".cpp")) out[name].push_back(tok);
+    }
+  }
+  return out;
+}
+
+/// Suite names (first TEST/TEST_F macro argument) declared in a source.
+std::vector<std::string> suite_names(const std::string& source) {
+  std::vector<std::string> out;
+  std::regex test_macro("TEST(?:_F)?\\(\\s*([A-Za-z0-9_]+)\\s*,");
+  for (auto it = std::sregex_iterator(source.begin(), source.end(), test_macro);
+       it != std::sregex_iterator(); ++it) {
+    out.push_back((*it)[1].str());
+  }
+  return out;
+}
+
+bool uses_threads(const std::string& source) {
+  // Needles assembled at runtime so this file's own source (which the
+  // scan also covers) does not match its detector strings.
+  const std::string plain = std::string("std::") + "thread";
+  const std::string cpp20 = std::string("std::") + "jthread";
+  return source.find(plain) != std::string::npos ||
+         source.find(cpp20) != std::string::npos;
+}
+
+struct CiConfig {
+  std::set<std::string> tsan_targets;
+  std::string tsan_regex;
+  std::map<std::string, std::vector<std::string>> binaries;
+};
+
+CiConfig load_config() {
+  const fs::path root = LCE_SOURCE_DIR;
+  CiConfig cfg;
+  const std::string env = read_file(root / "scripts" / "ci_env.sh");
+  std::istringstream targets(shell_export(env, "LCE_TSAN_TEST_TARGETS"));
+  std::string t;
+  while (targets >> t) cfg.tsan_targets.insert(t);
+  cfg.tsan_regex = shell_export(env, "LCE_TSAN_TEST_REGEX");
+  cfg.binaries = parse_test_binaries(read_file(root / "tests" / "CMakeLists.txt"));
+  return cfg;
+}
+
+TEST(CiGuard, EnvScriptDefinesTheTsanSelection) {
+  CiConfig cfg = load_config();
+  EXPECT_FALSE(cfg.tsan_targets.empty());
+  EXPECT_FALSE(cfg.tsan_regex.empty());
+  EXPECT_FALSE(cfg.binaries.empty());
+}
+
+TEST(CiGuard, EveryTestSourceBelongsToABinary) {
+  CiConfig cfg = load_config();
+  std::set<std::string> referenced;
+  for (const auto& [bin, sources] : cfg.binaries) {
+    for (const auto& s : sources) referenced.insert(s);
+  }
+  const fs::path tests_dir = fs::path(LCE_SOURCE_DIR) / "tests";
+  for (const auto& entry : fs::recursive_directory_iterator(tests_dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string rel =
+        fs::relative(entry.path(), tests_dir).generic_string();
+    if (!rel.ends_with("_test.cpp")) continue;
+    EXPECT_TRUE(referenced.contains(rel))
+        << rel << " is not built by any lce_add_test binary — it silently "
+        << "runs in no CI configuration";
+  }
+}
+
+TEST(CiGuard, ThreadedTestsAreInTheTsanSelection) {
+  CiConfig cfg = load_config();
+  const std::regex selection(cfg.tsan_regex);
+  const fs::path tests_dir = fs::path(LCE_SOURCE_DIR) / "tests";
+  for (const auto& [bin, sources] : cfg.binaries) {
+    for (const auto& rel : sources) {
+      const std::string source = read_file(tests_dir / rel);
+      if (!uses_threads(source)) continue;
+      // The binary must be built for the sanitizer configs...
+      EXPECT_TRUE(cfg.tsan_targets.contains(bin))
+          << rel << " uses std::" << "thread but its binary '" << bin
+          << "' is not in LCE_TSAN_TEST_TARGETS (scripts/ci_env.sh)";
+      // ...and at least one of the file's suites must match the ctest -R
+      // selection, or TSan builds it and then never runs it.
+      bool selected = false;
+      for (const std::string& suite : suite_names(source)) {
+        if (std::regex_search(suite, selection)) {
+          selected = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(selected)
+          << rel << " uses std::" << "thread but none of its TEST suites "
+          << "match LCE_TSAN_TEST_REGEX '" << cfg.tsan_regex << "'";
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,237 @@
+// RouteLayer (src/stack/route.h): read/write classification through the
+// caller predicate, the bounded-staleness eligibility check, round-robin
+// fan-out over eligible replicas, the fallback-to-primary path, stats
+// accounting, and clone detachment (cloned chains own private state the
+// shared tier does not track). Driven by a fake ReplicaTier so the layer
+// is pinned independently of the persist implementation.
+#include "stack/route.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cloud/reference_cloud.h"
+#include "docs/corpus.h"
+#include "stack/layer.h"
+
+namespace lce::stack {
+namespace {
+
+/// A scriptable tier: fixed head/applied sequences, canned responses that
+/// identify which replica answered.
+class FakeTier final : public ReplicaTier {
+ public:
+  explicit FakeTier(std::vector<std::uint64_t> applied, std::uint64_t head)
+      : applied_(std::move(applied)), head_(head) {}
+
+  std::size_t replica_count() const override { return applied_.size(); }
+  std::uint64_t primary_seq() const override { return head_; }
+  std::uint64_t replica_applied_seq(std::size_t i) const override {
+    return applied_[i];
+  }
+  ApiResponse invoke_on_replica(std::size_t i, const ApiRequest& req) override {
+    Value::Map data;
+    data["replica"] = Value(static_cast<std::int64_t>(i));
+    data["api"] = Value(req.api);
+    return ApiResponse::success(Value(std::move(data)));
+  }
+
+  void set_applied(std::size_t i, std::uint64_t v) { applied_[i] = v; }
+  void set_head(std::uint64_t v) { head_ = v; }
+
+ private:
+  std::vector<std::uint64_t> applied_;
+  std::uint64_t head_;
+};
+
+bool describe_only(const std::string& api) {
+  return api.rfind("Describe", 0) == 0;
+}
+
+RouteOptions routed(std::uint64_t lag_max) {
+  RouteOptions opts;
+  opts.lag_max = lag_max;
+  opts.read_only = describe_only;
+  return opts;
+}
+
+cloud::ReferenceCloud make_cloud() {
+  return cloud::ReferenceCloud(docs::build_aws_catalog());
+}
+
+TEST(RouteLayerTest, WritesAlwaysContinueInward) {
+  auto cloud = make_cloud();
+  FakeTier tier({10, 10}, 10);
+  RouteLayer route(&tier, routed(64));
+  route.attach(cloud);
+
+  auto resp = route.invoke({"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""});
+  ASSERT_TRUE(resp.ok) << resp.to_text();
+  EXPECT_EQ(resp.data.get("replica"), nullptr);  // the real backend answered
+  RouteStats s = route.stats();
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.replica_reads, 0u);
+}
+
+TEST(RouteLayerTest, ReadsGoToReplicasRoundRobin) {
+  auto cloud = make_cloud();
+  FakeTier tier({5, 5, 5}, 5);
+  RouteLayer route(&tier, routed(0));
+  route.attach(cloud);
+
+  std::vector<std::uint64_t> hits(3, 0);
+  for (int i = 0; i < 9; ++i) {
+    auto resp = route.invoke({"DescribeVpc", {{"id", Value::ref("vpc-00000001")}}, ""});
+    ASSERT_TRUE(resp.ok);
+    const Value* r = resp.data.get("replica");
+    ASSERT_NE(r, nullptr);
+    ++hits[static_cast<std::size_t>(r->as_int())];
+  }
+  // Strict rotation from an atomic cursor: perfectly balanced when all
+  // replicas are eligible.
+  EXPECT_EQ(hits, (std::vector<std::uint64_t>{3, 3, 3}));
+  RouteStats s = route.stats();
+  EXPECT_EQ(s.replica_reads, 9u);
+  EXPECT_EQ(s.replica_hits, (std::vector<std::uint64_t>{3, 3, 3}));
+  EXPECT_EQ(s.primary_reads, 0u);
+  EXPECT_EQ(s.lag_fallbacks, 0u);
+}
+
+TEST(RouteLayerTest, LaggyReplicaSkippedEligibleOneServes) {
+  auto cloud = make_cloud();
+  FakeTier tier({100, 3}, 100);  // replica 1 is 97 records behind
+  RouteLayer route(&tier, routed(10));
+  route.attach(cloud);
+
+  for (int i = 0; i < 6; ++i) {
+    auto resp = route.invoke({"DescribeVpc", {{"id", Value::ref("vpc-00000001")}}, ""});
+    ASSERT_TRUE(resp.ok);
+    const Value* r = resp.data.get("replica");
+    ASSERT_NE(r, nullptr);
+    EXPECT_EQ(r->as_int(), 0);  // only the caught-up replica is eligible
+  }
+  EXPECT_EQ(route.stats().replica_hits,
+            (std::vector<std::uint64_t>{6, 0}));
+}
+
+TEST(RouteLayerTest, AllReplicasPastBoundFallBackToPrimary) {
+  auto cloud = make_cloud();
+  FakeTier tier({1, 2}, 100);
+  RouteLayer route(&tier, routed(10));
+  route.attach(cloud);
+
+  ASSERT_TRUE(route.invoke({"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""}).ok);
+  auto resp = route.invoke({"DescribeVpc", {{"id", Value::ref("vpc-00000001")}}, ""});
+  ASSERT_TRUE(resp.ok) << resp.to_text();
+  EXPECT_EQ(resp.data.get("replica"), nullptr);  // primary served the read
+  RouteStats s = route.stats();
+  EXPECT_EQ(s.primary_reads, 1u);
+  EXPECT_EQ(s.lag_fallbacks, 1u);
+  EXPECT_EQ(s.replica_reads, 0u);
+
+  // The bound is per-read: once a replica catches up, routing resumes.
+  tier.set_applied(0, 95);
+  auto again = route.invoke({"DescribeVpc", {{"id", Value::ref("vpc-00000001")}}, ""});
+  ASSERT_TRUE(again.ok);
+  ASSERT_NE(again.data.get("replica"), nullptr);
+  EXPECT_EQ(again.data.get("replica")->as_int(), 0);
+}
+
+TEST(RouteLayerTest, LagMaxZeroMeansStrictCaughtUpOnly) {
+  auto cloud = make_cloud();
+  FakeTier tier({99, 100}, 100);
+  RouteLayer route(&tier, routed(0));
+  route.attach(cloud);
+
+  for (int i = 0; i < 4; ++i) {
+    auto resp = route.invoke({"DescribeVpc", {{"id", Value::ref("vpc-00000001")}}, ""});
+    ASSERT_TRUE(resp.ok);
+    ASSERT_NE(resp.data.get("replica"), nullptr);
+    EXPECT_EQ(resp.data.get("replica")->as_int(), 1);  // exactly caught up
+  }
+}
+
+TEST(RouteLayerTest, NoPredicateRoutesNothing) {
+  auto cloud = make_cloud();
+  FakeTier tier({10, 10}, 10);
+  RouteOptions opts;  // read_only unset
+  opts.lag_max = 64;
+  RouteLayer route(&tier, opts);
+  route.attach(cloud);
+
+  ASSERT_TRUE(route.invoke({"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""}).ok);
+  auto resp = route.invoke({"DescribeVpc", {{"id", Value::ref("vpc-00000001")}}, ""});
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.data.get("replica"), nullptr);
+  EXPECT_EQ(route.stats().writes, 2u);
+}
+
+TEST(RouteLayerTest, NullTierIsCountingPassthrough) {
+  auto cloud = make_cloud();
+  RouteLayer route(nullptr, routed(64));
+  route.attach(cloud);
+  ASSERT_TRUE(route.invoke({"CreateVpc", {{"cidr_block", Value("10.0.0.0/16")}}, ""}).ok);
+  auto resp = route.invoke({"DescribeVpc", {{"id", Value::ref("vpc-00000001")}}, ""});
+  ASSERT_TRUE(resp.ok);
+  EXPECT_EQ(resp.data.get("replica"), nullptr);
+  EXPECT_TRUE(route.stats().replica_hits.empty());
+}
+
+TEST(RouteLayerTest, CloneDetachesFromTheTier) {
+  auto cloud = make_cloud();
+  FakeTier tier({10}, 10);
+  RouteLayer route(&tier, routed(64));
+  route.attach(cloud);
+
+  // The clone owns a private chain; its reads must be answered by that
+  // chain, not by replicas tracking the ORIGINAL backend's WAL.
+  auto copy = route.clone();
+  ASSERT_NE(copy, nullptr);
+  auto created = copy->invoke({"CreateVpc", {{"cidr_block", Value("10.1.0.0/16")}}, ""});
+  ASSERT_TRUE(created.ok) << created.to_text();
+  auto resp = copy->invoke({"DescribeVpc", {{"id", *created.data.get("id")}}, ""});
+  ASSERT_TRUE(resp.ok) << resp.to_text();
+  EXPECT_EQ(resp.data.get("replica"), nullptr);
+  // The original still routes.
+  auto orig = route.invoke({"DescribeVpc", {{"id", Value::ref("vpc-00000001")}}, ""});
+  ASSERT_TRUE(orig.ok);
+  EXPECT_NE(orig.data.get("replica"), nullptr);
+}
+
+TEST(RouteLayerConcurrency, ParallelReadersBalanceAcrossReplicas) {
+  auto cloud = make_cloud();
+  FakeTier tier({50, 50, 50, 50}, 50);
+  RouteLayer route(&tier, routed(0));
+  route.attach(cloud);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        auto resp =
+            route.invoke({"DescribeVpc", {{"id", Value::ref("vpc-00000001")}}, ""});
+        ASSERT_TRUE(resp.ok);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  RouteStats s = route.stats();
+  EXPECT_EQ(s.replica_reads, static_cast<std::uint64_t>(kThreads * kPerThread));
+  std::uint64_t total = 0;
+  for (std::uint64_t h : s.replica_hits) {
+    total += h;
+    // The atomic cursor spreads load evenly regardless of interleaving.
+    EXPECT_EQ(h, static_cast<std::uint64_t>(kThreads * kPerThread / 4));
+  }
+  EXPECT_EQ(total, s.replica_reads);
+}
+
+}  // namespace
+}  // namespace lce::stack
