@@ -84,6 +84,12 @@ def interp_metrics(doc):
             # tight gate here is safe even across runner generations.
             out.append(Metric(f"families/{fam}/alloc_per_op_x10",
                               parse_ratio(row.get("alloc_per_op_x10")), "lower"))
+    tg = doc.get("timer_gate") or {}
+    # Wheel-driven fire cost relative to a client modify in the same run:
+    # a within-process ratio, so it survives runner churn like the
+    # speedups do.
+    out.append(Metric("timer_gate/fire_overhead_x10",
+                      parse_ratio(tg.get("fire_overhead_x10")), "lower"))
     return out
 
 

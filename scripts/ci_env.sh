@@ -23,10 +23,13 @@
 #                        the replication suites ("Replica": WAL feed
 #                        ring, applier/reader races, reseed-after-gap,
 #                        promotion byte-identity; "Route": bounded-
-#                        staleness read routing under parallel readers).
+#                        staleness read routing under parallel readers),
+#                        and the virtual-time suites (the timer-wheel
+#                        differential fuzz and the TimerHammer
+#                        ensure/cancel/advance races in time_test).
 #                        The fork-based CrashTorture tests self-skip
 #                        under TSan.
-export LCE_TSAN_TEST_TARGETS="common_test value_fuzz_test align_test interp_test cloud_test stack_test server_test persist_test plan_test"
+export LCE_TSAN_TEST_TARGETS="common_test value_fuzz_test align_test interp_test cloud_test stack_test server_test persist_test plan_test time_test"
 export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard|Wal|Journal|Snapshot|Recovery|Replay|Durable|Plan|HttpParser|Torture|SlowLoris|KeepAlive|Endpoint|Replica|Route'
 
 # Portable core count: GNU coreutils' nproc, then the BSD/macOS sysctl,

@@ -17,9 +17,18 @@
 # plain mode can't: crash debris must not poison the *replication* seam
 # (seed clone + feed apply) any more than it poisons recovery.
 #
+# Timer mode (TIMERS=1) serves a hand-written delayed-transition spec
+# under --virtual-time and mixes /admin/tick advances into the write
+# stream, so the SIGKILL lands with timers armed and mid-countdown.
+# Recovery must rebuild the wheel from the journaled _AdvanceClock
+# records: `lce replay --spec` re-executes the log on fresh twins and
+# requires byte-identical dumps plus every response (including each
+# tick's {failed, fired, now}) to reproduce.
+#
 # Usage: scripts/crash_torture.sh [LCE_BINARY]
 # Env:   CYCLES        kill cycles to run (default 10)
 #        REPLICAS      read replicas to serve with (default 0: plain mode)
+#        TIMERS        1 = virtual-time lane (timer spec + tick load)
 #        ARTIFACT_DIR  where failing data dirs are preserved for upload
 #                      (default crash-torture-artifacts)
 set -euo pipefail
@@ -28,6 +37,7 @@ cd "$(dirname "$0")/.."
 LCE="${1:-build/tools/lce}"
 CYCLES="${CYCLES:-10}"
 REPLICAS="${REPLICAS:-0}"
+TIMERS="${TIMERS:-0}"
 ARTIFACT_DIR="${ARTIFACT_DIR:-crash-torture-artifacts}"
 
 if [[ ! -x "$LCE" ]]; then
@@ -37,8 +47,45 @@ fi
 
 DATA_DIR="$(mktemp -d)"
 LOG="$(mktemp)"
-cleanup() { rm -rf "$DATA_DIR" "$LOG"; }
+SPEC_FILE="$(mktemp --suffix=.spec 2>/dev/null || mktemp)"
+cleanup() { rm -rf "$DATA_DIR" "$LOG" "$SPEC_FILE"; }
 trap cleanup EXIT
+
+if [[ "$TIMERS" -eq 1 ]]; then
+  # Two clauses — an unconditional launch countdown and a conditional stop
+  # countdown — so kills land with both periodic-free and `when`-guarded
+  # timers armed.
+  cat > "$SPEC_FILE" <<'SPEC'
+sm Instance {
+  service "ec2";
+  id_prefix "i";
+  states {
+    status: enum(PENDING, RUNNING, STOPPING, STOPPED) = "PENDING"
+        after 3 -> FinishLaunch
+        after 2 -> FinishStop when "STOPPING";
+    zone: str;
+  }
+  transitions {
+    create RunInstance(zone: str) {
+      write(zone, zone);
+    }
+    modify FinishLaunch() {
+      write(status, RUNNING);
+    }
+    modify StopInstance() {
+      write(status, STOPPING);
+    }
+    modify FinishStop() {
+      write(status, STOPPED);
+    }
+    describe DescribeInstance() {
+    }
+    destroy TerminateInstance() {
+    }
+  }
+}
+SPEC
+fi
 
 cycle=0
 fail() {
@@ -55,6 +102,11 @@ fail() {
 SERVE_ARGS=(--data-dir "$DATA_DIR" --snapshot-every 40 --no-stdin)
 if [[ "$REPLICAS" -gt 0 ]]; then
   SERVE_ARGS+=(--replicas "$REPLICAS")
+fi
+REPLAY_ARGS=("$DATA_DIR")
+if [[ "$TIMERS" -eq 1 ]]; then
+  SERVE_ARGS+=(--spec "$SPEC_FILE" --virtual-time)
+  REPLAY_ARGS+=(--spec "$SPEC_FILE")
 fi
 
 # Start the server and wait for it to announce its ephemeral port (this
@@ -90,7 +142,21 @@ for ((cycle = 1; cycle <= CYCLES; cycle++)); do
   (
     i=0
     while :; do
-      if [[ "$REPLICAS" -gt 0 && $((i % 3)) -eq 2 ]]; then
+      if [[ "$TIMERS" -eq 1 && $((i % 3)) -eq 2 ]]; then
+        # Advance the virtual clock mid-stream: the kill interleaves with
+        # journaled timer fires, not just plain writes.
+        curl -s -o /dev/null -X POST "http://127.0.0.1:$PORT/admin/tick" \
+          -d "{\"Ticks\":1}" 2>/dev/null || exit 0
+      elif [[ "$TIMERS" -eq 1 && $((i % 7)) -eq 5 ]]; then
+        # Cancel a launch countdown / arm a stop countdown in flight.
+        curl -s -o /dev/null -X POST "http://127.0.0.1:$PORT/invoke" \
+          -d "{\"Action\":\"StopInstance\",\"Params\":{\"id\":\"i-0000000$((i % 9 + 1))\"}}" \
+          2>/dev/null || exit 0
+      elif [[ "$TIMERS" -eq 1 ]]; then
+        curl -s -o /dev/null -X POST "http://127.0.0.1:$PORT/invoke" \
+          -d "{\"Action\":\"RunInstance\",\"Params\":{\"zone\":\"us-east\"}}" \
+          2>/dev/null || exit 0
+      elif [[ "$REPLICAS" -gt 0 && $((i % 3)) -eq 2 ]]; then
         curl -s -o /dev/null -X POST "http://127.0.0.1:$PORT/invoke" \
           -d "{\"Action\":\"DescribeVpc\",\"Params\":{\"id\":\"vpc-00000001\"}}" \
           2>/dev/null || exit 0
@@ -110,7 +176,7 @@ for ((cycle = 1; cycle <= CYCLES; cycle++)); do
   kill "$LOAD_PID" 2>/dev/null || true
   wait "$LOAD_PID" 2>/dev/null || true
 
-  "$LCE" replay "$DATA_DIR" > /dev/null || fail "replay rejected the data dir"
+  "$LCE" replay "${REPLAY_ARGS[@]}" > /dev/null || fail "replay rejected the data dir"
 
   if [[ "$REPLICAS" -gt 0 ]]; then
     # Restart over the crash debris and require every freshly seeded
@@ -135,6 +201,8 @@ done
 
 if [[ "$REPLICAS" -gt 0 ]]; then
   echo "crash_torture: $CYCLES kill -9 cycle(s) recovered, verified, and promoted $REPLICAS replica(s) byte-identically each cycle"
+elif [[ "$TIMERS" -eq 1 ]]; then
+  echo "crash_torture: $CYCLES kill -9 cycle(s) with timers in flight recovered and replayed byte-identically"
 else
   echo "crash_torture: $CYCLES kill -9 cycle(s) recovered and verified"
 fi

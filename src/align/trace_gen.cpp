@@ -8,6 +8,7 @@
 
 #include "common/cidr.h"
 #include "common/strings.h"
+#include "interp/timers.h"
 
 namespace lce::align {
 
@@ -20,6 +21,8 @@ std::string to_string(ClassKind k) {
     case ClassKind::kBoolCoupling: return "bool-coupling";
     case ClassKind::kBoundaryProbe: return "boundary-probe";
     case ClassKind::kMemberProbe: return "member-probe";
+    case ClassKind::kTimerFire: return "timer-fire";
+    case ClassKind::kTimerInterleave: return "timer-interleave";
   }
   return "?";
 }
@@ -1194,6 +1197,109 @@ std::vector<GenTrace> TraceGenerator::generate_for(const std::string& machine,
           strf(machine, "::", transition, "/member-", info.param, "-", mi);
       out.push_back(std::move(g));
       ++stats_.classes_concretized;
+    }
+  }
+
+  // ---------------------------------------------------------- timer moves --
+  // When an `after` clause targets this transition the generator learns an
+  // advance-clock move: the probe is a virtual-time advance rather than a
+  // direct call, so alignment explores timer-fire vs API-call
+  // interleavings. Machines without timer clauses emit nothing here, which
+  // keeps the learned-pipeline class inventory (and its goldens) unchanged.
+  for (const auto& sv : m->states) {
+    for (std::size_t ti = 0; ti < sv.timers.size(); ++ti) {
+      const auto& tc = sv.timers[ti];
+      if (tc.transition != transition) continue;
+      const Value trigger = spec::timer_trigger(sv, tc);
+      auto arm_self = [&](Builder& b) -> std::optional<std::size_t> {
+        auto self_idx = b.create_instance(machine);
+        if (!self_idx) return std::nullopt;
+        if (!b.drive_attr(machine, *self_idx, sv.name,
+                          [&](const Value& v) { return v == trigger; })) {
+          b.fail_reason = strf("cannot reach timer trigger ", sv.name);
+          return std::nullopt;
+        }
+        return self_idx;
+      };
+      auto advance = [&](Builder& b, std::int64_t ticks) {
+        Value::Map args{{"ticks", Value(ticks)}};
+        return b.trace().add(std::string(interp::timers::kAdvanceClockApi),
+                             std::move(args));
+      };
+      // Fire: arm by reaching the trigger value, advance exactly `delay`
+      // ticks, observe the fired transition's writes via describe.
+      {
+        ++stats_.classes_total;
+        Builder b(spec_);
+        auto self_idx = arm_self(b);
+        if (!self_idx) {
+          skip("timer-fire setup unsolvable: " + b.fail_reason);
+        } else {
+          std::size_t probe = advance(b, tc.delay);
+          if (describe != nullptr) {
+            Value::Map args{{"id", Value(strf("$", *self_idx, ".id"))}};
+            b.trace().add(describe->name, std::move(args));
+          }
+          GenTrace g;
+          g.cls.kind = ClassKind::kTimerFire;
+          g.cls.machine = machine;
+          g.cls.transition = transition;
+          g.cls.description =
+              strf(transition, " fired by ", sv.name, " timer after ", tc.delay);
+          g.cls.sweep_attr = sv.name;
+          g.cls.sweep_value = trigger.is_str() ? std::string(trigger.as_str())
+                                               : trigger.to_text();
+          g.probe_call = probe;
+          g.trace = std::move(b.trace());
+          g.trace.label = strf(machine, "::", transition, "/timer-fire-", ti);
+          out.push_back(std::move(g));
+          ++stats_.classes_concretized;
+        }
+      }
+      // Interleave: advance to one tick short of the deadline, move the
+      // variable OFF its trigger with an ordinary API call (cancelling the
+      // countdown), then cross the original deadline — the fire must not
+      // happen. Diverges against an implementation that fires anyway, or
+      // that orders the cancel after the fire.
+      {
+        ++stats_.classes_total;
+        Builder b(spec_);
+        auto self_idx = arm_self(b);
+        // Burn all but the last tick first, so the cancelling driver call
+        // drive_attr appends lands mid-countdown (one tick before the
+        // deadline). At delay-1 ticks nothing has fired, so the builder's
+        // planned state is still accurate when it solves the driver.
+        if (self_idx && tc.delay > 1) advance(b, tc.delay - 1);
+        bool cancelled =
+            self_idx && b.drive_attr(machine, *self_idx, sv.name,
+                                     [&](const Value& v) { return !(v == trigger); });
+        if (!self_idx) {
+          skip("timer-interleave setup unsolvable: " + b.fail_reason);
+        } else if (!cancelled) {
+          skip(strf("no driver moves ", sv.name, " off its timer trigger"));
+        } else {
+          std::size_t probe = advance(b, tc.delay);
+          if (describe != nullptr) {
+            Value::Map args{{"id", Value(strf("$", *self_idx, ".id"))}};
+            b.trace().add(describe->name, std::move(args));
+          }
+          GenTrace g;
+          g.cls.kind = ClassKind::kTimerInterleave;
+          g.cls.machine = machine;
+          g.cls.transition = transition;
+          g.cls.description = strf(transition, " cancelled mid-countdown (",
+                                   sv.name, " left its trigger)");
+          g.cls.sweep_attr = sv.name;
+          g.cls.sweep_value = trigger.is_str() ? std::string(trigger.as_str())
+                                               : trigger.to_text();
+          g.probe_call = probe;
+          g.trace = std::move(b.trace());
+          g.trace.label =
+              strf(machine, "::", transition, "/timer-interleave-", ti);
+          out.push_back(std::move(g));
+          ++stats_.classes_concretized;
+        }
+      }
     }
   }
   return out;

@@ -39,6 +39,8 @@ enum class ClassKind {
   kBoolCoupling,    // bool param forced true after driving a bool attr false
   kBoundaryProbe,   // numeric arg at the spec's documented upper bound
   kMemberProbe,     // each documented enum member exercised individually
+  kTimerFire,       // advance the virtual clock to a timer clause's deadline
+  kTimerInterleave, // API call moves the var off its trigger mid-countdown
 };
 
 std::string to_string(ClassKind k);

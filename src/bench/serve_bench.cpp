@@ -505,6 +505,25 @@ int run_serve_bench(const ServeBenchOptions& opts) {
     root["wal_overhead"] = Value(fmt_speedup(gate_wal_overhead));
     root["wal_sync"] = Value(std::string(opts.wal_sync_batch ? "batch" : "none"));
     root["gate_concurrency"] = Value(static_cast<std::int64_t>(gate_conc));
+    // Mirror every self-skipped gate into the artifact with its reason —
+    // a consumer reading only the JSON must be able to tell "measured and
+    // passed" from "could not be measured on this runner".
+    Value::Map gate_skips;
+    if (opts.enforce && !gate_applicable) {
+      gate_skips["sharded_speedup_and_wal"] = Value(std::string(
+          hw < 2 ? "single-core machine" : "no sweep point >= 4"));
+    }
+    if (opts.enforce && opts.http_sweep && !ka_applicable) {
+      gate_skips["keepalive"] = Value(
+          std::string(kSanitized ? "sanitizer build" : "single-core machine"));
+    }
+    if (opts.enforce && opts.replica_sweep && !replica_applicable) {
+      gate_skips["replica"] = Value(
+          std::string(kSanitized ? "sanitizer build" : "single-core machine"));
+    }
+    if (!gate_skips.empty()) {
+      root["gate_skips"] = Value(std::move(gate_skips));
+    }
     root["pass"] = Value(pass);
     std::ofstream out(opts.json_path);
     if (!out) {

@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "interp/exec_internal.h"
 #include "interp/plan/exec.h"
+#include "interp/timers.h"
 
 namespace lce::interp {
 
@@ -85,6 +86,7 @@ class Execution {
 
     try {
       ApiResponse resp = run_transition(*machine, *transition, &req.args, nullptr, target);
+      commit_timers();
       return resp;
     } catch (const Abort& a) {
       // Transactional semantics: a failed transition must leave no
@@ -147,7 +149,26 @@ class Execution {
     }
     Resource& r = store_.create_with_id(std::move(id), machine.name);
     journal_.note_created(r.id);
+    if (machine.has_timers()) timer_touched_.emplace_back(r.id, &machine);
     return r;
+  }
+
+  /// Reconcile `after` clauses for every resource the (now committed)
+  /// transition created, wrote or destroyed — in touch order, first touch
+  /// wins — while the shard locks are still held. Aborted transitions
+  /// never reach this, so rolled-back writes leave the timer set alone.
+  void commit_timers() {
+    for (std::size_t i = 0; i < timer_touched_.size(); ++i) {
+      const auto& [id, machine] = timer_touched_[i];
+      bool seen = false;
+      for (std::size_t j = 0; j < i && !seen; ++j) seen = timer_touched_[j].first == id;
+      if (seen) continue;
+      if (const Resource* r = store_.find(id)) {
+        timers::reconcile(store_, *machine, *r);
+      } else {
+        store_.timers().cancel_resource(id);
+      }
+    }
   }
 
   /// `named` (top-level request args, bound by name) and `positional`
@@ -260,6 +281,7 @@ class Execution {
       }
       if (self != nullptr) journal_.note_destroyed(*self);
       store_.destroy(self_id);
+      if (machine.has_timers()) timer_touched_.emplace_back(self_id, &machine);
     }
     --depth_;
     return ApiResponse::success(Value(std::move(data)));
@@ -288,6 +310,9 @@ class Execution {
         journal_.note_modified(*frame.self);
         v.detach();  // store write: the value outlives the request
         frame.self->attrs.set(s.var, std::move(v));
+        if (frame.machine->has_timers()) {
+          timer_touched_.emplace_back(frame.self->id, frame.machine);
+        }
         return;
       }
       case StmtKind::kRead: {
@@ -527,6 +552,9 @@ class Execution {
   LockMode mode_ = LockMode::kWriteAll;
   std::string preminted_;  // create id minted before locking (kWriteLocal)
   int depth_ = 0;
+  // Resources whose timer clauses need commit-time reconciliation, in
+  // touch order (empty for machines without `after` clauses).
+  std::vector<std::pair<std::string, const StateMachine*>> timer_touched_;
 };
 
 }  // namespace
@@ -554,6 +582,7 @@ void Interpreter::rebuild_dispatch() {
 }
 
 ApiResponse Interpreter::invoke(const ApiRequest& req) {
+  if (req.api == timers::kAdvanceClockApi) return advance_clock(req);
   FailureSite site;
   ApiResponse resp;
   if (opts_.use_arena && detail::current_arena() == nullptr) {
@@ -578,6 +607,59 @@ ApiResponse Interpreter::invoke(const ApiRequest& req) {
   return resp;
 }
 
+ApiResponse Interpreter::advance_clock(const ApiRequest& req) {
+  std::int64_t ticks = 1;
+  auto it = req.args.find("ticks");
+  if (it != req.args.end()) {
+    if (!it->second.is_int() || it->second.as_int() < 1) {
+      return ApiResponse::failure(
+          std::string(errc::kInvalidParameterValue),
+          strf("_AdvanceClock ticks must be a positive integer, got ",
+               it->second.to_text()));
+    }
+    ticks = it->second.as_int();
+  }
+  std::uint64_t target = store_.timers().now() + static_cast<std::uint64_t>(ticks);
+  std::int64_t fired = 0;
+  std::int64_t failed = 0;
+  // Due timers fire through the public invoke path one at a time, in
+  // (deadline, seq) order, each under its own lock plan / undo journal —
+  // a timer fire IS an ordinary transition. Timers armed by a fire with a
+  // deadline inside the window fire in the same advance (delays are >= 1
+  // tick, so the cascade provably terminates at `target`).
+  while (auto ti = store_.timers().pop_due(target)) {
+    ApiRequest fire;
+    fire.api = ti->transition;
+    fire.args["id"] = Value(ti->resource_id);
+    ApiResponse resp = invoke(fire);
+    if (resp.ok) {
+      ++fired;
+      // Popping disarmed the clause; if its variable still holds the
+      // trigger value (the fire did not move it), re-arm so the clause
+      // behaves periodically. Writes the fire made were already
+      // reconciled inside the nested invoke. Only the fired resource is
+      // read here, so one shard lock suffices (the TimerService itself is
+      // a leaf lock) — a bulk advance fires thousands of these.
+      auto guard =
+          store_.locks().lock_shared_one(store_.shard_of(ti->resource_id));
+      if (const Resource* r = store_.find(ti->resource_id)) {
+        if (const spec::StateMachine* m = spec_.find_machine(r->type)) {
+          timers::reconcile(store_, *m, *r);
+        }
+      }
+    } else {
+      ++failed;  // no retry: the clause stays disarmed (deterministic)
+    }
+  }
+  Value::Map data;
+  data["failed"] = Value(failed);
+  data["fired"] = Value(fired);
+  data["now"] = Value(static_cast<std::int64_t>(store_.timers().now()));
+  std::lock_guard<std::mutex> lock(*failure_mu_);
+  last_failure_ = FailureSite{};
+  return ApiResponse::success(Value(std::move(data)));
+}
+
 void Interpreter::reset() {
   auto guard = store_.locks().lock_exclusive_all();
   store_.clear();
@@ -589,6 +671,7 @@ Value Interpreter::snapshot() const {
 }
 
 bool Interpreter::supports(const std::string& api) const {
+  if (api == timers::kAdvanceClockApi) return true;
   // Same index/dispatch table invoke() uses — supports() + invoke() pairs
   // (the stack's validate layer) cost two cheap lookups, not two scans.
   if (plan_ != nullptr) return plan_->find_api(api) != nullptr;

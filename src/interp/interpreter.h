@@ -123,6 +123,11 @@ class Interpreter final : public CloudBackend {
   Interpreter(spec::SpecSet spec, InterpreterOptions opts,
               std::shared_ptr<const plan::ExecutionPlan> shared_plan);
 
+  /// The `_AdvanceClock` built-in (see interp/timers.h): advances the
+  /// virtual clock by args["ticks"] and fires every due timer through the
+  /// normal invoke path, in deterministic (deadline, seq) order.
+  ApiResponse advance_clock(const ApiRequest& req);
+
   /// Recompile the execution plan (when use_plan) and the spec's sorted
   /// api dispatch index. Called from construction and replace_spec; must
   /// not race in-flight invokes (see replace_spec).

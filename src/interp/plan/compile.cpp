@@ -381,6 +381,7 @@ struct Compiler {
       MachinePlan& machine = plan.machines_[mi];
       machine.src = &m;
       machine.index = mi;
+      machine.has_timers = m.has_timers();
       machine.transitions.resize(m.transitions.size());
       plan.symbols_.intern(m.name);
       plan.machine_by_type_.emplace(std::string_view(m.name), mi);

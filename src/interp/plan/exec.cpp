@@ -15,6 +15,7 @@
 #include "common/errors.h"
 #include "common/strings.h"
 #include "interp/exec_internal.h"
+#include "interp/timers.h"
 
 namespace lce::interp::plan {
 
@@ -106,8 +107,10 @@ class PlanExecution {
     }
 
     try {
-      return run_transition(plan_.machine(ct->machine_index), *ct, &req.args,
-                            nullptr, target);
+      ApiResponse resp = run_transition(plan_.machine(ct->machine_index), *ct,
+                                        &req.args, nullptr, target);
+      commit_timers();
+      return resp;
     } catch (const Abort& a) {
       // Transactional semantics: a failed transition must leave no
       // partial writes behind. Undo in reverse under the locks we hold.
@@ -172,6 +175,23 @@ class PlanExecution {
     return r;
   }
 
+  /// Mirror of the tree-walk's commit_timers(): reconcile `after` clauses
+  /// for every touched resource in touch order (first touch wins) while
+  /// the shard locks are still held. Aborts never reach this.
+  void commit_timers() {
+    for (std::size_t i = 0; i < timer_touched_.size(); ++i) {
+      const auto& [id, machine] = timer_touched_[i];
+      bool seen = false;
+      for (std::size_t j = 0; j < i && !seen; ++j) seen = timer_touched_[j].first == id;
+      if (seen) continue;
+      if (const Resource* r = store_.find(id)) {
+        timers::reconcile(store_, *machine, *r);
+      } else {
+        store_.timers().cancel_resource(id);
+      }
+    }
+  }
+
   /// `named` (top-level request args) and `positional` (sub-call argument
   /// values, aligned to the callee's param order) are the two argument
   /// sources; exactly one is non-null. Positional values are moved out.
@@ -228,6 +248,7 @@ class PlanExecution {
         ArenaPause pause;
         r.attrs = mp.attr_prototype;
       }
+      if (mp.has_timers) timer_touched_.emplace_back(r.id, &machine);
       frame.self = &r;
     } else {
       Resource* r = store_.find(target);
@@ -310,6 +331,7 @@ class PlanExecution {
       }
       if (self != nullptr) journal_.note_destroyed(*self);
       store_.destroy(self_id);
+      if (mp.has_timers) timer_touched_.emplace_back(self_id, &machine);
     }
     --depth_;
     return ApiResponse::success(std::move(data));
@@ -337,6 +359,9 @@ class PlanExecution {
         if (!s.skip_journal || depth_ != 1) journal_.note_modified(*frame.self);
         v.detach();  // store write: the value outlives the request
         frame.self->attrs.set(frame.mp->slot_key(s.slot), std::move(v));
+        if (frame.mp->has_timers) {
+          timer_touched_.emplace_back(frame.self->id, frame.ct->machine);
+        }
         return;
       }
       case spec::StmtKind::kRead: {
@@ -648,6 +673,10 @@ class PlanExecution {
   std::string preminted_;  // create id minted before locking (kWriteLocal)
   int depth_ = 0;
   ValueVec stack_;  // reused expression value stack
+  // Resources whose timer clauses need commit-time reconciliation, in
+  // touch order (empty for machines without `after` clauses). Plain heap
+  // vector: entries outlive no request, but ids must survive a destroy.
+  std::vector<std::pair<std::string, const StateMachine*>> timer_touched_;
 };
 
 }  // namespace

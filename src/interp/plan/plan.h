@@ -220,6 +220,9 @@ struct CompiledTransition {
 struct MachinePlan {
   const spec::StateMachine* src = nullptr;
   std::uint32_t index = 0;
+  /// src->has_timers() precomputed: the executor's per-write timer-touch
+  /// tracking keys off this without rescanning the states.
+  bool has_timers = false;
   std::vector<CompiledTransition> transitions;  // aligned with src->transitions
 
   std::uint32_t slot_count() const { return static_cast<std::uint32_t>(src->states.size()); }

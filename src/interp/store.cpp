@@ -24,12 +24,13 @@ ResourceStore::ResourceStore(std::size_t shard_count)
       locks_(shard_count == 0 ? 1 : shard_count) {}
 
 ResourceStore::ResourceStore(const ResourceStore& o)
-    : shards_(o.shards_), ids_(o.ids_), next_seq_(o.next_seq_),
+    : shards_(o.shards_), timers_(o.timers_), ids_(o.ids_), next_seq_(o.next_seq_),
       locks_(o.shards_.size()) {}
 
 ResourceStore& ResourceStore::operator=(const ResourceStore& o) {
   if (this == &o) return *this;
   shards_ = o.shards_;
+  timers_ = o.timers_;
   ids_ = o.ids_;
   next_seq_ = o.next_seq_;
   if (locks_.shard_count() != o.shards_.size()) {
@@ -225,6 +226,7 @@ std::size_t ResourceStore::size() const {
 
 void ResourceStore::clear() {
   for (auto& shard : shards_) shard.clear();
+  timers_.clear();
   std::lock_guard<std::mutex> lock(mint_mu_);
   ids_.reset();
   next_seq_ = 1;

@@ -37,6 +37,7 @@
 #include "common/ids.h"
 #include "common/shard_lock.h"
 #include "common/value.h"
+#include "time/service.h"
 
 namespace lce::interp {
 
@@ -162,6 +163,14 @@ class ResourceStore {
   /// any subsequent mutation.
   std::vector<const Resource*> resources_in_creation_order() const;
 
+  // --------------------------------------------------------- virtual time --
+  /// The store's delayed-transition service (timer wheel + virtual clock).
+  /// Travels with the store so clones, snapshots and recovery see the same
+  /// armed timers the resources imply. Internally synchronized (leaf
+  /// mutex); acquire shard stripes BEFORE touching it, never after.
+  vtime::TimerService& timers() { return timers_; }
+  const vtime::TimerService& timers() const { return timers_; }
+
   // ----------------------------------------------------- lock protocol --
   std::size_t shard_count() const { return shards_.size(); }
   std::size_t shard_of(std::string_view id) const {
@@ -176,6 +185,7 @@ class ResourceStore {
   const std::map<std::string, Resource>& shard_for(std::string_view id) const;
 
   std::vector<std::map<std::string, Resource>> shards_;
+  vtime::TimerService timers_;  // internally synchronized
   IdGenerator ids_;           // guarded by mint_mu_
   std::uint64_t next_seq_ = 1;  // guarded by mint_mu_
   mutable std::mutex mint_mu_;

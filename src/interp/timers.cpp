@@ -1,0 +1,21 @@
+#include "interp/timers.h"
+
+#include "common/strings.h"
+
+namespace lce::interp::timers {
+
+void reconcile(ResourceStore& store, const spec::StateMachine& machine, const Resource& r) {
+  static const Value kNull;
+  for (const auto& sv : machine.states) {
+    if (sv.timers.empty()) continue;
+    const Value* v = r.attrs.get(sv.name);
+    const Value& cur = v != nullptr ? *v : kNull;
+    for (std::size_t i = 0; i < sv.timers.size(); ++i) {
+      const auto& tc = sv.timers[i];
+      bool want = cur == spec::timer_trigger(sv, tc);
+      store.timers().ensure(r.id, strf(sv.name, "#", i), tc.transition, tc.delay, want);
+    }
+  }
+}
+
+}  // namespace lce::interp::timers

@@ -274,7 +274,11 @@ bool scan_framed(std::string_view bytes, std::size_t* pos, std::string_view* pay
 // ------------------------------------------------------------ store codec --
 
 namespace {
-constexpr std::uint32_t kStoreVersion = 1;
+// v1: resources + id counters + seq clock. v2 appends the virtual-time
+// section (clock, timer seq counter, armed timers); v1 inputs are still
+// accepted and load with an empty timer set at tick 0.
+constexpr std::uint32_t kStoreVersion = 2;
+constexpr std::uint32_t kMinStoreVersion = 1;
 }  // namespace
 
 std::string serialize_store(const interp::ResourceStore& store) {
@@ -296,13 +300,29 @@ std::string serialize_store(const interp::ResourceStore& store) {
     w.u64(r->seq);
     encode_value(r->attrs, w);
   }
+  // Virtual-time section (v2): everything that shapes future timer fires —
+  // the clock, the seq counter (the deterministic tiebreak) and the armed
+  // timers in seq order.
+  const auto& timers = store.timers();
+  w.u64(timers.now());
+  w.u64(timers.next_seq());
+  auto armed = timers.snapshot();
+  w.u64(armed.size());
+  for (const auto& ti : armed) {
+    w.u64(ti.seq);
+    w.u64(ti.deadline);
+    w.str(ti.resource_id);
+    w.str(ti.transition);
+    w.str(ti.clause_key);
+  }
   return w.take();
 }
 
 bool deserialize_store(std::string_view bytes, interp::ResourceStore* store) {
   store->clear();
   ByteReader r(bytes);
-  if (r.u32() != kStoreVersion || !r.ok()) return false;
+  std::uint32_t version = r.u32();
+  if (version < kMinStoreVersion || version > kStoreVersion || !r.ok()) return false;
   std::uint64_t next_seq = r.u64();
   std::uint32_t n_counters = r.u32();
   if (!r.ok()) return false;
@@ -331,6 +351,31 @@ bool deserialize_store(std::string_view bytes, interp::ResourceStore* store) {
     }
     res.attrs = std::move(attrs);
     store->restore(std::move(res));
+  }
+  if (version >= 2) {
+    std::uint64_t now = r.u64();
+    std::uint64_t timer_seq = r.u64();
+    std::uint64_t n_timers = r.u64();
+    if (!r.ok() || n_timers > bytes.size()) {
+      store->clear();
+      return false;
+    }
+    std::vector<vtime::TimerInfo> armed;
+    armed.reserve(n_timers);
+    for (std::uint64_t i = 0; i < n_timers; ++i) {
+      vtime::TimerInfo ti;
+      ti.seq = r.u64();
+      ti.deadline = r.u64();
+      ti.resource_id = r.str();
+      ti.transition = r.str();
+      ti.clause_key = r.str();
+      if (!r.ok()) {
+        store->clear();
+        return false;
+      }
+      armed.push_back(std::move(ti));
+    }
+    store->timers().restore(now, timer_seq, std::move(armed));
   }
   if (!r.at_end()) {
     store->clear();

@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "interp/timers.h"
 #include "persist/journal.h"
 #include "persist/replica.h"
 #include "server/json.h"
@@ -70,8 +71,49 @@ Value replica_status_value(const persist::ReplicaStatus& st) {
 HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req,
                                      persist::PersistManager* persist,
                                      const HttpServer* server,
-                                     persist::ReplicaSet* replicas) {
+                                     persist::ReplicaSet* replicas,
+                                     bool virtual_time) {
   auto* layered = dynamic_cast<stack::LayerStack*>(&backend);
+  if (req.path == "/admin/tick") {
+    if (!virtual_time) {
+      return error_response(404, "VirtualTimeDisabled",
+                            "endpoint is not running with --virtual-time");
+    }
+    if (req.method != "POST") {
+      return error_response(405, "MethodNotAllowed",
+                            strf(req.method, " not supported on ", req.path));
+    }
+    // Tick count from the body ({"Ticks": N}); default 1.
+    std::int64_t ticks = 1;
+    if (!req.body.empty()) {
+      JsonError jerr;
+      auto doc = parse_json(req.body, &jerr);
+      if (!doc || !doc->is_map()) {
+        return error_response(400, "MalformedRequest",
+                              doc ? "request body must be a JSON object"
+                                  : jerr.to_text());
+      }
+      if (const Value* t = doc->get("Ticks")) {
+        if (!t->is_int() || t->as_int() < 1) {
+          return error_response(400, "MalformedRequest",
+                                "\"Ticks\" must be a positive integer");
+        }
+        ticks = t->as_int();
+      }
+    }
+    // Through the stack, not a direct clock poke: the journal layer logs
+    // the advance as an ordinary call record, so recovery, replay and
+    // replicas re-fire the same timer sequence.
+    ApiRequest api_req;
+    api_req.api = std::string(interp::timers::kAdvanceClockApi);
+    api_req.args["ticks"] = Value(ticks);
+    ApiResponse result = backend.invoke(api_req);
+    if (result.ok) {
+      return json_response(200, Value(Value::Map{{"Data", result.data}}));
+    }
+    int status = result.code == "InternalError" ? 500 : 400;
+    return error_response(status, result.code, result.message);
+  }
   if (req.path == "/admin/replicas" || req.path == "/admin/promote") {
     if (replicas == nullptr) {
       return error_response(404, "ReplicationUnavailable",
@@ -244,14 +286,16 @@ stack::StackConfig with_journal(stack::StackConfig config,
 EmulatorEndpoint::EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config,
                                    persist::PersistManager* persist,
                                    HttpServerOptions http,
-                                   persist::ReplicaSet* replicas)
+                                   persist::ReplicaSet* replicas,
+                                   bool virtual_time)
     : stack_(stack::build_stack(backend, with_journal(std::move(config), persist))),
       persist_(persist),
       replicas_(replicas),
+      virtual_time_(virtual_time),
       server_(
           [this](const HttpRequest& req) {
             return handle_emulator_request(stack_, req, persist_, &server_,
-                                           replicas_);
+                                           replicas_, virtual_time_);
           },
           http) {}
 

@@ -48,11 +48,15 @@ using stack::looks_like_resource_id;
 /// `replicas` (may be null) serves GET /admin/replicas (per-replica
 /// applied-seq/lag) and POST /admin/promote (drain + byte-identity
 /// verification against the primary) and, with a RouteLayer in the
-/// stack, the "route" section of /metrics.
+/// stack, the "route" section of /metrics. `virtual_time` lights up
+/// POST /admin/tick ({"Ticks": N}, default 1), which pushes an
+/// _AdvanceClock call through the stack so the journal logs the advance
+/// like any other write.
 HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req,
                                      persist::PersistManager* persist = nullptr,
                                      const HttpServer* server = nullptr,
-                                     persist::ReplicaSet* replicas = nullptr);
+                                     persist::ReplicaSet* replicas = nullptr,
+                                     bool virtual_time = false);
 
 /// A running emulator endpoint; owns the server thread and the layer stack
 /// built around the backend (default: serialize + validate + metrics), not
@@ -67,11 +71,13 @@ class EmulatorEndpoint {
   /// `replicas` (optional, caller-owned, must outlive the endpoint)
   /// lights up the /admin/replicas and /admin/promote routes; the
   /// RouteLayer itself is installed via config.route (the CLI wires
-  /// both from --replicas).
+  /// both from --replicas). `virtual_time` lights up POST /admin/tick
+  /// (the CLI wires it from --virtual-time).
   explicit EmulatorEndpoint(CloudBackend& backend, stack::StackConfig config = {},
                             persist::PersistManager* persist = nullptr,
                             HttpServerOptions http = {},
-                            persist::ReplicaSet* replicas = nullptr);
+                            persist::ReplicaSet* replicas = nullptr,
+                            bool virtual_time = false);
 
   /// Bind and serve; returns the port (0 = failure).
   std::uint16_t start(std::uint16_t port = 0);
@@ -90,6 +96,7 @@ class EmulatorEndpoint {
   stack::LayerStack stack_;
   persist::PersistManager* persist_;
   persist::ReplicaSet* replicas_;
+  bool virtual_time_;
   HttpServer server_;
 };
 

@@ -229,6 +229,13 @@ Transition* StateMachine::find_transition(std::string_view n) {
   return nullptr;
 }
 
+bool StateMachine::has_timers() const {
+  for (const auto& s : states) {
+    if (!s.timers.empty()) return true;
+  }
+  return false;
+}
+
 StateMachine StateMachine::clone() const {
   StateMachine m;
   m.name = name;

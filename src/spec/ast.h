@@ -47,11 +47,32 @@ struct Type {
   std::string to_text() const;
 };
 
+/// A delayed transition attached to a state variable (Fig. 1 extension):
+/// `status: enum(pending, running) = pending after 3 -> Promote;` arms a
+/// virtual-clock timer whenever the variable holds the trigger value and
+/// fires `transition` on the owning resource `delay` ticks later. The
+/// trigger defaults to the variable's initial value; an explicit
+/// `when <literal>` overrides it (has_trigger distinguishes the two so the
+/// printer round-trips byte-identically).
+struct TimerClause {
+  std::int64_t delay = 1;
+  std::string transition;
+  Value trigger;
+  bool has_trigger = false;
+};
+
 struct StateVar {
   std::string name;
   Type type;
   Value initial;  // default value; Value() (null) when unspecified
+  std::vector<TimerClause> timers;
 };
+
+/// The value of `sv` that arms `tc`: the explicit `when` literal, or the
+/// variable's initial value when the clause omits one.
+inline const Value& timer_trigger(const StateVar& sv, const TimerClause& tc) {
+  return tc.has_trigger ? tc.trigger : sv.initial;
+}
 
 struct Param {
   std::string name;
@@ -175,6 +196,10 @@ struct StateMachine {
   const StateVar* find_state(std::string_view n) const;
   const Transition* find_transition(std::string_view n) const;
   Transition* find_transition(std::string_view n);
+
+  /// Any state variable carries an `after` clause (the interpreter's
+  /// timer-reconciliation fast path keys off this).
+  bool has_timers() const;
 
   StateMachine clone() const;
 };

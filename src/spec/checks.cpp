@@ -27,6 +27,10 @@ std::string to_string(CheckKind k) {
     case CheckKind::kMissingCreate: return "missing-create";
     case CheckKind::kSilentTransition: return "silent-transition";
     case CheckKind::kBadBuiltinArity: return "bad-builtin-arity";
+    case CheckKind::kBadTimerDelay: return "bad-timer-delay";
+    case CheckKind::kUnknownTimerTarget: return "unknown-timer-target";
+    case CheckKind::kBadTimerTarget: return "bad-timer-target";
+    case CheckKind::kBadTimerTrigger: return "bad-timer-trigger";
   }
   return "?";
 }
@@ -107,6 +111,41 @@ class MachineChecker {
           !sv.type.admits(sv.initial)) {
         add(CheckKind::kEnumViolation, Severity::kError, "",
             strf("initial value ", sv.initial.to_text(), " not in enum for '", sv.name, "'"));
+      }
+      check_timers(sv);
+    }
+  }
+
+  void check_timers(const StateVar& sv) {
+    for (const auto& tc : sv.timers) {
+      if (tc.delay < 1) {
+        add(CheckKind::kBadTimerDelay, Severity::kError, "",
+            strf("state '", sv.name, "': after-delay ", tc.delay, " must be >= 1 tick"));
+      }
+      const Transition* target = m_.find_transition(tc.transition);
+      if (target == nullptr) {
+        add(CheckKind::kUnknownTimerTarget, Severity::kError, "",
+            strf("state '", sv.name, "': after-clause targets unknown transition '",
+                 tc.transition, "'"));
+      } else {
+        // A timer fire is synthesized as `Transition(id)` with no other
+        // arguments, so the target must be parameter-free; creates cannot
+        // run on an existing resource and describes are read-only.
+        if (target->kind == TransitionKind::kCreate ||
+            target->kind == TransitionKind::kDescribe) {
+          add(CheckKind::kBadTimerTarget, Severity::kError, "",
+              strf("state '", sv.name, "': after-clause targets ", to_string(target->kind),
+                   " transition '", tc.transition, "'"));
+        } else if (!target->params.empty()) {
+          add(CheckKind::kBadTimerTarget, Severity::kError, "",
+              strf("state '", sv.name, "': after-target '", tc.transition,
+                   "' takes parameters; timer fires pass only the resource id"));
+        }
+      }
+      if (tc.has_trigger && !sv.type.admits(tc.trigger)) {
+        add(CheckKind::kBadTimerTrigger, Severity::kError, "",
+            strf("state '", sv.name, "': when-literal ", tc.trigger.to_text(),
+                 " not admitted by type ", sv.type.to_text()));
       }
     }
   }

@@ -32,6 +32,11 @@ enum class CheckKind {
   kMissingCreate,         // SM with no create transition
   kSilentTransition,      // action/modify with empty body (silent success)
   kBadBuiltinArity,       // builtin called with wrong argument count
+  // Delayed-transition (timer) clauses.
+  kBadTimerDelay,         // `after` delay below 1 tick
+  kUnknownTimerTarget,    // `after` names a transition the SM lacks
+  kBadTimerTarget,        // timer target takes params or is create/describe
+  kBadTimerTrigger,       // `when` literal not admitted by the var's type
 };
 
 std::string to_string(CheckKind k);

@@ -111,7 +111,8 @@ class Lexer {
       return t;
     }
     // Two-char operators first.
-    static constexpr std::string_view kTwo[] = {"==", "!=", "<=", ">=", "&&", "||"};
+    static constexpr std::string_view kTwo[] = {"==", "!=", "<=", ">=", "&&",
+                                                "||", "->"};
     for (std::string_view op : kTwo) {
       if (c == op[0] && peek(1) == op[1]) {
         advance();

@@ -198,6 +198,28 @@ class Parser {
         if (!v) return false;
         sv.initial = std::move(*v);
       }
+      // Delayed transitions: `after <ticks> -> <Transition> [when <literal>]`,
+      // repeatable. Omitting `when` means "while the variable holds its
+      // initial value".
+      while (peek().is_ident("after")) {
+        next();
+        TimerClause tc;
+        if (peek().kind != TokKind::kInt) {
+          fail(strf("expected tick count after 'after', got '", peek().text, "'"));
+          return false;
+        }
+        tc.delay = next().int_value;
+        if (!expect_symbol("->")) return false;
+        if (!take_ident(tc.transition)) return false;
+        if (peek().is_ident("when")) {
+          next();
+          auto trig = literal_value();
+          if (!trig) return false;
+          tc.trigger = std::move(*trig);
+          tc.has_trigger = true;
+        }
+        sv.timers.push_back(std::move(tc));
+      }
       if (!expect_symbol(";")) return false;
       m.states.push_back(std::move(sv));
     }

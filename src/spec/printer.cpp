@@ -117,6 +117,10 @@ std::string print_machine(const StateMachine& m) {
   for (const auto& sv : m.states) {
     out += strf(ind(2), sv.name, ": ", sv.type.to_text());
     if (!sv.initial.is_null()) out += strf(" = ", print_literal(sv.initial));
+    for (const auto& tc : sv.timers) {
+      out += strf(" after ", tc.delay, " -> ", tc.transition);
+      if (tc.has_trigger) out += strf(" when ", print_literal(tc.trigger));
+    }
     out += ";\n";
   }
   out += ind(1) + "}\n";

@@ -1,0 +1,116 @@
+#include "time/service.h"
+
+namespace lce::vtime {
+
+TimerService::TimerService(const TimerService& other) { *this = other; }
+
+TimerService& TimerService::operator=(const TimerService& other) {
+  if (this == &other) return *this;
+  std::scoped_lock lock(mu_, other.mu_);
+  wheel_ = other.wheel_;
+  next_seq_ = other.next_seq_;
+  live_ = other.live_;
+  by_resource_ = other.by_resource_;
+  return *this;
+}
+
+std::uint64_t TimerService::now() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return wheel_.now();
+}
+
+std::size_t TimerService::armed_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+std::uint64_t TimerService::next_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_;
+}
+
+void TimerService::ensure(const std::string& resource_id, const std::string& clause_key,
+                          const std::string& transition, std::int64_t delay, bool want) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto res_it = by_resource_.find(resource_id);
+  bool armed = res_it != by_resource_.end() && res_it->second.count(clause_key) != 0;
+  if (want == armed) return;
+  if (want) {
+    if (delay < 1) delay = 1;
+    TimerInfo ti;
+    ti.seq = next_seq_++;
+    ti.deadline = wheel_.now() + static_cast<std::uint64_t>(delay);
+    ti.resource_id = resource_id;
+    ti.transition = transition;
+    ti.clause_key = clause_key;
+    wheel_.schedule(ti.deadline, ti.seq);
+    by_resource_[resource_id][clause_key] = ti.seq;
+    live_.emplace(ti.seq, std::move(ti));
+  } else {
+    std::uint64_t seq = res_it->second.at(clause_key);
+    res_it->second.erase(clause_key);
+    if (res_it->second.empty()) by_resource_.erase(res_it);
+    live_.erase(seq);  // wheel entry goes stale; pop_due skips it
+  }
+}
+
+void TimerService::cancel_resource(const std::string& resource_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_resource_.find(resource_id);
+  if (it == by_resource_.end()) return;
+  for (const auto& [key, seq] : it->second) live_.erase(seq);
+  by_resource_.erase(it);
+}
+
+std::optional<TimerInfo> TimerService::pop_due(std::uint64_t target) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (true) {
+    auto e = wheel_.pop_due(target);
+    if (!e) return std::nullopt;
+    auto it = live_.find(e->seq);
+    if (it == live_.end()) continue;  // cancelled after scheduling
+    TimerInfo ti = std::move(it->second);
+    live_.erase(it);
+    index_erase(ti);
+    return ti;
+  }
+}
+
+void TimerService::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  wheel_.reset(0);
+  next_seq_ = 1;
+  live_.clear();
+  by_resource_.clear();
+}
+
+std::vector<TimerInfo> TimerService::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TimerInfo> out;
+  out.reserve(live_.size());
+  for (const auto& [seq, ti] : live_) out.push_back(ti);
+  return out;
+}
+
+void TimerService::restore(std::uint64_t now, std::uint64_t next_seq,
+                           std::vector<TimerInfo> timers) {
+  std::lock_guard<std::mutex> lock(mu_);
+  wheel_.reset(now);
+  next_seq_ = next_seq;
+  live_.clear();
+  by_resource_.clear();
+  for (auto& ti : timers) {
+    wheel_.schedule(ti.deadline, ti.seq);
+    by_resource_[ti.resource_id][ti.clause_key] = ti.seq;
+    live_.emplace(ti.seq, std::move(ti));
+  }
+}
+
+void TimerService::index_erase(const TimerInfo& ti) {
+  auto it = by_resource_.find(ti.resource_id);
+  if (it == by_resource_.end()) return;
+  it->second.erase(ti.clause_key);
+  if (it->second.empty()) by_resource_.erase(it);
+}
+
+}  // namespace lce::vtime

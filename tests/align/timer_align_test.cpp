@@ -1,0 +1,190 @@
+// §4.3 trace generation and alignment over virtual time: the generator
+// learns an advance-clock move (kTimerFire probes a clause's deadline,
+// kTimerInterleave races an API call against the countdown), and the
+// differential engine detects timer-semantics divergence with reports
+// byte-identical across {plan,tree} executors × {1,4} workers.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "align/engine.h"
+#include "align/trace_gen.h"
+#include "common/api.h"
+#include "interp/interpreter.h"
+#include "interp/timers.h"
+#include "spec/parser.h"
+#include "spec/spec_fixtures.h"
+
+namespace lce::align {
+namespace {
+
+spec::SpecSet load(const char* src) {
+  spec::ParseError err;
+  auto s = spec::parse_spec(src, &err);
+  EXPECT_TRUE(s.has_value()) << err.to_text();
+  return s ? std::move(*s) : spec::SpecSet{};
+}
+
+const spec::SpecSet& timer_spec() {
+  static const spec::SpecSet kSpec = load(spec::fixtures::kTimerSpec);
+  return kSpec;
+}
+
+const GenTrace* find_class(const std::vector<GenTrace>& traces, ClassKind kind) {
+  for (const auto& g : traces) {
+    if (g.cls.kind == kind) return &g;
+  }
+  return nullptr;
+}
+
+TEST(TimerTraceGen, EmitsTimerFireClassForEachClause) {
+  TraceGenerator gen(timer_spec());
+  auto launch = gen.generate_for("Instance", "FinishLaunch");
+  const GenTrace* fire = find_class(launch, ClassKind::kTimerFire);
+  ASSERT_NE(fire, nullptr);
+  // The probe is the clock advance, to exactly the clause delay.
+  const auto& probe = fire->trace.calls[fire->probe_call];
+  EXPECT_EQ(probe.api, interp::timers::kAdvanceClockApi);
+  EXPECT_EQ(probe.args.at("ticks").as_int(), 3);
+  EXPECT_EQ(fire->cls.sweep_attr, "status");
+  EXPECT_EQ(fire->cls.sweep_value, "PENDING");
+
+  // The conditional clause (`when "STOPPING"`) needs setup driving the
+  // var onto the trigger first.
+  auto stop = gen.generate_for("Instance", "FinishStop");
+  const GenTrace* stop_fire = find_class(stop, ClassKind::kTimerFire);
+  ASSERT_NE(stop_fire, nullptr);
+  EXPECT_EQ(stop_fire->cls.sweep_value, "STOPPING");
+  EXPECT_EQ(stop_fire->trace.calls[stop_fire->probe_call].args.at("ticks").as_int(), 2);
+}
+
+TEST(TimerTraceGen, EmitsInterleaveClassRacingCancellation) {
+  TraceGenerator gen(timer_spec());
+  auto launch = gen.generate_for("Instance", "FinishLaunch");
+  const GenTrace* inter = find_class(launch, ClassKind::kTimerInterleave);
+  ASSERT_NE(inter, nullptr);
+  // An advance to delay-1 lands BEFORE the cancelling driver call, so the
+  // cancellation happens mid-countdown, then the probe advance crosses the
+  // original deadline.
+  bool saw_partial_advance = false;
+  for (std::size_t i = 0; i < inter->probe_call; ++i) {
+    const auto& c = inter->trace.calls[i];
+    if (c.api == interp::timers::kAdvanceClockApi) {
+      saw_partial_advance = true;
+      EXPECT_EQ(c.args.at("ticks").as_int(), 2);  // delay 3 - 1
+    }
+  }
+  EXPECT_TRUE(saw_partial_advance);
+  EXPECT_EQ(inter->trace.calls[inter->probe_call].api,
+            interp::timers::kAdvanceClockApi);
+}
+
+TEST(TimerTraceGen, TimerTracesRunCleanlyOnOwnEmulator) {
+  interp::Interpreter emu(timer_spec().clone());
+  TraceGenerator gen(timer_spec());
+  std::size_t timer_traces = 0;
+  for (const auto& m : timer_spec().machines) {
+    for (const auto& t : m.transitions) {
+      for (const auto& g : gen.generate_for(m.name, t.name)) {
+        if (g.cls.kind != ClassKind::kTimerFire &&
+            g.cls.kind != ClassKind::kTimerInterleave) {
+          continue;
+        }
+        ++timer_traces;
+        auto resps = run_trace(emu, g.trace);
+        ASSERT_EQ(resps.size(), g.trace.calls.size());
+        for (std::size_t i = 0; i < resps.size(); ++i) {
+          EXPECT_TRUE(resps[i].ok)
+              << g.cls.description << " call " << i << ": " << resps[i].to_text();
+        }
+        // A fire probe must actually fire; an interleave probe must not
+        // (the cancelling call disarmed the clause).
+        const auto& probe = resps[g.probe_call];
+        if (g.cls.kind == ClassKind::kTimerFire) {
+          EXPECT_GE(probe.data.get("fired")->as_int(), 1) << g.cls.description;
+        } else {
+          EXPECT_EQ(probe.data.get("fired")->as_int(), 0) << g.cls.description;
+        }
+        emu.reset();
+      }
+    }
+  }
+  EXPECT_GE(timer_traces, 4u);  // 3 Instance clauses-views + Monitor beat
+}
+
+// A pair of specs identical except for timer semantics: the "cloud" ripens
+// in 4 ticks, the emulator believes 2. Only the advance-clock move can
+// expose the difference.
+constexpr const char* kFastBox = R"(
+sm Box {
+  service "ec2";
+  id_prefix "box";
+  states { status: enum(NEW, READY) = "NEW" after 2 -> Ripen; }
+  transitions {
+    create CreateBox() { }
+    modify Ripen() { write(status, READY); }
+    describe DescribeBox() { }
+    destroy DeleteBox() { }
+  }
+}
+)";
+
+constexpr const char* kSlowBox = R"(
+sm Box {
+  service "ec2";
+  id_prefix "box";
+  states { status: enum(NEW, READY) = "NEW" after 4 -> Ripen; }
+  transitions {
+    create CreateBox() { }
+    modify Ripen() { write(status, READY); }
+    describe DescribeBox() { }
+    destroy DeleteBox() { }
+  }
+}
+)";
+
+AlignmentReport align_timer_pair(bool use_plan, int workers) {
+  interp::InterpreterOptions iopts;
+  iopts.use_plan = use_plan;
+  interp::Interpreter emu(load(kFastBox), iopts);
+  interp::Interpreter cloud(load(kSlowBox));
+  AlignmentOptions opts;
+  opts.repair = false;  // detection-only: measure the divergence
+  opts.workers = workers;
+  return AlignmentEngine(emu, cloud, opts).run();
+}
+
+TEST(TimerAlignParallel, DivergentDelayDetectedIdenticallyEverywhere) {
+  AlignmentReport base = align_timer_pair(/*use_plan=*/true, /*workers=*/1);
+  // The fire-at-2 probe succeeds on the emulator but leaves the slow cloud
+  // unfired: a real timer-interleaving divergence, found without any API
+  // shape differing.
+  EXPECT_GT(base.total_discrepancies(), 0u);
+  bool timer_divergence = false;
+  for (const auto& d : base.unrepaired) {
+    if (d.cls.kind == ClassKind::kTimerFire ||
+        d.cls.kind == ClassKind::kTimerInterleave) {
+      timer_divergence = true;
+    }
+  }
+  EXPECT_TRUE(timer_divergence);
+
+  const std::string want = canonical_text(base);
+  EXPECT_EQ(canonical_text(align_timer_pair(true, 4)), want);
+  EXPECT_EQ(canonical_text(align_timer_pair(false, 1)), want);
+  EXPECT_EQ(canonical_text(align_timer_pair(false, 4)), want);
+}
+
+TEST(TimerAlignParallel, AgreeingTimerSpecsStayConverged) {
+  interp::Interpreter emu(load(kFastBox));
+  interp::Interpreter cloud(load(kFastBox));
+  AlignmentOptions opts;
+  opts.repair = false;
+  opts.workers = 4;
+  AlignmentReport report = AlignmentEngine(emu, cloud, opts).run();
+  EXPECT_EQ(report.total_discrepancies(), 0u);
+  EXPECT_TRUE(report.converged);
+}
+
+}  // namespace
+}  // namespace lce::align

@@ -188,6 +188,59 @@ TEST(Checks, MachinesWithErrorsListsOffenders) {
   EXPECT_EQ(names[0], "Bad");
 }
 
+TEST(Checks, TimerSpecFixtureIsClean) {
+  SpecSet s = parse_ok(fixtures::kTimerSpec);
+  CheckReport r = run_checks(s);
+  for (const auto& issue : r.issues) {
+    EXPECT_NE(issue.severity, Severity::kError) << issue.to_text();
+  }
+}
+
+TEST(Checks, TimerDelayBelowOneFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A {
+      states { x: int = 0 after 0 -> Tick; }
+      transitions { create CreateA() { } modify Tick() { write(x, x + 1); } }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kBadTimerDelay));
+}
+
+TEST(Checks, TimerUnknownTargetFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A {
+      states { x: int = 0 after 2 -> Vanish; }
+      transitions { create CreateA() { } }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kUnknownTimerTarget));
+}
+
+TEST(Checks, TimerTargetWithParamsFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A {
+      states { x: int = 0 after 2 -> Bump; }
+      transitions { create CreateA() { } modify Bump(v: int) { write(x, v); } }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kBadTimerTarget));
+}
+
+TEST(Checks, TimerTargetCreateFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A {
+      states { x: int = 0 after 2 -> CreateA; }
+      transitions { create CreateA() { } }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kBadTimerTarget));
+}
+
+TEST(Checks, TimerTriggerTypeMismatchFlagged) {
+  SpecSet s = parse_ok(R"(
+    sm A {
+      states { x: enum(ON, OFF) = "ON" after 2 -> Flip when "SIDEWAYS"; }
+      transitions { create CreateA() { } modify Flip() { write(x, OFF); } }
+    })");
+  EXPECT_TRUE(has_issue(run_checks(s), CheckKind::kBadTimerTrigger));
+}
+
 TEST(Checks, IssueToTextMentionsKindAndMachine) {
   SpecSet s = parse_ok(R"(
     sm A { states { x: ref Missing; } transitions { create CreateA() { } } })");

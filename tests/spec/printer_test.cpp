@@ -65,6 +65,57 @@ TEST(Printer, IfElsePrintedAndReparsed) {
   EXPECT_EQ(print_machine(*again), text);
 }
 
+TEST(Printer, TimerClausesRoundTrip) {
+  // `after N -> T [when lit]` must survive print -> parse -> print
+  // byte-for-byte, including multiple clauses on one variable and the
+  // omitted trigger defaulting form.
+  ParseError err;
+  auto spec = parse_spec(fixtures::kTimerSpec, &err);
+  ASSERT_TRUE(spec) << err.to_text();
+  std::string text = print_spec(*spec);
+  auto again = parse_spec(text, &err);
+  ASSERT_TRUE(again) << err.to_text() << "\n" << text;
+  EXPECT_EQ(print_spec(*again), text);
+
+  const StateMachine* inst = spec->find_machine("Instance");
+  ASSERT_NE(inst, nullptr);
+  ASSERT_EQ(inst->states[0].timers.size(), 2u);
+  const StateMachine* reparsed = again->find_machine("Instance");
+  ASSERT_NE(reparsed, nullptr);
+  EXPECT_EQ(reparsed->states[0].timers.size(), 2u);
+  EXPECT_EQ(reparsed->states[0].timers[0].delay, 3);
+  EXPECT_EQ(reparsed->states[0].timers[0].transition, "FinishLaunch");
+  EXPECT_FALSE(reparsed->states[0].timers[0].has_trigger);
+  EXPECT_EQ(reparsed->states[0].timers[1].delay, 2);
+  EXPECT_TRUE(reparsed->states[0].timers[1].has_trigger);
+  EXPECT_EQ(reparsed->states[0].timers[1].trigger.as_str(), "STOPPING");
+}
+
+TEST(Printer, TimerClauseGoldenText) {
+  ParseError err;
+  auto m = parse_machine(R"(
+    sm T {
+      states { s: enum(A, B) = "A" after 7 -> Flip when "A"; }
+      transitions { create CreateT() { } modify Flip() { write(s, B); } }
+    })", &err);
+  ASSERT_TRUE(m) << err.to_text();
+  std::string text = print_machine(*m);
+  EXPECT_NE(text.find("s: enum(A, B) = \"A\" after 7 -> Flip when \"A\";"),
+            std::string::npos)
+      << text;
+  // No-trigger clause prints without `when`.
+  auto bare = parse_machine(R"(
+    sm U {
+      states { n: int = 0 after 2 -> Tick; }
+      transitions { create CreateU() { } modify Tick() { write(n, n + 1); } }
+    })", &err);
+  ASSERT_TRUE(bare) << err.to_text();
+  std::string bare_text = print_machine(*bare);
+  EXPECT_NE(bare_text.find("n: int = 0 after 2 -> Tick;"), std::string::npos)
+      << bare_text;
+  EXPECT_EQ(bare_text.find(" when "), std::string::npos) << bare_text;
+}
+
 TEST(Printer, StringsEscaped) {
   ParseError err;
   auto m = parse_machine(R"(

@@ -60,4 +60,61 @@ sm PublicIp {
 }
 )SPEC";
 
+/// Delayed-transition fixture: an async instance lifecycle (PENDING
+/// auto-launches, STOPPING auto-stops) plus a periodic monitor whose
+/// fired transition leaves the trigger value in place, so it re-arms.
+inline constexpr const char* kTimerSpec = R"SPEC(
+sm Instance {
+  service "ec2";
+  id_prefix "i";
+  states {
+    status: enum(PENDING, RUNNING, STOPPING, STOPPED) = "PENDING"
+        after 3 -> FinishLaunch
+        after 2 -> FinishStop when "STOPPING";
+    zone: str;
+  }
+  transitions {
+    create RunInstance(zone: str) {
+      write(zone, zone);
+    }
+    modify FinishLaunch() {
+      write(status, RUNNING);
+    }
+    modify StopInstance() {
+      write(status, STOPPING);
+    }
+    modify FinishStop() {
+      write(status, STOPPED);
+    }
+    describe DescribeInstance() {
+    }
+    destroy TerminateInstance() {
+    }
+  }
+}
+
+sm Monitor {
+  service "ec2";
+  id_prefix "mon";
+  states {
+    mode: enum(ON, OFF) = "ON" after 5 -> Beat;
+    beats: int = 0;
+  }
+  transitions {
+    create CreateMonitor() {
+    }
+    modify Beat() {
+      write(beats, beats + 1);
+    }
+    modify DisableMonitor() {
+      write(mode, OFF);
+    }
+    describe DescribeMonitor() {
+    }
+    destroy DeleteMonitor() {
+    }
+  }
+}
+)SPEC";
+
 }  // namespace lce::spec::fixtures

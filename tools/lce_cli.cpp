@@ -45,6 +45,7 @@
 //   lce coverage                     Table-1 style coverage report
 //
 // provider: aws (default) | azure. Scripts: see src/core/trace_script.h.
+#include <atomic>
 #include <chrono>
 #include <filesystem>
 #include <fstream>
@@ -70,6 +71,8 @@
 #include "core/trace_script.h"
 #include "docs/corpus.h"
 #include "docs/render.h"
+#include "interp/timers.h"
+#include "spec/parser.h"
 #include "spec/printer.h"
 
 using namespace lce;
@@ -126,6 +129,15 @@ int usage() {
                "      --replica-lag-max K  bounded staleness: a replica serves a\n"
                "                   read only when it trails the primary by at most\n"
                "                   K committed records (default 64; 0 = strict)\n"
+               "      --virtual-time  run the deterministic virtual clock: the\n"
+               "                   store's timers advance only via POST /admin/tick\n"
+               "                   ({\"Ticks\": N}, default 1), journaled like any\n"
+               "                   other write\n"
+               "      --tick-ms N  real-time pacing: advance the virtual clock by\n"
+               "                   one tick every N wall-clock ms (implies\n"
+               "                   --virtual-time; /admin/tick still works)\n"
+               "      --spec FILE  serve a hand-written Fig. 1 spec file instead\n"
+               "                   of the learned-from-docs specification\n"
                "      --no-stdin   don't wait for EOF on stdin (for running\n"
                "                   detached / under a supervisor)\n"
                "      --no-plan    serve through the tree-walking reference\n"
@@ -140,9 +152,11 @@ int usage() {
                "                   after N requests (default 0 = unlimited)\n"
                "  lce snapshot [port]\n"
                "      POST /admin/snapshot on a running durable endpoint\n"
-               "  lce replay <dir|file.lcw> [aws|azure]\n"
+               "  lce replay <dir|file.lcw> [aws|azure] [--spec FILE]\n"
                "      rerun a data dir or record file on fresh interpreters and\n"
                "      verify byte-identical canonical dumps + logged responses\n"
+               "      (--spec FILE: replay against a hand-written spec instead of\n"
+               "      the learned one — must match the serving spec)\n"
                "  lce trace export <script> <out.lcw> [aws|azure]\n"
                "  lce trace import <in.lcw> <out-script>\n"
                "      convert between trace scripts and binary record files\n"
@@ -181,6 +195,23 @@ std::optional<Trace> load_script(const std::string& path) {
   }
   trace->label = path;
   return trace;
+}
+
+std::optional<spec::SpecSet> load_spec_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in || std::filesystem::is_directory(path)) {
+    std::cerr << "lce: cannot open " << path << "\n";
+    return std::nullopt;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  spec::ParseError err;
+  auto spec = spec::parse_spec(ss.str(), &err);
+  if (!spec) {
+    std::cerr << "lce: " << path << ": " << err.to_text() << "\n";
+    return std::nullopt;
+  }
+  return spec;
 }
 
 }  // namespace
@@ -297,6 +328,9 @@ int main(int argc, char** argv) {
     bool wait_stdin = true;
     std::size_t replicas = 0;
     std::uint64_t replica_lag_max = 64;
+    bool virtual_time = false;
+    int tick_ms = 0;
+    std::string spec_path;
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
       if (arg == "aws" || arg == "azure") {
@@ -332,6 +366,13 @@ int main(int argc, char** argv) {
         replicas = static_cast<std::size_t>(std::atoll(argv[++i]));
       } else if (arg == "--replica-lag-max" && i + 1 < argc) {
         replica_lag_max = static_cast<std::uint64_t>(std::atoll(argv[++i]));
+      } else if (arg == "--virtual-time") {
+        virtual_time = true;
+      } else if (arg == "--tick-ms" && i + 1 < argc) {
+        tick_ms = std::atoi(argv[++i]);
+        virtual_time = true;
+      } else if (arg == "--spec" && i + 1 < argc) {
+        spec_path = argv[++i];
       } else if (arg == "--no-stdin") {
         wait_stdin = false;
       } else if (arg == "--no-plan") {
@@ -348,14 +389,28 @@ int main(int argc, char** argv) {
         return usage();
       }
     }
-    auto emulator = core::LearnedEmulator::from_docs(
-        docs::render_corpus(catalog_for(provider)), pipeline);
+    // --spec serves a hand-written spec on a standalone interpreter;
+    // otherwise the full learned pipeline runs.
+    std::optional<core::LearnedEmulator> emulator;
+    std::unique_ptr<interp::Interpreter> spec_backend;
+    if (!spec_path.empty()) {
+      auto parsed = load_spec_file(spec_path);
+      if (!parsed) return 1;
+      interp::InterpreterOptions iopts;
+      iopts.use_plan = pipeline.use_plan;
+      spec_backend =
+          std::make_unique<interp::Interpreter>(std::move(*parsed), iopts);
+    } else {
+      emulator = core::LearnedEmulator::from_docs(
+          docs::render_corpus(catalog_for(provider)), pipeline);
+    }
+    interp::Interpreter& backend =
+        spec_backend != nullptr ? *spec_backend : emulator->backend();
     std::unique_ptr<persist::PersistManager> persist_mgr;
     if (!popts.data_dir.empty()) {
       std::string error;
       persist::RecoveryResult recovery;
-      persist_mgr =
-          persist::PersistManager::open(emulator.backend(), popts, &error, &recovery);
+      persist_mgr = persist::PersistManager::open(backend, popts, &error, &recovery);
       if (persist_mgr == nullptr) {
         std::cerr << "lce: cannot open data dir: " << error << "\n";
         return 1;
@@ -384,7 +439,7 @@ int main(int argc, char** argv) {
         return 1;
       }
       config.route = [tier = replica_set.get(), lag = replica_lag_max,
-                      interp = &emulator.backend()] {
+                      interp = &backend] {
         stack::RouteOptions ropts;
         ropts.lag_max = lag;
         ropts.read_only = [interp](const std::string& api) {
@@ -393,8 +448,8 @@ int main(int argc, char** argv) {
         return std::make_unique<stack::RouteLayer>(tier, std::move(ropts));
       };
     }
-    server::EmulatorEndpoint endpoint(emulator.backend(), config, persist_mgr.get(),
-                                      hopts, replica_set.get());
+    server::EmulatorEndpoint endpoint(backend, config, persist_mgr.get(), hopts,
+                                      replica_set.get(), virtual_time);
     std::uint16_t bound = endpoint.start(static_cast<std::uint16_t>(port));
     if (bound == 0) {
       std::cerr << "lce: failed to bind port " << port << "\n";
@@ -412,16 +467,37 @@ int main(int argc, char** argv) {
       std::cout << "  GET  /admin/replicas  |  POST /admin/promote  (" << replicas
                 << " replica(s), lag max " << replica_lag_max << ")\n";
     }
+    if (virtual_time) {
+      std::cout << "  POST /admin/tick  {\"Ticks\": N}  (virtual time";
+      if (tick_ms > 0) std::cout << ", paced every " << tick_ms << " ms";
+      std::cout << ")\n";
+    }
     std::cout << "  layers: ";
     auto names = endpoint.stack().layer_names();
     for (std::size_t i = 0; i < names.size(); ++i) {
       std::cout << (i ? " -> " : "") << names[i];
     }
-    std::cout << (names.empty() ? "(none)" : "") << " -> " << emulator.backend().name()
+    std::cout << (names.empty() ? "(none)" : "") << " -> " << backend.name()
               << "\n";
     // Supervisors parse the port announcement from a pipe or log file, so
     // it must leave the stdio buffer before the serve loop blocks.
     std::cout.flush();
+    // Real-time pacing: one _AdvanceClock tick per interval, pushed through
+    // the stack so it is journaled exactly like a POST /admin/tick.
+    std::atomic<bool> pacer_stop{false};
+    std::thread pacer;
+    if (tick_ms > 0) {
+      pacer = std::thread([&endpoint, &pacer_stop, tick_ms] {
+        while (!pacer_stop.load(std::memory_order_relaxed)) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(tick_ms));
+          if (pacer_stop.load(std::memory_order_relaxed)) break;
+          ApiRequest tick;
+          tick.api = std::string(interp::timers::kAdvanceClockApi);
+          tick.args["ticks"] = Value(static_cast<std::int64_t>(1));
+          endpoint.stack().invoke(tick);
+        }
+      });
+    }
     if (wait_stdin) {
       std::cout << "press Ctrl-D (EOF) to stop\n";
       std::string line;
@@ -432,6 +508,8 @@ int main(int argc, char** argv) {
       // killed. The torture suite SIGKILLs this process mid-write on purpose.
       for (;;) std::this_thread::sleep_for(std::chrono::seconds(3600));
     }
+    pacer_stop.store(true, std::memory_order_relaxed);
+    if (pacer.joinable()) pacer.join();
     endpoint.stop();
     if (auto* rec = endpoint.stack().find<stack::RecordLayer>()) {
       Trace trace = rec->trace();
@@ -480,15 +558,44 @@ int main(int argc, char** argv) {
   if (cmd == "replay") {
     if (argc < 3) return usage();
     std::string path = argv[2];
-    std::string provider = argc > 3 ? argv[3] : "aws";
-    auto corpus = docs::render_corpus(catalog_for(provider));
-    auto emu_a = core::LearnedEmulator::from_docs(corpus);
-    persist::ReplayReport report;
-    if (std::filesystem::is_directory(path)) {
-      auto emu_b = core::LearnedEmulator::from_docs(corpus);
-      report = persist::replay_dir(path, &emu_a.backend(), &emu_b.backend());
+    std::string provider = "aws";
+    std::string spec_path;
+    for (int i = 3; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg == "aws" || arg == "azure") {
+        provider = arg;
+      } else if (arg == "--spec" && i + 1 < argc) {
+        spec_path = argv[++i];
+      } else {
+        return usage();
+      }
+    }
+    bool is_dir = std::filesystem::is_directory(path);
+    // Replay needs fresh interpreters serving the same spec the log was
+    // written against: hand-written via --spec, learned otherwise.
+    std::unique_ptr<interp::Interpreter> interp_a;
+    std::unique_ptr<interp::Interpreter> interp_b;
+    std::optional<core::LearnedEmulator> emu_a;
+    std::optional<core::LearnedEmulator> emu_b;
+    if (!spec_path.empty()) {
+      auto parsed = load_spec_file(spec_path);
+      if (!parsed) return 1;
+      if (is_dir) {
+        interp_b = std::make_unique<interp::Interpreter>(parsed->clone());
+      }
+      interp_a = std::make_unique<interp::Interpreter>(std::move(*parsed));
     } else {
-      report = persist::replay_file(path, &emu_a.backend());
+      auto corpus = docs::render_corpus(catalog_for(provider));
+      emu_a = core::LearnedEmulator::from_docs(corpus);
+      if (is_dir) emu_b = core::LearnedEmulator::from_docs(corpus);
+    }
+    interp::Interpreter* a = interp_a != nullptr ? interp_a.get() : &emu_a->backend();
+    persist::ReplayReport report;
+    if (is_dir) {
+      interp::Interpreter* b = interp_b != nullptr ? interp_b.get() : &emu_b->backend();
+      report = persist::replay_dir(path, a, b);
+    } else {
+      report = persist::replay_file(path, a);
     }
     std::cout << "replayed " << report.recovery.wal_records << " record(s)"
               << (report.recovery.torn_tail ? " (torn tail discarded)" : "")
