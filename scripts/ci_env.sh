@@ -30,7 +30,7 @@
 #                        The fork-based CrashTorture tests self-skip
 #                        under TSan.
 export LCE_TSAN_TEST_TARGETS="common_test value_fuzz_test align_test interp_test cloud_test stack_test server_test persist_test plan_test time_test"
-export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard|Wal|Journal|Snapshot|Recovery|Replay|Durable|Plan|HttpParser|Torture|SlowLoris|KeepAlive|Endpoint|Replica|Route'
+export LCE_TSAN_TEST_REGEX='Parallel|Fuzz|Clone|Stack|Hammer|Fault|Layer|Shard|Wal|Journal|Snapshot|Recovery|Replay|Durable|Plan|HttpParser|Torture|SlowLoris|KeepAlive|Endpoint|Replica|Route|Wire'
 
 # Portable core count: GNU coreutils' nproc, then the BSD/macOS sysctl,
 # then POSIX getconf, then a safe fallback.

@@ -86,6 +86,11 @@ LoadStats run_load(CloudBackend& backend, const LoadOptions& opts) {
     std::unique_ptr<server::HttpClient> client;
     if (opts.http_port != 0) {
       client = std::make_unique<server::HttpClient>(opts.http_port);
+      // Dial before claiming any op: connection setup is not part of the
+      // measured workload, and every worker holds its own live connection
+      // even if a sibling drains the shared op ticket first (the serve
+      // path is fast enough on one core for that to actually happen).
+      if (opts.http_keep_alive) client->preconnect();
     }
     auto invoke = [&](const ApiRequest& req) -> ApiResponse {
       if (client == nullptr) return backend.invoke(req);
@@ -99,6 +104,83 @@ LoadStats run_load(CloudBackend& backend, const LoadOptions& opts) {
       return k < seeded_ids.size() ? &seeded_ids[k]
                                    : &own_ids[k - seeded_ids.size()];
     };
+    auto make_req = [&](std::size_t k) -> ApiRequest {
+      int roll = static_cast<int>(rng.uniform(100));
+      const bool wants_describe =
+          roll >= opts.mix.create_pct + opts.mix.mutate_pct;
+      const Value* target = nullptr;
+      if (roll >= opts.mix.create_pct) {
+        if (wants_describe && opts.describe_targets_seeded) {
+          target = seeded_ids.empty()
+                       ? nullptr
+                       : &seeded_ids[rng.uniform(seeded_ids.size())];
+        } else {
+          target = pick_target();
+        }
+      }
+      if (roll < opts.mix.create_pct || target == nullptr) {
+        std::uint64_t n = cidr_counter.fetch_add(1, std::memory_order_relaxed);
+        return {"CreateVpc", {{"cidr_block", Value(cidr_for(n))}}, ""};
+      }
+      if (roll < opts.mix.create_pct + opts.mix.mutate_pct) {
+        return {"ModifyVpcDescription",
+                {{"id", *target}, {"value", Value(strf("w", w, "-op", k))}},
+                ""};
+      }
+      return {"DescribeVpc", {{"id", *target}}, ""};
+    };
+    auto account = [&](const ApiRequest& req, const ApiResponse& resp,
+                       Clock::time_point measured_from, Clock::time_point now) {
+      if (resp.ok) {
+        if (req.api == "CreateVpc" && resp.data.get("id") != nullptr) {
+          own_ids.push_back(*resp.data.get("id"));
+        }
+      } else {
+        ++out.errors;
+      }
+      ++out.ops;
+      out.latencies_us.push_back(
+          std::chrono::duration<double, std::micro>(now - measured_from).count());
+    };
+
+    // Pipelining only makes sense when a persistent connection carries a
+    // closed-loop stream; open loop keeps its own per-op schedule.
+    std::size_t depth = 1;
+    if (client != nullptr && opts.http_keep_alive && opts.arrival_rate <= 0 &&
+        opts.http_pipeline > 1) {
+      depth = static_cast<std::size_t>(opts.http_pipeline);
+    }
+
+    if (depth > 1) {
+      std::vector<ApiRequest> batch;
+      batch.reserve(depth);
+      for (;;) {
+        batch.clear();
+        while (batch.size() < depth) {
+          std::size_t k = next_op.fetch_add(1, std::memory_order_relaxed);
+          if (k >= opts.total_ops) break;
+          batch.push_back(make_req(k));
+        }
+        if (batch.empty()) break;
+        auto batch_start = Clock::now();
+        std::size_t sent = 0;
+        for (const auto& req : batch) {
+          if (!server::send_invoke(*client, req.api, req.args,
+                                   opts.http_keep_alive)) {
+            break;
+          }
+          ++sent;
+        }
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+          ApiResponse resp =
+              i < sent ? server::read_invoke_response(*client)
+                       : ApiResponse::failure("TransportError", "send failed");
+          account(batch[i], resp, batch_start, Clock::now());
+        }
+      }
+      return;
+    }
+
     for (;;) {
       std::size_t k = next_op.fetch_add(1, std::memory_order_relaxed);
       if (k >= opts.total_ops) break;
@@ -116,43 +198,10 @@ LoadStats run_load(CloudBackend& backend, const LoadOptions& opts) {
         measured_from = Clock::now();
       }
 
-      ApiRequest req;
-      int roll = static_cast<int>(rng.uniform(100));
-      const bool wants_describe =
-          roll >= opts.mix.create_pct + opts.mix.mutate_pct;
-      const Value* target = nullptr;
-      if (roll >= opts.mix.create_pct) {
-        if (wants_describe && opts.describe_targets_seeded) {
-          target = seeded_ids.empty()
-                       ? nullptr
-                       : &seeded_ids[rng.uniform(seeded_ids.size())];
-        } else {
-          target = pick_target();
-        }
-      }
-      if (roll < opts.mix.create_pct || target == nullptr) {
-        std::uint64_t n = cidr_counter.fetch_add(1, std::memory_order_relaxed);
-        req = {"CreateVpc", {{"cidr_block", Value(cidr_for(n))}}, ""};
-      } else if (roll < opts.mix.create_pct + opts.mix.mutate_pct) {
-        req = {"ModifyVpcDescription",
-               {{"id", *target}, {"value", Value(strf("w", w, "-op", k))}},
-               ""};
-      } else {
-        req = {"DescribeVpc", {{"id", *target}}, ""};
-      }
-
+      ApiRequest req = make_req(k);
       ApiResponse resp = invoke(req);
       auto now = Clock::now();
-      if (resp.ok) {
-        if (req.api == "CreateVpc" && resp.data.get("id") != nullptr) {
-          own_ids.push_back(*resp.data.get("id"));
-        }
-      } else {
-        ++out.errors;
-      }
-      ++out.ops;
-      out.latencies_us.push_back(
-          std::chrono::duration<double, std::micro>(now - measured_from).count());
+      account(req, resp, measured_from, now);
     }
   };
 

@@ -53,6 +53,14 @@ struct LoadOptions {
   /// fresh Connection: close socket per request. The difference is the
   /// keep-alive sweep in BENCH_serve.json.
   bool http_keep_alive = true;
+  /// HTTP closed-loop keep-alive only: requests kept in flight per
+  /// connection. Depth 1 is strict request/response ping-pong; deeper
+  /// windows pipeline a burst per batch, amortizing the per-request RTT so
+  /// wire CPU (not syscall latency) dominates — the regime the zero-copy
+  /// fast path is gated in. Latency is measured from the batch send, so
+  /// pipeline queueing is charged to the server. Ignored in open-loop and
+  /// Connection: close modes.
+  int http_pipeline = 1;
   /// Describes target only the prepopulated resources (mutates and their
   /// targets are unrestricted). Needed when reads are served under a
   /// bounded-staleness contract (the replica sweep): a replica within the

@@ -1,9 +1,18 @@
 #include "bench/serve_bench.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <string_view>
 
 #include "bench/loadgen.h"
 #include "common/strings.h"
@@ -73,6 +82,116 @@ std::string fmt_speedup(double s) {
               static_cast<long>(s * 100) % 10, "x");
 }
 
+std::string fixed_digits(double v, int prec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.*f", prec, v);
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Allocation probe: a raw-socket pipelined client whose steady-state loop
+// is allocation-free (pre-rendered burst, fixed receive buffer, in-place
+// frame scan), so the process-wide operator-new counter isolates the SERVE
+// path's allocations per request.
+
+int dial_loopback(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+/// Complete Content-Length-framed responses in buf[0..len), without
+/// allocating. Both serve paths emit the lowercase "content-length: " form.
+std::size_t count_frames(const char* data, std::size_t len) {
+  std::string_view sv(data, len);
+  std::size_t count = 0;
+  std::size_t pos = 0;
+  for (;;) {
+    std::size_t hdr_end = sv.find("\r\n\r\n", pos);
+    if (hdr_end == std::string_view::npos) return count;
+    std::size_t cl = sv.find("content-length: ", pos);
+    std::size_t body_len = 0;
+    if (cl != std::string_view::npos && cl < hdr_end) {
+      for (std::size_t i = cl + 16; i < hdr_end && data[i] >= '0' && data[i] <= '9';
+           ++i) {
+        body_len = body_len * 10 + static_cast<std::size_t>(data[i] - '0');
+      }
+    }
+    std::size_t next = hdr_end + 4 + body_len;
+    if (next > len) return count;
+    ++count;
+    pos = next;
+  }
+}
+
+/// Steady-state allocations per request over a keep-alive pipelined burst
+/// against `port`. Returns -1 when the probe could not run.
+double run_alloc_probe(std::uint16_t port, std::uint64_t (*counter)()) {
+  constexpr int kBurst = 32;
+  constexpr int kRounds = 16;
+  // A target to describe, created outside the measured window (describes
+  // are the steady state; creates grow the store by design).
+  auto created = server::invoke_over_http(
+      port, "CreateVpc", {{"cidr_block", Value("10.250.0.0/16")}});
+  if (!created.ok || created.data.get("id") == nullptr) return -1;
+  std::string body = strf("{\"Action\":\"DescribeVpc\",\"Params\":{\"id\":\"",
+                          created.data.get("id")->as_str(), "\"}}");
+  std::string one =
+      strf("POST /invoke HTTP/1.1\r\nhost: b\r\ncontent-length: ", body.size(),
+           "\r\nconnection: keep-alive\r\n\r\n", body);
+  std::string burst;
+  burst.reserve(one.size() * kBurst);
+  for (int i = 0; i < kBurst; ++i) burst += one;
+
+  int fd = dial_loopback(port);
+  if (fd < 0) return -1;
+  std::vector<char> buf(static_cast<std::size_t>(kBurst) * 8192);
+  auto round = [&]() -> bool {
+    std::size_t off = 0;
+    while (off < burst.size()) {
+      ssize_t n = ::send(fd, burst.data() + off, burst.size() - off, MSG_NOSIGNAL);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      off += static_cast<std::size_t>(n);
+    }
+    std::size_t got = 0;
+    while (count_frames(buf.data(), got) < kBurst) {
+      if (got == buf.size()) return false;
+      ssize_t n = ::read(fd, buf.data() + got, buf.size() - got);
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) return false;
+      got += static_cast<std::size_t>(n);
+    }
+    return true;
+  };
+  // Warm the connection's buffers, the parser capacity, the request arena
+  // and the interned-key table before counting.
+  if (!round() || !round()) {
+    ::close(fd);
+    return -1;
+  }
+  std::uint64_t before = counter();
+  for (int r = 0; r < kRounds; ++r) {
+    if (!round()) {
+      ::close(fd);
+      return -1;
+    }
+  }
+  std::uint64_t after = counter();
+  ::close(fd);
+  return static_cast<double>(after - before) / (kBurst * kRounds);
+}
+
 }  // namespace
 
 bool parse_serve_bench_args(int argc, char** argv, ServeBenchOptions& out) {
@@ -121,6 +240,12 @@ bool parse_serve_bench_args(int argc, char** argv, ServeBenchOptions& out) {
       out.io_threads = std::atoi(argv[++i]);
     } else if (arg == "--min-keepalive-speedup" && i + 1 < argc) {
       out.min_keepalive_speedup = std::atof(argv[++i]);
+    } else if (arg == "--http-pipeline" && i + 1 < argc) {
+      out.http_pipeline = std::atoi(argv[++i]);
+    } else if (arg == "--min-http-speedup" && i + 1 < argc) {
+      out.min_http_speedup = std::atof(argv[++i]);
+    } else if (arg == "--max-serve-allocs" && i + 1 < argc) {
+      out.max_serve_allocs = std::atof(argv[++i]);
     } else if (arg == "--no-replica-sweep") {
       out.replica_sweep = false;
     } else if (arg == "--replica-lag-max" && i + 1 < argc) {
@@ -133,8 +258,10 @@ bool parse_serve_bench_args(int argc, char** argv, ServeBenchOptions& out) {
                    "--concurrency a,b,c --rate R --seed N --min-speedup X "
                    "--no-enforce --data-dir DIR --wal-sync none|batch "
                    "--max-wal-overhead X --no-http --io-threads N "
-                   "--min-keepalive-speedup X --no-replica-sweep "
-                   "--replica-lag-max K --min-replica-speedup X\n";
+                   "--min-keepalive-speedup X --http-pipeline N "
+                   "--min-http-speedup X --max-serve-allocs N "
+                   "--no-replica-sweep --replica-lag-max K "
+                   "--min-replica-speedup X\n";
       return false;
     }
   }
@@ -289,6 +416,9 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   // request — then an open-loop latency run near the keep-alive peak.
   std::vector<SweepPoint> http_points;
   double ka_speedup = 0;
+  double http_speedup = 0;
+  double serve_allocs = -1;
+  double serve_allocs_heap = -1;
   double http_rate = 0;
   int http_io_threads = 0;
   if (opts.http_sweep) {
@@ -344,6 +474,68 @@ int run_serve_bench(const ServeBenchOptions& opts) {
                 << static_cast<long>(p.stats.max_us / 1000) << " ms\n";
       http_points.push_back(std::move(p));
     }
+
+    // Wire fast-path comparison: the same sharded stack served twice at a
+    // pipelined keep-alive point — once through the zero-copy wire path
+    // (`endpoint`, the default) and once through the --no-wire-fastpath
+    // heap path — so the ratio isolates wire CPU: request parsing, JSON
+    // decode, and response rendering (DESIGN.md "Wire fast path").
+    server::HttpServerOptions heap_hopts = hopts;
+    heap_hopts.wire_fastpath = false;
+    server::EmulatorEndpoint heap_endpoint(emulator.backend(),
+                                           bench_config(stack::SerializeMode::kOff),
+                                           nullptr, heap_hopts);
+    std::uint16_t heap_port = heap_endpoint.start();
+    if (heap_port == 0) {
+      std::cerr << "cannot bind the heap-path comparison endpoint\n";
+      return 1;
+    }
+    double fast_tput = 0, heap_tput = 0;
+    std::cout << "\nwire fast path vs heap path (pipeline depth "
+              << opts.http_pipeline << ", concurrency " << hc << "):\n";
+    for (bool fast : {false, true}) {
+      LoadOptions lo = base;
+      lo.concurrency = hc;
+      lo.http_port = fast ? port : heap_port;
+      lo.http_pipeline = opts.http_pipeline;
+      SweepPoint p;
+      p.config = fast ? "http_fastpath_pipelined" : "http_heap_pipelined";
+      p.concurrency = hc;
+      auto& ep = fast ? endpoint : heap_endpoint;
+      auto before = ep.server_stats();
+      p.stats = run_load(ep.stack(), lo);
+      auto after = ep.server_stats();
+      p.connections = static_cast<std::int64_t>(after.connections_accepted -
+                                                before.connections_accepted);
+      (fast ? fast_tput : heap_tput) = p.stats.throughput_ops_s;
+      std::cout << "  " << p.config << ": "
+                << static_cast<long>(p.stats.throughput_ops_s) << " ops/s, p99 "
+                << static_cast<long>(p.stats.p99_us) << " us, errors "
+                << p.stats.errors << "\n";
+      http_points.push_back(std::move(p));
+    }
+    http_speedup = heap_tput > 0 ? fast_tput / heap_tput : 0;
+
+    // Allocations per served request, fast path gated and heap path as the
+    // reference number. Counted, not timed — valid even on one core.
+    if (opts.alloc_counter != nullptr) {
+      serve_allocs = run_alloc_probe(port, opts.alloc_counter);
+      serve_allocs_heap = run_alloc_probe(heap_port, opts.alloc_counter);
+      std::cout << "  allocs/request over a pipelined keep-alive burst: fast ";
+      if (serve_allocs >= 0) {
+        std::cout << fixed_digits(serve_allocs, 1);
+      } else {
+        std::cout << "probe-failed";
+      }
+      std::cout << ", heap ";
+      if (serve_allocs_heap >= 0) {
+        std::cout << fixed_digits(serve_allocs_heap, 1);
+      } else {
+        std::cout << "probe-failed";
+      }
+      std::cout << "\n";
+    }
+    heap_endpoint.stop();
     endpoint.stop();
   }
 
@@ -438,13 +630,28 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   // meaningless, so the gate self-skips there.
   bool ka_applicable = opts.enforce && opts.http_sweep && !kSanitized && hw >= 2;
   bool ka_pass = !ka_applicable || ka_speedup >= opts.min_keepalive_speedup;
+  // The zero-copy fast path must beat the heap path at the pipelined
+  // point. Single-core runners serve the load generator and the event
+  // loop on the same core, so the ratio measures scheduling, not wire
+  // CPU — skipped there, like the other timed gates.
+  bool fastpath_applicable =
+      opts.enforce && opts.http_sweep && !kSanitized && hw >= 2;
+  bool fastpath_pass = !fastpath_applicable || http_speedup >= opts.min_http_speedup;
+  // Allocs/request is counted, not timed, so it holds on any core count —
+  // but it needs the binary's operator-new hook (compiled out under
+  // sanitizers, absent in `lce bench serve`).
+  bool alloc_applicable = opts.enforce && opts.http_sweep && !kSanitized &&
+                          opts.alloc_counter != nullptr && opts.max_serve_allocs > 0;
+  bool alloc_pass =
+      !alloc_applicable || (serve_allocs >= 0 && serve_allocs <= opts.max_serve_allocs);
   // Replica reads only beat the baseline when they can run in parallel
   // with primary writes — meaningless on one core or instrumented builds.
   bool replica_applicable =
       opts.enforce && opts.replica_sweep && !kSanitized && hw >= 2;
   bool replica_pass =
       !replica_applicable || replica_speedup >= opts.min_replica_speedup;
-  bool pass = speedup_pass && wal_pass && ka_pass && replica_pass;
+  bool pass = speedup_pass && wal_pass && ka_pass && fastpath_pass && alloc_pass &&
+              replica_pass;
   if (replica_applicable) {
     std::cout << "\nbest replicated >= " << fmt_speedup(opts.min_replica_speedup)
               << " of replica0: " << (replica_pass ? "PASS" : "FAIL") << " ("
@@ -460,6 +667,26 @@ int run_serve_bench(const ServeBenchOptions& opts) {
   } else if (opts.enforce && opts.http_sweep) {
     std::cout << "\nkeep-alive gate skipped ("
               << (kSanitized ? "sanitizer build" : "single-core machine") << ")\n";
+  }
+  if (fastpath_applicable) {
+    std::cout << "wire fast path >= " << fmt_speedup(opts.min_http_speedup)
+              << " heap path (pipelined): " << (fastpath_pass ? "PASS" : "FAIL")
+              << " (" << fmt_speedup(http_speedup) << ")\n";
+  } else if (opts.enforce && opts.http_sweep) {
+    std::cout << "wire fast-path gate skipped ("
+              << (kSanitized ? "sanitizer build" : "single-core machine") << ")\n";
+  }
+  if (alloc_applicable) {
+    std::cout << "serve allocs/request <= "
+              << fixed_digits(opts.max_serve_allocs, 1) << ": "
+              << (alloc_pass ? "PASS" : "FAIL") << " ("
+              << (serve_allocs >= 0 ? fixed_digits(serve_allocs, 1)
+                                    : std::string("probe failed"))
+              << ")\n";
+  } else if (opts.enforce && opts.http_sweep && opts.max_serve_allocs > 0) {
+    std::cout << "serve alloc gate skipped ("
+              << (kSanitized ? "sanitizer build" : "no allocation hook in this binary")
+              << ")\n";
   }
   if (gate_applicable) {
     std::cout << "\nsharded >= " << fmt_speedup(opts.min_speedup)
@@ -500,6 +727,18 @@ int run_serve_bench(const ServeBenchOptions& opts) {
     root["replica_lag_max"] =
         Value(static_cast<std::int64_t>(opts.replica_lag_max));
     root["keepalive_speedup"] = Value(fmt_speedup(ka_speedup));
+    root["http_speedup"] = Value(fmt_speedup(http_speedup));
+    root["http_pipeline"] = Value(static_cast<std::int64_t>(opts.http_pipeline));
+    // Allocation counts ride as x10 integers (Value is integer-only) —
+    // same convention as the interpreter bench's alloc_per_op_x10.
+    if (serve_allocs >= 0) {
+      root["serve_alloc_per_req_x10"] =
+          Value(static_cast<std::int64_t>(serve_allocs * 10 + 0.5));
+    }
+    if (serve_allocs_heap >= 0) {
+      root["serve_alloc_heap_per_req_x10"] =
+          Value(static_cast<std::int64_t>(serve_allocs_heap * 10 + 0.5));
+    }
     root["io_threads"] = Value(static_cast<std::int64_t>(http_io_threads));
     root["speedup_at_gate"] = Value(fmt_speedup(gate_speedup));
     root["wal_overhead"] = Value(fmt_speedup(gate_wal_overhead));
@@ -516,6 +755,16 @@ int run_serve_bench(const ServeBenchOptions& opts) {
     if (opts.enforce && opts.http_sweep && !ka_applicable) {
       gate_skips["keepalive"] = Value(
           std::string(kSanitized ? "sanitizer build" : "single-core machine"));
+    }
+    if (opts.enforce && opts.http_sweep && !fastpath_applicable) {
+      gate_skips["http_fastpath"] = Value(
+          std::string(kSanitized ? "sanitizer build" : "single-core machine"));
+    }
+    if (opts.enforce && opts.http_sweep && opts.max_serve_allocs > 0 &&
+        !alloc_applicable) {
+      gate_skips["serve_alloc"] =
+          Value(std::string(kSanitized ? "sanitizer build"
+                                       : "no allocation hook in this binary"));
     }
     if (opts.enforce && opts.replica_sweep && !replica_applicable) {
       gate_skips["replica"] = Value(

@@ -148,6 +148,13 @@ Value Value::empty_map() {
   return v;
 }
 
+Value Value::empty_list() {
+  Value v;
+  v.kind_ = ValueKind::kList;
+  v.pay_.l = nullptr;
+  return v;
+}
+
 void Value::copy_from(const Value& o) {
   kind_ = o.kind_;
   aux_ = o.aux_;

@@ -126,6 +126,8 @@ class Value {
   static Value null() { return Value(); }
   /// An empty map (distinct from null: renders as {} and accepts set()).
   static Value empty_map();
+  /// An empty list (distinct from null: renders as [] and accepts append()).
+  static Value empty_list();
 
   ValueKind kind() const { return kind_; }
   bool is_null() const { return kind_ == ValueKind::kNull; }

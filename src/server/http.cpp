@@ -11,6 +11,7 @@
 #include <array>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <unordered_map>
 
@@ -44,14 +45,18 @@ int status_for(ParseStatus st) {
   }
 }
 
-/// Parse one complete Content-Length-framed response out of the front of
-/// `buf`. Returns nullopt while incomplete; on success erases the consumed
-/// bytes. `malformed` is set when the bytes can never become a response.
-std::optional<HttpResponse> pop_http_response(std::string& buf, bool* malformed) {
+/// Parse one complete Content-Length-framed response out of `buf` starting
+/// at `pos`. Returns nullopt while incomplete; on success advances `pos`
+/// past the consumed bytes (the caller compacts the dead prefix when it
+/// grows large — a per-response front-erase is quadratic under deep
+/// pipelining). `malformed` is set when the bytes can never become a
+/// response.
+std::optional<HttpResponse> pop_http_response(const std::string& buf, std::size_t& pos,
+                                              bool* malformed) {
   *malformed = false;
-  std::size_t hdr_end = buf.find("\r\n\r\n");
+  std::size_t hdr_end = buf.find("\r\n\r\n", pos);
   if (hdr_end == std::string::npos) return std::nullopt;
-  auto lines = split(buf.substr(0, hdr_end), '\n');
+  auto lines = split(buf.substr(pos, hdr_end - pos), '\n');
   auto status_line = split_ws(trim(lines[0]));
   if (status_line.size() < 2 || !starts_with(status_line[0], "HTTP/1.")) {
     *malformed = true;
@@ -81,7 +86,7 @@ std::optional<HttpResponse> pop_http_response(std::string& buf, bool* malformed)
   }
   if (buf.size() < hdr_end + 4 + content_length) return std::nullopt;
   resp.body = buf.substr(hdr_end + 4, content_length);
-  buf.erase(0, hdr_end + 4 + content_length);
+  pos = hdr_end + 4 + content_length;
   return resp;
 }
 
@@ -115,7 +120,7 @@ std::optional<HttpRequest> parse_http_request(const std::string& raw) {
   return req;
 }
 
-std::string status_text(int status) {
+std::string_view status_text(int status) {
   switch (status) {
     case 200: return "OK";
     case 400: return "Bad Request";
@@ -143,6 +148,42 @@ std::string serialize_http_response(const HttpResponse& resp) {
   return serialize_http_response(resp, /*keep_alive=*/false);
 }
 
+void ResponseWriter::begin(int status, bool keep_alive, bool json_body) {
+  out_ += "HTTP/1.1 ";
+  char sbuf[16];
+  int sn = std::snprintf(sbuf, sizeof(sbuf), "%d", status);
+  out_.append(sbuf, static_cast<std::size_t>(sn));
+  out_ += ' ';
+  out_ += status_text(status);
+  out_ += "\r\n";
+  if (json_body) out_ += "content-type: application/json\r\n";
+  out_ += "content-length: ";
+  cl_pos_ = out_.size();
+  // Reserve at the predicted width (clamped to a plausible digit count);
+  // finish() fixes any misprediction by shifting only the short tail of
+  // the head plus the body.
+  reserved_ = hint_ < 1 ? 1 : hint_ > 19 ? 19 : hint_;
+  out_.append(static_cast<std::size_t>(reserved_), '0');
+  out_ += "\r\n";
+  out_ += keep_alive ? "connection: keep-alive\r\n\r\n" : "connection: close\r\n\r\n";
+  body_pos_ = out_.size();
+}
+
+void ResponseWriter::finish() {
+  std::size_t body_len = out_.size() - body_pos_;
+  char dbuf[24];
+  int digits = std::snprintf(dbuf, sizeof(dbuf), "%zu", body_len);
+  // Backpatch with minimal digits — the wire bytes must match
+  // serialize_http_response exactly, padding included (i.e. none).
+  if (digits > reserved_) {
+    out_.insert(cl_pos_, static_cast<std::size_t>(digits - reserved_), '0');
+  } else if (digits < reserved_) {
+    out_.erase(cl_pos_, static_cast<std::size_t>(reserved_ - digits));
+  }
+  std::memcpy(&out_[cl_pos_], dbuf, static_cast<std::size_t>(digits));
+  hint_ = digits;
+}
+
 // ---------------------------------------------------------------------------
 // Event-loop server
 
@@ -151,9 +192,15 @@ namespace {
 /// Per-connection state machine: the parser accumulates fragments, `out`
 /// holds response bytes the kernel has not yet accepted, and `deadline`
 /// implements the reap policy (refreshed only when a request completes).
+/// `out` drains by cursor (`out_pos`) instead of front-erase, so a
+/// pipelined burst renders every response into one contiguous buffer and
+/// corks them into a single write.
 struct ConnState {
   HttpParser parser;
   std::string out;
+  std::size_t out_pos = 0;  // bytes before this are already sent
+  RequestView view;         // reused across requests (warm header capacity)
+  int cl_hint = 3;          // predicted Content-Length digit width
   Clock::time_point deadline;
   std::uint64_t requests = 0;
   bool close_after_flush = false;
@@ -161,6 +208,8 @@ struct ConnState {
   std::uint32_t armed = 0;  // epoll event mask currently registered
 
   explicit ConnState(ParserLimits limits) : parser(limits) {}
+
+  std::size_t pending() const { return out.size() - out_pos; }
 };
 
 }  // namespace
@@ -278,6 +327,7 @@ HttpServerStats HttpServer::stats() const {
   s.rejected_400 = rej400_.load(std::memory_order_relaxed);
   s.rejected_413 = rej413_.load(std::memory_order_relaxed);
   s.rejected_431 = rej431_.load(std::memory_order_relaxed);
+  s.write_calls = writes_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -336,17 +386,32 @@ void HttpServer::accept_new(Loop& loop) {
 namespace {
 
 /// Flush as much of conn.out as the kernel will take without blocking.
-/// Returns false when the connection is dead (write error).
-bool flush_some(int fd, ConnState& conn) {
-  while (!conn.out.empty()) {
-    ssize_t n = ::send(fd, conn.out.data(), conn.out.size(), MSG_NOSIGNAL);
+/// Returns false when the connection is dead (write error). Drains by
+/// cursor; the buffer is recycled whole once empty (keeping its capacity)
+/// and compacted only when a slow reader leaves a large dead prefix.
+bool flush_some(int fd, ConnState& conn, std::atomic<std::uint64_t>& writes) {
+  while (conn.pending() > 0) {
+    // Count the write BEFORE the syscall (rolled back when it moves no
+    // bytes): a peer that has read the response must observe the counter
+    // already bumped, so tests can assert on write_calls the moment the
+    // bytes arrive instead of racing the event loop.
+    writes.fetch_add(1, std::memory_order_relaxed);
+    ssize_t n = ::send(fd, conn.out.data() + conn.out_pos, conn.pending(), MSG_NOSIGNAL);
     if (n > 0) {
-      conn.out.erase(0, static_cast<std::size_t>(n));
+      conn.out_pos += static_cast<std::size_t>(n);
       continue;
     }
+    writes.fetch_sub(1, std::memory_order_relaxed);
     if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
     return false;
+  }
+  if (conn.pending() == 0) {
+    conn.out.clear();
+    conn.out_pos = 0;
+  } else if (conn.out_pos > 64 * 1024) {
+    conn.out.erase(0, conn.out_pos);
+    conn.out_pos = 0;
   }
   return true;
 }
@@ -400,21 +465,33 @@ void HttpServer::handle_conn_event(Loop& loop, int fd, std::uint32_t ev) {
       }
 
       // Drain every complete pipelined request before reading again, so
-      // response order matches arrival order on the connection.
+      // response order matches arrival order on the connection. The whole
+      // burst renders into conn.out back to back and flushes as one write
+      // below (corking). Views borrowed from the parser stay valid through
+      // the handler call because nothing feeds the parser until this loop
+      // finishes.
+      bool wire = wire_handler_ != nullptr && opts_.wire_fastpath;
       for (;;) {
         HttpRequest req;
-        ParseStatus st = conn.parser.next(req);
+        ParseStatus st =
+            wire ? conn.parser.next_view(conn.view) : conn.parser.next(req);
         if (st == ParseStatus::kNeedMore) break;
         if (st == ParseStatus::kRequest) {
           ++conn.requests;
           served_.fetch_add(1, std::memory_order_relaxed);
           if (conn.requests > 1) reused_.fetch_add(1, std::memory_order_relaxed);
-          bool keep = wants_keep_alive(req) && running_.load(std::memory_order_acquire);
+          bool keep = (wire ? wants_keep_alive(conn.view) : wants_keep_alive(req)) &&
+                      running_.load(std::memory_order_acquire);
           if (opts_.max_requests_per_conn > 0 &&
               conn.requests >= static_cast<std::uint64_t>(opts_.max_requests_per_conn)) {
             keep = false;
           }
-          conn.out += serialize_http_response(handler_(req), keep);
+          if (wire) {
+            ResponseWriter writer(conn.out, conn.cl_hint);
+            wire_handler_(conn.view, keep, writer);
+          } else {
+            conn.out += serialize_http_response(handler_(req), keep);
+          }
           if (opts_.idle_timeout_ms > 0) {
             conn.deadline =
                 Clock::now() + std::chrono::milliseconds(opts_.idle_timeout_ms);
@@ -429,8 +506,15 @@ void HttpServer::handle_conn_event(Loop& loop, int fd, std::uint32_t ev) {
            : status == 413 ? rej413_
                            : rej400_)
               .fetch_add(1, std::memory_order_relaxed);
-          conn.out += serialize_http_response(
-              HttpResponse{status, {}, "malformed request"}, /*keep_alive=*/false);
+          if (wire) {
+            ResponseWriter writer(conn.out, conn.cl_hint);
+            writer.begin(status, /*keep_alive=*/false, /*json_body=*/false);
+            writer.body() += "malformed request";
+            writer.finish();
+          } else {
+            conn.out += serialize_http_response(
+                HttpResponse{status, {}, "malformed request"}, /*keep_alive=*/false);
+          }
           conn.close_after_flush = true;
           break;
         }
@@ -441,27 +525,34 @@ void HttpServer::handle_conn_event(Loop& loop, int fd, std::uint32_t ev) {
 
   if (peer_closed) {
     conn.rd_done = true;
-    if (conn.parser.buffered() > 0 && conn.out.empty()) {
+    if (conn.parser.buffered() > 0 && conn.pending() == 0) {
       // The peer half-closed mid-request; it can still read the verdict.
       rej400_.fetch_add(1, std::memory_order_relaxed);
-      conn.out += serialize_http_response(HttpResponse{400, {}, "truncated request"},
-                                          /*keep_alive=*/false);
+      if (wire_handler_ != nullptr && opts_.wire_fastpath) {
+        ResponseWriter writer(conn.out, conn.cl_hint);
+        writer.begin(400, /*keep_alive=*/false, /*json_body=*/false);
+        writer.body() += "truncated request";
+        writer.finish();
+      } else {
+        conn.out += serialize_http_response(HttpResponse{400, {}, "truncated request"},
+                                            /*keep_alive=*/false);
+      }
     }
     conn.close_after_flush = true;
   }
 
-  if (!flush_some(fd, conn)) {
+  if (!flush_some(fd, conn, writes_)) {
     close_conn();
     return;
   }
-  if (conn.out.empty() && conn.close_after_flush) {
+  if (conn.pending() == 0 && conn.close_after_flush) {
     close_conn();
     return;
   }
   // Re-arm: EPOLLOUT only while a write is pending; drop EPOLLIN once the
   // peer sent FIN (a half-closed socket is permanently read-ready and
   // would otherwise spin the level-triggered loop).
-  std::uint32_t want = (conn.out.empty() ? 0u : static_cast<std::uint32_t>(EPOLLOUT)) |
+  std::uint32_t want = (conn.pending() == 0 ? 0u : static_cast<std::uint32_t>(EPOLLOUT)) |
                        (conn.rd_done ? 0u : static_cast<std::uint32_t>(EPOLLIN));
   if (want != conn.armed) {
     conn.armed = want;
@@ -505,6 +596,58 @@ void HttpClient::disconnect() {
     ::close(fd_);
     fd_ = -1;
   }
+  inbuf_.clear();
+  inpos_ = 0;
+}
+
+bool HttpClient::send_request(const std::string& method, const std::string& path,
+                              const std::string& body, bool keep_alive) {
+  if (!ensure_connected()) return false;
+  std::string req = strf(method, " ", path, " HTTP/1.1\r\nhost: 127.0.0.1\r\n",
+                         "content-type: application/json\r\n",
+                         "content-length: ", body.size(), "\r\nconnection: ",
+                         keep_alive ? "keep-alive" : "close", "\r\n\r\n", body);
+  if (!send_all(fd_, req)) {
+    disconnect();
+    return false;
+  }
+  return true;
+}
+
+std::optional<HttpResponse> HttpClient::read_response_internal(bool* got_bytes) {
+  if (fd_ < 0) return std::nullopt;
+  for (;;) {
+    bool malformed = false;
+    auto resp = pop_http_response(inbuf_, inpos_, &malformed);
+    if (resp) {
+      // Compact once the dead prefix dominates — amortized O(1) per
+      // response even at high pipelining depth.
+      if (inpos_ == inbuf_.size()) {
+        inbuf_.clear();
+        inpos_ = 0;
+      } else if (inpos_ > 64 * 1024 && inpos_ > inbuf_.size() / 2) {
+        inbuf_.erase(0, inpos_);
+        inpos_ = 0;
+      }
+      return resp;
+    }
+    if (malformed) return std::nullopt;
+    char chunk[4096];
+    ssize_t n = ::read(fd_, chunk, sizeof(chunk));
+    if (n > 0) {
+      if (got_bytes != nullptr) *got_bytes = true;
+      inbuf_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return std::nullopt;  // EOF or error
+  }
+}
+
+std::optional<HttpResponse> HttpClient::read_response() {
+  auto resp = read_response_internal(nullptr);
+  if (!resp) disconnect();
+  return resp;
 }
 
 std::optional<HttpResponse> HttpClient::request(const std::string& method,
@@ -518,32 +661,12 @@ std::optional<HttpResponse> HttpClient::request(const std::string& method,
   for (int attempt = 0; attempt < 2; ++attempt) {
     bool fresh = fd_ < 0;
     if (!ensure_connected()) return std::nullopt;
-    std::string req = strf(method, " ", path, " HTTP/1.1\r\nhost: 127.0.0.1\r\n",
-                           "content-type: application/json\r\n",
-                           "content-length: ", body.size(), "\r\nconnection: ",
-                           keep_alive ? "keep-alive" : "close", "\r\n\r\n", body);
-    if (!send_all(fd_, req)) {
-      disconnect();
+    if (!send_request(method, path, body, keep_alive)) {
       if (fresh) return std::nullopt;
       continue;
     }
-    std::string buf;
     bool got_bytes = false;
-    std::optional<HttpResponse> resp;
-    for (;;) {
-      bool malformed = false;
-      resp = pop_http_response(buf, &malformed);
-      if (resp || malformed) break;
-      char chunk[4096];
-      ssize_t n = ::read(fd_, chunk, sizeof(chunk));
-      if (n > 0) {
-        got_bytes = true;
-        buf.append(chunk, static_cast<std::size_t>(n));
-        continue;
-      }
-      if (n < 0 && errno == EINTR) continue;
-      break;  // EOF or error
-    }
+    auto resp = read_response_internal(&got_bytes);
     if (!resp) {
       disconnect();
       if (!fresh && !got_bytes) continue;  // stale keep-alive connection

@@ -34,6 +34,59 @@ struct HttpResponse {
   std::string body;
 };
 
+/// Borrowed view of one parsed request: method/path/header/body views point
+/// into the connection parser's input buffer and stay valid only until the
+/// parser's next feed()/reset() (DESIGN.md "Wire fast path"). Header names
+/// are lower-cased (in place in the buffer); pairs keep arrival order. The
+/// vector is the only owning member, so a reused RequestView parses with
+/// zero allocations once its capacity has warmed up.
+struct RequestView {
+  std::string_view method;
+  std::string_view path;
+  std::string_view body;
+  std::vector<std::pair<std::string_view, std::string_view>> headers;
+  int version_minor = 1;
+
+  /// Last occurrence wins, matching the historical map's duplicate-header
+  /// overwrite; nullptr when absent (distinct from present-but-empty).
+  const std::string_view* find_header(std::string_view name) const {
+    const std::string_view* found = nullptr;
+    for (const auto& [k, v] : headers) {
+      if (k == name) found = &v;
+    }
+    return found;
+  }
+};
+
+/// Renders one response directly into a connection's reusable output
+/// buffer: head in place, body appended behind it, Content-Length
+/// backpatched to minimal digits in finish(). The digit field is reserved
+/// at the connection's predicted width (`cl_width_hint`, fed back after
+/// every response), so a steady stream of similar-sized responses patches
+/// the digits in place without moving a single byte. Byte-identical to
+/// serialize_http_response for the header sets the service emits (none, or
+/// exactly content-type: application/json) — pinned by the differential
+/// suite.
+class ResponseWriter {
+ public:
+  ResponseWriter(std::string& out, int& cl_width_hint)
+      : out_(out), hint_(cl_width_hint) {}
+
+  /// Emit the head. `json_body` adds the content-type header. Call once,
+  /// then append the body to body(), then finish().
+  void begin(int status, bool keep_alive, bool json_body);
+  /// The buffer to append body bytes to; valid between begin() and finish().
+  std::string& body() { return out_; }
+  void finish();
+
+ private:
+  std::string& out_;
+  int& hint_;
+  std::size_t cl_pos_ = 0;   // offset of the first Content-Length digit
+  std::size_t body_pos_ = 0; // offset of the first body byte
+  int reserved_ = 0;         // digits reserved at begin()
+};
+
 /// Parse a full HTTP/1.1 request out of `raw` (headers + body). Returns
 /// nullopt on malformed input or when the body is shorter than
 /// Content-Length (callers accumulate and retry). One-shot convenience
@@ -48,9 +101,16 @@ std::string serialize_http_response(const HttpResponse& resp, bool keep_alive);
 std::string serialize_http_response(const HttpResponse& resp);
 
 /// Reason phrase for the handful of statuses the service uses.
-std::string status_text(int status);
+std::string_view status_text(int status);
 
 using HttpHandler = std::function<HttpResponse(const HttpRequest&)>;
+
+/// Zero-copy handler form: reads the borrowed request, renders the
+/// response through the writer (begin/body/finish). `keep_alive` is the
+/// server's verdict (client wish ∩ server policy) and must be passed to
+/// ResponseWriter::begin unchanged.
+using WireHandler = std::function<void(const RequestView&, bool keep_alive,
+                                       ResponseWriter&)>;
 
 struct HttpServerOptions {
   /// Event-loop threads; 0 = one per core, capped at 8.
@@ -66,6 +126,11 @@ struct HttpServerOptions {
   /// Parser limits: oversized headers draw 431, oversized bodies 413.
   std::size_t max_header_bytes = 64 * 1024;
   std::size_t max_body_bytes = 16 * 1024 * 1024;
+  /// Serve through the zero-copy wire path (borrowed request views, arena
+  /// JSON decode, single-buffer rendering) when the service installed a
+  /// wire handler. Off (`--no-wire-fastpath`) falls back to the heap
+  /// HttpRequest/HttpResponse path — the byte-identical reference.
+  bool wire_fastpath = true;
 };
 
 /// Monotonic counters for the life of the server (across start/stop
@@ -80,6 +145,11 @@ struct HttpServerStats {
   std::uint64_t rejected_400 = 0;
   std::uint64_t rejected_413 = 0;
   std::uint64_t rejected_431 = 0;
+  /// Successful write() syscalls. A pipelined burst that corks N responses
+  /// into one flush counts 1 here (what the corking tests assert). Not
+  /// exported via /metrics: kernel read chunking makes it nondeterministic
+  /// across runs.
+  std::uint64_t write_calls = 0;
 };
 
 /// Loopback HTTP server. start() binds 127.0.0.1 (port 0 = ephemeral),
@@ -93,6 +163,11 @@ class HttpServer {
 
   HttpServer(const HttpServer&) = delete;
   HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Install the zero-copy handler; served instead of the HttpHandler when
+  /// opts.wire_fastpath holds. Call before start() — the event loops read
+  /// it unsynchronized.
+  void set_wire_handler(WireHandler handler) { wire_handler_ = std::move(handler); }
 
   /// Returns the bound port, or 0 on failure.
   std::uint16_t start(std::uint16_t port = 0);
@@ -111,6 +186,7 @@ class HttpServer {
   void reap_idle(Loop& loop);
 
   HttpHandler handler_;
+  WireHandler wire_handler_;
   HttpServerOptions opts_;
   int listen_fd_ = -1;
   std::uint16_t port_ = 0;
@@ -125,6 +201,7 @@ class HttpServer {
   std::atomic<std::uint64_t> rej400_{0};
   std::atomic<std::uint64_t> rej413_{0};
   std::atomic<std::uint64_t> rej431_{0};
+  std::atomic<std::uint64_t> writes_{0};
 };
 
 /// Client side of keep-alive: one persistent loopback connection, one
@@ -145,6 +222,19 @@ class HttpClient {
                                       const std::string& body = "",
                                       bool keep_alive = true);
 
+  /// Pipelining split of request(): queue a request without waiting, then
+  /// collect responses in order with read_response(). No transparent
+  /// retry — a pipelined caller owns the failure handling (the load
+  /// generator re-dials). Mixing with request() is fine as long as every
+  /// sent request has been read back first.
+  bool send_request(const std::string& method, const std::string& path,
+                    const std::string& body = "", bool keep_alive = true);
+  std::optional<HttpResponse> read_response();
+
+  /// Dial now instead of lazily on the first request, so connection setup
+  /// happens outside a measured phase. No-op when already connected.
+  bool preconnect() { return ensure_connected(); }
+
   void disconnect();
   bool connected() const { return fd_ >= 0; }
   /// TCP connections dialed over this client's lifetime (1 = full reuse).
@@ -152,10 +242,16 @@ class HttpClient {
 
  private:
   bool ensure_connected();
+  std::optional<HttpResponse> read_response_internal(bool* got_bytes);
 
   std::uint16_t port_;
   int fd_ = -1;
   int opens_ = 0;
+  /// Receive buffer: responses are consumed by advancing `inpos_` and the
+  /// dead prefix is compacted periodically — front-erasing per response is
+  /// quadratic at high pipelining depth.
+  std::string inbuf_;
+  std::size_t inpos_ = 0;
 };
 
 /// Blocking HTTP client for tests/examples: one request over a fresh

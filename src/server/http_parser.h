@@ -3,15 +3,25 @@
 // a header split mid-name, a body trickling one byte at a time, or three
 // pipelined requests in one read — and the parser carries state across
 // feed() calls so the event loop never blocks waiting for a complete
-// request. next() pops one request at a time, which is what makes
-// pipelining work: the connection keeps calling next() until the buffer
-// runs dry.
+// request. next_view() pops one request at a time, which is what makes
+// pipelining work: the connection keeps calling it until the buffer runs
+// dry.
+//
+// Zero-copy contract (DESIGN.md "Wire fast path"): next_view() emits a
+// `RequestView` that BORROWS the parser's input buffer — method, path,
+// header names/values, and body are string_views into bytes the socket
+// already delivered; nothing is copied out. Consumed bytes are tracked by
+// an offset and reclaimed lazily: feed() compacts the buffer, so every
+// outstanding view is invalidated by the next feed() (or reset()). The
+// event loop honors this by fully handling each request before reading
+// again. next() is the materializing wrapper (owning HttpRequest) for
+// one-shot callers and tests.
 //
 // Framing is Content-Length only (Transfer-Encoding is rejected — the
 // emulator protocol never chunks). Both CRLF and bare-LF line endings are
-// accepted; header names are lower-cased. Limits are enforced while
-// parsing, so a connection spraying unbounded header bytes is rejected
-// after `max_header_bytes`, not buffered forever.
+// accepted; header names are lower-cased in place in the buffer. Limits
+// are enforced while parsing, so a connection spraying unbounded header
+// bytes is rejected after `max_header_bytes`, not buffered forever.
 #pragma once
 
 #include <cstddef>
@@ -40,25 +50,35 @@ class HttpParser {
   HttpParser() = default;
   explicit HttpParser(ParserLimits limits) : limits_(limits) {}
 
-  /// Append raw bytes from the socket. Cheap; all parsing happens in next().
+  /// Append raw bytes from the socket. Cheap; all parsing happens in
+  /// next_view(). Compacts the already-consumed prefix, INVALIDATING any
+  /// RequestView handed out earlier.
   void feed(std::string_view bytes);
 
-  /// Pop the next complete request into `out`. Error statuses are sticky:
-  /// once a connection has produced garbage its remaining bytes cannot be
-  /// trusted, so the caller responds and closes. reset() re-arms the
-  /// parser for a fresh connection.
+  /// Pop the next complete request as borrowed views into the parser's
+  /// buffer (valid until the next feed()/reset()). Error statuses are
+  /// sticky: once a connection has produced garbage its remaining bytes
+  /// cannot be trusted, so the caller responds and closes. reset()
+  /// re-arms the parser for a fresh connection.
+  ParseStatus next_view(RequestView& out);
+
+  /// Materializing wrapper over next_view(): same acceptance and statuses,
+  /// copies into an owning HttpRequest (duplicate headers keep the last
+  /// occurrence, matching the historical map behavior).
   ParseStatus next(HttpRequest& out);
 
   void reset();
 
   /// Bytes buffered but not yet consumed by a completed request — nonzero
   /// at peer close means the final request was truncated.
-  std::size_t buffered() const { return buf_.size(); }
+  std::size_t buffered() const { return buf_.size() - base_; }
 
  private:
   ParseStatus fail(ParseStatus status);
+  bool next_line(std::size_t& pos, std::string_view& line);
 
   std::string buf_;
+  std::size_t base_ = 0;  // bytes before base_ are consumed, reclaimed by feed()
   ParserLimits limits_;
   ParseStatus error_ = ParseStatus::kNeedMore;  // sticky once != kNeedMore
 };
@@ -67,5 +87,6 @@ class HttpParser {
 /// "Connection: keep-alive" always holds, otherwise HTTP/1.1 defaults to
 /// keep-alive and HTTP/1.0 to close.
 bool wants_keep_alive(const HttpRequest& req);
+bool wants_keep_alive(const RequestView& req);
 
 }  // namespace lce::server

@@ -12,9 +12,16 @@ std::string JsonError::to_text() const {
 
 namespace {
 
+// One scanner, two build modes. `direct` constructs the tree in place via
+// Value::set/append with interned keys (arena-backed while an ArenaScope is
+// active); the reference mode goes through the historical Value::Map /
+// Value::List builders. Both modes share every branch of the scanner so
+// acceptance, error offsets, and error messages cannot diverge — the
+// WireFastpathJson suite differences them anyway.
 class Parser {
  public:
-  Parser(const std::string& text, JsonError* error) : text_(text), error_(error) {}
+  Parser(std::string_view text, JsonError* error, bool direct)
+      : text_(text), error_(error), direct_(direct) {}
 
   std::optional<Value> run() {
     auto v = value();
@@ -57,28 +64,54 @@ class Parser {
     return false;
   }
 
-  std::optional<std::string> string_body() {
-    // Caller consumed the opening quote.
-    std::string out;
+  // Scans a string body (caller consumed the opening quote) and leaves the
+  // decoded bytes in `out`. Escape-free strings borrow straight from the
+  // input; anything with an escape is decoded into `scratch_`, which stays
+  // valid only until the next string_body call — callers must consume the
+  // view (intern it / wrap it in a Value) before parsing further.
+  bool string_body(std::string_view& out) {
+    std::size_t start = pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '"') {
+        out = text_.substr(start, pos_ - start);
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') return string_body_escaped(start, out);
+      ++pos_;
+    }
+    pos_ = text_.size();
+    fail("unterminated string");
+    return false;
+  }
+
+  // Slow path once the first backslash is seen: replay the escape-free
+  // prefix into scratch_ and decode the rest byte by byte.
+  bool string_body_escaped(std::size_t start, std::string_view& out) {
+    scratch_.assign(text_.substr(start, pos_ - start));
     while (pos_ < text_.size()) {
       char c = text_[pos_++];
-      if (c == '"') return out;
+      if (c == '"') {
+        out = scratch_;
+        return true;
+      }
       if (c == '\\') {
         if (pos_ >= text_.size()) break;
         char e = text_[pos_++];
         switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case '/': out += '/'; break;
-          case 'n': out += '\n'; break;
-          case 't': out += '\t'; break;
-          case 'r': out += '\r'; break;
-          case 'b': out += '\b'; break;
-          case 'f': out += '\f'; break;
+          case '"': scratch_ += '"'; break;
+          case '\\': scratch_ += '\\'; break;
+          case '/': scratch_ += '/'; break;
+          case 'n': scratch_ += '\n'; break;
+          case 't': scratch_ += '\t'; break;
+          case 'r': scratch_ += '\r'; break;
+          case 'b': scratch_ += '\b'; break;
+          case 'f': scratch_ += '\f'; break;
           case 'u': {
             if (pos_ + 4 > text_.size()) {
               fail("truncated \\u escape");
-              return std::nullopt;
+              return false;
             }
             unsigned code = 0;
             for (int i = 0; i < 4; ++i) {
@@ -89,32 +122,33 @@ class Parser {
               else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
               else {
                 fail("bad \\u escape");
-                return std::nullopt;
+                return false;
               }
             }
             // Basic-plane UTF-8 encoding (surrogates unsupported).
             if (code < 0x80) {
-              out += static_cast<char>(code);
+              scratch_ += static_cast<char>(code);
             } else if (code < 0x800) {
-              out += static_cast<char>(0xC0 | (code >> 6));
-              out += static_cast<char>(0x80 | (code & 0x3F));
+              scratch_ += static_cast<char>(0xC0 | (code >> 6));
+              scratch_ += static_cast<char>(0x80 | (code & 0x3F));
             } else {
-              out += static_cast<char>(0xE0 | (code >> 12));
-              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
-              out += static_cast<char>(0x80 | (code & 0x3F));
+              scratch_ += static_cast<char>(0xE0 | (code >> 12));
+              scratch_ += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              scratch_ += static_cast<char>(0x80 | (code & 0x3F));
             }
             break;
           }
           default:
             fail(strf("unknown escape '\\", e, "'"));
-            return std::nullopt;
+            return false;
         }
       } else {
-        out += c;
+        scratch_ += c;
       }
     }
+    pos_ = text_.size();
     fail("unterminated string");
-    return std::nullopt;
+    return false;
   }
 
   std::optional<Value> value() {
@@ -126,50 +160,72 @@ class Parser {
     char c = text_[pos_];
     if (c == '{') {
       ++pos_;
+      // Duplicate keys: last one wins in both modes (std::map assignment
+      // vs Value::set overwrite).
+      Value direct = Value::empty_map();
       Value::Map map;
       skip_ws();
-      if (consume('}')) return Value(std::move(map));
+      if (consume('}')) return direct_ ? std::move(direct) : Value(std::move(map));
       while (true) {
         skip_ws();
         if (!consume('"')) {
           fail("expected object key");
           return std::nullopt;
         }
-        auto key = string_body();
-        if (!key) return std::nullopt;
+        std::string_view key_view;
+        if (!string_body(key_view)) return std::nullopt;
+        // Pin the key before the value parse reuses scratch_. The direct
+        // mode interns it (the heap builder interns the same spelling when
+        // Value(Map) converts, so the table sees identical traffic).
+        KeyId key_id = kNoKey;
+        std::string key;
+        if (direct_) {
+          key_id = intern_key(key_view);
+        } else {
+          key.assign(key_view);
+        }
         if (!consume(':')) {
           fail("expected ':'");
           return std::nullopt;
         }
         auto v = value();
         if (!v) return std::nullopt;
-        map[std::move(*key)] = std::move(*v);
+        if (direct_) {
+          direct.set(key_id, std::move(*v));
+        } else {
+          map[std::move(key)] = std::move(*v);
+        }
         if (consume(',')) continue;
-        if (consume('}')) return Value(std::move(map));
+        if (consume('}')) return direct_ ? std::move(direct) : Value(std::move(map));
         fail("expected ',' or '}'");
         return std::nullopt;
       }
     }
     if (c == '[') {
       ++pos_;
+      Value direct = Value::empty_list();
       Value::List list;
       skip_ws();
-      if (consume(']')) return Value(std::move(list));
+      if (consume(']')) return direct_ ? std::move(direct) : Value(std::move(list));
       while (true) {
         auto v = value();
         if (!v) return std::nullopt;
-        list.push_back(std::move(*v));
+        if (direct_) {
+          direct.append(std::move(*v));
+        } else {
+          list.push_back(std::move(*v));
+        }
         if (consume(',')) continue;
-        if (consume(']')) return Value(std::move(list));
+        if (consume(']')) return direct_ ? std::move(direct) : Value(std::move(list));
         fail("expected ',' or ']'");
         return std::nullopt;
       }
     }
     if (c == '"') {
       ++pos_;
-      auto s = string_body();
-      if (!s) return std::nullopt;
-      return Value(std::move(*s));
+      std::string_view s;
+      if (!string_body(s)) return std::nullopt;
+      return Value(s);
     }
     if (literal("true")) return Value(true);
     if (literal("false")) return Value(false);
@@ -186,7 +242,7 @@ class Parser {
         return std::nullopt;
       }
       std::int64_t n = 0;
-      if (!parse_int(std::string_view(text_).substr(start, pos_ - start), n)) {
+      if (!parse_int(text_.substr(start, pos_ - start), n)) {
         fail("bad number");
         return std::nullopt;
       }
@@ -196,9 +252,11 @@ class Parser {
     return std::nullopt;
   }
 
-  const std::string& text_;
+  std::string_view text_;
   JsonError* error_;
   std::size_t pos_ = 0;
+  bool direct_;
+  std::string scratch_;  // decoded bytes of the last escaped string
 };
 
 void append_json_string(std::string& out, std::string_view s) {
@@ -259,8 +317,12 @@ void serialize(const Value& v, std::string& out) {
 
 }  // namespace
 
-std::optional<Value> parse_json(const std::string& text, JsonError* error) {
-  return Parser(text, error).run();
+std::optional<Value> parse_json(std::string_view text, JsonError* error) {
+  return Parser(text, error, /*direct=*/true).run();
+}
+
+std::optional<Value> parse_json_reference(std::string_view text, JsonError* error) {
+  return Parser(text, error, /*direct=*/false).run();
 }
 
 std::string to_json(const Value& v) {
@@ -268,5 +330,7 @@ std::string to_json(const Value& v) {
   serialize(v, out);
   return out;
 }
+
+void append_json(const Value& v, std::string& out) { serialize(v, out); }
 
 }  // namespace lce::server

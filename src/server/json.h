@@ -2,10 +2,25 @@
 // into `Value` and serialize back. Resource references serialize as plain
 // strings (the way real cloud APIs put ids on the wire); the service layer
 // re-tags strings shaped like resource ids (see service.h).
+//
+// Two decoders share one scanner (identical acceptance, error offsets and
+// messages — pinned by the WireFastpathJson differential suite):
+//
+//   parse_json            builds the tree directly via Value::set/append
+//                         with KeyTable-interned object keys. While an
+//                         ArenaScope is active every rep block comes from
+//                         the request arena, so steady-state decode does
+//                         zero heap allocations (DESIGN.md "Wire fast
+//                         path"). This is the serving path.
+//   parse_json_reference  the historical builder path (Value::Map /
+//                         Value::List, std::string keys) — the oracle the
+//                         fast decoder is differenced against, and the
+//                         decoder behind --no-wire-fastpath.
 #pragma once
 
 #include <optional>
 #include <string>
+#include <string_view>
 
 #include "common/value.h"
 
@@ -20,10 +35,20 @@ struct JsonError {
 
 /// Parse one JSON document (object/array/scalar). Supports the full JSON
 /// grammar except non-integer numbers, which are rejected (the cloud API
-/// surface is integer-only).
-std::optional<Value> parse_json(const std::string& text, JsonError* error = nullptr);
+/// surface is integer-only). Arena-aware: see the header comment.
+std::optional<Value> parse_json(std::string_view text, JsonError* error = nullptr);
+
+/// The historical builder-based decoder; byte-identical semantics to
+/// parse_json, always heap-owning construction forms.
+std::optional<Value> parse_json_reference(std::string_view text,
+                                          JsonError* error = nullptr);
 
 /// Serialize a Value as compact JSON. Refs become plain strings.
 std::string to_json(const Value& v);
+
+/// Same rendering appended to `out` — the single-buffer response path
+/// threads one reusable buffer through head and body instead of a
+/// temporary string per response.
+void append_json(const Value& v, std::string& out);
 
 }  // namespace lce::server

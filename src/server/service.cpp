@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "common/arena.h"
 #include "common/strings.h"
 #include "interp/timers.h"
 #include "persist/journal.h"
@@ -15,88 +16,104 @@ namespace lce::server {
 
 namespace {
 
-HttpResponse json_response(int status, Value body) {
-  HttpResponse resp;
-  resp.status = status;
-  resp.headers["content-type"] = "application/json";
-  resp.body = to_json(body);
-  return resp;
-}
+/// Route-core result: every emulator route answers a status plus a JSON
+/// Value. Rendering happens in the caller — the heap path serializes into
+/// an HttpResponse, the wire path appends straight into the connection's
+/// output buffer — so both paths share one routing brain and stay
+/// byte-identical by construction.
+struct RouteReply {
+  int status = 200;
+  Value body;
+};
 
-HttpResponse error_response(int status, std::string code, std::string message) {
-  Value::Map err;
-  err["Code"] = Value(std::move(code));
-  err["Message"] = Value(std::move(message));
-  return json_response(status, Value(Value::Map{{"Error", Value(std::move(err))}}));
+RouteReply error_reply(int status, std::string_view code, std::string_view message) {
+  Value err = Value::empty_map();
+  err.set("Code", Value(code));
+  err.set("Message", Value(message));
+  Value body = Value::empty_map();
+  body.set("Error", std::move(err));
+  return RouteReply{status, std::move(body)};
 }
 
 Value server_stats_value(const HttpServerStats& s) {
-  Value::Map m;
-  m["connections_accepted"] = Value(static_cast<std::int64_t>(s.connections_accepted));
-  m["connections_closed"] = Value(static_cast<std::int64_t>(s.connections_closed));
-  m["requests_served"] = Value(static_cast<std::int64_t>(s.requests_served));
-  m["keepalive_reuses"] = Value(static_cast<std::int64_t>(s.keepalive_reuses));
-  m["idle_reaped"] = Value(static_cast<std::int64_t>(s.idle_reaped));
-  m["rejected_400"] = Value(static_cast<std::int64_t>(s.rejected_400));
-  m["rejected_413"] = Value(static_cast<std::int64_t>(s.rejected_413));
-  m["rejected_431"] = Value(static_cast<std::int64_t>(s.rejected_431));
-  return Value(std::move(m));
+  // write_calls is deliberately absent: kernel read chunking makes it
+  // nondeterministic run to run, and /metrics bodies are compared verbatim
+  // by the differential suites.
+  Value m = Value::empty_map();
+  m.set("connections_accepted", Value(static_cast<std::int64_t>(s.connections_accepted)));
+  m.set("connections_closed", Value(static_cast<std::int64_t>(s.connections_closed)));
+  m.set("requests_served", Value(static_cast<std::int64_t>(s.requests_served)));
+  m.set("keepalive_reuses", Value(static_cast<std::int64_t>(s.keepalive_reuses)));
+  m.set("idle_reaped", Value(static_cast<std::int64_t>(s.idle_reaped)));
+  m.set("rejected_400", Value(static_cast<std::int64_t>(s.rejected_400)));
+  m.set("rejected_413", Value(static_cast<std::int64_t>(s.rejected_413)));
+  m.set("rejected_431", Value(static_cast<std::int64_t>(s.rejected_431)));
+  return m;
 }
 
 Value route_stats_value(const stack::RouteStats& s) {
-  Value::Map m;
-  m["replica_reads"] = Value(static_cast<std::int64_t>(s.replica_reads));
-  m["primary_reads"] = Value(static_cast<std::int64_t>(s.primary_reads));
-  m["lag_fallbacks"] = Value(static_cast<std::int64_t>(s.lag_fallbacks));
-  m["writes"] = Value(static_cast<std::int64_t>(s.writes));
-  Value::List hits;
+  Value m = Value::empty_map();
+  m.set("replica_reads", Value(static_cast<std::int64_t>(s.replica_reads)));
+  m.set("primary_reads", Value(static_cast<std::int64_t>(s.primary_reads)));
+  m.set("lag_fallbacks", Value(static_cast<std::int64_t>(s.lag_fallbacks)));
+  m.set("writes", Value(static_cast<std::int64_t>(s.writes)));
+  Value hits = Value::empty_list();
   for (std::uint64_t h : s.replica_hits) {
-    hits.push_back(Value(static_cast<std::int64_t>(h)));
+    hits.append(Value(static_cast<std::int64_t>(h)));
   }
-  m["replica_hits"] = Value(std::move(hits));
-  return Value(std::move(m));
+  m.set("replica_hits", std::move(hits));
+  return m;
 }
 
 Value replica_status_value(const persist::ReplicaStatus& st) {
-  Value::Map m;
-  m["applied_seq"] = Value(static_cast<std::int64_t>(st.applied_seq));
-  m["lag"] = Value(static_cast<std::int64_t>(st.lag));
-  m["reseeds"] = Value(static_cast<std::int64_t>(st.reseeds));
-  m["mismatches"] = Value(static_cast<std::int64_t>(st.mismatches));
-  return Value(std::move(m));
+  Value m = Value::empty_map();
+  m.set("applied_seq", Value(static_cast<std::int64_t>(st.applied_seq)));
+  m.set("lag", Value(static_cast<std::int64_t>(st.lag)));
+  m.set("reseeds", Value(static_cast<std::int64_t>(st.reseeds)));
+  m.set("mismatches", Value(static_cast<std::int64_t>(st.mismatches)));
+  return m;
 }
 
-}  // namespace
-
-HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req,
-                                     persist::PersistManager* persist,
-                                     const HttpServer* server,
-                                     persist::ReplicaSet* replicas,
-                                     bool virtual_time) {
+/// The routing brain behind both handler forms. `fast_decode` selects the
+/// arena/direct JSON decoder (the serving path) vs the historical builder
+/// (the --no-wire-fastpath reference); both accept the same texts with the
+/// same errors. Backend/persist/replica calls run under ArenaPause so any
+/// Value a layer retains (trace records, read-cache entries, store writes)
+/// lands on the heap even when the wire path has a request arena active —
+/// the request's own scratch (decoded doc, response body) stays
+/// arena-backed and dies with the returned RouteReply.
+RouteReply route_emulator_request(CloudBackend& backend, std::string_view method,
+                                  std::string_view path, std::string_view body,
+                                  persist::PersistManager* persist,
+                                  const HttpServer* server,
+                                  persist::ReplicaSet* replicas, bool virtual_time,
+                                  bool fast_decode) {
+  auto parse_body = [&](JsonError* jerr) {
+    return fast_decode ? parse_json(body, jerr) : parse_json_reference(body, jerr);
+  };
   auto* layered = dynamic_cast<stack::LayerStack*>(&backend);
-  if (req.path == "/admin/tick") {
+  if (path == "/admin/tick") {
     if (!virtual_time) {
-      return error_response(404, "VirtualTimeDisabled",
-                            "endpoint is not running with --virtual-time");
+      return error_reply(404, "VirtualTimeDisabled",
+                         "endpoint is not running with --virtual-time");
     }
-    if (req.method != "POST") {
-      return error_response(405, "MethodNotAllowed",
-                            strf(req.method, " not supported on ", req.path));
+    if (method != "POST") {
+      return error_reply(405, "MethodNotAllowed",
+                         strf(method, " not supported on ", path));
     }
     // Tick count from the body ({"Ticks": N}); default 1.
     std::int64_t ticks = 1;
-    if (!req.body.empty()) {
+    if (!body.empty()) {
       JsonError jerr;
-      auto doc = parse_json(req.body, &jerr);
+      auto doc = parse_body(&jerr);
       if (!doc || !doc->is_map()) {
-        return error_response(400, "MalformedRequest",
-                              doc ? "request body must be a JSON object"
-                                  : jerr.to_text());
+        return error_reply(400, "MalformedRequest",
+                           doc ? "request body must be a JSON object" : jerr.to_text());
       }
       if (const Value* t = doc->get("Ticks")) {
         if (!t->is_int() || t->as_int() < 1) {
-          return error_response(400, "MalformedRequest",
-                                "\"Ticks\" must be a positive integer");
+          return error_reply(400, "MalformedRequest",
+                             "\"Ticks\" must be a positive integer");
         }
         ticks = t->as_int();
       }
@@ -107,166 +124,211 @@ HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& r
     ApiRequest api_req;
     api_req.api = std::string(interp::timers::kAdvanceClockApi);
     api_req.args["ticks"] = Value(ticks);
-    ApiResponse result = backend.invoke(api_req);
+    ApiResponse result;
+    {
+      ArenaPause pause;
+      result = backend.invoke(api_req);
+    }
     if (result.ok) {
-      return json_response(200, Value(Value::Map{{"Data", result.data}}));
+      Value reply = Value::empty_map();
+      reply.set("Data", std::move(result.data));
+      return RouteReply{200, std::move(reply)};
     }
     int status = result.code == "InternalError" ? 500 : 400;
-    return error_response(status, result.code, result.message);
+    return error_reply(status, result.code, result.message);
   }
-  if (req.path == "/admin/replicas" || req.path == "/admin/promote") {
+  if (path == "/admin/replicas" || path == "/admin/promote") {
     if (replicas == nullptr) {
-      return error_response(404, "ReplicationUnavailable",
-                            "endpoint is not running with replicas");
+      return error_reply(404, "ReplicationUnavailable",
+                         "endpoint is not running with replicas");
     }
-    if (req.method == "GET" && req.path == "/admin/replicas") {
-      Value::Map body;
-      body["published_seq"] =
-          Value(static_cast<std::int64_t>(replicas->primary_seq()));
-      Value::List list;
+    if (method == "GET" && path == "/admin/replicas") {
+      Value reply = Value::empty_map();
+      reply.set("published_seq", Value(static_cast<std::int64_t>(replicas->primary_seq())));
+      Value list = Value::empty_list();
       for (const auto& st : replicas->status()) {
-        list.push_back(replica_status_value(st));
+        list.append(replica_status_value(st));
       }
-      body["replicas"] = Value(std::move(list));
-      return json_response(200, Value(std::move(body)));
+      reply.set("replicas", std::move(list));
+      return RouteReply{200, std::move(reply)};
     }
-    if (req.method == "POST" && req.path == "/admin/promote") {
+    if (method == "POST" && path == "/admin/promote") {
       // Replica index from the body ({"Replica": N}); default 0.
       std::size_t index = 0;
-      if (!req.body.empty()) {
+      if (!body.empty()) {
         JsonError jerr;
-        auto doc = parse_json(req.body, &jerr);
+        auto doc = parse_body(&jerr);
         if (!doc || !doc->is_map()) {
-          return error_response(400, "MalformedRequest",
-                                doc ? "request body must be a JSON object"
-                                    : jerr.to_text());
+          return error_reply(400, "MalformedRequest",
+                             doc ? "request body must be a JSON object" : jerr.to_text());
         }
         if (const Value* idx = doc->get("Replica")) {
           if (!idx->is_int() || idx->as_int() < 0) {
-            return error_response(400, "MalformedRequest",
-                                  "\"Replica\" must be a non-negative integer");
+            return error_reply(400, "MalformedRequest",
+                               "\"Replica\" must be a non-negative integer");
           }
           index = static_cast<std::size_t>(idx->as_int());
         }
       }
-      persist::PromoteReport report = replicas->promote(index);
-      Value::Map body;
-      body["ok"] = Value(report.ok);
-      body["applied_seq"] = Value(static_cast<std::int64_t>(report.applied_seq));
-      body["dumps_identical"] = Value(report.dumps_identical);
-      body["mismatches"] = Value(static_cast<std::int64_t>(report.mismatches));
-      if (!report.error.empty()) body["error"] = Value(report.error);
-      return json_response(report.ok ? 200 : 500, Value(std::move(body)));
-    }
-    return error_response(405, "MethodNotAllowed",
-                          strf(req.method, " not supported on ", req.path));
-  }
-  if (req.path == "/admin/snapshot" || req.path == "/admin/persist") {
-    if (persist == nullptr) {
-      return error_response(404, "PersistenceUnavailable",
-                            "endpoint is not running with a data dir");
-    }
-    if (req.method == "POST" && req.path == "/admin/snapshot") {
-      std::string error;
-      if (!persist->take_snapshot(&error)) {
-        return error_response(500, "SnapshotFailed", error);
+      persist::PromoteReport report;
+      {
+        ArenaPause pause;
+        report = replicas->promote(index);
       }
-      persist::PersistStatus st = persist->status();
-      Value::Map body;
-      body["status"] = Value("snapshotted");
-      body["epoch"] = Value(static_cast<std::int64_t>(st.epoch));
-      return json_response(200, Value(std::move(body)));
+      Value reply = Value::empty_map();
+      reply.set("ok", Value(report.ok));
+      reply.set("applied_seq", Value(static_cast<std::int64_t>(report.applied_seq)));
+      reply.set("dumps_identical", Value(report.dumps_identical));
+      reply.set("mismatches", Value(static_cast<std::int64_t>(report.mismatches)));
+      if (!report.error.empty()) reply.set("error", Value(report.error));
+      return RouteReply{report.ok ? 200 : 500, std::move(reply)};
     }
-    if (req.method == "GET" && req.path == "/admin/persist") {
-      persist::PersistStatus st = persist->status();
-      Value::Map body;
-      body["data_dir"] = Value(persist->options().data_dir);
-      body["epoch"] = Value(static_cast<std::int64_t>(st.epoch));
-      body["wal_records"] = Value(static_cast<std::int64_t>(st.wal_records));
-      body["wal_bytes"] = Value(static_cast<std::int64_t>(st.wal_bytes));
-      body["snapshots_taken"] =
-          Value(static_cast<std::int64_t>(st.snapshots_taken));
-      body["failed"] = Value(st.failed);
-      return json_response(200, Value(std::move(body)));
-    }
-    return error_response(405, "MethodNotAllowed",
-                          strf(req.method, " not supported on ", req.path));
+    return error_reply(405, "MethodNotAllowed",
+                       strf(method, " not supported on ", path));
   }
-  if (req.method == "GET" && req.path == "/health") {
-    Value::Map health;
-    health["status"] = Value("ok");
-    health["backend"] = Value(backend.name());
+  if (path == "/admin/snapshot" || path == "/admin/persist") {
+    if (persist == nullptr) {
+      return error_reply(404, "PersistenceUnavailable",
+                         "endpoint is not running with a data dir");
+    }
+    if (method == "POST" && path == "/admin/snapshot") {
+      std::string error;
+      bool ok;
+      {
+        ArenaPause pause;
+        ok = persist->take_snapshot(&error);
+      }
+      if (!ok) return error_reply(500, "SnapshotFailed", error);
+      persist::PersistStatus st = persist->status();
+      Value reply = Value::empty_map();
+      reply.set("status", Value("snapshotted"));
+      reply.set("epoch", Value(static_cast<std::int64_t>(st.epoch)));
+      return RouteReply{200, std::move(reply)};
+    }
+    if (method == "GET" && path == "/admin/persist") {
+      persist::PersistStatus st = persist->status();
+      Value reply = Value::empty_map();
+      reply.set("data_dir", Value(persist->options().data_dir));
+      reply.set("epoch", Value(static_cast<std::int64_t>(st.epoch)));
+      reply.set("wal_records", Value(static_cast<std::int64_t>(st.wal_records)));
+      reply.set("wal_bytes", Value(static_cast<std::int64_t>(st.wal_bytes)));
+      reply.set("snapshots_taken", Value(static_cast<std::int64_t>(st.snapshots_taken)));
+      reply.set("failed", Value(st.failed));
+      return RouteReply{200, std::move(reply)};
+    }
+    return error_reply(405, "MethodNotAllowed",
+                       strf(method, " not supported on ", path));
+  }
+  if (method == "GET" && path == "/health") {
+    Value health = Value::empty_map();
+    health.set("status", Value("ok"));
+    health.set("backend", Value(backend.name()));
     if (layered != nullptr) {
-      Value::List layers;
-      for (const auto& l : layered->layer_names()) layers.push_back(Value(l));
-      health["layers"] = Value(std::move(layers));
+      Value layers = Value::empty_list();
+      for (const auto& l : layered->layer_names()) layers.append(Value(l));
+      health.set("layers", std::move(layers));
     }
-    return json_response(200, Value(std::move(health)));
+    return RouteReply{200, std::move(health)};
   }
-  if (req.method == "GET" && req.path == "/metrics") {
+  if (method == "GET" && path == "/metrics") {
     auto* metrics =
         layered != nullptr ? layered->find<stack::MetricsLayer>() : nullptr;
     if (metrics == nullptr) {
-      return error_response(404, "MetricsUnavailable",
-                            "no metrics layer installed on this endpoint");
+      return error_reply(404, "MetricsUnavailable",
+                         "no metrics layer installed on this endpoint");
     }
-    Value::Map body = metrics->metrics().as_map();
-    if (server != nullptr) body["server"] = server_stats_value(server->stats());
+    Value reply = metrics->metrics();
+    if (server != nullptr) reply.set("server", server_stats_value(server->stats()));
     auto* route =
         layered != nullptr ? layered->find<stack::RouteLayer>() : nullptr;
-    if (route != nullptr) body["route"] = route_stats_value(route->stats());
-    return json_response(200, Value(std::move(body)));
+    if (route != nullptr) reply.set("route", route_stats_value(route->stats()));
+    return RouteReply{200, std::move(reply)};
   }
-  if (req.method == "GET" && req.path == "/snapshot") {
-    return json_response(200, backend.snapshot());
+  if (method == "GET" && path == "/snapshot") {
+    Value snap;
+    {
+      ArenaPause pause;
+      snap = backend.snapshot();
+    }
+    return RouteReply{200, std::move(snap)};
   }
-  if (req.method == "POST" && req.path == "/reset") {
-    backend.reset();
-    if (persist != nullptr && persist->status().failed) {
+  if (method == "POST" && path == "/reset") {
+    bool failed_wal = false;
+    {
+      ArenaPause pause;
+      backend.reset();
+      failed_wal = persist != nullptr && persist->status().failed;
+    }
+    if (failed_wal) {
       // The reset happened in memory but its marker never reached the WAL
       // (the failure is sticky), so recovery would resurrect the pre-reset
       // state — don't ack it, matching the invoke path's no-unlogged-ack
       // rule.
-      return error_response(500, "InternalError",
-                            "write-ahead log append failed; reset is not durable");
+      return error_reply(500, "InternalError",
+                         "write-ahead log append failed; reset is not durable");
     }
-    return json_response(200, Value(Value::Map{{"status", Value("reset")}}));
+    Value reply = Value::empty_map();
+    reply.set("status", Value("reset"));
+    return RouteReply{200, std::move(reply)};
   }
-  if (req.method == "POST" && req.path == "/invoke") {
+  if (method == "POST" && path == "/invoke") {
     JsonError jerr;
-    auto doc = parse_json(req.body, &jerr);
+    auto doc = parse_body(&jerr);
     if (!doc || !doc->is_map()) {
-      return error_response(400, "MalformedRequest",
-                            doc ? "request body must be a JSON object" : jerr.to_text());
+      return error_reply(400, "MalformedRequest",
+                         doc ? "request body must be a JSON object" : jerr.to_text());
     }
     const Value* action = doc->get("Action");
     if (action == nullptr || !action->is_str() || action->as_str().empty()) {
-      return error_response(400, "MalformedRequest", "missing \"Action\"");
+      return error_reply(400, "MalformedRequest", "missing \"Action\"");
     }
     ApiRequest api_req;
     api_req.api = action->as_str();
     if (const Value* params = doc->get("Params")) {
       if (!params->is_map()) {
-        return error_response(400, "MalformedRequest", "\"Params\" must be an object");
+        return error_reply(400, "MalformedRequest", "\"Params\" must be an object");
       }
       // Id re-tagging happens in the stack's validate layer, not here.
       api_req.args = params->as_map();
     }
-    ApiResponse result = backend.invoke(api_req);
+    ApiResponse result;
+    {
+      ArenaPause pause;
+      result = backend.invoke(api_req);
+    }
     if (result.ok) {
-      return json_response(200, Value(Value::Map{{"Data", result.data}}));
+      Value reply = Value::empty_map();
+      reply.set("Data", std::move(result.data));
+      return RouteReply{200, std::move(reply)};
     }
     int status = result.code == "RequestLimitExceeded" ? 429
                  : result.code == "InternalError"      ? 500
                                                        : 400;
-    return error_response(status, result.code, result.message);
+    return error_reply(status, result.code, result.message);
   }
-  if (req.path == "/invoke" || req.path == "/reset" || req.path == "/health" ||
-      req.path == "/snapshot" || req.path == "/metrics") {
-    return error_response(405, "MethodNotAllowed",
-                          strf(req.method, " not supported on ", req.path));
+  if (path == "/invoke" || path == "/reset" || path == "/health" ||
+      path == "/snapshot" || path == "/metrics") {
+    return error_reply(405, "MethodNotAllowed",
+                       strf(method, " not supported on ", path));
   }
-  return error_response(404, "NoSuchEndpoint", strf("unknown path ", req.path));
+  return error_reply(404, "NoSuchEndpoint", strf("unknown path ", path));
+}
+
+}  // namespace
+
+HttpResponse handle_emulator_request(CloudBackend& backend, const HttpRequest& req,
+                                     persist::PersistManager* persist,
+                                     const HttpServer* server,
+                                     persist::ReplicaSet* replicas,
+                                     bool virtual_time) {
+  RouteReply reply =
+      route_emulator_request(backend, req.method, req.path, req.body, persist, server,
+                             replicas, virtual_time, /*fast_decode=*/false);
+  HttpResponse resp;
+  resp.status = reply.status;
+  resp.headers["content-type"] = "application/json";
+  resp.body = to_json(reply.body);
+  return resp;
 }
 
 namespace {
@@ -297,21 +359,37 @@ EmulatorEndpoint::EmulatorEndpoint(CloudBackend& backend, stack::StackConfig con
             return handle_emulator_request(stack_, req, persist_, &server_,
                                            replicas_, virtual_time_);
           },
-          http) {}
+          http) {
+  // Zero-copy serving path (gated at runtime by http.wire_fastpath): route
+  // under a per-io-thread request arena, render head + JSON body straight
+  // into the connection's output buffer. The RouteReply must die before
+  // the arena rewinds — hence the inner scope.
+  server_.set_wire_handler(
+      [this](const RequestView& req, bool keep_alive, ResponseWriter& writer) {
+        static thread_local Arena arena;
+        {
+          ArenaScope scope(arena);
+          RouteReply reply =
+              route_emulator_request(stack_, req.method, req.path, req.body, persist_,
+                                     &server_, replicas_, virtual_time_,
+                                     /*fast_decode=*/true);
+          writer.begin(reply.status, keep_alive, /*json_body=*/true);
+          append_json(reply.body, writer.body());
+          writer.finish();
+        }
+        arena.reset();
+      });
+}
 
 std::uint16_t EmulatorEndpoint::start(std::uint16_t port) { return server_.start(port); }
 
 void EmulatorEndpoint::stop() { server_.stop(); }
 
-ApiResponse invoke_over_client(HttpClient& client, const std::string& action,
-                               const Value::Map& params, bool keep_alive) {
-  Value::Map doc;
-  doc["Action"] = Value(action);
-  doc["Params"] = Value(params);
-  auto resp = client.request("POST", "/invoke", to_json(Value(doc)), keep_alive);
-  if (!resp) return ApiResponse::failure("TransportError", "no response from endpoint");
+namespace {
+
+ApiResponse decode_invoke_response(const HttpResponse& resp) {
   JsonError jerr;
-  auto body = parse_json(resp->body, &jerr);
+  auto body = parse_json(resp.body, &jerr);
   if (!body || !body->is_map()) {
     return ApiResponse::failure("TransportError", jerr.to_text());
   }
@@ -334,6 +412,35 @@ ApiResponse invoke_over_client(HttpClient& client, const std::string& action,
         std::string(err->get_or("Message", Value("")).as_str()));
   }
   return ApiResponse::failure("TransportError", "response had neither Data nor Error");
+}
+
+std::string invoke_request_body(const std::string& action, const Value::Map& params) {
+  Value::Map doc;
+  doc["Action"] = Value(action);
+  doc["Params"] = Value(params);
+  return to_json(Value(std::move(doc)));
+}
+
+}  // namespace
+
+ApiResponse invoke_over_client(HttpClient& client, const std::string& action,
+                               const Value::Map& params, bool keep_alive) {
+  auto resp = client.request("POST", "/invoke", invoke_request_body(action, params),
+                             keep_alive);
+  if (!resp) return ApiResponse::failure("TransportError", "no response from endpoint");
+  return decode_invoke_response(*resp);
+}
+
+bool send_invoke(HttpClient& client, const std::string& action,
+                 const Value::Map& params, bool keep_alive) {
+  return client.send_request("POST", "/invoke", invoke_request_body(action, params),
+                             keep_alive);
+}
+
+ApiResponse read_invoke_response(HttpClient& client) {
+  auto resp = client.read_response();
+  if (!resp) return ApiResponse::failure("TransportError", "no response from endpoint");
+  return decode_invoke_response(*resp);
 }
 
 ApiResponse invoke_over_http(std::uint16_t port, const std::string& action,

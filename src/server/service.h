@@ -111,4 +111,12 @@ ApiResponse invoke_over_http(std::uint16_t port, const std::string& action,
 ApiResponse invoke_over_client(HttpClient& client, const std::string& action,
                                const Value::Map& params, bool keep_alive = true);
 
+/// Pipelining split of invoke_over_client: queue the invoke without
+/// waiting, then collect replies in order. The load generator keeps a
+/// window of these in flight per connection so the server's corked
+/// single-write drain actually gets bursts to cork.
+bool send_invoke(HttpClient& client, const std::string& action,
+                 const Value::Map& params, bool keep_alive = true);
+ApiResponse read_invoke_response(HttpClient& client);
+
 }  // namespace lce::server

@@ -213,15 +213,23 @@ TEST(ServeBenchJson, ReportCarriesTheKeepAliveSweep) {
   const Value::Map& top = report->as_map();
   ASSERT_TRUE(top.count("http_front_end"));
   ASSERT_TRUE(top.count("keepalive_speedup"));
+  ASSERT_TRUE(top.count("http_speedup"));
+  ASSERT_TRUE(top.count("http_pipeline"));
   ASSERT_TRUE(top.count("io_threads"));
+  // No operator-new hook in this test binary: the serve-alloc probe must
+  // not run, so its keys stay absent rather than carrying junk.
+  EXPECT_FALSE(top.count("serve_alloc_per_req_x10"));
   const auto& rows = top.at("http_front_end").as_list();
-  ASSERT_GE(rows.size(), 3u);  // close, keepalive, keepalive_open
+  ASSERT_GE(rows.size(), 5u);  // close, keepalive, open, heap + fast pipelined
   bool saw_close = false, saw_ka = false, saw_open = false;
+  bool saw_fast = false, saw_heap = false;
   for (const Value& row : rows) {
     std::string_view config = row.get("config")->as_str();
     saw_close |= config == "http_close";
     saw_ka |= config == "http_keepalive";
     saw_open |= config == "http_keepalive_open";
+    saw_fast |= config == "http_fastpath_pipelined";
+    saw_heap |= config == "http_heap_pipelined";
     EXPECT_GT(row.get("throughput_ops_s")->as_int(), 0) << config;
     EXPECT_GE(row.get("connections")->as_int(), 1) << config;
     EXPECT_GT(row.get("p99_us")->as_int(), 0) << config;
@@ -229,6 +237,8 @@ TEST(ServeBenchJson, ReportCarriesTheKeepAliveSweep) {
   EXPECT_TRUE(saw_close);
   EXPECT_TRUE(saw_ka);
   EXPECT_TRUE(saw_open);
+  EXPECT_TRUE(saw_fast);
+  EXPECT_TRUE(saw_heap);
   std::remove(path.c_str());
 }
 
